@@ -1,0 +1,122 @@
+// The §V adversary, end to end.
+//
+// "An attacker aware of the signature creation algorithm can try to modify
+//  his packer such that our algorithm fails. An example for this is the
+//  insertion of a random number of superfluous JavaScript instructions
+//  between relevant operations..."
+//
+// This bench sweeps the junk density of the adversarial RIG packer and
+// compares the paper's single-window compiler against the multi-fragment
+// extension the paper proposes: signature size, whether compilation
+// succeeds, detection of fresh adversarial samples, and false positives on
+// a benign corpus (short generic windows are the failure mode: they match
+// everyday JavaScript).
+#include <cstdio>
+
+#include "kitgen/benign.h"
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "kitgen/timeline.h"
+#include "match/pattern.h"
+#include "sig/compiler.h"
+#include "sig/multi_fragment.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace kizzle;
+
+  std::printf(
+      "SV adversary: junk insertion vs single-window and multi-fragment "
+      "signatures\n\n");
+
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Rig;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+  spec.av_check = true;
+  spec.urls = {"http://gate1.edge-x.biz/serv"};
+  const std::string payload = payload_text(spec);
+
+  // A benign corpus for false-positive measurement (includes the everyday
+  // for-loop idiom that degenerate signatures collide with).
+  kitgen::BenignCorpus benign(7, 400);
+  std::vector<std::string> benign_texts;
+  for (std::size_t f = 0; f < 400; ++f) {
+    benign_texts.push_back(
+        text::normalize_js(benign.family_script(f, kitgen::kAug1)));
+  }
+
+  Table table({"junk density", "single: tokens", "single: benign FPs",
+               "multi: fragments/tokens", "multi: fresh detect",
+               "multi: benign FPs"});
+
+  for (const double density : {0.0, 0.5, 0.8, 0.95}) {
+    Rng rng(1000 + static_cast<std::uint64_t>(density * 100));
+    auto make = [&](std::size_t n) {
+      std::vector<std::vector<text::Token>> out;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string packed =
+            density == 0.0
+                ? pack_rig(payload, kitgen::RigPackerState{}, rng)
+                : kitgen::pack_rig_adversarial(
+                      payload, kitgen::RigPackerState{}, density, rng);
+        out.push_back(text::lex(packed));
+      }
+      return out;
+    };
+    const auto cluster = make(12);
+    const auto fresh = make(8);
+
+    // --- single-window compiler (the paper's §III.C algorithm) ---
+    sig::CompilerParams sparams;
+    sparams.length_slack = 0.25;
+    const sig::Signature single = sig::compile_signature(cluster, sparams);
+    std::string single_tokens = "fails";
+    std::size_t single_fp = 0;
+    if (single.ok) {
+      single_tokens = std::to_string(single.token_length);
+      const auto p = match::Pattern::compile(single.pattern);
+      for (const auto& b : benign_texts) {
+        if (p.found_in(b)) ++single_fp;
+      }
+    }
+
+    // --- multi-fragment extension ---
+    sig::MultiFragmentParams mparams;
+    mparams.base.length_slack = 0.25;
+    const sig::FragmentSignature multi =
+        sig::compile_multi_fragment(cluster, mparams);
+    std::string multi_desc = "fails";
+    std::string multi_detect = "-";
+    std::size_t multi_fp = 0;
+    if (multi.ok) {
+      multi_desc = std::to_string(multi.fragments.size()) + "/" +
+                   std::to_string(multi.total_tokens());
+      const sig::FragmentMatcher matcher(multi, 0.7);
+      std::size_t hit = 0;
+      for (const auto& toks : fresh) {
+        if (matcher.matches(sig::normalized_token_text(toks))) ++hit;
+      }
+      multi_detect = std::to_string(hit) + "/" + std::to_string(fresh.size());
+      for (const auto& b : benign_texts) {
+        if (matcher.matches(b)) ++multi_fp;
+      }
+    }
+
+    char density_buf[16];
+    std::snprintf(density_buf, sizeof(density_buf), "%.2f", density);
+    table.add_row({density_buf, single_tokens, std::to_string(single_fp),
+                   multi_desc, multi_detect, std::to_string(multi_fp)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected: at density 0 the single-window signature covers the 200-"
+      "token cap and\nfragments are unnecessary; as junk density rises the "
+      "longest common window\ncollapses (or disappears), while the fragment "
+      "set keeps detecting fresh\nadversarial samples with zero benign "
+      "false positives.\n");
+  return 0;
+}

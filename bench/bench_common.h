@@ -1,0 +1,45 @@
+// Shared setup for the figure-reproduction harnesses: one full simulated
+// August 2014 campaign. Scale with KIZZLE_BENCH_SCALE (default 1.0) to
+// trade fidelity against run time.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/experiment.h"
+
+namespace kizzle::bench {
+
+inline double env_scale() {
+  const char* s = std::getenv("KIZZLE_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline eval::ExperimentConfig month_config() {
+  eval::ExperimentConfig cfg;
+  cfg.stream.volume_scale = env_scale();
+  cfg.stream.start_day = kitgen::kAug1;
+  cfg.stream.end_day = kitgen::kAug31;
+  return cfg;
+}
+
+inline eval::ExperimentResult run_month(const char* banner) {
+  std::printf("%s\n", banner);
+  std::printf(
+      "(simulated August 2014 grayware stream, volume scale %.2f; set "
+      "KIZZLE_BENCH_SCALE to change)\n\n",
+      env_scale());
+  eval::MonthlyExperiment experiment(month_config());
+  return experiment.run();
+}
+
+inline std::string pct(double fraction, int precision = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace kizzle::bench

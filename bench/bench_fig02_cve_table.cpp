@@ -1,0 +1,34 @@
+// Fig 2: "CVEs used for each malware kit (as of September 2014)."
+#include <cstdio>
+#include <map>
+
+#include "kitgen/kit.h"
+#include "support/table.h"
+
+int main() {
+  using namespace kizzle;
+  using kitgen::PluginTarget;
+
+  std::printf("Fig 2: CVEs used for each malware kit (as of September 2014)\n\n");
+  Table table({"EK", "Flash", "Silverlight", "Java", "Adobe Reader",
+               "Internet Explorer", "AV check"});
+  for (const kitgen::KitInfo& kit : kitgen::kit_catalog()) {
+    std::map<PluginTarget, std::string> by_target;
+    for (const kitgen::CveEntry& cve : kit.cves) {
+      std::string& cell = by_target[cve.target];
+      if (!cell.empty()) cell += ", ";
+      cell += cve.cve;
+    }
+    auto cell = [&](PluginTarget t) {
+      auto it = by_target.find(t);
+      return it == by_target.end() ? std::string("-") : it->second;
+    };
+    table.add_row({std::string(kitgen::family_name(kit.family)),
+                   cell(PluginTarget::Flash), cell(PluginTarget::Silverlight),
+                   cell(PluginTarget::Java), cell(PluginTarget::AdobeReader),
+                   cell(PluginTarget::InternetExplorer),
+                   kit.av_check ? "Yes" : "No"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

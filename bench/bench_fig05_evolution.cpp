@@ -1,0 +1,39 @@
+// Fig 5: "Evolution of the Nuclear exploit kit over a three-month period
+// in 2014" — packer changes above the axis, payload changes below.
+#include <cstdio>
+
+#include "kitgen/timeline.h"
+#include "support/table.h"
+
+int main() {
+  using namespace kizzle;
+  using kitgen::EventKind;
+
+  std::printf(
+      "Fig 5: Evolution of the Nuclear exploit kit, June 1 - August 31, "
+      "2014\n\n");
+  Table table({"date", "layer", "kind", "change"});
+  std::size_t packer = 0;
+  std::size_t payload = 0;
+  for (const kitgen::KitEvent& e : kitgen::nuclear_fig5_timeline()) {
+    const bool is_packer = e.kind == EventKind::PackerChange ||
+                           e.kind == EventKind::SemanticChange;
+    if (is_packer) {
+      ++packer;
+    } else {
+      ++payload;
+    }
+    table.add_row({kitgen::date_label(e.day),
+                   is_packer ? "packer" : "payload",
+                   std::string(kitgen::event_kind_name(e.kind)), e.label});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "packer changes: %zu (13 superficial + 1 semantic)   payload "
+      "changes: %zu\n",
+      packer, payload);
+  std::printf(
+      "\"The lion's share of changes are superficial changes to the "
+      "packer.\"\n");
+  return 0;
+}

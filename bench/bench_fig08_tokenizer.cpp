@@ -1,0 +1,51 @@
+// Fig 8: "Tokenization in action" — the paper's example statement, token
+// by token — plus tokenizer throughput on kit-sized inputs (the tokenizer
+// sits in front of everything Kizzle does; §IV processes gigabytes of
+// JavaScript per day).
+#include <chrono>
+#include <cstdio>
+
+#include "kitgen/families.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "support/table.h"
+#include "text/lexer.h"
+
+int main() {
+  using namespace kizzle;
+
+  std::printf("Fig 8: Tokenization in action\n\n");
+  const char* example = R"(var Euur1V = this["l9D"]("ev#333399al");)";
+  std::printf("input: %s\n\n", example);
+  Table table({"Token", "Class"});
+  for (const text::Token& t : text::lex(example)) {
+    table.add_row({t.text, std::string(token_class_name(t.cls))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Throughput on a realistic packed sample.
+  Rng rng(42);
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Nuclear;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Nuclear).cves;
+  spec.av_check = true;
+  spec.urls = {kitgen::make_landing_url(rng)};
+  const std::string packed =
+      pack_nuclear(payload_text(spec), kitgen::NuclearPackerState{}, rng);
+
+  const int reps = 200;
+  std::size_t tokens = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    tokens += text::lex(packed).size();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "throughput: %.1f MB/s (%zu-byte packed Nuclear sample, %zu tokens, "
+      "%d reps)\n",
+      static_cast<double>(packed.size()) * reps / secs / 1e6, packed.size(),
+      tokens / reps, reps);
+  return 0;
+}

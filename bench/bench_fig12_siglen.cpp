@@ -1,0 +1,55 @@
+// Fig 12: "Signature lengths over time for a month-long time window" —
+// the length (in characters) of the latest deployed Kizzle signature per
+// kit per day; every bump is a freshly-issued signature. The red
+// call-outs of the paper (manual AV signature releases) are printed as
+// annotations below the series.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace kizzle;
+  const auto result = bench::run_month("Fig 12: signature lengths over time");
+
+  Table table({"date", "RIG", "Angler", "Sweet orange", "Nuclear"});
+  std::size_t last[4] = {0, 0, 0, 0};
+  std::vector<std::string> bumps;
+  for (const eval::DayMetrics& m : result.days) {
+    const std::size_t rig =
+        m.family[kitgen::family_index(kitgen::KitFamily::Rig)].sig_length;
+    const std::size_t ang =
+        m.family[kitgen::family_index(kitgen::KitFamily::Angler)].sig_length;
+    const std::size_t so = m.family[kitgen::family_index(
+                                        kitgen::KitFamily::SweetOrange)]
+                               .sig_length;
+    const std::size_t nek =
+        m.family[kitgen::family_index(kitgen::KitFamily::Nuclear)].sig_length;
+    table.add_row({kitgen::date_label(m.day), std::to_string(rig),
+                   std::to_string(ang), std::to_string(so),
+                   std::to_string(nek)});
+    const std::size_t now[4] = {rig, ang, so, nek};
+    const char* names[4] = {"RIG", "Angler", "Sweet orange", "Nuclear"};
+    for (int i = 0; i < 4; ++i) {
+      if (now[i] != last[i] && now[i] != 0) {
+        bumps.push_back(std::string(names[i]) + " new signature on " +
+                        kitgen::date_label(m.day));
+      }
+      last[i] = now[i];
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Kizzle signature issues (\"bumps\" in the figure):\n");
+  for (const std::string& b : bumps) std::printf("  %s\n", b.c_str());
+
+  std::printf("\nManual AV signature releases (the red call-outs):\n");
+  for (const av::AvRelease& r : result.av_releases) {
+    std::printf("  %-10s %s\n", r.name.c_str(),
+                kitgen::date_label(r.day).c_str());
+  }
+  std::printf(
+      "\nExpected shape: a staircase — Kizzle re-signs within hours of "
+      "every packer\nchange, while the AV releases lag by days.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig 13: "False positives and false negatives over time for a month-long
+// time window: Kizzle vs. AV" — daily rates across all kits.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace kizzle;
+  const auto result =
+      bench::run_month("Fig 13: false positives / false negatives over time");
+
+  std::printf("(a) false positives for all kits\n\n");
+  Table fp({"date", "benign", "AV FP %", "Kizzle FP %"});
+  for (const eval::DayMetrics& m : result.days) {
+    fp.add_row({kitgen::date_label(m.day), std::to_string(m.n_benign),
+                bench::pct(m.av_fp_rate(), 3),
+                bench::pct(m.kizzle_fp_rate(), 3)});
+  }
+  std::printf("%s\n", fp.to_string().c_str());
+
+  std::printf("(b) false negatives for all kits\n\n");
+  Table fn({"date", "malicious", "AV FN %", "Kizzle FN %"});
+  for (const eval::DayMetrics& m : result.days) {
+    fn.add_row({kitgen::date_label(m.day), std::to_string(m.n_malicious),
+                bench::pct(m.av_fn_rate(), 1),
+                bench::pct(m.kizzle_fn_rate(), 1)});
+  }
+  std::printf("%s\n", fn.to_string().c_str());
+
+  const eval::FamilyTotals sum = result.sum();
+  std::printf("month totals: Kizzle FP rate %s (paper: under 0.03%%), "
+              "Kizzle FN rate %s (paper: under 5%%)\n",
+              bench::pct(static_cast<double>(sum.kizzle_fp) /
+                             static_cast<double>(result.total_benign),
+                         3)
+                  .c_str(),
+              bench::pct(static_cast<double>(sum.kizzle_fn) /
+                             static_cast<double>(result.total_malicious),
+                         1)
+                  .c_str());
+  std::printf(
+      "Expected shape: AV FN spikes between 8/13 and 8/21 (the Angler "
+      "window and the\nlate-August Nuclear churn); Kizzle stays low "
+      "throughout.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Hidden server-side signatures (§V extension): the attacker's trial-and-
+// error loop against the client oracle (Fig 1) vs the server-side inner-
+// layer match the adversary cannot observe.
+#include <cstdio>
+
+#include "av/av_engine.h"
+#include "core/hidden.h"
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace kizzle;
+
+  std::printf(
+      "Hidden server-side signatures: client oracle evasion vs inner-layer "
+      "match\n\n");
+
+  auto rig_payload = [](const std::string& url) {
+    kitgen::PayloadSpec spec;
+    spec.family = kitgen::KitFamily::Rig;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+    spec.av_check = true;
+    spec.urls = {url};
+    return payload_text(spec);
+  };
+
+  // Client side: the deployed (visible) literal signature.
+  av::ManualAvEngine client;
+  client.schedule(av::AvRelease{
+      0, kitgen::KitFamily::Rig, "RIG.sig1",
+      rig_analyst_feature(kitgen::RigPackerState{.delim = "y6"})});
+
+  // Server side: a hidden signature learned from two unpacked payloads.
+  core::HiddenSignatureEngine hidden;
+  const std::vector<std::string> corpus = {
+      rig_payload("http://a.gate-1.biz/x"),
+      rig_payload("http://b.gate-2.ru/y"),
+  };
+  if (!hidden.learn("RIG", corpus)) {
+    std::printf("hidden signature compilation failed\n");
+    return 1;
+  }
+  std::printf("hidden signature: %s (%zu chars, never deployed)\n\n",
+              hidden.signatures()[0].name.c_str(),
+              hidden.signatures()[0].pattern.size());
+
+  // The attacker iterates delimiters until the client signature passes,
+  // then ships. Measure both engines on the shipped variants.
+  Rng rng(20140813);
+  Table table({"attacker variant", "client AV", "hidden (server)"});
+  const char* delims[] = {"y6", "q3", "Zx", "m8", "w2k", "p"};
+  for (const char* d : delims) {
+    kitgen::RigPackerState st;
+    st.delim = d;
+    const std::string packed =
+        pack_rig(rig_payload("http://ev.gate-9.pw/k"), st, rng);
+    const bool client_hit =
+        client.detects(0, text::normalize_raw(packed));
+    const auto hidden_hit = hidden.scan_packed(packed);
+    table.add_row({std::string("delim \"") + d + "\"",
+                   client_hit ? "DETECTED" : "evaded",
+                   hidden_hit ? "DETECTED" : "evaded"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Only the original delimiter trips the client signature; every "
+      "variant is caught\nserver-side, because the inner core — which the "
+      "attacker would actually have to\nrewrite — is unchanged. \"Even "
+      "though the new variant has no resemblance to the\nprevious versions "
+      "on the outside, they will most likely overlap in the inner-most\n"
+      "code.\" (SV)\n");
+  return 0;
+}

@@ -1,0 +1,262 @@
+// Microbenchmarks (google-benchmark) for the per-module hot paths: the
+// tokenizer, edit distance (full vs banded vs pre-filters), winnowing,
+// DBSCAN, the regex VM, and the common-window search.
+#include <benchmark/benchmark.h>
+
+#include "cluster/dbscan.h"
+#include "distance/edit_distance.h"
+#include "kitgen/families.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "match/pattern.h"
+#include "sig/common_window.h"
+#include "support/interner.h"
+#include "support/rng.h"
+#include "text/abstraction.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+#include "winnow/winnow.h"
+
+namespace {
+
+using namespace kizzle;
+
+std::string packed_nuclear_sample(std::uint64_t seed) {
+  Rng rng(seed);
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Nuclear;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Nuclear).cves;
+  spec.av_check = true;
+  spec.urls = {kitgen::make_landing_url(rng)};
+  return pack_nuclear(payload_text(spec), kitgen::NuclearPackerState{}, rng);
+}
+
+std::vector<std::uint32_t> random_stream(Rng& rng, std::size_t n,
+                                         std::uint32_t alphabet) {
+  std::vector<std::uint32_t> s(n);
+  for (auto& x : s) x = static_cast<std::uint32_t>(rng.index(alphabet));
+  return s;
+}
+
+// ------------------------------ lexer ------------------------------
+
+void BM_LexPackedSample(benchmark::State& state) {
+  const std::string src = packed_nuclear_sample(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::lex(src));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_LexPackedSample);
+
+void BM_NormalizeRaw(benchmark::State& state) {
+  const std::string src = packed_nuclear_sample(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::normalize_raw(src));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_NormalizeRaw);
+
+// --------------------------- edit distance ---------------------------
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_stream(rng, n, 64);
+  auto b = a;
+  for (std::size_t i = 0; i < n / 20 + 1; ++i) {
+    b[rng.index(n)] = 999;  // ~5% substitutions
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::edit_distance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_stream(rng, n, 64);
+  auto b = a;
+  for (std::size_t i = 0; i < n / 20 + 1; ++i) {
+    b[rng.index(n)] = 999;
+  }
+  const std::size_t limit = n / 10;  // the clustering threshold
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::edit_distance_bounded(a, b, limit));
+  }
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EditDistanceBandedReject(benchmark::State& state) {
+  // The common case in clustering: two unrelated streams, rejected early.
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_stream(rng, n, 8);
+  const auto b = random_stream(rng, n, 8);
+  const std::size_t limit = n / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::edit_distance_bounded(a, b, limit));
+  }
+}
+BENCHMARK(BM_EditDistanceBandedReject)->Arg(1024)->Arg(4096);
+
+void BM_HistogramPrefilter(benchmark::State& state) {
+  Rng rng(5);
+  const auto a = random_stream(rng, 4096, 8);
+  const auto b = random_stream(rng, 4096, 8);
+  const auto ha = dist::SymbolHistogram::of(a);
+  const auto hb = dist::SymbolHistogram::of(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist::edit_distance_lower_bound(ha, hb, a.size(), b.size()));
+  }
+}
+BENCHMARK(BM_HistogramPrefilter);
+
+// ------------------------------ winnow ------------------------------
+
+void BM_WinnowFingerprints(benchmark::State& state) {
+  Rng rng(6);
+  const std::string doc =
+      rng.string_over("abcdefghijklmnopqrstuvwxyz(){};=.,",
+                      static_cast<std::size_t>(state.range(0)));
+  const winnow::Params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(winnow::FingerprintSet::of_text(doc, params));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WinnowFingerprints)->Arg(4096)->Arg(65536);
+
+void BM_WinnowContainment(benchmark::State& state) {
+  Rng rng(7);
+  const winnow::Params params;
+  const auto a = winnow::FingerprintSet::of_text(
+      rng.string_over("abcdefgh(){};=", 16384), params);
+  const auto b = winnow::FingerprintSet::of_text(
+      rng.string_over("abcdefgh(){};=", 16384), params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.containment(b));
+  }
+}
+BENCHMARK(BM_WinnowContainment);
+
+// ------------------------------ dbscan ------------------------------
+
+void BM_TokenDbscanDay(benchmark::State& state) {
+  // A scaled model of one day's deduplicated stream: N families of
+  // near-identical streams.
+  Rng rng(8);
+  Interner interner;
+  std::vector<std::vector<std::uint32_t>> streams;
+  std::vector<std::size_t> weights;
+  const auto families = static_cast<std::size_t>(state.range(0));
+  for (std::size_t f = 0; f < families; ++f) {
+    const std::size_t len = 100 + rng.index(400);
+    auto base = random_stream(rng, len, 40);
+    for (int variant = 0; variant < 3; ++variant) {
+      auto s = base;
+      if (variant > 0) s[rng.index(s.size())] += 1000;  // tiny edit
+      streams.push_back(std::move(s));
+      weights.push_back(1 + rng.index(8));
+    }
+  }
+  for (auto _ : state) {
+    cluster::TokenDbscan db(streams, weights,
+                            {.eps = 0.10, .min_mass = 3});
+    benchmark::DoNotOptimize(db.run());
+  }
+}
+BENCHMARK(BM_TokenDbscanDay)->Arg(50)->Arg(150);
+
+// ------------------------------ regex VM ------------------------------
+
+void BM_PatternLiteralScan(benchmark::State& state) {
+  Rng rng(9);
+  const std::string haystack =
+      rng.string_over("abcdefghijklmnop0123456789", 65536) +
+      "NEEDLE-LITERAL-XYZ" + rng.string_over("abcdef", 128);
+  const auto p = match::Pattern::compile("NEEDLE\\-LITERAL\\-[A-Z]{3}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.search(haystack));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(haystack.size()));
+}
+BENCHMARK(BM_PatternLiteralScan);
+
+void BM_PatternKizzleSignature(benchmark::State& state) {
+  // A Fig 9-shaped structural signature against a normalized sample.
+  const auto p = match::Pattern::compile(
+      R"((?<var0>[0-9a-zA-Z]{5,6})=this\[(?<var1>[0-9a-zA-Z]{3,5})\]\(.{11}\);)");
+  Rng rng(10);
+  const std::string text = rng.string_over("xyzw();=", 16384) +
+                           "Euur1V=this[l9D](ev#333399al);" +
+                           rng.string_over("xyzw();=", 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.search(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_PatternKizzleSignature);
+
+void BM_PatternMiss(benchmark::State& state) {
+  // Scanning benign content that does not match (the overwhelmingly common
+  // case in deployment): the literal pre-filter should make this cheap.
+  const auto p = match::Pattern::compile(
+      R"((?<v>[0-9a-zA-Z]{4,8})=getter\(ev3fwrwg4al\);)");
+  Rng rng(11);
+  const std::string text = rng.string_over("abcdefgh(){};=0123", 262144);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.search(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_PatternMiss);
+
+// -------------------------- common window --------------------------
+
+void BM_CommonWindowSearch(benchmark::State& state) {
+  Rng rng(12);
+  const auto shared = random_stream(rng, 600, 1000);
+  std::vector<std::vector<std::uint32_t>> streams;
+  for (int s = 0; s < 12; ++s) {
+    auto stream = random_stream(rng, 200, 1000);
+    stream.insert(stream.end(), shared.begin(), shared.end());
+    auto tail = random_stream(rng, 200, 1000);
+    stream.insert(stream.end(), tail.begin(), tail.end());
+    streams.push_back(std::move(stream));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig::find_common_window(streams, 10, 200));
+  }
+}
+BENCHMARK(BM_CommonWindowSearch);
+
+// ------------------------------ packers ------------------------------
+
+void BM_PackNuclear(benchmark::State& state) {
+  Rng rng(13);
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Nuclear;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Nuclear).cves;
+  spec.av_check = true;
+  spec.urls = {kitgen::make_landing_url(rng)};
+  const std::string payload = payload_text(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pack_nuclear(payload, kitgen::NuclearPackerState{}, rng));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_PackNuclear);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Quickstart: the Kizzle loop in one file.
+//
+//   1. capture a handful of packed malware samples (here: generated RIG
+//      landing pages — inert stand-ins with the real packing scheme);
+//   2. feed them to the pipeline together with benign traffic;
+//   3. the pipeline clusters, unpacks the prototype, labels it against the
+//      seeded corpus, and compiles an AV-deployable signature;
+//   4. scan new traffic with the result.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "kitgen/families.h"
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace kizzle;
+
+  // --- a tiny malware campaign: one RIG version, randomized per sample ---
+  Rng rng(2014);
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Rig;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+  spec.av_check = true;
+  spec.urls = {kitgen::make_landing_url(rng)};
+  const std::string payload = payload_text(spec);
+
+  std::vector<std::string> day_one;
+  for (int i = 0; i < 6; ++i) {
+    const std::string packed =
+        pack_rig(payload, kitgen::RigPackerState{.delim = "y6"}, rng);
+    day_one.push_back(kitgen::wrap_html("", packed, rng));
+  }
+  // ... drowned in benign pages.
+  for (int i = 0; i < 5; ++i) {
+    std::string benign =
+        "function slider" + std::to_string(i) +
+        "(){var d=document.getElementById(\"panel\");if(d){d.style."
+        "display=\"block\"}}";
+    day_one.push_back(kitgen::wrap_html("", benign, rng));
+    day_one.push_back(kitgen::wrap_html("", benign, rng));
+    day_one.push_back(kitgen::wrap_html("", benign, rng));
+  }
+
+  // --- the Kizzle pipeline, seeded with RIG's known unpacked payload ---
+  core::KizzlePipeline pipeline(core::PipelineConfig{}, 1);
+  pipeline.seed_family("RIG", 0.55, payload);
+
+  const core::DayReport report = pipeline.process_day(0, day_one);
+  std::printf("day 1: %zu samples -> %zu clusters\n", report.n_samples,
+              report.n_clusters);
+  for (const core::ClusterReport& cr : report.clusters) {
+    std::printf("  cluster of %zu: %s", cr.samples.size(),
+                cr.label.empty() ? "benign" : cr.label.c_str());
+    if (!cr.label.empty()) {
+      std::printf(" (winnow overlap %.0f%%, unpacked by '%s')",
+                  cr.overlap * 100.0, cr.unpacker.c_str());
+    }
+    if (cr.issued_signature) std::printf(" -> signature %s", cr.signature_name.c_str());
+    std::printf("\n");
+  }
+
+  if (pipeline.signatures().empty()) {
+    std::printf("no signature issued\n");
+    return 1;
+  }
+  const core::DeployedSignature& sig = pipeline.signatures().front();
+  std::printf("\ndeployed signature (%zu chars, first 120 shown):\n  %.120s...\n\n",
+              sig.pattern.size(), sig.pattern.c_str());
+
+  // --- scan tomorrow's traffic ---
+  const std::string new_rig_page = kitgen::wrap_html(
+      "", pack_rig(payload, kitgen::RigPackerState{.delim = "y6"}, rng), rng);
+  const std::string benign_page = kitgen::wrap_html(
+      "", "function track(u){var i=new Image(1,1);i.src=u;return i}", rng);
+
+  for (const auto& [name, html] :
+       {std::pair{"fresh RIG landing page", new_rig_page},
+        std::pair{"benign tracker script", benign_page}}) {
+    const auto hit = pipeline.scan(text::normalize_raw(html));
+    std::printf("scan %-24s -> %s\n", name,
+                hit ? pipeline.signatures()[*hit].name.c_str() : "clean");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// track_kit_evolution: watch the adversarial cycle (paper Fig 1) play out.
+//
+// Runs the Nuclear exploit kit generator through the second half of
+// August 2014 — packer delimiter changes on 8/17, 8/19, 8/22, 8/26 and a
+// payload CVE append on 8/27 (Fig 5) — with Kizzle re-signing each change
+// the same day and a simulated human analyst lagging several days behind.
+//
+// Build & run:  ./build/examples/track_kit_evolution
+#include <cstdio>
+
+#include "av/analyst.h"
+#include "core/pipeline.h"
+#include "kitgen/stream.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace kizzle;
+
+  kitgen::StreamConfig scfg;
+  scfg.volume_scale = 0.5;
+  kitgen::StreamSimulator sim(scfg);
+  core::KizzlePipeline pipeline(core::PipelineConfig{}, 99);
+  for (const auto& [family, payload] : sim.seed_corpus()) {
+    pipeline.seed_family(std::string(kitgen::family_name(family)), 0.60,
+                         payload);
+  }
+  av::ManualAvEngine av_engine;
+  av::Analyst analyst;
+  analyst.install_initial_signatures(sim, av_engine);
+
+  const std::size_t nuclear_idx =
+      kitgen::family_index(kitgen::KitFamily::Nuclear);
+  (void)nuclear_idx;
+  std::printf("%-6s %-28s %-10s %-8s %-8s %s\n", "date", "kit event",
+              "kizzle", "kz-FN", "av-FN", "feature of current version");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  std::size_t sigs_before = 0;
+  for (int day = kitgen::kAug1; day <= kitgen::kAug31; ++day) {
+    const auto batch = sim.generate_day(day);
+    analyst.observe_day(day, sim, av_engine);
+    std::vector<std::string> htmls;
+    for (const auto& s : batch.samples) htmls.push_back(s.html);
+    pipeline.process_day(day, htmls);
+
+    // What happened to the kit today?
+    std::string event = "-";
+    for (const kitgen::KitEvent& e : kitgen::august_schedule()) {
+      if (e.day == day && e.family == kitgen::KitFamily::Nuclear) {
+        event = std::string(kitgen::event_kind_name(e.kind)) + ": " + e.label;
+      }
+    }
+
+    // Did Kizzle respond?
+    std::string kizzle = "-";
+    for (std::size_t i = sigs_before; i < pipeline.signatures().size(); ++i) {
+      if (pipeline.signatures()[i].family == "Nuclear") {
+        kizzle = pipeline.signatures()[i].name;
+      }
+    }
+    sigs_before = pipeline.signatures().size();
+
+    // Detection on today's Nuclear samples.
+    std::size_t total = 0;
+    std::size_t kz_miss = 0;
+    std::size_t av_miss = 0;
+    for (const auto& s : batch.samples) {
+      if (s.truth != kitgen::Truth::Nuclear) continue;
+      ++total;
+      const std::string norm = text::normalize_raw(s.html);
+      if (!pipeline.scan(norm)) ++kz_miss;
+      if (!av_engine.detects(day, norm)) ++av_miss;
+    }
+    std::printf("%-6s %-28s %-10s %zu/%-6zu %zu/%-6zu %s\n",
+                kitgen::date_label(day).c_str(), event.c_str(),
+                kizzle.c_str(), kz_miss, total, av_miss, total,
+                sim.kit(kitgen::KitFamily::Nuclear).analyst_feature().c_str());
+  }
+
+  std::printf("\nmanual AV releases for Nuclear (lagging each change):\n");
+  for (const av::AvRelease& r :
+       av_engine.releases_for(kitgen::KitFamily::Nuclear)) {
+    std::printf("  %-10s released %-5s matches \"%s\"\n", r.name.c_str(),
+                kitgen::date_label(r.day).c_str(), r.literal.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "av/analyst.h"
+
+namespace kizzle::av {
+
+namespace {
+
+std::string short_tag(kitgen::KitFamily f) {
+  switch (f) {
+    case kitgen::KitFamily::Nuclear: return "NEK";
+    case kitgen::KitFamily::SweetOrange: return "SWO";
+    case kitgen::KitFamily::Angler: return "ANG";
+    case kitgen::KitFamily::Rig: return "RIG";
+  }
+  return "UNK";
+}
+
+}  // namespace
+
+Analyst::Analyst(AnalystConfig cfg) : cfg_(cfg) {}
+
+int Analyst::lag_for(kitgen::KitFamily f) const {
+  switch (f) {
+    case kitgen::KitFamily::Nuclear: return cfg_.lag_nuclear;
+    case kitgen::KitFamily::Angler: return cfg_.lag_angler;
+    case kitgen::KitFamily::Rig: return cfg_.lag_rig;
+    case kitgen::KitFamily::SweetOrange: return cfg_.lag_sweet_orange;
+  }
+  return 5;
+}
+
+std::string Analyst::next_name(kitgen::KitFamily f) {
+  return std::string(short_tag(f)) + ".sig" +
+         std::to_string(++counters_[kitgen::family_index(f)]);
+}
+
+void Analyst::install_initial_signatures(
+    const kitgen::StreamSimulator& stream, ManualAvEngine& engine) {
+  const int day0 = stream.config().start_day - 1;
+  // Per-version feature signatures for the versions live at month start.
+  for (std::size_t i = 0; i < kitgen::kNumFamilies; ++i) {
+    const auto family = kitgen::family_from_index(i);
+    engine.schedule(AvRelease{day0, family, next_name(family),
+                              stream.kit(family).analyst_feature()});
+  }
+  // The Angler Java-marker signature (Fig 6: the string "on which the AV
+  // signature matched" until 8/13 moved it into the packed body).
+  engine.schedule(AvRelease{day0, kitgen::KitFamily::Angler,
+                            next_name(kitgen::KitFamily::Angler),
+                            "jvmqx1r7a"});
+  // Structural literals for RIG and Sweet Orange: fragments of the decode
+  // loops that survive delimiter churn (they sit outside the randomized
+  // fields). These keep AV's FN small for both kits (Fig 14).
+  engine.schedule(AvRelease{day0, kitgen::KitFamily::Rig,
+                            next_name(kitgen::KitFamily::Rig),
+                            ".text+=String.fromCharCode("});
+  engine.schedule(AvRelease{day0, kitgen::KitFamily::SweetOrange,
+                            next_name(kitgen::KitFamily::SweetOrange),
+                            "String.fromCharCode(parseInt("});
+}
+
+void Analyst::observe_day(int day, const kitgen::StreamSimulator& stream,
+                          ManualAvEngine& engine) {
+  for (const kitgen::KitEvent& e : kitgen::august_schedule()) {
+    if (e.day != day) continue;
+    if (e.kind != kitgen::EventKind::PackerChange &&
+        e.kind != kitgen::EventKind::SemanticChange) {
+      continue;
+    }
+    // The analyst captures the new version's distinctive feature today and
+    // ships a signature after the reaction lag.
+    engine.schedule(AvRelease{day + lag_for(e.family), e.family,
+                              next_name(e.family),
+                              stream.kit(e.family).analyst_feature()});
+  }
+}
+
+}  // namespace kizzle::av

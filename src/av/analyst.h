@@ -1,0 +1,48 @@
+// The analyst model: who writes the manual signatures, on what, and when.
+//
+// At the start of the campaign the analyst has signatures for the
+// currently-circulating kit versions (plus, for Angler, the clear-HTML
+// Java marker string — the signature whose evasion creates the Fig 6
+// window). Whenever a kit ships a packer change, the analyst studies the
+// new version and releases a new signature `lag` days later. Two kits
+// (RIG, Sweet Orange) additionally get one *structural* literal that
+// survives version churn — which is why their AV false-negative counts in
+// Fig 14 are small even though their packers change often.
+#pragma once
+
+#include "av/av_engine.h"
+#include "kitgen/stream.h"
+
+namespace kizzle::av {
+
+struct AnalystConfig {
+  int lag_nuclear = 5;
+  int lag_angler = 6;   // 8/13 change -> 8/19 release reproduces Fig 6
+  int lag_rig = 4;
+  int lag_sweet_orange = 5;
+};
+
+class Analyst {
+ public:
+  explicit Analyst(AnalystConfig cfg = {});
+
+  // Installs the start-of-month signature set, reading the kits' current
+  // features from the simulator.
+  void install_initial_signatures(const kitgen::StreamSimulator& stream,
+                                  ManualAvEngine& engine);
+
+  // Call once per simulated day *after* the stream generators advanced:
+  // reacts to the day's scheduled kit events by scheduling releases at
+  // day + lag with the new version's feature literal.
+  void observe_day(int day, const kitgen::StreamSimulator& stream,
+                   ManualAvEngine& engine);
+
+ private:
+  int lag_for(kitgen::KitFamily f) const;
+  std::string next_name(kitgen::KitFamily f);
+
+  AnalystConfig cfg_;
+  int counters_[kitgen::kNumFamilies] = {0, 0, 0, 0};
+};
+
+}  // namespace kizzle::av

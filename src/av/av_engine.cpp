@@ -1,0 +1,35 @@
+#include "av/av_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kizzle::av {
+
+void ManualAvEngine::schedule(AvRelease release) {
+  if (release.literal.empty()) {
+    throw std::invalid_argument("ManualAvEngine: empty signature literal");
+  }
+  releases_.push_back(std::move(release));
+}
+
+std::optional<AvRelease> ManualAvEngine::match(
+    int day, std::string_view normalized) const {
+  for (const AvRelease& r : releases_) {
+    if (r.day > day) continue;
+    if (normalized.find(r.literal) != std::string_view::npos) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<AvRelease> ManualAvEngine::releases_for(
+    kitgen::KitFamily family) const {
+  std::vector<AvRelease> out;
+  for (const AvRelease& r : releases_) {
+    if (r.family == family) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AvRelease& a, const AvRelease& b) { return a.day < b.day; });
+  return out;
+}
+
+}  // namespace kizzle::av

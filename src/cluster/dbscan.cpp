@@ -1,0 +1,130 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace kizzle::cluster {
+
+std::vector<std::vector<std::size_t>> DbscanResult::members() const {
+  std::vector<std::vector<std::size_t>> out(
+      static_cast<std::size_t>(n_clusters));
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    if (label[i] != kNoise) {
+      out[static_cast<std::size_t>(label[i])].push_back(i);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shared DBSCAN skeleton. `region_query(p)` returns all points within eps of
+// p, *including p itself*.
+DbscanResult run_dbscan(
+    std::size_t n, std::span<const std::size_t> weights,
+    std::size_t min_mass,
+    const std::function<std::vector<std::size_t>(std::size_t)>& region_query) {
+  DbscanResult result;
+  result.label.assign(n, kNoise);
+  std::vector<bool> visited(n, false);
+  auto mass_of = [&](const std::vector<std::size_t>& pts) {
+    std::size_t m = 0;
+    for (std::size_t q : pts) m += weights.empty() ? 1 : weights[q];
+    return m;
+  };
+  int next_cluster = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (visited[p]) continue;
+    visited[p] = true;
+    std::vector<std::size_t> neighbors = region_query(p);
+    if (mass_of(neighbors) < min_mass) continue;  // stays noise unless claimed
+    const int cid = next_cluster++;
+    result.label[p] = cid;
+    std::deque<std::size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (result.label[q] == kNoise) result.label[q] = cid;  // border point
+      if (visited[q]) continue;
+      visited[q] = true;
+      std::vector<std::size_t> q_neighbors = region_query(q);
+      if (mass_of(q_neighbors) >= min_mass) {
+        for (std::size_t r : q_neighbors) frontier.push_back(r);
+      }
+    }
+  }
+  result.n_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace
+
+DbscanResult dbscan(
+    std::size_t n_points,
+    const std::function<double(std::size_t, std::size_t)>& distance,
+    std::span<const std::size_t> weights, const DbscanParams& params) {
+  if (!weights.empty() && weights.size() != n_points) {
+    throw std::invalid_argument("dbscan: weights size mismatch");
+  }
+  auto region_query = [&](std::size_t p) {
+    std::vector<std::size_t> out;
+    for (std::size_t q = 0; q < n_points; ++q) {
+      if (q == p || distance(p, q) <= params.eps) out.push_back(q);
+    }
+    return out;
+  };
+  return run_dbscan(n_points, weights, params.min_mass, region_query);
+}
+
+TokenDbscan::TokenDbscan(std::span<const std::vector<std::uint32_t>> streams,
+                         std::span<const std::size_t> weights,
+                         const DbscanParams& params)
+    : streams_(streams), params_(params) {
+  if (!weights.empty() && weights.size() != streams.size()) {
+    throw std::invalid_argument("TokenDbscan: weights size mismatch");
+  }
+  weights_.assign(weights.begin(), weights.end());
+  if (weights_.empty()) weights_.assign(streams.size(), 1);
+  hist_.reserve(streams.size());
+  for (const auto& s : streams) {
+    hist_.push_back(dist::SymbolHistogram::of(s));
+  }
+}
+
+bool TokenDbscan::within(std::size_t i, std::size_t j) {
+  ++stats_.pairs_considered;
+  const std::size_t la = streams_[i].size();
+  const std::size_t lb = streams_[j].size();
+  const std::size_t longest = std::max(la, lb);
+  if (longest == 0) return true;
+  const auto limit =
+      static_cast<std::size_t>(params_.eps * static_cast<double>(longest));
+  const std::size_t len_diff = (la > lb) ? la - lb : lb - la;
+  if (len_diff > limit) {
+    ++stats_.pairs_pruned_length;
+    return false;
+  }
+  if (dist::edit_distance_lower_bound(hist_[i], hist_[j], la, lb) > limit) {
+    ++stats_.pairs_pruned_histogram;
+    return false;
+  }
+  ++stats_.dp_computations;
+  return dist::edit_distance_bounded(streams_[i], streams_[j], limit) <= limit;
+}
+
+std::vector<std::size_t> TokenDbscan::region_query(std::size_t p) {
+  std::vector<std::size_t> out;
+  out.push_back(p);
+  for (std::size_t q = 0; q < streams_.size(); ++q) {
+    if (q != p && within(p, q)) out.push_back(q);
+  }
+  return out;
+}
+
+DbscanResult TokenDbscan::run() {
+  return run_dbscan(streams_.size(), weights_, params_.min_mass,
+                    [this](std::size_t p) { return region_query(p); });
+}
+
+}  // namespace kizzle::cluster

@@ -1,0 +1,82 @@
+// DBSCAN (Ester, Kriegel, Sander, Xu 1996) over token streams.
+//
+// The paper clusters abstracted token streams with DBSCAN at a normalized
+// edit-distance threshold of 0.10 (§III.A). Two entry points:
+//
+//   dbscan()        generic, with a caller-supplied distance callback —
+//                   used in tests and small experiments.
+//
+//   TokenDbscan     production path over interned token streams, with
+//                   weights (duplicate streams collapse to one weighted
+//                   point), and the distance pre-filters from
+//                   distance/edit_distance.h.
+//
+// Weights: incoming samples are deduplicated on their abstract token
+// stream before clustering; a point's weight is the number of samples it
+// stands for, and DBSCAN's minPts compares against neighborhood *mass*
+// (sum of weights), which is exactly DBSCAN on the un-deduplicated input.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "distance/edit_distance.h"
+
+namespace kizzle::cluster {
+
+constexpr int kNoise = -1;
+
+struct DbscanParams {
+  double eps = 0.10;         // normalized edit distance threshold
+  std::size_t min_mass = 3;  // minimum neighborhood mass (a.k.a. minPts)
+};
+
+struct DbscanResult {
+  std::vector<int> label;  // cluster id per point, kNoise for noise
+  int n_clusters = 0;
+
+  // Point indices per cluster id.
+  std::vector<std::vector<std::size_t>> members() const;
+};
+
+// Generic DBSCAN; distance(i, j) must be symmetric. Weights may be empty
+// (treated as all-ones).
+DbscanResult dbscan(
+    std::size_t n_points,
+    const std::function<double(std::size_t, std::size_t)>& distance,
+    std::span<const std::size_t> weights, const DbscanParams& params);
+
+// Statistics for the performance benchmarks (§IV "Cluster-Based Processing
+// Performance").
+struct DbscanStats {
+  std::size_t pairs_considered = 0;  // all candidate pairs examined
+  std::size_t pairs_pruned_length = 0;
+  std::size_t pairs_pruned_histogram = 0;
+  std::size_t dp_computations = 0;  // banded DPs actually run
+};
+
+class TokenDbscan {
+ public:
+  // `streams` must outlive the clusterer. Weights empty => all ones.
+  TokenDbscan(std::span<const std::vector<std::uint32_t>> streams,
+              std::span<const std::size_t> weights,
+              const DbscanParams& params);
+
+  DbscanResult run();
+
+  const DbscanStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::size_t> region_query(std::size_t p);
+  bool within(std::size_t i, std::size_t j);
+
+  std::span<const std::vector<std::uint32_t>> streams_;
+  std::vector<std::size_t> weights_;
+  DbscanParams params_;
+  DbscanStats stats_;
+  std::vector<dist::SymbolHistogram> hist_;  // per-point pre-filter data
+};
+
+}  // namespace kizzle::cluster

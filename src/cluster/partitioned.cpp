@@ -1,0 +1,177 @@
+#include "cluster/partitioned.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+
+#include "support/thread_pool.h"
+
+namespace kizzle::cluster {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Union-find over cluster indices for the reduce merge.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+PartitionedClusterer::PartitionedClusterer(PartitionedParams params)
+    : params_(params) {
+  if (params_.partitions == 0) params_.partitions = 1;
+}
+
+std::size_t PartitionedClusterer::medoid(
+    std::span<const std::vector<std::uint32_t>> streams,
+    const std::vector<std::size_t>& cluster) {
+  if (cluster.size() == 1) return cluster[0];
+  // Exact medoid is O(m^2); cap the candidate set for very large clusters.
+  constexpr std::size_t kCap = 24;
+  const std::size_t m = std::min(cluster.size(), kCap);
+  double best_total = 0.0;
+  std::size_t best = cluster[0];
+  for (std::size_t ci = 0; ci < m; ++ci) {
+    double total = 0.0;
+    for (std::size_t cj = 0; cj < m; ++cj) {
+      if (ci == cj) continue;
+      total += dist::normalized_edit_distance(streams[cluster[ci]],
+                                              streams[cluster[cj]]);
+      ++stats_.reduce.dp_computations;
+    }
+    if (ci == 0 || total < best_total) {
+      best_total = total;
+      best = cluster[ci];
+    }
+  }
+  return best;
+}
+
+ClusterSet PartitionedClusterer::run(
+    std::span<const std::vector<std::uint32_t>> streams,
+    std::span<const std::size_t> weights, Rng& rng) {
+  stats_ = PipelineStats{};
+  const std::size_t n = streams.size();
+  ClusterSet result;
+  if (n == 0) return result;
+
+  // ---- Partition (random assignment, as in the paper). ----
+  const std::size_t P = std::min(params_.partitions, n);
+  std::vector<std::vector<std::size_t>> partition(P);
+  for (std::size_t i = 0; i < n; ++i) {
+    partition[rng.index(P)].push_back(i);
+  }
+
+  // ---- Map: per-partition weighted DBSCAN on a thread pool. ----
+  const auto t_map = std::chrono::steady_clock::now();
+  std::vector<std::vector<std::vector<std::size_t>>> partition_clusters(P);
+  std::vector<std::vector<std::size_t>> partition_noise(P);
+  std::vector<DbscanStats> partition_stats(P);
+  {
+    ThreadPool pool(params_.threads);
+    pool.parallel_for(P, [&](std::size_t p) {
+      const auto& idx = partition[p];
+      if (idx.empty()) return;
+      std::vector<std::vector<std::uint32_t>> local;
+      std::vector<std::size_t> local_weights;
+      local.reserve(idx.size());
+      for (std::size_t i : idx) {
+        local.push_back(streams[i]);
+        local_weights.push_back(weights.empty() ? 1 : weights[i]);
+      }
+      TokenDbscan db(local, local_weights, params_.dbscan);
+      DbscanResult r = db.run();
+      partition_stats[p] = db.stats();
+      auto members = r.members();
+      for (auto& cluster : members) {
+        std::vector<std::size_t> global;
+        global.reserve(cluster.size());
+        for (std::size_t local_i : cluster) global.push_back(idx[local_i]);
+        partition_clusters[p].push_back(std::move(global));
+      }
+      for (std::size_t local_i = 0; local_i < idx.size(); ++local_i) {
+        if (r.label[local_i] == kNoise) {
+          partition_noise[p].push_back(idx[local_i]);
+        }
+      }
+    });
+  }
+  stats_.map_seconds = seconds_since(t_map);
+  for (const auto& s : partition_stats) {
+    stats_.map.pairs_considered += s.pairs_considered;
+    stats_.map.pairs_pruned_length += s.pairs_pruned_length;
+    stats_.map.pairs_pruned_histogram += s.pairs_pruned_histogram;
+    stats_.map.dp_computations += s.dp_computations;
+  }
+
+  // ---- Reduce: merge per-partition clusters via medoid distance. ----
+  const auto t_reduce = std::chrono::steady_clock::now();
+  std::vector<std::vector<std::size_t>> all_clusters;
+  for (auto& pc : partition_clusters) {
+    for (auto& c : pc) all_clusters.push_back(std::move(c));
+  }
+  stats_.clusters_before_merge = all_clusters.size();
+
+  std::vector<std::size_t> medoids(all_clusters.size());
+  for (std::size_t c = 0; c < all_clusters.size(); ++c) {
+    medoids[c] = medoid(streams, all_clusters[c]);
+  }
+  UnionFind uf(all_clusters.size());
+  for (std::size_t a = 0; a < all_clusters.size(); ++a) {
+    for (std::size_t b = a + 1; b < all_clusters.size(); ++b) {
+      ++stats_.reduce.pairs_considered;
+      const auto& sa = streams[medoids[a]];
+      const auto& sb = streams[medoids[b]];
+      const std::size_t longest = std::max(sa.size(), sb.size());
+      const auto limit = static_cast<std::size_t>(
+          params_.dbscan.eps * static_cast<double>(longest));
+      const std::size_t diff =
+          (sa.size() > sb.size()) ? sa.size() - sb.size() : sb.size() - sa.size();
+      if (diff > limit) {
+        ++stats_.reduce.pairs_pruned_length;
+        continue;
+      }
+      ++stats_.reduce.dp_computations;
+      if (dist::edit_distance_bounded(sa, sb, limit) <= limit) {
+        uf.unite(a, b);
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> merged(all_clusters.size());
+  for (std::size_t c = 0; c < all_clusters.size(); ++c) {
+    auto& target = merged[uf.find(c)];
+    target.insert(target.end(), all_clusters[c].begin(),
+                  all_clusters[c].end());
+  }
+  for (auto& c : merged) {
+    if (!c.empty()) result.clusters.push_back(std::move(c));
+  }
+  stats_.clusters_after_merge = result.clusters.size();
+  for (const auto& pn : partition_noise) {
+    result.noise.insert(result.noise.end(), pn.begin(), pn.end());
+  }
+  stats_.reduce_seconds = seconds_since(t_reduce);
+  return result;
+}
+
+}  // namespace kizzle::cluster

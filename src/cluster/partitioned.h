@@ -1,0 +1,63 @@
+// The distributed clustering pipeline of Fig 7.
+//
+// The paper's deployment randomly partitions the daily sample set across a
+// cluster of ~50 machines, runs DBSCAN per partition (map), and reconciles
+// the per-partition clusters in a final reduce step, which the authors
+// identify as the bottleneck. This module reproduces that dataflow on a
+// thread pool: partitions stand in for machines, and the reduce step merges
+// clusters whose medoids are within eps of each other.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "support/rng.h"
+
+namespace kizzle::cluster {
+
+struct PartitionedParams {
+  std::size_t partitions = 8;  // simulated machines (paper: 50)
+  std::size_t threads = 0;     // 0 = hardware concurrency
+  DbscanParams dbscan;
+};
+
+struct ClusterSet {
+  // Each cluster lists indices into the original stream array.
+  std::vector<std::vector<std::size_t>> clusters;
+  std::vector<std::size_t> noise;
+};
+
+struct PipelineStats {
+  DbscanStats map;            // aggregated across partitions
+  DbscanStats reduce;         // medoid-merge distance work
+  double map_seconds = 0.0;   // wall-clock of the parallel map phase
+  double reduce_seconds = 0.0;
+  std::size_t clusters_before_merge = 0;
+  std::size_t clusters_after_merge = 0;
+};
+
+class PartitionedClusterer {
+ public:
+  explicit PartitionedClusterer(PartitionedParams params);
+
+  // Clusters the streams; weights empty => all ones. The rng drives the
+  // random partitioning (paper: "randomly partition the samples across a
+  // cluster of machines").
+  ClusterSet run(std::span<const std::vector<std::uint32_t>> streams,
+                 std::span<const std::size_t> weights, Rng& rng);
+
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  // Medoid of a cluster: the member minimizing total normalized distance to
+  // the other members (exact for small clusters, sampled for large ones).
+  std::size_t medoid(std::span<const std::vector<std::uint32_t>> streams,
+                     const std::vector<std::size_t>& cluster);
+
+  PartitionedParams params_;
+  PipelineStats stats_;
+};
+
+}  // namespace kizzle::cluster

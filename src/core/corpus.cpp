@@ -1,0 +1,84 @@
+#include "core/corpus.h"
+
+#include <stdexcept>
+
+namespace kizzle::core {
+
+LabeledCorpus::LabeledCorpus(winnow::Params params, std::size_t max_per_family)
+    : params_(params), max_per_family_(max_per_family) {
+  if (max_per_family_ == 0) {
+    throw std::invalid_argument("LabeledCorpus: max_per_family == 0");
+  }
+}
+
+void LabeledCorpus::add_family(const std::string& family, double threshold) {
+  if (find(family) != nullptr) {
+    throw std::invalid_argument("LabeledCorpus: duplicate family " + family);
+  }
+  families_.push_back(Family{family, threshold, {}});
+}
+
+const LabeledCorpus::Family* LabeledCorpus::find(
+    const std::string& family) const {
+  for (const Family& f : families_) {
+    if (f.name == family) return &f;
+  }
+  return nullptr;
+}
+
+void LabeledCorpus::add_sample(const std::string& family,
+                               const std::string& text) {
+  for (Family& f : families_) {
+    if (f.name == family) {
+      f.entries.push_back(winnow::FingerprintSet::of_text(text, params_));
+      if (f.entries.size() > max_per_family_) f.entries.pop_front();
+      return;
+    }
+  }
+  throw std::invalid_argument("LabeledCorpus: unknown family " + family);
+}
+
+double LabeledCorpus::containment(const winnow::FingerprintSet& prototype,
+                                  const std::string& family) const {
+  const Family* f = find(family);
+  if (f == nullptr) {
+    throw std::invalid_argument("LabeledCorpus: unknown family " + family);
+  }
+  double best = 0.0;
+  for (const auto& entry : f->entries) {
+    best = std::max(best, prototype.containment(entry));
+  }
+  return best;
+}
+
+LabelScore LabeledCorpus::label(
+    const winnow::FingerprintSet& prototype) const {
+  LabelScore score;
+  double best_eligible = 0.0;
+  for (const Family& f : families_) {
+    double best = 0.0;
+    for (const auto& entry : f.entries) {
+      best = std::max(best, prototype.containment(entry));
+    }
+    score.overlap = std::max(score.overlap, best);
+    if (best >= f.threshold && best > best_eligible) {
+      best_eligible = best;
+      score.family = f.name;
+    }
+  }
+  return score;
+}
+
+std::vector<std::string> LabeledCorpus::families() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const Family& f : families_) out.push_back(f.name);
+  return out;
+}
+
+std::size_t LabeledCorpus::size(const std::string& family) const {
+  const Family* f = find(family);
+  return f == nullptr ? 0 : f->entries.size();
+}
+
+}  // namespace kizzle::core

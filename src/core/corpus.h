@@ -1,0 +1,60 @@
+// The labeled corpus of known unpacked malware (paper §III.B).
+//
+// Kizzle is seeded with unpacked samples of the kits it tracks; every
+// cluster prototype that labeling accepts is folded back in, so the corpus
+// follows each kit's drift. Entries are stored as winnow fingerprint sets;
+// labeling compares a prototype's fingerprints against every entry of
+// every family and takes the best containment.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "winnow/winnow.h"
+
+namespace kizzle::core {
+
+struct LabelScore {
+  std::string family;   // empty when nothing reaches its threshold
+  double overlap = 0.0; // best containment across all families
+};
+
+class LabeledCorpus {
+ public:
+  explicit LabeledCorpus(winnow::Params params = {}, std::size_t max_per_family = 40);
+
+  // Registers a family with its labeling threshold (thresholds are
+  // family-specific, §III.B).
+  void add_family(const std::string& family, double threshold);
+
+  // Adds a known unpacked sample for the family (normalized text).
+  // The per-family history is capped; oldest entries fall off.
+  void add_sample(const std::string& family, const std::string& text);
+
+  // Best-matching family whose containment threshold is met, together
+  // with the overall best overlap (even when below threshold).
+  LabelScore label(const winnow::FingerprintSet& prototype) const;
+
+  // Max containment of `prototype` against one family's entries.
+  double containment(const winnow::FingerprintSet& prototype,
+                     const std::string& family) const;
+
+  const winnow::Params& params() const { return params_; }
+  std::vector<std::string> families() const;
+  std::size_t size(const std::string& family) const;
+
+ private:
+  struct Family {
+    std::string name;
+    double threshold;
+    std::deque<winnow::FingerprintSet> entries;
+  };
+  const Family* find(const std::string& family) const;
+
+  winnow::Params params_;
+  std::size_t max_per_family_;
+  std::vector<Family> families_;
+};
+
+}  // namespace kizzle::core

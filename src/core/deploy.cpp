@@ -1,0 +1,122 @@
+#include "core/deploy.h"
+
+#include <stdexcept>
+
+#include "support/hash.h"
+#include "text/html.h"
+#include "text/normalize.h"
+
+namespace kizzle::core {
+
+SignatureBundle::SignatureBundle(
+    const std::vector<DeployedSignature>& signatures) {
+  infos_ = signatures;
+  compiled_.reserve(signatures.size());
+  for (const DeployedSignature& s : signatures) {
+    compiled_.push_back(match::Pattern::compile(s.pattern));
+  }
+}
+
+std::optional<std::size_t> SignatureBundle::match(
+    std::string_view normalized) const {
+  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+    if (compiled_[i].search(normalized).matched) return i;
+  }
+  return std::nullopt;
+}
+
+const DeployedSignature& SignatureBundle::info(std::size_t index) const {
+  if (index >= infos_.size()) {
+    throw std::out_of_range("SignatureBundle::info: bad index");
+  }
+  return infos_[index];
+}
+
+namespace {
+
+Verdict verdict_of(const SignatureBundle& bundle,
+                   std::string_view normalized) {
+  Verdict v;
+  if (const auto hit = bundle.match(normalized)) {
+    v.malicious = true;
+    v.signature = bundle.info(*hit).name;
+    v.family = bundle.info(*hit).family;
+  }
+  return v;
+}
+
+}  // namespace
+
+// ------------------------------- browser -------------------------------
+
+BrowserGate::BrowserGate(const SignatureBundle* bundle,
+                         std::size_t cache_capacity)
+    : bundle_(bundle), capacity_(cache_capacity) {
+  if (bundle_ == nullptr) {
+    throw std::invalid_argument("BrowserGate: null bundle");
+  }
+  if (capacity_ == 0) capacity_ = 1;
+}
+
+Verdict BrowserGate::check_script(std::string_view script_source) {
+  const std::uint64_t key = fnv1a64(script_source);
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits_;
+    // Refresh LRU position.
+    lru_.erase(it->second.position);
+    lru_.push_front(key);
+    it->second.position = lru_.begin();
+    return it->second.verdict;
+  }
+  ++cache_misses_;
+  const Verdict v = verdict_of(*bundle_, text::normalize_js(script_source));
+  lru_.push_front(key);
+  cache_.emplace(key, Entry{v, lru_.begin()});
+  if (cache_.size() > capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return v;
+}
+
+// ------------------------------- desktop -------------------------------
+
+DesktopScanner::DesktopScanner(const SignatureBundle* bundle)
+    : bundle_(bundle) {
+  if (bundle_ == nullptr) {
+    throw std::invalid_argument("DesktopScanner: null bundle");
+  }
+}
+
+Verdict DesktopScanner::scan_file(std::string_view content) const {
+  // Files on disk are arbitrary bytes (cached HTML, bare .js, fragments):
+  // raw AV normalization handles all of them, and signature construction
+  // guarantees raw-normalized script content is matchable (see
+  // text/normalize.h).
+  return verdict_of(*bundle_, text::normalize_raw(content));
+}
+
+// --------------------------------- CDN ---------------------------------
+
+CdnFilter::CdnFilter(const SignatureBundle* bundle) : bundle_(bundle) {
+  if (bundle_ == nullptr) {
+    throw std::invalid_argument("CdnFilter: null bundle");
+  }
+}
+
+CdnFilter::Report CdnFilter::filter(
+    std::span<const std::string> candidates) const {
+  Report report;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto hit = bundle_->match(text::normalize_raw(candidates[i]));
+    if (hit) {
+      report.rejected.push_back(i);
+      ++report.hits_per_signature[bundle_->info(*hit).name];
+    } else {
+      report.hostable.push_back(i);
+    }
+  }
+  return report;
+}
+
+}  // namespace kizzle::core

@@ -1,0 +1,118 @@
+// Deployment channels (paper §I.A).
+//
+// "We envision the possibilities of deploying Kizzle in a variety of
+//  settings: within a browser, client-side, to scan all or some of the
+//  incoming JavaScript code; on the desktop to scan files that are saved
+//  to the file system ...; lastly, server-side, for instance, a CDN
+//  administrator may decide which JavaScript files to host."
+//
+// All three channels consume the same deployed signature set; they differ
+// in what they scan and in their latency budget:
+//
+//   BrowserGate   per-script admission at execution time. Pages re-serve
+//                 the same scripts constantly, so verdicts are memoized on
+//                 a content-hash LRU — the common case must cost a hash
+//                 lookup, not a scan.
+//   DesktopScanner  scans whole files written to disk (browser caches);
+//                 file content is arbitrary, so raw normalization is used.
+//   CdnFilter     batch admission: partitions a candidate set into
+//                 hostable / rejected, with per-signature hit counts for
+//                 the administrator.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace kizzle::core {
+
+// A read-only view over a pipeline's deployed signatures, compiled once.
+// All deployment adapters share one SignatureBundle.
+class SignatureBundle {
+ public:
+  explicit SignatureBundle(const std::vector<DeployedSignature>& signatures);
+
+  // Index of the first matching signature, or nullopt.
+  std::optional<std::size_t> match(std::string_view normalized) const;
+
+  const DeployedSignature& info(std::size_t index) const;
+  std::size_t size() const { return infos_.size(); }
+
+ private:
+  std::vector<DeployedSignature> infos_;
+  std::vector<match::Pattern> compiled_;
+};
+
+struct Verdict {
+  bool malicious = false;
+  std::string signature;  // name of the matching signature when malicious
+  std::string family;
+};
+
+// ------------------------------- browser -------------------------------
+
+class BrowserGate {
+ public:
+  BrowserGate(const SignatureBundle* bundle, std::size_t cache_capacity = 512);
+
+  // Admission check for one inline script about to execute. Verdicts are
+  // memoized by content hash (LRU).
+  Verdict check_script(std::string_view script_source);
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  const SignatureBundle* bundle_;
+  std::size_t capacity_;
+  // hash -> (verdict, LRU position)
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    Verdict verdict;
+    std::list<std::uint64_t>::iterator position;
+  };
+  std::unordered_map<std::uint64_t, Entry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+// ------------------------------- desktop -------------------------------
+
+class DesktopScanner {
+ public:
+  explicit DesktopScanner(const SignatureBundle* bundle);
+
+  // Scans one file's content (any type; HTML gets script extraction,
+  // everything else raw normalization).
+  Verdict scan_file(std::string_view content) const;
+
+ private:
+  const SignatureBundle* bundle_;
+};
+
+// --------------------------------- CDN ---------------------------------
+
+class CdnFilter {
+ public:
+  explicit CdnFilter(const SignatureBundle* bundle);
+
+  struct Report {
+    std::vector<std::size_t> hostable;   // indices into the candidate list
+    std::vector<std::size_t> rejected;
+    std::unordered_map<std::string, std::size_t> hits_per_signature;
+  };
+
+  // Partitions candidate files for hosting.
+  Report filter(std::span<const std::string> candidates) const;
+
+ private:
+  const SignatureBundle* bundle_;
+};
+
+}  // namespace kizzle::core

@@ -1,0 +1,47 @@
+#include "core/hidden.h"
+
+#include "text/lexer.h"
+#include "text/normalize.h"
+#include "unpack/unpackers.h"
+
+namespace kizzle::core {
+
+HiddenSignatureEngine::HiddenSignatureEngine(sig::CompilerParams params)
+    : params_(params) {}
+
+bool HiddenSignatureEngine::learn(
+    const std::string& family,
+    std::span<const std::string> unpacked_payloads) {
+  if (unpacked_payloads.empty()) return false;
+  std::vector<std::vector<text::Token>> tokenized;
+  tokenized.reserve(unpacked_payloads.size());
+  for (const std::string& payload : unpacked_payloads) {
+    tokenized.push_back(text::lex(payload));
+  }
+  const sig::Signature signature = sig::compile_signature(tokenized, params_);
+  if (!signature.ok) return false;
+  HiddenSignature hs;
+  hs.family = family;
+  hs.name = "HS." + family + "." + std::to_string(++counter_);
+  hs.pattern = signature.pattern;
+  compiled_.push_back(match::Pattern::compile(hs.pattern));
+  sigs_.push_back(std::move(hs));
+  return true;
+}
+
+std::optional<std::string> HiddenSignatureEngine::scan_inner(
+    std::string_view inner_text) const {
+  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+    if (compiled_[i].search(inner_text).matched) return sigs_[i].family;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> HiddenSignatureEngine::scan_packed(
+    std::string_view script) const {
+  const auto unpacked = unpack::unpack_fixpoint(script);
+  if (!unpacked) return std::nullopt;
+  return scan_inner(text::normalize_js(unpacked->text));
+}
+
+}  // namespace kizzle::core

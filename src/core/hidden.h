@@ -1,0 +1,70 @@
+// Hidden server-side signatures — the second §V extension.
+//
+// "To counter such attacks, Kizzle can be extended to employ hidden
+//  signatures on the server side. Such signatures can either match on
+//  specific strings contained in the inner layer or even match on
+//  execution behavior. As they never leave the server, the adversary has
+//  no means of learning what they match on and, thus, is not able to
+//  circumvent detection."
+//
+// Client-side signatures match the *packed* sample and are visible to the
+// attacker (any deployed signature is an oracle, §I). Hidden signatures
+// are compiled from the family's *unpacked* payloads and evaluated only
+// server-side, after unpacking: a new packer — the attacker's cheapest
+// move — does not change what they match on. They are defeated only by
+// rewriting the inner core, which is exactly the work Kizzle exists to
+// force on the attacker.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "match/pattern.h"
+#include "sig/compiler.h"
+
+namespace kizzle::core {
+
+struct HiddenSignature {
+  std::string name;    // "HS.RIG.1"
+  std::string family;
+  std::string pattern;
+};
+
+class HiddenSignatureEngine {
+ public:
+  // `params` configures the signature compiler run over unpacked text;
+  // defaults use deployment slack.
+  explicit HiddenSignatureEngine(sig::CompilerParams params = [] {
+    sig::CompilerParams p;
+    p.length_slack = 0.15;
+    p.max_literal_run = 64;
+    return p;
+  }());
+
+  // Compiles a hidden signature for `family` from known unpacked payload
+  // texts (at least one; more samples widen the variable columns).
+  // Returns false when compilation fails (e.g. the payloads share no
+  // common window).
+  bool learn(const std::string& family,
+             std::span<const std::string> unpacked_payloads);
+
+  // Server-side scan of a packed script: unpack (multi-layer), then match
+  // the inner text. Returns the family of the first hit.
+  std::optional<std::string> scan_packed(std::string_view script) const;
+
+  // Matches already-unpacked (inner) text directly.
+  std::optional<std::string> scan_inner(std::string_view inner_text) const;
+
+  const std::vector<HiddenSignature>& signatures() const { return sigs_; }
+
+ private:
+  sig::CompilerParams params_;
+  std::vector<HiddenSignature> sigs_;
+  std::vector<match::Pattern> compiled_;
+  int counter_ = 0;
+};
+
+}  // namespace kizzle::core

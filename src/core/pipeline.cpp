@@ -1,0 +1,205 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "support/hash.h"
+#include "text/html.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+#include "unpack/unpackers.h"
+
+namespace kizzle::core {
+
+KizzlePipeline::KizzlePipeline(PipelineConfig cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      rng_(seed),
+      corpus_(cfg.winnow, cfg.corpus_max_per_family) {}
+
+void KizzlePipeline::seed_family(const std::string& family, double threshold,
+                                 const std::string& unpacked_payload) {
+  corpus_.add_family(family, threshold);
+  corpus_.add_sample(family, text::normalize_js(unpacked_payload));
+}
+
+std::optional<std::size_t> KizzlePipeline::scan(
+    std::string_view normalized_text) const {
+  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+    if (compiled_[i].search(normalized_text).matched) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> KizzlePipeline::scan_as_of(
+    std::string_view normalized_text, int day, bool include_same_day) const {
+  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+    const int issued = signatures_[i].issued_day;
+    if (issued > day || (issued == day && !include_same_day)) continue;
+    if (compiled_[i].search(normalized_text).matched) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t KizzlePipeline::cluster_medoid(
+    const std::vector<std::size_t>& members,
+    const std::vector<std::vector<std::uint32_t>>& streams) {
+  if (members.size() == 1) return members[0];
+  constexpr std::size_t kCap = 16;
+  const std::size_t m = std::min(members.size(), kCap);
+  std::size_t best = members[0];
+  double best_total = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      total += dist::normalized_edit_distance(streams[members[i]],
+                                              streams[members[j]]);
+    }
+    if (i == 0 || total < best_total) {
+      best_total = total;
+      best = members[i];
+    }
+  }
+  return best;
+}
+
+DayReport KizzlePipeline::process_day(
+    int day, const std::vector<std::string>& html_docs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DayReport report;
+  report.day = day;
+  report.n_samples = html_docs.size();
+
+  // ---- Tokenize and abstract every sample. ----
+  std::vector<SampleData> data(html_docs.size());
+  for (std::size_t i = 0; i < html_docs.size(); ++i) {
+    const std::string script = text::inline_script_text(html_docs[i]);
+    data[i].tokens = text::lex(script, text::LexOptions{.tolerant = true});
+    data[i].stream =
+        text::abstract_tokens(data[i].tokens, cfg_.abstraction, interner_);
+    data[i].normalized = sig::normalized_token_text(data[i].tokens);
+  }
+
+  // ---- Deduplicate identical abstract streams into weighted points. ----
+  std::unordered_map<std::uint64_t, std::size_t> by_hash;  // hash -> unique idx
+  std::vector<std::vector<std::uint32_t>> unique_streams;
+  std::vector<std::size_t> weights;
+  std::vector<std::vector<std::size_t>> members;  // unique idx -> sample idx
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t h = fnv1a64(std::span<const std::uint32_t>(data[i].stream));
+    auto it = by_hash.find(h);
+    // Hash collision guard: verify stream equality before merging.
+    if (it != by_hash.end() &&
+        unique_streams[it->second] == data[i].stream) {
+      ++weights[it->second];
+      members[it->second].push_back(i);
+    } else {
+      by_hash.emplace(h, unique_streams.size());
+      unique_streams.push_back(data[i].stream);
+      weights.push_back(1);
+      members.push_back({i});
+    }
+  }
+
+  // ---- Partitioned DBSCAN (Fig 7 map/reduce). ----
+  cluster::PartitionedParams pparams;
+  pparams.partitions = cfg_.partitions;
+  pparams.threads = cfg_.threads;
+  pparams.dbscan = cfg_.dbscan;
+  cluster::PartitionedClusterer clusterer(pparams);
+  const cluster::ClusterSet cs =
+      clusterer.run(unique_streams, weights, rng_);
+  report.cluster_stats = clusterer.stats();
+  report.n_clusters = cs.clusters.size();
+  for (std::size_t u : cs.noise) report.n_noise_samples += weights[u];
+
+  // ---- Label each cluster and issue signatures. ----
+  for (const auto& unique_members : cs.clusters) {
+    ClusterReport cr;
+    const std::size_t medoid_u = cluster_medoid(unique_members, unique_streams);
+    for (std::size_t u : unique_members) {
+      cr.samples.insert(cr.samples.end(), members[u].begin(),
+                        members[u].end());
+    }
+    // Prototype: the first sample carrying the medoid stream.
+    const std::size_t proto_sample = members[medoid_u].front();
+    const std::string proto_script =
+        text::inline_script_text(html_docs[proto_sample]);
+    auto unpacked = unpack::unpack_fixpoint(proto_script);
+    if (unpacked) {
+      cr.unpacked = true;
+      cr.unpacker = std::string(unpacked->unpacker);
+      cr.prototype_text = text::normalize_js(unpacked->text);
+    } else {
+      cr.prototype_text = text::normalize_js(proto_script);
+    }
+    const auto proto_fps =
+        winnow::FingerprintSet::of_text(cr.prototype_text, cfg_.winnow);
+    const LabelScore score = corpus_.label(proto_fps);
+    cr.overlap = score.overlap;
+    if (!score.family.empty()) {
+      cr.label = score.family;
+      corpus_.add_sample(score.family, cr.prototype_text);
+      process_cluster(day, data, cr);
+    }
+    report.clusters.push_back(std::move(cr));
+  }
+
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+void KizzlePipeline::process_cluster(int day,
+                                     const std::vector<SampleData>& data,
+                                     ClusterReport& cr) {
+  // Coverage check: do existing family signatures still match the
+  // cluster's samples?
+  std::size_t covered = 0;
+  for (std::size_t s : cr.samples) {
+    for (std::size_t i = 0; i < compiled_.size(); ++i) {
+      if (signatures_[i].family != cr.label) continue;
+      if (compiled_[i].search(data[s].normalized).matched) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const double coverage = cr.samples.empty()
+                              ? 1.0
+                              : static_cast<double>(covered) /
+                                    static_cast<double>(cr.samples.size());
+  cr.coverage = coverage;
+  if (coverage >= cfg_.coverage_threshold) return;
+
+  // Compile a new signature from (up to max_signature_samples of) the
+  // cluster's packed samples.
+  std::vector<std::vector<text::Token>> sample_tokens;
+  const std::size_t n =
+      std::min(cr.samples.size(), cfg_.max_signature_samples);
+  sample_tokens.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sample_tokens.push_back(data[cr.samples[i]].tokens);
+  }
+  const sig::Signature signature =
+      sig::compile_signature(sample_tokens, cfg_.signature);
+  if (!signature.ok) {
+    cr.signature_failure = signature.failure;
+    return;
+  }
+
+  DeployedSignature dep;
+  dep.name = "KZ." + cr.label + "." + std::to_string(++sig_counter_);
+  dep.family = cr.label;
+  dep.issued_day = day;
+  dep.pattern = signature.pattern;
+  dep.token_length = signature.token_length;
+  compiled_.push_back(match::Pattern::compile(signature.pattern));
+  signatures_.push_back(std::move(dep));
+  cr.issued_signature = true;
+  cr.signature_name = signatures_.back().name;
+}
+
+}  // namespace kizzle::core

@@ -1,0 +1,140 @@
+// The Kizzle driver (paper §III, Fig 7).
+//
+// "The main routine breaks the new samples into a set of clusters, labels
+//  each cluster either as benign or corresponding to a known kit, and if
+//  the cluster is malicious, generates a new signature for that cluster
+//  based on the samples in it."
+//
+// One KizzlePipeline instance runs the whole campaign: it is seeded once
+// with known unpacked kit payloads, then fed one day's sample batch at a
+// time. Signatures accumulate; a cluster only triggers a new signature
+// when the already-deployed signatures of its family no longer cover its
+// samples (this is what makes Fig 12 a staircase: one new signature per
+// packer change).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/partitioned.h"
+#include "core/corpus.h"
+#include "match/pattern.h"
+#include "sig/compiler.h"
+#include "support/interner.h"
+#include "support/rng.h"
+#include "text/abstraction.h"
+#include "winnow/winnow.h"
+
+namespace kizzle::core {
+
+struct PipelineConfig {
+  PipelineConfig() {
+    // Production settings (§V "Tuning the ML"): small daily clusters
+    // under-sample the kits' length randomization, so synthesized classes
+    // get slack, and multi-kilobyte encoded-payload literals are converted
+    // to classes so signatures survive payload churn.
+    signature.length_slack = 0.12;
+    signature.max_literal_run = 64;
+  }
+
+  cluster::DbscanParams dbscan{.eps = 0.10, .min_mass = 3};
+  std::size_t partitions = 8;  // simulated clustering machines
+  std::size_t threads = 0;     // 0 = hardware concurrency
+  winnow::Params winnow;
+  sig::CompilerParams signature;
+  text::Abstraction abstraction = text::Abstraction::KeywordsAndPunct;
+  // A new signature is issued only when existing family signatures match
+  // fewer than this fraction of the cluster's samples. Below 1.0 so that
+  // a lone per-sample variant or truncated capture does not force a
+  // re-issue every day.
+  double coverage_threshold = 0.90;
+  // Cap on the number of cluster samples fed to the signature compiler.
+  std::size_t max_signature_samples = 24;
+  std::size_t corpus_max_per_family = 40;
+};
+
+struct DeployedSignature {
+  std::string name;    // "KZ.Nuclear.3"
+  std::string family;
+  int issued_day = 0;
+  std::string pattern;  // regex source
+  std::size_t token_length = 0;
+};
+
+struct ClusterReport {
+  std::vector<std::size_t> samples;  // indices into the day's batch
+  std::string label;                 // empty = benign/unlabeled
+  double overlap = 0.0;              // winnow containment at labeling
+  bool unpacked = false;
+  std::string unpacker;              // which unpacker fired (if any)
+  std::string prototype_text;        // normalized unpacked prototype
+  bool issued_signature = false;
+  std::string signature_name;
+  std::string signature_failure;     // non-empty if compilation failed
+  double coverage = -1.0;  // fraction of samples existing signatures match
+                           // (malicious clusters only)
+};
+
+struct DayReport {
+  int day = 0;
+  std::size_t n_samples = 0;
+  std::size_t n_clusters = 0;
+  std::size_t n_noise_samples = 0;
+  std::vector<ClusterReport> clusters;
+  cluster::PipelineStats cluster_stats;
+  double seconds = 0.0;
+};
+
+class KizzlePipeline {
+ public:
+  KizzlePipeline(PipelineConfig cfg, std::uint64_t seed);
+
+  // Registers a kit family with its labeling threshold and seeds it with a
+  // known unpacked sample.
+  void seed_family(const std::string& family, double threshold,
+                   const std::string& unpacked_payload);
+
+  // Processes one day's batch of HTML documents (ascending days).
+  DayReport process_day(int day, const std::vector<std::string>& html_docs);
+
+  // All signatures deployed so far, in issue order.
+  const std::vector<DeployedSignature>& signatures() const {
+    return signatures_;
+  }
+
+  // Scans AV-normalized text against all deployed signatures; returns the
+  // index into signatures() of the first match.
+  std::optional<std::size_t> scan(std::string_view normalized_text) const;
+
+  // Scans against signatures issued strictly before `day` plus — with the
+  // caller's say — those issued on `day` (used by the evaluation harness
+  // to model same-day deployment latency).
+  std::optional<std::size_t> scan_as_of(std::string_view normalized_text,
+                                        int day, bool include_same_day) const;
+
+  const LabeledCorpus& corpus() const { return corpus_; }
+
+ private:
+  struct SampleData {
+    std::vector<text::Token> tokens;
+    std::vector<std::uint32_t> stream;
+    std::string normalized;  // normalized token text (scan target)
+  };
+
+  std::size_t cluster_medoid(const std::vector<std::size_t>& unique_members,
+                             const std::vector<std::vector<std::uint32_t>>& streams);
+  void process_cluster(int day, const std::vector<SampleData>& data,
+                       ClusterReport& report);
+
+  PipelineConfig cfg_;
+  Rng rng_;
+  Interner interner_;
+  LabeledCorpus corpus_;
+  std::vector<DeployedSignature> signatures_;
+  std::vector<match::Pattern> compiled_;
+  int sig_counter_ = 0;
+};
+
+}  // namespace kizzle::core

@@ -1,0 +1,82 @@
+#include "core/sigdb.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "match/pattern.h"
+#include "support/strings.h"
+
+namespace kizzle::core {
+
+namespace {
+constexpr std::string_view kHeader = "# kizzle-signatures v1";
+}
+
+void save_signatures(std::ostream& os,
+                     const std::vector<DeployedSignature>& signatures) {
+  os << kHeader << '\n';
+  for (const DeployedSignature& s : signatures) {
+    if (s.name.find_first_of("\t\n") != std::string::npos ||
+        s.family.find_first_of("\t\n") != std::string::npos ||
+        s.pattern.find_first_of("\t\n") != std::string::npos) {
+      throw std::invalid_argument(
+          "save_signatures: field contains tab/newline: " + s.name);
+    }
+    os << s.name << '\t' << s.family << '\t' << s.issued_day << '\t'
+       << s.token_length << '\t' << s.pattern << '\n';
+  }
+}
+
+std::string save_signatures(
+    const std::vector<DeployedSignature>& signatures) {
+  std::ostringstream os;
+  save_signatures(os, signatures);
+  return os.str();
+}
+
+std::vector<DeployedSignature> load_signatures(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || trim(line) != kHeader) {
+    throw std::runtime_error("load_signatures: missing or bad header");
+  }
+  std::vector<DeployedSignature> out;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, "\t");
+    if (fields.size() != 5) {
+      throw std::runtime_error("load_signatures: line " +
+                               std::to_string(line_no) + ": expected 5 "
+                               "tab-separated fields, got " +
+                               std::to_string(fields.size()));
+    }
+    DeployedSignature s;
+    s.name = fields[0];
+    s.family = fields[1];
+    try {
+      s.issued_day = std::stoi(fields[2]);
+      s.token_length = std::stoul(fields[3]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_signatures: line " +
+                               std::to_string(line_no) + ": bad number");
+    }
+    s.pattern = fields[4];
+    try {
+      match::Pattern::compile(s.pattern);
+    } catch (const match::PatternError& e) {
+      throw std::runtime_error("load_signatures: line " +
+                               std::to_string(line_no) +
+                               ": pattern does not compile: " + e.what());
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<DeployedSignature> load_signatures(const std::string& content) {
+  std::istringstream is(content);
+  return load_signatures(is);
+}
+
+}  // namespace kizzle::core

@@ -1,0 +1,34 @@
+// Signature database serialization.
+//
+// The deployable artifact of a Kizzle run is its signature set; AV
+// distribution channels ship such sets as versioned database files
+// (paper §I.A: "AV signatures enjoy a well-established deployment channel
+// with frequent, automatic updates"). The format is a line-oriented,
+// diff-friendly text file:
+//
+//   # kizzle-signatures v1
+//   <name> \t <family> \t <issued_day> \t <token_length> \t <pattern>
+//
+// Patterns contain no tabs or newlines by construction (they are compiled
+// from normalized text, which strips whitespace).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace kizzle::core {
+
+// Serializes a signature set. Deterministic output.
+std::string save_signatures(const std::vector<DeployedSignature>& signatures);
+void save_signatures(std::ostream& os,
+                     const std::vector<DeployedSignature>& signatures);
+
+// Parses a database back. Throws std::runtime_error on malformed input
+// (bad header, wrong field count, patterns that fail to compile).
+std::vector<DeployedSignature> load_signatures(const std::string& content);
+std::vector<DeployedSignature> load_signatures(std::istream& is);
+
+}  // namespace kizzle::core

@@ -1,0 +1,127 @@
+#include "distance/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace kizzle::dist {
+
+std::size_t edit_distance(std::span<const Sym> a, std::span<const Sym> b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  std::vector<std::size_t> row(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) row[i] = i;
+  for (std::size_t j = 1; j <= m; ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+    }
+  }
+  return row[n];
+}
+
+std::size_t edit_distance_bounded(std::span<const Sym> a,
+                                  std::span<const Sym> b, std::size_t limit) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (m - n > limit) return limit + 1;
+  if (n == 0) return m;  // m <= limit here
+  // Band of half-width `limit` around the diagonal. Cells outside the band
+  // are treated as infinity.
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  std::vector<std::size_t> row(n + 1, kInf);
+  for (std::size_t i = 0; i <= std::min(n, limit); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= m; ++j) {
+    // Band in row-coordinates: i in [j - limit, j + limit], clamped.
+    const std::size_t lo = (j > limit) ? j - limit : 0;
+    const std::size_t hi = std::min(n, j + limit);
+    if (lo > n) return limit + 1;
+    std::size_t prev_diag = (lo == 0) ? (j - 1) : row[lo - 1];
+    std::size_t row_min = kInf;
+    if (lo == 0) {
+      row[0] = j;
+      row_min = j;
+    }
+    // Cell just left of the band must not leak stale values.
+    if (lo >= 1) row[lo - 1] = kInf;
+    for (std::size_t i = std::max<std::size_t>(lo, 1); i <= hi; ++i) {
+      const std::size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      const std::size_t del = (row[i] == kInf) ? kInf : row[i] + 1;
+      const std::size_t ins = (row[i - 1] == kInf) ? kInf : row[i - 1] + 1;
+      row[i] = std::min({del, ins, sub});
+      row_min = std::min(row_min, row[i]);
+    }
+    if (hi < n) row[hi + 1] = kInf;  // right edge of the band
+    if (row_min > limit) return limit + 1;
+  }
+  return std::min(row[n], limit + 1);
+}
+
+double normalized_edit_distance(std::span<const Sym> a,
+                                std::span<const Sym> b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(edit_distance(a, b)) /
+         static_cast<double>(longest);
+}
+
+bool within_normalized(std::span<const Sym> a, std::span<const Sym> b,
+                       double eps) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return true;
+  if (eps < 0.0) return false;
+  const auto limit =
+      static_cast<std::size_t>(eps * static_cast<double>(longest));
+  return edit_distance_bounded(a, b, limit) <= limit;
+}
+
+SymbolHistogram SymbolHistogram::of(std::span<const Sym> stream) {
+  SymbolHistogram h;
+  h.total_ = stream.size();
+  std::vector<Sym> sorted(stream.begin(), stream.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    h.counts_.emplace_back(sorted[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  return h;
+}
+
+std::size_t SymbolHistogram::l1_distance(const SymbolHistogram& other) const {
+  std::size_t l1 = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < counts_.size() && j < other.counts_.size()) {
+    if (counts_[i].first < other.counts_[j].first) {
+      l1 += counts_[i++].second;
+    } else if (counts_[i].first > other.counts_[j].first) {
+      l1 += other.counts_[j++].second;
+    } else {
+      const auto a = counts_[i++].second;
+      const auto b = other.counts_[j++].second;
+      l1 += (a > b) ? a - b : b - a;
+    }
+  }
+  for (; i < counts_.size(); ++i) l1 += counts_[i].second;
+  for (; j < other.counts_.size(); ++j) l1 += other.counts_[j].second;
+  return l1;
+}
+
+std::size_t edit_distance_lower_bound(const SymbolHistogram& ha,
+                                      const SymbolHistogram& hb,
+                                      std::size_t len_a, std::size_t len_b) {
+  const std::size_t len_diff = (len_a > len_b) ? len_a - len_b : len_b - len_a;
+  const std::size_t hist = (ha.l1_distance(hb) + 1) / 2;
+  return std::max(len_diff, hist);
+}
+
+}  // namespace kizzle::dist

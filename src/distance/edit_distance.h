@@ -1,0 +1,64 @@
+// Edit distance over interned token streams (paper §III.A).
+//
+// DBSCAN clusters samples "using the edit distance between token strings as
+// a means of determining the distance between any two samples", with a
+// normalized threshold of 0.10. Computing full Levenshtein for every pair
+// is infeasible at stream scale, so three layers keep it cheap:
+//
+//   1. length bound:     lev(a,b) >= | |a| - |b| |
+//   2. histogram bound:  lev(a,b) >= ceil(L1(hist_a, hist_b) / 2)
+//   3. banded DP:        Ukkonen's O(|a| * limit) algorithm that abandons
+//                        the computation once the distance provably
+//                        exceeds the threshold.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kizzle::dist {
+
+using Sym = std::uint32_t;
+
+// Exact Levenshtein distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(std::span<const Sym> a, std::span<const Sym> b);
+
+// Threshold-limited distance: returns the exact distance when it is
+// <= limit, and exactly limit + 1 when the true distance exceeds limit.
+// Runs in O(min(|a|,|b|) * limit).
+std::size_t edit_distance_bounded(std::span<const Sym> a,
+                                  std::span<const Sym> b, std::size_t limit);
+
+// Distance normalized by max(|a|, |b|); 0.0 when both are empty.
+double normalized_edit_distance(std::span<const Sym> a,
+                                std::span<const Sym> b);
+
+// True iff normalized_edit_distance(a, b) <= eps, computed with the banded
+// algorithm (cheap for the common reject case).
+bool within_normalized(std::span<const Sym> a, std::span<const Sym> b,
+                       double eps);
+
+// Sparse symbol histogram used as a pre-filter before the DP.
+class SymbolHistogram {
+ public:
+  SymbolHistogram() = default;
+  static SymbolHistogram of(std::span<const Sym> stream);
+
+  std::size_t total() const { return total_; }
+
+  // L1 distance between the two count vectors.
+  std::size_t l1_distance(const SymbolHistogram& other) const;
+
+ private:
+  std::vector<std::pair<Sym, std::uint32_t>> counts_;  // sorted by symbol
+  std::size_t total_ = 0;
+};
+
+// A cheap lower bound on lev(a, b) given the precomputed histograms:
+//   max(| |a|-|b| |, ceil(L1 / 2)).
+// Every edit operation changes the histogram L1 by at most 2.
+std::size_t edit_distance_lower_bound(const SymbolHistogram& ha,
+                                      const SymbolHistogram& hb,
+                                      std::size_t len_a, std::size_t len_b);
+
+}  // namespace kizzle::dist

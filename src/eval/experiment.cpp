@@ -1,0 +1,202 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <string>
+
+#include "text/normalize.h"
+
+namespace kizzle::eval {
+
+namespace {
+
+double rate(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::size_t family_index_of_truth(kitgen::Truth t) {
+  switch (t) {
+    case kitgen::Truth::Nuclear:
+      return kitgen::family_index(kitgen::KitFamily::Nuclear);
+    case kitgen::Truth::SweetOrange:
+      return kitgen::family_index(kitgen::KitFamily::SweetOrange);
+    case kitgen::Truth::Angler:
+      return kitgen::family_index(kitgen::KitFamily::Angler);
+    case kitgen::Truth::Rig:
+      return kitgen::family_index(kitgen::KitFamily::Rig);
+    case kitgen::Truth::Benign:
+      break;
+  }
+  return SIZE_MAX;
+}
+
+std::size_t family_index_of_name(std::string_view name) {
+  for (std::size_t i = 0; i < kitgen::kNumFamilies; ++i) {
+    if (name == kitgen::family_name(kitgen::family_from_index(i))) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+double DayMetrics::kizzle_fp_rate() const { return rate(kizzle_fp, n_benign); }
+double DayMetrics::kizzle_fn_rate() const {
+  return rate(kizzle_fn, n_malicious);
+}
+double DayMetrics::av_fp_rate() const { return rate(av_fp, n_benign); }
+double DayMetrics::av_fn_rate() const { return rate(av_fn, n_malicious); }
+
+FamilyTotals ExperimentResult::sum() const {
+  FamilyTotals out;
+  for (const FamilyTotals& f : totals) {
+    out.ground_truth += f.ground_truth;
+    out.kizzle_fp += f.kizzle_fp;
+    out.kizzle_fn += f.kizzle_fn;
+    out.av_fp += f.av_fp;
+    out.av_fn += f.av_fn;
+  }
+  return out;
+}
+
+double family_threshold(const ExperimentConfig& cfg, kitgen::KitFamily f) {
+  switch (f) {
+    case kitgen::KitFamily::Nuclear: return cfg.threshold_nuclear;
+    case kitgen::KitFamily::SweetOrange: return cfg.threshold_sweet_orange;
+    case kitgen::KitFamily::Angler: return cfg.threshold_angler;
+    case kitgen::KitFamily::Rig: return cfg.threshold_rig;
+  }
+  return 0.7;
+}
+
+MonthlyExperiment::MonthlyExperiment(ExperimentConfig cfg) : cfg_(cfg) {}
+
+ExperimentResult MonthlyExperiment::run() {
+  ExperimentResult result;
+  Rng rng(cfg_.seed);
+
+  const int metrics_start = cfg_.stream.start_day;
+  kitgen::StreamConfig stream_cfg = cfg_.stream;
+  stream_cfg.start_day -= std::max(0, cfg_.warmup_days);
+  kitgen::StreamSimulator stream(stream_cfg);
+  core::KizzlePipeline pipeline(cfg_.pipeline, rng.fork().next());
+  for (const auto& [family, payload] : stream.seed_corpus()) {
+    pipeline.seed_family(std::string(kitgen::family_name(family)),
+                         family_threshold(cfg_, family), payload);
+  }
+  av::ManualAvEngine av_engine;
+  av::Analyst analyst(cfg_.analyst);
+  analyst.install_initial_signatures(stream, av_engine);
+
+  // Fig 11 state: per-family history of daily centroid fingerprints.
+  std::vector<winnow::FingerprintSet> history[kitgen::kNumFamilies];
+
+  for (int day = stream_cfg.start_day; day <= stream_cfg.end_day; ++day) {
+    kitgen::DailyBatch batch = stream.generate_day(day);
+    analyst.observe_day(day, stream, av_engine);
+
+    std::vector<std::string> htmls;
+    htmls.reserve(batch.samples.size());
+    for (const kitgen::Sample& s : batch.samples) htmls.push_back(s.html);
+    const core::DayReport report = pipeline.process_day(day, htmls);
+    if (day < metrics_start) continue;  // warm-up: run, but do not score
+
+    DayMetrics metrics;
+    metrics.day = day;
+    metrics.n_benign = batch.benign_count;
+    metrics.n_malicious = batch.malicious_count;
+    metrics.clusters = report.n_clusters;
+    metrics.noise_samples = report.n_noise_samples;
+    metrics.pipeline_seconds = report.seconds;
+
+    // ---- Scan every sample with both engines. ----
+    for (const kitgen::Sample& s : batch.samples) {
+      const std::string normalized = text::normalize_raw(s.html);
+
+      // Kizzle: fully-deployed signatures first, then same-day issues with
+      // deployment-latency loss.
+      std::optional<std::size_t> kz =
+          pipeline.scan_as_of(normalized, day - 1, true);
+      if (!kz) {
+        auto today = pipeline.scan_as_of(normalized, day, true);
+        if (today && rng.chance(cfg_.same_day_catch)) kz = today;
+      }
+      const auto av_hit = av_engine.match(day, normalized);
+
+      const std::size_t truth_idx = family_index_of_truth(s.truth);
+      if (s.truth == kitgen::Truth::Benign) {
+        if (kz) {
+          ++metrics.kizzle_fp;
+          const std::size_t fi =
+              family_index_of_name(pipeline.signatures()[*kz].family);
+          if (fi != SIZE_MAX) ++metrics.family[fi].kizzle_fp;
+        }
+        if (av_hit) {
+          ++metrics.av_fp;
+          ++metrics.family[kitgen::family_index(av_hit->family)].av_fp;
+        }
+      } else {
+        ++metrics.family[truth_idx].total;
+        if (!kz) {
+          ++metrics.kizzle_fn;
+          ++metrics.family[truth_idx].kizzle_fn;
+        }
+        if (!av_hit) {
+          ++metrics.av_fn;
+          ++metrics.family[truth_idx].av_fn;
+        }
+      }
+    }
+
+    // ---- Fig 11: similarity of today's centroids to all prior days. ----
+    // Paper §IV: "We measure the overlap between the unpacked centroids of
+    // malicious clusters on each day with centroids of the clusters of all
+    // previous days based on winnowing and report the maximum overlap."
+    for (std::size_t fi = 0; fi < kitgen::kNumFamilies; ++fi) {
+      const auto family_str =
+          std::string(kitgen::family_name(kitgen::family_from_index(fi)));
+      std::vector<winnow::FingerprintSet> today;
+      double sim = -1.0;
+      for (const core::ClusterReport& cr : report.clusters) {
+        if (cr.label != family_str) continue;
+        auto fps = winnow::FingerprintSet::of_text(cr.prototype_text,
+                                                   cfg_.pipeline.winnow);
+        for (const auto& prev : history[fi]) {
+          sim = std::max(sim, fps.containment(prev));
+        }
+        today.push_back(std::move(fps));
+      }
+      if (today.empty()) continue;
+      metrics.family[fi].similarity = sim;  // -1 on the family's first day
+      for (auto& fps : today) history[fi].push_back(std::move(fps));
+    }
+
+    // ---- Fig 12: latest deployed Kizzle signature length per family. ----
+    for (const core::DeployedSignature& s : pipeline.signatures()) {
+      if (s.issued_day > day) continue;
+      const std::size_t fi = family_index_of_name(s.family);
+      if (fi != SIZE_MAX) {
+        metrics.family[fi].sig_length = s.pattern.size();
+      }
+    }
+
+    if (on_day) on_day(metrics);
+    result.days.push_back(metrics);
+  }
+
+  // ---- Totals (Fig 14). ----
+  for (const DayMetrics& m : result.days) {
+    result.total_benign += m.n_benign;
+    result.total_malicious += m.n_malicious;
+    for (std::size_t fi = 0; fi < kitgen::kNumFamilies; ++fi) {
+      result.totals[fi].ground_truth += m.family[fi].total;
+      result.totals[fi].kizzle_fp += m.family[fi].kizzle_fp;
+      result.totals[fi].kizzle_fn += m.family[fi].kizzle_fn;
+      result.totals[fi].av_fp += m.family[fi].av_fp;
+      result.totals[fi].av_fn += m.family[fi].av_fn;
+    }
+  }
+  result.kizzle_signatures = pipeline.signatures();
+  result.av_releases = av_engine.releases();
+  return result;
+}
+
+}  // namespace kizzle::eval

@@ -1,0 +1,152 @@
+#include "kitgen/benign.h"
+
+#include "kitgen/families.h"
+#include "kitgen/payload.h"
+#include "support/hash.h"
+#include "support/strings.h"
+
+namespace kizzle::kitgen {
+
+namespace {
+
+// ------------------------- benign JS grammar -------------------------
+//
+// Each construct template is instantiated with deterministic identifiers
+// and constants drawn from the family's Rng. The output is plausible
+// "site code": utilities, config objects, DOM glue, tracking calls.
+
+std::string pick_ident(Rng& rng) {
+  static const std::vector<std::string> kStems = {
+      "init",   "load",   "track",  "render", "update", "bind",  "show",
+      "hide",   "format", "parse",  "cache",  "queue",  "sync",  "emit",
+      "toggle", "config", "widget", "panel",  "menu",   "slider"};
+  std::string s = kStems[rng.index(kStems.size())];
+  s += rng.identifier(2, 5);
+  return s;
+}
+
+std::string construct(Rng& rng) {
+  const std::size_t kind = rng.index(9);
+  const std::string a = pick_ident(rng);
+  const std::string b = pick_ident(rng);
+  const std::string c = pick_ident(rng);
+  const std::string n1 = std::to_string(rng.uniform(2, 64));
+  const std::string n2 = std::to_string(rng.uniform(100, 4000));
+  switch (kind) {
+    case 0:
+      return "function " + a + "(e){var t=e||window.event;var s=t.target||"
+             "t.srcElement;if(s&&s.className){s.className=s.className."
+             "replace(\"active\",\"\")}return false}\n";
+    case 1:
+      return "var " + a + "={delay:" + n2 + ",retries:" + n1 +
+             ",endpoint:\"/api/v2/" + b + "\",enabled:true,debug:false};\n";
+    case 2:
+      return "function " + a + "(n){var r=[];for(var i=0;i<n;i++){r.push(i*" +
+             n1 + ")}return r.join(\",\")}\n";
+    case 3:
+      return "function " + a + "(){var d=document.getElementById(\"" + b +
+             "\");if(d){d.style.display=\"block\";d.setAttribute(\"data-" +
+             c + "\",\"" + n2 + "\")}}\n";
+    case 4:
+      return "var " + a + "=function(u){var img=new Image(1,1);img.src=u+"
+             "\"?t=\"+(new Date().getTime());return img};\n";
+    case 5:
+      return "function " + a + "(s){return s.replace(/^\\s+|\\s+$/g,\"\")"
+             ".toLowerCase().split(\" \").slice(0," + n1 + ").join(\"-\")}\n";
+    case 6:
+      return "if(typeof window." + a + "==\"undefined\"){window." + a +
+             "={version:\"" + n1 + "." + std::to_string(rng.uniform(0, 9)) +
+             "\",queue:[],push:function(x){this.queue.push(x)}}}\n";
+    case 7:
+      // The single most common JavaScript idiom on the 2014 web — and the
+      // reason degenerate (too short / too generic) structural signatures
+      // are dangerous: see bench_adversarial.
+      return "function " + a + "(list){var out=[];for(var i=0;i<list."
+             "length-1;i++){out.push(list[i]*" + n1 +
+             ")}return out.join(\"|\")}\n";
+    default:
+      return "function " + a + "(cb){if(document.addEventListener){document."
+             "addEventListener(\"DOMContentLoaded\",cb,false)}else{window."
+             "attachEvent(\"onload\",cb)}}\n" + a + "(function(){if(window." +
+             b + "){window." + b + ".queue=[]}});\n";
+  }
+}
+
+}  // namespace
+
+BenignCorpus::BenignCorpus(std::uint64_t seed, std::size_t pool_size)
+    : seed_(seed), pool_size_(pool_size) {}
+
+std::string BenignCorpus::family_script(std::size_t family_id, int day) const {
+  // Version drifts slowly; the drift period and phase depend on the family
+  // so version bumps are spread over the month.
+  const std::uint64_t period = 14 + family_id % 10;
+  const std::uint64_t version =
+      (static_cast<std::uint64_t>(day) + family_id * 7) / period;
+  Rng rng(hash_combine(seed_, hash_combine(family_id, version)));
+  const std::size_t n = 3 + rng.index(6);
+  std::string out;
+  out.reserve(2048);
+  for (std::size_t i = 0; i < n; ++i) out += construct(rng);
+  return out;
+}
+
+std::string BenignCorpus::family_html(std::size_t family_id, int day,
+                                      Rng& rng) const {
+  return wrap_html("", family_script(family_id, day), rng);
+}
+
+std::string BenignCorpus::plugindetect_script(int day) const {
+  // Library minor versions roll every ~12 days.
+  return plugindetect_library_text(1 + day / 12);
+}
+
+std::string BenignCorpus::plugindetect_html(int day, Rng& rng) const {
+  return wrap_html("", plugindetect_script(day), rng);
+}
+
+std::string BenignCorpus::adloader_script(int day) const {
+  // The loader embeds the same public plugin-prober snippet RIG's payload
+  // uses (identical identifiers — both copied it from the same source),
+  // plus an ad-zone tail whose URL count varies day to day. The varying
+  // tail makes the winnow containment against RIG's corpus wobble around
+  // RIG's labeling threshold.
+  Rng rng(hash_combine(seed_, 0xAD10ADull + static_cast<std::uint64_t>(day)));
+  std::string out = compact_detector_text("rg");
+  const std::size_t n_zones = 1 + rng.index(4);
+  out += "var adzones=[";
+  for (std::size_t i = 0; i < n_zones; ++i) {
+    if (i) out.push_back(',');
+    out += "\"" + make_landing_url(rng) + "\"";
+  }
+  out += "];\n";
+  out += "function adshow(z){if(!PDVER.flash){return}var s=document."
+         "createElement(\"script\");s.src=adzones[z%adzones.length]+"
+         "\"?fmt=js\";document.body.appendChild(s)}\n";
+  out += "adshow(" + std::to_string(rng.uniform(0, 7)) + ");\n";
+  return out;
+}
+
+std::string BenignCorpus::adloader_html(int day, Rng& rng) const {
+  return wrap_html("", adloader_script(day), rng);
+}
+
+std::string BenignCorpus::edpacker_html(Rng& rng) const {
+  // A legitimate packer's output: escaped blob plus a bracket-eval
+  // trigger. The "[ev+al](" idiom in AV-normalized text is what the
+  // generic manual Angler signature also matches (AV false positives).
+  std::string blob;
+  const std::size_t n = 40 + rng.index(120);
+  for (std::size_t i = 0; i < n; ++i) {
+    blob += "%" + rng.string_over("0123456789abcdef", 2);
+  }
+  const std::string pvar = rng.identifier(3, 6);
+  const std::string wvar = rng.identifier(3, 6);
+  std::string script;
+  script += "var " + pvar + "=\"" + blob + "\";\n";
+  script += "var " + wvar + "=window;\n";
+  script += wvar + "[\"ev\"+\"al\"](unescape(" + pvar + "));\n";
+  return wrap_html("", script, rng);
+}
+
+}  // namespace kizzle::kitgen

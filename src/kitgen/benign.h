@@ -1,0 +1,61 @@
+// The benign side of the grayware stream.
+//
+// The paper's telemetry captured pages performing "potentially suspicious"
+// operations (ActiveX loads), so the stream is mostly benign code falling
+// into "a relatively small number of frequently observed clusters"
+// (280-1,200 clusters/day, §IV). We model that with:
+//
+//   - a pool of deterministic benign script families (library snippets,
+//     ad/analytics tags, site code) generated from a small JS grammar;
+//     each family's body is stable day over day (with slow version
+//     drift), so families dedup into single weighted points;
+//   - three engineered families reproducing specific paper phenomena:
+//       PluginDetect  the public plugin-detection library whose core is
+//                     also inside Nuclear's payload; its clusters winnow-
+//                     overlap Nuclear ~79% and become Kizzle's Nuclear
+//                     false positives (Fig 15, Fig 14);
+//       AdLoader      an ad-delivery loader embedding the same public
+//                     plugin-prober snippet RIG uses, occasionally crossing
+//                     RIG's (low) labeling threshold — Kizzle's RIG false
+//                     positives (Fig 14);
+//       EdPacker      a legitimate JS-packer output whose bracket-eval
+//                     trigger collides with the generic manual Angler
+//                     signature — the AV baseline's false positives
+//                     (Fig 14: AV FP is dominated by Angler).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.h"
+
+namespace kizzle::kitgen {
+
+class BenignCorpus {
+ public:
+  explicit BenignCorpus(std::uint64_t seed, std::size_t pool_size = 1500);
+
+  std::size_t pool_size() const { return pool_size_; }
+
+  // Body script of benign family `family_id` on `day`. Deterministic;
+  // drifts to a new minor version every ~2-3 weeks (family-dependent).
+  std::string family_script(std::size_t family_id, int day) const;
+
+  // Full HTML documents. `rng` randomizes only presentation noise (title),
+  // never the script body.
+  std::string family_html(std::size_t family_id, int day, Rng& rng) const;
+  std::string plugindetect_html(int day, Rng& rng) const;
+  std::string adloader_html(int day, Rng& rng) const;
+  std::string edpacker_html(Rng& rng) const;
+
+  // Script bodies of the engineered families (exposed for tests and the
+  // Fig 15 anatomy bench).
+  std::string plugindetect_script(int day) const;
+  std::string adloader_script(int day) const;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t pool_size_;
+};
+
+}  // namespace kizzle::kitgen

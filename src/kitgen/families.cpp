@@ -1,0 +1,460 @@
+#include "kitgen/families.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace kizzle::kitgen {
+
+// ------------------------------------------------------------- helpers --
+
+std::string make_landing_url(Rng& rng) {
+  static const std::vector<std::string> kTlds = {"biz", "info", "net", "org",
+                                                 "in", "ru", "pw", "eu"};
+  static const std::vector<std::string> kWords = {
+      "cdn",  "static", "media", "gate",  "click", "count",
+      "serv", "node",   "edge",  "track", "img",   "api"};
+  std::string url = "http://";
+  url += rng.identifier(4, 9);
+  url += ".";
+  url += rng.pick(kWords) + "-" + rng.identifier(3, 6);
+  url += ".";
+  url += rng.pick(kTlds);
+  url += "/";
+  url += rng.pick(kWords);
+  return to_lower(url);
+}
+
+std::string wrap_html(const std::string& extra_body_html,
+                      const std::string& script_text, Rng& rng) {
+  std::string out;
+  out.reserve(script_text.size() + extra_body_html.size() + 512);
+  out += "<html><head><title>";
+  out += rng.identifier(4, 10);
+  out += "</title></head>\n<body>\n";
+  out += extra_body_html;
+  out += "<script type=\"text/javascript\">\n";
+  out += script_text;
+  out += "</script>\n</body></html>\n";
+  return out;
+}
+
+KitGenerator::KitGenerator(KitFamily f, std::uint64_t seed)
+    : family_(f), rng_(seed) {}
+
+void KitGenerator::begin_day(int day) {
+  if (day < day_) {
+    throw std::invalid_argument("KitGenerator::begin_day: days must ascend");
+  }
+  while (day_ < day) {
+    ++day_;
+    for (const KitEvent& e : august_schedule()) {
+      if (e.day == day_ && e.family == family_) {
+        apply_event(e);
+      }
+    }
+    new_day();
+  }
+}
+
+double KitGenerator::fraction_new() const {
+  const int delta = day_ - transition_day_;
+  double ramp;
+  if (delta < 0) {
+    ramp = 0.0;
+  } else if (delta == 0) {
+    ramp = 0.35;
+  } else if (delta == 1) {
+    ramp = 0.70;
+  } else {
+    ramp = 1.0;
+  }
+  return std::min(ramp, adoption_cap_);
+}
+
+bool KitGenerator::use_new_version(Rng& rng) const {
+  return rng.chance(fraction_new());
+}
+
+namespace {
+
+// ------------------------------------------------------------- Nuclear --
+
+class NuclearGen final : public KitGenerator {
+ public:
+  explicit NuclearGen(std::uint64_t seed)
+      : KitGenerator(KitFamily::Nuclear, seed) {
+    // State as of August 1st: the 7/20 packer version of Fig 5
+    // ("e3fwrwg4#"), AV detection present since 7/29.
+    cur_.strip = "3fwrwg4";
+    cur_.mode = ObfuscationMode::InsertOnce;
+    prev_ = cur_;
+    urls_ = {make_landing_url(rng_), make_landing_url(rng_)};
+    minor_variant_p_ = 0.05;
+  }
+
+  std::string sample_html(Rng& rng) override {
+    const bool newv = use_new_version(rng);
+    NuclearPackerState st = newv ? cur_ : prev_;
+    if (rng.chance(minor_variant_p_)) {
+      // AV-evading per-sample tweak: randomize the delimiter.
+      st.strip = "#" + rng.string_over("0123456789ABCDEF", 6);
+    }
+    const std::string packed = pack_nuclear(payload(), st, rng);
+    return wrap_html("", packed, rng);
+  }
+
+  std::string unpacked_payload() const override { return payload(); }
+
+  std::string analyst_feature() const override {
+    return nuclear_analyst_feature(cur_);
+  }
+
+ private:
+  std::string payload() const {
+    PayloadSpec spec;
+    spec.family = KitFamily::Nuclear;
+    spec.cves = kit_info(KitFamily::Nuclear).cves;
+    if (extra_sl_cve_) {
+      spec.cves.push_back({PluginTarget::Silverlight, "2013-0074"});
+    }
+    spec.av_check = true;  // present since 7/29 (Fig 5)
+    spec.urls = urls_;
+    return payload_text(spec);
+  }
+
+  void apply_event(const KitEvent& e) override {
+    switch (e.kind) {
+      case EventKind::PackerChange: {
+        prev_ = cur_;
+        // Fig 5's August delimiters.
+        if (e.label == "esa1asv") {
+          cur_.strip = "sa1as";
+          cur_.mode = ObfuscationMode::InsertOnce;
+        } else if (e.label == "eher_vam#") {
+          cur_.strip = "her_vam#";
+          cur_.mode = ObfuscationMode::InsertOnce;
+        } else if (e.label == "efber443#") {
+          cur_.strip = "fber443#";
+          cur_.mode = ObfuscationMode::InsertOnce;
+        } else if (e.label == "eUluN#") {
+          cur_.strip = "UluN";
+          cur_.mode = ObfuscationMode::Interleave;
+        } else {
+          cur_.strip = "#" + rng_.string_over("0123456789ABCDEF", 6);
+        }
+        transition_day_ = day_;
+        ++version_id_;
+        break;
+      }
+      case EventKind::SemanticChange:
+        // 8/12: the packer semantics changed; we model it as the index
+        // encoding switching from decimal to hexadecimal.
+        prev_ = cur_;
+        cur_.radix = 16;
+        transition_day_ = day_;
+        ++version_id_;
+        break;
+      case EventKind::PayloadAppend:
+        extra_sl_cve_ = true;  // server-side: applies to all samples at once
+        break;
+      case EventKind::PayloadAvCheck:
+        break;  // already present in August
+    }
+  }
+
+  NuclearPackerState cur_;
+  NuclearPackerState prev_;
+  std::vector<std::string> urls_;
+  bool extra_sl_cve_ = false;
+};
+
+// -------------------------------------------------------------- Angler --
+
+class AnglerGen final : public KitGenerator {
+ public:
+  explicit AnglerGen(std::uint64_t seed)
+      : KitGenerator(KitFamily::Angler, seed) {
+    cur_.pk.offset = 47;
+    cur_.pk.eval_parts = {"e", "v", "a", "l"};
+    cur_.marker_in_payload = false;
+    prev_ = cur_;
+    urls_ = {make_landing_url(rng_), make_landing_url(rng_)};
+    minor_variant_p_ = 0.04;
+  }
+
+  std::string sample_html(Rng& rng) override {
+    const bool newv = use_new_version(rng);
+    Version v = newv ? cur_ : prev_;
+    if (rng.chance(minor_variant_p_)) {
+      // AV-evading tweak: a random eval split pattern.
+      v.pk.eval_parts = random_split(rng);
+    }
+    const std::string packed = pack_angler(payload(v), v.pk, rng);
+    std::string extra;
+    if (!v.marker_in_payload) {
+      // Pre-8/13: the Java exploit marker sits in the clear HTML — the
+      // unique string the commercial AV signature matched (Fig 6).
+      extra = "<applet code=\"" + std::string(kMarker) +
+              ".class\" archive=\"" + urls_[0] + "/media/" +
+              std::string(kMarker) + ".jar\"></applet>\n";
+    }
+    return wrap_html(extra, packed, rng);
+  }
+
+  std::string unpacked_payload() const override { return payload(cur_); }
+
+  std::string analyst_feature() const override {
+    return angler_analyst_feature(cur_.pk);
+  }
+
+ private:
+  static constexpr std::string_view kMarker = "jvmqx1r7a";
+
+  struct Version {
+    AnglerPackerState pk;
+    bool marker_in_payload = false;
+  };
+
+  static std::vector<std::string> random_split(Rng& rng) {
+    const std::string word = "eval";
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start < word.size()) {
+      const std::size_t len = 1 + rng.index(word.size() - start);
+      parts.push_back(word.substr(start, len));
+      start += len;
+    }
+    return parts;
+  }
+
+  std::string payload(const Version& v) const {
+    PayloadSpec spec;
+    spec.family = KitFamily::Angler;
+    spec.cves = kit_info(KitFamily::Angler).cves;
+    spec.av_check = true;
+    spec.urls = urls_;
+    spec.embed_java_marker = v.marker_in_payload;
+    spec.java_marker = std::string(kMarker);
+    return payload_text(spec);
+  }
+
+  void apply_event(const KitEvent& e) override {
+    prev_ = cur_;
+    switch (e.kind) {
+      case EventKind::PackerChange:
+        cur_.pk.eval_parts = {"ev", "al"};
+        cur_.pk.offset = 53;
+        break;
+      case EventKind::SemanticChange:
+        // 8/13: marker moves into the packed body AND the packer's split
+        // pattern changes; rollout stalls mid-way (adoption cap), which
+        // shapes the Fig 6 window.
+        cur_.marker_in_payload = true;
+        cur_.pk.eval_parts = {"e", "va", "l"};
+        adoption_cap_ = 0.55;
+        break;
+      default:
+        break;
+    }
+    transition_day_ = day_;
+    ++version_id_;
+  }
+
+  Version cur_;
+  Version prev_;
+  std::vector<std::string> urls_;
+};
+
+// ----------------------------------------------------------------- RIG --
+
+class RigGen final : public KitGenerator {
+ public:
+  explicit RigGen(std::uint64_t seed) : KitGenerator(KitFamily::Rig, seed) {
+    cur_.delim = "y6";
+    prev_ = cur_;
+    minor_variant_p_ = 0.08;
+    regen_urls();
+  }
+
+  std::string sample_html(Rng& rng) override {
+    const bool newv = use_new_version(rng);
+    RigPackerState st = newv ? cur_ : prev_;
+    if (rng.chance(minor_variant_p_)) {
+      st.delim = rng.string_over("abcdefghjkmnpqrstuvwxyz", 1) +
+                 rng.string_over("2345679", 1);
+    }
+    const std::string packed = pack_rig(payload(), st, rng);
+    return wrap_html("", packed, rng);
+  }
+
+  std::string unpacked_payload() const override { return payload(); }
+
+  std::string analyst_feature() const override {
+    return rig_analyst_feature(cur_);
+  }
+
+ private:
+  std::string payload() const {
+    PayloadSpec spec;
+    spec.family = KitFamily::Rig;
+    spec.cves = kit_info(KitFamily::Rig).cves;
+    spec.av_check = true;  // RIG pioneered the module (§II.B)
+    spec.urls = urls_;
+    spec.gate_urls = gates_;
+    return payload_text(spec);
+  }
+
+  void regen_urls() {
+    urls_.clear();
+    for (int i = 0; i < 3; ++i) urls_.push_back(make_landing_url(rng_));
+    // Exploit gates: fresh URLs and campaign tokens every day, count
+    // varying — roughly half of RIG's short body, hence the ~50% day-over-
+    // day churn of Fig 11(d).
+    gates_.clear();
+    const auto& cves = kit_info(KitFamily::Rig).cves;
+    const std::size_t n_gates = 6 + rng_.index(10);
+    for (std::size_t i = 0; i < n_gates; ++i) {
+      std::string id;
+      for (char c : cves[i % cves.size()].cve) {
+        if (std::isalnum(static_cast<unsigned char>(c))) id.push_back(c);
+        if (c == '-') id.push_back('_');
+      }
+      // Path and parameter names are randomized per day too (RIG rotated
+      // its gate software constantly).
+      gates_.push_back(make_landing_url(rng_) + "/" + rng_.identifier(3, 8) +
+                       ".php?" + rng_.identifier(1, 2) + "=" + id + "&" +
+                       rng_.identifier(1, 2) + "=" +
+                       rng_.string_over("0123456789abcdef", 12) + "&" +
+                       rng_.identifier(1, 2) + "=" +
+                       rng_.string_over("0123456789abcdef", 8));
+    }
+  }
+
+  void apply_event(const KitEvent& e) override {
+    if (e.kind != EventKind::PackerChange) return;
+    prev_ = cur_;
+    static const std::vector<std::string> kDelims = {"qX3", "zx", "wp4",
+                                                     "Kd"};
+    cur_.delim = kDelims[static_cast<std::size_t>(version_id_) %
+                         kDelims.size()];
+    transition_day_ = day_;
+    ++version_id_;
+  }
+
+  void new_day() override {
+    // RIG's embedded URLs churn daily; the kit body is short, so this is
+    // the 50% day-over-day noise of Fig 11(d).
+    regen_urls();
+  }
+
+  RigPackerState cur_;
+  RigPackerState prev_;
+  std::vector<std::string> urls_;
+  std::vector<std::string> gates_;
+};
+
+// -------------------------------------------------------- Sweet Orange --
+
+class SweetOrangeGen final : public KitGenerator {
+ public:
+  explicit SweetOrangeGen(std::uint64_t seed)
+      : KitGenerator(KitFamily::SweetOrange, seed) {
+    cur_.positions = {14, 13, 15, 12, 16, 11, 17, 10};
+    cur_.key = "qkXw72Lp";
+    cur_.junk_extra = 5;
+    prev_ = cur_;
+    minor_variant_p_ = 0.05;
+    for (int i = 0; i < 5; ++i) urls_.push_back(make_landing_url(rng_));
+    chain_.resize(16);
+    for (auto& entry : chain_) entry = make_chain_entry();
+  }
+
+  std::string sample_html(Rng& rng) override {
+    const bool newv = use_new_version(rng);
+    SweetOrangePackerState st = newv ? cur_ : prev_;
+    if (rng.chance(minor_variant_p_)) {
+      for (int& p : st.positions) {
+        p = 10 + static_cast<int>(rng.index(9));
+      }
+    }
+    const std::string packed = pack_sweet_orange(payload(), st, rng);
+    return wrap_html("", packed, rng);
+  }
+
+  std::string unpacked_payload() const override { return payload(); }
+
+  std::string analyst_feature() const override {
+    return sweet_orange_analyst_feature(cur_);
+  }
+
+ private:
+  std::string payload() const {
+    PayloadSpec spec;
+    spec.family = KitFamily::SweetOrange;
+    spec.cves = kit_info(KitFamily::SweetOrange).cves;
+    spec.av_check = false;  // Fig 2: Sweet Orange carries no AV check
+    spec.urls = urls_;
+    spec.redirect_chain = chain_;
+    return payload_text(spec);
+  }
+
+  std::string make_chain_entry() {
+    return make_landing_url(rng_) + "/r.php?z=" +
+           rng_.string_over("0123456789abcdef", 16) + "&s=" +
+           rng_.string_over("0123456789", 5);
+  }
+
+  void apply_event(const KitEvent& e) override {
+    if (e.kind != EventKind::PackerChange) return;
+    prev_ = cur_;
+    std::vector<int> pool = {10, 11, 12, 13, 14, 15, 16, 17, 18};
+    rng_.shuffle(pool);
+    cur_.positions.assign(pool.begin(), pool.begin() + 8);
+    cur_.key = rng_.identifier(8);
+    if (e.label == "junk length change") {
+      cur_.junk_extra = 9;
+    }
+    // Version updates also refresh the whole redirector infrastructure —
+    // the deeper Fig 11(b) dips.
+    for (auto& entry : chain_) entry = make_chain_entry();
+    transition_day_ = day_;
+    ++version_id_;
+  }
+
+  void new_day() override {
+    // Moderate inner churn (Fig 11(b)'s 50-95% band): a few redirector
+    // entries rotate every day, some landing URLs every few days.
+    const std::size_t rotate = 3 + rng_.index(5);
+    for (std::size_t i = 0; i < rotate; ++i) {
+      chain_[rng_.index(chain_.size())] = make_chain_entry();
+    }
+    if ((day_ - kAug1) % 3 == 1) {
+      urls_[rng_.index(urls_.size())] = make_landing_url(rng_);
+      urls_[rng_.index(urls_.size())] = make_landing_url(rng_);
+    }
+  }
+
+  SweetOrangePackerState cur_;
+  SweetOrangePackerState prev_;
+  std::vector<std::string> urls_;
+  std::vector<std::string> chain_;
+};
+
+}  // namespace
+
+std::unique_ptr<KitGenerator> make_kit_generator(KitFamily f,
+                                                 std::uint64_t seed) {
+  switch (f) {
+    case KitFamily::Nuclear: return std::make_unique<NuclearGen>(seed);
+    case KitFamily::Angler: return std::make_unique<AnglerGen>(seed);
+    case KitFamily::Rig: return std::make_unique<RigGen>(seed);
+    case KitFamily::SweetOrange:
+      return std::make_unique<SweetOrangeGen>(seed);
+  }
+  throw std::invalid_argument("make_kit_generator: unknown family");
+}
+
+}  // namespace kizzle::kitgen

@@ -1,0 +1,90 @@
+// Per-family sample generators: the glue between the evolution timeline,
+// the payload builder and the packers.
+//
+// Each generator owns the family's current (and previous) version state and
+// advances day by day. The mutation model follows §II.B of the paper:
+//
+//   - packer changes are frequent and superficial (new delimiter, new
+//     obfuscated-eval form, new split pattern) and roll out over a few
+//     days (adoption ramp) — newly-updated landing servers serve the new
+//     version while stragglers keep serving the old one;
+//   - payload changes are rare appends (a CVE, the AV-check module) and
+//     apply immediately (server-side code);
+//   - a small per-sample "minor variant" probability randomizes the
+//     version's distinctive feature, which evades literal AV signatures
+//     while leaving the abstract token structure — and therefore Kizzle's
+//     clusters and structural signatures — intact. This is the asymmetry
+//     the paper's Fig 1 describes.
+//
+// The generator also exposes what the two detection sides consume:
+//   unpacked_payload()  → seeds/labeled corpus for Kizzle's winnowing
+//   analyst_feature()   → the literal a human AV analyst would write a
+//                         signature on (see av/), for the *current* version
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "kitgen/timeline.h"
+#include "support/rng.h"
+
+namespace kizzle::kitgen {
+
+class KitGenerator {
+ public:
+  virtual ~KitGenerator() = default;
+
+  KitFamily family() const { return family_; }
+  int version_id() const { return version_id_; }
+  int current_day() const { return day_; }
+
+  // Advances to `day` (must be called with non-decreasing days), applying
+  // scheduled events and daily churn.
+  void begin_day(int day);
+
+  // One landing-page sample (full HTML document).
+  virtual std::string sample_html(Rng& rng) = 0;
+
+  // The current version's unpacked payload (today's URLs).
+  virtual std::string unpacked_payload() const = 0;
+
+  // The literal feature of the current version an analyst would sign.
+  virtual std::string analyst_feature() const = 0;
+
+ protected:
+  KitGenerator(KitFamily f, std::uint64_t seed);
+
+  virtual void apply_event(const KitEvent& e) = 0;
+  virtual void new_day() {}
+
+  // Adoption decision for one sample: true = serve the new version.
+  // Ramp: 35% on the transition day, 70% the next day, 100% after —
+  // capped by adoption_cap_ (Angler's 8/13 change plateaus mid-rollout,
+  // which is what keeps the Fig 6 AV false-negative window near 50%).
+  bool use_new_version(Rng& rng) const;
+  double fraction_new() const;
+
+  KitFamily family_;
+  Rng rng_;  // generator-internal churn randomness (deterministic)
+  int day_ = kAug1 - 1;
+  int version_id_ = 0;
+  int transition_day_ = -1000;
+  double adoption_cap_ = 1.0;
+  double minor_variant_p_ = 0.05;
+};
+
+std::unique_ptr<KitGenerator> make_kit_generator(KitFamily f,
+                                                 std::uint64_t seed);
+
+// A plausible landing URL, e.g. "http://ad7k2.example-cdn.biz/gate".
+std::string make_landing_url(Rng& rng);
+
+// Wraps script text (and optional extra body HTML) into a full document.
+std::string wrap_html(const std::string& extra_body_html,
+                      const std::string& script_text, Rng& rng);
+
+}  // namespace kizzle::kitgen

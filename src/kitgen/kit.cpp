@@ -1,0 +1,89 @@
+#include "kitgen/kit.h"
+
+#include <stdexcept>
+
+namespace kizzle::kitgen {
+
+std::string_view family_name(KitFamily f) {
+  switch (f) {
+    case KitFamily::Nuclear: return "Nuclear";
+    case KitFamily::SweetOrange: return "Sweet Orange";
+    case KitFamily::Angler: return "Angler";
+    case KitFamily::Rig: return "RIG";
+  }
+  return "?";
+}
+
+KitFamily family_from_index(std::size_t i) {
+  switch (i) {
+    case 0: return KitFamily::Nuclear;
+    case 1: return KitFamily::SweetOrange;
+    case 2: return KitFamily::Angler;
+    case 3: return KitFamily::Rig;
+    default: throw std::out_of_range("family_from_index");
+  }
+}
+
+std::size_t family_index(KitFamily f) {
+  switch (f) {
+    case KitFamily::Nuclear: return 0;
+    case KitFamily::SweetOrange: return 1;
+    case KitFamily::Angler: return 2;
+    case KitFamily::Rig: return 3;
+  }
+  return 0;
+}
+
+std::string_view plugin_name(PluginTarget t) {
+  switch (t) {
+    case PluginTarget::Flash: return "Flash";
+    case PluginTarget::Silverlight: return "Silverlight";
+    case PluginTarget::Java: return "Java";
+    case PluginTarget::AdobeReader: return "Adobe Reader";
+    case PluginTarget::InternetExplorer: return "Internet Explorer";
+  }
+  return "?";
+}
+
+const std::vector<KitInfo>& kit_catalog() {
+  // Fig 2 of the paper, row by row.
+  static const std::vector<KitInfo> kCatalog = {
+      {KitFamily::SweetOrange,
+       {{PluginTarget::Flash, "2014-0515"},
+        {PluginTarget::Java, "Unknown"},
+        {PluginTarget::InternetExplorer, "2013-2551"},
+        {PluginTarget::InternetExplorer, "2014-0322"}},
+       /*av_check=*/false},
+      {KitFamily::Angler,
+       {{PluginTarget::Flash, "2014-0507"},
+        {PluginTarget::Flash, "2014-0515"},
+        {PluginTarget::Silverlight, "2013-0074"},
+        {PluginTarget::Java, "2013-0422"},
+        {PluginTarget::InternetExplorer, "2013-2551"}},
+       /*av_check=*/true},
+      {KitFamily::Rig,
+       {{PluginTarget::Flash, "2014-0497"},
+        {PluginTarget::Silverlight, "2013-0074"},
+        {PluginTarget::Java, "Unknown"},
+        {PluginTarget::InternetExplorer, "2013-2551"}},
+       /*av_check=*/true},
+      {KitFamily::Nuclear,
+       {{PluginTarget::Flash, "(2013-5331)"},
+        {PluginTarget::Flash, "2014-0497"},
+        {PluginTarget::Java, "2013-2423"},
+        {PluginTarget::Java, "2013-2460"},
+        {PluginTarget::AdobeReader, "2010-0188"},
+        {PluginTarget::InternetExplorer, "2013-2551"}},
+       /*av_check=*/true},
+  };
+  return kCatalog;
+}
+
+const KitInfo& kit_info(KitFamily f) {
+  for (const KitInfo& k : kit_catalog()) {
+    if (k.family == f) return k;
+  }
+  throw std::logic_error("kit_info: family missing from catalog");
+}
+
+}  // namespace kizzle::kitgen

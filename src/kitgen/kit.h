@@ -1,0 +1,49 @@
+// Exploit-kit metadata (paper Fig 2): the four kits under study and the
+// CVEs each one targets, by plugin category, as of September 2014.
+//
+// The "exploit" payloads generated from this metadata are inert stand-ins
+// that reproduce only the *syntactic shape* of kit components; nothing in
+// this repository contains functional exploit code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kizzle::kitgen {
+
+enum class KitFamily { Nuclear, SweetOrange, Angler, Rig };
+
+constexpr std::size_t kNumFamilies = 4;
+
+std::string_view family_name(KitFamily f);
+KitFamily family_from_index(std::size_t i);
+std::size_t family_index(KitFamily f);
+
+enum class PluginTarget {
+  Flash,
+  Silverlight,
+  Java,
+  AdobeReader,
+  InternetExplorer,
+};
+
+std::string_view plugin_name(PluginTarget t);
+
+struct CveEntry {
+  PluginTarget target;
+  std::string cve;  // e.g. "2014-0515"; "Unknown" when version checks were
+                    // absent (see Fig 2 footnote)
+};
+
+struct KitInfo {
+  KitFamily family;
+  std::vector<CveEntry> cves;  // as of September 2014 (Fig 2)
+  bool av_check;               // "AV check" column of Fig 2
+};
+
+// The Fig 2 table contents.
+const std::vector<KitInfo>& kit_catalog();
+const KitInfo& kit_info(KitFamily f);
+
+}  // namespace kizzle::kitgen

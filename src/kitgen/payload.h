@@ -1,0 +1,74 @@
+// Inner-kit payload assembly (the slowly-changing core of the "onion").
+//
+// A kit's unpacked payload is composed from a component library:
+//   - a plugin/version detector (Nuclear's is derived from the public
+//     PluginDetect library, which is what makes the Fig 15 benign
+//     false positive possible);
+//   - the AV-detection module — one canonical text shared verbatim by
+//     RIG, Angler and (from 7/29) Nuclear, reproducing the cross-kit
+//     code borrowing the paper documents in §II.B;
+//   - one inert exploit stub per CVE (Fig 2), shaped like the real thing
+//     (object/applet/vml injection, spray loops) but functionally dead;
+//   - landing URLs, the fast-churning part (drives Fig 11d for RIG);
+//   - an eval/execution trigger.
+//
+// Identifiers inside a payload are fixed per family: the inner core is
+// deliberately stable across samples and days, exactly the code-reuse
+// property Kizzle exploits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kitgen/kit.h"
+
+namespace kizzle::kitgen {
+
+struct PayloadSpec {
+  KitFamily family;
+  std::vector<CveEntry> cves;
+  bool av_check = false;
+  std::vector<std::string> urls;       // landing URLs used by the stubs
+  bool embed_java_marker = false;      // Angler >= 8/13: marker in payload
+  std::string java_marker;             // the distinctive Java-exploit string
+
+  // RIG only: full per-day exploit-gate URLs (with campaign tokens). RIG's
+  // unpacked body is short and these URLs are roughly half of it — the
+  // paper's explanation for Fig 11(d): "these URLs alone represent a
+  // significant enough part of the code to create a 50% churn". When
+  // empty, a deterministic set is derived from `urls`.
+  std::vector<std::string> gate_urls;
+
+  // Sweet Orange only: rotating redirector entries (url + token), a
+  // moderate share of the body — the Fig 11(b) 50-95% band. Empty: none.
+  std::vector<std::string> redirect_chain;
+};
+
+// The full unpacked payload text for a spec. Deterministic: same spec,
+// same text.
+std::string payload_text(const PayloadSpec& spec);
+
+// The plugin-detector core shared between Nuclear's payload and the
+// benign PluginDetect library (the Fig 15 overlap).
+std::string plugin_detector_core_text();
+
+// The canonical AV-detection module (shared across kits, §II.B "code
+// borrowing").
+std::string av_check_text();
+
+// The benign PluginDetect library: detector core plus public API surface.
+// `minor_version` perturbs the non-shared tail slightly (library releases).
+std::string plugindetect_library_text(int minor_version);
+
+// One inert exploit stub (exposed for tests).
+std::string exploit_stub_text(KitFamily family, const CveEntry& cve,
+                              const std::string& url);
+
+// The compact plugin prober used by the non-Nuclear kits, parameterized by
+// identifier prefix. Exposed because the benign ad-loader family (see
+// benign.h) legitimately embeds the same public snippet — the code overlap
+// that occasionally confuses RIG labeling (paper Fig 14: RIG is Kizzle's
+// weakest kit).
+std::string compact_detector_text(const std::string& prefix);
+
+}  // namespace kizzle::kitgen

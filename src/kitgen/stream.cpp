@@ -1,0 +1,161 @@
+#include "kitgen/stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace kizzle::kitgen {
+
+Truth truth_of(KitFamily f) {
+  switch (f) {
+    case KitFamily::Nuclear: return Truth::Nuclear;
+    case KitFamily::SweetOrange: return Truth::SweetOrange;
+    case KitFamily::Angler: return Truth::Angler;
+    case KitFamily::Rig: return Truth::Rig;
+  }
+  return Truth::Benign;
+}
+
+std::string_view truth_name(Truth t) {
+  switch (t) {
+    case Truth::Benign: return "benign";
+    case Truth::Nuclear: return "Nuclear";
+    case Truth::SweetOrange: return "Sweet Orange";
+    case Truth::Angler: return "Angler";
+    case Truth::Rig: return "RIG";
+  }
+  return "?";
+}
+
+bool is_weekend(int day) {
+  // 2014-08-01 (day kAug1) was a Friday; Saturday/Sunday are +1, +2 mod 7.
+  const int dow = ((day - kAug1) % 7 + 7) % 7;
+  return dow == 1 || dow == 2;
+}
+
+StreamSimulator::StreamSimulator(StreamConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), benign_(rng_.fork().next(), cfg.benign_pool) {
+  for (std::size_t i = 0; i < kNumFamilies; ++i) {
+    const KitFamily f = family_from_index(i);
+    kits_.push_back(make_kit_generator(f, rng_.fork().next()));
+  }
+  // Seed corpus: the kits' unpacked payloads as of the simulation start
+  // (i.e. the late-July versions, before any August event fires).
+  for (const auto& kit : kits_) {
+    seeds_.emplace_back(kit->family(), kit->unpacked_payload());
+  }
+}
+
+const KitGenerator& StreamSimulator::kit(KitFamily f) const {
+  return *kits_[family_index(f)];
+}
+
+KitGenerator& StreamSimulator::kit(KitFamily f) {
+  return *kits_[family_index(f)];
+}
+
+DailyBatch StreamSimulator::generate_day(int day) {
+  if (day < cfg_.start_day || day > cfg_.end_day) {
+    throw std::invalid_argument("generate_day: day outside configured range");
+  }
+  if (day <= last_day_) {
+    throw std::invalid_argument("generate_day: days must ascend");
+  }
+  last_day_ = day;
+  for (auto& kit : kits_) kit->begin_day(day);
+
+  DailyBatch batch;
+  batch.day = day;
+  const double factor =
+      cfg_.volume_scale * (is_weekend(day) ? 0.7 : 1.0);
+
+  auto make_id = [&]() {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "2014-08-%02d/%06zu", day - kAug1 + 1,
+                  ++sample_counter_);
+    return std::string(buf);
+  };
+
+  auto push = [&](Truth truth, std::string html, bool corruptible) {
+    Sample s;
+    s.id = make_id();
+    s.day = day;
+    s.truth = truth;
+    if (corruptible && rng_.chance(cfg_.corruption_p)) {
+      s.corrupted = true;
+      const std::size_t keep =
+          html.size() * (40 + rng_.index(50)) / 100;  // keep 40-89%
+      html.resize(keep);
+    }
+    s.html = std::move(html);
+    if (truth == Truth::Benign) {
+      ++batch.benign_count;
+    } else {
+      ++batch.malicious_count;
+    }
+    batch.samples.push_back(std::move(s));
+  };
+
+  // ---- Malicious traffic. ----
+  auto kit_count = [&](double mean) {
+    const double jitter = 0.8 + 0.4 * rng_.real();
+    return static_cast<std::size_t>(std::max(0.0, mean * factor * jitter));
+  };
+  const std::size_t counts[kNumFamilies] = {
+      kit_count(cfg_.mean_nuclear), kit_count(cfg_.mean_sweet_orange),
+      kit_count(cfg_.mean_angler), kit_count(cfg_.mean_rig)};
+  for (std::size_t fi = 0; fi < kNumFamilies; ++fi) {
+    KitGenerator& gen = *kits_[fi];
+    for (std::size_t i = 0; i < counts[fi]; ++i) {
+      push(truth_of(gen.family()), gen.sample_html(rng_), true);
+    }
+  }
+
+  // ---- Benign families. ----
+  const auto n_families = static_cast<std::size_t>(
+      (cfg_.min_families_per_day + rng_.index(cfg_.extra_families_per_day + 1)) *
+      factor);
+  for (std::size_t i = 0; i < n_families; ++i) {
+    // Popularity bias: squaring pushes toward low (popular) family ids.
+    const double u = rng_.real();
+    const auto family_id =
+        static_cast<std::size_t>(u * u * static_cast<double>(benign_.pool_size()));
+    std::size_t copies;
+    if (family_id < 40) {
+      copies = 4 + rng_.index(26);
+    } else {
+      copies = 3 + rng_.index(5);
+    }
+    const std::string script_html = benign_.family_html(family_id, day, rng_);
+    for (std::size_t c = 0; c < copies; ++c) {
+      push(Truth::Benign, script_html, false);
+    }
+  }
+
+  // ---- Engineered benign families (see benign.h). ----
+  // Frequencies calibrated against Fig 14: the PluginDetect mislabel is
+  // rare (paper: 25 Nuclear FPs over the month), the ad-loader confusion
+  // is the larger contributor (paper: 241 RIG FPs, the dominant share).
+  auto burst = [&](double p_single, double p_burst) -> std::size_t {
+    if (rng_.chance(p_burst)) return 3 + rng_.index(3);
+    if (rng_.chance(p_single)) return 1;
+    return 0;
+  };
+  const std::size_t n_pd = burst(0.18, 0.055);
+  for (std::size_t i = 0; i < n_pd; ++i) {
+    push(Truth::Benign, benign_.plugindetect_html(day, rng_), false);
+  }
+  const std::size_t n_ad = burst(0.45, 0.11);
+  for (std::size_t i = 0; i < n_ad; ++i) {
+    push(Truth::Benign, benign_.adloader_html(day, rng_), false);
+  }
+  const std::size_t n_ed = rng_.index(3);
+  for (std::size_t i = 0; i < n_ed; ++i) {
+    push(Truth::Benign, benign_.edpacker_html(rng_), false);
+  }
+
+  rng_.shuffle(batch.samples);
+  return batch;
+}
+
+}  // namespace kizzle::kitgen

@@ -1,0 +1,104 @@
+// The daily grayware stream (paper §IV experimental setup).
+//
+// The paper's telemetry produced 80,000-500,000 samples per day for August
+// 2014. We reproduce the same *stream structure* at a configurable scale
+// (default ~2,500-4,500 samples/day; set volume_scale to trade fidelity
+// against run time): mostly-benign traffic with weekday/weekend swings, a
+// few percent exploit-kit landing pages with the documented per-family
+// volume ordering (Angler > Sweet Orange > Nuclear > RIG, Fig 14), and a
+// small corruption rate (truncated captures).
+//
+// Everything is deterministic from StreamConfig::seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kitgen/benign.h"
+#include "kitgen/families.h"
+#include "kitgen/kit.h"
+#include "kitgen/timeline.h"
+#include "support/rng.h"
+
+namespace kizzle::kitgen {
+
+enum class Truth : std::uint8_t {
+  Benign,
+  Nuclear,
+  SweetOrange,
+  Angler,
+  Rig,
+};
+
+Truth truth_of(KitFamily f);
+std::string_view truth_name(Truth t);
+
+struct Sample {
+  std::string id;    // "2014-08-13/00042"
+  int day = 0;       // timeline day number
+  Truth truth = Truth::Benign;
+  bool corrupted = false;  // truncated capture
+  std::string html;  // the full document
+};
+
+struct DailyBatch {
+  int day = 0;
+  std::vector<Sample> samples;
+  std::size_t benign_count = 0;
+  std::size_t malicious_count = 0;
+};
+
+struct StreamConfig {
+  std::uint64_t seed = 20140801;
+  int start_day = kAug1;
+  int end_day = kAug31;
+  double volume_scale = 1.0;
+  // Mean malicious samples per (weekday) day, per family. Defaults keep
+  // the paper's Fig 14 volume ordering at simulation scale.
+  double mean_nuclear = 20.0;
+  double mean_sweet_orange = 30.0;
+  double mean_angler = 60.0;
+  double mean_rig = 6.0;
+  // Benign family pool and per-day family activity.
+  std::size_t benign_pool = 1500;
+  std::size_t min_families_per_day = 260;
+  std::size_t extra_families_per_day = 160;
+  double corruption_p = 0.004;  // truncated malicious captures
+};
+
+class StreamSimulator {
+ public:
+  explicit StreamSimulator(StreamConfig cfg = {});
+
+  // Generates one day's batch; must be called with ascending days within
+  // [start_day, end_day].
+  DailyBatch generate_day(int day);
+
+  // Unpacked payloads of all four kits as of the simulation start — the
+  // "set of existing unpacked malware samples" Kizzle is seeded with
+  // (paper §III).
+  const std::vector<std::pair<KitFamily, std::string>>& seed_corpus() const {
+    return seeds_;
+  }
+
+  const KitGenerator& kit(KitFamily f) const;
+  KitGenerator& kit(KitFamily f);
+  const BenignCorpus& benign() const { return benign_; }
+  const StreamConfig& config() const { return cfg_; }
+
+ private:
+  StreamConfig cfg_;
+  Rng rng_;
+  BenignCorpus benign_;
+  std::vector<std::unique_ptr<KitGenerator>> kits_;
+  std::vector<std::pair<KitFamily, std::string>> seeds_;
+  int last_day_ = -1;
+  std::size_t sample_counter_ = 0;
+};
+
+// True for the simulated weekend days of August 2014 (Aug 1 was a Friday).
+bool is_weekend(int day);
+
+}  // namespace kizzle::kitgen

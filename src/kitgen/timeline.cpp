@@ -1,0 +1,115 @@
+#include "kitgen/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kizzle::kitgen {
+
+int day_from_date(int month, int day_of_month) {
+  if (day_of_month < 1 || day_of_month > 31) {
+    throw std::invalid_argument("day_from_date: bad day");
+  }
+  switch (month) {
+    case 6: return day_of_month - 1;
+    case 7: return 30 + day_of_month - 1;
+    case 8: return 61 + day_of_month - 1;
+    default:
+      throw std::invalid_argument("day_from_date: month outside June-August");
+  }
+}
+
+std::string date_label(int day) {
+  int month;
+  int dom;
+  if (day < 30) {
+    month = 6;
+    dom = day + 1;
+  } else if (day < 61) {
+    month = 7;
+    dom = day - 30 + 1;
+  } else if (day <= kAug31) {
+    month = 8;
+    dom = day - 61 + 1;
+  } else {
+    throw std::out_of_range("date_label: day outside June-August");
+  }
+  return std::to_string(month) + "/" + std::to_string(dom);
+}
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::PackerChange: return "packer change";
+    case EventKind::SemanticChange: return "semantic change";
+    case EventKind::PayloadAppend: return "payload append";
+    case EventKind::PayloadAvCheck: return "AV detection added";
+  }
+  return "?";
+}
+
+const std::vector<KitEvent>& nuclear_fig5_timeline() {
+  // Fig 5 of the paper. Packer changes above the axis, payload changes
+  // below. Labels are the obfuscated-eval forms the paper shows.
+  static const std::vector<KitEvent> kTimeline = [] {
+    using EK = EventKind;
+    const KitFamily N = KitFamily::Nuclear;
+    std::vector<KitEvent> t = {
+        {day_from_date(6, 1), N, EK::PackerChange, "ev#FFFFFFal"},
+        {day_from_date(6, 14), N, EK::PackerChange, "e#FFFFFFval"},
+        {day_from_date(6, 18), N, EK::PackerChange, "eva#FFFFFFl"},
+        {day_from_date(6, 24), N, EK::PackerChange, "\"ev\" + var"},
+        {day_from_date(6, 30), N, EK::PackerChange, "e~v~#...~a~l"},
+        {day_from_date(7, 9), N, EK::PackerChange, "e~#...~v~a~l"},
+        {day_from_date(7, 11), N, EK::PackerChange, "e~##...~#v~#a~#l"},
+        {day_from_date(7, 17), N, EK::PackerChange, "e3X@@#v.."},
+        {day_from_date(7, 20), N, EK::PackerChange, "e3fwrwg4#"},
+        {day_from_date(7, 29), N, EK::PayloadAvCheck, "AV detection"},
+        {day_from_date(8, 12), N, EK::SemanticChange, "Semantic change"},
+        {day_from_date(8, 17), N, EK::PackerChange, "esa1asv"},
+        {day_from_date(8, 19), N, EK::PackerChange, "eher_vam#"},
+        {day_from_date(8, 22), N, EK::PackerChange, "efber443#"},
+        {day_from_date(8, 26), N, EK::PackerChange, "eUluN#"},
+        {day_from_date(8, 27), N, EK::PayloadAppend, "CVE 2013-0074 (SL)"},
+    };
+    return t;
+  }();
+  return kTimeline;
+}
+
+const std::vector<KitEvent>& august_schedule() {
+  static const std::vector<KitEvent> kSchedule = [] {
+    using EK = EventKind;
+    std::vector<KitEvent> t;
+    // Nuclear: the August tail of Fig 5.
+    for (const KitEvent& e : nuclear_fig5_timeline()) {
+      if (e.day >= kAug1) t.push_back(e);
+    }
+    // Angler: one packer tweak early in the month, then the 8/13 change
+    // that moved the Java-exploit marker string into the obfuscated body
+    // (the window-of-vulnerability event of Fig 6).
+    t.push_back({day_from_date(8, 4), KitFamily::Angler, EK::PackerChange,
+                 "eval split pattern"});
+    t.push_back({day_from_date(8, 13), KitFamily::Angler, EK::SemanticChange,
+                 "Java marker moved into packed body"});
+    // RIG: frequent delimiter churn (the paper observed RIG changing the
+    // most; Fig 12 shows seven AV signature releases for RIG in August).
+    t.push_back({day_from_date(8, 5), KitFamily::Rig, EK::PackerChange,
+                 "delimiter change"});
+    t.push_back({day_from_date(8, 12), KitFamily::Rig, EK::PackerChange,
+                 "delimiter change"});
+    t.push_back({day_from_date(8, 18), KitFamily::Rig, EK::PackerChange,
+                 "delimiter change"});
+    t.push_back({day_from_date(8, 25), KitFamily::Rig, EK::PackerChange,
+                 "delimiter change"});
+    // Sweet Orange: moderate packer drift.
+    t.push_back({day_from_date(8, 7), KitFamily::SweetOrange,
+                 EK::PackerChange, "sqrt constants"});
+    t.push_back({day_from_date(8, 20), KitFamily::SweetOrange,
+                 EK::PackerChange, "junk length change"});
+    std::sort(t.begin(), t.end(),
+              [](const KitEvent& a, const KitEvent& b) { return a.day < b.day; });
+    return t;
+  }();
+  return kSchedule;
+}
+
+}  // namespace kizzle::kitgen

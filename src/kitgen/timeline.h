@@ -1,0 +1,57 @@
+// Kit evolution timelines.
+//
+// §II.B of the paper tracks the Nuclear exploit kit over June-August 2014
+// (Fig 5): 13 superficial packer changes (obfuscated-eval variations), one
+// semantic packer change, and two payload changes (AV detection added
+// 7/29, CVE 2013-0074 appended 8/27). This module encodes that observed
+// timeline verbatim — it drives both the Fig 5 reproduction and the
+// August simulation — plus the August event schedules for the other three
+// kits, chosen to match the paper's narrative (Angler's 8/13 signature-
+// evading change, RIG's frequent delimiter churn, Sweet Orange's moderate
+// drift).
+//
+// Day numbering: day 0 == 2014-06-01. August 1st is day 61; August 31st is
+// day 91. Helpers convert between day numbers and "M/D" labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kitgen/kit.h"
+
+namespace kizzle::kitgen {
+
+// 2014-06-01 == day 0.
+constexpr int kJune1 = 0;
+constexpr int kAug1 = 61;
+constexpr int kAug31 = 91;
+
+// "8/13" -> day number; accepts months 6..8 of 2014.
+int day_from_date(int month, int day_of_month);
+std::string date_label(int day);  // day -> "8/13"
+
+enum class EventKind {
+  PackerChange,    // superficial change to the outer packer
+  SemanticChange,  // packer rewritten (semantics changed)
+  PayloadAppend,   // new CVE appended to the payload
+  PayloadAvCheck,  // AV-detection module added to the payload
+};
+
+struct KitEvent {
+  int day;
+  KitFamily family;
+  EventKind kind;
+  std::string label;  // e.g. the new obfuscated-eval form, or the CVE id
+};
+
+// The Nuclear timeline of Fig 5 (June 1 - August 31, 2014), exactly as
+// published.
+const std::vector<KitEvent>& nuclear_fig5_timeline();
+
+// August 2014 event schedule for all four kits (includes the August tail
+// of the Nuclear Fig 5 timeline). Sorted by day.
+const std::vector<KitEvent>& august_schedule();
+
+std::string_view event_kind_name(EventKind kind);
+
+}  // namespace kizzle::kitgen

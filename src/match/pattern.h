@@ -1,0 +1,105 @@
+// The signature matching engine: a self-contained regular-expression
+// implementation covering exactly the constructs Kizzle signatures use
+// (paper Fig 10) plus enough generality for hand-written AV signatures:
+//
+//   literals (with \-escaping), '.', character classes [..], [^..] with
+//   ranges, quantifiers * + ? {m} {m,} {m,n} (greedy), alternation |,
+//   anchors ^ $, capturing groups (..), named groups (?<name>..),
+//   non-capturing groups (?:..), backreferences \1..\9 and \k<name>.
+//
+// Matching is a backtracking VM over a compiled program. Backtracking can
+// blow up on adversarial patterns, so every search carries a step budget;
+// exceeding it reports budget_exceeded instead of hanging — an AV engine
+// must never be DoS-able by its own signature database.
+//
+// Compiled patterns carry a *literal pre-filter*: the longest literal run
+// that any match must contain, plus the min/max distance from the match
+// start. scan() then only attempts matches around memmem hits of that
+// literal, which makes scanning large sample streams cheap (Kizzle
+// signatures are long and highly literal, see paper §IV).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kizzle::match {
+
+class PatternError : public std::runtime_error {
+ public:
+  PatternError(const std::string& what, std::size_t position)
+      : std::runtime_error(what), position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+struct Capture {
+  std::size_t begin;
+  std::size_t end;
+};
+
+struct MatchResult {
+  bool matched = false;
+  std::size_t begin = 0;  // valid iff matched
+  std::size_t end = 0;
+  std::vector<std::optional<Capture>> groups;  // index 0 unused; 1..n
+  bool budget_exceeded = false;
+
+  explicit operator bool() const { return matched; }
+};
+
+namespace detail {
+struct Program;  // compiled form, private to the implementation
+}
+
+class Pattern {
+ public:
+  // Compiles `source`; throws PatternError on malformed input.
+  static Pattern compile(std::string_view source);
+
+  Pattern(Pattern&&) noexcept;
+  Pattern& operator=(Pattern&&) noexcept;
+  Pattern(const Pattern&);
+  Pattern& operator=(const Pattern&);
+  ~Pattern();
+
+  // Unanchored search for the leftmost match at or after `from`.
+  // `budget` caps VM steps for the whole search (0 = default budget).
+  MatchResult search(std::string_view text, std::size_t from = 0,
+                     std::uint64_t budget = 0) const;
+
+  // Anchored attempt: does a match start exactly at `at`?
+  MatchResult match_at(std::string_view text, std::size_t at,
+                       std::uint64_t budget = 0) const;
+
+  // Convenience: true iff the pattern occurs anywhere in `text`.
+  bool found_in(std::string_view text) const { return search(text).matched; }
+
+  const std::string& source() const { return source_; }
+
+  // Name of capture group i (empty for unnamed); group_count() excludes the
+  // implicit whole-match group.
+  std::size_t group_count() const;
+  const std::string& group_name(std::size_t index) const;
+
+  // Longest literal every match must contain (pre-filter); empty if the
+  // pattern has no usable required literal.
+  const std::string& required_literal() const;
+
+  // Escapes all regex metacharacters in `text` so the result matches it
+  // literally. This is what the signature compiler uses for fixed tokens.
+  static std::string escape(std::string_view text);
+
+ private:
+  Pattern();
+  std::string source_;
+  std::unique_ptr<detail::Program> program_;
+};
+
+}  // namespace kizzle::match

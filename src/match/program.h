@@ -1,0 +1,53 @@
+// Internal compiled representation of a Pattern. Not installed as public
+// API; shared between pattern.cpp (parser/compiler) and vm.cpp (executor).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kizzle::match::detail {
+
+enum class Op : std::uint8_t {
+  Char,      // arg: byte value
+  Class,     // arg: index into class table
+  Any,       // any byte except '\n'
+  Split,     // try x first, then y (backtrack point)
+  Jmp,       // jump to x
+  Save,      // arg: capture slot index (2*group for begin, +1 for end)
+  Backref,   // arg: group index; matches the text captured by that group
+  Bol,       // assert position == 0
+  Eol,       // assert position == text.size()
+  Progress,  // arg: progress slot; fail if sp unchanged since last visit
+  Match,     // accept
+};
+
+struct Instr {
+  Op op;
+  std::uint32_t x = 0;  // Split/Jmp target, Char byte, Class idx, Save slot,
+                        // Backref group, Progress slot
+  std::uint32_t y = 0;  // Split second target
+};
+
+using ByteSet = std::bitset<256>;
+
+struct Program {
+  std::vector<Instr> code;
+  std::vector<ByteSet> classes;
+  std::size_t n_groups = 0;     // capturing groups (excluding group 0)
+  std::size_t n_progress = 0;   // progress slots
+  std::vector<std::string> group_names;  // size n_groups + 1; [0] empty
+
+  // Literal pre-filter: every match contains `literal` starting between
+  // min_prefix and max_prefix bytes after the match start. usable == false
+  // when no such literal exists (or it is too short to pay off).
+  std::string literal;
+  std::size_t lit_min_prefix = 0;
+  std::size_t lit_max_prefix = 0;
+  bool lit_usable = false;
+  bool anchored_bol = false;  // pattern starts with ^
+};
+
+}  // namespace kizzle::match::detail

@@ -1,0 +1,51 @@
+#include "match/scanner.h"
+
+#include <stdexcept>
+
+namespace kizzle::match {
+
+std::size_t Scanner::add(std::string name, Pattern pattern) {
+  entries_.push_back(Entry{std::move(name), std::move(pattern)});
+  return entries_.size() - 1;
+}
+
+const std::string& Scanner::name(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("Scanner::name: bad index");
+  }
+  return entries_[index].name;
+}
+
+const Pattern& Scanner::pattern(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("Scanner::pattern: bad index");
+  }
+  return entries_[index].pattern;
+}
+
+std::vector<ScanHit> Scanner::scan(std::string_view text) const {
+  std::vector<ScanHit> hits;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const MatchResult r = entries_[i].pattern.search(text);
+    if (r.budget_exceeded) {
+      ++budget_exceeded_;
+      continue;
+    }
+    if (r.matched) hits.push_back(ScanHit{i, r.begin, r.end});
+  }
+  return hits;
+}
+
+bool Scanner::any_match(std::string_view text) const {
+  for (const Entry& e : entries_) {
+    const MatchResult r = e.pattern.search(text);
+    if (r.budget_exceeded) {
+      ++budget_exceeded_;
+      continue;
+    }
+    if (r.matched) return true;
+  }
+  return false;
+}
+
+}  // namespace kizzle::match

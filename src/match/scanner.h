@@ -1,0 +1,53 @@
+// Multi-signature scanner: the deployable "AV engine" surface.
+//
+// Holds a set of compiled signatures with ids and scans normalized sample
+// text against all of them, reporting every hit. Both Kizzle-generated
+// and hand-written (simulated-analyst) signatures are deployed through
+// this interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "match/pattern.h"
+
+namespace kizzle::match {
+
+struct ScanHit {
+  std::size_t signature_index;  // index into the scanner's signature list
+  std::size_t begin;            // match span in the scanned text
+  std::size_t end;
+};
+
+class Scanner {
+ public:
+  // Adds a compiled signature; returns its index. `name` is a free-form
+  // label carried through to reporting.
+  std::size_t add(std::string name, Pattern pattern);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& name(std::size_t index) const;
+  const Pattern& pattern(std::size_t index) const;
+
+  // Scans `text`, returning one hit per matching signature (first match
+  // position each). Signatures whose search exceeds the step budget are
+  // skipped and counted in budget_exceeded_count().
+  std::vector<ScanHit> scan(std::string_view text) const;
+
+  // True iff any signature matches.
+  bool any_match(std::string_view text) const;
+
+  std::uint64_t budget_exceeded_count() const { return budget_exceeded_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Pattern pattern;
+  };
+  std::vector<Entry> entries_;
+  mutable std::uint64_t budget_exceeded_ = 0;
+};
+
+}  // namespace kizzle::match

@@ -1,0 +1,256 @@
+// Backtracking executor for compiled patterns, plus the literal-prefilter
+// search strategy.
+#include <cstring>
+#include <limits>
+
+#include "match/pattern.h"
+#include "match/program.h"
+
+namespace kizzle::match {
+
+namespace {
+
+using detail::Instr;
+using detail::Op;
+using detail::Program;
+
+constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+constexpr std::uint64_t kDefaultBudget = 1u << 22;
+
+// One backtracking attempt anchored at `start`. Returns true on match and
+// fills `slots` (2 per group). `steps` is decremented as budget.
+class Machine {
+ public:
+  Machine(const Program& prog, std::string_view text)
+      : prog_(prog),
+        text_(text),
+        slots_(2 * (prog.n_groups + 1), kUnset),
+        progress_(prog.n_progress, kUnset) {}
+
+  bool run(std::size_t start, std::uint64_t* steps, bool* budget_exceeded) {
+    std::fill(slots_.begin(), slots_.end(), kUnset);
+    std::fill(progress_.begin(), progress_.end(), kUnset);
+    undo_.clear();
+    stack_.clear();
+
+    std::uint32_t pc = 0;
+    std::size_t sp = start;
+    for (;;) {
+      if (*steps == 0) {
+        *budget_exceeded = true;
+        return false;
+      }
+      --*steps;
+      const Instr& ins = prog_.code[pc];
+      bool fail = false;
+      switch (ins.op) {
+        case Op::Char:
+          if (sp < text_.size() &&
+              static_cast<unsigned char>(text_[sp]) == ins.x) {
+            ++sp;
+            ++pc;
+          } else {
+            fail = true;
+          }
+          break;
+        case Op::Class:
+          if (sp < text_.size() &&
+              prog_.classes[ins.x][static_cast<unsigned char>(text_[sp])]) {
+            ++sp;
+            ++pc;
+          } else {
+            fail = true;
+          }
+          break;
+        case Op::Any:
+          if (sp < text_.size() && text_[sp] != '\n') {
+            ++sp;
+            ++pc;
+          } else {
+            fail = true;
+          }
+          break;
+        case Op::Bol:
+          if (sp == 0) {
+            ++pc;
+          } else {
+            fail = true;
+          }
+          break;
+        case Op::Eol:
+          if (sp == text_.size()) {
+            ++pc;
+          } else {
+            fail = true;
+          }
+          break;
+        case Op::Save:
+          push_undo(UndoKind::Slot, ins.x, slots_[ins.x]);
+          slots_[ins.x] = sp;
+          ++pc;
+          break;
+        case Op::Progress:
+          if (progress_[ins.x] == sp) {
+            fail = true;
+          } else {
+            push_undo(UndoKind::Progress, ins.x, progress_[ins.x]);
+            progress_[ins.x] = sp;
+            ++pc;
+          }
+          break;
+        case Op::Backref: {
+          const std::size_t b = slots_[2 * ins.x];
+          const std::size_t e = slots_[2 * ins.x + 1];
+          if (b == kUnset || e == kUnset) {
+            ++pc;  // unmatched group: matches empty (ECMAScript semantics)
+            break;
+          }
+          const std::size_t len = e - b;
+          if (sp + len <= text_.size() &&
+              std::memcmp(text_.data() + sp, text_.data() + b, len) == 0) {
+            sp += len;
+            ++pc;
+          } else {
+            fail = true;
+          }
+          break;
+        }
+        case Op::Split:
+          stack_.push_back(Frame{ins.y, sp, undo_.size()});
+          pc = ins.x;
+          break;
+        case Op::Jmp:
+          pc = ins.x;
+          break;
+        case Op::Match:
+          return true;
+      }
+      if (fail) {
+        if (stack_.empty()) return false;
+        const Frame f = stack_.back();
+        stack_.pop_back();
+        while (undo_.size() > f.undo_size) {
+          const Undo& u = undo_.back();
+          if (u.kind == UndoKind::Slot) {
+            slots_[u.index] = u.value;
+          } else {
+            progress_[u.index] = u.value;
+          }
+          undo_.pop_back();
+        }
+        pc = f.pc;
+        sp = f.sp;
+      }
+    }
+  }
+
+  const std::vector<std::size_t>& slots() const { return slots_; }
+
+ private:
+  enum class UndoKind : std::uint8_t { Slot, Progress };
+  struct Undo {
+    UndoKind kind;
+    std::uint32_t index;
+    std::size_t value;
+  };
+  struct Frame {
+    std::uint32_t pc;
+    std::size_t sp;
+    std::size_t undo_size;
+  };
+
+  void push_undo(UndoKind kind, std::uint32_t index, std::size_t value) {
+    undo_.push_back(Undo{kind, index, value});
+  }
+
+  const Program& prog_;
+  std::string_view text_;
+  std::vector<std::size_t> slots_;
+  std::vector<std::size_t> progress_;
+  std::vector<Undo> undo_;
+  std::vector<Frame> stack_;
+};
+
+MatchResult result_from(const Machine& m, const Program& prog, bool matched,
+                        bool budget_exceeded) {
+  MatchResult r;
+  r.budget_exceeded = budget_exceeded;
+  if (!matched) return r;
+  const auto& slots = m.slots();
+  r.matched = true;
+  r.begin = slots[0];
+  r.end = slots[1];
+  r.groups.resize(prog.n_groups + 1);
+  for (std::size_t g = 1; g <= prog.n_groups; ++g) {
+    const std::size_t b = slots[2 * g];
+    const std::size_t e = slots[2 * g + 1];
+    if (b != kUnset && e != kUnset) r.groups[g] = Capture{b, e};
+  }
+  return r;
+}
+
+}  // namespace
+
+MatchResult Pattern::match_at(std::string_view text, std::size_t at,
+                              std::uint64_t budget) const {
+  if (budget == 0) budget = kDefaultBudget;
+  Machine m(*program_, text);
+  bool budget_exceeded = false;
+  const bool ok = m.run(at, &budget, &budget_exceeded);
+  return result_from(m, *program_, ok, budget_exceeded);
+}
+
+MatchResult Pattern::search(std::string_view text, std::size_t from,
+                            std::uint64_t budget) const {
+  if (budget == 0) budget = kDefaultBudget;
+  const Program& prog = *program_;
+  Machine m(prog, text);
+  bool budget_exceeded = false;
+
+  if (prog.anchored_bol) {
+    if (from > 0) return MatchResult{};
+    const bool ok = m.run(0, &budget, &budget_exceeded);
+    return result_from(m, prog, ok, budget_exceeded);
+  }
+
+  if (prog.lit_usable) {
+    const std::string& lit = prog.literal;
+    const bool bounded =
+        prog.lit_max_prefix != std::numeric_limits<std::size_t>::max();
+    std::size_t search_from =
+        (from + prog.lit_min_prefix <= text.size()) ? from + prog.lit_min_prefix
+                                                    : std::string_view::npos;
+    if (bounded) {
+      std::size_t last_attempt_end = from;  // first untried start position
+      while (search_from != std::string_view::npos) {
+        const std::size_t hit = text.find(lit, search_from);
+        if (hit == std::string_view::npos) return MatchResult{};
+        const std::size_t lo =
+            std::max(last_attempt_end,
+                     (hit >= prog.lit_max_prefix) ? hit - prog.lit_max_prefix
+                                                  : 0);
+        const std::size_t hi = hit - prog.lit_min_prefix;  // hit >= min here
+        for (std::size_t start = lo; start <= hi && start <= text.size();
+             ++start) {
+          const bool ok = m.run(start, &budget, &budget_exceeded);
+          if (ok) return result_from(m, prog, true, budget_exceeded);
+          if (budget_exceeded) return result_from(m, prog, false, true);
+        }
+        last_attempt_end = (hi + 1 > last_attempt_end) ? hi + 1 : last_attempt_end;
+        search_from = hit + 1;
+      }
+      return MatchResult{};
+    }
+    // Quick-reject only: the literal must occur somewhere at/after from.
+    if (text.find(lit, from) == std::string_view::npos) return MatchResult{};
+  }
+
+  for (std::size_t start = from; start <= text.size(); ++start) {
+    const bool ok = m.run(start, &budget, &budget_exceeded);
+    if (ok) return result_from(m, prog, true, budget_exceeded);
+    if (budget_exceeded) return result_from(m, prog, false, true);
+  }
+  return MatchResult{};
+}
+
+}  // namespace kizzle::match

@@ -1,0 +1,142 @@
+#include "sig/common_window.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/hash.h"
+
+namespace kizzle::sig {
+
+namespace {
+
+// For a fixed window length n, returns the window positions (one per
+// stream) of some n-gram that is common to all streams and unique in each,
+// or an empty vector when none exists.
+std::vector<std::size_t> exists_window(
+    std::span<const std::vector<std::uint32_t>> streams, std::size_t n) {
+  // Hash -> position for n-grams occurring exactly once in stream 0.
+  constexpr std::size_t kDup = SIZE_MAX;
+  std::unordered_map<std::uint64_t, std::size_t> unique0;
+  {
+    RollingHash rh(n);
+    const auto& s = streams[0];
+    if (s.size() < n) return {};
+    std::uint64_t h = rh.init(s);
+    for (std::size_t i = 0;; ++i) {
+      auto [it, inserted] = unique0.emplace(h, i);
+      if (!inserted) it->second = kDup;
+      if (i + n >= s.size()) break;
+      h = rh.roll(s[i], s[i + n]);
+    }
+  }
+  // Candidate set: hashes unique in every stream so far, with positions.
+  struct Candidate {
+    std::size_t pos0;
+    std::vector<std::size_t> pos_rest;
+  };
+  std::unordered_map<std::uint64_t, Candidate> candidates;
+  for (const auto& [h, pos] : unique0) {
+    if (pos != kDup) candidates.emplace(h, Candidate{pos, {}});
+  }
+  for (std::size_t si = 1; si < streams.size() && !candidates.empty(); ++si) {
+    const auto& s = streams[si];
+    if (s.size() < n) return {};
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    RollingHash rh(n);
+    std::uint64_t h = rh.init(s);
+    for (std::size_t i = 0;; ++i) {
+      if (candidates.contains(h)) {
+        auto [it, inserted] = seen.emplace(h, i);
+        if (!inserted) it->second = kDup;
+      }
+      if (i + n >= s.size()) break;
+      h = rh.roll(s[i], s[i + n]);
+    }
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      auto hit = seen.find(it->first);
+      if (hit == seen.end() || hit->second == kDup) {
+        it = candidates.erase(it);
+      } else {
+        it->second.pos_rest.push_back(hit->second);
+        ++it;
+      }
+    }
+  }
+  if (candidates.empty()) return {};
+  // Prefer the leftmost window in stream 0 (deterministic choice), and
+  // verify actual symbol equality to guard against hash collisions.
+  std::vector<std::pair<std::uint64_t, const Candidate*>> ordered;
+  ordered.reserve(candidates.size());
+  for (const auto& [h, c] : candidates) ordered.emplace_back(h, &c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->pos0 < b.second->pos0;
+            });
+  for (const auto& [h, cand] : ordered) {
+    bool ok = true;
+    for (std::size_t si = 1; si < streams.size() && ok; ++si) {
+      const std::size_t p = cand->pos_rest[si - 1];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (streams[si][p + j] != streams[0][cand->pos0 + j]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      std::vector<std::size_t> out;
+      out.reserve(streams.size());
+      out.push_back(cand->pos0);
+      out.insert(out.end(), cand->pos_rest.begin(), cand->pos_rest.end());
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+CommonWindow find_common_window(
+    std::span<const std::vector<std::uint32_t>> streams, std::size_t min_len,
+    std::size_t max_len) {
+  CommonWindow result;
+  if (streams.empty() || min_len == 0 || min_len > max_len) return result;
+  std::size_t shortest = SIZE_MAX;
+  for (const auto& s : streams) shortest = std::min(shortest, s.size());
+  if (shortest < min_len) return result;
+  max_len = std::min(max_len, shortest);
+
+  // Binary search the largest N with an existing window (paper's
+  // algorithm). Uniqueness can make existence non-monotone; the search
+  // still converges to a valid N, and we extend greedily afterwards.
+  std::size_t lo = min_len;
+  std::size_t hi = max_len;
+  std::size_t best_n = 0;
+  std::vector<std::size_t> best_pos;
+  while (lo <= hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    auto pos = exists_window(streams, mid);
+    if (!pos.empty()) {
+      best_n = mid;
+      best_pos = std::move(pos);
+      lo = mid + 1;
+    } else {
+      if (mid == 0) break;
+      hi = mid - 1;
+    }
+  }
+  if (best_n == 0) return result;
+  // Greedy upward extension past non-monotone gaps.
+  for (std::size_t n = best_n + 1; n <= max_len; ++n) {
+    auto pos = exists_window(streams, n);
+    if (pos.empty()) break;
+    best_n = n;
+    best_pos = std::move(pos);
+  }
+  result.found = true;
+  result.length = best_n;
+  result.position = std::move(best_pos);
+  return result;
+}
+
+}  // namespace kizzle::sig

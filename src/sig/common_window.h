@@ -1,0 +1,43 @@
+// Search for the longest common token window (paper §III.C, step 1).
+//
+// "The first step in signature creation is to find a maximum value of N
+//  such that every sample in a cluster has a common token string
+//  subsequence of length up to N tokens. We cap this maximum length at 200
+//  tokens. We find this subsequence with binary search, varying N, and
+//  determining if a common subsequence of length N exists. An additional
+//  constraint ... is that it is unique in every sample."
+//
+// The "subsequence" is contiguous (see Fig 9 and the §V discussion of
+// "one consecutive token sequence"). Existence for a fixed N is decided
+// with rolling-hash n-gram intersection across samples, keeping only
+// n-grams that occur exactly once in every sample; candidates are verified
+// symbol-by-symbol to rule out hash collisions.
+//
+// Note: uniqueness makes existence non-monotone in N in contrived cases
+// (a longer unique window can exist while every shorter one repeats), so
+// after the binary search we greedily extend upward while longer windows
+// keep existing. This matches the paper's algorithm with a small
+// robustness fix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kizzle::sig {
+
+struct CommonWindow {
+  bool found = false;
+  std::size_t length = 0;                // N, in tokens
+  std::vector<std::size_t> position;     // window start per sample
+};
+
+// Finds the longest window of length in [min_len, max_len] of abstract
+// symbols common to all streams and unique within each. Returns
+// found=false when no window of at least min_len exists (or streams is
+// empty / any stream is shorter than min_len).
+CommonWindow find_common_window(
+    std::span<const std::vector<std::uint32_t>> streams, std::size_t min_len,
+    std::size_t max_len);
+
+}  // namespace kizzle::sig

@@ -1,0 +1,137 @@
+#include "sig/multi_fragment.h"
+
+#include <stdexcept>
+
+#include "sig/common_window.h"
+#include "support/interner.h"
+#include "text/abstraction.h"
+
+namespace kizzle::sig {
+
+std::size_t FragmentSignature::total_tokens() const {
+  std::size_t n = 0;
+  for (const Signature& f : fragments) n += f.token_length;
+  return n;
+}
+
+std::size_t FragmentSignature::length() const {
+  std::size_t n = 0;
+  for (const Signature& f : fragments) n += f.pattern.size();
+  return n;
+}
+
+FragmentSignature compile_multi_fragment(
+    std::span<const std::vector<text::Token>> samples,
+    const MultiFragmentParams& params) {
+  FragmentSignature result;
+  if (samples.empty()) {
+    result.failure = "no samples";
+    return result;
+  }
+  if (params.min_fragment_tokens == 0 ||
+      params.min_fragment_tokens > params.max_fragment_tokens) {
+    throw std::invalid_argument("compile_multi_fragment: bad fragment bounds");
+  }
+
+  Interner interner;
+  std::vector<std::vector<std::uint32_t>> streams;
+  streams.reserve(samples.size());
+  for (const auto& toks : samples) {
+    streams.push_back(
+        abstract_tokens(toks, params.base.abstraction, interner));
+  }
+
+  // Greedy left-to-right fragment extraction over shrinking suffixes.
+  std::vector<std::size_t> offset(samples.size(), 0);
+  while (result.fragments.size() < params.max_fragments) {
+    std::vector<std::vector<std::uint32_t>> suffixes;
+    suffixes.reserve(streams.size());
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      suffixes.emplace_back(streams[s].begin() +
+                                static_cast<std::ptrdiff_t>(offset[s]),
+                            streams[s].end());
+    }
+    const CommonWindow window = find_common_window(
+        suffixes, params.min_fragment_tokens, params.max_fragment_tokens);
+    if (!window.found) break;
+
+    std::vector<std::size_t> positions(samples.size());
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      positions[s] = offset[s] + window.position[s];
+    }
+    Signature fragment = compile_window_signature(samples, positions,
+                                                  window.length, params.base);
+    if (!fragment.ok) {
+      // A degenerate window (e.g. all-empty normalized values); skip past
+      // it and keep searching.
+      for (std::size_t s = 0; s < samples.size(); ++s) {
+        offset[s] = positions[s] + window.length;
+      }
+      continue;
+    }
+    result.fragments.push_back(std::move(fragment));
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      offset[s] = positions[s] + window.length;
+    }
+  }
+
+  if (result.fragments.empty()) {
+    result.failure = "no common fragments of at least " +
+                     std::to_string(params.min_fragment_tokens) + " tokens";
+    return result;
+  }
+  std::size_t total = 0;
+  for (const Signature& f : result.fragments) total += f.token_length;
+  if (total < params.min_total_tokens) {
+    result.failure = "fragments cover only " + std::to_string(total) +
+                     " tokens (minimum " +
+                     std::to_string(params.min_total_tokens) + ")";
+    result.fragments.clear();
+    return result;
+  }
+
+  // Verify: the ordered fragment set must match every input sample.
+  result.ok = true;
+  FragmentMatcher matcher(result);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    if (!matcher.matches(normalized_token_text(samples[s]))) {
+      result.ok = false;
+      result.failure = "verification failed on sample " + std::to_string(s);
+      result.fragments.clear();
+      return result;
+    }
+  }
+  return result;
+}
+
+FragmentMatcher::FragmentMatcher(const FragmentSignature& signature,
+                                 double min_fraction) {
+  if (min_fraction <= 0.0 || min_fraction > 1.0) {
+    throw std::invalid_argument("FragmentMatcher: min_fraction out of (0,1]");
+  }
+  patterns_.reserve(signature.fragments.size());
+  for (const Signature& f : signature.fragments) {
+    patterns_.push_back(match::Pattern::compile(f.pattern));
+  }
+  required_ = static_cast<std::size_t>(
+      min_fraction * static_cast<double>(patterns_.size()) + 0.999);
+  if (required_ == 0 && !patterns_.empty()) required_ = 1;
+}
+
+bool FragmentMatcher::matches(std::string_view normalized_text) const {
+  if (patterns_.empty()) return false;
+  std::size_t from = 0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    // Enough fragments left to still reach the requirement?
+    if (hits + (patterns_.size() - i) < required_) return false;
+    const match::MatchResult r = patterns_[i].search(normalized_text, from);
+    if (r.matched) {
+      ++hits;
+      from = r.end;
+    }
+  }
+  return hits >= required_;
+}
+
+}  // namespace kizzle::sig

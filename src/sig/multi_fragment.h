@@ -1,0 +1,83 @@
+// Multi-fragment signatures — the §V extension of the paper.
+//
+// "An attacker aware of the signature creation algorithm can try to modify
+//  his packer such that our algorithm fails. An example for this is the
+//  insertion of a random number of superfluous JavaScript instructions
+//  between relevant operations to beat the structural signatures. We
+//  believe, however, that our approach can be extended to create
+//  signatures which not only match one consecutive token sequence, but
+//  rather consist of multiple, shorter sequences."
+//
+// This module implements that extension. Instead of one long common
+// window, the compiler greedily extracts up to `max_fragments` *disjoint*
+// common-unique token windows, left to right: find the longest window in
+// the current suffixes, emit it as a fragment (reusing the single-window
+// column analysis), advance every sample past it, repeat. Junk inserted
+// between the kit's real statements caps the length of any single common
+// run — killing single-sequence signatures — but the statements themselves
+// survive as shorter fragments.
+//
+// Matching requires every fragment, in order, at non-overlapping
+// positions.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "match/pattern.h"
+#include "sig/compiler.h"
+
+namespace kizzle::sig {
+
+struct MultiFragmentParams {
+  std::size_t max_fragments = 5;
+  std::size_t min_fragment_tokens = 4;   // per-fragment floor
+  std::size_t max_fragment_tokens = 60;  // "multiple, shorter sequences"
+  std::size_t min_total_tokens = 12;     // reject weak fragment sets
+  CompilerParams base;                   // abstraction / slack settings
+};
+
+struct FragmentSignature {
+  bool ok = false;
+  std::string failure;
+  std::vector<Signature> fragments;  // in match order
+
+  std::size_t total_tokens() const;
+  // Total character length (Fig 12 metric, summed over fragments).
+  std::size_t length() const;
+};
+
+// Compiles a fragment signature from the tokenized packed samples of one
+// cluster. Verification (every fragment set matches every input sample in
+// order) is always performed.
+FragmentSignature compile_multi_fragment(
+    std::span<const std::vector<text::Token>> samples,
+    const MultiFragmentParams& params = {});
+
+// Ordered matcher over the fragment patterns.
+//
+// `min_fraction` controls tolerance: 1.0 requires every fragment; lower
+// values require ceil(fraction * n) fragments, still in order. Tolerant
+// matching is what makes fragment signatures robust against junk whose
+// position is randomized per sample — a fragment that happens to span a
+// junk insertion point in one particular sample is simply skipped, and
+// the remaining fragments still pin down the kit.
+class FragmentMatcher {
+ public:
+  explicit FragmentMatcher(const FragmentSignature& signature,
+                           double min_fraction = 1.0);
+
+  // True iff at least ceil(min_fraction * n) fragments match, in order,
+  // without overlap.
+  bool matches(std::string_view normalized_text) const;
+
+  std::size_t fragment_count() const { return patterns_.size(); }
+
+ private:
+  std::vector<match::Pattern> patterns_;
+  std::size_t required_ = 0;
+};
+
+}  // namespace kizzle::sig

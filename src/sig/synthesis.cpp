@@ -1,0 +1,91 @@
+#include "sig/synthesis.h"
+
+#include <algorithm>
+#include <array>
+#include <bitset>
+#include <stdexcept>
+
+#include "match/pattern.h"
+
+namespace kizzle::sig {
+
+namespace {
+
+std::string make_range(char lo, char hi) {
+  std::string out;
+  for (char c = lo;; ++c) {
+    out.push_back(c);
+    if (c == hi) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ClassTemplate>& default_templates() {
+  static const std::vector<ClassTemplate> kTemplates = [] {
+    const std::string digits = make_range('0', '9');
+    const std::string lower = make_range('a', 'z');
+    const std::string upper = make_range('A', 'Z');
+    std::vector<ClassTemplate> t;
+    t.push_back({"[0-9]", digits});
+    t.push_back({"[a-z]", lower});
+    t.push_back({"[A-Z]", upper});
+    t.push_back({"[a-zA-Z]", lower + upper});
+    t.push_back({"[0-9a-z]", digits + lower});
+    t.push_back({"[0-9A-Z]", digits + upper});
+    t.push_back({"[0-9a-zA-Z]", digits + lower + upper});
+    t.push_back({"[0-9a-zA-Z_$]", digits + lower + upper + "_$"});
+    // No broader template: values with other characters fall back to '.'
+    // bounded by length, matching the paper's Fig 9 output (".{11}" for
+    // the delimiter-bearing eval strings).
+    return t;
+  }();
+  return kTemplates;
+}
+
+std::string synthesize_class(std::span<const std::string> values,
+                             double slack, std::string_view floor_chars) {
+  if (values.empty()) {
+    throw std::invalid_argument("synthesize_class: no values");
+  }
+  if (slack < 0.0) {
+    throw std::invalid_argument("synthesize_class: negative slack");
+  }
+  std::size_t min_len = SIZE_MAX;
+  std::size_t max_len = 0;
+  std::bitset<256> observed;
+  for (const std::string& v : values) {
+    min_len = std::min(min_len, v.size());
+    max_len = std::max(max_len, v.size());
+    for (char c : v) observed.set(static_cast<unsigned char>(c));
+  }
+  for (char c : floor_chars) observed.set(static_cast<unsigned char>(c));
+  if (slack > 0.0) {
+    const std::size_t spread = max_len - min_len;
+    const auto rel = static_cast<std::size_t>(
+        slack * static_cast<double>(max_len) + 0.999);
+    const std::size_t widen = std::max(spread, rel);
+    min_len = (min_len > widen) ? min_len - widen : 0;
+    max_len += widen;
+  }
+  auto bounds = [&]() -> std::string {
+    if (min_len == max_len) return "{" + std::to_string(min_len) + "}";
+    return "{" + std::to_string(min_len) + "," + std::to_string(max_len) + "}";
+  };
+  if (max_len == 0) return "";  // all values empty: nothing to match
+  for (const ClassTemplate& t : default_templates()) {
+    std::bitset<256> allowed;
+    for (char c : t.chars) allowed.set(static_cast<unsigned char>(c));
+    if ((observed & ~allowed).none()) {
+      return t.name + bounds();
+    }
+  }
+  return "." + bounds();
+}
+
+std::string escape_literal(const std::string& value) {
+  return match::Pattern::escape(value);
+}
+
+}  // namespace kizzle::sig

@@ -1,0 +1,56 @@
+// Regex synthesis for variable token columns (paper §III.C, Fig 9).
+//
+// Once samples of a cluster are aligned on the common token window, the
+// concrete values at each token offset either agree (emit a literal) or
+// vary (emit a character-class expression). The class is chosen by brute
+// force from a predefined template ladder, most-specific first — exactly
+// the paper's "predefined set of common patterns such as [a-z]+,
+// [a-zA-Z0-9]+, etc." — with observed length bounds.
+//
+// Length slack: the paper compiled signatures from clusters with hundreds
+// of samples, so the observed min/max lengths covered the kit's true
+// randomization range. At smaller cluster sizes the observed range
+// under-samples the distribution and day-two samples fall outside it; the
+// `slack` parameter widens the bounds by max(observed spread,
+// ceil(slack * len)) on each side. slack = 0 reproduces the paper's exact
+// Fig 9 output and is the default.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kizzle::sig {
+
+// A named character-class template. `chars` lists the allowed characters.
+struct ClassTemplate {
+  std::string name;   // the class text, e.g. "[0-9a-z]"
+  std::string chars;  // expansion used for the containment check
+};
+
+// The default template ladder, ordered most-specific first.
+const std::vector<ClassTemplate>& default_templates();
+
+// Synthesizes a regex fragment matching every string in `values`
+// (which must be non-empty as a list; individual values may be empty).
+// Returns the fragment, e.g. "[0-9a-zA-Z]{3,6}" or ".{11}". Falls back to
+// ".{min,max}" when no template covers the observed characters.
+//
+// With slack > 0, the {lo,hi} bounds are widened as described above;
+// widening applies even when all observed lengths agree (needed when a
+// single long literal is being converted to a class).
+//
+// `floor_chars` (optional) are treated as observed even if no value
+// contains them. The signature compiler passes the legal alphabet of the
+// column's token class (identifier characters for Identifier columns,
+// numeric characters for Number columns): a handful of samples
+// under-samples the character distribution just like it under-samples
+// lengths, and the token class is a sound upper bound.
+std::string synthesize_class(std::span<const std::string> values,
+                             double slack = 0.0,
+                             std::string_view floor_chars = {});
+
+// Escape a literal so it matches itself (delegates to Pattern::escape).
+std::string escape_literal(const std::string& value);
+
+}  // namespace kizzle::sig

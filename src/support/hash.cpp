@@ -1,0 +1,71 @@
+#include "support/hash.h"
+
+#include <stdexcept>
+
+namespace kizzle {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+constexpr std::uint64_t kBase = 0x9E3779B97F4A7C15ull | 1ull;  // odd
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint32_t> symbols) {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint32_t s : symbols) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (s >> shift) & 0xFF;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4));
+}
+
+RollingHash::RollingHash(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("RollingHash: k == 0");
+  pow_k1_ = 1;
+  for (std::size_t i = 0; i + 1 < k; ++i) pow_k1_ *= kBase;
+}
+
+std::uint64_t RollingHash::init(std::span<const std::uint32_t> data) {
+  if (data.size() < k_) {
+    throw std::invalid_argument("RollingHash::init: data shorter than window");
+  }
+  state_ = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    state_ = state_ * kBase + data[i];
+  }
+  return state_;
+}
+
+std::uint64_t RollingHash::roll(std::uint32_t out, std::uint32_t in) {
+  state_ = (state_ - out * pow_k1_) * kBase + in;
+  return state_;
+}
+
+std::vector<std::uint64_t> RollingHash::all(
+    std::span<const std::uint32_t> data) {
+  std::vector<std::uint64_t> out;
+  if (data.size() < k_) return out;
+  out.reserve(data.size() - k_ + 1);
+  out.push_back(init(data));
+  for (std::size_t i = k_; i < data.size(); ++i) {
+    out.push_back(roll(data[i - k_], data[i]));
+  }
+  return out;
+}
+
+}  // namespace kizzle

@@ -1,0 +1,113 @@
+#include "support/rng.h"
+
+namespace kizzle {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 2^64 range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r >= limit);
+  return lo + r % span;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+double Rng::real() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+std::string Rng::string_over(std::string_view alphabet, std::size_t n) {
+  if (alphabet.empty()) {
+    throw std::invalid_argument("Rng::string_over: empty alphabet");
+  }
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(alphabet[index(alphabet.size())]);
+  }
+  return out;
+}
+
+std::string Rng::identifier(std::size_t len) {
+  if (len == 0) throw std::invalid_argument("Rng::identifier: len == 0");
+  static constexpr std::string_view kFirst =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+  static constexpr std::string_view kRest =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+  std::string out;
+  out.reserve(len);
+  out.push_back(kFirst[index(kFirst.size())]);
+  for (std::size_t i = 1; i < len; ++i) {
+    out.push_back(kRest[index(kRest.size())]);
+  }
+  return out;
+}
+
+std::string Rng::identifier(std::size_t min_len, std::size_t max_len) {
+  if (min_len == 0 || min_len > max_len) {
+    throw std::invalid_argument("Rng::identifier: bad length range");
+  }
+  return identifier(static_cast<std::size_t>(uniform(min_len, max_len)));
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  for (auto& s : child.s_) s = next();
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0) {
+    child.s_[0] = 1;
+  }
+  return child;
+}
+
+}  // namespace kizzle

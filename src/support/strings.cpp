@@ -1,0 +1,102 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace kizzle {
+
+std::vector<std::string> split(std::string_view s, std::string_view delim) {
+  if (delim.empty()) throw std::invalid_argument("split: empty delimiter");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = s.find(delim, pos);
+    if (hit == std::string_view::npos) {
+      out.emplace_back(s.substr(pos));
+      return out;
+    }
+    out.emplace_back(s.substr(pos, hit - pos));
+    pos = hit + delim.size();
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) throw std::invalid_argument("replace_all: empty pattern");
+  std::string out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      return out;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n\f\v";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace kizzle

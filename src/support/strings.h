@@ -1,0 +1,41 @@
+// Small string utilities used across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kizzle {
+
+// Splits on a (non-empty) delimiter string; keeps empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view delim);
+
+// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Whitespace trim (space, tab, CR, LF, FF, VT).
+std::string_view trim(std::string_view s);
+
+// True if every character is an ASCII decimal digit (and s is non-empty).
+bool all_digits(std::string_view s);
+
+// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+// Lowercases ASCII characters.
+std::string to_lower(std::string_view s);
+
+// Formats a double with fixed precision (locale-independent).
+std::string format_double(double v, int precision);
+
+// Formats as a percentage with given precision, e.g. 0.0312 -> "3.12%".
+std::string format_percent(double fraction, int precision);
+
+}  // namespace kizzle

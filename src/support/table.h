@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// the rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kizzle {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders with column alignment and a separator line under the header.
+  std::string to_string() const;
+
+  // Renders as CSV (no escaping of commas; callers avoid commas in cells).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kizzle

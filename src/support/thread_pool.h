@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a parallel-for helper.
+//
+// Used by the partitioned clustering pipeline to simulate the paper's
+// 50-machine map step on a single host. Tasks must not throw across the
+// pool boundary; exceptions are captured and rethrown on wait().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kizzle {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 means hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task.
+  void submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have finished. If any task threw, the
+  // first captured exception is rethrown here.
+  void wait();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace kizzle

@@ -1,0 +1,44 @@
+#include "text/abstraction.h"
+
+#include <string>
+
+namespace kizzle::text {
+
+namespace {
+
+// Class tags use a '\x01' prefix so they can never collide with real token
+// text (no JavaScript token starts with a control character).
+std::string class_tag(TokenClass cls) {
+  std::string tag("\x01");
+  tag.append(token_class_name(cls));
+  return tag;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> abstract_tokens(std::span<const Token> tokens,
+                                           Abstraction level,
+                                           Interner& interner) {
+  std::vector<std::uint32_t> out;
+  out.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    switch (level) {
+      case Abstraction::ClassOnly:
+        out.push_back(interner.intern(class_tag(t.cls)));
+        break;
+      case Abstraction::KeywordsAndPunct:
+        if (t.cls == TokenClass::Keyword || t.cls == TokenClass::Punctuator) {
+          out.push_back(interner.intern(t.text));
+        } else {
+          out.push_back(interner.intern(class_tag(t.cls)));
+        }
+        break;
+      case Abstraction::FullText:
+        out.push_back(interner.intern(t.text));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace kizzle::text

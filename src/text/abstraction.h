@@ -1,0 +1,37 @@
+// Token abstraction (paper §III.A).
+//
+// Clustering runs on an *abstracted* token stream so that randomized
+// identifiers, per-response strings and numeric noise do not separate
+// samples of the same kit. Keywords and punctuators are concrete by nature
+// (the token *is* its text); identifiers/strings/numbers collapse to their
+// class. Three levels are provided:
+//
+//   ClassOnly        every token becomes its class tag
+//   KeywordsAndPunct keywords/punctuators keep their text, the rest
+//                    collapse to class tags            (paper's scheme)
+//   FullText         every token keeps its text (useful for debugging and
+//                    for exact-duplicate detection)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/interner.h"
+#include "text/token.h"
+
+namespace kizzle::text {
+
+enum class Abstraction {
+  ClassOnly,
+  KeywordsAndPunct,
+  FullText,
+};
+
+// Maps tokens to interned symbol ids under the given abstraction. All
+// streams that are to be compared must share the same Interner.
+std::vector<std::uint32_t> abstract_tokens(std::span<const Token> tokens,
+                                           Abstraction level,
+                                           Interner& interner);
+
+}  // namespace kizzle::text

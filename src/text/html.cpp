@@ -1,0 +1,113 @@
+#include "text/html.h"
+
+#include <cctype>
+
+namespace kizzle::text {
+
+namespace {
+
+bool iprefix(std::string_view s, std::size_t pos, std::string_view word) {
+  if (pos + word.size() > s.size()) return false;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[pos + i])) !=
+        std::tolower(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Scans an opening tag starting at `pos` (which points at '<'). Returns the
+// position one past the closing '>' and reports whether a src attribute was
+// seen. Quoted attribute values may contain '>'.
+std::size_t scan_open_tag(std::string_view html, std::size_t pos,
+                          bool* has_src) {
+  *has_src = false;
+  std::size_t i = pos;
+  char quote = 0;
+  while (i < html.size()) {
+    const char c = html[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      ++i;
+      continue;
+    }
+    if (c == '>') return i + 1;
+    if ((c == 's' || c == 'S') && iprefix(html, i, "src")) {
+      // confirm it is an attribute name boundary: preceded by whitespace
+      const char prev = html[i - 1];
+      std::size_t j = i + 3;
+      while (j < html.size() && std::isspace(static_cast<unsigned char>(html[j]))) ++j;
+      if ((prev == ' ' || prev == '\t' || prev == '\n' || prev == '\r') &&
+          j < html.size() && html[j] == '=') {
+        *has_src = true;
+      }
+    }
+    ++i;
+  }
+  return html.size();
+}
+
+}  // namespace
+
+std::vector<ScriptBlock> extract_scripts(std::string_view html) {
+  std::vector<ScriptBlock> out;
+  std::size_t pos = 0;
+  while (pos < html.size()) {
+    const std::size_t lt = html.find('<', pos);
+    if (lt == std::string_view::npos) break;
+    if (!iprefix(html, lt, "<script") ||
+        (lt + 7 < html.size() && html[lt + 7] != '>' &&
+         !std::isspace(static_cast<unsigned char>(html[lt + 7])) &&
+         html[lt + 7] != '/')) {
+      pos = lt + 1;
+      continue;
+    }
+    bool has_src = false;
+    const std::size_t body_start = scan_open_tag(html, lt, &has_src);
+    // Find the matching close tag, case-insensitively.
+    std::size_t end = body_start;
+    std::size_t close = std::string_view::npos;
+    while (end < html.size()) {
+      const std::size_t cand = html.find('<', end);
+      if (cand == std::string_view::npos) break;
+      if (iprefix(html, cand, "</script")) {
+        close = cand;
+        break;
+      }
+      end = cand + 1;
+    }
+    if (close == std::string_view::npos) {
+      // Unterminated script: take the rest of the document (tolerant).
+      out.push_back(ScriptBlock{std::string(html.substr(body_start)),
+                                body_start, has_src});
+      break;
+    }
+    out.push_back(ScriptBlock{
+        std::string(html.substr(body_start, close - body_start)), body_start,
+        has_src});
+    const std::size_t gt = html.find('>', close);
+    pos = (gt == std::string_view::npos) ? html.size() : gt + 1;
+  }
+  return out;
+}
+
+std::string inline_script_text(std::string_view html) {
+  std::string out;
+  for (const ScriptBlock& block : extract_scripts(html)) {
+    if (block.has_src && block.body.find_first_not_of(" \t\r\n") ==
+                             std::string::npos) {
+      continue;  // external script, no inline content
+    }
+    if (!out.empty()) out.push_back('\n');
+    out.append(block.body);
+  }
+  return out;
+}
+
+}  // namespace kizzle::text

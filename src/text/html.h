@@ -1,0 +1,29 @@
+// Minimal HTML handling: extraction of inline <script> bodies.
+//
+// A Kizzle sample is "a complete HTML document, including all inline script
+// elements" (paper §III). We do not need a DOM — only the inline script
+// payloads, in document order. External scripts (src= attribute with an
+// empty body) are skipped because their content is not in the sample.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kizzle::text {
+
+struct ScriptBlock {
+  std::string body;        // raw text between <script ...> and </script>
+  std::size_t offset;      // byte offset of the body in the document
+  bool has_src = false;    // true if the tag had a src= attribute
+};
+
+// Extracts all <script> blocks (case-insensitive tags, attribute-aware
+// enough for real pages: quoted attribute values may contain '>').
+std::vector<ScriptBlock> extract_scripts(std::string_view html);
+
+// Concatenates the bodies of all inline (non-src) scripts, separated by a
+// single newline. This is the JavaScript a sample contributes to Kizzle.
+std::string inline_script_text(std::string_view html);
+
+}  // namespace kizzle::text

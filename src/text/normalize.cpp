@@ -1,0 +1,74 @@
+#include "text/normalize.h"
+
+#include "text/html.h"
+#include "text/lexer.h"
+
+namespace kizzle::text {
+
+std::string normalize_raw(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  for (char c : content) {
+    switch (c) {
+      case ' ':
+      case '\t':
+      case '\r':
+      case '\n':
+      case '\f':
+      case '\v':
+      case '"':
+      case '\'':
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string normalize_js(std::string_view source) {
+  std::vector<Token> tokens;
+  try {
+    tokens = lex(source, LexOptions{.tolerant = true});
+  } catch (const LexError&) {
+    return normalize_raw(source);
+  }
+  std::string out;
+  out.reserve(source.size());
+  for (const Token& t : tokens) {
+    std::string_view piece = normalized_text(t);
+    // Strings may still contain whitespace/quote characters inside; an AV
+    // normalizer removes those too, so stay consistent with normalize_raw.
+    for (char c : piece) {
+      switch (c) {
+        case ' ':
+        case '\t':
+        case '\r':
+        case '\n':
+        case '\f':
+        case '\v':
+        case '"':
+        case '\'':
+          break;
+        default:
+          out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::string normalize_document(std::string_view html) {
+  std::string out;
+  for (const ScriptBlock& block : extract_scripts(html)) {
+    if (block.has_src &&
+        block.body.find_first_not_of(" \t\r\n") == std::string::npos) {
+      continue;
+    }
+    if (!out.empty()) out.push_back('\n');
+    out.append(normalize_js(block.body));
+  }
+  return out;
+}
+
+}  // namespace kizzle::text

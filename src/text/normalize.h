@@ -1,0 +1,35 @@
+// AV-style text normalization (paper Fig 9).
+//
+// AV scanners normalize scanned content before signature matching; the
+// paper notes quotation marks are removed, and the listed signatures are
+// whitespace-free. Kizzle's generated signatures therefore match against
+// normalized text, and signature synthesis extracts values from the same
+// normalization. (The paper's Fig 10 listings still contain quote
+// characters — an internal inconsistency; we follow the Fig 9 description
+// and strip them. DESIGN.md §3.5 records this.)
+//
+// Two normalizers are provided:
+//   normalize_raw  byte-level: drop whitespace and quote characters. Works
+//                  on any content, mirrors what a real AV engine does.
+//   normalize_js   token-level: lex the JavaScript and concatenate token
+//                  texts (strings without their quotes). Identical to
+//                  normalize_raw on comment-free input, and additionally
+//                  drops comments. Falls back to normalize_raw when the
+//                  input is not lexable.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace kizzle::text {
+
+std::string normalize_raw(std::string_view content);
+
+std::string normalize_js(std::string_view source);
+
+// Normalized scan text of a full HTML document: inline scripts extracted,
+// each normalized with normalize_js, concatenated with '\n' separators (the
+// separator keeps signatures from matching across script boundaries).
+std::string normalize_document(std::string_view html);
+
+}  // namespace kizzle::text

@@ -1,0 +1,98 @@
+#include "unpack/token_util.h"
+
+#include <cstdlib>
+
+#include "text/lexer.h"
+
+namespace kizzle::unpack {
+
+std::string js_unescape(std::string_view literal) {
+  std::string_view body = literal;
+  if (body.size() >= 2) {
+    const char q = body.front();
+    if ((q == '"' || q == '\'') && body.back() == q) {
+      body = body.substr(1, body.size() - 2);
+    }
+  }
+  std::string out;
+  out.reserve(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] != '\\' || i + 1 >= body.size()) {
+      out.push_back(body[i]);
+      continue;
+    }
+    ++i;
+    switch (body[i]) {
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'v': out.push_back('\v'); break;
+      case '0': out.push_back('\0'); break;
+      default: out.push_back(body[i]);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::string, std::string> string_assignments(
+    std::span<const text::Token> tokens) {
+  std::unordered_map<std::string, std::string> out;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].cls != text::TokenClass::Identifier) continue;
+    if (!is_punct(tokens, i + 1, "=")) continue;
+    if (tokens[i + 2].cls != text::TokenClass::String) continue;
+    out.emplace(tokens[i].text, js_unescape(tokens[i + 2].text));
+  }
+  return out;
+}
+
+std::unordered_map<std::string, long long> numeric_assignments(
+    std::span<const text::Token> tokens) {
+  std::unordered_map<std::string, long long> out;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].cls != text::TokenClass::Identifier) continue;
+    if (!is_punct(tokens, i + 1, "=")) continue;
+    if (tokens[i + 2].cls != text::TokenClass::Number) continue;
+    const auto v = parse_number(tokens[i + 2]);
+    if (v) out.emplace(tokens[i].text, *v);
+  }
+  return out;
+}
+
+bool is_punct(std::span<const text::Token> t, std::size_t i,
+              std::string_view text) {
+  return i < t.size() && t[i].cls == text::TokenClass::Punctuator &&
+         t[i].text == text;
+}
+
+bool is_ident(std::span<const text::Token> t, std::size_t i,
+              std::string_view text) {
+  return i < t.size() && t[i].cls == text::TokenClass::Identifier &&
+         t[i].text == text;
+}
+
+std::optional<long long> parse_number(const text::Token& t) {
+  if (t.cls != text::TokenClass::Number) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(t.text.c_str(), &end, 0);
+  if (errno != 0 || end == t.text.c_str()) return std::nullopt;
+  return v;
+}
+
+bool looks_like_script(std::string_view s) {
+  if (s.size() < 64) return false;
+  if (s.find("function") == std::string_view::npos &&
+      s.find("var ") == std::string_view::npos) {
+    return false;
+  }
+  try {
+    const auto tokens = text::lex(s, text::LexOptions{.tolerant = true});
+    return tokens.size() >= 32;
+  } catch (const text::LexError&) {
+    return false;
+  }
+}
+
+}  // namespace kizzle::unpack

@@ -1,0 +1,48 @@
+// Token-stream utilities shared by the kit unpackers: JS string-literal
+// decoding and assignment harvesting. The unpackers work on token streams
+// (not regexes) so they tolerate the identifier randomization the packers
+// apply per sample.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "text/token.h"
+
+namespace kizzle::unpack {
+
+// Decodes a JavaScript string literal (including its quotes) to its value.
+// Handles \\ \" \' \n \r \t \f \v \0; unknown escapes pass the escaped
+// character through (ECMAScript semantics).
+std::string js_unescape(std::string_view literal);
+
+// Harvests `[var] IDENT = "..."` assignments: identifier -> decoded value.
+// The *first* assignment wins (kit packers assign once; later reads must
+// not be confused by reassignments in the decode loop).
+std::unordered_map<std::string, std::string> string_assignments(
+    std::span<const text::Token> tokens);
+
+// Harvests `[var] IDENT = <number>` assignments (decimal/hex literals).
+std::unordered_map<std::string, long long> numeric_assignments(
+    std::span<const text::Token> tokens);
+
+// True if the token at `i` is a punctuator with exactly this text.
+bool is_punct(std::span<const text::Token> t, std::size_t i,
+              std::string_view text);
+
+// True if the token at `i` is an identifier with exactly this text.
+bool is_ident(std::span<const text::Token> t, std::size_t i,
+              std::string_view text);
+
+// Parses a numeric token (decimal or 0x hex). nullopt on overflow/garbage.
+std::optional<long long> parse_number(const text::Token& t);
+
+// A plausibility heuristic for unpacked payloads: the text lexes and looks
+// like JavaScript code of non-trivial size.
+bool looks_like_script(std::string_view s);
+
+}  // namespace kizzle::unpack

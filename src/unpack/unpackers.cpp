@@ -1,0 +1,409 @@
+#include "unpack/unpackers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/lexer.h"
+#include "unpack/token_util.h"
+
+namespace kizzle::unpack {
+
+namespace {
+
+using text::Token;
+using text::TokenClass;
+
+bool all_in(std::string_view s, std::string_view alphabet) {
+  return !s.empty() && s.find_first_not_of(alphabet) == std::string_view::npos;
+}
+
+// ----------------------------------------------------------------- RIG --
+//
+// var B=""; var D="y6"; function C(t){B+=t;}
+// C("47y642y6100y6"); ...
+// P=B.split(D); ... String.fromCharCode(P[i]) ...
+class RigUnpacker final : public Unpacker {
+ public:
+  std::string_view name() const override { return "rig"; }
+
+  bool plausible(std::span<const Token> t) const override {
+    bool has_split = false;
+    bool has_fcc = false;
+    bool has_append = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is_ident(t, i, "split")) has_split = true;
+      if (is_ident(t, i, "fromCharCode")) has_fcc = true;
+      if (is_punct(t, i, "+=")) has_append = true;
+    }
+    return has_split && has_fcc && has_append;
+  }
+
+  std::optional<std::string> try_unpack(
+      std::span<const Token> t) const override {
+    // 1. The collector: function F(a){ ... B+=a; ... }. The body is
+    // scanned, not pattern-matched rigidly: adversarial variants insert
+    // superfluous statements inside it (see pack_rig_adversarial).
+    std::string collector;
+    for (std::size_t i = 0; i + 9 < t.size() && collector.empty(); ++i) {
+      if (!(t[i].cls == TokenClass::Keyword && t[i].text == "function" &&
+            t[i + 1].cls == TokenClass::Identifier &&
+            is_punct(t, i + 2, "(") &&
+            t[i + 3].cls == TokenClass::Identifier &&
+            is_punct(t, i + 4, ")") && is_punct(t, i + 5, "{"))) {
+        continue;
+      }
+      const std::string& param = t[i + 3].text;
+      // Scan the body (brace-balanced, bounded) for `IDENT += param`.
+      int depth = 1;
+      for (std::size_t j = i + 6; j + 2 < t.size() && j < i + 64 && depth > 0;
+           ++j) {
+        if (is_punct(t, j, "{")) ++depth;
+        if (is_punct(t, j, "}")) --depth;
+        if (t[j].cls == TokenClass::Identifier && is_punct(t, j + 1, "+=") &&
+            is_ident(t, j + 2, param)) {
+          collector = t[i + 1].text;
+          break;
+        }
+      }
+    }
+    if (collector.empty()) return std::nullopt;
+
+    // 2. The delimiter: ... .split(D) with var D="...".
+    const auto strings = string_assignments(t);
+    std::string delim;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (is_ident(t, i, "split") && is_punct(t, i + 1, "(") &&
+          t[i + 2].cls == TokenClass::Identifier && is_punct(t, i + 3, ")")) {
+        auto it = strings.find(t[i + 2].text);
+        if (it != strings.end()) delim = it->second;
+        break;
+      }
+    }
+    if (delim.empty()) return std::nullopt;
+
+    // 3. Collector calls, in order.
+    std::string buffer;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (is_ident(t, i, collector) && is_punct(t, i + 1, "(") &&
+          t[i + 2].cls == TokenClass::String && is_punct(t, i + 3, ")")) {
+        buffer += js_unescape(t[i + 2].text);
+      }
+    }
+    if (buffer.empty()) return std::nullopt;
+
+    // 4. Split and decode.
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < buffer.size()) {
+      std::size_t hit = buffer.find(delim, pos);
+      if (hit == std::string::npos) hit = buffer.size();
+      const std::string_view piece =
+          std::string_view(buffer).substr(pos, hit - pos);
+      if (!piece.empty()) {
+        if (!all_in(piece, "0123456789")) return std::nullopt;
+        const int code = std::atoi(std::string(piece).c_str());
+        if (code < 0 || code > 255) return std::nullopt;
+        out.push_back(static_cast<char>(code));
+      }
+      pos = hit + delim.size();
+    }
+    if (!looks_like_script(out)) return std::nullopt;
+    return out;
+  }
+};
+
+// ------------------------------------------------------------- Nuclear --
+//
+// var p="236100..."; var k="<shuffled alphabet>";
+// ... out+=k.charAt(parseInt(p.substr(i,2),R)); ...
+class NuclearUnpacker final : public Unpacker {
+ public:
+  std::string_view name() const override { return "nuclear"; }
+
+  bool plausible(std::span<const Token> t) const override {
+    // The decode idiom: charAt ( parseInt — Nuclear-specific among our
+    // schemes (Sweet Orange uses fromCharCode ( parseInt).
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (is_ident(t, i, "charAt") && is_punct(t, i + 1, "(") &&
+          is_ident(t, i + 2, "parseInt")) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::string> try_unpack(
+      std::span<const Token> t) const override {
+    // 1. Radix: parseInt(X.substr(i,2),R).
+    int radix = 0;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (is_ident(t, i, "substr")) {
+        // scan forward for "), RADIX )"
+        for (std::size_t j = i; j + 2 < t.size() && j < i + 12; ++j) {
+          if (is_punct(t, j, ",") && t[j + 1].cls == TokenClass::Number &&
+              is_punct(t, j + 2, ")")) {
+            const auto v = parse_number(t[j + 1]);
+            if (v && (*v == 10 || *v == 16)) {
+              radix = static_cast<int>(*v);
+            }
+          }
+        }
+      }
+    }
+    if (radix == 0) return std::nullopt;
+
+    // 2. The two long strings: digit payload and key.
+    const std::string_view digit_alphabet =
+        (radix == 10) ? "0123456789" : "0123456789abcdef";
+    std::string payload_digits;
+    std::string key;
+    for (const Token& tok : t) {
+      if (tok.cls != TokenClass::String) continue;
+      const std::string v = js_unescape(tok.text);
+      if (v.size() >= 40 && v.size() % 2 == 0 && all_in(v, digit_alphabet)) {
+        if (v.size() > payload_digits.size()) payload_digits = v;
+      } else if (v.size() >= 60) {
+        if (v.size() > key.size()) key = v;
+      }
+    }
+    if (payload_digits.empty() || key.empty()) return std::nullopt;
+
+    // 3. Decode 2-digit indices into the key.
+    std::string out;
+    out.reserve(payload_digits.size() / 2);
+    for (std::size_t i = 0; i + 1 < payload_digits.size(); i += 2) {
+      const std::string pair = payload_digits.substr(i, 2);
+      const long idx = std::strtol(pair.c_str(), nullptr, radix);
+      if (idx < 0 || static_cast<std::size_t>(idx) >= key.size()) {
+        return std::nullopt;
+      }
+      out.push_back(key[static_cast<std::size_t>(idx)]);
+    }
+    if (!looks_like_script(out)) return std::nullopt;
+    return out;
+  }
+};
+
+// -------------------------------------------------------------- Angler --
+//
+// var A=[283,248,...]; var F=47; ... String.fromCharCode(A[i]-F) ...
+class AnglerUnpacker final : public Unpacker {
+ public:
+  std::string_view name() const override { return "angler"; }
+
+  bool plausible(std::span<const Token> t) const override {
+    bool has_fcc = false;
+    std::size_t numeric_run = 0;
+    std::size_t best_run = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is_ident(t, i, "fromCharCode")) has_fcc = true;
+      if (t[i].cls == TokenClass::Number) {
+        ++numeric_run;
+        best_run = std::max(best_run, numeric_run);
+      } else if (!is_punct(t, i, ",")) {
+        numeric_run = 0;
+      }
+    }
+    return has_fcc && best_run >= 50;
+  }
+
+  std::optional<std::string> try_unpack(
+      std::span<const Token> t) const override {
+    // 1. The longest numeric array literal.
+    std::vector<long long> best;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_punct(t, i, "[")) continue;
+      std::vector<long long> run;
+      std::size_t j = i + 1;
+      while (j + 1 < t.size() && t[j].cls == TokenClass::Number) {
+        const auto v = parse_number(t[j]);
+        if (!v) break;
+        run.push_back(*v);
+        if (is_punct(t, j + 1, ",")) {
+          j += 2;
+        } else {
+          ++j;
+          break;
+        }
+      }
+      if (j < t.size() && is_punct(t, j, "]") && run.size() > best.size()) {
+        best = std::move(run);
+      }
+    }
+    if (best.size() < 50) return std::nullopt;
+
+    // 2. The shift: String.fromCharCode(A[i]-F).
+    const auto numbers = numeric_assignments(t);
+    std::vector<long long> candidates;
+    for (std::size_t i = 0; i + 7 < t.size(); ++i) {
+      if (is_ident(t, i, "fromCharCode") && is_punct(t, i + 1, "(") &&
+          t[i + 2].cls == TokenClass::Identifier && is_punct(t, i + 3, "[") &&
+          t[i + 4].cls == TokenClass::Identifier && is_punct(t, i + 5, "]") &&
+          is_punct(t, i + 6, "-") &&
+          t[i + 7].cls == TokenClass::Identifier) {
+        auto it = numbers.find(t[i + 7].text);
+        if (it != numbers.end()) candidates.push_back(it->second);
+      }
+    }
+    if (candidates.empty()) {
+      // Fallback: brute-force every small numeric assignment.
+      for (const auto& [ident, value] : numbers) {
+        (void)ident;
+        if (value > 0 && value <= 512) candidates.push_back(value);
+      }
+    }
+    for (const long long shift : candidates) {
+      std::string out;
+      out.reserve(best.size());
+      bool ok = true;
+      for (const long long code : best) {
+        const long long c = code - shift;
+        if (c < 0 || c > 255) {
+          ok = false;
+          break;
+        }
+        out.push_back(static_cast<char>(c));
+      }
+      if (ok && looks_like_script(out)) return out;
+    }
+    return std::nullopt;
+  }
+};
+
+// -------------------------------------------------------- Sweet Orange --
+//
+// var a1="..q.."; ... ok=[a1.charAt(Math.sqrt(196)),...]
+// var H="<hex>"; ... fromCharCode(parseInt(H.substr(i,2),16)^K.charCodeAt(..))
+class SweetOrangeUnpacker final : public Unpacker {
+ public:
+  std::string_view name() const override { return "sweet_orange"; }
+
+  bool plausible(std::span<const Token> t) const override {
+    bool has_sqrt = false;
+    bool has_xor = false;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (is_ident(t, i, "Math") && is_punct(t, i + 1, ".") &&
+          is_ident(t, i + 2, "sqrt")) {
+        has_sqrt = true;
+      }
+      if (is_punct(t, i, "^")) has_xor = true;
+    }
+    return has_sqrt && has_xor;
+  }
+
+  std::optional<std::string> try_unpack(
+      std::span<const Token> t) const override {
+    const auto strings = string_assignments(t);
+
+    // 1. Key characters: IDENT.charAt(Math.sqrt(NUM)), in order.
+    std::string key;
+    for (std::size_t i = 0; i + 9 < t.size(); ++i) {
+      if (t[i].cls == TokenClass::Identifier && is_punct(t, i + 1, ".") &&
+          is_ident(t, i + 2, "charAt") && is_punct(t, i + 3, "(") &&
+          is_ident(t, i + 4, "Math") && is_punct(t, i + 5, ".") &&
+          is_ident(t, i + 6, "sqrt") && is_punct(t, i + 7, "(") &&
+          t[i + 8].cls == TokenClass::Number && is_punct(t, i + 9, ")")) {
+        const auto sq = parse_number(t[i + 8]);
+        if (!sq || *sq < 0) return std::nullopt;
+        const auto pos = static_cast<std::size_t>(
+            std::llround(std::sqrt(static_cast<double>(*sq))));
+        auto it = strings.find(t[i].text);
+        if (it == strings.end() || pos >= it->second.size()) {
+          return std::nullopt;
+        }
+        key.push_back(it->second[pos]);
+      }
+    }
+    if (key.empty()) return std::nullopt;
+
+    // 2. The hex payload: longest even-length lower-hex string.
+    std::string hex;
+    for (const Token& tok : t) {
+      if (tok.cls != TokenClass::String) continue;
+      const std::string v = js_unescape(tok.text);
+      if (v.size() >= 40 && v.size() % 2 == 0 &&
+          all_in(v, "0123456789abcdef") && v.size() > hex.size()) {
+        hex = v;
+      }
+    }
+    if (hex.empty()) return std::nullopt;
+
+    // 3. XOR-decode with the cycling key.
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+      const int hi = hex_val(hex[i]);
+      const int lo = hex_val(hex[i + 1]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      const auto b = static_cast<unsigned char>((hi << 4) | lo);
+      out.push_back(static_cast<char>(
+          b ^ static_cast<unsigned char>(key[(i / 2) % key.size()])));
+    }
+    if (!looks_like_script(out)) return std::nullopt;
+    return out;
+  }
+
+ private:
+  static int hex_val(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Unpacker> make_rig_unpacker() {
+  return std::make_unique<RigUnpacker>();
+}
+std::unique_ptr<Unpacker> make_nuclear_unpacker() {
+  return std::make_unique<NuclearUnpacker>();
+}
+std::unique_ptr<Unpacker> make_angler_unpacker() {
+  return std::make_unique<AnglerUnpacker>();
+}
+std::unique_ptr<Unpacker> make_sweet_orange_unpacker() {
+  return std::make_unique<SweetOrangeUnpacker>();
+}
+
+const std::vector<std::unique_ptr<Unpacker>>& default_unpackers() {
+  static const std::vector<std::unique_ptr<Unpacker>> kAll = [] {
+    std::vector<std::unique_ptr<Unpacker>> v;
+    v.push_back(make_rig_unpacker());
+    v.push_back(make_nuclear_unpacker());
+    v.push_back(make_angler_unpacker());
+    v.push_back(make_sweet_orange_unpacker());
+    return v;
+  }();
+  return kAll;
+}
+
+std::optional<UnpackResult> unpack_script(std::string_view source) {
+  std::vector<Token> tokens;
+  try {
+    tokens = text::lex(source, text::LexOptions{.tolerant = true});
+  } catch (const text::LexError&) {
+    return std::nullopt;
+  }
+  for (const auto& unpacker : default_unpackers()) {
+    if (!unpacker->plausible(tokens)) continue;
+    auto result = unpacker->try_unpack(tokens);
+    if (result) return UnpackResult{std::move(*result), unpacker->name()};
+  }
+  return std::nullopt;
+}
+
+std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
+                                            int max_layers) {
+  auto first = unpack_script(source);
+  if (!first) return std::nullopt;
+  UnpackResult current = std::move(*first);
+  for (int layer = 1; layer < max_layers; ++layer) {
+    auto next = unpack_script(current.text);
+    if (!next) break;
+    current = std::move(*next);
+  }
+  return current;
+}
+
+}  // namespace kizzle::unpack

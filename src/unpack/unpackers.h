@@ -1,0 +1,59 @@
+// Kit-specific unpackers (paper §III.A).
+//
+// "This unpacking step can be conducted by hooking into the eval loop of
+//  the JavaScript engine. For our work, which focuses on a fixed set of
+//  exploit kits, we instead implemented unpackers for all kits under
+//  investigation."
+//
+// Each unpacker statically reverses one packing scheme from the token
+// stream of a packed script: no JavaScript execution is involved. An
+// unpacker first runs a cheap plausibility test (distinctive token
+// patterns), then attempts a full decode; any inconsistency yields
+// nullopt rather than an exception.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace kizzle::unpack {
+
+class Unpacker {
+ public:
+  virtual ~Unpacker() = default;
+  virtual std::string_view name() const = 0;
+  // Cheap structural precondition on the token stream.
+  virtual bool plausible(std::span<const text::Token> tokens) const = 0;
+  // Full decode; nullopt when the stream does not fit the scheme.
+  virtual std::optional<std::string> try_unpack(
+      std::span<const text::Token> tokens) const = 0;
+};
+
+std::unique_ptr<Unpacker> make_rig_unpacker();
+std::unique_ptr<Unpacker> make_nuclear_unpacker();
+std::unique_ptr<Unpacker> make_angler_unpacker();
+std::unique_ptr<Unpacker> make_sweet_orange_unpacker();
+
+// The default registry with all four unpackers.
+const std::vector<std::unique_ptr<Unpacker>>& default_unpackers();
+
+// Tries every registered unpacker on `source` (tokenized tolerantly);
+// returns the first successful decode together with the unpacker's name.
+struct UnpackResult {
+  std::string text;
+  std::string_view unpacker;
+};
+std::optional<UnpackResult> unpack_script(std::string_view source);
+
+// Unpacks repeatedly until no unpacker fires (multi-layer "onion"
+// packing, capped at max_layers). Returns the innermost text, or nullopt
+// when the first layer already fails.
+std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
+                                            int max_layers = 4);
+
+}  // namespace kizzle::unpack

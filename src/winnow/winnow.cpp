@@ -1,0 +1,123 @@
+#include "winnow/winnow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/hash.h"
+
+namespace kizzle::winnow {
+
+std::vector<Selected> winnow_hashes(std::span<const std::uint64_t> hashes,
+                                    std::size_t window) {
+  if (window == 0) throw std::invalid_argument("winnow: window == 0");
+  std::vector<Selected> out;
+  if (hashes.empty()) return out;
+  if (hashes.size() <= window) {
+    // Degenerate document: select the single global minimum (rightmost).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < hashes.size(); ++i) {
+      if (hashes[i] <= hashes[best]) best = i;
+    }
+    out.push_back(Selected{hashes[best], best});
+    return out;
+  }
+  std::size_t last_selected = SIZE_MAX;
+  for (std::size_t w = 0; w + window <= hashes.size(); ++w) {
+    // Rightmost minimal hash in [w, w + window).
+    std::size_t best = w;
+    for (std::size_t i = w + 1; i < w + window; ++i) {
+      if (hashes[i] <= hashes[best]) best = i;
+    }
+    if (best != last_selected) {
+      out.push_back(Selected{hashes[best], best});
+      last_selected = best;
+    }
+  }
+  return out;
+}
+
+FingerprintSet FingerprintSet::from_selected(
+    const std::vector<Selected>& sel) {
+  FingerprintSet fs;
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(sel.size());
+  for (const Selected& s : sel) hashes.push_back(s.hash);
+  std::sort(hashes.begin(), hashes.end());
+  for (std::size_t i = 0; i < hashes.size();) {
+    std::size_t j = i;
+    while (j < hashes.size() && hashes[j] == hashes[i]) ++j;
+    fs.counts_.emplace_back(hashes[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  fs.total_ = hashes.size();
+  return fs;
+}
+
+FingerprintSet FingerprintSet::of_text(std::string_view text,
+                                       const Params& params) {
+  if (params.k == 0) throw std::invalid_argument("winnow: k == 0");
+  if (text.size() < params.k) return FingerprintSet{};
+  // Hash each k-gram of bytes. A polynomial rolling hash over the bytes,
+  // re-mixed with a final avalanche so that window minima are unbiased.
+  std::vector<std::uint32_t> bytes(text.begin(), text.end());
+  RollingHash rh(params.k);
+  std::vector<std::uint64_t> hashes =
+      rh.all(std::span<const std::uint32_t>(bytes));
+  for (auto& h : hashes) {
+    // splitmix64 finalizer as avalanche
+    std::uint64_t z = h + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    h = z ^ (z >> 31);
+  }
+  return from_selected(winnow_hashes(hashes, params.window));
+}
+
+FingerprintSet FingerprintSet::of_symbols(
+    std::span<const std::uint32_t> symbols, const Params& params) {
+  if (params.k == 0) throw std::invalid_argument("winnow: k == 0");
+  if (symbols.size() < params.k) return FingerprintSet{};
+  RollingHash rh(params.k);
+  std::vector<std::uint64_t> hashes = rh.all(symbols);
+  for (auto& h : hashes) {
+    std::uint64_t z = h + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    h = z ^ (z >> 31);
+  }
+  return from_selected(winnow_hashes(hashes, params.window));
+}
+
+std::size_t FingerprintSet::intersection_size(
+    const FingerprintSet& other) const {
+  std::size_t inter = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < counts_.size() && j < other.counts_.size()) {
+    if (counts_[i].first < other.counts_[j].first) {
+      ++i;
+    } else if (counts_[i].first > other.counts_[j].first) {
+      ++j;
+    } else {
+      inter += std::min(counts_[i].second, other.counts_[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+double FingerprintSet::containment(const FingerprintSet& other) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(intersection_size(other)) /
+         static_cast<double>(total_);
+}
+
+double FingerprintSet::jaccard(const FingerprintSet& other) const {
+  if (total_ == 0 && other.total_ == 0) return 1.0;
+  const std::size_t inter = intersection_size(other);
+  const std::size_t uni = total_ + other.total_ - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace kizzle::winnow

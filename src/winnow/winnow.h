@@ -1,0 +1,69 @@
+// Winnowing document fingerprints (Schleimer, Wilkerson, Aiken 2003),
+// used by Kizzle to label clusters (paper §III.B): the unpacked prototype
+// of a cluster is fingerprinted and compared against the fingerprints of
+// known unpacked exploit-kit samples; sufficient overlap labels the cluster
+// with the corresponding family.
+//
+// Guarantee inherited from the original algorithm: in every window of
+// `window` consecutive k-grams, at least one k-gram is selected as a
+// fingerprint, so any shared substring of length >= k + window - 1 is
+// detected by at least one shared fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace kizzle::winnow {
+
+struct Params {
+  std::size_t k = 8;       // k-gram length (characters or symbols)
+  std::size_t window = 4;  // winnowing window (in k-grams)
+};
+
+struct Selected {
+  std::uint64_t hash;
+  std::size_t position;  // index of the k-gram within the sequence
+};
+
+// Raw winnowing: selects the minimal hash of each window, rightmost-minimal
+// tie-breaking, consecutive duplicates (same position) collapsed.
+std::vector<Selected> winnow_hashes(std::span<const std::uint64_t> kgram_hashes,
+                                    std::size_t window);
+
+// Multiset of selected fingerprints. The paper calls this the "winnow
+// histogram"; overlap between histograms drives labeling.
+class FingerprintSet {
+ public:
+  FingerprintSet() = default;
+
+  // Fingerprints of a character string (k-grams over bytes).
+  static FingerprintSet of_text(std::string_view text, const Params& params);
+
+  // Fingerprints of an interned token stream (k-grams over symbols).
+  static FingerprintSet of_symbols(std::span<const std::uint32_t> symbols,
+                                   const Params& params);
+
+  // Number of selected fingerprints (with multiplicity).
+  std::size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  // Containment of *this* in `other`: |this ∩ other| / |this| with multiset
+  // intersection. 0.0 when this is empty. This is the "overlap" used for
+  // cluster labeling (asymmetric: how much of the prototype is explained by
+  // the known sample).
+  double containment(const FingerprintSet& other) const;
+
+  // Symmetric Jaccard similarity |a ∩ b| / |a ∪ b|; 1.0 when both empty.
+  double jaccard(const FingerprintSet& other) const;
+
+ private:
+  static FingerprintSet from_selected(const std::vector<Selected>& sel);
+  std::size_t intersection_size(const FingerprintSet& other) const;
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> counts_;  // sorted
+  std::size_t total_ = 0;
+};
+
+}  // namespace kizzle::winnow

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/dbscan.h"
+#include "support/interner.h"
+#include "support/rng.h"
+#include "text/abstraction.h"
+#include "text/lexer.h"
+
+namespace kizzle::cluster {
+namespace {
+
+// 1-D points with absolute distance — easy to reason about.
+DbscanResult cluster_1d(const std::vector<double>& xs,
+                        const DbscanParams& params,
+                        const std::vector<std::size_t>& weights = {}) {
+  return dbscan(
+      xs.size(),
+      [&](std::size_t i, std::size_t j) { return std::abs(xs[i] - xs[j]); },
+      weights, params);
+}
+
+TEST(Dbscan, TwoObviousClusters) {
+  const std::vector<double> xs = {0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3});
+  EXPECT_EQ(r.n_clusters, 2);
+  EXPECT_EQ(r.label[0], r.label[1]);
+  EXPECT_EQ(r.label[1], r.label[2]);
+  EXPECT_EQ(r.label[3], r.label[4]);
+  EXPECT_NE(r.label[0], r.label[3]);
+}
+
+TEST(Dbscan, IsolatedPointIsNoise) {
+  const std::vector<double> xs = {0.0, 0.1, 0.2, 50.0};
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3});
+  EXPECT_EQ(r.label[3], kNoise);
+}
+
+TEST(Dbscan, MinMassRespected) {
+  const std::vector<double> xs = {0.0, 0.1};  // only 2 points
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3});
+  EXPECT_EQ(r.n_clusters, 0);
+  EXPECT_EQ(r.label[0], kNoise);
+}
+
+TEST(Dbscan, WeightsCountTowardMass) {
+  // A single point standing for 5 identical samples is a core point.
+  const std::vector<double> xs = {0.0};
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3}, {5});
+  EXPECT_EQ(r.n_clusters, 1);
+  EXPECT_EQ(r.label[0], 0);
+}
+
+TEST(Dbscan, ChainExpansion) {
+  // Density-reachability: a chain of close points forms one cluster.
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(i * 0.4);
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3});
+  EXPECT_EQ(r.n_clusters, 1);
+  for (int l : r.label) EXPECT_EQ(l, 0);
+}
+
+TEST(Dbscan, BorderPointJoinsCluster) {
+  // Border point: within eps of a core point but not core itself.
+  const std::vector<double> xs = {0.0, 0.1, 0.2, 0.65};
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3});
+  EXPECT_EQ(r.label[3], r.label[0]);
+}
+
+TEST(Dbscan, MembersPartitionNonNoise) {
+  const std::vector<double> xs = {0.0, 0.1, 0.2, 9.0, 9.1, 9.2, 50.0};
+  const auto r = cluster_1d(xs, {.eps = 0.5, .min_mass = 3});
+  const auto members = r.members();
+  std::size_t count = 0;
+  for (const auto& c : members) count += c.size();
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(Dbscan, WeightSizeMismatchThrows) {
+  const std::vector<double> xs = {0.0, 1.0};
+  std::vector<std::size_t> weights = {1};
+  EXPECT_THROW(cluster_1d(xs, {.eps = 0.5, .min_mass = 1}, weights),
+               std::invalid_argument);
+}
+
+TEST(Dbscan, EmptyInput) {
+  const auto r = cluster_1d({}, {.eps = 0.5, .min_mass = 3});
+  EXPECT_EQ(r.n_clusters, 0);
+  EXPECT_TRUE(r.label.empty());
+}
+
+// --------------------------- TokenDbscan -----------------------------
+
+std::vector<std::uint32_t> stream_of(std::string_view js, Interner& in) {
+  const auto tokens = text::lex(js);
+  return abstract_tokens(tokens, text::Abstraction::KeywordsAndPunct, in);
+}
+
+TEST(TokenDbscan, SameFamilyDifferentIdentifiersCluster) {
+  Interner in;
+  std::vector<std::vector<std::uint32_t>> streams = {
+      stream_of("var a1=this[\"x\"](\"e1\");var b=1;function f(){return b}", in),
+      stream_of("var q9=this[\"y\"](\"e2\");var c=2;function g(){return c}", in),
+      stream_of("var zz=this[\"w\"](\"e3\");var d=3;function h(){return d}", in),
+      stream_of("for(var i=0;i<10;i++){document.write(i)}", in),
+  };
+  TokenDbscan db(streams, {}, {.eps = 0.10, .min_mass = 3});
+  const auto r = db.run();
+  EXPECT_EQ(r.n_clusters, 1);
+  EXPECT_EQ(r.label[0], r.label[1]);
+  EXPECT_EQ(r.label[1], r.label[2]);
+  EXPECT_EQ(r.label[3], kNoise);
+}
+
+TEST(TokenDbscan, PrunersNeverChangeTheAnswer) {
+  // Distances computed with/without pruning must produce identical
+  // clustering: compare against the generic dbscan on exact distances.
+  Rng rng(99);
+  Interner in;
+  std::vector<std::vector<std::uint32_t>> streams;
+  for (int fam = 0; fam < 3; ++fam) {
+    std::string base;
+    for (int i = 0; i < 40; ++i) {
+      base += "var " + std::string(1, static_cast<char>('a' + fam)) +
+              std::to_string(i) + "=" + std::to_string(fam * 1000 + i) + ";";
+    }
+    for (int rep = 0; rep < 4; ++rep) {
+      streams.push_back(stream_of(base, in));
+    }
+  }
+  const DbscanParams params{.eps = 0.10, .min_mass = 3};
+  TokenDbscan db(streams, {}, params);
+  const auto fast = db.run();
+  const auto exact = dbscan(
+      streams.size(),
+      [&](std::size_t i, std::size_t j) {
+        return dist::normalized_edit_distance(streams[i], streams[j]);
+      },
+      {}, params);
+  EXPECT_EQ(fast.n_clusters, exact.n_clusters);
+  // Same partition up to label renaming: compare co-membership.
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    for (std::size_t j = 0; j < streams.size(); ++j) {
+      EXPECT_EQ(fast.label[i] == fast.label[j],
+                exact.label[i] == exact.label[j])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(TokenDbscan, StatsShowPruning) {
+  Interner in;
+  std::vector<std::vector<std::uint32_t>> streams = {
+      stream_of("var a=1;", in),
+      stream_of(std::string(2000, 'x') + "();", in),  // very different length
+      stream_of("var b=2;", in),
+  };
+  TokenDbscan db(streams, {}, {.eps = 0.10, .min_mass = 2});
+  db.run();
+  EXPECT_GT(db.stats().pairs_pruned_length, 0u);
+}
+
+}  // namespace
+}  // namespace kizzle::cluster

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/deploy.h"
+#include "kitgen/families.h"
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "support/rng.h"
+#include "text/normalize.h"
+
+namespace kizzle::core {
+namespace {
+
+// A bundle with one real signature, compiled from a small RIG cluster.
+class DeployFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    kitgen::PayloadSpec spec;
+    spec.family = kitgen::KitFamily::Rig;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+    spec.av_check = true;
+    spec.urls = {"http://a.gate-1.biz/x"};
+    payload_ = payload_text(spec);
+    std::vector<std::string> sources;
+    for (int i = 0; i < 5; ++i) {
+      sources.push_back(pack_rig(payload_, kitgen::RigPackerState{}, rng));
+      packed_.push_back(sources.back());
+    }
+    sig::CompilerParams params;
+    params.length_slack = 0.2;
+    const sig::Signature sig =
+        sig::compile_signature_from_sources(sources, params);
+    ASSERT_TRUE(sig.ok) << sig.failure;
+    DeployedSignature dep;
+    dep.name = "KZ.RIG.1";
+    dep.family = "RIG";
+    dep.pattern = sig.pattern;
+    bundle_ = std::make_unique<SignatureBundle>(
+        std::vector<DeployedSignature>{dep});
+  }
+
+  std::string fresh_packed() {
+    Rng rng(991);
+    return pack_rig(payload_, kitgen::RigPackerState{}, rng);
+  }
+
+  std::string payload_;
+  std::vector<std::string> packed_;
+  std::unique_ptr<SignatureBundle> bundle_;
+};
+
+TEST_F(DeployFixture, BundleMatchesItsSamples) {
+  EXPECT_TRUE(bundle_->match(text::normalize_raw(packed_[0])).has_value());
+  EXPECT_FALSE(bundle_->match("nothing to see").has_value());
+  EXPECT_THROW(bundle_->info(5), std::out_of_range);
+}
+
+TEST_F(DeployFixture, BrowserGateBlocksAndCaches) {
+  BrowserGate gate(bundle_.get(), 8);
+  const std::string script = fresh_packed();
+
+  const Verdict first = gate.check_script(script);
+  EXPECT_TRUE(first.malicious);
+  EXPECT_EQ(first.signature, "KZ.RIG.1");
+  EXPECT_EQ(gate.cache_misses(), 1u);
+  EXPECT_EQ(gate.cache_hits(), 0u);
+
+  // The same script again: memoized.
+  const Verdict second = gate.check_script(script);
+  EXPECT_TRUE(second.malicious);
+  EXPECT_EQ(gate.cache_hits(), 1u);
+  EXPECT_EQ(gate.cache_misses(), 1u);
+
+  const Verdict benign = gate.check_script("function ok(){return 1}");
+  EXPECT_FALSE(benign.malicious);
+}
+
+TEST_F(DeployFixture, BrowserGateEvictsLru) {
+  BrowserGate gate(bundle_.get(), 2);
+  gate.check_script("var a=1;");
+  gate.check_script("var b=2;");
+  gate.check_script("var c=3;");  // evicts "var a=1;"
+  gate.check_script("var a=1;");  // must re-scan
+  EXPECT_EQ(gate.cache_misses(), 4u);
+  EXPECT_EQ(gate.cache_hits(), 0u);
+}
+
+TEST_F(DeployFixture, BrowserGateNullBundleThrows) {
+  EXPECT_THROW(BrowserGate(nullptr), std::invalid_argument);
+}
+
+TEST_F(DeployFixture, DesktopScannerScansWholeFiles) {
+  DesktopScanner scanner(bundle_.get());
+  Rng rng(3);
+  // A cached HTML document containing the packed kit.
+  const std::string cached_page =
+      kitgen::wrap_html("", fresh_packed(), rng);
+  EXPECT_TRUE(scanner.scan_file(cached_page).malicious);
+  // A bare .js file with the packed content (no HTML wrapper).
+  EXPECT_TRUE(scanner.scan_file(fresh_packed()).malicious);
+  EXPECT_FALSE(scanner.scan_file("body { color: red }").malicious);
+}
+
+TEST_F(DeployFixture, CdnFilterPartitionsCandidates) {
+  CdnFilter filter(bundle_.get());
+  std::vector<std::string> candidates = {
+      "function lib(){return 42}",
+      fresh_packed(),
+      "var widget = { init: function(){} };",
+  };
+  const CdnFilter::Report report = filter.filter(candidates);
+  ASSERT_EQ(report.hostable.size(), 2u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  EXPECT_EQ(report.rejected[0], 1u);
+  EXPECT_EQ(report.hits_per_signature.at("KZ.RIG.1"), 1u);
+}
+
+TEST_F(DeployFixture, CdnFilterEmptyInput) {
+  CdnFilter filter(bundle_.get());
+  const auto report = filter.filter({});
+  EXPECT_TRUE(report.hostable.empty());
+  EXPECT_TRUE(report.rejected.empty());
+}
+
+}  // namespace
+}  // namespace kizzle::core

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "distance/edit_distance.h"
+#include "support/rng.h"
+
+namespace kizzle::dist {
+namespace {
+
+std::vector<Sym> syms(std::initializer_list<Sym> v) { return v; }
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance(syms({1, 2, 3}), syms({1, 2, 3})), 0u);
+  EXPECT_EQ(edit_distance(syms({1, 2, 3}), syms({1, 9, 3})), 1u);
+  EXPECT_EQ(edit_distance(syms({1, 2, 3}), syms({1, 3})), 1u);
+  EXPECT_EQ(edit_distance(syms({}), syms({1, 2})), 2u);
+  EXPECT_EQ(edit_distance(syms({1, 2, 3, 4}), syms({4, 3, 2, 1})), 4u);
+}
+
+TEST(EditDistance, KittenSitting) {
+  // Classic: kitten -> sitting = 3.
+  const std::vector<Sym> kitten = {'k', 'i', 't', 't', 'e', 'n'};
+  const std::vector<Sym> sitting = {'s', 'i', 't', 't', 'i', 'n', 'g'};
+  EXPECT_EQ(edit_distance(kitten, sitting), 3u);
+}
+
+TEST(EditDistance, BoundedAgreesWhenUnderLimit) {
+  const std::vector<Sym> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<Sym> b = {1, 2, 9, 4, 5, 7};
+  EXPECT_EQ(edit_distance_bounded(a, b, 6), edit_distance(a, b));
+}
+
+TEST(EditDistance, BoundedClampsWhenOverLimit) {
+  const std::vector<Sym> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<Sym> b = {9, 10, 11, 12, 13, 14, 15, 16};
+  EXPECT_EQ(edit_distance_bounded(a, b, 3), 4u);
+}
+
+TEST(EditDistance, BoundedLengthGapShortCircuits) {
+  const std::vector<Sym> a = {1};
+  const std::vector<Sym> b = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(edit_distance_bounded(a, b, 2), 3u);
+}
+
+TEST(EditDistance, BoundedZeroLimit) {
+  const std::vector<Sym> a = {1, 2};
+  EXPECT_EQ(edit_distance_bounded(a, a, 0), 0u);
+  EXPECT_EQ(edit_distance_bounded(a, syms({1, 3}), 0), 1u);
+}
+
+TEST(EditDistance, NormalizedRange) {
+  EXPECT_DOUBLE_EQ(normalized_edit_distance(syms({}), syms({})), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_edit_distance(syms({1}), syms({2})), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_edit_distance(syms({1, 2}), syms({1, 2})), 0.0);
+}
+
+TEST(EditDistance, WithinNormalizedThreshold) {
+  // 1 edit over 10 tokens = 0.1.
+  std::vector<Sym> a(10);
+  std::iota(a.begin(), a.end(), 0);
+  std::vector<Sym> b = a;
+  b[5] = 99;
+  EXPECT_TRUE(within_normalized(a, b, 0.10));
+  b[6] = 98;
+  EXPECT_FALSE(within_normalized(a, b, 0.10));
+}
+
+TEST(EditDistance, WithinNormalizedEmpty) {
+  EXPECT_TRUE(within_normalized(syms({}), syms({}), 0.1));
+  EXPECT_FALSE(within_normalized(syms({}), syms({1, 2}), 0.1));
+}
+
+TEST(Histogram, L1Distance) {
+  const auto ha = SymbolHistogram::of(syms({1, 1, 2, 3}));
+  const auto hb = SymbolHistogram::of(syms({1, 2, 2, 4}));
+  // |2-1|(sym1) + |1-2|(sym2) + 1(sym3) + 1(sym4) = 4
+  EXPECT_EQ(ha.l1_distance(hb), 4u);
+  EXPECT_EQ(ha.l1_distance(ha), 0u);
+}
+
+TEST(Histogram, LowerBoundNeverExceedsTrueDistance) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Sym> a;
+    std::vector<Sym> b;
+    const std::size_t la = 1 + rng.index(40);
+    const std::size_t lb = 1 + rng.index(40);
+    for (std::size_t i = 0; i < la; ++i) a.push_back(static_cast<Sym>(rng.index(8)));
+    for (std::size_t i = 0; i < lb; ++i) b.push_back(static_cast<Sym>(rng.index(8)));
+    const auto ha = SymbolHistogram::of(a);
+    const auto hb = SymbolHistogram::of(b);
+    EXPECT_LE(edit_distance_lower_bound(ha, hb, a.size(), b.size()),
+              edit_distance(a, b));
+  }
+}
+
+// Metric properties on random streams.
+class DistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceProperty, MetricAxioms) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 5);
+  auto random_stream = [&](std::size_t max_len) {
+    std::vector<Sym> s(1 + rng.index(max_len));
+    for (auto& x : s) x = static_cast<Sym>(rng.index(6));
+    return s;
+  };
+  const auto a = random_stream(30);
+  const auto b = random_stream(30);
+  const auto c = random_stream(30);
+  // identity
+  EXPECT_EQ(edit_distance(a, a), 0u);
+  // symmetry
+  EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+  // triangle inequality
+  EXPECT_LE(edit_distance(a, c),
+            edit_distance(a, b) + edit_distance(b, c));
+  // bounded agrees with exact under a generous limit
+  EXPECT_EQ(edit_distance_bounded(a, b, 64), edit_distance(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceProperty, ::testing::Range(0, 25));
+
+// The banded implementation agrees with exact for every limit.
+class BandedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandedSweep, AgreesWithExactOrClamps) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9176 + 3);
+  std::vector<Sym> a(5 + rng.index(30));
+  std::vector<Sym> b(5 + rng.index(30));
+  for (auto& x : a) x = static_cast<Sym>(rng.index(5));
+  for (auto& x : b) x = static_cast<Sym>(rng.index(5));
+  const std::size_t exact = edit_distance(a, b);
+  for (std::size_t limit = 0; limit < 20; ++limit) {
+    const std::size_t banded = edit_distance_bounded(a, b, limit);
+    if (exact <= limit) {
+      EXPECT_EQ(banded, exact) << "limit=" << limit;
+    } else {
+      EXPECT_EQ(banded, limit + 1) << "limit=" << limit;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedSweep, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace kizzle::dist

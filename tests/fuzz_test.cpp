@@ -1,0 +1,103 @@
+// Robustness sweeps: random and adversarial byte soup through every
+// input-facing surface. Drive-by telemetry is hostile input by definition
+// (§IV: truncated captures, malformed pages); nothing here may crash,
+// hang, or throw anything but the documented exception types.
+#include <gtest/gtest.h>
+
+#include "match/pattern.h"
+#include "support/rng.h"
+#include "text/html.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+#include "unpack/unpackers.h"
+
+namespace kizzle {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t n) {
+  std::string out(n, '\0');
+  for (char& c : out) {
+    c = static_cast<char>(rng.uniform(1, 255));  // no NUL: std::string APIs
+  }
+  return out;
+}
+
+std::string random_js_soup(Rng& rng, std::size_t n) {
+  static constexpr std::string_view kSoup =
+      "abcxyz019 \t\n\"'\\(){}[];,.+-*/<>=!&|^~?:#@`%$_";
+  return rng.string_over(kSoup, n);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 40503 + 7};
+};
+
+TEST_P(FuzzSweep, TolerantLexerNeverThrows) {
+  for (int i = 0; i < 40; ++i) {
+    const std::string input = (i % 2 == 0)
+                                  ? random_bytes(rng_, rng_.index(600))
+                                  : random_js_soup(rng_, rng_.index(600));
+    std::vector<text::Token> tokens;
+    EXPECT_NO_THROW(tokens = text::lex(input));
+    // Every token's text must be a slice of the input at its offset.
+    for (const auto& t : tokens) {
+      ASSERT_LE(t.offset + t.text.size(), input.size());
+      EXPECT_EQ(input.substr(t.offset, t.text.size()), t.text);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, NormalizersNeverThrow) {
+  for (int i = 0; i < 40; ++i) {
+    const std::string input = random_js_soup(rng_, rng_.index(800));
+    EXPECT_NO_THROW(text::normalize_raw(input));
+    EXPECT_NO_THROW(text::normalize_js(input));
+    EXPECT_NO_THROW(text::normalize_document(input));
+  }
+}
+
+TEST_P(FuzzSweep, HtmlExtractorNeverThrows) {
+  static constexpr std::string_view kTagSoup =
+      "<>scriptSCRIPT/ =\"'abc srcx\n\t";
+  for (int i = 0; i < 40; ++i) {
+    std::string input;
+    for (std::size_t j = 0; j < rng_.index(400); ++j) {
+      input.push_back(kTagSoup[rng_.index(kTagSoup.size())]);
+    }
+    EXPECT_NO_THROW(text::extract_scripts(input));
+    EXPECT_NO_THROW(text::inline_script_text(input));
+  }
+}
+
+TEST_P(FuzzSweep, UnpackersRejectGarbageGracefully) {
+  for (int i = 0; i < 20; ++i) {
+    const std::string input = random_js_soup(rng_, rng_.index(1000));
+    std::optional<unpack::UnpackResult> result;
+    EXPECT_NO_THROW(result = unpack::unpack_script(input));
+    EXPECT_FALSE(result.has_value());
+    EXPECT_NO_THROW(unpack::unpack_fixpoint(input));
+  }
+}
+
+TEST_P(FuzzSweep, PatternCompileEitherWorksOrThrowsPatternError) {
+  static constexpr std::string_view kRegexSoup = "ab[](){}\\*+?.|^$-,0-9kv<>";
+  for (int i = 0; i < 60; ++i) {
+    std::string source;
+    for (std::size_t j = 0; j < 1 + rng_.index(20); ++j) {
+      source.push_back(kRegexSoup[rng_.index(kRegexSoup.size())]);
+    }
+    try {
+      const auto p = match::Pattern::compile(source);
+      // If it compiles, searching must terminate and not throw.
+      EXPECT_NO_THROW(p.search(random_js_soup(rng_, 200)));
+    } catch (const match::PatternError&) {
+      // expected for malformed sources
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace kizzle

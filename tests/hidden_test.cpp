@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "av/av_engine.h"
+#include "core/hidden.h"
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "support/rng.h"
+#include "text/normalize.h"
+
+namespace kizzle::core {
+namespace {
+
+std::string rig_payload(const std::vector<std::string>& urls) {
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Rig;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+  spec.av_check = true;
+  spec.urls = urls;
+  return payload_text(spec);
+}
+
+std::string nuclear_payload() {
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Nuclear;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Nuclear).cves;
+  spec.av_check = true;
+  spec.urls = {"http://nk1.edge-q.ru/gate"};
+  return payload_text(spec);
+}
+
+TEST(HiddenSignatures, LearnsFromUnpackedPayloads) {
+  HiddenSignatureEngine engine;
+  const std::vector<std::string> payloads = {
+      rig_payload({"http://a.gate-1.biz/x"}),
+      rig_payload({"http://b.gate-2.ru/y"}),
+  };
+  ASSERT_TRUE(engine.learn("RIG", payloads));
+  ASSERT_EQ(engine.signatures().size(), 1u);
+  EXPECT_EQ(engine.signatures()[0].family, "RIG");
+  EXPECT_EQ(engine.signatures()[0].name, "HS.RIG.1");
+}
+
+TEST(HiddenSignatures, MatchesInnerText) {
+  HiddenSignatureEngine engine;
+  const std::vector<std::string> payloads = {
+      rig_payload({"http://a.gate-1.biz/x"}),
+      rig_payload({"http://b.gate-2.ru/y"}),
+  };
+  ASSERT_TRUE(engine.learn("RIG", payloads));
+  const std::string fresh = rig_payload({"http://c.gate-3.pw/z"});
+  const auto hit = engine.scan_inner(text::normalize_js(fresh));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "RIG");
+  EXPECT_FALSE(
+      engine.scan_inner("function benign(){return document.title}"));
+}
+
+TEST(HiddenSignatures, ScanPackedUnpacksFirst) {
+  HiddenSignatureEngine engine;
+  const std::vector<std::string> payloads = {
+      rig_payload({"http://a.gate-1.biz/x"}),
+      rig_payload({"http://b.gate-2.ru/y"}),
+  };
+  ASSERT_TRUE(engine.learn("RIG", payloads));
+  Rng rng(5);
+  const std::string packed = pack_rig(
+      rig_payload({"http://new.gate-9.eu/q"}),
+      kitgen::RigPackerState{.delim = "Qz"}, rng);
+  const auto hit = engine.scan_packed(packed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "RIG");
+}
+
+TEST(HiddenSignatures, DistinguishesFamilies) {
+  HiddenSignatureEngine engine;
+  ASSERT_TRUE(engine.learn("RIG", std::vector<std::string>{
+                                      rig_payload({"http://a.g-1.biz/x"}),
+                                      rig_payload({"http://b.g-2.ru/y"})}));
+  ASSERT_TRUE(engine.learn(
+      "Nuclear", std::vector<std::string>{nuclear_payload()}));
+  Rng rng(6);
+  const std::string nk_packed =
+      pack_nuclear(nuclear_payload(), kitgen::NuclearPackerState{}, rng);
+  const auto hit = engine.scan_packed(nk_packed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "Nuclear");
+}
+
+TEST(HiddenSignatures, UnpackableContentIsClean) {
+  HiddenSignatureEngine engine;
+  ASSERT_TRUE(engine.learn("RIG", std::vector<std::string>{
+                                      rig_payload({"http://a.g-1.biz/x"}),
+                                      rig_payload({"http://b.g-2.ru/y"})}));
+  EXPECT_FALSE(engine.scan_packed("var x = 1; function f(){return x}"));
+}
+
+TEST(HiddenSignatures, EmptyLearnFails) {
+  HiddenSignatureEngine engine;
+  EXPECT_FALSE(engine.learn("RIG", {}));
+  EXPECT_TRUE(engine.signatures().empty());
+}
+
+// The §V scenario the extension exists for: the attacker randomizes the
+// packer until every *client-side* signature misses — and the hidden
+// signature still catches the sample because the inner core is unchanged.
+TEST(HiddenSignatures, SurvivesClientSideEvasion) {
+  // Client side: the manual AV signature for the current RIG version.
+  av::ManualAvEngine client_av;
+  client_av.schedule(av::AvRelease{
+      0, kitgen::KitFamily::Rig, "RIG.sig1",
+      rig_analyst_feature(kitgen::RigPackerState{.delim = "y6"})});
+
+  // Server side: hidden signature learned from the unpacked corpus.
+  HiddenSignatureEngine hidden;
+  ASSERT_TRUE(hidden.learn("RIG", std::vector<std::string>{
+                                      rig_payload({"http://a.g-1.biz/x"}),
+                                      rig_payload({"http://b.g-2.ru/y"})}));
+
+  // The attacker's move: a fresh random delimiter every sample (trial-and-
+  // error against the client oracle, Fig 1).
+  Rng rng(7);
+  std::size_t client_caught = 0;
+  std::size_t hidden_caught = 0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    kitgen::RigPackerState evaded;
+    evaded.delim = rng.string_over("abcdefghjkmnpqrstuvwxyz", 1) +
+                   rng.string_over("2345679", 1);
+    if (evaded.delim == "y6") continue;
+    const std::string packed =
+        pack_rig(rig_payload({"http://ev.g-9.pw/k"}), evaded, rng);
+    if (client_av.detects(0, text::normalize_raw(packed))) ++client_caught;
+    if (hidden.scan_packed(packed) == "RIG") ++hidden_caught;
+  }
+  EXPECT_EQ(client_caught, 0u);           // the evasion works client-side
+  EXPECT_GE(hidden_caught, 19u);          // and fails server-side
+}
+
+}  // namespace
+}  // namespace kizzle::core

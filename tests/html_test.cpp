@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "text/html.h"
+
+namespace kizzle::text {
+namespace {
+
+TEST(Html, ExtractsSingleInlineScript) {
+  const auto blocks =
+      extract_scripts("<html><body><script>var a=1;</script></body></html>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].body, "var a=1;");
+  EXPECT_FALSE(blocks[0].has_src);
+}
+
+TEST(Html, ExtractsMultipleScriptsInOrder) {
+  const auto blocks = extract_scripts(
+      "<script>first</script><p>x</p><script>second</script>");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].body, "first");
+  EXPECT_EQ(blocks[1].body, "second");
+}
+
+TEST(Html, CaseInsensitiveTags) {
+  const auto blocks = extract_scripts("<SCRIPT>x</SCRIPT>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].body, "x");
+}
+
+TEST(Html, AttributesWithQuotedGt) {
+  const auto blocks = extract_scripts(
+      "<script type=\"a>b\">body</script>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].body, "body");
+}
+
+TEST(Html, DetectsSrcAttribute) {
+  const auto blocks =
+      extract_scripts("<script src=\"http://x/y.js\"></script>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_TRUE(blocks[0].has_src);
+}
+
+TEST(Html, ScriptTagNamePrefixNotConfused) {
+  // <scripting> is not a script tag.
+  const auto blocks = extract_scripts("<scripting>nope</scripting>");
+  EXPECT_TRUE(blocks.empty());
+}
+
+TEST(Html, UnterminatedScriptTakesRest) {
+  const auto blocks = extract_scripts("<script>var x=1;");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].body, "var x=1;");
+}
+
+TEST(Html, InlineScriptTextSkipsExternal) {
+  const std::string text = inline_script_text(
+      "<script src=\"a.js\"> </script><script>kept()</script>");
+  EXPECT_EQ(text, "kept()");
+}
+
+TEST(Html, InlineScriptTextJoinsWithNewline) {
+  const std::string text =
+      inline_script_text("<script>a</script><script>b</script>");
+  EXPECT_EQ(text, "a\nb");
+}
+
+TEST(Html, BodyOffsetsAreCorrect) {
+  const std::string doc = "<p>x</p><script>BODY</script>";
+  const auto blocks = extract_scripts(doc);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(doc.substr(blocks[0].offset, 4), "BODY");
+}
+
+TEST(Html, EmptyDocument) {
+  EXPECT_TRUE(extract_scripts("").empty());
+  EXPECT_EQ(inline_script_text("<html></html>"), "");
+}
+
+TEST(Html, ScriptWithLessThanInBody) {
+  const auto blocks = extract_scripts("<script>if(a<b){c()}</script>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].body, "if(a<b){c()}");
+}
+
+}  // namespace
+}  // namespace kizzle::text

@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "kitgen/benign.h"
+#include "kitgen/families.h"
+#include "kitgen/kit.h"
+#include "kitgen/payload.h"
+#include "kitgen/stream.h"
+#include "kitgen/timeline.h"
+#include "text/html.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+
+namespace kizzle::kitgen {
+namespace {
+
+// ------------------------------ Fig 2 ------------------------------
+
+TEST(Catalog, HasAllFourKits) {
+  EXPECT_EQ(kit_catalog().size(), 4u);
+  for (std::size_t i = 0; i < kNumFamilies; ++i) {
+    EXPECT_NO_THROW(kit_info(family_from_index(i)));
+  }
+}
+
+TEST(Catalog, Fig2Rows) {
+  // Spot-check the Fig 2 contents.
+  const KitInfo& angler = kit_info(KitFamily::Angler);
+  EXPECT_TRUE(angler.av_check);
+  EXPECT_EQ(angler.cves.size(), 5u);
+  const KitInfo& so = kit_info(KitFamily::SweetOrange);
+  EXPECT_FALSE(so.av_check);
+  const KitInfo& nuclear = kit_info(KitFamily::Nuclear);
+  bool has_reader = false;
+  for (const CveEntry& c : nuclear.cves) {
+    if (c.target == PluginTarget::AdobeReader) {
+      has_reader = true;
+      EXPECT_EQ(c.cve, "2010-0188");  // the 2010 CVE the paper highlights
+    }
+  }
+  EXPECT_TRUE(has_reader);
+}
+
+TEST(Catalog, SharedIeCve) {
+  // All four kits carry CVE-2013-2551 (Fig 2).
+  for (const KitInfo& kit : kit_catalog()) {
+    bool found = false;
+    for (const CveEntry& c : kit.cves) {
+      if (c.cve == "2013-2551") found = true;
+    }
+    EXPECT_TRUE(found) << family_name(kit.family);
+  }
+}
+
+// ----------------------------- timeline -----------------------------
+
+TEST(Timeline, DateConversions) {
+  EXPECT_EQ(day_from_date(6, 1), 0);
+  EXPECT_EQ(day_from_date(8, 1), kAug1);
+  EXPECT_EQ(day_from_date(8, 31), kAug31);
+  EXPECT_EQ(date_label(kAug1), "8/1");
+  EXPECT_EQ(date_label(day_from_date(7, 15)), "7/15");
+  EXPECT_THROW(day_from_date(9, 1), std::invalid_argument);
+}
+
+TEST(Timeline, Fig5HasThirteenSuperficialPackerChanges) {
+  std::size_t packer = 0;
+  std::size_t semantic = 0;
+  std::size_t payload = 0;
+  for (const KitEvent& e : nuclear_fig5_timeline()) {
+    switch (e.kind) {
+      case EventKind::PackerChange: ++packer; break;
+      case EventKind::SemanticChange: ++semantic; break;
+      default: ++payload;
+    }
+  }
+  // Paper §II.B: 13 small syntactic changes, one semantic change, and two
+  // payload changes over the three months.
+  EXPECT_EQ(packer, 13u);
+  EXPECT_EQ(semantic, 1u);
+  EXPECT_EQ(payload, 2u);
+}
+
+TEST(Timeline, Fig5IsChronological) {
+  const auto& t = nuclear_fig5_timeline();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i - 1].day, t[i].day);
+  }
+}
+
+TEST(Timeline, AugustScheduleCoversAllFamilies) {
+  bool seen[kNumFamilies] = {};
+  for (const KitEvent& e : august_schedule()) {
+    EXPECT_GE(e.day, kAug1);
+    EXPECT_LE(e.day, kAug31);
+    seen[family_index(e.family)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Timeline, AnglerChangeIsOnAugust13) {
+  bool found = false;
+  for (const KitEvent& e : august_schedule()) {
+    if (e.family == KitFamily::Angler &&
+        e.kind == EventKind::SemanticChange) {
+      EXPECT_EQ(e.day, day_from_date(8, 13));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ----------------------------- payload -----------------------------
+
+TEST(Payload, AvCheckTextIsSharedVerbatim) {
+  // §II.B code borrowing: one canonical text.
+  PayloadSpec rig;
+  rig.family = KitFamily::Rig;
+  rig.cves = kit_info(KitFamily::Rig).cves;
+  rig.av_check = true;
+  rig.urls = {"http://a.b.c/d"};
+  PayloadSpec angler = rig;
+  angler.family = KitFamily::Angler;
+  angler.cves = kit_info(KitFamily::Angler).cves;
+  const std::string rig_text = payload_text(rig);
+  const std::string angler_text = payload_text(angler);
+  const std::string shared = av_check_text();
+  EXPECT_NE(rig_text.find(shared), std::string::npos);
+  EXPECT_NE(angler_text.find(shared), std::string::npos);
+}
+
+TEST(Payload, SweetOrangeHasNoAvCheck) {
+  PayloadSpec so;
+  so.family = KitFamily::SweetOrange;
+  so.cves = kit_info(KitFamily::SweetOrange).cves;
+  so.av_check = false;
+  so.urls = {"http://a.b.c/d"};
+  EXPECT_EQ(payload_text(so).find(av_check_text()), std::string::npos);
+}
+
+TEST(Payload, NuclearEmbedsPluginDetectCore) {
+  // The Fig 15 overlap mechanism.
+  PayloadSpec nk;
+  nk.family = KitFamily::Nuclear;
+  nk.cves = kit_info(KitFamily::Nuclear).cves;
+  nk.av_check = true;
+  nk.urls = {"http://a.b.c/d"};
+  EXPECT_NE(payload_text(nk).find(plugin_detector_core_text()),
+            std::string::npos);
+}
+
+TEST(Payload, OneStubPerCve) {
+  PayloadSpec nk;
+  nk.family = KitFamily::Nuclear;
+  nk.cves = kit_info(KitFamily::Nuclear).cves;
+  nk.av_check = true;
+  nk.urls = {"http://a.b.c/d"};
+  const std::string text = payload_text(nk);
+  for (const CveEntry& c : nk.cves) {
+    std::string id;
+    for (char ch : c.cve) {
+      if (isalnum(static_cast<unsigned char>(ch))) id.push_back(ch);
+      if (ch == '-') id.push_back('_');
+    }
+    EXPECT_NE(text.find(id), std::string::npos) << c.cve;
+  }
+}
+
+TEST(Payload, MarkerEmbeddingIsConditional) {
+  PayloadSpec ang;
+  ang.family = KitFamily::Angler;
+  ang.cves = kit_info(KitFamily::Angler).cves;
+  ang.av_check = true;
+  ang.urls = {"http://a.b.c/d"};
+  ang.java_marker = "jvmqx1r7a";
+  ang.embed_java_marker = false;
+  EXPECT_EQ(payload_text(ang).find("jvmqx1r7a"), std::string::npos);
+  ang.embed_java_marker = true;
+  EXPECT_NE(payload_text(ang).find("jvmqx1r7a"), std::string::npos);
+}
+
+TEST(Payload, DeterministicForSameSpec) {
+  PayloadSpec spec;
+  spec.family = KitFamily::Rig;
+  spec.cves = kit_info(KitFamily::Rig).cves;
+  spec.av_check = true;
+  spec.urls = {"http://a.b.c/d"};
+  EXPECT_EQ(payload_text(spec), payload_text(spec));
+}
+
+TEST(Payload, RequiresUrl) {
+  PayloadSpec spec;
+  spec.family = KitFamily::Rig;
+  EXPECT_THROW(payload_text(spec), std::invalid_argument);
+}
+
+TEST(Payload, PayloadLexesCleanly) {
+  for (const KitInfo& kit : kit_catalog()) {
+    PayloadSpec spec;
+    spec.family = kit.family;
+    spec.cves = kit.cves;
+    spec.av_check = kit.av_check;
+    spec.urls = {"http://a.b.c/d", "http://e.f.g/h"};
+    const std::string text = payload_text(spec);
+    const auto tokens = text::lex(text, text::LexOptions{.tolerant = false});
+    EXPECT_GT(tokens.size(), 200u) << family_name(kit.family);
+  }
+}
+
+// ---------------------------- generators ----------------------------
+
+TEST(Generators, DeterministicAcrossRuns) {
+  auto g1 = make_kit_generator(KitFamily::Nuclear, 42);
+  auto g2 = make_kit_generator(KitFamily::Nuclear, 42);
+  g1->begin_day(kAug1);
+  g2->begin_day(kAug1);
+  Rng r1(7);
+  Rng r2(7);
+  EXPECT_EQ(g1->sample_html(r1), g2->sample_html(r2));
+}
+
+TEST(Generators, FeatureChangesOnPackerEvent) {
+  auto gen = make_kit_generator(KitFamily::Rig, 1);
+  gen->begin_day(kAug1);
+  const std::string before = gen->analyst_feature();
+  gen->begin_day(day_from_date(8, 5));  // RIG delimiter change
+  const std::string after = gen->analyst_feature();
+  EXPECT_NE(before, after);
+}
+
+TEST(Generators, VersionIdAdvances) {
+  auto gen = make_kit_generator(KitFamily::Nuclear, 1);
+  gen->begin_day(kAug1);
+  const int v0 = gen->version_id();
+  gen->begin_day(day_from_date(8, 18));  // past the 8/12 and 8/17 events
+  EXPECT_GT(gen->version_id(), v0);
+}
+
+TEST(Generators, SampleContainsFeature) {
+  // Most samples (1 - minor_variant_p) carry the analyst feature in
+  // AV-normalized form.
+  auto gen = make_kit_generator(KitFamily::SweetOrange, 5);
+  gen->begin_day(kAug1);
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string html = gen->sample_html(rng);
+    const std::string norm = text::normalize_raw(html);
+    if (norm.find(gen->analyst_feature()) != std::string::npos) ++hits;
+  }
+  EXPECT_GE(hits, 24);  // ~95% expected
+  EXPECT_LE(hits, 30);
+}
+
+TEST(Generators, AnglerMarkerMovesOnAug13) {
+  auto gen = make_kit_generator(KitFamily::Angler, 9);
+  gen->begin_day(kAug1);
+  Rng rng(13);
+  // Pre-8/13: marker in clear HTML (an applet tag).
+  const std::string pre = gen->sample_html(rng);
+  EXPECT_NE(pre.find("applet"), std::string::npos);
+  EXPECT_NE(pre.find("jvmqx1r7a"), std::string::npos);
+  // Well after 8/13 (full adoption is capped at 55%; sample until we see a
+  // new-version sample).
+  gen->begin_day(day_from_date(8, 20));
+  bool saw_new_version = false;
+  for (int i = 0; i < 50 && !saw_new_version; ++i) {
+    const std::string post = gen->sample_html(rng);
+    if (post.find("applet") == std::string::npos) {
+      saw_new_version = true;
+      // Marker no longer in the clear; it hides inside the packed body.
+      EXPECT_EQ(post.find("jvmqx1r7a"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_new_version);
+}
+
+TEST(Generators, RigUrlsChurnDaily) {
+  auto gen = make_kit_generator(KitFamily::Rig, 3);
+  gen->begin_day(kAug1);
+  const std::string day1 = gen->unpacked_payload();
+  gen->begin_day(kAug1 + 1);
+  const std::string day2 = gen->unpacked_payload();
+  EXPECT_NE(day1, day2);  // embedded URLs rotated
+}
+
+TEST(Generators, NuclearPayloadStableWithinAugustUntilCveAppend) {
+  auto gen = make_kit_generator(KitFamily::Nuclear, 3);
+  gen->begin_day(kAug1);
+  const std::string early = gen->unpacked_payload();
+  gen->begin_day(day_from_date(8, 20));
+  EXPECT_EQ(early, gen->unpacked_payload());
+  gen->begin_day(day_from_date(8, 28));  // past the 8/27 CVE append
+  const std::string late = gen->unpacked_payload();
+  EXPECT_NE(early, late);
+  EXPECT_LT(early.size(), late.size());  // append, not replace
+}
+
+TEST(Generators, BeginDayRejectsDescendingDays) {
+  auto gen = make_kit_generator(KitFamily::Rig, 3);
+  gen->begin_day(kAug1 + 5);
+  EXPECT_THROW(gen->begin_day(kAug1), std::invalid_argument);
+}
+
+// ------------------------------ benign ------------------------------
+
+TEST(Benign, FamilyScriptsAreDeterministic) {
+  BenignCorpus a(99);
+  BenignCorpus b(99);
+  EXPECT_EQ(a.family_script(7, kAug1), b.family_script(7, kAug1));
+}
+
+TEST(Benign, FamiliesDiffer) {
+  BenignCorpus corpus(99);
+  EXPECT_NE(corpus.family_script(1, kAug1), corpus.family_script(2, kAug1));
+}
+
+TEST(Benign, FamilyStableDayOverDay) {
+  BenignCorpus corpus(99);
+  // Most days the family body is identical (version drift is slow).
+  EXPECT_EQ(corpus.family_script(5, kAug1), corpus.family_script(5, kAug1 + 1));
+}
+
+TEST(Benign, AdloaderEmbedsRigProber) {
+  BenignCorpus corpus(99);
+  const std::string script = corpus.adloader_script(kAug1);
+  EXPECT_NE(script.find("rg_probe"), std::string::npos);
+}
+
+TEST(Benign, PlugindetectSharesCoreWithNuclear) {
+  BenignCorpus corpus(99);
+  const std::string script = corpus.plugindetect_script(kAug1);
+  EXPECT_NE(script.find("isPlainObject"), std::string::npos);
+  EXPECT_NE(script.find("PluginDetect"), std::string::npos);
+}
+
+TEST(Benign, ScriptsLex) {
+  BenignCorpus corpus(42);
+  for (std::size_t f = 0; f < 30; ++f) {
+    const std::string script = corpus.family_script(f, kAug1);
+    EXPECT_NO_THROW(text::lex(script, text::LexOptions{.tolerant = false}))
+        << "family " << f;
+  }
+}
+
+// ------------------------------ stream ------------------------------
+
+TEST(Stream, WeekendDetection) {
+  EXPECT_FALSE(is_weekend(day_from_date(8, 1)));  // Friday
+  EXPECT_TRUE(is_weekend(day_from_date(8, 2)));   // Saturday
+  EXPECT_TRUE(is_weekend(day_from_date(8, 3)));   // Sunday
+  EXPECT_FALSE(is_weekend(day_from_date(8, 4)));  // Monday
+  EXPECT_TRUE(is_weekend(day_from_date(8, 9)));   // Saturday
+}
+
+TEST(Stream, GeneratesLabeledBatch) {
+  StreamConfig cfg;
+  cfg.volume_scale = 0.1;  // keep the test fast
+  StreamSimulator sim(cfg);
+  const DailyBatch batch = sim.generate_day(kAug1);
+  EXPECT_EQ(batch.day, kAug1);
+  EXPECT_GT(batch.benign_count, 0u);
+  EXPECT_GT(batch.malicious_count, 0u);
+  EXPECT_EQ(batch.samples.size(), batch.benign_count + batch.malicious_count);
+  // Sample ids are unique.
+  std::set<std::string> ids;
+  for (const Sample& s : batch.samples) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), batch.samples.size());
+}
+
+TEST(Stream, DeterministicAcrossRuns) {
+  StreamConfig cfg;
+  cfg.volume_scale = 0.05;
+  StreamSimulator a(cfg);
+  StreamSimulator b(cfg);
+  const DailyBatch ba = a.generate_day(kAug1);
+  const DailyBatch bb = b.generate_day(kAug1);
+  ASSERT_EQ(ba.samples.size(), bb.samples.size());
+  for (std::size_t i = 0; i < ba.samples.size(); ++i) {
+    EXPECT_EQ(ba.samples[i].html, bb.samples[i].html);
+    EXPECT_EQ(ba.samples[i].truth, bb.samples[i].truth);
+  }
+}
+
+TEST(Stream, SeedCorpusHasAllFamilies) {
+  StreamSimulator sim(StreamConfig{});
+  const auto& seeds = sim.seed_corpus();
+  EXPECT_EQ(seeds.size(), kNumFamilies);
+  for (const auto& [family, payload] : seeds) {
+    EXPECT_GT(payload.size(), 500u) << family_name(family);
+  }
+}
+
+TEST(Stream, VolumeOrderingMatchesFig14) {
+  StreamConfig cfg;
+  cfg.volume_scale = 0.5;
+  StreamSimulator sim(cfg);
+  std::size_t per_family[kNumFamilies] = {};
+  for (int day = kAug1; day <= kAug1 + 6; ++day) {
+    const DailyBatch batch = sim.generate_day(day);
+    for (const Sample& s : batch.samples) {
+      switch (s.truth) {
+        case Truth::Nuclear: ++per_family[0]; break;
+        case Truth::SweetOrange: ++per_family[1]; break;
+        case Truth::Angler: ++per_family[2]; break;
+        case Truth::Rig: ++per_family[3]; break;
+        default: break;
+      }
+    }
+  }
+  // Angler > Sweet Orange > Nuclear > RIG (Fig 14 ground-truth ordering).
+  EXPECT_GT(per_family[2], per_family[1]);
+  EXPECT_GT(per_family[1], per_family[0]);
+  EXPECT_GT(per_family[0], per_family[3]);
+}
+
+TEST(Stream, RejectsOutOfRangeAndDescendingDays) {
+  StreamConfig cfg;
+  cfg.volume_scale = 0.05;
+  StreamSimulator sim(cfg);
+  EXPECT_THROW(sim.generate_day(kAug1 - 1), std::invalid_argument);
+  sim.generate_day(kAug1 + 1);
+  EXPECT_THROW(sim.generate_day(kAug1 + 1), std::invalid_argument);
+}
+
+TEST(Stream, MaliciousSamplesAreFullDocuments) {
+  StreamConfig cfg;
+  cfg.volume_scale = 0.2;
+  StreamSimulator sim(cfg);
+  const DailyBatch batch = sim.generate_day(kAug1);
+  for (const Sample& s : batch.samples) {
+    if (s.truth != Truth::Benign && !s.corrupted) {
+      EXPECT_FALSE(text::extract_scripts(s.html).empty()) << s.id;
+    }
+  }
+}
+
+TEST(Html, WrapHtmlProducesExtractableScript) {
+  Rng rng(1);
+  const std::string doc = wrap_html("", "var x=1;", rng);
+  EXPECT_EQ(text::inline_script_text(doc), "\nvar x=1;");
+}
+
+}  // namespace
+}  // namespace kizzle::kitgen

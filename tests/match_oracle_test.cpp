@@ -1,0 +1,171 @@
+// Differential testing of the regex VM against a tiny reference
+// implementation, on randomized patterns and subjects.
+//
+// The reference covers the grammar subset used by generated signatures
+// (literals, character classes with bounds, '.', concatenation) with
+// straightforward exponential backtracking — trivially correct, hopeless
+// performance. The production VM must agree with it everywhere.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "match/pattern.h"
+#include "support/rng.h"
+
+namespace kizzle::match {
+namespace {
+
+// ------------------------- reference matcher -------------------------
+
+struct RefPiece {
+  enum class Kind { Literal, Class, Any } kind;
+  char literal = 0;
+  std::string chars;  // Class: allowed characters
+  std::size_t min = 1;
+  std::size_t max = 1;
+};
+
+bool piece_accepts(const RefPiece& p, char c) {
+  switch (p.kind) {
+    case RefPiece::Kind::Literal: return c == p.literal;
+    case RefPiece::Kind::Class:
+      return p.chars.find(c) != std::string::npos;
+    case RefPiece::Kind::Any: return c != '\n';
+  }
+  return false;
+}
+
+// Can pieces[i..] match text[pos..] exactly to some end? Returns every
+// reachable end position set as a boolean table to keep it simple.
+bool ref_match_here(const std::vector<RefPiece>& pieces, std::size_t i,
+                    std::string_view text, std::size_t pos) {
+  if (i == pieces.size()) return true;
+  const RefPiece& p = pieces[i];
+  // Consume between min and max characters accepted by this piece.
+  std::size_t consumed = 0;
+  // first consume the mandatory part
+  while (consumed < p.min) {
+    if (pos + consumed >= text.size() ||
+        !piece_accepts(p, text[pos + consumed])) {
+      return false;
+    }
+    ++consumed;
+  }
+  for (;;) {
+    if (ref_match_here(pieces, i + 1, text, pos + consumed)) return true;
+    if (consumed >= p.max || pos + consumed >= text.size() ||
+        !piece_accepts(p, text[pos + consumed])) {
+      return false;
+    }
+    ++consumed;
+  }
+}
+
+bool ref_search(const std::vector<RefPiece>& pieces, std::string_view text) {
+  for (std::size_t pos = 0; pos <= text.size(); ++pos) {
+    if (ref_match_here(pieces, 0, text, pos)) return true;
+  }
+  return false;
+}
+
+// Renders the piece list as a pattern string for Pattern::compile.
+std::string render(const std::vector<RefPiece>& pieces) {
+  std::string out;
+  for (const RefPiece& p : pieces) {
+    switch (p.kind) {
+      case RefPiece::Kind::Literal:
+        out += Pattern::escape(std::string(1, p.literal));
+        break;
+      case RefPiece::Kind::Class:
+        out += "[" + p.chars + "]";
+        break;
+      case RefPiece::Kind::Any:
+        out += ".";
+        break;
+    }
+    if (p.min != 1 || p.max != 1) {
+      out += "{" + std::to_string(p.min) + "," + std::to_string(p.max) + "}";
+    }
+  }
+  return out;
+}
+
+// Random pattern over a small alphabet (so matches actually happen).
+std::vector<RefPiece> random_pattern(Rng& rng) {
+  static constexpr std::string_view kAlpha = "abc";
+  std::vector<RefPiece> pieces;
+  const std::size_t n = 1 + rng.index(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    RefPiece p;
+    switch (rng.index(3)) {
+      case 0:
+        p.kind = RefPiece::Kind::Literal;
+        p.literal = kAlpha[rng.index(kAlpha.size())];
+        break;
+      case 1: {
+        p.kind = RefPiece::Kind::Class;
+        // non-empty subset of the alphabet
+        do {
+          p.chars.clear();
+          for (char c : kAlpha) {
+            if (rng.chance(0.5)) p.chars.push_back(c);
+          }
+        } while (p.chars.empty());
+        break;
+      }
+      default:
+        p.kind = RefPiece::Kind::Any;
+        break;
+    }
+    if (rng.chance(0.5)) {
+      p.min = rng.index(3);
+      p.max = p.min + rng.index(3);
+    }
+    if (p.max == 0) p.max = p.min = 1;  // avoid empty-only pieces mid-test
+    pieces.push_back(p);
+  }
+  return pieces;
+}
+
+class OracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleSweep, VmAgreesWithReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto pieces = random_pattern(rng);
+    const std::string source = render(pieces);
+    Pattern compiled = Pattern::compile(source);
+    for (int t = 0; t < 12; ++t) {
+      const std::string text = rng.string_over("abc", rng.index(12));
+      const bool expected = ref_search(pieces, text);
+      const bool actual = compiled.found_in(text);
+      EXPECT_EQ(actual, expected)
+          << "pattern=" << source << " text=\"" << text << "\"";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep, ::testing::Range(0, 20));
+
+// Match spans agree with the reference's leftmost semantics for anchored
+// attempts.
+TEST(Oracle, AnchoredAgreement) {
+  Rng rng(4096);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto pieces = random_pattern(rng);
+    const std::string source = render(pieces);
+    Pattern compiled = Pattern::compile(source);
+    const std::string text = rng.string_over("abc", rng.index(10));
+    for (std::size_t at = 0; at <= text.size(); ++at) {
+      const bool expected = ref_match_here(pieces, 0, text, at);
+      const bool actual = compiled.match_at(text, at).matched;
+      EXPECT_EQ(actual, expected)
+          << "pattern=" << source << " text=\"" << text << "\" at=" << at;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kizzle::match

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "match/pattern.h"
+#include "match/scanner.h"
+
+namespace kizzle::match {
+namespace {
+
+bool found(const std::string& pattern, std::string_view text) {
+  return Pattern::compile(pattern).found_in(text);
+}
+
+TEST(Pattern, LiteralMatch) {
+  EXPECT_TRUE(found("abc", "xxabcxx"));
+  EXPECT_FALSE(found("abc", "ab"));
+  EXPECT_FALSE(found("abc", "axbxc"));
+}
+
+TEST(Pattern, MatchSpan) {
+  const auto p = Pattern::compile("bcd");
+  const auto r = p.search("abcde");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.begin, 1u);
+  EXPECT_EQ(r.end, 4u);
+}
+
+TEST(Pattern, Dot) {
+  EXPECT_TRUE(found("a.c", "abc"));
+  EXPECT_FALSE(found("a.c", "a\nc"));  // '.' does not cross lines
+}
+
+TEST(Pattern, EscapedMetachars) {
+  EXPECT_TRUE(found("a\\.c", "a.c"));
+  EXPECT_FALSE(found("a\\.c", "abc"));
+  EXPECT_TRUE(found("\\(\\)", "()"));
+  EXPECT_TRUE(found("a\\\\b", "a\\b"));
+}
+
+TEST(Pattern, CharClass) {
+  EXPECT_TRUE(found("[abc]+", "zzbzz"));
+  EXPECT_TRUE(found("[0-9a-f]{4}", "xx1a2bxx"));
+  EXPECT_FALSE(found("[0-9]{4}", "12a4"));
+}
+
+TEST(Pattern, NegatedClass) {
+  EXPECT_TRUE(found("[^0-9]", "a"));
+  EXPECT_FALSE(found("[^0-9]", "5"));
+}
+
+TEST(Pattern, ClassWithLiteralDash) {
+  EXPECT_TRUE(found("[a-]", "-"));
+  EXPECT_TRUE(found("[-a]", "-"));
+}
+
+TEST(Pattern, ClassWithLeadingBracket) {
+  EXPECT_TRUE(found("[]a]+", "]a]"));
+}
+
+TEST(Pattern, QuantifierStar) {
+  EXPECT_TRUE(found("ab*c", "ac"));
+  EXPECT_TRUE(found("ab*c", "abbbc"));
+}
+
+TEST(Pattern, QuantifierPlus) {
+  EXPECT_FALSE(found("ab+c", "ac"));
+  EXPECT_TRUE(found("ab+c", "abc"));
+}
+
+TEST(Pattern, QuantifierQuestion) {
+  EXPECT_TRUE(found("ab?c", "ac"));
+  EXPECT_TRUE(found("ab?c", "abc"));
+  EXPECT_FALSE(found("ab?c", "abbc"));
+}
+
+TEST(Pattern, BoundedQuantifier) {
+  EXPECT_TRUE(found("a{3}", "aaa"));
+  EXPECT_FALSE(found("xa{3}x", "xaax"));
+  EXPECT_TRUE(found("a{2,4}b", "aaab"));
+  EXPECT_FALSE(found("^a{2,4}b$", "ab"));
+  EXPECT_TRUE(found("a{2,}b", "aaaaaab"));
+}
+
+TEST(Pattern, BraceThatIsNotAQuantifierIsLiteral) {
+  EXPECT_TRUE(found("a{x}", "a{x}"));
+  EXPECT_TRUE(found("{", "{"));
+}
+
+TEST(Pattern, QuantifierGreediness) {
+  const auto p = Pattern::compile("a.*b");
+  const auto r = p.search("aXbYb");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.end, 5u);  // greedy: matches to the last b
+}
+
+TEST(Pattern, Alternation) {
+  EXPECT_TRUE(found("cat|dog", "hotdog"));
+  EXPECT_TRUE(found("cat|dog", "catalog"));
+  EXPECT_FALSE(found("cat|dog", "bird"));
+  EXPECT_TRUE(found("a(b|c)d", "acd"));
+}
+
+TEST(Pattern, Anchors) {
+  EXPECT_TRUE(found("^abc", "abcdef"));
+  EXPECT_FALSE(found("^abc", "xabc"));
+  EXPECT_TRUE(found("def$", "abcdef"));
+  EXPECT_FALSE(found("def$", "defx"));
+  EXPECT_TRUE(found("^$", ""));
+}
+
+TEST(Pattern, NumberedGroupsAndBackrefs) {
+  EXPECT_TRUE(found("(ab)\\1", "abab"));
+  EXPECT_FALSE(found("(ab)\\1", "abac"));
+  EXPECT_TRUE(found("(a)(b)\\2\\1", "abba"));
+}
+
+TEST(Pattern, NamedGroupsAndBackrefs) {
+  // The construct Kizzle signatures rely on (Fig 10a): a templatized
+  // variable captured once and referenced later.
+  const auto p = Pattern::compile(
+      "(?<var1>[0-9a-zA-Z]{3,6})=\\[\\k<var1>\\]");
+  EXPECT_TRUE(p.found_in("xx abc1=[abc1] yy"));
+  EXPECT_FALSE(p.found_in("xx abc1=[abc2] yy"));
+}
+
+TEST(Pattern, GroupCaptureContents) {
+  const auto p = Pattern::compile("(?<name>[a-z]+)=(?<value>[0-9]+)");
+  const auto r = p.search("  width=240;");
+  ASSERT_TRUE(r.matched);
+  ASSERT_EQ(p.group_count(), 2u);
+  EXPECT_EQ(p.group_name(1), "name");
+  ASSERT_TRUE(r.groups[1].has_value());
+  EXPECT_EQ(r.groups[1]->begin, 2u);
+  EXPECT_EQ(r.groups[1]->end, 7u);
+}
+
+TEST(Pattern, NonCapturingGroup) {
+  const auto p = Pattern::compile("(?:ab)+c");
+  EXPECT_TRUE(p.found_in("ababc"));
+  EXPECT_EQ(p.group_count(), 0u);
+}
+
+TEST(Pattern, UnmatchedGroupBackrefMatchesEmpty) {
+  // ECMAScript semantics: backreference to a group that never matched.
+  EXPECT_TRUE(found("(a)?\\1b", "b"));
+}
+
+TEST(Pattern, EscapeClasses) {
+  EXPECT_TRUE(found("\\d+", "abc123"));
+  EXPECT_FALSE(found("\\d", "abc"));
+  EXPECT_TRUE(found("\\w+", "a_1"));
+  EXPECT_TRUE(found("\\s", " "));
+  EXPECT_TRUE(found("\\D", "x"));
+  EXPECT_FALSE(found("\\S", " \t"));
+}
+
+TEST(Pattern, EmptyLoopBodyTerminates) {
+  // (a?)* with no 'a' in sight: the progress guard must stop the loop.
+  EXPECT_TRUE(found("(a?)*b", "b"));
+  EXPECT_TRUE(found("(a*)*b", "aaab"));
+  EXPECT_FALSE(found("(a?)*c", "bbbb"));
+}
+
+TEST(Pattern, BudgetStopsCatastrophicBacktracking) {
+  // (a+)+$ against a long non-matching tail — classic ReDoS shape.
+  const auto p = Pattern::compile("(a+)+x");
+  const std::string text(64, 'a');
+  const auto r = p.search(text, 0, 200000);
+  EXPECT_FALSE(r.matched);
+  EXPECT_TRUE(r.budget_exceeded);
+}
+
+TEST(Pattern, ParseErrors) {
+  EXPECT_THROW(Pattern::compile("("), PatternError);
+  EXPECT_THROW(Pattern::compile("[a"), PatternError);
+  EXPECT_THROW(Pattern::compile("a{3,1}"), PatternError);
+  EXPECT_THROW(Pattern::compile("*a"), PatternError);
+  EXPECT_THROW(Pattern::compile("\\k<nope>x"), PatternError);
+  EXPECT_THROW(Pattern::compile("\\q"), PatternError);
+  EXPECT_THROW(Pattern::compile("(?<dup>a)(?<dup>b)"), PatternError);
+  EXPECT_THROW(Pattern::compile("\\2(a)"), PatternError);
+}
+
+TEST(Pattern, EscapeRoundTrip) {
+  const std::string nasty = R"(a.b*c+d?e(f)g[h]i{j}k|l^m$n\o/p-q)";
+  const std::string escaped = Pattern::escape(nasty);
+  const auto p = Pattern::compile(escaped);
+  EXPECT_TRUE(p.found_in("xx" + nasty + "yy"));
+  EXPECT_FALSE(p.found_in("a.b*c+d?e(f)g[h]i{j}k|l^m$nXo/p-q"));
+}
+
+TEST(Pattern, RequiredLiteralExtraction) {
+  const auto p = Pattern::compile("[0-9]{3}hello-world[a-z]+");
+  EXPECT_EQ(p.required_literal(), "hello-world");
+}
+
+TEST(Pattern, PrefilterAgreesWithNaiveSearch) {
+  // Same pattern, text placed at varying offsets — the literal prefilter
+  // must find matches wherever they are.
+  const auto p = Pattern::compile("[0-9]{2,5}LITERAL[a-z]{3}");
+  for (std::size_t pad = 0; pad < 40; ++pad) {
+    std::string text = std::string(pad, '.') + "123LITERALabc";
+    EXPECT_TRUE(p.found_in(text)) << pad;
+  }
+  EXPECT_FALSE(p.found_in("123LITERA"));
+  EXPECT_FALSE(p.found_in("LITERALabc"));  // missing digits
+}
+
+TEST(Pattern, SearchFromOffset) {
+  const auto p = Pattern::compile("ab");
+  const auto r = p.search("ab..ab", 1);
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.begin, 4u);
+}
+
+TEST(Pattern, PaperStyleSignature) {
+  // A Fig 9-shaped structural signature against normalized text.
+  const auto p = Pattern::compile(
+      R"((?<var0>[0-9a-zA-Z]{5,6})=this\[(?<var1>[0-9a-zA-Z]{3,5})\]\(.{11}\);)");
+  EXPECT_TRUE(p.found_in("Euur1V=this[l9D](ev#333399al);"));
+  EXPECT_TRUE(p.found_in("jkb0hA=this[uqA](ev#ccff00al);"));
+  EXPECT_TRUE(p.found_in("QB0Xk=this[k3LSC](ev#33cc00al);"));
+  // Too few identifier characters before '=': the {5,6} class cannot match.
+  EXPECT_FALSE(p.found_in("ab12=this[l9D](ev#333399al);"));
+  // Eleven-character wildcard is exact: a longer delimiter breaks it.
+  EXPECT_FALSE(p.found_in("Euur1V=this[l9D](ev#3333999999al);"));
+}
+
+TEST(Pattern, CopySemantics) {
+  auto a = Pattern::compile("ab+c");
+  Pattern b = a;  // copy
+  EXPECT_TRUE(b.found_in("xabbcx"));
+  Pattern c = std::move(a);
+  EXPECT_TRUE(c.found_in("xabcx"));
+}
+
+// ------------------------------- Scanner -------------------------------
+
+TEST(Scanner, ReportsAllMatchingSignatures) {
+  Scanner scanner;
+  scanner.add("sig-a", Pattern::compile("alpha[0-9]+"));
+  scanner.add("sig-b", Pattern::compile("beta"));
+  scanner.add("sig-c", Pattern::compile("gamma"));
+  const auto hits = scanner.scan("xx alpha42 and beta yy");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(scanner.name(hits[0].signature_index), "sig-a");
+  EXPECT_EQ(scanner.name(hits[1].signature_index), "sig-b");
+}
+
+TEST(Scanner, AnyMatchShortCircuits) {
+  Scanner scanner;
+  scanner.add("sig", Pattern::compile("needle"));
+  EXPECT_TRUE(scanner.any_match("haystack with needle inside"));
+  EXPECT_FALSE(scanner.any_match("nothing here"));
+}
+
+TEST(Scanner, IndexOutOfRangeThrows) {
+  Scanner scanner;
+  EXPECT_THROW(scanner.name(0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace kizzle::match

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "kitgen/kit.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "sig/compiler.h"
+#include "sig/multi_fragment.h"
+#include "support/rng.h"
+#include "text/lexer.h"
+#include "unpack/unpackers.h"
+
+namespace kizzle::sig {
+namespace {
+
+std::vector<std::vector<text::Token>> tokenize_all(
+    const std::vector<std::string>& sources) {
+  std::vector<std::vector<text::Token>> out;
+  for (const auto& s : sources) out.push_back(text::lex(s));
+  return out;
+}
+
+// A cluster with junk between every real statement: single-window search
+// finds only short runs, fragments recover the real structure. The junk
+// varies in *shape* (token structure), not just in names — shape-invariant
+// junk would survive abstraction and stay common.
+std::vector<std::string> junky_cluster(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> sources;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::string src;
+    auto junk = [&] {
+      switch (rng.index(4)) {
+        case 0:
+          src += "var " + rng.identifier(4, 9) + "=" +
+                 std::to_string(rng.uniform(1, 9999)) + ";";
+          break;
+        case 1:
+          src += rng.identifier(4, 9) + "=\"" + rng.identifier(3, 12) +
+                 "\";";
+          break;
+        case 2:
+          src += "if(" + rng.identifier(3, 6) + "){" +
+                 rng.identifier(3, 6) + "()}";
+          break;
+        default:
+          src += "function " + rng.identifier(4, 8) + "(){return " +
+                 std::to_string(rng.uniform(1, 99)) + "}";
+      }
+    };
+    junk();
+    src += "var " + rng.identifier(3, 6) + "=\"\";";
+    junk();
+    src += "function " + rng.identifier(4, 8) + "(t){return t+t}";
+    junk();
+    src += "document.createElement(\"script\");";
+    junk();
+    src += "document.body.appendChild(el);";
+    junk();
+    sources.push_back(src);
+  }
+  return sources;
+}
+
+TEST(MultiFragment, ExtractsOrderedFragments) {
+  const auto samples = tokenize_all(junky_cluster(12, 11));
+  MultiFragmentParams params;
+  params.min_fragment_tokens = 4;
+  const FragmentSignature sig = compile_multi_fragment(samples, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  EXPECT_GE(sig.fragments.size(), 2u);
+  EXPECT_GE(sig.total_tokens(), params.min_total_tokens);
+}
+
+TEST(MultiFragment, MatcherRequiresFragmentsInOrder) {
+  const auto samples = tokenize_all(junky_cluster(12, 13));
+  MultiFragmentParams params;
+  params.min_fragment_tokens = 4;
+  params.base.length_slack = 0.25;  // small cluster: widen class bounds
+  const FragmentSignature sig = compile_multi_fragment(samples, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  // Deployment-style tolerant matcher: 3/4 of the fragments must appear.
+  FragmentMatcher matcher(sig, 0.75);
+
+  // Fresh samples from the same generator match.
+  const auto fresh = junky_cluster(3, 999);
+  for (const auto& f : fresh) {
+    EXPECT_TRUE(matcher.matches(normalized_token_text(text::lex(f))));
+  }
+  // Unrelated content does not.
+  EXPECT_FALSE(matcher.matches("function completely(){different()}"));
+  // A lone suffix fragment is not enough.
+  EXPECT_FALSE(matcher.matches("document.body.appendChild(el);"));
+}
+
+TEST(MultiFragment, StrictMatcherRequiresEveryFragment) {
+  const auto samples = tokenize_all(junky_cluster(12, 17));
+  MultiFragmentParams params;
+  params.min_fragment_tokens = 4;
+  params.base.length_slack = 0.25;
+  const FragmentSignature sig = compile_multi_fragment(samples, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  FragmentMatcher strict(sig, 1.0);
+  // The compile cluster itself always passes the strict matcher (that is
+  // the verification invariant).
+  for (const auto& s : samples) {
+    EXPECT_TRUE(strict.matches(normalized_token_text(s)));
+  }
+}
+
+TEST(MultiFragment, MatcherRejectsBadFraction) {
+  FragmentSignature sig;
+  EXPECT_THROW(FragmentMatcher(sig, 0.0), std::invalid_argument);
+  EXPECT_THROW(FragmentMatcher(sig, 1.5), std::invalid_argument);
+}
+
+TEST(MultiFragment, EmptyInput) {
+  const FragmentSignature sig = compile_multi_fragment({}, {});
+  EXPECT_FALSE(sig.ok);
+}
+
+TEST(MultiFragment, RejectsWeakFragmentSets) {
+  // Samples sharing almost nothing: whatever fragments exist stay under
+  // the total-token floor.
+  const std::vector<std::string> sources = {
+      "alpha();",
+      "alpha();",
+  };
+  MultiFragmentParams params;
+  params.min_total_tokens = 12;
+  const FragmentSignature sig =
+      compile_multi_fragment(tokenize_all(sources), params);
+  EXPECT_FALSE(sig.ok);
+}
+
+TEST(MultiFragment, BadBoundsThrow) {
+  MultiFragmentParams params;
+  params.min_fragment_tokens = 0;
+  EXPECT_THROW(compile_multi_fragment(tokenize_all({"a();"}), params),
+               std::invalid_argument);
+}
+
+// ------------- the §V adversarial scenario, end to end -------------
+
+class AdversarialRig : public ::testing::Test {
+ protected:
+  static std::vector<std::string> make_cluster(std::size_t n,
+                                               std::uint64_t seed) {
+    Rng rng(seed);
+    kitgen::PayloadSpec spec;
+    spec.family = kitgen::KitFamily::Rig;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+    spec.av_check = true;
+    spec.urls = {"http://gate1.edge-x.biz/serv"};
+    const std::string payload = payload_text(spec);
+    std::vector<std::string> sources;
+    for (std::size_t s = 0; s < n; ++s) {
+      sources.push_back(kitgen::pack_rig_adversarial(
+          payload, kitgen::RigPackerState{}, /*junk_density=*/0.95, rng));
+    }
+    return sources;
+  }
+};
+
+TEST_F(AdversarialRig, JunkInsertionDegradesSingleWindowSignatures) {
+  const auto samples = tokenize_all(make_cluster(10, 42));
+  CompilerParams params;  // the paper's defaults: >= 10-token window
+  const Signature single = compile_signature(samples, params);
+  // Junk caps the common runs: either no window survives or only a short,
+  // generic one — a fraction of the 200-token windows normal RIG yields.
+  if (single.ok) {
+    EXPECT_LT(single.token_length, 40u);
+  }
+}
+
+TEST_F(AdversarialRig, FragmentSignaturesSurviveJunkInsertion) {
+  const auto samples = tokenize_all(make_cluster(10, 43));
+  MultiFragmentParams params;
+  params.base.length_slack = 0.25;
+  const FragmentSignature multi = compile_multi_fragment(samples, params);
+  ASSERT_TRUE(multi.ok) << multi.failure;
+  EXPECT_GE(multi.fragments.size(), 2u);
+
+  // Fresh adversarial samples (new junk in new positions, new
+  // identifiers) still match under the tolerant deployment matcher.
+  FragmentMatcher matcher(multi, 0.7);
+  const auto fresh = make_cluster(6, 4242);
+  std::size_t matched = 0;
+  for (const auto& src : fresh) {
+    if (matcher.matches(normalized_token_text(text::lex(src)))) ++matched;
+  }
+  EXPECT_GE(matched, 5u) << "of " << fresh.size();
+
+  // And benign content stays clean even under the tolerant matcher.
+  EXPECT_FALSE(matcher.matches(
+      "function map(list){var out=[];for(var i=0;i<list.length-1;i++)"
+      "{out.push(list[i]*3)}return out.join()}"));
+}
+
+TEST_F(AdversarialRig, AdversarialSamplesStillUnpack) {
+  // The junk changes the token structure, not the scheme: the standard
+  // RIG unpacker must still recover the payload (which is how labeling
+  // keeps working, §V: "the inner-most layer is not as easy to change").
+  kitgen::PayloadSpec spec;
+  spec.family = kitgen::KitFamily::Rig;
+  spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+  spec.av_check = true;
+  spec.urls = {"http://gate1.edge-x.biz/serv"};
+  const std::string payload = payload_text(spec);
+  for (const auto& src : make_cluster(3, 77)) {
+    const auto result = unpack::unpack_script(src);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->unpacker, "rig");
+    EXPECT_EQ(result->text, payload);
+  }
+}
+
+}  // namespace
+}  // namespace kizzle::sig

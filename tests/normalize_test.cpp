@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "text/normalize.h"
+
+namespace kizzle::text {
+namespace {
+
+TEST(Normalize, RawStripsWhitespaceAndQuotes) {
+  EXPECT_EQ(normalize_raw("var a = \"x y\";\n"), "vara=xy;");
+  EXPECT_EQ(normalize_raw("'q'\t"), "q");
+}
+
+TEST(Normalize, RawKeepsEverythingElse) {
+  EXPECT_EQ(normalize_raw("a+b#c"), "a+b#c");
+}
+
+TEST(Normalize, JsEqualsRawOnCommentFreeSource) {
+  // The property the signature compiler relies on: token reconstruction
+  // equals byte-level stripping when there are no comments.
+  const char* src = R"JS(
+var buffer = "";
+var delim = "y6";
+function collect(text) { buffer += text; }
+collect("47 y642y6100y6");
+pieces = buffer.split(delim);
+)JS";
+  EXPECT_EQ(normalize_js(src), normalize_raw(src));
+}
+
+TEST(Normalize, JsDropsComments) {
+  const std::string with = "var a = 1; // comment\nvar b = 2;";
+  EXPECT_EQ(normalize_js(with), "vara=1;varb=2;");
+}
+
+TEST(Normalize, JsStripsWhitespaceInsideStrings) {
+  EXPECT_EQ(normalize_js("x(\"a b\")"), "x(ab)");
+}
+
+TEST(Normalize, DocumentNormalizesInlineScripts) {
+  const std::string doc =
+      "<html><script>var a = 1;</script><script>b( \"x\" );</script></html>";
+  EXPECT_EQ(normalize_document(doc), "vara=1;\nb(x);");
+}
+
+TEST(Normalize, DocumentSkipsExternalScripts) {
+  const std::string doc =
+      "<script src=\"e.js\"> </script><script>kept()</script>";
+  EXPECT_EQ(normalize_document(doc), "kept()");
+}
+
+// Property sweep: for random comment-free token soup, normalize_js and
+// normalize_raw agree.
+class NormalizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizeProperty, JsMatchesRawOnRandomSource) {
+  kizzle::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  static const std::vector<std::string> kPieces = {
+      "var ",      "x",   " = ",  "\"str ing\"", ";",   "\n",  "f(",
+      "42",        ")",   "{",    "}",           "+",   "if(", "a<b",
+      "'qu ote'",  "[",   "]",    "0x1F",        ".",   ",",   "function ",
+      "return ",   "y2",  "===",  "!(",          "), ", " ",   "\t",
+  };
+  std::string src;
+  for (int i = 0; i < 200; ++i) src += rng.pick(kPieces);
+  EXPECT_EQ(normalize_js(src), normalize_raw(src)) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace kizzle::text

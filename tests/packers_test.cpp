@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "kitgen/packers.h"
+#include "support/interner.h"
+#include "text/abstraction.h"
+#include "kitgen/payload.h"
+#include "support/rng.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+
+namespace kizzle::kitgen {
+namespace {
+
+const std::string kPayload =
+    "function core(){var probe=navigator.plugins;return probe.length}"
+    "core();";
+
+// ---------------------------------- RIG ----------------------------------
+
+TEST(RigPacker, FeatureAppearsInNormalizedText) {
+  Rng rng(1);
+  RigPackerState st;
+  st.delim = "y6";
+  const std::string packed = pack_rig(kPayload, st, rng);
+  EXPECT_NE(text::normalize_raw(packed).find(rig_analyst_feature(st)),
+            std::string::npos);
+}
+
+TEST(RigPacker, DelimiterSeparatesEveryCode) {
+  Rng rng(2);
+  RigPackerState st;
+  st.delim = "Qz";
+  const std::string packed = pack_rig(kPayload, st, rng);
+  // Count delimiter occurrences inside collector strings: one per payload
+  // byte (each code carries a trailing delimiter).
+  std::size_t count = 0;
+  for (const auto& t : text::lex(packed)) {
+    if (t.cls != text::TokenClass::String) continue;
+    const std::string v = t.text;
+    for (std::size_t p = v.find("Qz"); p != std::string::npos;
+         p = v.find("Qz", p + 2)) {
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kPayload.size() + 1);  // +1: the delimiter declaration
+}
+
+TEST(RigPacker, SamplesDifferOnlyInIdentifiers) {
+  Rng rng(3);
+  const std::string a = pack_rig(kPayload, {}, rng);
+  const std::string b = pack_rig(kPayload, {}, rng);
+  EXPECT_NE(a, b);  // identifiers randomized
+  // Abstract token streams are identical (the clustering invariant).
+  Interner in;
+  const auto sa = text::abstract_tokens(
+      text::lex(a), text::Abstraction::KeywordsAndPunct, in);
+  const auto sb = text::abstract_tokens(
+      text::lex(b), text::Abstraction::KeywordsAndPunct, in);
+  EXPECT_EQ(sa, sb);
+}
+
+// -------------------------------- Nuclear --------------------------------
+
+TEST(NuclearPacker, ObfuscationModes) {
+  NuclearPackerState insert;
+  insert.strip = "#AB";
+  insert.mode = ObfuscationMode::InsertOnce;
+  EXPECT_EQ(nuclear_obfuscate("eval", insert), "ev#ABal");
+  NuclearPackerState inter;
+  inter.strip = "U";
+  inter.mode = ObfuscationMode::Interleave;
+  EXPECT_EQ(nuclear_obfuscate("eval", inter), "eUvUaUlU");
+}
+
+TEST(NuclearPacker, FeatureAppearsInNormalizedText) {
+  Rng rng(4);
+  NuclearPackerState st;
+  st.strip = "UluN";
+  st.mode = ObfuscationMode::Interleave;
+  const std::string packed = pack_nuclear(kPayload, st, rng);
+  EXPECT_NE(text::normalize_raw(packed).find(nuclear_analyst_feature(st)),
+            std::string::npos);
+}
+
+TEST(NuclearPacker, KeyIsPerResponse) {
+  // "the encryption key — and therefore the encrypted payload — for the
+  // Nuclear exploit kit differs in every response" (§II.A).
+  Rng rng(5);
+  const std::string a = pack_nuclear(kPayload, {}, rng);
+  const std::string b = pack_nuclear(kPayload, {}, rng);
+  auto key_of = [](const std::string& packed) {
+    for (const auto& t : text::lex(packed)) {
+      if (t.cls == text::TokenClass::String && t.text.size() > 60 &&
+          t.text.find_first_not_of("0123456789\"") != std::string::npos) {
+        return t.text;
+      }
+    }
+    return std::string();
+  };
+  EXPECT_NE(key_of(a), key_of(b));
+}
+
+TEST(NuclearPacker, RadixSixteenEmitsHexIndices) {
+  Rng rng(6);
+  NuclearPackerState st;
+  st.radix = 16;
+  const std::string packed = pack_nuclear(kPayload, st, rng);
+  EXPECT_NE(packed.find(",16)"), std::string::npos);
+  EXPECT_EQ(packed.find(",10)"), std::string::npos);
+}
+
+TEST(NuclearPacker, RejectsBadRadix) {
+  Rng rng(7);
+  NuclearPackerState st;
+  st.radix = 8;
+  EXPECT_THROW(pack_nuclear(kPayload, st, rng), std::invalid_argument);
+}
+
+// --------------------------------- Angler ---------------------------------
+
+TEST(AnglerPacker, FeatureReflectsSplitPattern) {
+  AnglerPackerState st;
+  st.eval_parts = {"e", "va", "l"};
+  EXPECT_EQ(angler_analyst_feature(st), "[e+va+l](");
+  Rng rng(8);
+  const std::string packed = pack_angler(kPayload, st, rng);
+  EXPECT_NE(text::normalize_raw(packed).find("[e+va+l]("),
+            std::string::npos);
+}
+
+TEST(AnglerPacker, CodesAreShiftedByOffset) {
+  Rng rng(9);
+  AnglerPackerState st;
+  st.offset = 100;
+  const std::string packed = pack_angler(kPayload, st, rng);
+  // The first payload byte is 'f' (102): the first array entry is 202.
+  const auto tokens = text::lex(packed);
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].cls == text::TokenClass::Punctuator &&
+        tokens[i].text == "[" &&
+        tokens[i + 1].cls == text::TokenClass::Number) {
+      EXPECT_EQ(tokens[i + 1].text, "202");
+      return;
+    }
+  }
+  FAIL() << "no numeric array found";
+}
+
+// ------------------------------ Sweet Orange ------------------------------
+
+TEST(SweetOrangePacker, KeyCharactersArePlanted) {
+  Rng rng(10);
+  SweetOrangePackerState st;
+  const std::string packed = pack_sweet_orange(kPayload, st, rng);
+  // Each junk string must carry its key character at its secret position.
+  const auto tokens = text::lex(packed);
+  std::size_t junk_seen = 0;
+  for (const auto& t : tokens) {
+    if (t.cls != text::TokenClass::String) continue;
+    const std::string v = t.text.substr(1, t.text.size() - 2);
+    if (junk_seen < st.key.size() && v.size() > 10 && v.size() < 30 &&
+        v.find_first_not_of("0123456789abcdefghijklmnopqrstuvwxyz"
+                            "ABCDEFGHIJKLMNOPQRSTUVWXYZ") ==
+            std::string::npos) {
+      const int pos = st.positions[junk_seen];
+      ASSERT_LT(static_cast<std::size_t>(pos), v.size());
+      EXPECT_EQ(v[static_cast<std::size_t>(pos)], st.key[junk_seen])
+          << "junk string " << junk_seen;
+      ++junk_seen;
+    }
+  }
+  EXPECT_EQ(junk_seen, st.key.size());
+}
+
+TEST(SweetOrangePacker, FeatureUsesFirstSqrtConstant) {
+  SweetOrangePackerState st;
+  st.positions = {12, 13, 14, 15, 16, 17, 10, 11};
+  EXPECT_EQ(sweet_orange_analyst_feature(st), ".charAt(Math.sqrt(144))");
+}
+
+TEST(SweetOrangePacker, MismatchedKeyThrows) {
+  Rng rng(11);
+  SweetOrangePackerState st;
+  st.key = "short";
+  EXPECT_THROW(pack_sweet_orange(kPayload, st, rng), std::invalid_argument);
+}
+
+// ----------------------- cross-cutting invariants -----------------------
+
+TEST(AllPackers, PackedSamplesLexStrictly) {
+  Rng rng(12);
+  const std::string rig = pack_rig(kPayload, {}, rng);
+  const std::string nk = pack_nuclear(kPayload, {}, rng);
+  const std::string ang = pack_angler(kPayload, {}, rng);
+  const std::string so = pack_sweet_orange(kPayload, {}, rng);
+  for (const std::string& packed : {rig, nk, ang, so}) {
+    EXPECT_NO_THROW(text::lex(packed, text::LexOptions{.tolerant = false}));
+  }
+}
+
+TEST(AllPackers, NormalizationConsistency) {
+  // The property the whole matching path relies on: raw normalization of a
+  // packed sample equals the token-reconstructed normalization.
+  Rng rng(13);
+  for (const std::string& packed :
+       {pack_rig(kPayload, {}, rng), pack_nuclear(kPayload, {}, rng),
+        pack_angler(kPayload, {}, rng),
+        pack_sweet_orange(kPayload, {}, rng)}) {
+    EXPECT_EQ(text::normalize_raw(packed), text::normalize_js(packed));
+  }
+}
+
+TEST(AdversarialPacker, ZeroDensityStillDiffersFromPlain) {
+  // Even at density 0 the adversarial packer is its own format (junk hooks
+  // compiled in), but it must contain no junk statements.
+  Rng rng(14);
+  const std::string packed =
+      pack_rig_adversarial(kPayload, {}, /*junk_density=*/0.0, rng);
+  EXPECT_NE(text::normalize_raw(packed).find("=y6;function"),
+            std::string::npos);
+}
+
+TEST(AdversarialPacker, DensityIncreasesSize) {
+  Rng rng(15);
+  const std::string low =
+      pack_rig_adversarial(kPayload, {}, 0.0, rng);
+  const std::string high =
+      pack_rig_adversarial(kPayload, {}, 1.0, rng);
+  EXPECT_GT(high.size(), low.size());
+}
+
+}  // namespace
+}  // namespace kizzle::kitgen

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "cluster/partitioned.h"
+#include "support/interner.h"
+#include "text/abstraction.h"
+#include "text/lexer.h"
+
+namespace kizzle::cluster {
+namespace {
+
+// Builds `reps` streams per family, with identifier noise only (so all
+// streams of a family are eps-identical after abstraction).
+std::vector<std::vector<std::uint32_t>> make_families(std::size_t families,
+                                                      std::size_t reps,
+                                                      Interner& in) {
+  std::vector<std::vector<std::uint32_t>> streams;
+  kizzle::Rng rng(4711);
+  for (std::size_t f = 0; f < families; ++f) {
+    // Family body differs structurally between families.
+    std::string body;
+    for (std::size_t i = 0; i <= f; ++i) {
+      body += "function f" + std::to_string(i) + "(a){return a+" +
+              std::to_string(i) + "}";
+    }
+    body += "var cfg={n:" + std::to_string(f) + "};";
+    for (std::size_t r = 0; r < reps; ++r) {
+      std::string sample = body;
+      sample += "var " + rng.identifier(3, 8) + "=" + std::to_string(f) + ";";
+      const auto tokens = text::lex(sample);
+      streams.push_back(
+          abstract_tokens(tokens, text::Abstraction::KeywordsAndPunct, in));
+    }
+  }
+  return streams;
+}
+
+TEST(Partitioned, MergesClustersSplitAcrossPartitions) {
+  Interner in;
+  const auto streams = make_families(5, 12, in);
+  PartitionedParams params;
+  params.partitions = 4;
+  params.threads = 2;
+  params.dbscan = {.eps = 0.10, .min_mass = 3};
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(1);
+  const auto result = clusterer.run(streams, {}, rng);
+  // Each family has 12 reps scattered over 4 partitions (expected 3 per
+  // partition) — the reduce step must reassemble them into ~5 clusters.
+  EXPECT_EQ(result.clusters.size(), 5u);
+  std::size_t covered = 0;
+  for (const auto& c : result.clusters) covered += c.size();
+  EXPECT_GE(covered + result.noise.size(), streams.size());
+}
+
+TEST(Partitioned, SinglePartitionMatchesPlainDbscan) {
+  Interner in;
+  const auto streams = make_families(4, 6, in);
+  PartitionedParams params;
+  params.partitions = 1;
+  params.threads = 1;
+  params.dbscan = {.eps = 0.10, .min_mass = 3};
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(2);
+  const auto result = clusterer.run(streams, {}, rng);
+  TokenDbscan db(streams, {}, params.dbscan);
+  const auto direct = db.run();
+  EXPECT_EQ(static_cast<int>(result.clusters.size()), direct.n_clusters);
+}
+
+TEST(Partitioned, WeightsFlowThrough) {
+  Interner in;
+  // One unique stream with weight 5: must form a cluster on its own.
+  const auto tokens = text::lex("var a=1;function f(){return a}");
+  std::vector<std::vector<std::uint32_t>> streams = {
+      abstract_tokens(tokens, text::Abstraction::KeywordsAndPunct, in)};
+  std::vector<std::size_t> weights = {5};
+  PartitionedParams params;
+  params.partitions = 2;
+  params.dbscan = {.eps = 0.10, .min_mass = 3};
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(3);
+  const auto result = clusterer.run(streams, weights, rng);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_TRUE(result.noise.empty());
+}
+
+TEST(Partitioned, EmptyInput) {
+  PartitionedClusterer clusterer(PartitionedParams{});
+  kizzle::Rng rng(4);
+  const auto result = clusterer.run({}, {}, rng);
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_TRUE(result.noise.empty());
+}
+
+TEST(Partitioned, StatsArePopulated) {
+  Interner in;
+  const auto streams = make_families(3, 8, in);
+  PartitionedParams params;
+  params.partitions = 3;
+  params.dbscan = {.eps = 0.10, .min_mass = 3};
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(5);
+  clusterer.run(streams, {}, rng);
+  const auto& stats = clusterer.stats();
+  EXPECT_GT(stats.map.pairs_considered, 0u);
+  EXPECT_GE(stats.clusters_before_merge, stats.clusters_after_merge);
+  EXPECT_GE(stats.map_seconds, 0.0);
+}
+
+TEST(Partitioned, MorePartitionsThanPoints) {
+  Interner in;
+  const auto streams = make_families(1, 3, in);
+  PartitionedParams params;
+  params.partitions = 64;
+  params.dbscan = {.eps = 0.10, .min_mass = 1};
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(6);
+  const auto result = clusterer.run(streams, {}, rng);
+  EXPECT_EQ(result.clusters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace kizzle::cluster

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "match/pattern.h"
+#include "sig/common_window.h"
+#include "sig/compiler.h"
+#include "sig/synthesis.h"
+#include "support/interner.h"
+#include "support/rng.h"
+#include "text/lexer.h"
+
+namespace kizzle::sig {
+namespace {
+
+using Stream = std::vector<std::uint32_t>;
+
+// ------------------------- find_common_window -------------------------
+
+TEST(CommonWindow, FindsSharedUniqueRun) {
+  // shared run 100..104 embedded at different offsets.
+  std::vector<Stream> streams = {
+      {1, 2, 100, 101, 102, 103, 104, 3},
+      {100, 101, 102, 103, 104, 9, 9, 9, 9},
+      {7, 7, 7, 100, 101, 102, 103, 104},
+  };
+  const auto w = find_common_window(streams, 2, 200);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.length, 5u);
+  EXPECT_EQ(w.position[0], 2u);
+  EXPECT_EQ(w.position[1], 0u);
+  EXPECT_EQ(w.position[2], 3u);
+}
+
+TEST(CommonWindow, RespectsUniquenessConstraint) {
+  // The run {5,6} is common but appears twice in the second stream; only
+  // {5,6,7} (length 3) is unique everywhere.
+  std::vector<Stream> streams = {
+      {5, 6, 7, 1, 2},
+      {5, 6, 9, 5, 6, 7},
+  };
+  const auto w = find_common_window(streams, 2, 200);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.length, 3u);
+  // Verify the windows really are {5,6,7}.
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    EXPECT_EQ(streams[s][w.position[s]], 5u);
+    EXPECT_EQ(streams[s][w.position[s] + 2], 7u);
+  }
+}
+
+TEST(CommonWindow, NoCommonRun) {
+  std::vector<Stream> streams = {
+      {1, 2, 3, 4, 5},
+      {6, 7, 8, 9, 10},
+  };
+  EXPECT_FALSE(find_common_window(streams, 2, 200).found);
+}
+
+TEST(CommonWindow, CapRespected) {
+  Stream shared(300);
+  std::iota(shared.begin(), shared.end(), 100);
+  std::vector<Stream> streams = {shared, shared};
+  const auto w = find_common_window(streams, 10, 200);
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.length, 200u);
+}
+
+TEST(CommonWindow, MinLengthEnforced) {
+  std::vector<Stream> streams = {
+      {1, 2, 9},
+      {8, 1, 2},
+  };
+  EXPECT_FALSE(find_common_window(streams, 3, 200).found);
+  EXPECT_TRUE(find_common_window(streams, 2, 200).found);
+}
+
+TEST(CommonWindow, SingleStream) {
+  std::vector<Stream> streams = {{1, 2, 3, 4, 1, 2}};
+  const auto w = find_common_window(streams, 2, 200);
+  ASSERT_TRUE(w.found);
+  // {1,2} occurs twice -> not unique; the longest unique window is the
+  // whole stream.
+  EXPECT_EQ(w.length, 6u);
+}
+
+TEST(CommonWindow, EmptyInputs) {
+  EXPECT_FALSE(find_common_window({}, 2, 200).found);
+  std::vector<Stream> with_short = {{1}, {1, 2, 3}};
+  EXPECT_FALSE(find_common_window(with_short, 2, 200).found);
+}
+
+// --------------------------- synthesize_class ---------------------------
+
+std::vector<std::string> V(std::initializer_list<const char*> v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(Synthesis, PicksMostSpecificTemplate) {
+  EXPECT_EQ(synthesize_class(V({"123", "4567"})), "[0-9]{3,4}");
+  EXPECT_EQ(synthesize_class(V({"abc", "de"})), "[a-z]{2,3}");
+  EXPECT_EQ(synthesize_class(V({"AB", "CD"})), "[A-Z]{2}");
+  EXPECT_EQ(synthesize_class(V({"aB", "cD"})), "[a-zA-Z]{2}");
+  EXPECT_EQ(synthesize_class(V({"a1", "b2"})), "[0-9a-z]{2}");
+  EXPECT_EQ(synthesize_class(V({"Euur1V", "jkb0hA", "QB0Xk"})),
+            "[0-9a-zA-Z]{5,6}");
+}
+
+TEST(Synthesis, FallsBackToDot) {
+  EXPECT_EQ(synthesize_class(V({"ev#333399al", "ev#ccff00al"})), ".{11}");
+}
+
+TEST(Synthesis, FixedLengthUsesSingleBound) {
+  EXPECT_EQ(synthesize_class(V({"abc", "xyz"})), "[a-z]{3}");
+}
+
+TEST(Synthesis, EmptyValueAllowed) {
+  EXPECT_EQ(synthesize_class(V({"", "ab"})), "[a-z]{0,2}");
+}
+
+TEST(Synthesis, AllEmptyYieldsNothing) {
+  EXPECT_EQ(synthesize_class(V({"", ""})), "");
+}
+
+TEST(Synthesis, NoValuesThrows) {
+  std::vector<std::string> none;
+  EXPECT_THROW(synthesize_class(none), std::invalid_argument);
+}
+
+TEST(Synthesis, SynthesizedClassActuallyMatches) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> values;
+    for (int i = 0; i < 4; ++i) {
+      values.push_back(rng.identifier(3, 9));
+    }
+    const std::string cls = synthesize_class(values);
+    const auto p = match::Pattern::compile("^" + cls + "$");
+    for (const auto& v : values) {
+      EXPECT_TRUE(p.found_in(v)) << cls << " vs " << v;
+    }
+  }
+}
+
+// -------------------------- compile_signature --------------------------
+
+TEST(Compiler, Fig9Example) {
+  // The exact example of paper Fig 9: three samples, randomized
+  // identifiers and delimiter colors.
+  const std::vector<std::string> sources = {
+      R"(Euur1V = this["l9D"]("ev#333399al");)",
+      R"(jkb0hA = this["uqA"]("ev#ccff00al");)",
+      R"(QB0Xk = this["k3LSC"]("ev#33cc00al");)",
+  };
+  CompilerParams params;
+  params.min_tokens = 3;
+  const Signature sig = compile_signature_from_sources(sources, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  // The paper's signature for this cluster:
+  //   [A-Za-z0-9]{5,6}=this\[[A-Za-z0-9]{3,5}\]\(.{11}\);
+  // Ours uses named groups around the classes; structure must match.
+  EXPECT_NE(sig.pattern.find("[0-9a-zA-Z]{5,6}"), std::string::npos)
+      << sig.pattern;
+  EXPECT_NE(sig.pattern.find("=this\\["), std::string::npos) << sig.pattern;
+  EXPECT_NE(sig.pattern.find(".{11}"), std::string::npos) << sig.pattern;
+  // And it must match each sample's normalized text.
+  const auto p = match::Pattern::compile(sig.pattern);
+  EXPECT_TRUE(p.found_in("Euur1V=this[l9D](ev#333399al);"));
+  EXPECT_TRUE(p.found_in("QB0Xk=this[k3LSC](ev#33cc00al);"));
+}
+
+TEST(Compiler, BackreferenceForRepeatedVariables) {
+  // A variable used twice per sample must become one group plus one
+  // backreference (the paper's var1/var2 pattern, Fig 10a).
+  const std::vector<std::string> sources = {
+      R"(var aZk3=1; foo(aZk3); bar("x");)",
+      R"(var Qm9p=1; foo(Qm9p); bar("y");)",
+  };
+  CompilerParams params;
+  params.min_tokens = 3;
+  const Signature sig = compile_signature_from_sources(sources, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  EXPECT_NE(sig.pattern.find("(?<var0>"), std::string::npos) << sig.pattern;
+  EXPECT_NE(sig.pattern.find("\\k<var0>"), std::string::npos) << sig.pattern;
+  const auto p = match::Pattern::compile(sig.pattern);
+  EXPECT_TRUE(p.found_in("varhh1w=1;foo(hh1w);bar(z);"));
+  // Backreference must bind: different identifiers cannot match.
+  EXPECT_FALSE(p.found_in("varaaaa=1;foo(bbbb);bar(z);"));
+}
+
+TEST(Compiler, SignatureMatchesAllItsSamples) {
+  // Soundness on randomized packer-like corpora (property test).
+  Rng rng(5150);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> sources;
+    for (int s = 0; s < 5; ++s) {
+      const std::string ident = rng.identifier(3, 8);
+      const std::string key = rng.string_over("0123456789abcdef", 12);
+      sources.push_back("var " + ident + "=\"" + key +
+                        "\";function go(){return " + ident +
+                        ".length}go();");
+    }
+    const Signature sig = compile_signature_from_sources(sources, {});
+    ASSERT_TRUE(sig.ok) << sig.failure;
+    const auto p = match::Pattern::compile(sig.pattern);
+    for (const auto& src : sources) {
+      const auto tokens = text::lex(src);
+      EXPECT_TRUE(p.found_in(normalized_token_text(tokens)));
+    }
+  }
+}
+
+TEST(Compiler, RejectsTooShortWindow) {
+  const std::vector<std::string> sources = {"a+b;", "a+b;"};
+  CompilerParams params;
+  params.min_tokens = 10;
+  const Signature sig = compile_signature_from_sources(sources, params);
+  EXPECT_FALSE(sig.ok);
+  EXPECT_FALSE(sig.failure.empty());
+}
+
+TEST(Compiler, RejectsDisjointSamples) {
+  const std::vector<std::string> sources = {
+      "var a=1;var b=2;var c=3;var d=4;var e=5;",
+      "foo();bar();baz();qux();quux();corge();",
+  };
+  CompilerParams params;
+  params.min_tokens = 8;
+  const Signature sig = compile_signature_from_sources(sources, params);
+  EXPECT_FALSE(sig.ok);
+}
+
+TEST(Compiler, WindowCapAt200Tokens) {
+  // A unique header followed by a long repetitive region (the RIG shape:
+  // hundreds of identical collector calls). The window anchors at the
+  // header — repetition alone is never unique — and is capped at 200
+  // tokens even though far longer common runs exist.
+  std::string body = "var seed=1;function go(x){return x+seed}";
+  for (int i = 0; i < 300; ++i) {
+    body += "go(\"chunk\");";
+  }
+  const std::vector<std::string> sources = {body, body};
+  const Signature sig = compile_signature_from_sources(sources, {});
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  EXPECT_LE(sig.token_length, 200u);
+  EXPECT_GT(sig.token_length, 100u);
+}
+
+TEST(Compiler, SingleSampleYieldsLiteralSignature) {
+  const std::vector<std::string> sources = {
+      "var alpha=1;function beta(){return alpha+2}beta();"};
+  CompilerParams params;
+  params.min_tokens = 5;
+  const Signature sig = compile_signature_from_sources(sources, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  for (const Column& col : sig.columns) {
+    EXPECT_TRUE(col.is_literal);
+  }
+}
+
+TEST(Compiler, EmptyInputFails) {
+  const Signature sig = compile_signature({}, {});
+  EXPECT_FALSE(sig.ok);
+}
+
+TEST(Compiler, QuotesStrippedInSignature) {
+  // Fig 9: "although the original string contains quotation marks, these
+  // are automatically removed by AV scanners in a normalization step".
+  const std::vector<std::string> sources = {
+      R"(call("samestring");x=1;y=2;z=3;)",
+      R"(call("samestring");x=1;y=2;z=3;)",
+  };
+  CompilerParams params;
+  params.min_tokens = 5;
+  const Signature sig = compile_signature_from_sources(sources, params);
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  EXPECT_EQ(sig.pattern.find('"'), std::string::npos) << sig.pattern;
+  EXPECT_NE(sig.pattern.find("samestring"), std::string::npos);
+}
+
+// Property sweep over cluster sizes: compiled signatures stay sound.
+class CompilerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompilerSweep, SoundOnRandomizedClusters) {
+  const int n_samples = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n_samples) * 977 + 1);
+  std::vector<std::string> sources;
+  for (int s = 0; s < n_samples; ++s) {
+    std::string src;
+    src += "var " + rng.identifier(4, 9) + "=\"\";";
+    src += "var " + rng.identifier(3, 6) + "=\"" +
+           rng.string_over("0123456789", 20) + "\";";
+    src += "function " + rng.identifier(5, 8) + "(t){return t}";
+    src += "document.body.appendChild(el);";
+    sources.push_back(src);
+  }
+  const Signature sig = compile_signature_from_sources(sources, {});
+  ASSERT_TRUE(sig.ok) << sig.failure;
+  const auto p = match::Pattern::compile(sig.pattern);
+  for (const auto& src : sources) {
+    EXPECT_TRUE(p.found_in(normalized_token_text(text::lex(src))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, CompilerSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 24));
+
+}  // namespace
+}  // namespace kizzle::sig

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/deploy.h"
+#include "core/sigdb.h"
+
+namespace kizzle::core {
+namespace {
+
+std::vector<DeployedSignature> sample_set() {
+  DeployedSignature a;
+  a.name = "KZ.RIG.1";
+  a.family = "RIG";
+  a.issued_day = 64;
+  a.token_length = 120;
+  a.pattern = "var(?<var0>[0-9a-zA-Z]{3,7})=;function";
+  DeployedSignature b;
+  b.name = "KZ.Nuclear.2";
+  b.family = "Nuclear";
+  b.issued_day = 77;
+  b.token_length = 88;
+  b.pattern = "\\(ev3fwrwg4al\\)";
+  return {a, b};
+}
+
+TEST(SigDb, RoundTrip) {
+  const auto original = sample_set();
+  const std::string text = save_signatures(original);
+  const auto loaded = load_signatures(text);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, original[i].name);
+    EXPECT_EQ(loaded[i].family, original[i].family);
+    EXPECT_EQ(loaded[i].issued_day, original[i].issued_day);
+    EXPECT_EQ(loaded[i].token_length, original[i].token_length);
+    EXPECT_EQ(loaded[i].pattern, original[i].pattern);
+  }
+}
+
+TEST(SigDb, LoadedSetDrivesABundle) {
+  const auto loaded = load_signatures(save_signatures(sample_set()));
+  SignatureBundle bundle(loaded);
+  EXPECT_TRUE(bundle.match("xxx(ev3fwrwg4al)yyy").has_value());
+  EXPECT_FALSE(bundle.match("clean content").has_value());
+}
+
+TEST(SigDb, DeterministicOutput) {
+  EXPECT_EQ(save_signatures(sample_set()), save_signatures(sample_set()));
+}
+
+TEST(SigDb, EmptySetHasHeaderOnly) {
+  const std::string text = save_signatures({});
+  EXPECT_EQ(text, "# kizzle-signatures v1\n");
+  EXPECT_TRUE(load_signatures(text).empty());
+}
+
+TEST(SigDb, CommentsAndBlankLinesSkipped) {
+  const std::string text =
+      "# kizzle-signatures v1\n\n# a comment\n"
+      "S\tF\t1\t2\tabc\n";
+  const auto loaded = load_signatures(text);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "S");
+}
+
+TEST(SigDb, RejectsMissingHeader) {
+  EXPECT_THROW(load_signatures(std::string("S\tF\t1\t2\tabc\n")),
+               std::runtime_error);
+}
+
+TEST(SigDb, RejectsWrongFieldCount) {
+  EXPECT_THROW(
+      load_signatures(std::string("# kizzle-signatures v1\nS\tF\t1\n")),
+      std::runtime_error);
+}
+
+TEST(SigDb, RejectsBadNumbers) {
+  EXPECT_THROW(load_signatures(std::string(
+                   "# kizzle-signatures v1\nS\tF\tx\t2\tabc\n")),
+               std::runtime_error);
+}
+
+TEST(SigDb, RejectsNonCompilingPattern) {
+  EXPECT_THROW(load_signatures(std::string(
+                   "# kizzle-signatures v1\nS\tF\t1\t2\t(unclosed\n")),
+               std::runtime_error);
+}
+
+TEST(SigDb, RejectsTabInPattern) {
+  DeployedSignature s;
+  s.name = "S";
+  s.family = "F";
+  s.pattern = "a\tb";
+  EXPECT_THROW(save_signatures({s}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kizzle::core

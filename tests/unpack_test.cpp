@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "support/rng.h"
+#include "text/lexer.h"
+#include "unpack/token_util.h"
+#include "unpack/unpackers.h"
+
+namespace kizzle::unpack {
+namespace {
+
+using kitgen::AnglerPackerState;
+using kitgen::CveEntry;
+using kitgen::KitFamily;
+using kitgen::NuclearPackerState;
+using kitgen::PayloadSpec;
+using kitgen::PluginTarget;
+using kitgen::RigPackerState;
+using kitgen::SweetOrangePackerState;
+using kitgen::pack_angler;
+using kitgen::pack_nuclear;
+using kitgen::pack_rig;
+using kitgen::pack_sweet_orange;
+using kitgen::payload_text;
+
+std::string sample_payload(KitFamily family) {
+  PayloadSpec spec;
+  spec.family = family;
+  spec.cves = kitgen::kit_info(family).cves;
+  spec.av_check = kitgen::kit_info(family).av_check;
+  spec.urls = {"http://ex1.gate-a.biz/serv", "http://ex2.cdn-b.ru/track"};
+  return payload_text(spec);
+}
+
+// ------------------------------ helpers ------------------------------
+
+TEST(TokenUtil, JsUnescape) {
+  EXPECT_EQ(js_unescape(R"("a\"b")"), "a\"b");
+  EXPECT_EQ(js_unescape(R"('a\'b')"), "a'b");
+  EXPECT_EQ(js_unescape(R"("a\\b")"), "a\\b");
+  EXPECT_EQ(js_unescape(R"("a\nb")"), "a\nb");
+  EXPECT_EQ(js_unescape("\"plain\""), "plain");
+  EXPECT_EQ(js_unescape("noquotes"), "noquotes");
+}
+
+TEST(TokenUtil, StringAssignments) {
+  const auto tokens = text::lex(R"(var a="x"; b = "y"; c=f("z");)");
+  const auto map = string_assignments(tokens);
+  EXPECT_EQ(map.at("a"), "x");
+  EXPECT_EQ(map.at("b"), "y");
+  EXPECT_FALSE(map.contains("c"));  // call result, not a string literal
+}
+
+TEST(TokenUtil, FirstAssignmentWins) {
+  const auto tokens = text::lex(R"(var a="first"; a="second";)");
+  EXPECT_EQ(string_assignments(tokens).at("a"), "first");
+}
+
+TEST(TokenUtil, NumericAssignments) {
+  const auto tokens = text::lex("var n=47; var h=0x1F; var s=\"x\";");
+  const auto map = numeric_assignments(tokens);
+  EXPECT_EQ(map.at("n"), 47);
+  EXPECT_EQ(map.at("h"), 31);
+  EXPECT_FALSE(map.contains("s"));
+}
+
+TEST(TokenUtil, LooksLikeScript) {
+  EXPECT_TRUE(looks_like_script(sample_payload(KitFamily::Rig)));
+  EXPECT_FALSE(looks_like_script("short"));
+  EXPECT_FALSE(looks_like_script(std::string(200, '#')));
+}
+
+// --------------------------- round trips ----------------------------
+// pack(payload) then unpack must reproduce the payload byte-for-byte,
+// for every kit, across per-sample randomization seeds.
+
+class RoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 7919 + 11};
+};
+
+TEST_P(RoundTrip, Rig) {
+  const std::string payload = sample_payload(KitFamily::Rig);
+  RigPackerState st;
+  st.delim = GetParam() % 2 ? "y6" : "qX3";
+  const std::string packed = pack_rig(payload, st, rng_);
+  const auto result = unpack_script(packed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->unpacker, "rig");
+  EXPECT_EQ(result->text, payload);
+}
+
+TEST_P(RoundTrip, NuclearDecimal) {
+  const std::string payload = sample_payload(KitFamily::Nuclear);
+  NuclearPackerState st;
+  st.strip = GetParam() % 2 ? "#FFFFFF" : "UluN";
+  st.mode = GetParam() % 2 ? kitgen::ObfuscationMode::InsertOnce
+                           : kitgen::ObfuscationMode::Interleave;
+  const std::string packed = pack_nuclear(payload, st, rng_);
+  const auto result = unpack_script(packed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->unpacker, "nuclear");
+  EXPECT_EQ(result->text, payload);
+}
+
+TEST_P(RoundTrip, NuclearHexRadix) {
+  // The 8/12 "semantic change": index encoding flips to hex.
+  const std::string payload = sample_payload(KitFamily::Nuclear);
+  NuclearPackerState st;
+  st.radix = 16;
+  const std::string packed = pack_nuclear(payload, st, rng_);
+  const auto result = unpack_script(packed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->text, payload);
+}
+
+TEST_P(RoundTrip, Angler) {
+  const std::string payload = sample_payload(KitFamily::Angler);
+  AnglerPackerState st;
+  st.offset = 40 + GetParam() * 3;
+  const std::string packed = pack_angler(payload, st, rng_);
+  const auto result = unpack_script(packed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->unpacker, "angler");
+  EXPECT_EQ(result->text, payload);
+}
+
+TEST_P(RoundTrip, SweetOrange) {
+  const std::string payload = sample_payload(KitFamily::SweetOrange);
+  SweetOrangePackerState st;
+  if (GetParam() % 2) {
+    st.positions = {11, 16, 12, 17, 13, 10, 15, 14};
+    st.key = "Zb4Ty9Qn";
+  }
+  const std::string packed = pack_sweet_orange(payload, st, rng_);
+  const auto result = unpack_script(packed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->unpacker, "sweet_orange");
+  EXPECT_EQ(result->text, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip, ::testing::Range(0, 10));
+
+// ------------------------- negative behaviour -------------------------
+
+TEST(Unpackers, BenignCodeDoesNotUnpack) {
+  const char* benign = R"JS(
+function track(u){var img=new Image(1,1);img.src=u;return img}
+var config={delay:300,retries:3,endpoint:"/api/v2/track",enabled:true};
+function init(){if(document.addEventListener){document.addEventListener(
+"DOMContentLoaded",function(){track(config.endpoint)},false)}}
+init();
+)JS";
+  EXPECT_FALSE(unpack_script(benign).has_value());
+}
+
+TEST(Unpackers, TruncatedRigSampleFailsGracefully) {
+  Rng rng(3);
+  const std::string payload = sample_payload(KitFamily::Rig);
+  RigPackerState st;
+  std::string packed = pack_rig(payload, st, rng);
+  packed.resize(packed.size() / 3);  // heavy truncation
+  const auto result = unpack_script(packed);
+  // Either fails or decodes a prefix; it must not throw.
+  if (result) {
+    EXPECT_EQ(result->unpacker, "rig");
+  }
+}
+
+TEST(Unpackers, EmptyInput) {
+  EXPECT_FALSE(unpack_script("").has_value());
+}
+
+TEST(Unpackers, NoCrossFire) {
+  // Each packed format must be decoded by exactly its own unpacker.
+  Rng rng(17);
+  const auto& unpackers = default_unpackers();
+  struct Case {
+    std::string packed;
+    std::string_view expect;
+  };
+  std::vector<Case> cases;
+  cases.push_back({pack_rig(sample_payload(KitFamily::Rig), {}, rng), "rig"});
+  cases.push_back(
+      {pack_nuclear(sample_payload(KitFamily::Nuclear), {}, rng), "nuclear"});
+  cases.push_back(
+      {pack_angler(sample_payload(KitFamily::Angler), {}, rng), "angler"});
+  cases.push_back({pack_sweet_orange(sample_payload(KitFamily::SweetOrange),
+                                     {}, rng),
+                   "sweet_orange"});
+  for (const Case& c : cases) {
+    const auto tokens = text::lex(c.packed);
+    for (const auto& u : unpackers) {
+      const auto result = u->try_unpack(tokens);
+      if (u->name() == c.expect) {
+        EXPECT_TRUE(result.has_value()) << u->name();
+      } else {
+        EXPECT_FALSE(result.has_value())
+            << u->name() << " cross-fired on " << c.expect;
+      }
+    }
+  }
+}
+
+TEST(Unpackers, FixpointSingleLayerEqualsUnpack) {
+  Rng rng(23);
+  const std::string payload = sample_payload(KitFamily::Angler);
+  const std::string packed = pack_angler(payload, {}, rng);
+  const auto result = unpack_fixpoint(packed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->text, payload);
+}
+
+TEST(Unpackers, FixpointPeelsTwoLayers) {
+  // RIG wrapped around Angler: the fixpoint driver must reach the core.
+  Rng rng(29);
+  const std::string payload = sample_payload(KitFamily::Angler);
+  const std::string inner = pack_angler(payload, {}, rng);
+  const std::string outer = pack_rig(inner, {}, rng);
+  const auto result = unpack_fixpoint(outer);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->text, payload);
+  EXPECT_EQ(result->unpacker, "angler");  // the innermost unpacker fired last
+}
+
+}  // namespace
+}  // namespace kizzle::unpack

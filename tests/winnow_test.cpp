@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "support/hash.h"
+#include "support/rng.h"
+#include "winnow/winnow.h"
+
+namespace kizzle::winnow {
+namespace {
+
+TEST(Winnow, EmptyInput) {
+  const std::vector<std::uint64_t> none;
+  EXPECT_TRUE(winnow_hashes(none, 4).empty());
+}
+
+TEST(Winnow, ShortInputSelectsGlobalMinimum) {
+  const std::vector<std::uint64_t> hashes = {9, 3, 7};
+  const auto sel = winnow_hashes(hashes, 4);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].hash, 3u);
+  EXPECT_EQ(sel[0].position, 1u);
+}
+
+TEST(Winnow, GuaranteeEveryWindowHasASelection) {
+  // The winnowing guarantee: each window of `w` consecutive k-grams
+  // contains at least one selected position.
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> hashes(30 + rng.index(200));
+    for (auto& h : hashes) h = rng.next();
+    const std::size_t w = 2 + rng.index(6);
+    const auto sel = winnow_hashes(hashes, w);
+    std::vector<bool> selected(hashes.size(), false);
+    for (const Selected& s : sel) selected[s.position] = true;
+    for (std::size_t start = 0; start + w <= hashes.size(); ++start) {
+      bool any = false;
+      for (std::size_t i = start; i < start + w; ++i) {
+        if (selected[i]) any = true;
+      }
+      EXPECT_TRUE(any) << "window at " << start << " w=" << w;
+    }
+  }
+}
+
+TEST(Winnow, RejectsZeroWindow) {
+  const std::vector<std::uint64_t> hashes = {1, 2, 3};
+  EXPECT_THROW(winnow_hashes(hashes, 0), std::invalid_argument);
+}
+
+TEST(FingerprintSet, IdenticalTextsFullyContained) {
+  const Params p{.k = 8, .window = 4};
+  const std::string text = "function detect(){return navigator.plugins}";
+  const auto a = FingerprintSet::of_text(text, p);
+  const auto b = FingerprintSet::of_text(text, p);
+  EXPECT_DOUBLE_EQ(a.containment(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.jaccard(b), 1.0);
+}
+
+TEST(FingerprintSet, DisjointTextsNoOverlap) {
+  const Params p{.k = 8, .window = 4};
+  const auto a = FingerprintSet::of_text(
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", p);
+  const auto b = FingerprintSet::of_text(
+      "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz", p);
+  EXPECT_DOUBLE_EQ(a.containment(b), 0.0);
+}
+
+TEST(FingerprintSet, SharedCoreYieldsProportionalContainment) {
+  // benign = shared core + extra tail; containment(benign -> core) should
+  // scale with the shared fraction. This is the Fig 15 mechanism.
+  Rng rng(67);
+  const std::string core = rng.string_over("abcdefgh({;=.", 2000);
+  const std::string tail = rng.string_over("nopqrstu)}[]!", 600);
+  const Params p{.k = 8, .window = 4};
+  const auto core_fps = FingerprintSet::of_text(core, p);
+  const auto benign_fps = FingerprintSet::of_text(core + tail, p);
+  const double c = benign_fps.containment(core_fps);
+  EXPECT_GT(c, 0.6);
+  EXPECT_LT(c, 0.95);
+}
+
+TEST(FingerprintSet, ContainmentIsAsymmetric) {
+  Rng rng(68);
+  const std::string core = rng.string_over("abcdefgh", 1000);
+  const std::string big = core + rng.string_over("xyzw", 3000);
+  const Params p{.k = 8, .window = 4};
+  const auto small_fps = FingerprintSet::of_text(core, p);
+  const auto big_fps = FingerprintSet::of_text(big, p);
+  EXPECT_GT(small_fps.containment(big_fps), big_fps.containment(small_fps));
+}
+
+TEST(FingerprintSet, EmptyBehaviour) {
+  const Params p{.k = 8, .window = 4};
+  const FingerprintSet empty;
+  const auto full = FingerprintSet::of_text("abcdefghijabcdefghij", p);
+  EXPECT_DOUBLE_EQ(empty.containment(full), 0.0);
+  EXPECT_DOUBLE_EQ(empty.jaccard(empty), 1.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FingerprintSet, TooShortForOneKgram) {
+  const Params p{.k = 8, .window = 4};
+  EXPECT_TRUE(FingerprintSet::of_text("short", p).empty());
+}
+
+TEST(FingerprintSet, SymbolsAndTextAgreeOnStructure) {
+  const Params p{.k = 4, .window = 3};
+  std::vector<std::uint32_t> syms = {1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 9, 9};
+  const auto a = FingerprintSet::of_symbols(syms, p);
+  EXPECT_FALSE(a.empty());
+  EXPECT_DOUBLE_EQ(a.containment(a), 1.0);
+}
+
+// Property: a document edited slightly keeps high overlap; replaced
+// entirely keeps low overlap. (What labeling relies on, §III.B.)
+class WinnowDrift : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinnowDrift, SmallEditsKeepHighOverlap) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 13);
+  const Params p{.k = 8, .window = 4};
+  std::string doc = rng.string_over("abcdefghijklmnop(){};=.,", 3000);
+  std::string edited = doc;
+  // ~1% point edits
+  for (int i = 0; i < 30; ++i) {
+    edited[rng.index(edited.size())] = 'Z';
+  }
+  const auto a = FingerprintSet::of_text(doc, p);
+  const auto b = FingerprintSet::of_text(edited, p);
+  EXPECT_GT(b.containment(a), 0.75);
+  const std::string other = rng.string_over("qrstuvwxyZABC[]!#", 3000);
+  const auto c = FingerprintSet::of_text(other, p);
+  EXPECT_LT(c.containment(a), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WinnowDrift, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace kizzle::winnow

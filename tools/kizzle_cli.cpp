@@ -1,0 +1,299 @@
+// kizzle — command-line front end for the library.
+//
+//   kizzle tokenize <file>             token table (paper Fig 8)
+//   kizzle normalize <file>            AV-normalized scan text
+//   kizzle unpack <file>               static unpack (multi-layer)
+//   kizzle compile <file>...           signature from a sample cluster
+//   kizzle fragments <file>...         multi-fragment signature (§V ext.)
+//   kizzle scan <sigfile> <file>...    scan files against signatures
+//                                      (sigfile: one regex per line,
+//                                      optional "name<TAB>pattern")
+//   kizzle gen <kit> [n] [seed]        emit synthetic landing pages
+//                                      (kit: nuclear|sweetorange|angler|rig)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/sigdb.h"
+#include "kitgen/families.h"
+#include "kitgen/stream.h"
+#include "match/pattern.h"
+#include "match/scanner.h"
+#include "sig/compiler.h"
+#include "sig/multi_fragment.h"
+#include "support/table.h"
+#include "text/html.h"
+#include "text/lexer.h"
+#include "text/normalize.h"
+#include "unpack/unpackers.h"
+
+namespace {
+
+using namespace kizzle;
+
+std::string read_file(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// HTML documents contribute their inline scripts; bare JS passes through.
+std::string script_of(const std::string& content) {
+  const auto blocks = text::extract_scripts(content);
+  if (blocks.empty()) return content;
+  return text::inline_script_text(content);
+}
+
+int cmd_tokenize(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: kizzle tokenize <file>\n");
+    return 2;
+  }
+  const std::string source = script_of(read_file(args[0]));
+  Table table({"offset", "class", "text"});
+  for (const text::Token& t : text::lex(source)) {
+    std::string shown = t.text.substr(0, 48);
+    if (shown.size() < t.text.size()) shown += "...";
+    table.add_row({std::to_string(t.offset),
+                   std::string(token_class_name(t.cls)), shown});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_normalize(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: kizzle normalize <file>\n");
+    return 2;
+  }
+  std::printf("%s\n", text::normalize_raw(read_file(args[0])).c_str());
+  return 0;
+}
+
+int cmd_unpack(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: kizzle unpack <file>\n");
+    return 2;
+  }
+  const std::string source = script_of(read_file(args[0]));
+  const auto result = unpack::unpack_fixpoint(source);
+  if (!result) {
+    std::fprintf(stderr, "no registered unpacker matched\n");
+    return 1;
+  }
+  std::fprintf(stderr, "[unpacked by '%s']\n",
+               std::string(result->unpacker).c_str());
+  std::printf("%s\n", result->text.c_str());
+  return 0;
+}
+
+int cmd_compile(const std::vector<std::string>& args, bool fragments) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: kizzle %s <file>...\n",
+                 fragments ? "fragments" : "compile");
+    return 2;
+  }
+  std::vector<std::vector<text::Token>> samples;
+  for (const std::string& path : args) {
+    samples.push_back(text::lex(script_of(read_file(path))));
+  }
+  if (fragments) {
+    sig::MultiFragmentParams params;
+    params.base.length_slack = 0.15;
+    params.base.max_literal_run = 64;
+    const sig::FragmentSignature signature =
+        sig::compile_multi_fragment(samples, params);
+    if (!signature.ok) {
+      std::fprintf(stderr, "compilation failed: %s\n",
+                   signature.failure.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[%zu fragments, %zu tokens, %zu chars]\n",
+                 signature.fragments.size(), signature.total_tokens(),
+                 signature.length());
+    for (const sig::Signature& f : signature.fragments) {
+      std::printf("%s\n", f.pattern.c_str());
+    }
+    return 0;
+  }
+  sig::CompilerParams params;
+  params.length_slack = 0.15;
+  params.max_literal_run = 64;
+  const sig::Signature signature = sig::compile_signature(samples, params);
+  if (!signature.ok) {
+    std::fprintf(stderr, "compilation failed: %s\n", signature.failure.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[%zu tokens, %zu chars]\n", signature.token_length,
+               signature.length());
+  std::printf("%s\n", signature.pattern.c_str());
+  return 0;
+}
+
+int cmd_scan(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "usage: kizzle scan <sigfile> <file>...\n");
+    return 2;
+  }
+  match::Scanner scanner;
+  {
+    const std::string content = read_file(args[0]);
+    if (content.rfind("# kizzle-signatures", 0) == 0) {
+      // A signature database written by `kizzle demo` / save_signatures.
+      for (const core::DeployedSignature& s :
+           core::load_signatures(content)) {
+        scanner.add(s.name, match::Pattern::compile(s.pattern));
+      }
+    } else {
+      // Plain format: one regex per line, optional "name<TAB>pattern".
+      std::istringstream sigs(content);
+      std::string line;
+      std::size_t n = 0;
+      while (std::getline(sigs, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::string name = "sig" + std::to_string(++n);
+        std::string pattern = line;
+        const std::size_t tab = line.find('\t');
+        if (tab != std::string::npos) {
+          name = line.substr(0, tab);
+          pattern = line.substr(tab + 1);
+        }
+        try {
+          scanner.add(name, match::Pattern::compile(pattern));
+        } catch (const match::PatternError& e) {
+          std::fprintf(stderr, "bad signature '%s': %s\n", name.c_str(),
+                       e.what());
+          return 2;
+        }
+      }
+    }
+  }
+  int exit_code = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string normalized = text::normalize_raw(read_file(args[i]));
+    const auto hits = scanner.scan(normalized);
+    if (hits.empty()) {
+      std::printf("%-40s clean\n", args[i].c_str());
+    } else {
+      exit_code = 1;
+      std::string names;
+      for (const auto& h : hits) {
+        if (!names.empty()) names += ", ";
+        names += scanner.name(h.signature_index);
+      }
+      std::printf("%-40s MATCH (%s)\n", args[i].c_str(), names.c_str());
+    }
+  }
+  return exit_code;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: kizzle gen <nuclear|sweetorange|angler|rig>"
+                         " [n] [seed]\n");
+    return 2;
+  }
+  kitgen::KitFamily family;
+  if (args[0] == "nuclear") {
+    family = kitgen::KitFamily::Nuclear;
+  } else if (args[0] == "sweetorange") {
+    family = kitgen::KitFamily::SweetOrange;
+  } else if (args[0] == "angler") {
+    family = kitgen::KitFamily::Angler;
+  } else if (args[0] == "rig") {
+    family = kitgen::KitFamily::Rig;
+  } else {
+    std::fprintf(stderr, "unknown kit '%s'\n", args[0].c_str());
+    return 2;
+  }
+  const std::size_t n = args.size() > 1 ? std::stoul(args[1]) : 1;
+  const std::uint64_t seed = args.size() > 2 ? std::stoull(args[2]) : 1;
+  auto gen = kitgen::make_kit_generator(family, seed);
+  gen->begin_day(kitgen::kAug1);
+  Rng rng(seed ^ 0xABCDEF);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (n > 1) std::printf("<!-- sample %zu -->\n", i + 1);
+    std::printf("%s\n", gen->sample_html(rng).c_str());
+  }
+  return 0;
+}
+
+int cmd_demo(const std::vector<std::string>& args) {
+  const int days = args.empty() ? 3 : std::stoi(args[0]);
+  if (days < 1 || days > 31) {
+    std::fprintf(stderr, "demo: days must be in [1,31]\n");
+    return 2;
+  }
+  kitgen::StreamConfig scfg;
+  scfg.volume_scale = 0.3;
+  kitgen::StreamSimulator sim(scfg);
+  core::KizzlePipeline pipeline(core::PipelineConfig{}, 20140801);
+  for (const auto& [family, payload] : sim.seed_corpus()) {
+    pipeline.seed_family(std::string(kitgen::family_name(family)), 0.55,
+                         payload);
+  }
+  for (int day = kitgen::kAug1; day < kitgen::kAug1 + days; ++day) {
+    const auto batch = sim.generate_day(day);
+    std::vector<std::string> htmls;
+    for (const auto& s : batch.samples) htmls.push_back(s.html);
+    const auto report = pipeline.process_day(day, htmls);
+    std::fprintf(stderr,
+                 "[%s] %zu samples, %zu clusters, %zu signatures deployed\n",
+                 kitgen::date_label(day).c_str(), report.n_samples,
+                 report.n_clusters, pipeline.signatures().size());
+  }
+  // The deployable artifact: a signature database on stdout.
+  std::printf("%s", core::save_signatures(pipeline.signatures()).c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "kizzle — exploit-kit signature compiler\n"
+               "  kizzle tokenize <file>\n"
+               "  kizzle normalize <file>\n"
+               "  kizzle unpack <file>\n"
+               "  kizzle compile <file>...\n"
+               "  kizzle fragments <file>...\n"
+               "  kizzle scan <sigfile> <file>...\n"
+               "  kizzle gen <kit> [n] [seed]\n"
+               "  kizzle demo [days]        run the pipeline on a simulated\n"
+               "                            stream, emit a signature DB\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "tokenize") return cmd_tokenize(args);
+    if (cmd == "normalize") return cmd_normalize(args);
+    if (cmd == "unpack") return cmd_unpack(args);
+    if (cmd == "compile") return cmd_compile(args, false);
+    if (cmd == "fragments") return cmd_compile(args, true);
+    if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "demo") return cmd_demo(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
