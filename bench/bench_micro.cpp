@@ -9,9 +9,11 @@
 #include "kitgen/packers.h"
 #include "kitgen/payload.h"
 #include "match/pattern.h"
+#include "match/scanner.h"
 #include "sig/common_window.h"
 #include "support/interner.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "text/abstraction.h"
 #include "text/lexer.h"
 #include "text/normalize.h"
@@ -220,6 +222,81 @@ void BM_PatternMiss(benchmark::State& state) {
                           static_cast<int64_t>(text.size()));
 }
 BENCHMARK(BM_PatternMiss);
+
+// --------------------- multi-signature scanning ---------------------
+
+// Whole-database scan throughput vs. signature count. The deployment
+// channels scan every sample against the full signature set, so this is
+// THE production hot path. BM_ScanManySignatures goes through the shared
+// Aho–Corasick prefilter (one streaming pass + VM confirmation of the few
+// candidates); BM_ScanManySignaturesBruteForce is the per-pattern search
+// baseline (one memmem pass per signature). Signature shapes mirror the
+// compiler's output: long escaped literal chunks, most of which are from
+// *other* samples than the one scanned — the common case in deployment.
+void add_database_signatures(match::Scanner& scanner, std::size_t count,
+                             const std::string& scanned_sample) {
+  Rng rng(14);
+  std::vector<std::string> donors;
+  for (int d = 0; d < 8; ++d) donors.push_back(packed_nuclear_sample(20 + d));
+  for (std::size_t i = 0; i < count; ++i) {
+    // ~2% of the database hits the scanned sample, the rest is drawn from
+    // unrelated samples (and salted so it cannot accidentally occur).
+    std::string chunk;
+    if (i % 50 == 0 && scanned_sample.size() > 64) {
+      chunk = scanned_sample.substr(rng.index(scanned_sample.size() - 48), 40);
+    } else {
+      const std::string& donor = donors[i % donors.size()];
+      chunk = donor.substr(rng.index(donor.size() - 48), 40) + "#" +
+              std::to_string(i);
+    }
+    scanner.add("sig" + std::to_string(i),
+                match::Pattern::compile(match::Pattern::escape(chunk) +
+                                        "[0-9a-zA-Z]{0,8}"));
+  }
+}
+
+void BM_ScanManySignatures(benchmark::State& state) {
+  const std::string text = packed_nuclear_sample(1);
+  match::Scanner scanner;
+  add_database_signatures(scanner, static_cast<std::size_t>(state.range(0)),
+                          text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.scan(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ScanManySignatures)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ScanManySignaturesBruteForce(benchmark::State& state) {
+  const std::string text = packed_nuclear_sample(1);
+  match::Scanner scanner;
+  add_database_signatures(scanner, static_cast<std::size_t>(state.range(0)),
+                          text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.scan_brute_force(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ScanManySignaturesBruteForce)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ScanBatchParallel(benchmark::State& state) {
+  // Batch fan-out across the thread pool (the CdnFilter shape): 64 packed
+  // samples against a 100-signature database.
+  std::vector<std::string> batch;
+  for (int i = 0; i < 64; ++i) batch.push_back(packed_nuclear_sample(100 + i));
+  match::Scanner scanner;
+  add_database_signatures(scanner, 100, batch[0]);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::int64_t bytes = 0;
+  for (const auto& s : batch) bytes += static_cast<std::int64_t>(s.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.scan_batch(batch, pool));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_ScanBatchParallel)->Arg(1)->Arg(4)->Arg(0);
 
 // -------------------------- common window --------------------------
 

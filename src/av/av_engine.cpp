@@ -10,13 +10,26 @@ void ManualAvEngine::schedule(AvRelease release) {
     throw std::invalid_argument("ManualAvEngine: empty signature literal");
   }
   releases_.push_back(std::move(release));
+  prefilter_.invalidate();
 }
 
 std::optional<AvRelease> ManualAvEngine::match(
     int day, std::string_view normalized) const {
-  for (const AvRelease& r : releases_) {
-    if (r.day > day) continue;
-    if (normalized.find(r.literal) != std::string_view::npos) return r;
+  // One automaton pass finds every literal present; candidates come back
+  // in ascending insertion order, matching the brute-force first-match
+  // semantics. Only the release-day gate remains per candidate.
+  if (releases_.empty()) return std::nullopt;
+  const match::LiteralPrefilter& pf =
+      prefilter_.ensure([this](match::LiteralPrefilter& p) {
+        for (std::size_t i = 0; i < releases_.size(); ++i) {
+          p.add(i, releases_[i].literal);
+        }
+      });
+  thread_local std::vector<std::size_t> candidates;
+  pf.candidates_into(normalized, candidates);
+  for (const std::size_t i : candidates) {
+    if (releases_[i].day > day) continue;
+    return releases_[i];
   }
   return std::nullopt;
 }

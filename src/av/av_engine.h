@@ -8,6 +8,13 @@
 // matching is what makes the baseline brittle against the kits' per-sample
 // feature randomization — the asymmetry Kizzle's structural signatures
 // remove.
+//
+// Because every signature here is a plain literal, the whole database is
+// one Aho–Corasick automaton (match/prefilter.h): match() makes a single
+// streaming pass instead of one substring search per release. The
+// automaton is built lazily on first match() after a schedule() (so bulk
+// loading stays linear) behind a mutex, keeping concurrent match() calls
+// safe once the release set is loaded.
 #pragma once
 
 #include <optional>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "kitgen/kit.h"
+#include "match/prefilter.h"
 
 namespace kizzle::av {
 
@@ -45,6 +53,7 @@ class ManualAvEngine {
 
  private:
   std::vector<AvRelease> releases_;
+  match::LazyPrefilter prefilter_;
 };
 
 }  // namespace kizzle::av

@@ -1,8 +1,10 @@
 #include "core/deploy.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "support/hash.h"
+#include "support/thread_pool.h"
 #include "text/html.h"
 #include "text/normalize.h"
 
@@ -14,12 +16,20 @@ SignatureBundle::SignatureBundle(
   compiled_.reserve(signatures.size());
   for (const DeployedSignature& s : signatures) {
     compiled_.push_back(match::Pattern::compile(s.pattern));
+    prefilter_.add(compiled_.size() - 1, compiled_.back().required_literal());
   }
+  prefilter_.build();
 }
 
 std::optional<std::size_t> SignatureBundle::match(
     std::string_view normalized) const {
-  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+  // Candidates come back in ascending index order, so the first confirmed
+  // candidate IS the first matching signature — no need to run the rest.
+  // The buffer is reused per thread: this runs once per sample inside the
+  // CdnFilter batch fan-out.
+  thread_local std::vector<std::size_t> candidates;
+  prefilter_.candidates_into(normalized, candidates);
+  for (const std::size_t i : candidates) {
     if (compiled_[i].search(normalized).matched) return i;
   }
   return std::nullopt;
@@ -98,20 +108,46 @@ Verdict DesktopScanner::scan_file(std::string_view content) const {
 
 // --------------------------------- CDN ---------------------------------
 
-CdnFilter::CdnFilter(const SignatureBundle* bundle) : bundle_(bundle) {
+CdnFilter::CdnFilter(const SignatureBundle* bundle, std::size_t threads)
+    : bundle_(bundle), threads_(threads) {
   if (bundle_ == nullptr) {
     throw std::invalid_argument("CdnFilter: null bundle");
   }
 }
 
+CdnFilter::~CdnFilter() = default;
+
 CdnFilter::Report CdnFilter::filter(
     std::span<const std::string> candidates) const {
+  // Normalize + scan each candidate in parallel (the bundle is immutable
+  // and its prefilter is shared read-only), then aggregate sequentially in
+  // index order so the report is deterministic. The pool is created on
+  // the first batch that fans out and lives with the filter, so repeated
+  // batches don't pay thread churn; single-candidate batches skip the
+  // fan-out entirely.
+  std::vector<std::optional<std::size_t>> verdicts(candidates.size());
+  if (candidates.size() < 2) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      verdicts[i] = bundle_->match(text::normalize_raw(candidates[i]));
+    }
+  } else {
+    // Serialize concurrent filter() calls: ThreadPool::wait() is
+    // pool-global, so two interleaved parallel_for batches could steal
+    // each other's completion (and first-thrown exception), letting a
+    // never-scanned candidate slip into `hostable`. One batch at a time
+    // keeps the report trustworthy; each batch still fans out internally.
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+    pool_->parallel_for(candidates.size(), [&](std::size_t i) {
+      verdicts[i] = bundle_->match(text::normalize_raw(candidates[i]));
+    });
+  }
+
   Report report;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto hit = bundle_->match(text::normalize_raw(candidates[i]));
-    if (hit) {
+    if (verdicts[i]) {
       report.rejected.push_back(i);
-      ++report.hits_per_signature[bundle_->info(*hit).name];
+      ++report.hits_per_signature[bundle_->info(*verdicts[i]).name];
     } else {
       report.hostable.push_back(i);
     }

@@ -17,23 +17,37 @@
 //                 file content is arbitrary, so raw normalization is used.
 //   CdnFilter     batch admission: partitions a candidate set into
 //                 hostable / rejected, with per-signature hit counts for
-//                 the administrator.
+//                 the administrator. Candidates are scanned in parallel
+//                 across a thread pool; the report stays deterministic.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "match/prefilter.h"
+
+namespace kizzle {
+class ThreadPool;
+}
 
 namespace kizzle::core {
 
 // A read-only view over a pipeline's deployed signatures, compiled once.
-// All deployment adapters share one SignatureBundle.
+// All deployment adapters share one SignatureBundle. Matching runs through
+// a shared Aho–Corasick literal prefilter (match/prefilter.h): one pass
+// over the text yields the candidate signatures, which are then confirmed
+// in index order with early exit — the whole database is no longer
+// re-searched to find the first match. Immutable after construction, so
+// concurrent match() calls are safe.
 class SignatureBundle {
  public:
   explicit SignatureBundle(const std::vector<DeployedSignature>& signatures);
@@ -47,6 +61,7 @@ class SignatureBundle {
  private:
   std::vector<DeployedSignature> infos_;
   std::vector<match::Pattern> compiled_;
+  match::LiteralPrefilter prefilter_;
 };
 
 struct Verdict {
@@ -100,7 +115,11 @@ class DesktopScanner {
 
 class CdnFilter {
  public:
-  explicit CdnFilter(const SignatureBundle* bundle);
+  // `threads` sizes the scan pool owned by the filter (created lazily on
+  // the first batch that fans out, reused across filter() calls); 0 =
+  // hardware concurrency.
+  explicit CdnFilter(const SignatureBundle* bundle, std::size_t threads = 0);
+  ~CdnFilter();
 
   struct Report {
     std::vector<std::size_t> hostable;   // indices into the candidate list
@@ -108,11 +127,17 @@ class CdnFilter {
     std::unordered_map<std::string, std::size_t> hits_per_signature;
   };
 
-  // Partitions candidate files for hosting.
+  // Partitions candidate files for hosting. Candidates are normalized and
+  // scanned in parallel; the report lists indices in ascending order
+  // regardless of scheduling. Safe to call from several threads —
+  // concurrent batches are serialized on the filter's pool.
   Report filter(std::span<const std::string> candidates) const;
 
  private:
   const SignatureBundle* bundle_;
+  std::size_t threads_;
+  mutable std::mutex filter_mu_;  // one batch on the pool at a time
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace kizzle::core

@@ -25,7 +25,13 @@ void KizzlePipeline::seed_family(const std::string& family, double threshold,
 
 std::optional<std::size_t> KizzlePipeline::scan(
     std::string_view normalized_text) const {
-  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+  if (compiled_.empty()) return std::nullopt;
+  // Candidates arrive in ascending index order == issue order, so the
+  // first confirmed candidate is the first-match answer. The buffer is
+  // reused per thread: coverage checks scan every cluster sample.
+  thread_local std::vector<std::size_t> candidates;
+  sig_prefilter_.candidates_into(normalized_text, candidates);
+  for (const std::size_t i : candidates) {
     if (compiled_[i].search(normalized_text).matched) return i;
   }
   return std::nullopt;
@@ -33,7 +39,10 @@ std::optional<std::size_t> KizzlePipeline::scan(
 
 std::optional<std::size_t> KizzlePipeline::scan_as_of(
     std::string_view normalized_text, int day, bool include_same_day) const {
-  for (std::size_t i = 0; i < compiled_.size(); ++i) {
+  if (compiled_.empty()) return std::nullopt;
+  thread_local std::vector<std::size_t> candidates;
+  sig_prefilter_.candidates_into(normalized_text, candidates);
+  for (const std::size_t i : candidates) {
     const int issued = signatures_[i].issued_day;
     if (issued > day || (issued == day && !include_same_day)) continue;
     if (compiled_[i].search(normalized_text).matched) return i;
@@ -198,6 +207,11 @@ void KizzlePipeline::process_cluster(int day,
   dep.token_length = signature.token_length;
   compiled_.push_back(match::Pattern::compile(signature.pattern));
   signatures_.push_back(std::move(dep));
+  // Deployments are rare (one per packer change, Fig 12), so rebuilding
+  // the whole prefilter here keeps the scan paths allocation- and
+  // lock-free.
+  sig_prefilter_.add(compiled_.size() - 1, compiled_.back().required_literal());
+  sig_prefilter_.build();
   cr.issued_signature = true;
   cr.signature_name = signatures_.back().name;
 }

@@ -21,6 +21,7 @@
 #include "cluster/partitioned.h"
 #include "core/corpus.h"
 #include "match/pattern.h"
+#include "match/prefilter.h"
 #include "sig/compiler.h"
 #include "support/interner.h"
 #include "support/rng.h"
@@ -134,6 +135,10 @@ class KizzlePipeline {
   LabeledCorpus corpus_;
   std::vector<DeployedSignature> signatures_;
   std::vector<match::Pattern> compiled_;
+  // Aho–Corasick prefilter over the deployed signatures' required
+  // literals; rebuilt on each (rare) deployment so scan()/scan_as_of()
+  // confirm only candidate signatures.
+  match::LiteralPrefilter sig_prefilter_;
   int sig_counter_ = 0;
 };
 

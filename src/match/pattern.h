@@ -14,9 +14,28 @@
 //
 // Compiled patterns carry a *literal pre-filter*: the longest literal run
 // that any match must contain, plus the min/max distance from the match
-// start. scan() then only attempts matches around memmem hits of that
+// start. search() then only attempts matches around memmem hits of that
 // literal, which makes scanning large sample streams cheap (Kizzle
 // signatures are long and highly literal, see paper §IV).
+//
+// Prefiltering happens at two levels:
+//
+//   per-pattern   search() memmem-locates this pattern's required_literal()
+//                 and only runs the VM around its occurrences; absent
+//                 literal → immediate no-match, no VM steps charged.
+//   per-database  match/prefilter.h builds one Aho–Corasick automaton over
+//                 the required_literal() of *every* deployed pattern. A
+//                 single streaming pass over the text yields the candidate
+//                 signature subset; only candidates run search(). Patterns
+//                 with no usable literal stay on an always-check fallback
+//                 list, so the prefiltered scan is exactly equivalent to
+//                 running every pattern — it just skips searches that the
+//                 per-pattern memmem would have rejected anyway.
+//
+// match::Scanner, core::SignatureBundle, core::KizzlePipeline and
+// av::ManualAvEngine all scan through the database-level prefilter; the
+// brute-force path survives as Scanner::scan_brute_force for differential
+// tests and benchmarks.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,168 @@
+#include "match/prefilter.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace kizzle::match {
+
+namespace {
+constexpr std::int32_t kNone = -1;
+}
+
+void LiteralPrefilter::add(std::size_t id, std::string_view literal) {
+  if (literal.empty()) {
+    fallback_.push_back(id);
+  } else {
+    keywords_.push_back(Keyword{std::string(literal), id});
+  }
+  ++n_ids_;
+  id_limit_ = std::max(id_limit_, id + 1);
+  built_ = false;
+}
+
+void LiteralPrefilter::build() {
+  // Reduced alphabet: one column per byte value that occurs in a literal.
+  alpha_.fill(kNoCode);
+  alpha_size_ = 0;
+  for (const Keyword& kw : keywords_) {
+    for (char c : kw.literal) {
+      const auto b = static_cast<unsigned char>(c);
+      if (alpha_[b] == kNoCode) {
+        alpha_[b] = static_cast<std::uint16_t>(alpha_size_++);
+      }
+    }
+  }
+
+  // Trie of keywords over the reduced alphabet.
+  next_.assign(alpha_size_, kNone);  // state 0 = root
+  std::vector<std::vector<std::size_t>> outputs(1);
+  auto n_states = [&] { return next_.size() / std::max<std::size_t>(alpha_size_, 1); };
+  for (const Keyword& kw : keywords_) {
+    std::int32_t state = 0;
+    for (char c : kw.literal) {
+      const std::uint16_t code = alpha_[static_cast<unsigned char>(c)];
+      const std::size_t slot =
+          static_cast<std::size_t>(state) * alpha_size_ + code;
+      if (next_[slot] == kNone) {
+        const auto fresh = static_cast<std::int32_t>(n_states());
+        next_.resize(next_.size() + alpha_size_, kNone);  // may reallocate
+        next_[slot] = fresh;
+        outputs.emplace_back();
+      }
+      state = next_[slot];
+    }
+    outputs[static_cast<std::size_t>(state)].push_back(kw.id);
+  }
+
+  // BFS: compute fail links, convert goto to a full DFA over the reduced
+  // alphabet, and resolve each state's nearest output-bearing suffix.
+  const std::size_t total = n_states();
+  std::vector<std::int32_t> fail(total, 0);
+  out_link_.assign(total, kNone);
+  std::queue<std::int32_t> bfs;
+  for (std::size_t c = 0; c < alpha_size_; ++c) {
+    std::int32_t& slot = next_[c];
+    if (slot == kNone) {
+      slot = 0;
+    } else {
+      bfs.push(slot);
+    }
+  }
+  while (!bfs.empty()) {
+    const std::int32_t s = bfs.front();
+    bfs.pop();
+    const std::int32_t f = fail[static_cast<std::size_t>(s)];
+    out_link_[static_cast<std::size_t>(s)] =
+        outputs[static_cast<std::size_t>(f)].empty()
+            ? out_link_[static_cast<std::size_t>(f)]
+            : f;
+    for (std::size_t c = 0; c < alpha_size_; ++c) {
+      std::int32_t& slot = next_[static_cast<std::size_t>(s) * alpha_size_ + c];
+      const std::int32_t via_fail = next_[static_cast<std::size_t>(f) * alpha_size_ + c];
+      if (slot == kNone) {
+        slot = via_fail;
+      } else {
+        fail[static_cast<std::size_t>(slot)] = via_fail;
+        bfs.push(slot);
+      }
+    }
+  }
+
+  // Flatten per-state output lists.
+  out_begin_.assign(total, 0);
+  out_end_.assign(total, 0);
+  out_ids_.clear();
+  for (std::size_t s = 0; s < total; ++s) {
+    out_begin_[s] = static_cast<std::int32_t>(out_ids_.size());
+    out_ids_.insert(out_ids_.end(), outputs[s].begin(), outputs[s].end());
+    out_end_[s] = static_cast<std::int32_t>(out_ids_.size());
+  }
+
+  std::sort(fallback_.begin(), fallback_.end());
+  fallback_.erase(std::unique(fallback_.begin(), fallback_.end()),
+                  fallback_.end());
+  built_ = true;
+}
+
+std::vector<std::size_t> LiteralPrefilter::candidates(
+    std::string_view text) const {
+  std::vector<std::size_t> out;
+  candidates_into(text, out);
+  return out;
+}
+
+void LiteralPrefilter::candidates_into(std::string_view text,
+                                       std::vector<std::size_t>& out) const {
+  if (!built_) {
+    throw std::logic_error("LiteralPrefilter: candidates before build()");
+  }
+  out.clear();
+  const std::size_t n_automaton = n_ids_ - fallback_.size();
+  if (n_automaton == 0 || alpha_size_ == 0) {
+    out = fallback_;
+    return;
+  }
+
+  // Reused across calls (per thread) — this runs once per scanned sample,
+  // and a fresh zeroed vector per call was the scan path's last
+  // avoidable allocation.
+  thread_local std::vector<std::uint8_t> seen;
+  seen.assign(id_limit_, 0);
+  std::size_t n_seen = 0;
+  std::int32_t state = 0;
+  for (const char ch : text) {
+    const std::uint16_t code = alpha_[static_cast<unsigned char>(ch)];
+    if (code == kNoCode) {
+      state = 0;
+      continue;
+    }
+    state = next_[static_cast<std::size_t>(state) * alpha_size_ + code];
+    for (std::int32_t s = state; s != kNone;
+         s = out_link_[static_cast<std::size_t>(s)]) {
+      if (out_begin_[static_cast<std::size_t>(s)] ==
+          out_end_[static_cast<std::size_t>(s)]) {
+        continue;  // root (or a pure-prefix state reached directly)
+      }
+      for (std::int32_t i = out_begin_[static_cast<std::size_t>(s)];
+           i < out_end_[static_cast<std::size_t>(s)]; ++i) {
+        const std::size_t id = out_ids_[static_cast<std::size_t>(i)];
+        if (!seen[id]) {
+          seen[id] = 1;
+          out.push_back(id);
+          ++n_seen;
+        }
+      }
+    }
+    if (n_seen == n_automaton) break;  // every filtered id already found
+  }
+
+  std::sort(out.begin(), out.end());
+  // Merge in the (sorted, deduped) fallback ids.
+  const std::size_t mid = out.size();
+  out.insert(out.end(), fallback_.begin(), fallback_.end());
+  std::inplace_merge(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(mid),
+                     out.end());
+}
+
+}  // namespace kizzle::match

@@ -1,0 +1,121 @@
+// Shared multi-pattern literal prefilter.
+//
+// A deployed signature database is scanned against every sample; running
+// each pattern's own memmem pass makes whole-database scanning
+// O(signatures × text). Real AV engines avoid that wall with multi-pattern
+// literal matching: one streaming pass over the text determines which
+// signatures could possibly match, and only those run the (expensive)
+// backtracking VM.
+//
+// LiteralPrefilter is an Aho–Corasick automaton over the required_literal()
+// of every registered pattern. Patterns whose literal occurs in the text
+// become candidates; patterns with no usable literal (pure `.*`/class
+// patterns, literals shorter than the usefulness threshold) go on a
+// fallback list and are *always* candidates, so prefiltered scanning is
+// exactly equivalent to brute force: a pattern is only skipped when its
+// required literal — which every match must contain — is absent, in which
+// case Pattern::search would have rejected it via its own memmem
+// quick-check without running the VM (and without charging the budget).
+//
+// Build once, then share freely: candidates() is const and thread-safe, so
+// one automaton serves any number of concurrent batch-scan workers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kizzle::match {
+
+class LiteralPrefilter {
+ public:
+  // Registers pattern `id` under `literal`. An empty literal means the
+  // pattern has no usable required literal; it goes on the fallback list.
+  // Distinct ids may share one literal; each occurrence reports all of
+  // them.
+  void add(std::size_t id, std::string_view literal);
+
+  // Freezes the automaton. Must be called after the last add() and before
+  // the first candidates(). May be called again after further add()s.
+  void build();
+
+  bool built() const { return built_; }
+
+  // Total registered ids, and how many of them sit on the fallback list.
+  std::size_t id_count() const { return n_ids_; }
+  std::size_t fallback_count() const { return fallback_.size(); }
+
+  // One streaming pass over `text`: every id whose literal occurs in
+  // `text`, merged with the fallback ids. Sorted ascending, deduplicated —
+  // callers that want brute-force-identical first-match semantics just
+  // iterate in order and stop at the first hit. Thread-safe.
+  std::vector<std::size_t> candidates(std::string_view text) const;
+
+  // Same, reusing `out` to avoid per-call allocation on hot paths.
+  void candidates_into(std::string_view text,
+                       std::vector<std::size_t>& out) const;
+
+  // Ids with no usable literal (always candidates), sorted ascending.
+  const std::vector<std::size_t>& fallback_ids() const { return fallback_; }
+
+ private:
+  struct Keyword {
+    std::string literal;
+    std::size_t id;
+  };
+
+  std::vector<Keyword> keywords_;
+  std::vector<std::size_t> fallback_;
+  std::size_t n_ids_ = 0;
+  std::size_t id_limit_ = 0;  // max registered id + 1 (dedup bitmap size)
+  bool built_ = false;
+
+  // Dense goto table over a reduced alphabet: only bytes that occur in
+  // some literal get a column; any other byte resets to the root.
+  static constexpr std::uint16_t kNoCode = 0xFFFF;
+  std::array<std::uint16_t, 256> alpha_{};
+  std::size_t alpha_size_ = 0;
+  std::vector<std::int32_t> next_;       // n_states × alpha_size_
+  std::vector<std::int32_t> out_link_;   // nearest suffix state with output
+  std::vector<std::int32_t> out_begin_;  // per-state slice into out_ids_
+  std::vector<std::int32_t> out_end_;
+  std::vector<std::size_t> out_ids_;
+};
+
+// Lazy, invalidation-aware holder for a LiteralPrefilter owned by a
+// mutable signature container (Scanner, ManualAvEngine): the owner calls
+// invalidate() whenever its set changes and ensure() from const read
+// paths. Double-checked locking keeps the fast path to one acquire load;
+// concurrent readers are safe once built.
+class LazyPrefilter {
+ public:
+  void invalidate() { ready_.store(false, std::memory_order_release); }
+
+  // Returns the up-to-date automaton, rebuilding it first if stale:
+  // `populate(prefilter)` must add() every (id, literal) pair; build() is
+  // called here.
+  template <typename Fn>
+  const LiteralPrefilter& ensure(Fn&& populate) const {
+    if (!ready_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!ready_.load(std::memory_order_relaxed)) {
+        prefilter_ = LiteralPrefilter();
+        populate(prefilter_);
+        prefilter_.build();
+        ready_.store(true, std::memory_order_release);
+      }
+    }
+    return prefilter_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> ready_{false};
+  mutable LiteralPrefilter prefilter_;
+};
+
+}  // namespace kizzle::match

@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "support/thread_pool.h"
+
 namespace kizzle::match {
 
 std::size_t Scanner::add(std::string name, Pattern pattern) {
   entries_.push_back(Entry{std::move(name), std::move(pattern)});
+  prefilter_.invalidate();
   return entries_.size() - 1;
 }
 
@@ -23,12 +26,44 @@ const Pattern& Scanner::pattern(std::size_t index) const {
   return entries_[index].pattern;
 }
 
+const LiteralPrefilter& Scanner::prefilter() const {
+  return prefilter_.ensure([this](LiteralPrefilter& pf) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      pf.add(i, entries_[i].pattern.required_literal());
+    }
+  });
+}
+
+void Scanner::scan_into(std::string_view text,
+                        const LiteralPrefilter& prefilter,
+                        std::vector<std::size_t>& candidates,
+                        std::vector<ScanHit>& hits) const {
+  prefilter.candidates_into(text, candidates);
+  hits.clear();
+  hits.reserve(candidates.size());
+  for (const std::size_t i : candidates) {
+    const MatchResult r = entries_[i].pattern.search(text);
+    if (r.budget_exceeded) {
+      budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (r.matched) hits.push_back(ScanHit{i, r.begin, r.end});
+  }
+}
+
 std::vector<ScanHit> Scanner::scan(std::string_view text) const {
+  std::vector<std::size_t> candidates;
+  std::vector<ScanHit> hits;
+  scan_into(text, prefilter(), candidates, hits);
+  return hits;
+}
+
+std::vector<ScanHit> Scanner::scan_brute_force(std::string_view text) const {
   std::vector<ScanHit> hits;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const MatchResult r = entries_[i].pattern.search(text);
     if (r.budget_exceeded) {
-      ++budget_exceeded_;
+      budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (r.matched) hits.push_back(ScanHit{i, r.begin, r.end});
@@ -36,11 +71,37 @@ std::vector<ScanHit> Scanner::scan(std::string_view text) const {
   return hits;
 }
 
+std::vector<std::vector<ScanHit>> Scanner::scan_batch(
+    std::span<const std::string> texts, ThreadPool& pool) const {
+  const LiteralPrefilter& pf = prefilter();  // build once, before fan-out
+  std::vector<std::vector<ScanHit>> results(texts.size());
+  pool.parallel_for(texts.size(), [&](std::size_t i) {
+    // Candidate/hit buffers are per-task; the automaton and patterns are
+    // shared read-only.
+    std::vector<std::size_t> candidates;
+    scan_into(texts[i], pf, candidates, results[i]);
+  });
+  return results;
+}
+
+std::vector<std::vector<ScanHit>> Scanner::scan_batch(
+    std::span<const std::string> texts, std::size_t threads) const {
+  if (texts.size() < 2) {
+    std::vector<std::vector<ScanHit>> results(texts.size());
+    if (!texts.empty()) results[0] = scan(texts[0]);
+    return results;
+  }
+  ThreadPool pool(threads);
+  return scan_batch(texts, pool);
+}
+
 bool Scanner::any_match(std::string_view text) const {
-  for (const Entry& e : entries_) {
-    const MatchResult r = e.pattern.search(text);
+  std::vector<std::size_t> candidates;
+  prefilter().candidates_into(text, candidates);
+  for (const std::size_t i : candidates) {
+    const MatchResult r = entries_[i].pattern.search(text);
     if (r.budget_exceeded) {
-      ++budget_exceeded_;
+      budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (r.matched) return true;

@@ -4,14 +4,29 @@
 // text against all of them, reporting every hit. Both Kizzle-generated
 // and hand-written (simulated-analyst) signatures are deployed through
 // this interface.
+//
+// Scanning is prefiltered: a shared Aho–Corasick automaton over every
+// signature's required literal (see match/prefilter.h) turns the
+// per-signature memmem passes into one streaming pass over the text, after
+// which only the candidate signatures run the backtracking VM. The
+// automaton is built lazily on first scan and rebuilt after add(); scan(),
+// any_match() and scan_batch() are const and safe to call concurrently
+// once the signature set is frozen.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "match/pattern.h"
+#include "match/prefilter.h"
+
+namespace kizzle {
+class ThreadPool;
+}
 
 namespace kizzle::match {
 
@@ -23,8 +38,15 @@ struct ScanHit {
 
 class Scanner {
  public:
+  Scanner() = default;
+  // Scanners are stateful (lazy prefilter, counters); copying one would
+  // silently fork those. Keep them pinned.
+  Scanner(const Scanner&) = delete;
+  Scanner& operator=(const Scanner&) = delete;
+
   // Adds a compiled signature; returns its index. `name` is a free-form
-  // label carried through to reporting.
+  // label carried through to reporting. Not safe to call concurrently
+  // with scans.
   std::size_t add(std::string name, Pattern pattern);
 
   std::size_t size() const { return entries_.size(); }
@@ -36,18 +58,46 @@ class Scanner {
   // skipped and counted in budget_exceeded_count().
   std::vector<ScanHit> scan(std::string_view text) const;
 
+  // Reference path: per-signature search with no shared prefilter. Kept as
+  // the oracle for differential tests and the baseline for benchmarks;
+  // scan() must return byte-identical hits.
+  std::vector<ScanHit> scan_brute_force(std::string_view text) const;
+
+  // Scans a batch of samples across `pool`, one result vector per sample
+  // (same order as `texts`). The pool must not run other work during the
+  // call: ThreadPool::wait() is pool-global, so overlapping batches could
+  // steal each other's completion and first-thrown exception, leaving a
+  // sample's result row silently empty. Give each concurrent caller its
+  // own pool — or use the overload without one, which spins up a
+  // transient pool per call (`threads` == 0 means hardware concurrency)
+  // and is safe to call concurrently.
+  std::vector<std::vector<ScanHit>> scan_batch(
+      std::span<const std::string> texts, ThreadPool& pool) const;
+  std::vector<std::vector<ScanHit>> scan_batch(
+      std::span<const std::string> texts, std::size_t threads = 0) const;
+
   // True iff any signature matches.
   bool any_match(std::string_view text) const;
 
-  std::uint64_t budget_exceeded_count() const { return budget_exceeded_; }
+  std::uint64_t budget_exceeded_count() const {
+    return budget_exceeded_.load(std::memory_order_relaxed);
+  }
 
  private:
+  const LiteralPrefilter& prefilter() const;
+  void scan_into(std::string_view text, const LiteralPrefilter& prefilter,
+                 std::vector<std::size_t>& candidates,
+                 std::vector<ScanHit>& hits) const;
+
   struct Entry {
     std::string name;
     Pattern pattern;
   };
   std::vector<Entry> entries_;
-  mutable std::uint64_t budget_exceeded_ = 0;
+  // Concurrent batch scans all bump this; relaxed is fine — it is a
+  // monotonic statistic, never synchronizes anything.
+  mutable std::atomic<std::uint64_t> budget_exceeded_{0};
+  LazyPrefilter prefilter_;
 };
 
 }  // namespace kizzle::match

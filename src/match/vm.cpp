@@ -1,5 +1,6 @@
 // Backtracking executor for compiled patterns, plus the literal-prefilter
 // search strategy.
+#include <algorithm>
 #include <cstring>
 #include <limits>
 
@@ -209,6 +210,22 @@ MatchResult Pattern::search(std::string_view text, std::size_t from,
 
   if (prog.anchored_bol) {
     if (from > 0) return MatchResult{};
+    // Literal quick-reject applies here too: a match must contain the
+    // literal, so its absence means no VM run (and no budget charged) —
+    // keeping anchored patterns consistent with the database-level
+    // prefilter's skip. With a bounded offset the literal must sit in the
+    // text's prefix; don't scan the whole sample for it.
+    if (prog.lit_usable) {
+      std::string_view window = text;
+      if (prog.lit_max_prefix != std::numeric_limits<std::size_t>::max()) {
+        window = text.substr(
+            0, std::min(text.size(),
+                        prog.lit_max_prefix + prog.literal.size()));
+      }
+      if (window.find(prog.literal) == std::string_view::npos) {
+        return MatchResult{};
+      }
+    }
     const bool ok = m.run(0, &budget, &budget_exceeded);
     return result_from(m, prog, ok, budget_exceeded);
   }

@@ -1,0 +1,289 @@
+// Tests for the shared Aho–Corasick literal prefilter (match/prefilter.h)
+// and the prefiltered scan paths built on it: unit behavior of the
+// automaton, fallback semantics for patterns with no usable literal, and
+// differential (oracle) equality between the prefiltered scanner and the
+// brute-force per-pattern search over randomized kitgen samples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "av/av_engine.h"
+#include "core/deploy.h"
+#include "kitgen/families.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "match/pattern.h"
+#include "match/prefilter.h"
+#include "match/scanner.h"
+#include "support/rng.h"
+#include "text/normalize.h"
+
+namespace kizzle::match {
+namespace {
+
+// ---------------------------- automaton unit ----------------------------
+
+TEST(LiteralPrefilter, ReportsOnlyPresentLiterals) {
+  LiteralPrefilter pf;
+  pf.add(0, "fromCharCode");
+  pf.add(1, "evalstring");
+  pf.add(2, "document");
+  pf.build();
+  const auto c = pf.candidates("xx fromCharCode yy document zz");
+  EXPECT_EQ(c, (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(pf.candidates("nothing relevant").empty());
+}
+
+TEST(LiteralPrefilter, FindsOverlappingAndSuffixLiterals) {
+  // "bcd" and "cd" end inside the "abcd" occurrence: suffix-link outputs.
+  LiteralPrefilter pf;
+  pf.add(0, "abcd");
+  pf.add(1, "bcd");
+  pf.add(2, "cd");
+  pf.add(3, "abce");
+  pf.build();
+  EXPECT_EQ(pf.candidates("xxabcdxx"), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(pf.candidates("xxcdxx"), (std::vector<std::size_t>{2}));
+}
+
+TEST(LiteralPrefilter, SharedLiteralYieldsAllIds) {
+  LiteralPrefilter pf;
+  pf.add(0, "needle");
+  pf.add(1, "needle");
+  pf.add(2, "other");
+  pf.build();
+  EXPECT_EQ(pf.candidates("a needle b"), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LiteralPrefilter, FallbackIdsAreAlwaysCandidates) {
+  LiteralPrefilter pf;
+  pf.add(0, "literal_one");
+  pf.add(1, "");  // no usable literal
+  pf.add(2, "");
+  pf.add(3, "literal_two");
+  pf.build();
+  EXPECT_EQ(pf.fallback_count(), 2u);
+  EXPECT_EQ(pf.candidates(""), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(pf.candidates("has literal_two here"),
+            (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(LiteralPrefilter, RepeatedOccurrencesAreDeduplicated) {
+  LiteralPrefilter pf;
+  pf.add(0, "dup");
+  pf.build();
+  EXPECT_EQ(pf.candidates("dup dup dup dup"), (std::vector<std::size_t>{0}));
+}
+
+TEST(LiteralPrefilter, RebuildAfterAddExtendsTheAutomaton) {
+  LiteralPrefilter pf;
+  pf.add(0, "first");
+  pf.build();
+  EXPECT_EQ(pf.candidates("first second"), (std::vector<std::size_t>{0}));
+  pf.add(1, "second");
+  pf.build();
+  EXPECT_EQ(pf.candidates("first second"), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LiteralPrefilter, CandidatesBeforeBuildThrows) {
+  LiteralPrefilter pf;
+  pf.add(0, "abc");
+  EXPECT_THROW(pf.candidates("abc"), std::logic_error);
+}
+
+// ------------------------- fallback via Scanner -------------------------
+
+TEST(ScannerPrefilter, PatternsWithoutUsableLiteralStillMatch) {
+  Scanner scanner;
+  // None of these yields a required literal (>= 3 chars):
+  scanner.add("classes", Pattern::compile("[0-9]+[a-z]+"));  // pure classes
+  scanner.add("short", Pattern::compile("ab"));              // 2-char literal
+  scanner.add("split", Pattern::compile("a.c"));             // runs of 1
+  scanner.add("star", Pattern::compile(".+xy?"));            // nothing fixed
+  for (std::size_t i = 0; i < scanner.size(); ++i) {
+    EXPECT_TRUE(scanner.pattern(i).required_literal().empty()) << i;
+  }
+  const auto hits = scanner.scan("42z ab abc x");
+  ASSERT_EQ(hits.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(hits[i].signature_index, i);
+  }
+}
+
+TEST(ScannerPrefilter, AnchoredPatternBudgetAccountingMatchesBruteForce) {
+  // ^-anchored pattern with a usable literal ("yyy") and catastrophic
+  // backtracking. Literal absent: both paths must skip the VM entirely
+  // (prefilter drops the candidate; search()'s anchored branch
+  // quick-rejects) and charge nothing. Literal present: both run the VM
+  // and both charge the budget.
+  Scanner scanner;
+  scanner.add("anchored", Pattern::compile("^(x+x+)+yyy"));
+  const std::string xs(2048, 'x');
+
+  EXPECT_TRUE(scanner.scan(xs).empty());
+  EXPECT_TRUE(scanner.scan_brute_force(xs).empty());
+  EXPECT_EQ(scanner.budget_exceeded_count(), 0u);
+
+  const std::string with_literal = xs + "zyyy";  // literal present, no match
+  EXPECT_TRUE(scanner.scan(with_literal).empty());
+  const std::uint64_t mid = scanner.budget_exceeded_count();
+  EXPECT_TRUE(scanner.scan_brute_force(with_literal).empty());
+  EXPECT_EQ(scanner.budget_exceeded_count(), 2 * mid);
+}
+
+// ------------------------------ oracle ------------------------------
+
+std::vector<std::string> kitgen_samples() {
+  Rng rng(0xC0FFEE);
+  std::vector<std::string> samples;
+  for (int i = 0; i < 6; ++i) {
+    kitgen::PayloadSpec spec;
+    spec.family = kitgen::KitFamily::Nuclear;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Nuclear).cves;
+    spec.av_check = true;
+    spec.urls = {kitgen::make_landing_url(rng)};
+    samples.push_back(text::normalize_raw(
+        pack_nuclear(payload_text(spec), kitgen::NuclearPackerState{}, rng)));
+    spec.family = kitgen::KitFamily::Rig;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+    samples.push_back(text::normalize_raw(
+        pack_rig(payload_text(spec), kitgen::RigPackerState{}, rng)));
+    spec.family = kitgen::KitFamily::Angler;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Angler).cves;
+    samples.push_back(text::normalize_raw(
+        pack_angler(payload_text(spec), kitgen::AnglerPackerState{}, rng)));
+  }
+  return samples;
+}
+
+// Signatures in the style the compiler emits — escaped literal chunks cut
+// from real samples (some present, most from *other* samples) — plus
+// class-heavy and fallback-only patterns.
+void add_mixed_signatures(Scanner& scanner,
+                          const std::vector<std::string>& samples) {
+  Rng rng(0xBEEF);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const std::string& text = samples[s];
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t len = 16 + rng.index(32);
+      if (text.size() <= len) continue;
+      const std::size_t at = rng.index(text.size() - len);
+      scanner.add("chunk", Pattern::compile(
+                               Pattern::escape(text.substr(at, len))));
+    }
+  }
+  scanner.add("classes", Pattern::compile("[0-9]+[a-z]+[0-9]+"));
+  scanner.add("short", Pattern::compile("ev"));
+  scanner.add("mixed", Pattern::compile("fromCharCode[0-9a-z]*"));
+  scanner.add("absent", Pattern::compile("never_going_to_show_up_anywhere"));
+}
+
+TEST(ScannerPrefilter, OracleHitSetEqualityOnKitgenSamples) {
+  const auto samples = kitgen_samples();
+  Scanner scanner;
+  add_mixed_signatures(scanner, samples);
+  for (const std::string& text : samples) {
+    const std::uint64_t before = scanner.budget_exceeded_count();
+    const auto fast = scanner.scan(text);
+    const std::uint64_t mid = scanner.budget_exceeded_count();
+    const auto brute = scanner.scan_brute_force(text);
+    const std::uint64_t after = scanner.budget_exceeded_count();
+
+    ASSERT_EQ(fast.size(), brute.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].signature_index, brute[i].signature_index);
+      EXPECT_EQ(fast[i].begin, brute[i].begin);
+      EXPECT_EQ(fast[i].end, brute[i].end);
+    }
+    // Identical budget-exceeded accounting on both paths.
+    EXPECT_EQ(mid - before, after - mid);
+  }
+}
+
+TEST(ScannerPrefilter, ScanBatchMatchesSequentialScan) {
+  const auto samples = kitgen_samples();
+  Scanner scanner;
+  add_mixed_signatures(scanner, samples);
+  const auto batched = scanner.scan_batch(samples);
+  ASSERT_EQ(batched.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto single = scanner.scan(samples[i]);
+    ASSERT_EQ(batched[i].size(), single.size()) << i;
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(batched[i][j].signature_index, single[j].signature_index);
+      EXPECT_EQ(batched[i][j].begin, single[j].begin);
+      EXPECT_EQ(batched[i][j].end, single[j].end);
+    }
+  }
+}
+
+// --------------------------- av + deploy paths ---------------------------
+
+TEST(AvEnginePrefilter, MatchesBruteForceReference) {
+  av::ManualAvEngine engine;
+  const std::vector<std::string> literals = {"alpha", "bet", "gamma77",
+                                             "alp", "x"};
+  for (std::size_t i = 0; i < literals.size(); ++i) {
+    av::AvRelease r;
+    r.day = static_cast<int>(i);
+    r.family = kitgen::KitFamily::Nuclear;
+    r.name = "AV.sig" + std::to_string(i);
+    r.literal = literals[i];
+    engine.schedule(r);
+  }
+  const std::vector<std::string> texts = {"has alpha here", "only bet",
+                                          "gamma77 and alp", "xxxx", "none_",
+                                          ""};
+  for (int day = -1; day <= 5; ++day) {
+    for (const std::string& t : texts) {
+      // Brute-force reference: first scheduled release, literal-substring
+      // matched, release-day gated.
+      std::optional<std::string> expect;
+      for (std::size_t i = 0; i < literals.size(); ++i) {
+        if (static_cast<int>(i) > day) continue;
+        if (t.find(literals[i]) != std::string::npos) {
+          expect = "AV.sig" + std::to_string(i);
+          break;
+        }
+      }
+      const auto got = engine.match(day, t);
+      ASSERT_EQ(got.has_value(), expect.has_value()) << day << " " << t;
+      if (expect) EXPECT_EQ(got->name, *expect) << day << " " << t;
+    }
+  }
+}
+
+TEST(SignatureBundlePrefilter, FirstMatchEqualsLinearReference) {
+  std::vector<core::DeployedSignature> sigs;
+  const std::vector<std::string> patterns = {
+      "landingpage[0-9]+", "fromCharCode", "[0-9]+[a-z]+",  // fallback
+      "fromCharCode",  // duplicate: index order must win
+      "substrabc"};
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    core::DeployedSignature s;
+    s.name = "KZ.T." + std::to_string(i);
+    s.family = "Test";
+    s.issued_day = static_cast<int>(i);
+    s.pattern = patterns[i];
+    sigs.push_back(s);
+  }
+  const core::SignatureBundle bundle(sigs);
+  const std::vector<std::string> texts = {
+      "xx landingpage42", "xx fromCharCode yy", "123abc456", "substrabc",
+      "nothing"};
+  for (const std::string& t : texts) {
+    std::optional<std::size_t> expect;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      if (Pattern::compile(patterns[i]).found_in(t)) {
+        expect = i;
+        break;
+      }
+    }
+    EXPECT_EQ(bundle.match(t), expect) << t;
+  }
+}
+
+}  // namespace
+}  // namespace kizzle::match
