@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_test.dir/tests/av_test.cpp.o"
+  "CMakeFiles/av_test.dir/tests/av_test.cpp.o.d"
+  "av_test"
+  "av_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cve_table.dir/bench/bench_fig02_cve_table.cpp.o"
+  "CMakeFiles/bench_fig02_cve_table.dir/bench/bench_fig02_cve_table.cpp.o.d"
+  "bench_fig02_cve_table"
+  "bench_fig02_cve_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cve_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_window.dir/bench/bench_fig06_window.cpp.o"
+  "CMakeFiles/bench_fig06_window.dir/bench/bench_fig06_window.cpp.o.d"
+  "bench_fig06_window"
+  "bench_fig06_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tokenizer.dir/bench/bench_fig08_tokenizer.cpp.o"
+  "CMakeFiles/bench_fig08_tokenizer.dir/bench/bench_fig08_tokenizer.cpp.o.d"
+  "bench_fig08_tokenizer"
+  "bench_fig08_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

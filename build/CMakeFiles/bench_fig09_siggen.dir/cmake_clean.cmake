@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_siggen.dir/bench/bench_fig09_siggen.cpp.o"
+  "CMakeFiles/bench_fig09_siggen.dir/bench/bench_fig09_siggen.cpp.o.d"
+  "bench_fig09_siggen"
+  "bench_fig09_siggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_siggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

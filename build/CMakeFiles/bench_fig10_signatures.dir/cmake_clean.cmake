@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_signatures.dir/bench/bench_fig10_signatures.cpp.o"
+  "CMakeFiles/bench_fig10_signatures.dir/bench/bench_fig10_signatures.cpp.o.d"
+  "bench_fig10_signatures"
+  "bench_fig10_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_siglen.dir/bench/bench_fig12_siglen.cpp.o"
+  "CMakeFiles/bench_fig12_siglen.dir/bench/bench_fig12_siglen.cpp.o.d"
+  "bench_fig12_siglen"
+  "bench_fig12_siglen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_siglen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

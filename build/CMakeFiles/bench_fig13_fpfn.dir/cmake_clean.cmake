@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_fpfn.dir/bench/bench_fig13_fpfn.cpp.o"
+  "CMakeFiles/bench_fig13_fpfn.dir/bench/bench_fig13_fpfn.cpp.o.d"
+  "bench_fig13_fpfn"
+  "bench_fig13_fpfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_fpfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_counts.dir/bench/bench_fig14_counts.cpp.o"
+  "CMakeFiles/bench_fig14_counts.dir/bench/bench_fig14_counts.cpp.o.d"
+  "bench_fig14_counts"
+  "bench_fig14_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_fp_anatomy.dir/bench/bench_fig15_fp_anatomy.cpp.o"
+  "CMakeFiles/bench_fig15_fp_anatomy.dir/bench/bench_fig15_fp_anatomy.cpp.o.d"
+  "bench_fig15_fp_anatomy"
+  "bench_fig15_fp_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fp_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

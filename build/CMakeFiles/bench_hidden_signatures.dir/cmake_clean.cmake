@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hidden_signatures.dir/bench/bench_hidden_signatures.cpp.o"
+  "CMakeFiles/bench_hidden_signatures.dir/bench/bench_hidden_signatures.cpp.o.d"
+  "bench_hidden_signatures"
+  "bench_hidden_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hidden_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_test.dir/tests/hidden_test.cpp.o"
+  "CMakeFiles/hidden_test.dir/tests/hidden_test.cpp.o.d"
+  "hidden_test"
+  "hidden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_test.dir/tests/html_test.cpp.o"
+  "CMakeFiles/html_test.dir/tests/html_test.cpp.o.d"
+  "html_test"
+  "html_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kitgen_test.dir/tests/kitgen_test.cpp.o"
+  "CMakeFiles/kitgen_test.dir/tests/kitgen_test.cpp.o.d"
+  "kitgen_test"
+  "kitgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kitgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/av/analyst.cpp" "CMakeFiles/kizzle.dir/src/av/analyst.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/av/analyst.cpp.o.d"
+  "/root/repo/src/av/av_engine.cpp" "CMakeFiles/kizzle.dir/src/av/av_engine.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/av/av_engine.cpp.o.d"
+  "/root/repo/src/cluster/dbscan.cpp" "CMakeFiles/kizzle.dir/src/cluster/dbscan.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/cluster/dbscan.cpp.o.d"
+  "/root/repo/src/cluster/partitioned.cpp" "CMakeFiles/kizzle.dir/src/cluster/partitioned.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/cluster/partitioned.cpp.o.d"
+  "/root/repo/src/core/corpus.cpp" "CMakeFiles/kizzle.dir/src/core/corpus.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/core/corpus.cpp.o.d"
+  "/root/repo/src/core/deploy.cpp" "CMakeFiles/kizzle.dir/src/core/deploy.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/core/deploy.cpp.o.d"
+  "/root/repo/src/core/hidden.cpp" "CMakeFiles/kizzle.dir/src/core/hidden.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/core/hidden.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/kizzle.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/sigdb.cpp" "CMakeFiles/kizzle.dir/src/core/sigdb.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/core/sigdb.cpp.o.d"
+  "/root/repo/src/distance/edit_distance.cpp" "CMakeFiles/kizzle.dir/src/distance/edit_distance.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/distance/edit_distance.cpp.o.d"
+  "/root/repo/src/eval/experiment.cpp" "CMakeFiles/kizzle.dir/src/eval/experiment.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/eval/experiment.cpp.o.d"
+  "/root/repo/src/kitgen/benign.cpp" "CMakeFiles/kizzle.dir/src/kitgen/benign.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/benign.cpp.o.d"
+  "/root/repo/src/kitgen/families.cpp" "CMakeFiles/kizzle.dir/src/kitgen/families.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/families.cpp.o.d"
+  "/root/repo/src/kitgen/kit.cpp" "CMakeFiles/kizzle.dir/src/kitgen/kit.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/kit.cpp.o.d"
+  "/root/repo/src/kitgen/packers.cpp" "CMakeFiles/kizzle.dir/src/kitgen/packers.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/packers.cpp.o.d"
+  "/root/repo/src/kitgen/payload.cpp" "CMakeFiles/kizzle.dir/src/kitgen/payload.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/payload.cpp.o.d"
+  "/root/repo/src/kitgen/stream.cpp" "CMakeFiles/kizzle.dir/src/kitgen/stream.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/stream.cpp.o.d"
+  "/root/repo/src/kitgen/timeline.cpp" "CMakeFiles/kizzle.dir/src/kitgen/timeline.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/kitgen/timeline.cpp.o.d"
+  "/root/repo/src/match/pattern.cpp" "CMakeFiles/kizzle.dir/src/match/pattern.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/match/pattern.cpp.o.d"
+  "/root/repo/src/match/prefilter.cpp" "CMakeFiles/kizzle.dir/src/match/prefilter.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/match/prefilter.cpp.o.d"
+  "/root/repo/src/match/scanner.cpp" "CMakeFiles/kizzle.dir/src/match/scanner.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/match/scanner.cpp.o.d"
+  "/root/repo/src/match/vm.cpp" "CMakeFiles/kizzle.dir/src/match/vm.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/match/vm.cpp.o.d"
+  "/root/repo/src/sig/common_window.cpp" "CMakeFiles/kizzle.dir/src/sig/common_window.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/sig/common_window.cpp.o.d"
+  "/root/repo/src/sig/compiler.cpp" "CMakeFiles/kizzle.dir/src/sig/compiler.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/sig/compiler.cpp.o.d"
+  "/root/repo/src/sig/multi_fragment.cpp" "CMakeFiles/kizzle.dir/src/sig/multi_fragment.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/sig/multi_fragment.cpp.o.d"
+  "/root/repo/src/sig/synthesis.cpp" "CMakeFiles/kizzle.dir/src/sig/synthesis.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/sig/synthesis.cpp.o.d"
+  "/root/repo/src/support/hash.cpp" "CMakeFiles/kizzle.dir/src/support/hash.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/support/hash.cpp.o.d"
+  "/root/repo/src/support/interner.cpp" "CMakeFiles/kizzle.dir/src/support/interner.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/support/interner.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/kizzle.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "CMakeFiles/kizzle.dir/src/support/strings.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/support/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/kizzle.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/kizzle.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/support/thread_pool.cpp.o.d"
+  "/root/repo/src/text/abstraction.cpp" "CMakeFiles/kizzle.dir/src/text/abstraction.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/text/abstraction.cpp.o.d"
+  "/root/repo/src/text/html.cpp" "CMakeFiles/kizzle.dir/src/text/html.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/text/html.cpp.o.d"
+  "/root/repo/src/text/lexer.cpp" "CMakeFiles/kizzle.dir/src/text/lexer.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/text/lexer.cpp.o.d"
+  "/root/repo/src/text/normalize.cpp" "CMakeFiles/kizzle.dir/src/text/normalize.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/text/normalize.cpp.o.d"
+  "/root/repo/src/unpack/token_util.cpp" "CMakeFiles/kizzle.dir/src/unpack/token_util.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/unpack/token_util.cpp.o.d"
+  "/root/repo/src/unpack/unpackers.cpp" "CMakeFiles/kizzle.dir/src/unpack/unpackers.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/unpack/unpackers.cpp.o.d"
+  "/root/repo/src/winnow/winnow.cpp" "CMakeFiles/kizzle.dir/src/winnow/winnow.cpp.o" "gcc" "CMakeFiles/kizzle.dir/src/winnow/winnow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

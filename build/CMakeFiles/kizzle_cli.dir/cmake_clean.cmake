@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kizzle_cli.dir/tools/kizzle_cli.cpp.o"
+  "CMakeFiles/kizzle_cli.dir/tools/kizzle_cli.cpp.o.d"
+  "kizzle_cli"
+  "kizzle_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kizzle_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

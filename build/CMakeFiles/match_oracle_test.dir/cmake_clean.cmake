@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_oracle_test.dir/tests/match_oracle_test.cpp.o"
+  "CMakeFiles/match_oracle_test.dir/tests/match_oracle_test.cpp.o.d"
+  "match_oracle_test"
+  "match_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

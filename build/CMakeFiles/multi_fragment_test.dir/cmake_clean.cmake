@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fragment_test.dir/tests/multi_fragment_test.cpp.o"
+  "CMakeFiles/multi_fragment_test.dir/tests/multi_fragment_test.cpp.o.d"
+  "multi_fragment_test"
+  "multi_fragment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fragment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packers_test.dir/tests/packers_test.cpp.o"
+  "CMakeFiles/packers_test.dir/tests/packers_test.cpp.o.d"
+  "packers_test"
+  "packers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

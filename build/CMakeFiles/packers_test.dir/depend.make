@@ -1,0 +1,2 @@
+# Empty dependencies file for packers_test.
+# This may be replaced when dependencies are built.

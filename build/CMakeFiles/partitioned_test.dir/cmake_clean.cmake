@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_test.dir/tests/partitioned_test.cpp.o"
+  "CMakeFiles/partitioned_test.dir/tests/partitioned_test.cpp.o.d"
+  "partitioned_test"
+  "partitioned_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefilter_test.dir/tests/prefilter_test.cpp.o"
+  "CMakeFiles/prefilter_test.dir/tests/prefilter_test.cpp.o.d"
+  "prefilter_test"
+  "prefilter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefilter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_stream.dir/examples/scan_stream.cpp.o"
+  "CMakeFiles/scan_stream.dir/examples/scan_stream.cpp.o.d"
+  "scan_stream"
+  "scan_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

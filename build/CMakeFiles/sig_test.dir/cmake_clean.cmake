@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sig_test.dir/tests/sig_test.cpp.o"
+  "CMakeFiles/sig_test.dir/tests/sig_test.cpp.o.d"
+  "sig_test"
+  "sig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigdb_test.dir/tests/sigdb_test.cpp.o"
+  "CMakeFiles/sigdb_test.dir/tests/sigdb_test.cpp.o.d"
+  "sigdb_test"
+  "sigdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

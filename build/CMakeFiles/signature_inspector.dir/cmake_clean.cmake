@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_inspector.dir/examples/signature_inspector.cpp.o"
+  "CMakeFiles/signature_inspector.dir/examples/signature_inspector.cpp.o.d"
+  "signature_inspector"
+  "signature_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_kit_evolution.dir/examples/track_kit_evolution.cpp.o"
+  "CMakeFiles/track_kit_evolution.dir/examples/track_kit_evolution.cpp.o.d"
+  "track_kit_evolution"
+  "track_kit_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_kit_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for track_kit_evolution.
+# This may be replaced when dependencies are built.

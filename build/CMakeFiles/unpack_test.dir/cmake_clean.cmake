@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unpack_test.dir/tests/unpack_test.cpp.o"
+  "CMakeFiles/unpack_test.dir/tests/unpack_test.cpp.o.d"
+  "unpack_test"
+  "unpack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

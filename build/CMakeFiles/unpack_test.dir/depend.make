@@ -1,0 +1,2 @@
+# Empty dependencies file for unpack_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winnow_test.dir/tests/winnow_test.cpp.o"
+  "CMakeFiles/winnow_test.dir/tests/winnow_test.cpp.o.d"
+  "winnow_test"
+  "winnow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winnow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
