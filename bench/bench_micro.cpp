@@ -3,6 +3,8 @@
 // DBSCAN, the regex VM, and the common-window search.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "cluster/dbscan.h"
 #include "distance/edit_distance.h"
 #include "kitgen/families.h"
@@ -149,6 +151,119 @@ void BM_WinnowContainment(benchmark::State& state) {
 BENCHMARK(BM_WinnowContainment);
 
 // ------------------------------ dbscan ------------------------------
+
+// One day's deduplicated stream shape shared by the clustering benches:
+// N families of near-identical streams plus per-family weights.
+void make_cluster_day(std::size_t families,
+                      std::vector<std::vector<std::uint32_t>>& streams,
+                      std::vector<std::size_t>& weights) {
+  Rng rng(8);
+  for (std::size_t f = 0; f < families; ++f) {
+    const std::size_t len = 100 + rng.index(400);
+    auto base = random_stream(rng, len, 40);
+    for (int variant = 0; variant < 3; ++variant) {
+      auto s = base;
+      if (variant > 0) s[rng.index(s.size())] += 1000;  // tiny edit
+      streams.push_back(std::move(s));
+      weights.push_back(1 + rng.index(8));
+    }
+  }
+}
+
+// The clustering hot path in isolation: resolving every unordered pair of
+// one day's streams. BM_ClusterPairwise is the neighbor-graph build
+// (length window + histogram + winnow sketch + bit-parallel DP, each pair
+// once); BM_ClusterPairwiseScalar replays the seed's region-query sweep
+// (both orientations of every pair, scalar banded DP). items == resolved
+// unordered pairs, so items_per_second is directly comparable.
+void BM_ClusterPairwise(benchmark::State& state) {
+  std::vector<std::vector<std::uint32_t>> streams;
+  std::vector<std::size_t> weights;
+  make_cluster_day(static_cast<std::size_t>(state.range(0)), streams,
+                   weights);
+  cluster::DbscanStats last{};
+  for (auto _ : state) {
+    cluster::TokenDbscan db(streams, weights, {.eps = 0.10, .min_mass = 3});
+    benchmark::DoNotOptimize(db.neighbors());
+    last = db.stats();
+  }
+  const auto n = streams.size();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (n - 1) / 2));
+  state.counters["pairs"] = static_cast<double>(last.pairs_considered);
+  state.counters["pruned_length"] =
+      static_cast<double>(last.pairs_pruned_length);
+  state.counters["pruned_histogram"] =
+      static_cast<double>(last.pairs_pruned_histogram);
+  state.counters["pruned_sketch"] =
+      static_cast<double>(last.pairs_pruned_sketch);
+  state.counters["dp"] = static_cast<double>(last.dp_computations);
+}
+BENCHMARK(BM_ClusterPairwise)->Arg(50)->Arg(150);
+
+void BM_ClusterPairwiseScalar(benchmark::State& state) {
+  std::vector<std::vector<std::uint32_t>> streams;
+  std::vector<std::size_t> weights;
+  make_cluster_day(static_cast<std::size_t>(state.range(0)), streams,
+                   weights);
+  std::vector<dist::SymbolHistogram> hist;
+  for (const auto& s : streams) hist.push_back(dist::SymbolHistogram::of(s));
+  const double eps = 0.10;
+  for (auto _ : state) {
+    std::size_t edges = 0;
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+      for (std::size_t q = 0; q < streams.size(); ++q) {
+        if (q == p) continue;
+        const std::size_t la = streams[p].size();
+        const std::size_t lb = streams[q].size();
+        const std::size_t longest = std::max(la, lb);
+        if (longest == 0) {
+          ++edges;
+          continue;
+        }
+        const auto limit = static_cast<std::size_t>(
+            eps * static_cast<double>(longest));
+        const std::size_t diff = (la > lb) ? la - lb : lb - la;
+        if (diff > limit) continue;
+        if (dist::edit_distance_lower_bound(hist[p], hist[q], la, lb) >
+            limit) {
+          continue;
+        }
+        if (dist::edit_distance_bounded_reference(streams[p], streams[q],
+                                                  limit) <= limit) {
+          ++edges;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(edges);
+  }
+  const auto n = streams.size();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (n - 1) / 2));
+}
+BENCHMARK(BM_ClusterPairwiseScalar)->Arg(50)->Arg(150);
+
+// Full clustering runs: graph build + DBSCAN sweep, serial and pooled.
+void BM_DbscanEndToEnd(benchmark::State& state) {
+  std::vector<std::vector<std::uint32_t>> streams;
+  std::vector<std::size_t> weights;
+  make_cluster_day(100, streams, weights);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
+  cluster::DbscanStats last{};
+  for (auto _ : state) {
+    cluster::TokenDbscan db(streams, weights, {.eps = 0.10, .min_mass = 3},
+                            pool.get());
+    benchmark::DoNotOptimize(db.run());
+    last = db.stats();
+  }
+  state.counters["graph_seconds"] = last.graph_seconds;
+  state.counters["dp"] = static_cast<double>(last.dp_computations);
+  state.counters["pruned_sketch"] =
+      static_cast<double>(last.pairs_pruned_sketch);
+}
+BENCHMARK(BM_DbscanEndToEnd)->Arg(1)->Arg(0);  // serial, hardware pool
 
 void BM_TokenDbscanDay(benchmark::State& state) {
   // A scaled model of one day's deduplicated stream: N families of

@@ -24,7 +24,8 @@ int main() {
               batch.malicious_count);
 
   Table table({"partitions", "threads", "clusters", "pre-merge", "map (s)",
-               "reduce (s)", "map DPs", "reduce DPs"});
+               "graph (s)", "reduce (s)", "map DPs", "sketch-pruned",
+               "reduce DPs"});
   for (const std::size_t partitions : {1, 2, 4, 8, 16, 50}) {
     core::PipelineConfig pcfg;
     pcfg.partitions = partitions;
@@ -43,8 +44,10 @@ int main() {
                    std::to_string(report.n_clusters),
                    std::to_string(st.clusters_before_merge),
                    std::to_string(st.map_seconds).substr(0, 6),
+                   std::to_string(st.map.graph_seconds).substr(0, 6),
                    std::to_string(st.reduce_seconds).substr(0, 6),
                    std::to_string(st.map.dp_computations),
+                   std::to_string(st.map.pairs_pruned_sketch),
                    std::to_string(st.reduce.dp_computations)});
   }
   std::printf("%s\n", table.to_string().c_str());

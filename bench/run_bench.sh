@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the clustering benches and emits BENCH_cluster.json in
+# google-benchmark's JSON format (per-bench real/cpu time plus the
+# DbscanStats counters: dp, pruned_length/histogram/sketch, graph_seconds).
+#
+# Usage: bench/run_bench.sh [build-dir] [out.json]
+#
+# The headline comparison is BM_ClusterPairwise vs BM_ClusterPairwiseScalar
+# items_per_second (unordered pairs resolved per second): the neighbor-graph
+# + bit-parallel stack vs the seed's region-query sweep.
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_cluster.json}"
+
+if [[ ! -x "$BUILD/bench_micro" ]]; then
+  echo "error: $BUILD/bench_micro not found or not executable." >&2
+  echo "Configure with google-benchmark installed: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+"$BUILD/bench_micro" \
+  --benchmark_filter='BM_ClusterPairwise|BM_DbscanEndToEnd|BM_TokenDbscanDay|BM_EditDistance' \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -1,10 +1,36 @@
 #include "cluster/dbscan.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "distance/bitparallel.h"
+#include "support/thread_pool.h"
 
 namespace kizzle::cluster {
+
+namespace {
+
+// Winnow parameters of the sketch pruning tier. Small k and window keep the
+// sketch_rules_out floor (see winnow.h) tight enough to fire at eps = 0.10:
+// with t = k + window - 1 = 7 the tier rejects pairs whose overlap falls
+// below ~(0.9 - 0.6) * longest / window, i.e. same-histogram streams whose
+// token *order* differs.
+constexpr winnow::Params kSketchParams{.k = 4, .window = 4};
+
+// The sketch tier is a cost trade: an intersection of ~0.4 * len sorted
+// fingerprints (plus a once-per-point winnowing pass) against a bit-parallel
+// DP of ceil(la / 64) * lb word-steps. Below this many word-steps the DP is
+// cheaper than consulting the sketch, so the tier is skipped outright.
+constexpr std::size_t kSketchMinDpWork = 4096;
+
+}  // namespace
 
 std::vector<std::vector<std::size_t>> DbscanResult::members() const {
   std::vector<std::vector<std::size_t>> out(
@@ -28,6 +54,11 @@ DbscanResult run_dbscan(
   DbscanResult result;
   result.label.assign(n, kNoise);
   std::vector<bool> visited(n, false);
+  // Once a point has been enqueued it is guaranteed to be popped, claimed,
+  // and (if core) expanded before the cluster finishes, so it never needs
+  // to be enqueued again — without this flag dense clusters push the same
+  // point once per core neighbor and the frontier blows up quadratically.
+  std::vector<bool> enqueued(n, false);
   auto mass_of = [&](const std::vector<std::size_t>& pts) {
     std::size_t m = 0;
     for (std::size_t q : pts) m += weights.empty() ? 1 : weights[q];
@@ -41,7 +72,13 @@ DbscanResult run_dbscan(
     if (mass_of(neighbors) < min_mass) continue;  // stays noise unless claimed
     const int cid = next_cluster++;
     result.label[p] = cid;
-    std::deque<std::size_t> frontier(neighbors.begin(), neighbors.end());
+    std::deque<std::size_t> frontier;
+    for (std::size_t q : neighbors) {
+      if (!enqueued[q]) {
+        enqueued[q] = true;
+        frontier.push_back(q);
+      }
+    }
     while (!frontier.empty()) {
       const std::size_t q = frontier.front();
       frontier.pop_front();
@@ -50,7 +87,12 @@ DbscanResult run_dbscan(
       visited[q] = true;
       std::vector<std::size_t> q_neighbors = region_query(q);
       if (mass_of(q_neighbors) >= min_mass) {
-        for (std::size_t r : q_neighbors) frontier.push_back(r);
+        for (std::size_t r : q_neighbors) {
+          if (!enqueued[r]) {
+            enqueued[r] = true;
+            frontier.push_back(r);
+          }
+        }
       }
     }
   }
@@ -79,52 +121,228 @@ DbscanResult dbscan(
 
 TokenDbscan::TokenDbscan(std::span<const std::vector<std::uint32_t>> streams,
                          std::span<const std::size_t> weights,
-                         const DbscanParams& params)
-    : streams_(streams), params_(params) {
+                         const DbscanParams& params, ThreadPool* pool)
+    : streams_(streams), params_(params), pool_(pool) {
   if (!weights.empty() && weights.size() != streams.size()) {
     throw std::invalid_argument("TokenDbscan: weights size mismatch");
   }
   weights_.assign(weights.begin(), weights.end());
   if (weights_.empty()) weights_.assign(streams.size(), 1);
-  hist_.reserve(streams.size());
-  for (const auto& s : streams) {
-    hist_.push_back(dist::SymbolHistogram::of(s));
-  }
 }
 
-bool TokenDbscan::within(std::size_t i, std::size_t j) {
-  ++stats_.pairs_considered;
-  const std::size_t la = streams_[i].size();
-  const std::size_t lb = streams_[j].size();
-  const std::size_t longest = std::max(la, lb);
-  if (longest == 0) return true;
-  const auto limit =
-      static_cast<std::size_t>(params_.eps * static_cast<double>(longest));
-  const std::size_t len_diff = (la > lb) ? la - lb : lb - la;
-  if (len_diff > limit) {
-    ++stats_.pairs_pruned_length;
-    return false;
+void TokenDbscan::build_graph() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = streams_.size();
+  adj_.assign(n, {});
+  stats_ = DbscanStats{};  // a retry after a failed build starts clean
+
+  // Only the dense folded histograms are built eagerly: a 64-bucket fold
+  // of the symbol counts whose L1 is a lower bound on the exact histogram
+  // L1 (folding can only cancel differences), evaluated with one fixed
+  // 64-lane loop per pair. The exact sparse histogram and the winnow
+  // sketch are built lazily — one atomic once-init per point — because
+  // whole workloads never reach those tiers.
+  hist_.assign(n, {});
+  sketch_.assign(n, {});
+  std::vector<std::atomic<int>> hist_state(n);    // 0 empty, 1 building, 2 ready
+  std::vector<std::atomic<int>> sketch_state(n);
+  auto lazy_init = [](std::vector<std::atomic<int>>& state, std::size_t i,
+                      const auto& build) {
+    for (;;) {
+      const int s = state[i].load(std::memory_order_acquire);
+      if (s == 2) return;
+      if (s == 0) {
+        int expected = 0;
+        if (state[i].compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+          try {
+            build();
+          } catch (...) {
+            // Reopen the slot so waiters retry (or fail) instead of
+            // spinning forever; the pool rethrows from wait().
+            state[i].store(0, std::memory_order_release);
+            throw;
+          }
+          state[i].store(2, std::memory_order_release);
+          return;
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+  auto hist_of = [&](std::size_t i) -> const dist::SymbolHistogram& {
+    lazy_init(hist_state, i, [&] {
+      hist_[i] = dist::SymbolHistogram::of(streams_[i]);
+    });
+    return hist_[i];
+  };
+  auto sketch_of = [&](std::size_t i) -> const winnow::FingerprintSet& {
+    lazy_init(sketch_state, i, [&] {
+      sketch_[i] =
+          winnow::FingerprintSet::of_symbols(streams_[i], kSketchParams);
+    });
+    return sketch_[i];
+  };
+
+  // Sort by (length, index): the length bound then admits, for each point,
+  // exactly one contiguous window of the sorted order.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (streams_[a].size() != streams_[b].size()) {
+      return streams_[a].size() < streams_[b].size();
+    }
+    return a < b;
+  });
+
+  // The DP limit depends only on the longer stream's length, so resolve
+  // normalized_limit once per sorted slot instead of once per pair.
+  std::vector<std::size_t> limit_at(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    limit_at[s] = dist::normalized_limit(params_.eps, streams_[order[s]].size());
   }
-  if (dist::edit_distance_lower_bound(hist_[i], hist_[j], la, lb) > limit) {
-    ++stats_.pairs_pruned_histogram;
-    return false;
+
+  struct TaskState {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    DbscanStats stats;
+  };
+  const std::size_t max_tasks =
+      pool_ ? std::max<std::size_t>(1, pool_->size() * 8) : 1;
+  std::vector<TaskState> task_state(std::min(n, max_tasks));
+
+  constexpr std::size_t kBuckets = 64;
+  std::vector<std::uint32_t> folded(n * kBuckets, 0);
+  auto fill_range = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t i = order[s];
+      std::uint32_t* f = &folded[i * kBuckets];
+      for (const std::uint32_t sym : streams_[i]) {
+        ++f[(sym * 2654435761u) >> 26];  // Fibonacci fold to 64 buckets
+      }
+    }
+  };
+  auto folded_bound = [&](std::size_t i, std::size_t j) {
+    const std::uint32_t* fa = &folded[i * kBuckets];
+    const std::uint32_t* fb = &folded[j * kBuckets];
+    std::uint64_t l1 = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      l1 += (fa[b] > fb[b]) ? fa[b] - fb[b] : fb[b] - fa[b];
+    }
+    return static_cast<std::size_t>((l1 + 1) / 2);
+  };
+
+  auto scan_range = [&](std::size_t task, std::size_t begin, std::size_t end) {
+    TaskState& ts = task_state[task];
+    std::optional<dist::BitMatcher> matcher;  // built lazily per anchor
+    for (std::size_t si = begin; si < end; ++si) {
+      const std::size_t i = order[si];
+      const std::size_t la = streams_[i].size();
+      matcher.reset();
+      // The anchor's lazily built tier data is resolved once per anchor,
+      // not once per surviving pair.
+      const dist::SymbolHistogram* hist_i = nullptr;
+      const winnow::FingerprintSet* sketch_i = nullptr;
+      for (std::size_t sj = si + 1; sj < n; ++sj) {
+        const std::size_t j = order[sj];
+        const std::size_t lb = streams_[j].size();  // lb >= la
+        const std::size_t limit = limit_at[sj];
+        if (lb - la > limit) {
+          // lb - normalized_limit(eps, lb) is non-decreasing in lb for
+          // eps < 1 (and never positive for eps >= 1), so every later
+          // point of the sorted order is pruned too.
+          ts.stats.pairs_considered += n - sj;
+          ts.stats.pairs_pruned_length += n - sj;
+          break;
+        }
+        ++ts.stats.pairs_considered;
+        if (lb == 0) {  // both streams empty: distance 0
+          ts.edges.emplace_back(i, j);
+          continue;
+        }
+        if (folded_bound(i, j) > limit) {
+          ++ts.stats.pairs_pruned_histogram;
+          continue;
+        }
+        if (hist_i == nullptr) hist_i = &hist_of(i);
+        if (dist::edit_distance_lower_bound(*hist_i, hist_of(j), la, lb) >
+            limit) {
+          ++ts.stats.pairs_pruned_histogram;
+          continue;
+        }
+        // Only consult the sketch tier when the DP it might save is
+        // expensive (kSketchMinDpWork) and the floor can fire at all
+        // (see sketch_rules_out): otherwise go straight to the DP.
+        constexpr std::size_t kT = kSketchParams.k + kSketchParams.window - 1;
+        if ((la + 63) / 64 * lb >= kSketchMinDpWork &&
+            lb > limit + (limit + 1) * (kT - 1)) {
+          if (sketch_i == nullptr) sketch_i = &sketch_of(i);
+          if (winnow::sketch_rules_out(sketch_i->intersection(sketch_of(j)),
+                                       lb, limit, kSketchParams)) {
+            ++ts.stats.pairs_pruned_sketch;
+            continue;
+          }
+        }
+        ++ts.stats.dp_computations;
+        if (!matcher) matcher.emplace(streams_[i]);
+        const std::size_t d =
+            matcher->ok()
+                ? matcher->bounded(streams_[j], limit)
+                : dist::edit_distance_bounded_reference(streams_[i],
+                                                        streams_[j], limit);
+        if (d <= limit) ts.edges.emplace_back(i, j);
+      }
+    }
+  };
+
+  if (n > 0) {
+    // The pair scan reads hist_/sketch_ of every later sorted slot, so the
+    // fill phase must complete before any scan task starts.
+    if (pool_ && task_state.size() > 1) {
+      pool_->parallel_ranges(n, task_state.size(), fill_range);
+      pool_->parallel_ranges(n, task_state.size(), scan_range);
+    } else {
+      fill_range(0, 0, n);
+      scan_range(0, 0, n);
+    }
   }
-  ++stats_.dp_computations;
-  return dist::edit_distance_bounded(streams_[i], streams_[j], limit) <= limit;
+
+  for (const TaskState& ts : task_state) {
+    stats_.pairs_considered += ts.stats.pairs_considered;
+    stats_.pairs_pruned_length += ts.stats.pairs_pruned_length;
+    stats_.pairs_pruned_histogram += ts.stats.pairs_pruned_histogram;
+    stats_.pairs_pruned_sketch += ts.stats.pairs_pruned_sketch;
+    stats_.dp_computations += ts.stats.dp_computations;
+    for (const auto& [i, j] : ts.edges) {
+      adj_[i].push_back(j);
+      adj_[j].push_back(i);
+    }
+  }
+  for (auto& a : adj_) std::sort(a.begin(), a.end());
+
+  stats_.graph_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Only now: a pool task that threw (rethrown from wait()) must not leave
+  // the object claiming a complete graph.
+  graph_built_ = true;
 }
 
-std::vector<std::size_t> TokenDbscan::region_query(std::size_t p) {
-  std::vector<std::size_t> out;
-  out.push_back(p);
-  for (std::size_t q = 0; q < streams_.size(); ++q) {
-    if (q != p && within(p, q)) out.push_back(q);
-  }
-  return out;
+const std::vector<std::vector<std::size_t>>& TokenDbscan::neighbors() {
+  if (!graph_built_) build_graph();
+  return adj_;
 }
 
 DbscanResult TokenDbscan::run() {
+  if (!graph_built_) build_graph();
   return run_dbscan(streams_.size(), weights_, params_.min_mass,
-                    [this](std::size_t p) { return region_query(p); });
+                    [this](std::size_t p) {
+                      std::vector<std::size_t> out;
+                      out.reserve(adj_[p].size() + 1);
+                      out.push_back(p);
+                      out.insert(out.end(), adj_[p].begin(), adj_[p].end());
+                      return out;
+                    });
 }
 
 }  // namespace kizzle::cluster

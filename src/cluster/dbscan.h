@@ -15,6 +15,28 @@
 // stream before clustering; a point's weight is the number of samples it
 // stands for, and DBSCAN's minPts compares against neighborhood *mass*
 // (sum of weights), which is exactly DBSCAN on the un-deduplicated input.
+//
+// TokenDbscan no longer answers region queries with per-query linear
+// sweeps. It builds the whole eps-neighbor graph up front, once, and
+// region_query just reads the adjacency:
+//
+//   * points are sorted by stream length, so the length bound
+//     (lev >= | |a|-|b| |) turns each point's candidate set into one
+//     contiguous window of the sorted order instead of an n-wide scan;
+//   * each unordered pair is examined exactly once (the seed code paid
+//     for both (i,j) and (j,i), and re-paid on every region query);
+//   * surviving pairs run through three pruning tiers — length bound,
+//     symbol-histogram bound, winnowing-sketch overlap bound
+//     (winnow::sketch_rules_out) — before the bit-parallel DP
+//     (distance/bitparallel.h) confirms or rejects the edge;
+//   * the build fans out over a support/ThreadPool when one is supplied;
+//     results are deterministic regardless of thread count because edges
+//     depend only on the distance predicate, never on execution order.
+//
+// The eps predicate is dist::normalized_limit(eps, longest), which agrees
+// bit-for-bit with `normalized_edit_distance(a, b) <= eps` (the naive
+// size_t(eps * longest) floor loses a unit at fractional boundaries —
+// see the helper's comment in distance/edit_distance.h).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +45,11 @@
 #include <vector>
 
 #include "distance/edit_distance.h"
+#include "winnow/winnow.h"
+
+namespace kizzle {
+class ThreadPool;
+}
 
 namespace kizzle::cluster {
 
@@ -49,34 +76,50 @@ DbscanResult dbscan(
     std::span<const std::size_t> weights, const DbscanParams& params);
 
 // Statistics for the performance benchmarks (§IV "Cluster-Based Processing
-// Performance").
+// Performance"). All pair counters are over unordered pairs, counted once
+// per pair during the neighbor-graph build:
+//   pairs_considered = C(n, 2)
+//                    = pruned_length + pruned_histogram + pruned_sketch
+//                      + dp_computations + trivial pairs (both empty).
 struct DbscanStats {
-  std::size_t pairs_considered = 0;  // all candidate pairs examined
+  std::size_t pairs_considered = 0;  // all unordered pairs
   std::size_t pairs_pruned_length = 0;
   std::size_t pairs_pruned_histogram = 0;
-  std::size_t dp_computations = 0;  // banded DPs actually run
+  std::size_t pairs_pruned_sketch = 0;  // winnow-overlap lower bound
+  std::size_t dp_computations = 0;      // bounded DPs actually run
+  double graph_seconds = 0.0;           // neighbor-graph build wall-clock
 };
 
 class TokenDbscan {
  public:
   // `streams` must outlive the clusterer. Weights empty => all ones.
+  // When `pool` is non-null the neighbor-graph build fans out over it
+  // (the PartitionedClusterer map phase passes null: its partitions are
+  // already parallel).
   TokenDbscan(std::span<const std::vector<std::uint32_t>> streams,
               std::span<const std::size_t> weights,
-              const DbscanParams& params);
+              const DbscanParams& params, ThreadPool* pool = nullptr);
 
   DbscanResult run();
+
+  // The eps-neighbor adjacency (sorted, self excluded), building it on
+  // first use. Exposed for the pairwise-throughput benchmarks.
+  const std::vector<std::vector<std::size_t>>& neighbors();
 
   const DbscanStats& stats() const { return stats_; }
 
  private:
-  std::vector<std::size_t> region_query(std::size_t p);
-  bool within(std::size_t i, std::size_t j);
+  void build_graph();
 
   std::span<const std::vector<std::uint32_t>> streams_;
   std::vector<std::size_t> weights_;
   DbscanParams params_;
+  ThreadPool* pool_;
   DbscanStats stats_;
-  std::vector<dist::SymbolHistogram> hist_;  // per-point pre-filter data
+  std::vector<dist::SymbolHistogram> hist_;     // per-point pre-filter data
+  std::vector<winnow::FingerprintSet> sketch_;  // per-point winnow sketch
+  std::vector<std::vector<std::size_t>> adj_;
+  bool graph_built_ = false;
 };
 
 }  // namespace kizzle::cluster

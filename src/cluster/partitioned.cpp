@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
+#include <memory>
 #include <numeric>
+#include <optional>
 
+#include "distance/bitparallel.h"
 #include "support/thread_pool.h"
 
 namespace kizzle::cluster {
@@ -35,36 +37,52 @@ class UnionFind {
   std::vector<std::size_t> parent_;
 };
 
+// Medoid of a cluster: the member minimizing total normalized distance to
+// the other members (exact for small clusters, sampled for large ones).
+// Pure function of the cluster, so one pool task per cluster is safe; DP
+// work is reported through dp_count.
+std::size_t medoid_of(std::span<const std::vector<std::uint32_t>> streams,
+                      const std::vector<std::size_t>& cluster,
+                      std::size_t& dp_count) {
+  if (cluster.size() == 1) return cluster[0];
+  // Exact medoid is O(m^2); cap the candidate set for very large clusters.
+  // The distance matrix is symmetric: each pair is DP'd once, with one
+  // bit-parallel matcher per left endpoint.
+  constexpr std::size_t kCap = 24;
+  const std::size_t m = std::min(cluster.size(), kCap);
+  std::vector<double> total(m, 0.0);
+  for (std::size_t ci = 0; ci < m; ++ci) {
+    const auto& a = streams[cluster[ci]];
+    const dist::BitMatcher matcher{std::span<const std::uint32_t>(a)};
+    for (std::size_t cj = ci + 1; cj < m; ++cj) {
+      const auto& b = streams[cluster[cj]];
+      const std::size_t longest = std::max(a.size(), b.size());
+      double d = 0.0;
+      if (longest > 0) {
+        // limit == longest never clamps, so this is the exact
+        // normalized distance.
+        const std::size_t raw =
+            matcher.ok() ? matcher.bounded(b, longest)
+                         : dist::edit_distance_bounded_reference(a, b, longest);
+        d = static_cast<double>(raw) / static_cast<double>(longest);
+      }
+      ++dp_count;
+      total[ci] += d;
+      total[cj] += d;
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t ci = 1; ci < m; ++ci) {
+    if (total[ci] < total[best]) best = ci;
+  }
+  return cluster[best];
+}
+
 }  // namespace
 
 PartitionedClusterer::PartitionedClusterer(PartitionedParams params)
     : params_(params) {
   if (params_.partitions == 0) params_.partitions = 1;
-}
-
-std::size_t PartitionedClusterer::medoid(
-    std::span<const std::vector<std::uint32_t>> streams,
-    const std::vector<std::size_t>& cluster) {
-  if (cluster.size() == 1) return cluster[0];
-  // Exact medoid is O(m^2); cap the candidate set for very large clusters.
-  constexpr std::size_t kCap = 24;
-  const std::size_t m = std::min(cluster.size(), kCap);
-  double best_total = 0.0;
-  std::size_t best = cluster[0];
-  for (std::size_t ci = 0; ci < m; ++ci) {
-    double total = 0.0;
-    for (std::size_t cj = 0; cj < m; ++cj) {
-      if (ci == cj) continue;
-      total += dist::normalized_edit_distance(streams[cluster[ci]],
-                                              streams[cluster[cj]]);
-      ++stats_.reduce.dp_computations;
-    }
-    if (ci == 0 || total < best_total) {
-      best_total = total;
-      best = cluster[ci];
-    }
-  }
-  return best;
 }
 
 ClusterSet PartitionedClusterer::run(
@@ -75,6 +93,13 @@ ClusterSet PartitionedClusterer::run(
   ClusterSet result;
   if (n == 0) return result;
 
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = params_.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(params_.threads);
+    pool = owned_pool.get();
+  }
+
   // ---- Partition (random assignment, as in the paper). ----
   const std::size_t P = std::min(params_.partitions, n);
   std::vector<std::vector<std::size_t>> partition(P);
@@ -82,46 +107,56 @@ ClusterSet PartitionedClusterer::run(
     partition[rng.index(P)].push_back(i);
   }
 
-  // ---- Map: per-partition weighted DBSCAN on a thread pool. ----
+  // ---- Map: per-partition weighted DBSCAN on the pool. ----
   const auto t_map = std::chrono::steady_clock::now();
   std::vector<std::vector<std::vector<std::size_t>>> partition_clusters(P);
   std::vector<std::vector<std::size_t>> partition_noise(P);
   std::vector<DbscanStats> partition_stats(P);
-  {
-    ThreadPool pool(params_.threads);
-    pool.parallel_for(P, [&](std::size_t p) {
-      const auto& idx = partition[p];
-      if (idx.empty()) return;
-      std::vector<std::vector<std::uint32_t>> local;
-      std::vector<std::size_t> local_weights;
-      local.reserve(idx.size());
-      for (std::size_t i : idx) {
-        local.push_back(streams[i]);
-        local_weights.push_back(weights.empty() ? 1 : weights[i]);
+  auto map_partition = [&](std::size_t p, ThreadPool* inner_pool) {
+    const auto& idx = partition[p];
+    if (idx.empty()) return;
+    std::vector<std::vector<std::uint32_t>> local;
+    std::vector<std::size_t> local_weights;
+    local.reserve(idx.size());
+    for (std::size_t i : idx) {
+      local.push_back(streams[i]);
+      local_weights.push_back(weights.empty() ? 1 : weights[i]);
+    }
+    TokenDbscan db(local, local_weights, params_.dbscan, inner_pool);
+    DbscanResult r = db.run();
+    partition_stats[p] = db.stats();
+    auto members = r.members();
+    for (auto& cluster : members) {
+      std::vector<std::size_t> global;
+      global.reserve(cluster.size());
+      for (std::size_t local_i : cluster) global.push_back(idx[local_i]);
+      partition_clusters[p].push_back(std::move(global));
+    }
+    for (std::size_t local_i = 0; local_i < idx.size(); ++local_i) {
+      if (r.label[local_i] == kNoise) {
+        partition_noise[p].push_back(idx[local_i]);
       }
-      TokenDbscan db(local, local_weights, params_.dbscan);
-      DbscanResult r = db.run();
-      partition_stats[p] = db.stats();
-      auto members = r.members();
-      for (auto& cluster : members) {
-        std::vector<std::size_t> global;
-        global.reserve(cluster.size());
-        for (std::size_t local_i : cluster) global.push_back(idx[local_i]);
-        partition_clusters[p].push_back(std::move(global));
-      }
-      for (std::size_t local_i = 0; local_i < idx.size(); ++local_i) {
-        if (r.label[local_i] == kNoise) {
-          partition_noise[p].push_back(idx[local_i]);
-        }
-      }
-    });
+    }
+  };
+  if (P < pool->size()) {
+    // Fewer partitions than workers: partition-level fan-out alone would
+    // idle most of the pool, so run partitions sequentially on the
+    // caller's thread and hand the pool to each inner graph build. (The
+    // pool must never be passed into a task running *on* the pool:
+    // wait() from a worker deadlocks.)
+    for (std::size_t p = 0; p < P; ++p) map_partition(p, pool);
+  } else {
+    // Partitions saturate the pool; the inner graph builds stay serial.
+    pool->parallel_for(P, [&](std::size_t p) { map_partition(p, nullptr); });
   }
   stats_.map_seconds = seconds_since(t_map);
   for (const auto& s : partition_stats) {
     stats_.map.pairs_considered += s.pairs_considered;
     stats_.map.pairs_pruned_length += s.pairs_pruned_length;
     stats_.map.pairs_pruned_histogram += s.pairs_pruned_histogram;
+    stats_.map.pairs_pruned_sketch += s.pairs_pruned_sketch;
     stats_.map.dp_computations += s.dp_computations;
+    stats_.map.graph_seconds += s.graph_seconds;
   }
 
   // ---- Reduce: merge per-partition clusters via medoid distance. ----
@@ -130,35 +165,68 @@ ClusterSet PartitionedClusterer::run(
   for (auto& pc : partition_clusters) {
     for (auto& c : pc) all_clusters.push_back(std::move(c));
   }
-  stats_.clusters_before_merge = all_clusters.size();
+  const std::size_t C = all_clusters.size();
+  stats_.clusters_before_merge = C;
 
-  std::vector<std::size_t> medoids(all_clusters.size());
-  for (std::size_t c = 0; c < all_clusters.size(); ++c) {
-    medoids[c] = medoid(streams, all_clusters[c]);
-  }
-  UnionFind uf(all_clusters.size());
-  for (std::size_t a = 0; a < all_clusters.size(); ++a) {
-    for (std::size_t b = a + 1; b < all_clusters.size(); ++b) {
-      ++stats_.reduce.pairs_considered;
-      const auto& sa = streams[medoids[a]];
+  // Medoid selection: one pool task per cluster.
+  std::vector<std::size_t> medoids(C);
+  std::vector<std::size_t> medoid_dps(C, 0);
+  pool->parallel_for(C, [&](std::size_t c) {
+    medoids[c] = medoid_of(streams, all_clusters[c], medoid_dps[c]);
+  });
+  for (std::size_t d : medoid_dps) stats_.reduce.dp_computations += d;
+
+  // Merge scan: each left endpoint is one task; decisions are pure
+  // distance predicates, so thread count cannot change the edge set.
+  struct MergeState {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    std::size_t considered = 0;
+    std::size_t pruned_length = 0;
+    std::size_t dps = 0;
+  };
+  std::vector<MergeState> merge_state(C);
+  pool->parallel_for(C, [&](std::size_t a) {
+    MergeState& ms = merge_state[a];
+    const auto& sa = streams[medoids[a]];
+    std::optional<dist::BitMatcher> matcher;  // reused across all b
+    for (std::size_t b = a + 1; b < C; ++b) {
+      ++ms.considered;
       const auto& sb = streams[medoids[b]];
       const std::size_t longest = std::max(sa.size(), sb.size());
-      const auto limit = static_cast<std::size_t>(
-          params_.dbscan.eps * static_cast<double>(longest));
-      const std::size_t diff =
-          (sa.size() > sb.size()) ? sa.size() - sb.size() : sb.size() - sa.size();
-      if (diff > limit) {
-        ++stats_.reduce.pairs_pruned_length;
+      if (longest == 0) {  // both medoids empty: distance 0
+        ms.edges.emplace_back(a, b);
         continue;
       }
-      ++stats_.reduce.dp_computations;
-      if (dist::edit_distance_bounded(sa, sb, limit) <= limit) {
-        uf.unite(a, b);
+      const std::size_t limit =
+          dist::normalized_limit(params_.dbscan.eps, longest);
+      const std::size_t diff = (sa.size() > sb.size())
+                                   ? sa.size() - sb.size()
+                                   : sb.size() - sa.size();
+      if (diff > limit) {
+        ++ms.pruned_length;
+        continue;
       }
+      ++ms.dps;
+      std::size_t d;
+      if (!matcher) matcher.emplace(std::span<const std::uint32_t>(sa));
+      if (matcher->ok()) {
+        d = matcher->bounded(sb, limit);
+      } else {
+        d = dist::edit_distance_bounded_reference(sa, sb, limit);
+      }
+      if (d <= limit) ms.edges.emplace_back(a, b);
     }
+  });
+
+  UnionFind uf(C);
+  for (const MergeState& ms : merge_state) {
+    stats_.reduce.pairs_considered += ms.considered;
+    stats_.reduce.pairs_pruned_length += ms.pruned_length;
+    stats_.reduce.dp_computations += ms.dps;
+    for (const auto& [a, b] : ms.edges) uf.unite(a, b);
   }
-  std::vector<std::vector<std::size_t>> merged(all_clusters.size());
-  for (std::size_t c = 0; c < all_clusters.size(); ++c) {
+  std::vector<std::vector<std::size_t>> merged(C);
+  for (std::size_t c = 0; c < C; ++c) {
     auto& target = merged[uf.find(c)];
     target.insert(target.end(), all_clusters[c].begin(),
                   all_clusters[c].end());

@@ -6,6 +6,13 @@
 // identify as the bottleneck. This module reproduces that dataflow on a
 // thread pool: partitions stand in for machines, and the reduce step merges
 // clusters whose medoids are within eps of each other.
+//
+// Both phases run on one shared pool: the map fans partitions out, and the
+// reduce — the paper's bottleneck — fans out medoid selection (one task per
+// cluster) and the O(c^2) medoid-merge distance work (one task per left
+// endpoint). Merge decisions are pure distance predicates, so the result is
+// deterministic regardless of thread count; only the union-find over the
+// collected merge edges runs serially.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,9 @@ struct PartitionedParams {
   std::size_t partitions = 8;  // simulated machines (paper: 50)
   std::size_t threads = 0;     // 0 = hardware concurrency
   DbscanParams dbscan;
+  // Optional externally owned pool (e.g. the pipeline's, reused across
+  // daily runs); when null, run() creates a private pool of `threads`.
+  ThreadPool* pool = nullptr;
 };
 
 struct ClusterSet {
@@ -30,7 +40,8 @@ struct ClusterSet {
 };
 
 struct PipelineStats {
-  DbscanStats map;            // aggregated across partitions
+  DbscanStats map;            // aggregated across partitions (graph_seconds
+                              // is summed: total build work, not wall-clock)
   DbscanStats reduce;         // medoid-merge distance work
   double map_seconds = 0.0;   // wall-clock of the parallel map phase
   double reduce_seconds = 0.0;
@@ -51,11 +62,6 @@ class PartitionedClusterer {
   const PipelineStats& stats() const { return stats_; }
 
  private:
-  // Medoid of a cluster: the member minimizing total normalized distance to
-  // the other members (exact for small clusters, sampled for large ones).
-  std::size_t medoid(std::span<const std::vector<std::uint32_t>> streams,
-                     const std::vector<std::size_t>& cluster);
-
   PartitionedParams params_;
   PipelineStats stats_;
 };

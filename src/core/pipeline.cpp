@@ -112,10 +112,12 @@ DayReport KizzlePipeline::process_day(
   }
 
   // ---- Partitioned DBSCAN (Fig 7 map/reduce). ----
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
   cluster::PartitionedParams pparams;
   pparams.partitions = cfg_.partitions;
   pparams.threads = cfg_.threads;
   pparams.dbscan = cfg_.dbscan;
+  pparams.pool = pool_.get();
   cluster::PartitionedClusterer clusterer(pparams);
   const cluster::ClusterSet cs =
       clusterer.run(unique_streams, weights, rng_);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "sig/compiler.h"
 #include "support/interner.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "text/abstraction.h"
 #include "winnow/winnow.h"
 
@@ -131,6 +133,10 @@ class KizzlePipeline {
 
   PipelineConfig cfg_;
   Rng rng_;
+  // Shared worker pool for the clustering map/reduce, created on the first
+  // process_day and reused across the campaign (spawning threads per day
+  // showed up in the daily-run profile).
+  std::unique_ptr<ThreadPool> pool_;
   Interner interner_;
   LabeledCorpus corpus_;
   std::vector<DeployedSignature> signatures_;

@@ -1,0 +1,153 @@
+#include "distance/bitparallel.h"
+
+#include <algorithm>
+
+#include "support/hash.h"
+
+namespace kizzle::dist {
+
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t hash_sym(Sym s) {
+  // Full-avalanche mix so interned ids spread over the table.
+  return static_cast<std::size_t>(splitmix64_mix(s));
+}
+
+}  // namespace
+
+BitMatcher::BitMatcher(std::span<const Sym> pattern)
+    : m_(pattern.size()), words_((pattern.size() + 63) / 64) {
+  if (m_ == 0) return;
+  const std::size_t table_size = next_pow2(2 * m_);
+  table_mask_ = table_size - 1;
+  slot_sym_.assign(table_size, 0);
+  slot_row_.assign(table_size, kEmpty);
+  std::uint32_t distinct = 0;
+  // First pass: assign a row to each distinct symbol, in pattern order.
+  std::vector<std::uint32_t> row_of(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const Sym s = pattern[i];
+    std::size_t h = hash_sym(s) & table_mask_;
+    while (slot_row_[h] != kEmpty && slot_sym_[h] != s) {
+      h = (h + 1) & table_mask_;
+    }
+    if (slot_row_[h] == kEmpty) {
+      if (distinct == kMaxAlphabet) {
+        ok_ = false;
+        return;
+      }
+      slot_sym_[h] = s;
+      slot_row_[h] = distinct++;
+    }
+    row_of[i] = slot_row_[h];
+  }
+  eq_.assign(static_cast<std::size_t>(distinct) * words_, 0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    eq_[static_cast<std::size_t>(row_of[i]) * words_ + i / 64] |=
+        1ull << (i % 64);
+  }
+  zeros_.assign(words_, 0);
+  pv_.resize(words_);
+  mv_.resize(words_);
+}
+
+std::uint32_t BitMatcher::lookup(Sym s) const {
+  std::size_t h = hash_sym(s) & table_mask_;
+  while (slot_row_[h] != kEmpty) {
+    if (slot_sym_[h] == s) return slot_row_[h];
+    h = (h + 1) & table_mask_;
+  }
+  return kEmpty;
+}
+
+std::size_t BitMatcher::bounded(std::span<const Sym> text,
+                                std::size_t limit) const {
+  const std::size_t n = text.size();
+  const std::size_t diff = (m_ > n) ? m_ - n : n - m_;
+  if (diff > limit) return limit + 1;
+  if (m_ == 0) return n;  // n <= limit by the diff check
+  if (n == 0) return m_;
+
+  std::size_t score = m_;
+  if (words_ == 1) {
+    // Single-word Hyyro: D[i][0] = i via Pv = all-ones, D[0][j] = j via the
+    // +1 shifted into Ph each column.
+    std::uint64_t Pv = ~0ull;
+    std::uint64_t Mv = 0;
+    const std::uint64_t last = 1ull << (m_ - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t row = lookup(text[j]);
+      const std::uint64_t Eq = (row == kEmpty) ? 0 : eq_[row];
+      const std::uint64_t Xv = Eq | Mv;
+      const std::uint64_t Xh = (((Eq & Pv) + Pv) ^ Pv) | Eq;
+      std::uint64_t Ph = Mv | ~(Xh | Pv);
+      std::uint64_t Mh = Pv & Xh;
+      if (Ph & last) {
+        ++score;
+      } else if (Mh & last) {
+        --score;
+      }
+      Ph = (Ph << 1) | 1;
+      Mh <<= 1;
+      Pv = Mh | ~(Xv | Ph);
+      Mv = Ph & Xv;
+      if (score > limit + (n - j - 1)) return limit + 1;
+    }
+  } else {
+    // Blocked variant: horizontal +/-1 deltas carried between words.
+    std::fill(pv_.begin(), pv_.end(), ~0ull);
+    std::fill(mv_.begin(), mv_.end(), 0ull);
+    const std::size_t last_word = words_ - 1;
+    const std::uint64_t last_bit = 1ull << ((m_ - 1) % 64);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t row = lookup(text[j]);
+      const std::uint64_t* eq_row =
+          (row == kEmpty) ? zeros_.data()
+                          : &eq_[static_cast<std::size_t>(row) * words_];
+      int hin = 1;  // D[0][j] - D[0][j-1] = +1
+      for (std::size_t b = 0; b < words_; ++b) {
+        std::uint64_t Eq = eq_row[b];
+        const std::uint64_t Pv = pv_[b];
+        const std::uint64_t Mv = mv_[b];
+        const std::uint64_t Xv = Eq | Mv;
+        if (hin < 0) Eq |= 1;  // diagonal carry for a negative input delta
+        const std::uint64_t Xh = (((Eq & Pv) + Pv) ^ Pv) | Eq;
+        std::uint64_t Ph = Mv | ~(Xh | Pv);
+        std::uint64_t Mh = Pv & Xh;
+        if (b == last_word) {
+          if (Ph & last_bit) {
+            ++score;
+          } else if (Mh & last_bit) {
+            --score;
+          }
+        }
+        int hout = 0;
+        if (Ph >> 63) {
+          hout = 1;
+        } else if (Mh >> 63) {
+          hout = -1;
+        }
+        Ph <<= 1;
+        Mh <<= 1;
+        if (hin > 0) {
+          Ph |= 1;
+        } else if (hin < 0) {
+          Mh |= 1;
+        }
+        pv_[b] = Mh | ~(Xv | Ph);
+        mv_[b] = Ph & Xv;
+        hin = hout;
+      }
+      if (score > limit + (n - j - 1)) return limit + 1;
+    }
+  }
+  return (score <= limit) ? score : limit + 1;
+}
+
+}  // namespace kizzle::dist

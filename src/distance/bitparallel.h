@@ -1,0 +1,77 @@
+// Bit-parallel bounded edit distance (Myers 1999, in the edit-distance
+// formulation of Hyyro 2003).
+//
+// The clustering hot loop computes millions of threshold-limited
+// Levenshtein distances between interned token streams. The scalar banded
+// DP in edit_distance.cpp pays one branchy min-chain per cell; the
+// bit-vector formulation packs 64 DP rows into one machine word and
+// advances a whole column with ~17 bit operations, tracking only the
+// score of the last row plus the vertical/horizontal delta vectors.
+//
+// BitMatcher is built once per pattern stream and reused against many
+// candidate texts (the neighbor-graph build compares each point against a
+// whole window of length-compatible candidates), so the per-pattern setup
+// (symbol -> bit-mask table) is amortized. The `eps * longest` cutoff is
+// enforced with an early-abandon rule: the last-row score can decrease by
+// at most 1 per remaining column, so once
+//   score > limit + columns_remaining
+// the distance provably exceeds the limit and the scan stops.
+//
+// Alphabet handling: token symbols are arbitrary interned uint32 ids, so
+// the per-pattern Eq masks live behind a small open-addressing table.
+// Patterns with more than kMaxAlphabet distinct symbols do not get a
+// table (ok() returns false) and callers must fall back to the scalar
+// banded DP (dist::edit_distance_bounded_reference).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kizzle::dist {
+
+using Sym = std::uint32_t;
+
+class BitMatcher {
+ public:
+  // Distinct-symbol cap for the Eq table; above this the matcher refuses
+  // (ok() == false) and callers use the scalar reference DP.
+  static constexpr std::size_t kMaxAlphabet = 2048;
+
+  explicit BitMatcher(std::span<const Sym> pattern);
+
+  // False when the pattern's alphabet overflows the bit-vector mapping;
+  // bounded() must not be called in that case.
+  bool ok() const { return ok_; }
+
+  std::size_t pattern_length() const { return m_; }
+
+  // Exact edit distance between the pattern and `text` when it is
+  // <= limit, exactly limit + 1 otherwise. Matches the contract of
+  // dist::edit_distance_bounded. Reuses internal scratch buffers, so a
+  // BitMatcher must not be shared across threads concurrently.
+  std::size_t bounded(std::span<const Sym> text, std::size_t limit) const;
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  std::uint32_t lookup(Sym s) const;
+
+  std::size_t m_ = 0;      // pattern length (rows)
+  std::size_t words_ = 0;  // ceil(m_ / 64)
+  bool ok_ = true;
+
+  // Open-addressing symbol table: sym -> row index into eq_.
+  std::vector<Sym> slot_sym_;
+  std::vector<std::uint32_t> slot_row_;
+  std::size_t table_mask_ = 0;
+
+  std::vector<std::uint64_t> eq_;     // distinct x words_ position masks
+  std::vector<std::uint64_t> zeros_;  // all-zero Eq row for unseen symbols
+
+  // Column state scratch for the blocked (multi-word) case.
+  mutable std::vector<std::uint64_t> pv_;
+  mutable std::vector<std::uint64_t> mv_;
+};
+
+}  // namespace kizzle::dist

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "distance/bitparallel.h"
+
 namespace kizzle::dist {
 
 std::size_t edit_distance(std::span<const Sym> a, std::span<const Sym> b) {
@@ -27,6 +29,20 @@ std::size_t edit_distance(std::span<const Sym> a, std::span<const Sym> b) {
 
 std::size_t edit_distance_bounded(std::span<const Sym> a,
                                   std::span<const Sym> b, std::size_t limit) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter
+  if (b.size() - a.size() > limit) return limit + 1;
+  if (a.empty()) return b.size();
+  // Tiny streams: the one-off BitMatcher setup costs more than the DP.
+  if (a.size() >= 8) {
+    const BitMatcher matcher(a);
+    if (matcher.ok()) return matcher.bounded(b, limit);
+  }
+  return edit_distance_bounded_reference(a, b, limit);
+}
+
+std::size_t edit_distance_bounded_reference(std::span<const Sym> a,
+                                            std::span<const Sym> b,
+                                            std::size_t limit) {
   if (a.size() > b.size()) std::swap(a, b);
   const std::size_t n = a.size();
   const std::size_t m = b.size();
@@ -68,8 +84,26 @@ double normalized_edit_distance(std::span<const Sym> a,
                                 std::span<const Sym> b) {
   const std::size_t longest = std::max(a.size(), b.size());
   if (longest == 0) return 0.0;
-  return static_cast<double>(edit_distance(a, b)) /
+  // The distance never exceeds max(|a|, |b|), so the bounded (bit-parallel)
+  // path with limit = longest is exact.
+  return static_cast<double>(edit_distance_bounded(a, b, longest)) /
          static_cast<double>(longest);
+}
+
+std::size_t normalized_limit(double eps, std::size_t longest) {
+  std::size_t d = static_cast<std::size_t>(
+      std::max(0.0, eps) * static_cast<double>(longest));
+  if (d > longest) d = longest;
+  // Nudge across any floating-point boundary so the integer limit agrees
+  // exactly with the `double(d) / longest <= eps` predicate.
+  while (d > 0 && static_cast<double>(d) / static_cast<double>(longest) > eps) {
+    --d;
+  }
+  while (d < longest &&
+         static_cast<double>(d + 1) / static_cast<double>(longest) <= eps) {
+    ++d;
+  }
+  return d;
 }
 
 bool within_normalized(std::span<const Sym> a, std::span<const Sym> b,
@@ -77,8 +111,7 @@ bool within_normalized(std::span<const Sym> a, std::span<const Sym> b,
   const std::size_t longest = std::max(a.size(), b.size());
   if (longest == 0) return true;
   if (eps < 0.0) return false;
-  const auto limit =
-      static_cast<std::size_t>(eps * static_cast<double>(longest));
+  const std::size_t limit = normalized_limit(eps, longest);
   return edit_distance_bounded(a, b, limit) <= limit;
 }
 

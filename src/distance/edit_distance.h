@@ -7,9 +7,13 @@
 //
 //   1. length bound:     lev(a,b) >= | |a| - |b| |
 //   2. histogram bound:  lev(a,b) >= ceil(L1(hist_a, hist_b) / 2)
-//   3. banded DP:        Ukkonen's O(|a| * limit) algorithm that abandons
-//                        the computation once the distance provably
-//                        exceeds the threshold.
+//   3. bit-parallel DP:  Myers/Hyyro bit-vector columns (bitparallel.h)
+//                        with an early cutoff once the distance provably
+//                        exceeds the threshold; the scalar banded DP
+//                        (Ukkonen, O(min * limit)) remains as the
+//                        reference implementation and as the fallback for
+//                        patterns whose alphabet overflows the bit-vector
+//                        symbol mapping.
 #pragma once
 
 #include <cstdint>
@@ -21,20 +25,44 @@ namespace kizzle::dist {
 using Sym = std::uint32_t;
 
 // Exact Levenshtein distance (insert/delete/substitute, unit costs).
+// Scalar row DP; kept as the oracle the bit-parallel paths are tested
+// against.
 std::size_t edit_distance(std::span<const Sym> a, std::span<const Sym> b);
 
 // Threshold-limited distance: returns the exact distance when it is
 // <= limit, and exactly limit + 1 when the true distance exceeds limit.
-// Runs in O(min(|a|,|b|) * limit).
+// Routed through the bit-parallel matcher; falls back to the scalar
+// banded DP for degenerate inputs or oversized alphabets.
 std::size_t edit_distance_bounded(std::span<const Sym> a,
                                   std::span<const Sym> b, std::size_t limit);
+
+// The scalar banded implementation (Ukkonen, O(min(|a|,|b|) * limit)).
+// Same contract as edit_distance_bounded; exposed for tests and as the
+// fallback when BitMatcher::ok() is false.
+std::size_t edit_distance_bounded_reference(std::span<const Sym> a,
+                                            std::span<const Sym> b,
+                                            std::size_t limit);
 
 // Distance normalized by max(|a|, |b|); 0.0 when both are empty.
 double normalized_edit_distance(std::span<const Sym> a,
                                 std::span<const Sym> b);
 
-// True iff normalized_edit_distance(a, b) <= eps, computed with the banded
-// algorithm (cheap for the common reject case).
+// The largest integer distance d such that
+//   double(d) / double(longest) <= eps,
+// clamped to [0, longest]; requires eps >= 0 and longest > 0.
+//
+// This is THE threshold both clustering predicates share. The naive
+// size_t(eps * longest) disagrees with `normalized_edit_distance <= eps`
+// at fractional boundaries: eps * longest can round just below an
+// integer (e.g. 0.3 * 10 == 2.9999999999999996), so flooring it loses a
+// unit that the normalized comparison would admit. Every caller that
+// converts eps into an integer DP limit must go through this helper so
+// within_normalized, TokenDbscan, and the reduce-phase medoid merge all
+// agree with the normalized predicate bit-for-bit.
+std::size_t normalized_limit(double eps, std::size_t longest);
+
+// True iff normalized_edit_distance(a, b) <= eps, computed with the
+// threshold-limited distance (cheap for the common reject case).
 bool within_normalized(std::span<const Sym> a, std::span<const Sym> b,
                        double eps);
 

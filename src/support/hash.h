@@ -17,6 +17,16 @@ std::uint64_t fnv1a64(std::span<const std::uint32_t> symbols);
 // Combines two 64-bit hashes (boost::hash_combine style, 64-bit constant).
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
 
+// splitmix64 finalizer (Steele, Lea, Flood): full-avalanche mix of a
+// 64-bit value. Shared by the winnowing fingerprint hashes and the
+// bit-parallel matcher's symbol table.
+inline std::uint64_t splitmix64_mix(std::uint64_t x) {
+  std::uint64_t z = x + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 // Polynomial rolling hash over a fixed-size window. Supports O(1) slide.
 // Used for k-gram fingerprinting (winnowing) and n-gram search over token
 // streams. The hash of a window w_0..w_{k-1} is

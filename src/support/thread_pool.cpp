@@ -49,6 +49,23 @@ void ThreadPool::parallel_for(std::size_t n,
   wait();
 }
 
+std::size_t ThreadPool::parallel_ranges(
+    std::size_t n, std::size_t max_tasks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return 0;
+  const std::size_t tasks = std::min(n, std::max<std::size_t>(1, max_tasks));
+  const std::size_t base = n / tasks;
+  const std::size_t extra = n % tasks;  // first `extra` ranges get one more
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const std::size_t end = begin + base + (t < extra ? 1 : 0);
+    submit([&fn, t, begin, end] { fn(t, begin, end); });
+    begin = end;
+  }
+  wait();
+  return tasks;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

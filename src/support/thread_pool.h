@@ -37,6 +37,16 @@ class ThreadPool {
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Splits [0, n) into at most max_tasks contiguous ranges and runs
+  // fn(task, begin, end) for each across the pool, waiting for completion.
+  // `task` is a dense index in [0, actual_tasks) so callers can keep
+  // per-task scratch (partial edge lists, stat counters) without locking;
+  // actual_tasks == min(n, max_tasks) is returned. Used by the clustering
+  // neighbor-graph build.
+  std::size_t parallel_ranges(
+      std::size_t n, std::size_t max_tasks,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

@@ -63,13 +63,8 @@ FingerprintSet FingerprintSet::of_text(std::string_view text,
   RollingHash rh(params.k);
   std::vector<std::uint64_t> hashes =
       rh.all(std::span<const std::uint32_t>(bytes));
-  for (auto& h : hashes) {
-    // splitmix64 finalizer as avalanche
-    std::uint64_t z = h + 0x9E3779B97F4A7C15ull;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    h = z ^ (z >> 31);
-  }
+  // splitmix64 finalizer as avalanche so window minima are unbiased.
+  for (auto& h : hashes) h = splitmix64_mix(h);
   return from_selected(winnow_hashes(hashes, params.window));
 }
 
@@ -79,12 +74,7 @@ FingerprintSet FingerprintSet::of_symbols(
   if (symbols.size() < params.k) return FingerprintSet{};
   RollingHash rh(params.k);
   std::vector<std::uint64_t> hashes = rh.all(symbols);
-  for (auto& h : hashes) {
-    std::uint64_t z = h + 0x9E3779B97F4A7C15ull;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    h = z ^ (z >> 31);
-  }
+  for (auto& h : hashes) h = splitmix64_mix(h);
   return from_selected(winnow_hashes(hashes, params.window));
 }
 
@@ -111,6 +101,19 @@ double FingerprintSet::containment(const FingerprintSet& other) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(intersection_size(other)) /
          static_cast<double>(total_);
+}
+
+bool sketch_rules_out(std::size_t inter, std::size_t max_len,
+                      std::size_t limit, const Params& params) {
+  const long long t = static_cast<long long>(params.k + params.window - 1);
+  const long long floor_numerator = static_cast<long long>(max_len) -
+                                    static_cast<long long>(limit) -
+                                    (static_cast<long long>(limit) + 1) *
+                                        (t - 1);
+  if (floor_numerator <= 0) return false;  // bound vacuous for short streams
+  return static_cast<long long>(inter) *
+             static_cast<long long>(params.window) <
+         floor_numerator;
 }
 
 double FingerprintSet::jaccard(const FingerprintSet& other) const {

@@ -58,6 +58,12 @@ class FingerprintSet {
   // Symmetric Jaccard similarity |a ∩ b| / |a ∪ b|; 1.0 when both empty.
   double jaccard(const FingerprintSet& other) const;
 
+  // Multiset intersection size |this ∩ other| (min of per-hash counts).
+  // Used raw by the clustering pre-filter (sketch_rules_out below).
+  std::size_t intersection(const FingerprintSet& other) const {
+    return intersection_size(other);
+  }
+
  private:
   static FingerprintSet from_selected(const std::vector<Selected>& sel);
   std::size_t intersection_size(const FingerprintSet& other) const;
@@ -65,5 +71,24 @@ class FingerprintSet {
   std::vector<std::pair<std::uint64_t, std::uint32_t>> counts_;  // sorted
   std::size_t total_ = 0;
 };
+
+// Edit-distance pruning support (TokenDbscan's sketch tier): true when the
+// fingerprint overlap `inter` between two sequences is provably too small
+// for lev(a, b) <= limit, so the pair can be rejected without running the
+// DP. `max_len` is max(|a|, |b|) in symbols.
+//
+// Derivation. Let t = k + window - 1. An alignment of cost d leaves
+// M >= max_len - d matched positions, split into at most d + 1 maximal
+// runs. A window of `window` consecutive k-grams lying entirely inside a
+// matched run has identical content in both sequences, so it selects the
+// same fingerprint in both (selection is window-local); a run of length l
+// contains l - t + 1 such windows, and one selected position covers at
+// most `window` of them, so the run contributes >= (l - t + 1) / window
+// distinct shared selections — instances present in both multisets.
+// Summing over runs:
+//   inter >= (max_len - d - (d + 1)(t - 1)) / window.
+// If inter falls below that floor evaluated at d = limit, then d > limit.
+bool sketch_rules_out(std::size_t inter, std::size_t max_len,
+                      std::size_t limit, const Params& params);
 
 }  // namespace kizzle::winnow

@@ -5,8 +5,10 @@
 #include "cluster/dbscan.h"
 #include "support/interner.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "text/abstraction.h"
 #include "text/lexer.h"
+#include "winnow/winnow.h"
 
 namespace kizzle::cluster {
 namespace {
@@ -159,6 +161,152 @@ TEST(TokenDbscan, StatsShowPruning) {
   TokenDbscan db(streams, {}, {.eps = 0.10, .min_mass = 2});
   db.run();
   EXPECT_GT(db.stats().pairs_pruned_length, 0u);
+}
+
+// Random family-structured corpus: `families` base streams, each repeated
+// with small random edits (within eps) plus some unrelated noise streams.
+std::vector<std::vector<std::uint32_t>> random_corpus(Rng& rng,
+                                                      std::size_t families,
+                                                      std::size_t reps,
+                                                      std::size_t noise) {
+  std::vector<std::vector<std::uint32_t>> streams;
+  for (std::size_t f = 0; f < families; ++f) {
+    const std::size_t len = 60 + rng.index(240);
+    std::vector<std::uint32_t> base(len);
+    for (auto& x : base) x = static_cast<std::uint32_t>(rng.index(50));
+    for (std::size_t r = 0; r < reps; ++r) {
+      auto s = base;
+      const std::size_t edits = rng.index(1 + len / 25);
+      for (std::size_t e = 0; e < edits; ++e) {
+        s[rng.index(s.size())] = static_cast<std::uint32_t>(50 + rng.index(9));
+      }
+      streams.push_back(std::move(s));
+    }
+  }
+  for (std::size_t x = 0; x < noise; ++x) {
+    std::vector<std::uint32_t> s(40 + rng.index(300));
+    for (auto& v : s) v = static_cast<std::uint32_t>(rng.index(50));
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+// The oracle: the neighbor-graph TokenDbscan must produce *identical*
+// labels (not just the same partition) to generic DBSCAN over the exact
+// normalized edit distance, serial and parallel alike — the graph depends
+// only on the distance predicate, never on execution order.
+class GraphOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphOracle, IdenticalLabelsToExactDbscan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 17);
+  const auto streams = random_corpus(rng, 4, 5, 6);
+  std::vector<std::size_t> weights;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    weights.push_back(1 + rng.index(4));
+  }
+  const DbscanParams params{.eps = 0.10, .min_mass = 3};
+  const auto exact = dbscan(
+      streams.size(),
+      [&](std::size_t i, std::size_t j) {
+        return dist::normalized_edit_distance(streams[i], streams[j]);
+      },
+      weights, params);
+
+  TokenDbscan serial(streams, weights, params);
+  EXPECT_EQ(serial.run().label, exact.label);
+
+  ThreadPool pool(4);
+  TokenDbscan parallel(streams, weights, params, &pool);
+  EXPECT_EQ(parallel.run().label, exact.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphOracle, ::testing::Range(0, 8));
+
+TEST(TokenDbscan, EachUnorderedPairDpAtMostOnce) {
+  Rng rng(31337);
+  const auto streams = random_corpus(rng, 3, 6, 4);
+  const std::size_t n = streams.size();
+  TokenDbscan db(streams, {}, {.eps = 0.10, .min_mass = 3});
+  db.run();
+  const auto& st = db.stats();
+  const std::size_t all_pairs = n * (n - 1) / 2;
+  // Every unordered pair is accounted for exactly once, and the DP runs
+  // at most once per pair (the seed paid for both orientations and then
+  // re-paid on every region query).
+  EXPECT_EQ(st.pairs_considered, all_pairs);
+  EXPECT_LE(st.dp_computations, all_pairs);
+  EXPECT_LE(st.pairs_pruned_length + st.pairs_pruned_histogram +
+                st.pairs_pruned_sketch + st.dp_computations,
+            all_pairs);
+  EXPECT_GE(st.graph_seconds, 0.0);
+}
+
+TEST(TokenDbscan, SketchTierNeverChangesTheAnswer) {
+  // Streams with identical histograms but shuffled order: the histogram
+  // bound is blind to them, the sketch tier is not. The labels must still
+  // match the exact oracle.
+  Rng rng(77);
+  std::vector<std::vector<std::uint32_t>> streams;
+  // Long enough that the DP-work gate keeps the sketch tier engaged.
+  std::vector<std::uint32_t> base(600);
+  for (auto& x : base) x = static_cast<std::uint32_t>(rng.index(30));
+  for (int r = 0; r < 4; ++r) streams.push_back(base);
+  for (int s = 0; s < 4; ++s) {
+    auto shuffled = base;
+    rng.shuffle(shuffled);
+    streams.push_back(std::move(shuffled));
+  }
+  const DbscanParams params{.eps = 0.10, .min_mass = 3};
+  TokenDbscan db(streams, {}, params);
+  const auto fast = db.run();
+  const auto exact = dbscan(
+      streams.size(),
+      [&](std::size_t i, std::size_t j) {
+        return dist::normalized_edit_distance(streams[i], streams[j]);
+      },
+      {}, params);
+  EXPECT_EQ(fast.label, exact.label);
+  EXPECT_GT(db.stats().pairs_pruned_sketch, 0u);
+}
+
+TEST(SketchBound, NeverContradictsTrueDistance) {
+  // Property behind the sketch tier: whenever sketch_rules_out fires for
+  // some limit, the true edit distance must exceed that limit.
+  Rng rng(4242);
+  const winnow::Params params{.k = 4, .window = 4};
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t len = 20 + rng.index(260);
+    std::vector<std::uint32_t> a(len);
+    for (auto& x : a) x = static_cast<std::uint32_t>(rng.index(25));
+    auto b = a;
+    const std::size_t edits = rng.index(1 + len / 4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.index(b.size());
+      switch (rng.index(3)) {
+        case 0:
+          b[pos] = static_cast<std::uint32_t>(25 + rng.index(8));
+          break;
+        case 1:
+          b.erase(b.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;
+        default:
+          b.insert(b.begin() + static_cast<std::ptrdiff_t>(pos),
+                   static_cast<std::uint32_t>(25 + rng.index(8)));
+          break;
+      }
+      if (b.empty()) break;
+    }
+    const auto sa = winnow::FingerprintSet::of_symbols(a, params);
+    const auto sb = winnow::FingerprintSet::of_symbols(b, params);
+    const std::size_t inter = sa.intersection(sb);
+    const std::size_t longest = std::max(a.size(), b.size());
+    const std::size_t d = dist::edit_distance(a, b);
+    for (std::size_t limit = 0; limit <= longest / 3; ++limit) {
+      if (winnow::sketch_rules_out(inter, longest, limit, params)) {
+        EXPECT_GT(d, limit) << "len=" << len << " edits=" << edits;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "distance/bitparallel.h"
 #include "distance/edit_distance.h"
 #include "support/rng.h"
 
@@ -142,6 +143,136 @@ TEST_P(BandedSweep, AgreesWithExactOrClamps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BandedSweep, ::testing::Range(0, 25));
+
+// ----------------------- bit-parallel distance -----------------------
+
+// The bit-parallel bounded distance must agree with the scalar reference
+// DP on random symbol streams, across word-boundary lengths, alphabets
+// larger than 64 distinct symbols, and limits pinned to the edges
+// (d - 1, d, d + 1) where the clamp kicks in.
+class BitParallelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitParallelProperty, MatchesReferenceDp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 11);
+  const std::uint32_t alphabets[] = {2, 5, 64, 100, 500};
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint32_t alphabet = alphabets[rng.index(5)];
+    // Lengths straddle the 64-symbol word boundary and the blocked path.
+    std::vector<Sym> a(rng.index(200));
+    std::vector<Sym> b(rng.index(200));
+    for (auto& x : a) x = static_cast<Sym>(rng.index(alphabet));
+    for (auto& x : b) x = static_cast<Sym>(rng.index(alphabet));
+    const std::size_t exact = edit_distance(a, b);
+    std::vector<std::size_t> limits = {0, exact / 2, exact, exact + 1,
+                                       exact + 17, 1 + rng.index(64)};
+    if (exact > 0) limits.push_back(exact - 1);
+    for (const std::size_t limit : limits) {
+      const std::size_t want = (exact <= limit) ? exact : limit + 1;
+      EXPECT_EQ(edit_distance_bounded(a, b, limit), want)
+          << "|a|=" << a.size() << " |b|=" << b.size() << " limit=" << limit;
+      EXPECT_EQ(edit_distance_bounded_reference(a, b, limit), want);
+      BitMatcher matcher(a);
+      ASSERT_TRUE(matcher.ok());
+      EXPECT_EQ(matcher.bounded(b, limit), want)
+          << "|a|=" << a.size() << " |b|=" << b.size() << " limit=" << limit;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitParallelProperty, ::testing::Range(0, 30));
+
+TEST(BitParallel, MultiWordKnownValues) {
+  // 3-word pattern with a known number of substitutions.
+  std::vector<Sym> a(150);
+  std::iota(a.begin(), a.end(), 0);
+  std::vector<Sym> b = a;
+  b[0] = 999;
+  b[70] = 998;
+  b[149] = 997;
+  BitMatcher matcher(a);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_EQ(matcher.bounded(b, 150), 3u);
+  EXPECT_EQ(matcher.bounded(b, 3), 3u);
+  EXPECT_EQ(matcher.bounded(b, 2), 3u);  // clamp at limit + 1
+  EXPECT_EQ(matcher.bounded(a, 0), 0u);
+}
+
+TEST(BitParallel, AlphabetOverflowFallsBack) {
+  // More distinct symbols than BitMatcher::kMaxAlphabet: the matcher
+  // refuses and the router must still produce the reference answer.
+  const std::size_t n = BitMatcher::kMaxAlphabet + 200;
+  std::vector<Sym> a(n);
+  std::iota(a.begin(), a.end(), 0);
+  std::vector<Sym> b = a;
+  b[5] = 1u << 30;
+  b[n - 5] = (1u << 30) + 1;
+  EXPECT_FALSE(BitMatcher(a).ok());
+  EXPECT_EQ(edit_distance_bounded(a, b, 10), 2u);
+  EXPECT_EQ(edit_distance_bounded(a, b, 1), 2u);
+}
+
+TEST(BitParallel, EmptyAndDegenerate) {
+  const std::vector<Sym> empty;
+  const std::vector<Sym> one = {42};
+  EXPECT_EQ(edit_distance_bounded(empty, empty, 0), 0u);
+  EXPECT_EQ(edit_distance_bounded(empty, one, 1), 1u);
+  EXPECT_EQ(edit_distance_bounded(empty, one, 0), 1u);
+  BitMatcher m(one);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.bounded(empty, 1), 1u);
+  EXPECT_EQ(m.bounded(one, 0), 0u);
+}
+
+// -------------------- normalized-threshold alignment --------------------
+
+TEST(NormalizedLimit, FractionalBoundaryRegression) {
+  // 0.3 * 10 == 2.9999999999999996 in binary floating point: the seed's
+  // size_t(eps * longest) floored it to 2 and rejected distance-3 pairs
+  // that normalized_edit_distance(a, b) <= eps admits.
+  EXPECT_EQ(normalized_limit(0.3, 10), 3u);
+  std::vector<Sym> a(10);
+  std::iota(a.begin(), a.end(), 0);
+  std::vector<Sym> b = a;
+  b[1] = 91;
+  b[4] = 92;
+  b[7] = 93;  // distance exactly 3, normalized 0.3
+  ASSERT_EQ(edit_distance(a, b), 3u);
+  EXPECT_LE(normalized_edit_distance(a, b), 0.3);
+  EXPECT_TRUE(within_normalized(a, b, 0.3));
+}
+
+TEST(NormalizedLimit, AgreesWithNormalizedPredicate) {
+  // Property: within_normalized must equal the normalized comparison for
+  // random streams and eps values, including awkward fractions.
+  Rng rng(2024);
+  const double eps_values[] = {0.0, 0.05, 0.1, 0.15, 0.3, 0.7, 1.0, 1.5};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Sym> a(rng.index(40));
+    std::vector<Sym> b(rng.index(40));
+    for (auto& x : a) x = static_cast<Sym>(rng.index(6));
+    for (auto& x : b) x = static_cast<Sym>(rng.index(6));
+    const double eps = eps_values[rng.index(8)];
+    EXPECT_EQ(within_normalized(a, b, eps),
+              normalized_edit_distance(a, b) <= eps)
+        << "|a|=" << a.size() << " |b|=" << b.size() << " eps=" << eps;
+  }
+}
+
+TEST(NormalizedLimit, DefinitionHolds) {
+  // normalized_limit(eps, L) is the largest d with double(d)/L <= eps.
+  Rng rng(9);
+  const double eps_values[] = {0.0, 0.03, 0.1, 0.25, 0.3, 0.9999, 1.0};
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t longest = 1 + rng.index(5000);
+    const double eps = eps_values[rng.index(7)];
+    const std::size_t d = normalized_limit(eps, longest);
+    EXPECT_LE(static_cast<double>(d) / static_cast<double>(longest), eps);
+    if (d < longest) {
+      EXPECT_GT(static_cast<double>(d + 1) / static_cast<double>(longest),
+                eps);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace kizzle::dist

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/partitioned.h"
 #include "support/interner.h"
+#include "support/thread_pool.h"
 #include "text/abstraction.h"
 #include "text/lexer.h"
 
@@ -105,6 +108,64 @@ TEST(Partitioned, StatsArePopulated) {
   EXPECT_GT(stats.map.pairs_considered, 0u);
   EXPECT_GE(stats.clusters_before_merge, stats.clusters_after_merge);
   EXPECT_GE(stats.map_seconds, 0.0);
+}
+
+TEST(Partitioned, DeterministicAcrossThreadCounts) {
+  // The parallel reduce collects merge edges with pure distance
+  // predicates, so thread count must not change the result.
+  Interner in;
+  const auto streams = make_families(6, 10, in);
+  auto run_with = [&](std::size_t threads) {
+    PartitionedParams params;
+    params.partitions = 5;
+    params.threads = threads;
+    params.dbscan = {.eps = 0.10, .min_mass = 3};
+    PartitionedClusterer clusterer(params);
+    kizzle::Rng rng(42);  // same partitioning every run
+    auto result = clusterer.run(streams, {}, rng);
+    for (auto& c : result.clusters) std::sort(c.begin(), c.end());
+    std::sort(result.clusters.begin(), result.clusters.end());
+    std::sort(result.noise.begin(), result.noise.end());
+    return result;
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  EXPECT_EQ(serial.clusters, parallel.clusters);
+  EXPECT_EQ(serial.noise, parallel.noise);
+}
+
+TEST(Partitioned, ExternalPoolIsUsed) {
+  Interner in;
+  const auto streams = make_families(3, 6, in);
+  kizzle::ThreadPool pool(2);
+  PartitionedParams params;
+  params.partitions = 3;
+  params.dbscan = {.eps = 0.10, .min_mass = 3};
+  params.pool = &pool;
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(7);
+  const auto result = clusterer.run(streams, {}, rng);
+  std::size_t covered = 0;
+  for (const auto& c : result.clusters) covered += c.size();
+  EXPECT_EQ(covered + result.noise.size(), streams.size());
+}
+
+TEST(Partitioned, StatsCountEachPairOnce) {
+  Interner in;
+  const auto streams = make_families(4, 8, in);
+  PartitionedParams params;
+  params.partitions = 2;
+  params.dbscan = {.eps = 0.10, .min_mass = 3};
+  PartitionedClusterer clusterer(params);
+  kizzle::Rng rng(11);
+  clusterer.run(streams, {}, rng);
+  const auto& st = clusterer.stats();
+  // Map pairs are unordered and counted once: with n points split into
+  // partitions of n_p each, pairs_considered == sum C(n_p, 2) < C(n, 2).
+  const std::size_t n = streams.size();
+  EXPECT_LE(st.map.pairs_considered, n * (n - 1) / 2);
+  EXPECT_LE(st.map.dp_computations, st.map.pairs_considered);
+  EXPECT_GE(st.map.graph_seconds, 0.0);
 }
 
 TEST(Partitioned, MorePartitionsThanPoints) {

@@ -133,5 +133,40 @@ TEST_P(WinnowDrift, SmallEditsKeepHighOverlap) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WinnowDrift, ::testing::Range(0, 15));
 
+TEST(Intersection, MultisetSemantics) {
+  const Params p{.k = 2, .window = 1};  // window 1: every k-gram selected
+  const std::vector<std::uint32_t> a = {1, 2, 1, 2, 1};  // 12, 21, 12, 21
+  const std::vector<std::uint32_t> b = {1, 2, 1, 9, 9};  // 12, 21, 19, 99
+  const auto sa = FingerprintSet::of_symbols(a, p);
+  const auto sb = FingerprintSet::of_symbols(b, p);
+  // Shared: one "12" + one "21" (min of per-hash multiplicities).
+  EXPECT_EQ(sa.intersection(sb), 2u);
+  EXPECT_EQ(sa.intersection(sa), sa.size());
+  EXPECT_EQ(FingerprintSet{}.intersection(sa), 0u);
+}
+
+TEST(SketchRulesOut, IdenticalSequencesNeverRuledOut) {
+  // inter == own sketch size can never rule out distance 0.
+  Rng rng(5);
+  const Params p{.k = 4, .window = 4};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> s(7 + rng.index(400));
+    for (auto& x : s) x = static_cast<std::uint32_t>(rng.index(20));
+    const auto fp = FingerprintSet::of_symbols(s, p);
+    EXPECT_FALSE(sketch_rules_out(fp.intersection(fp), s.size(), 0, p))
+        << "len=" << s.size();
+  }
+}
+
+TEST(SketchRulesOut, VacuousForShortStreams) {
+  // Below max_len <= limit + (limit+1)(t-1) the floor is non-positive and
+  // the tier must pass everything through to the DP.
+  const Params p{.k = 4, .window = 4};
+  EXPECT_FALSE(sketch_rules_out(0, 20, 2, p));
+  EXPECT_FALSE(sketch_rules_out(0, 6, 0, p));
+  // Long stream with zero overlap at a small limit: ruled out.
+  EXPECT_TRUE(sketch_rules_out(0, 300, 10, p));
+}
+
 }  // namespace
 }  // namespace kizzle::winnow
