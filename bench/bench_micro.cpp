@@ -4,8 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <sstream>
 
 #include "cluster/dbscan.h"
+#include "core/deploy.h"
+#include "core/sigdb.h"
 #include "distance/edit_distance.h"
 #include "kitgen/families.h"
 #include "kitgen/packers.h"
@@ -412,6 +415,131 @@ void BM_ScanBatchParallel(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
 }
 BENCHMARK(BM_ScanBatchParallel)->Arg(1)->Arg(4)->Arg(0);
+
+// --------------------------- streaming scan ---------------------------
+
+// The deployment channels' chunked path (BrowserGate network arrival,
+// DesktopScanner block reads): the prefilter automaton streams over fixed
+// size chunks with carried state, then only candidates run the VM.
+// BM_StreamingScan/<chunk> vs BM_StreamingScanOneShot is the cost of the
+// chunked cursor relative to one contiguous candidates() pass over the
+// same 100-signature bundle.
+std::vector<core::DeployedSignature> streaming_signatures(std::size_t count) {
+  Rng rng(15);
+  std::vector<std::string> donors;
+  // Normalized donors: deployed signatures are compiled from (and scan)
+  // normalized text, and the sigdb text format forbids tabs/newlines.
+  for (int d = 0; d < 8; ++d) {
+    donors.push_back(text::normalize_raw(packed_nuclear_sample(40 + d)));
+  }
+  std::vector<core::DeployedSignature> sigs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& donor = donors[i % donors.size()];
+    const std::string chunk =
+        donor.substr(rng.index(donor.size() - 48), 40) + "#" +
+        std::to_string(i);
+    core::DeployedSignature s;
+    s.name = "sig" + std::to_string(i);
+    s.family = "bench";
+    s.pattern = match::Pattern::escape(chunk) + "[0-9a-zA-Z]{0,8}";
+    sigs.push_back(std::move(s));
+  }
+  return sigs;
+}
+
+void BM_StreamingScan(benchmark::State& state) {
+  const auto bundle =
+      std::make_unique<core::SignatureBundle>(streaming_signatures(100));
+  const std::string text = text::normalize_raw(packed_nuclear_sample(1));
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto stream = bundle->begin_stream();
+    for (std::size_t at = 0; at < text.size(); at += chunk) {
+      stream.feed(std::string_view(text).substr(at, chunk));
+    }
+    benchmark::DoNotOptimize(stream.finish());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StreamingScan)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_StreamingScanOneShot(benchmark::State& state) {
+  const auto bundle =
+      std::make_unique<core::SignatureBundle>(streaming_signatures(100));
+  const std::string text = text::normalize_raw(packed_nuclear_sample(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle->match(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_StreamingScanOneShot);
+
+// Deployment-process cold start: rebuild the bundle (pattern compile +
+// automaton construction) vs load the release-time `.kpf` artifact.
+void BM_BundleColdStartBuild(benchmark::State& state) {
+  const auto sigs = streaming_signatures(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::make_unique<core::SignatureBundle>(sigs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BundleColdStartBuild)->Arg(100)->Arg(1000);
+
+void BM_BundleColdStartLoad(benchmark::State& state) {
+  const auto sigs = streaming_signatures(static_cast<std::size_t>(state.range(0)));
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_artifact(blob, sigs);
+  const std::string artifact = blob.str();
+  for (auto _ : state) {
+    std::istringstream is(artifact);
+    benchmark::DoNotOptimize(std::make_unique<core::SignatureBundle>(is));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BundleColdStartLoad)->Arg(100)->Arg(1000);
+
+// The automaton in isolation (full bundle cold start is dominated by
+// pattern compilation, which the artifact deliberately does not ship):
+// Aho–Corasick trie + BFS construction vs flat table load.
+void BM_PrefilterBuild(benchmark::State& state) {
+  const auto sigs = streaming_signatures(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::string> literals;
+  for (const auto& s : sigs) {
+    literals.push_back(match::Pattern::compile(s.pattern).required_literal());
+  }
+  for (auto _ : state) {
+    match::LiteralPrefilter pf;
+    for (std::size_t i = 0; i < literals.size(); ++i) pf.add(i, literals[i]);
+    pf.build();
+    benchmark::DoNotOptimize(pf);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PrefilterBuild)->Arg(100)->Arg(1000);
+
+void BM_PrefilterLoad(benchmark::State& state) {
+  const auto sigs = streaming_signatures(static_cast<std::size_t>(state.range(0)));
+  match::LiteralPrefilter pf;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    pf.add(i, match::Pattern::compile(sigs[i].pattern).required_literal());
+  }
+  pf.build();
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  pf.serialize(blob);
+  const std::string artifact = blob.str();
+  for (auto _ : state) {
+    std::istringstream is(artifact);
+    benchmark::DoNotOptimize(match::LiteralPrefilter::load(is));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PrefilterLoad)->Arg(100)->Arg(1000);
 
 // -------------------------- common window --------------------------
 

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Runs the clustering benches and emits BENCH_cluster.json in
-# google-benchmark's JSON format (per-bench real/cpu time plus the
-# DbscanStats counters: dp, pruned_length/histogram/sketch, graph_seconds).
+# Runs the clustering and streaming-scan benches, emitting google-benchmark
+# JSON:
+#   BENCH_cluster.json  per-bench real/cpu time plus the DbscanStats
+#                       counters (dp, pruned_length/histogram/sketch,
+#                       graph_seconds)
+#   BENCH_stream.json   the chunked deployment-channel scan
+#                       (BM_StreamingScan/<chunk> vs BM_StreamingScanOneShot)
+#                       and release-artifact load vs per-process automaton
+#                       rebuild (BM_BundleColdStartLoad vs
+#                       BM_BundleColdStartBuild)
 #
-# Usage: bench/run_bench.sh [build-dir] [out.json]
+# Usage: bench/run_bench.sh [build-dir] [cluster-out.json] [stream-out.json]
 #
-# The headline comparison is BM_ClusterPairwise vs BM_ClusterPairwiseScalar
-# items_per_second (unordered pairs resolved per second): the neighbor-graph
-# + bit-parallel stack vs the seed's region-query sweep.
+# The headline comparisons: BM_ClusterPairwise vs BM_ClusterPairwiseScalar
+# items_per_second (unordered pairs resolved per second), and
+# BM_StreamingScan bytes_per_second against the one-shot pass.
 set -euo pipefail
 
 BUILD="${1:-build}"
 OUT="${2:-BENCH_cluster.json}"
+STREAM_OUT="${3:-BENCH_stream.json}"
 
 if [[ ! -x "$BUILD/bench_micro" ]]; then
   echo "error: $BUILD/bench_micro not found or not executable." >&2
@@ -24,3 +32,9 @@ fi
   --benchmark_out="$OUT" --benchmark_out_format=json
 
 echo "wrote $OUT"
+
+"$BUILD/bench_micro" \
+  --benchmark_filter='BM_StreamingScan|BM_BundleColdStart|BM_PrefilterBuild|BM_PrefilterLoad' \
+  --benchmark_out="$STREAM_OUT" --benchmark_out_format=json
+
+echo "wrote $STREAM_OUT"

@@ -1,8 +1,10 @@
 #include "core/deploy.h"
 
+#include <istream>
 #include <optional>
 #include <stdexcept>
 
+#include "core/sigdb.h"
 #include "support/hash.h"
 #include "support/thread_pool.h"
 #include "text/html.h"
@@ -21,6 +23,20 @@ SignatureBundle::SignatureBundle(
   prefilter_.build();
 }
 
+SignatureBundle::SignatureBundle(std::istream& artifact) {
+  // No trial compilation inside the loader: every pattern is compiled for
+  // real right below (and a bad one still throws).
+  BundleArtifact loaded = load_artifact(artifact, /*validate_patterns=*/false);
+  infos_ = std::move(loaded.signatures);
+  compiled_.reserve(infos_.size());
+  for (const DeployedSignature& s : infos_) {
+    compiled_.push_back(match::Pattern::compile(s.pattern));
+  }
+  // The release-time automaton, exactly as built by `kizzle pack` /
+  // KizzlePipeline::export_artifact — no per-process rebuild.
+  prefilter_ = std::move(loaded.prefilter);
+}
+
 std::optional<std::size_t> SignatureBundle::match(
     std::string_view normalized) const {
   // Candidates come back in ascending index order, so the first confirmed
@@ -29,10 +45,31 @@ std::optional<std::size_t> SignatureBundle::match(
   // CdnFilter batch fan-out.
   thread_local std::vector<std::size_t> candidates;
   prefilter_.candidates_into(normalized, candidates);
+  return match_among(candidates, normalized);
+}
+
+std::optional<std::size_t> SignatureBundle::match_among(
+    std::span<const std::size_t> candidates,
+    std::string_view normalized) const {
   for (const std::size_t i : candidates) {
+    if (i >= compiled_.size()) {
+      throw std::out_of_range("SignatureBundle::match_among: bad candidate");
+    }
     if (compiled_[i].search(normalized).matched) return i;
   }
   return std::nullopt;
+}
+
+SignatureBundle::StreamMatch::StreamMatch(const SignatureBundle* bundle)
+    : bundle_(bundle), matcher_(bundle->prefilter_) {}
+
+void SignatureBundle::StreamMatch::feed(std::string_view normalized_chunk) {
+  matcher_.feed(normalized_chunk);
+  normalized_ += normalized_chunk;
+}
+
+std::optional<std::size_t> SignatureBundle::StreamMatch::finish() const {
+  return bundle_->match_among(matcher_.finish(), normalized_);
 }
 
 const DeployedSignature& SignatureBundle::info(std::size_t index) const {
@@ -44,10 +81,10 @@ const DeployedSignature& SignatureBundle::info(std::size_t index) const {
 
 namespace {
 
-Verdict verdict_of(const SignatureBundle& bundle,
-                   std::string_view normalized) {
+Verdict verdict_from(const SignatureBundle& bundle,
+                     std::optional<std::size_t> hit) {
   Verdict v;
-  if (const auto hit = bundle.match(normalized)) {
+  if (hit) {
     v.malicious = true;
     v.signature = bundle.info(*hit).name;
     v.family = bundle.info(*hit).family;
@@ -55,38 +92,155 @@ Verdict verdict_of(const SignatureBundle& bundle,
   return v;
 }
 
+Verdict verdict_of(const SignatureBundle& bundle,
+                   std::string_view normalized) {
+  return verdict_from(bundle, bundle.match(normalized));
+}
+
+// Second, algorithm-independent content fingerprint for the BrowserGate
+// cache: a 64-bit polynomial hash (different base and basis than fnv1a64)
+// folded with the length and finalized with splitmix64. Two scripts that
+// collide on the primary key are vanishingly unlikely to also collide
+// here AND share a length.
+std::uint64_t second_fingerprint(std::string_view s) {
+  std::uint64_t h = 0x9AE16A3B2F90404Full;
+  for (const unsigned char c : s) {
+    h = h * 0x9DDFEA08EB382D69ull + c;
+  }
+  return splitmix64_mix(h ^ static_cast<std::uint64_t>(s.size()));
+}
+
 }  // namespace
 
 // ------------------------------- browser -------------------------------
 
 BrowserGate::BrowserGate(const SignatureBundle* bundle,
-                         std::size_t cache_capacity)
-    : bundle_(bundle), capacity_(cache_capacity) {
+                         std::size_t cache_capacity, HashFn hash)
+    : bundle_(bundle),
+      capacity_(cache_capacity),
+      hash_(hash != nullptr ? hash
+                            : static_cast<HashFn>(
+                                  [](std::string_view s) { return fnv1a64(s); })) {
   if (bundle_ == nullptr) {
     throw std::invalid_argument("BrowserGate: null bundle");
   }
   if (capacity_ == 0) capacity_ = 1;
 }
 
-Verdict BrowserGate::check_script(std::string_view script_source) {
-  const std::uint64_t key = fnv1a64(script_source);
-  if (auto it = cache_.find(key); it != cache_.end()) {
-    ++cache_hits_;
-    // Refresh LRU position.
+std::optional<Verdict> BrowserGate::cache_lookup(std::uint64_t key,
+                                                 std::size_t length,
+                                                 std::uint64_t fp2) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++cache_misses_;
+    return std::nullopt;
+  }
+  if (it->second.length != length || it->second.fingerprint2 != fp2) {
+    // Primary-hash collision between distinct scripts: the cached verdict
+    // belongs to someone else's content. Fall through to a real scan.
+    ++cache_collisions_;
+    ++cache_misses_;
+    return std::nullopt;
+  }
+  ++cache_hits_;
+  lru_.erase(it->second.position);
+  lru_.push_front(key);
+  it->second.position = lru_.begin();
+  return it->second.verdict;
+}
+
+void BrowserGate::cache_store(std::uint64_t key, std::size_t length,
+                              std::uint64_t fp2, const Verdict& verdict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    // Either a concurrent miss on the same script or a collision victim:
+    // latest scan wins the slot.
+    it->second.verdict = verdict;
+    it->second.length = length;
+    it->second.fingerprint2 = fp2;
     lru_.erase(it->second.position);
     lru_.push_front(key);
     it->second.position = lru_.begin();
-    return it->second.verdict;
+    return;
   }
-  ++cache_misses_;
-  const Verdict v = verdict_of(*bundle_, text::normalize_js(script_source));
   lru_.push_front(key);
-  cache_.emplace(key, Entry{v, lru_.begin()});
+  cache_.emplace(key, Entry{verdict, length, fp2, lru_.begin()});
   if (cache_.size() > capacity_) {
     cache_.erase(lru_.back());
     lru_.pop_back();
   }
+}
+
+Verdict BrowserGate::check_script(std::string_view script_source) {
+  const std::uint64_t key = hash_(script_source);
+  const std::uint64_t fp2 = second_fingerprint(script_source);
+  if (const auto cached = cache_lookup(key, script_source.size(), fp2)) {
+    return *cached;
+  }
+  // Scan outside the lock: memoization must not serialize the scans.
+  const Verdict v = verdict_of(*bundle_, text::normalize_js(script_source));
+  cache_store(key, script_source.size(), fp2, v);
   return v;
+}
+
+BrowserGate::ScriptStream::ScriptStream(BrowserGate* gate)
+    : gate_(gate), matcher_(gate->bundle_->prefilter()) {}
+
+void BrowserGate::ScriptStream::feed(std::string_view chunk) {
+  raw_ += chunk;
+  // Raw normalization is per-byte, so it streams chunk by chunk; the
+  // automaton state carries across the boundary inside the matcher.
+  const std::string piece = text::normalize_raw(chunk);
+  matcher_.feed(piece);
+  raw_normalized_ += piece;
+}
+
+Verdict BrowserGate::ScriptStream::finish() {
+  if (done_) {
+    throw std::logic_error("BrowserGate::ScriptStream: finish() called twice");
+  }
+  done_ = true;
+  return gate_->finish_stream(*this);
+}
+
+Verdict BrowserGate::finish_stream(ScriptStream& stream) {
+  const std::uint64_t key = hash_(stream.raw_);
+  const std::uint64_t fp2 = second_fingerprint(stream.raw_);
+  if (const auto cached = cache_lookup(key, stream.raw_.size(), fp2)) {
+    return *cached;
+  }
+  Verdict v;
+  const std::string normalized = text::normalize_js(stream.raw_);
+  if (normalized == stream.raw_normalized_) {
+    // Comment-free script (the overwhelmingly common case): token-level
+    // normalization equals the raw normalization the matcher already
+    // streamed over, so the prefilter pass is done — only the candidates
+    // still need VM confirmation.
+    v = verdict_from(*bundle_, bundle_->match_among(stream.matcher_.finish(),
+                                                    normalized));
+  } else {
+    // Comments (or lexer divergence) changed the scan text: rerun the
+    // one-shot path on the token-normalized form check_script would use.
+    v = verdict_of(*bundle_, normalized);
+  }
+  cache_store(key, stream.raw_.size(), fp2, v);
+  return v;
+}
+
+std::uint64_t BrowserGate::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+std::uint64_t BrowserGate::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_misses_;
+}
+
+std::uint64_t BrowserGate::cache_collisions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_collisions_;
 }
 
 // ------------------------------- desktop -------------------------------
@@ -104,6 +258,31 @@ Verdict DesktopScanner::scan_file(std::string_view content) const {
   // guarantees raw-normalized script content is matchable (see
   // text/normalize.h).
   return verdict_of(*bundle_, text::normalize_raw(content));
+}
+
+DesktopScanner::FileStream::FileStream(const DesktopScanner* scanner)
+    : scanner_(scanner), stream_(scanner->bundle_->begin_stream()) {}
+
+void DesktopScanner::FileStream::feed(std::string_view raw_chunk) {
+  stream_.feed(text::normalize_raw(raw_chunk));
+}
+
+Verdict DesktopScanner::FileStream::finish() const {
+  return verdict_from(*scanner_->bundle_, stream_.finish());
+}
+
+Verdict DesktopScanner::scan_stream(std::istream& in,
+                                    std::size_t chunk_size) const {
+  if (chunk_size == 0) chunk_size = 1;
+  FileStream stream = begin_file();
+  std::string buf(chunk_size, '\0');
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    stream.feed(std::string_view(buf.data(), static_cast<std::size_t>(got)));
+  }
+  return stream.finish();
 }
 
 // --------------------------------- CDN ---------------------------------

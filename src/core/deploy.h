@@ -12,16 +12,30 @@
 //   BrowserGate   per-script admission at execution time. Pages re-serve
 //                 the same scripts constantly, so verdicts are memoized on
 //                 a content-hash LRU — the common case must cost a hash
-//                 lookup, not a scan.
+//                 lookup, not a scan. Scripts that arrive from the network
+//                 in pieces go through begin_script()/feed()/finish(): the
+//                 literal prefilter streams over the chunks as they land,
+//                 so by end of transfer only candidate confirmation is
+//                 left.
 //   DesktopScanner  scans whole files written to disk (browser caches);
 //                 file content is arbitrary, so raw normalization is used.
+//                 Large files stream through begin_file()/scan_stream() in
+//                 fixed-size chunks — the raw bytes are never fully
+//                 resident, only the (whitespace-stripped) normalized
+//                 text.
 //   CdnFilter     batch admission: partitions a candidate set into
 //                 hostable / rejected, with per-signature hit counts for
 //                 the administrator. Candidates are scanned in parallel
 //                 across a thread pool; the report stays deterministic.
+//
+// The bundle's Aho–Corasick prefilter is a release artifact: built once at
+// signature-release time, shipped as a `.kpf` file (core/sigdb.h), and
+// loaded by every deployment process via SignatureBundle's istream
+// constructor instead of being rebuilt per process.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -52,8 +66,40 @@ class SignatureBundle {
  public:
   explicit SignatureBundle(const std::vector<DeployedSignature>& signatures);
 
+  // Loads a `.kpf` bundle artifact (core/sigdb.h): the signature set plus
+  // the release-time prebuilt prefilter, skipping the per-process
+  // automaton rebuild. Throws std::runtime_error on malformed input.
+  explicit SignatureBundle(std::istream& artifact);
+
   // Index of the first matching signature, or nullopt.
   std::optional<std::size_t> match(std::string_view normalized) const;
+
+  // Confirms an ascending candidate list (as produced by the prefilter or
+  // a StreamingMatcher over it) against `normalized`, first match wins.
+  std::optional<std::size_t> match_among(
+      std::span<const std::size_t> candidates,
+      std::string_view normalized) const;
+
+  // Resumable scan over normalized text that arrives in chunks: feed()
+  // streams the prefilter over each piece while the (much smaller)
+  // normalized text accumulates for confirmation; finish() confirms only
+  // the candidates. Result is identical to match() on the concatenation.
+  class StreamMatch {
+   public:
+    void feed(std::string_view normalized_chunk);
+    std::optional<std::size_t> finish() const;
+    const std::string& normalized() const { return normalized_; }
+
+   private:
+    friend class SignatureBundle;
+    explicit StreamMatch(const SignatureBundle* bundle);
+    const SignatureBundle* bundle_;
+    match::StreamingMatcher matcher_;
+    std::string normalized_;
+  };
+  StreamMatch begin_stream() const { return StreamMatch(this); }
+
+  const match::LiteralPrefilter& prefilter() const { return prefilter_; }
 
   const DeployedSignature& info(std::size_t index) const;
   std::size_t size() const { return infos_.size(); }
@@ -74,27 +120,76 @@ struct Verdict {
 
 class BrowserGate {
  public:
-  BrowserGate(const SignatureBundle* bundle, std::size_t cache_capacity = 512);
+  // Testing seam: the primary cache key function. Production uses
+  // fnv1a64; tests inject deliberately weak hashes to force collisions.
+  using HashFn = std::uint64_t (*)(std::string_view);
+
+  BrowserGate(const SignatureBundle* bundle, std::size_t cache_capacity = 512,
+              HashFn hash = nullptr);
 
   // Admission check for one inline script about to execute. Verdicts are
-  // memoized by content hash (LRU).
+  // memoized by content hash (LRU); a cache entry additionally records the
+  // script length and an independent second fingerprint, so a primary-hash
+  // collision between two distinct scripts falls through to a real scan
+  // instead of returning the other script's verdict. Thread-safe: the
+  // cache is mutex-guarded, and the scan itself runs outside the lock.
   Verdict check_script(std::string_view script_source);
 
-  std::uint64_t cache_hits() const { return cache_hits_; }
-  std::uint64_t cache_misses() const { return cache_misses_; }
+  // Chunked admission for a script still arriving from the network. The
+  // prefilter streams over the raw-normalized bytes as they land; finish()
+  // resolves the verdict through the same memoization cache as
+  // check_script (and is byte-for-byte equivalent to it). One ScriptStream
+  // per in-flight script; distinct streams on one gate are safe
+  // concurrently.
+  class ScriptStream {
+   public:
+    void feed(std::string_view chunk);
+    Verdict finish();
+
+   private:
+    friend class BrowserGate;
+    explicit ScriptStream(BrowserGate* gate);
+    BrowserGate* gate_;
+    std::string raw_;             // full source (cache key + normalize_js)
+    std::string raw_normalized_;  // normalize_raw of the chunks so far
+    match::StreamingMatcher matcher_;
+    bool done_ = false;
+  };
+  ScriptStream begin_script() { return ScriptStream(this); }
+
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+  // Primary-hash collisions detected (entry found but length/second
+  // fingerprint disagreed; a real scan was performed).
+  std::uint64_t cache_collisions() const;
 
  private:
-  const SignatureBundle* bundle_;
-  std::size_t capacity_;
-  // hash -> (verdict, LRU position)
-  std::list<std::uint64_t> lru_;
   struct Entry {
     Verdict verdict;
+    std::size_t length = 0;        // collision guard 1: exact size
+    std::uint64_t fingerprint2 = 0;  // collision guard 2: independent hash
     std::list<std::uint64_t>::iterator position;
   };
+
+  // Cache probe/insert under lock; the scan between them runs unlocked.
+  std::optional<Verdict> cache_lookup(std::uint64_t key, std::size_t length,
+                                      std::uint64_t fp2);
+  void cache_store(std::uint64_t key, std::size_t length, std::uint64_t fp2,
+                   const Verdict& verdict);
+  Verdict finish_stream(ScriptStream& stream);
+
+  const SignatureBundle* bundle_;
+  std::size_t capacity_;
+  HashFn hash_;
+  // Guards lru_/cache_ and all counters: check_script and concurrent
+  // ScriptStream finishes race on them otherwise (CdnFilter already
+  // advertises concurrent use of the sibling channel).
+  mutable std::mutex mu_;
+  std::list<std::uint64_t> lru_;  // hash keys, most recent first
   std::unordered_map<std::uint64_t, Entry> cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_collisions_ = 0;
 };
 
 // ------------------------------- desktop -------------------------------
@@ -106,6 +201,27 @@ class DesktopScanner {
   // Scans one file's content (any type; HTML gets script extraction,
   // everything else raw normalization).
   Verdict scan_file(std::string_view content) const;
+
+  // Chunked variant for files too large to slurp: raw normalization is
+  // per-byte, so each chunk is normalized and streamed through the
+  // prefilter as it is read; only the normalized text is kept for
+  // candidate confirmation. Equivalent to scan_file on the concatenated
+  // content.
+  class FileStream {
+   public:
+    void feed(std::string_view raw_chunk);
+    Verdict finish() const;
+
+   private:
+    friend class DesktopScanner;
+    explicit FileStream(const DesktopScanner* scanner);
+    const DesktopScanner* scanner_;
+    SignatureBundle::StreamMatch stream_;
+  };
+  FileStream begin_file() const { return FileStream(this); }
+
+  // Reads `in` to EOF in `chunk_size`-byte pieces through a FileStream.
+  Verdict scan_stream(std::istream& in, std::size_t chunk_size = 1 << 16) const;
 
  private:
   const SignatureBundle* bundle_;

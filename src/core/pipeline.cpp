@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "core/sigdb.h"
 #include "support/hash.h"
 #include "text/html.h"
 #include "text/lexer.h"
@@ -48,6 +49,17 @@ std::optional<std::size_t> KizzlePipeline::scan_as_of(
     if (compiled_[i].search(normalized_text).matched) return i;
   }
   return std::nullopt;
+}
+
+void KizzlePipeline::export_artifact(std::ostream& os) const {
+  if (sig_prefilter_.built()) {
+    // The automaton maintained across deployments is the release build.
+    save_artifact(os, signatures_, &sig_prefilter_);
+    return;
+  }
+  // No signature deployed yet (the prefilter was never built): let
+  // save_artifact compile an empty-but-valid automaton.
+  save_artifact(os, signatures_, nullptr);
 }
 
 std::size_t KizzlePipeline::cluster_medoid(

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -106,6 +107,13 @@ class KizzlePipeline {
   const std::vector<DeployedSignature>& signatures() const {
     return signatures_;
   }
+
+  // Persists the deployed signature set together with its already-built
+  // literal prefilter as a `.kpf` bundle artifact (core/sigdb.h): the
+  // automaton is built once here, at signature-release time, and the
+  // deployment channels load it (SignatureBundle's istream constructor)
+  // instead of rebuilding per process.
+  void export_artifact(std::ostream& os) const;
 
   // Scans AV-normalized text against all deployed signatures; returns the
   // index into signatures() of the first match.

@@ -34,7 +34,8 @@ std::string save_signatures(
   return os.str();
 }
 
-std::vector<DeployedSignature> load_signatures(std::istream& is) {
+std::vector<DeployedSignature> load_signatures(std::istream& is,
+                                               bool validate_patterns) {
   std::string line;
   if (!std::getline(is, line) || trim(line) != kHeader) {
     throw std::runtime_error("load_signatures: missing or bad header");
@@ -62,12 +63,14 @@ std::vector<DeployedSignature> load_signatures(std::istream& is) {
                                std::to_string(line_no) + ": bad number");
     }
     s.pattern = fields[4];
-    try {
-      match::Pattern::compile(s.pattern);
-    } catch (const match::PatternError& e) {
-      throw std::runtime_error("load_signatures: line " +
-                               std::to_string(line_no) +
-                               ": pattern does not compile: " + e.what());
+    if (validate_patterns) {
+      try {
+        match::Pattern::compile(s.pattern);
+      } catch (const match::PatternError& e) {
+        throw std::runtime_error("load_signatures: line " +
+                                 std::to_string(line_no) +
+                                 ": pattern does not compile: " + e.what());
+      }
     }
     out.push_back(std::move(s));
   }
@@ -77,6 +80,90 @@ std::vector<DeployedSignature> load_signatures(std::istream& is) {
 std::vector<DeployedSignature> load_signatures(const std::string& content) {
   std::istringstream is(content);
   return load_signatures(is);
+}
+
+// ---------------------------- bundle artifact ----------------------------
+
+namespace {
+
+constexpr std::uint32_t kArtifactEndianSentinel = 0x01020304u;
+
+template <typename T>
+void put_raw(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get_raw(std::istream& is) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("load_artifact: truncated artifact");
+  return v;
+}
+
+}  // namespace
+
+void save_artifact(std::ostream& os,
+                   const std::vector<DeployedSignature>& signatures,
+                   const match::LiteralPrefilter* prebuilt) {
+  match::LiteralPrefilter local;
+  if (prebuilt == nullptr) {
+    for (std::size_t i = 0; i < signatures.size(); ++i) {
+      local.add(i,
+                match::Pattern::compile(signatures[i].pattern)
+                    .required_literal());
+    }
+    local.build();
+    prebuilt = &local;
+  }
+  if (!prebuilt->built() || prebuilt->id_count() != signatures.size()) {
+    throw std::invalid_argument(
+        "save_artifact: prefilter does not cover the signature set");
+  }
+  os.write(kArtifactMagic.data(),
+           static_cast<std::streamsize>(kArtifactMagic.size()));
+  put_raw<std::uint32_t>(os, kArtifactVersion);
+  put_raw<std::uint32_t>(os, kArtifactEndianSentinel);
+  const std::string db = save_signatures(signatures);
+  put_raw<std::uint64_t>(os, db.size());
+  os.write(db.data(), static_cast<std::streamsize>(db.size()));
+  prebuilt->serialize(os);
+  if (!os) throw std::runtime_error("save_artifact: write failed");
+}
+
+BundleArtifact load_artifact(std::istream& is, bool validate_patterns) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::string_view(magic, sizeof magic) != kArtifactMagic) {
+    throw std::runtime_error("load_artifact: bad magic");
+  }
+  const auto version = get_raw<std::uint32_t>(is);
+  if (version != kArtifactVersion) {
+    throw std::runtime_error("load_artifact: unsupported format version " +
+                             std::to_string(version));
+  }
+  const auto endian = get_raw<std::uint32_t>(is);
+  if (endian != kArtifactEndianSentinel) {
+    throw std::runtime_error(
+        "load_artifact: artifact endianness does not match this host");
+  }
+  const auto db_len = get_raw<std::uint64_t>(is);
+  if (db_len > (1ull << 32)) {
+    throw std::runtime_error("load_artifact: implausible database size");
+  }
+  std::string db(static_cast<std::size_t>(db_len), '\0');
+  is.read(db.data(), static_cast<std::streamsize>(db.size()));
+  if (!is) throw std::runtime_error("load_artifact: truncated artifact");
+
+  BundleArtifact out;
+  std::istringstream db_is(db);
+  out.signatures = load_signatures(db_is, validate_patterns);
+  out.prefilter = match::LiteralPrefilter::load(is);
+  if (out.prefilter.id_count() != out.signatures.size()) {
+    throw std::runtime_error(
+        "load_artifact: prefilter id count disagrees with signature list");
+  }
+  return out;
 }
 
 }  // namespace kizzle::core

@@ -11,6 +11,16 @@
 //
 // Patterns contain no tabs or newlines by construction (they are compiled
 // from normalized text, which strips whitespace).
+//
+// Next to the text database there is a binary *bundle artifact* (`.kpf`):
+// the signature set plus the pre-built Aho–Corasick literal prefilter over
+// it, produced once at signature-release time (`kizzle pack`, or
+// KizzlePipeline::export_artifact) so deployment processes load the frozen
+// automaton instead of each rebuilding it. Layout: an 8-byte magic, a
+// format version, an endianness sentinel, the embedded text database, then
+// the prefilter in LiteralPrefilter::serialize's self-checking format.
+// Version policy mirrors the prefilter's: any layout change bumps the
+// version, loaders reject unknown versions and foreign endianness.
 #pragma once
 
 #include <iosfwd>
@@ -18,6 +28,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "match/prefilter.h"
 
 namespace kizzle::core {
 
@@ -28,7 +39,35 @@ void save_signatures(std::ostream& os,
 
 // Parses a database back. Throws std::runtime_error on malformed input
 // (bad header, wrong field count, patterns that fail to compile).
+// `validate_patterns` = false skips the trial compilation of every
+// pattern — for callers that compile the set themselves right after
+// (SignatureBundle's artifact constructor) and would otherwise pay it
+// twice.
 std::vector<DeployedSignature> load_signatures(const std::string& content);
-std::vector<DeployedSignature> load_signatures(std::istream& is);
+std::vector<DeployedSignature> load_signatures(std::istream& is,
+                                               bool validate_patterns = true);
+
+// ---------------------------- bundle artifact ----------------------------
+
+inline constexpr std::string_view kArtifactMagic = "KZBUNDLE";
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+struct BundleArtifact {
+  std::vector<DeployedSignature> signatures;
+  match::LiteralPrefilter prefilter;  // built, ids == signature indices
+};
+
+// Writes signatures + prefilter as one deployable artifact. `prebuilt`
+// must register exactly one id per signature (its index); pass nullptr to
+// have the prefilter compiled and built here from the signature patterns.
+void save_artifact(std::ostream& os,
+                   const std::vector<DeployedSignature>& signatures,
+                   const match::LiteralPrefilter* prebuilt = nullptr);
+
+// Parses an artifact back; the returned prefilter is ready to scan without
+// a rebuild. Throws std::runtime_error on malformed/corrupt/mismatched
+// input (including a prefilter whose id count disagrees with the
+// signature list). `validate_patterns` as in load_signatures.
+BundleArtifact load_artifact(std::istream& is, bool validate_patterns = true);
 
 }  // namespace kizzle::core

@@ -1,6 +1,9 @@
 #include "match/prefilter.h"
 
 #include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
 #include <queue>
 #include <stdexcept>
 
@@ -12,13 +15,30 @@ constexpr std::int32_t kNone = -1;
 
 void LiteralPrefilter::add(std::size_t id, std::string_view literal) {
   if (literal.empty()) {
-    fallback_.push_back(id);
+    fallback_raw_.push_back(id);
   } else {
     keywords_.push_back(Keyword{std::string(literal), id});
   }
   ++n_ids_;
   id_limit_ = std::max(id_limit_, id + 1);
   built_ = false;
+}
+
+void LiteralPrefilter::finalize_derived() {
+  // The sorted/deduplicated fallback list and the distinct-automaton-id
+  // count are regenerated from the raw registrations on every build (and
+  // on load), never updated in place: rebuilds cannot accumulate stale or
+  // repeated entries no matter how add()/build() calls interleave.
+  fallback_ = fallback_raw_;
+  std::sort(fallback_.begin(), fallback_.end());
+  fallback_.erase(std::unique(fallback_.begin(), fallback_.end()),
+                  fallback_.end());
+  std::vector<std::size_t> ids;
+  ids.reserve(keywords_.size());
+  for (const Keyword& kw : keywords_) ids.push_back(kw.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  n_automaton_ids_ = ids.size();
 }
 
 void LiteralPrefilter::build() {
@@ -99,9 +119,7 @@ void LiteralPrefilter::build() {
     out_end_[s] = static_cast<std::int32_t>(out_ids_.size());
   }
 
-  std::sort(fallback_.begin(), fallback_.end());
-  fallback_.erase(std::unique(fallback_.begin(), fallback_.end()),
-                  fallback_.end());
+  finalize_derived();
   built_ = true;
 }
 
@@ -118,8 +136,7 @@ void LiteralPrefilter::candidates_into(std::string_view text,
     throw std::logic_error("LiteralPrefilter: candidates before build()");
   }
   out.clear();
-  const std::size_t n_automaton = n_ids_ - fallback_.size();
-  if (n_automaton == 0 || alpha_size_ == 0) {
+  if (n_automaton_ids_ == 0 || alpha_size_ == 0) {
     out = fallback_;
     return;
   }
@@ -154,7 +171,7 @@ void LiteralPrefilter::candidates_into(std::string_view text,
         }
       }
     }
-    if (n_seen == n_automaton) break;  // every filtered id already found
+    if (n_seen == n_automaton_ids_) break;  // every filtered id found
   }
 
   std::sort(out.begin(), out.end());
@@ -163,6 +180,328 @@ void LiteralPrefilter::candidates_into(std::string_view text,
   out.insert(out.end(), fallback_.begin(), fallback_.end());
   std::inplace_merge(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(mid),
                      out.end());
+}
+
+// ----------------------------- persistence -----------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'Z', 'P', 'F'};
+constexpr std::uint32_t kEndianSentinel = 0x01020304u;
+constexpr std::uint64_t kCkBasis = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kCkPrime = 0x100000001B3ull;
+// Table sizes beyond this are rejected before allocation: a corrupt count
+// must not drive the loader into a multi-gigabyte resize before the
+// trailing checksum gets a chance to catch it. 16M elements is orders of
+// magnitude above any realistic signature database's automaton.
+constexpr std::uint64_t kMaxTableElems = 1ull << 24;
+
+// Word-at-a-time FNV-style mix: the automaton tables run to megabytes for
+// large databases, and a per-byte checksum loop showed up as the dominant
+// cost of artifact loading. Writer and reader call this with identical
+// block sizes in identical order, so the tail padding folds identically.
+void checksum_update(std::uint64_t& sum, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b + i, 8);
+    sum = (sum ^ w) * kCkPrime;
+  }
+  std::uint64_t tail = 0xA5;
+  for (; i < n; ++i) tail = (tail << 8) | b[i];
+  sum = (sum ^ tail) * kCkPrime;
+}
+
+class CheckedWriter {
+ public:
+  explicit CheckedWriter(std::ostream& os) : os_(os) {}
+
+  void bytes(const void* p, std::size_t n) {
+    os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    checksum_update(sum_, p, n);
+  }
+  template <typename T>
+  void num(T v) {
+    bytes(&v, sizeof v);
+  }
+  void u64s(const std::vector<std::size_t>& v) {
+    num<std::uint64_t>(v.size());
+    for (std::size_t x : v) num<std::uint64_t>(x);
+  }
+  void i32s(const std::vector<std::int32_t>& v) {
+    num<std::uint64_t>(v.size());
+    if (!v.empty()) bytes(v.data(), v.size() * sizeof(std::int32_t));
+  }
+  void finish() {
+    // The checksum trailer is the only field not covered by itself.
+    const std::uint64_t sum = sum_;
+    os_.write(reinterpret_cast<const char*>(&sum), sizeof sum);
+    if (!os_) throw std::runtime_error("LiteralPrefilter: serialize failed");
+  }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t sum_ = kCkBasis;
+};
+
+class CheckedReader {
+ public:
+  explicit CheckedReader(std::istream& is) : is_(is) {}
+
+  void bytes(void* p, std::size_t n) {
+    is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (!is_) {
+      throw std::runtime_error("LiteralPrefilter: truncated artifact");
+    }
+    checksum_update(sum_, p, n);
+  }
+  template <typename T>
+  T num() {
+    T v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t count() {
+    const std::uint64_t n = num<std::uint64_t>();
+    if (n > kMaxTableElems) {
+      throw std::runtime_error("LiteralPrefilter: implausible table size");
+    }
+    return n;
+  }
+  void u64s(std::vector<std::size_t>& v) {
+    v.resize(count());
+    for (std::size_t& x : v) x = static_cast<std::size_t>(num<std::uint64_t>());
+  }
+  void i32s(std::vector<std::int32_t>& v) {
+    v.resize(count());
+    if (!v.empty()) bytes(v.data(), v.size() * sizeof(std::int32_t));
+  }
+  void verify_checksum() {
+    const std::uint64_t expect = sum_;
+    std::uint64_t stored;
+    is_.read(reinterpret_cast<char*>(&stored), sizeof stored);
+    if (!is_ || stored != expect) {
+      throw std::runtime_error("LiteralPrefilter: checksum mismatch");
+    }
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t sum_ = kCkBasis;
+};
+
+}  // namespace
+
+void LiteralPrefilter::serialize(std::ostream& os) const {
+  if (!built_) {
+    throw std::logic_error("LiteralPrefilter: serialize before build()");
+  }
+  CheckedWriter w(os);
+  w.bytes(kMagic, sizeof kMagic);
+  w.num<std::uint32_t>(kFormatVersion);
+  w.num<std::uint32_t>(kEndianSentinel);
+
+  w.num<std::uint64_t>(n_ids_);
+  w.num<std::uint64_t>(id_limit_);
+  w.num<std::uint64_t>(alpha_size_);
+  w.bytes(alpha_.data(), alpha_.size() * sizeof(std::uint16_t));
+  w.i32s(next_);
+  w.i32s(out_link_);
+  w.i32s(out_begin_);
+  w.i32s(out_end_);
+  w.u64s(out_ids_);
+  w.u64s(fallback_raw_);
+  // Raw keyword registrations ride along so a loaded automaton supports
+  // further add()+build() exactly like the original.
+  w.num<std::uint64_t>(keywords_.size());
+  for (const Keyword& kw : keywords_) {
+    w.num<std::uint64_t>(kw.id);
+    w.num<std::uint64_t>(kw.literal.size());
+    w.bytes(kw.literal.data(), kw.literal.size());
+  }
+  w.finish();
+}
+
+LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
+  CheckedReader r(is);
+  char magic[4];
+  r.bytes(magic, sizeof magic);
+  if (!std::equal(magic, magic + 4, kMagic)) {
+    throw std::runtime_error("LiteralPrefilter: bad magic");
+  }
+  const auto version = r.num<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("LiteralPrefilter: unsupported format version " +
+                             std::to_string(version));
+  }
+  const auto endian = r.num<std::uint32_t>();
+  if (endian != kEndianSentinel) {
+    throw std::runtime_error(
+        "LiteralPrefilter: artifact endianness does not match this host");
+  }
+
+  LiteralPrefilter pf;
+  pf.n_ids_ = static_cast<std::size_t>(r.num<std::uint64_t>());
+  pf.id_limit_ = static_cast<std::size_t>(r.num<std::uint64_t>());
+  pf.alpha_size_ = static_cast<std::size_t>(r.num<std::uint64_t>());
+  // id_limit_ sizes the per-scan dedup bitmap; an implausible value must
+  // fail here, not OOM the first candidates() call.
+  if (pf.n_ids_ > kMaxTableElems || pf.id_limit_ > kMaxTableElems) {
+    throw std::runtime_error("LiteralPrefilter: implausible id count");
+  }
+  r.bytes(pf.alpha_.data(), pf.alpha_.size() * sizeof(std::uint16_t));
+  r.i32s(pf.next_);
+  r.i32s(pf.out_link_);
+  r.i32s(pf.out_begin_);
+  r.i32s(pf.out_end_);
+  r.u64s(pf.out_ids_);
+  r.u64s(pf.fallback_raw_);
+  const std::uint64_t n_keywords = r.count();
+  pf.keywords_.resize(static_cast<std::size_t>(n_keywords));
+  for (Keyword& kw : pf.keywords_) {
+    kw.id = static_cast<std::size_t>(r.num<std::uint64_t>());
+    const std::uint64_t len = r.count();
+    kw.literal.resize(static_cast<std::size_t>(len));
+    if (len > 0) r.bytes(kw.literal.data(), kw.literal.size());
+  }
+  r.verify_checksum();
+
+  // Structural sanity: table shapes must agree before the automaton is
+  // allowed to walk anything.
+  const std::size_t total = pf.out_link_.size();
+  if (pf.alpha_size_ > 256 ||
+      pf.out_begin_.size() != total || pf.out_end_.size() != total ||
+      pf.next_.size() != total * pf.alpha_size_) {
+    throw std::runtime_error("LiteralPrefilter: inconsistent table shapes");
+  }
+  for (std::size_t b = 0; b < pf.alpha_.size(); ++b) {
+    if (pf.alpha_[b] != kNoCode && pf.alpha_[b] >= pf.alpha_size_) {
+      throw std::runtime_error("LiteralPrefilter: alphabet code out of range");
+    }
+  }
+  for (const std::int32_t s : pf.next_) {
+    if (s < 0 || static_cast<std::size_t>(s) >= std::max<std::size_t>(total, 1)) {
+      throw std::runtime_error("LiteralPrefilter: goto target out of range");
+    }
+  }
+  for (std::size_t s = 0; s < total; ++s) {
+    const std::int32_t link = pf.out_link_[s];
+    if (link != kNone &&
+        (link < 0 || static_cast<std::size_t>(link) >= total)) {
+      throw std::runtime_error("LiteralPrefilter: output link out of range");
+    }
+    const std::int32_t b = pf.out_begin_[s];
+    const std::int32_t e = pf.out_end_[s];
+    if (b < 0 || e < b || static_cast<std::size_t>(e) > pf.out_ids_.size()) {
+      throw std::runtime_error("LiteralPrefilter: output slice out of range");
+    }
+  }
+  for (const std::size_t id : pf.out_ids_) {
+    if (id >= pf.id_limit_) {
+      throw std::runtime_error("LiteralPrefilter: output id out of range");
+    }
+  }
+  // The raw registrations must be consistent with the header and stay
+  // inside the id space — otherwise a later candidates() (or a
+  // rebuild-after-load) indexes the dedup bitmap out of bounds.
+  if (pf.n_ids_ != pf.keywords_.size() + pf.fallback_raw_.size()) {
+    throw std::runtime_error(
+        "LiteralPrefilter: registration count disagrees with header");
+  }
+  for (const std::size_t id : pf.fallback_raw_) {
+    if (id >= pf.id_limit_) {
+      throw std::runtime_error("LiteralPrefilter: fallback id out of range");
+    }
+  }
+  for (const Keyword& kw : pf.keywords_) {
+    if (kw.id >= pf.id_limit_ || kw.literal.empty()) {
+      throw std::runtime_error("LiteralPrefilter: bad keyword registration");
+    }
+  }
+
+  pf.finalize_derived();
+  // Registered literals imply a walkable automaton (root state + reduced
+  // alphabet); without this, the scan loop would index empty tables.
+  if (pf.n_automaton_ids_ > 0 && (total == 0 || pf.alpha_size_ == 0)) {
+    throw std::runtime_error(
+        "LiteralPrefilter: automaton tables missing for registered literals");
+  }
+  pf.built_ = true;
+  return pf;
+}
+
+// --------------------------- StreamingMatcher ---------------------------
+
+StreamingMatcher::StreamingMatcher(const LiteralPrefilter& prefilter)
+    : pf_(&prefilter) {
+  if (!prefilter.built()) {
+    throw std::logic_error("StreamingMatcher: prefilter not built");
+  }
+  seen_.assign(pf_->id_limit_, 0);
+}
+
+void StreamingMatcher::feed(std::string_view chunk) {
+  bytes_fed_ += chunk.size();
+  if (pf_->n_automaton_ids_ == 0 || pf_->alpha_size_ == 0 ||
+      n_seen_ == pf_->n_automaton_ids_) {
+    return;  // nothing to find (or everything already found)
+  }
+  const auto& alpha = pf_->alpha_;
+  const std::size_t alpha_size = pf_->alpha_size_;
+  std::int32_t state = state_;
+  for (const char ch : chunk) {
+    const std::uint16_t code = alpha[static_cast<unsigned char>(ch)];
+    if (code == LiteralPrefilter::kNoCode) {
+      state = 0;
+      continue;
+    }
+    state = pf_->next_[static_cast<std::size_t>(state) * alpha_size + code];
+    for (std::int32_t s = state; s != kNone;
+         s = pf_->out_link_[static_cast<std::size_t>(s)]) {
+      if (pf_->out_begin_[static_cast<std::size_t>(s)] ==
+          pf_->out_end_[static_cast<std::size_t>(s)]) {
+        continue;
+      }
+      for (std::int32_t i = pf_->out_begin_[static_cast<std::size_t>(s)];
+           i < pf_->out_end_[static_cast<std::size_t>(s)]; ++i) {
+        const std::size_t id = pf_->out_ids_[static_cast<std::size_t>(i)];
+        if (!seen_[id]) {
+          seen_[id] = 1;
+          found_.push_back(id);
+          ++n_seen_;
+        }
+      }
+    }
+    if (n_seen_ == pf_->n_automaton_ids_) break;  // carry on counting bytes
+  }
+  state_ = state;
+}
+
+void StreamingMatcher::finish_into(std::vector<std::size_t>& out) const {
+  // Snapshot semantics: found_ keeps its discovery order so feeding can
+  // continue after a finish(); the sorted merge happens on the copy.
+  out = found_;
+  std::sort(out.begin(), out.end());
+  const std::size_t mid = out.size();
+  const auto& fallback = pf_->fallback_;
+  out.insert(out.end(), fallback.begin(), fallback.end());
+  std::inplace_merge(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(mid),
+                     out.end());
+}
+
+std::vector<std::size_t> StreamingMatcher::finish() const {
+  std::vector<std::size_t> out;
+  finish_into(out);
+  return out;
+}
+
+void StreamingMatcher::reset() {
+  state_ = 0;
+  bytes_fed_ = 0;
+  n_seen_ = 0;
+  std::fill(seen_.begin(), seen_.end(), 0);
+  found_.clear();
 }
 
 }  // namespace kizzle::match

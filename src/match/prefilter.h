@@ -19,11 +19,20 @@
 //
 // Build once, then share freely: candidates() is const and thread-safe, so
 // one automaton serves any number of concurrent batch-scan workers.
+//
+// The automaton is also a *release artifact*: serialize() writes the
+// frozen goto/fail/output tables in a versioned, endian-checked flat
+// layout, and load() restores an automaton whose candidates() output is
+// byte-identical to the freshly built one — deployment channels load the
+// artifact instead of rebuilding per process. For data that arrives in
+// pieces (a script streamed by the network, a large file read in blocks),
+// StreamingMatcher walks the same automaton chunk by chunk.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -31,16 +40,23 @@
 
 namespace kizzle::match {
 
+class StreamingMatcher;
+
 class LiteralPrefilter {
  public:
   // Registers pattern `id` under `literal`. An empty literal means the
   // pattern has no usable required literal; it goes on the fallback list.
   // Distinct ids may share one literal; each occurrence reports all of
-  // them.
+  // them. An id must be registered either as fallback or under literals,
+  // not both (the merged candidate list would report it twice).
   void add(std::size_t id, std::string_view literal);
 
   // Freezes the automaton. Must be called after the last add() and before
-  // the first candidates(). May be called again after further add()s.
+  // the first candidates(). May be called again after further add()s;
+  // rebuilding is idempotent — every derived table (including the
+  // sorted/deduplicated fallback list) is regenerated from the raw
+  // registrations, so an incrementally grown automaton is indistinguishable
+  // from one built fresh with the same final registration set.
   void build();
 
   bool built() const { return built_; }
@@ -62,16 +78,38 @@ class LiteralPrefilter {
   // Ids with no usable literal (always candidates), sorted ascending.
   const std::vector<std::size_t>& fallback_ids() const { return fallback_; }
 
+  // ---------------------------- persistence ----------------------------
+  //
+  // Flat binary layout of the built automaton: a magic/version/endianness
+  // header, the goto/fail/output tables, the raw registrations (so further
+  // add()+build() after load() behaves exactly like on the original), and
+  // a trailing FNV-1a checksum over the payload. Version policy: the
+  // format version is bumped on ANY layout change; load() rejects unknown
+  // versions, foreign endianness and corrupt/truncated payloads with
+  // std::runtime_error rather than guessing. serialize() throws
+  // std::logic_error if the automaton is not built.
+  static constexpr std::uint32_t kFormatVersion = 1;
+  void serialize(std::ostream& os) const;
+  static LiteralPrefilter load(std::istream& is);
+
  private:
+  friend class StreamingMatcher;
+
   struct Keyword {
     std::string literal;
     std::size_t id;
   };
 
+  // Recomputes everything derived from the raw registrations that is not
+  // part of the automaton tables proper (shared by build() and load()).
+  void finalize_derived();
+
   std::vector<Keyword> keywords_;
-  std::vector<std::size_t> fallback_;
+  std::vector<std::size_t> fallback_raw_;  // as registered, may repeat
+  std::vector<std::size_t> fallback_;      // derived: sorted, deduplicated
   std::size_t n_ids_ = 0;
   std::size_t id_limit_ = 0;  // max registered id + 1 (dedup bitmap size)
+  std::size_t n_automaton_ids_ = 0;  // distinct ids reachable via literals
   bool built_ = false;
 
   // Dense goto table over a reduced alphabet: only bytes that occur in
@@ -84,6 +122,48 @@ class LiteralPrefilter {
   std::vector<std::int32_t> out_begin_;  // per-state slice into out_ids_
   std::vector<std::int32_t> out_end_;
   std::vector<std::size_t> out_ids_;
+};
+
+// Resumable cursor over a LiteralPrefilter for data that arrives in
+// chunks. feed() carries the automaton state across chunk boundaries —
+// the DFA state *is* the bounded tail buffer: it encodes exactly the
+// longest literal prefix ending at the boundary (at most longest-literal−1
+// trailing bytes), so a literal straddling two chunks is recognized the
+// moment its last byte arrives, with no replay of previous chunks.
+// finish() merges what has been seen so far with the fallback ids into the
+// same sorted, deduplicated candidate set one-shot candidates() would
+// return for the concatenation of all fed chunks. finish() is a snapshot:
+// feeding may continue afterwards, and reset() rewinds the cursor for the
+// next document.
+//
+// The matcher holds a pointer to the prefilter; the prefilter must stay
+// alive and must not be rebuilt while any matcher streams over it. Each
+// matcher is single-owner state (one per in-flight document); distinct
+// matchers over one shared prefilter are safe concurrently.
+class StreamingMatcher {
+ public:
+  explicit StreamingMatcher(const LiteralPrefilter& prefilter);
+
+  // Consumes the next chunk of the scanned text.
+  void feed(std::string_view chunk);
+
+  // Candidate set for everything fed since construction/reset: identical
+  // to prefilter.candidates(<all chunks concatenated>).
+  std::vector<std::size_t> finish() const;
+  void finish_into(std::vector<std::size_t>& out) const;
+
+  // Rewinds to the start-of-text state for the next document.
+  void reset();
+
+  std::size_t bytes_fed() const { return bytes_fed_; }
+
+ private:
+  const LiteralPrefilter* pf_;
+  std::int32_t state_ = 0;
+  std::size_t bytes_fed_ = 0;
+  std::size_t n_seen_ = 0;
+  std::vector<std::uint8_t> seen_;    // per-id dedup bitmap
+  std::vector<std::size_t> found_;    // automaton ids, discovery order
 };
 
 // Lazy, invalidation-aware holder for a LiteralPrefilter owned by a

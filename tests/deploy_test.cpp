@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <sstream>
+#include <thread>
+
 #include "core/deploy.h"
 #include "kitgen/families.h"
 #include "kitgen/kit.h"
@@ -121,6 +125,171 @@ TEST_F(DeployFixture, CdnFilterEmptyInput) {
   const auto report = filter.filter({});
   EXPECT_TRUE(report.hostable.empty());
   EXPECT_TRUE(report.rejected.empty());
+}
+
+// --------------------- cache collision regression ---------------------
+
+// Every script hashes to the same primary key: without the length/second-
+// fingerprint guard, the second script would silently get the first
+// script's cached verdict (cache poisoning by hash collision).
+std::uint64_t colliding_hash(std::string_view) { return 0x1234; }
+
+TEST_F(DeployFixture, HashCollisionDoesNotPoisonTheVerdictCache) {
+  BrowserGate gate(bundle_.get(), 8, &colliding_hash);
+  const std::string malicious = fresh_packed();
+  const std::string benign = "function ok(){return 1}";
+
+  EXPECT_TRUE(gate.check_script(malicious).malicious);
+  // Forced collision: same primary key, different content. Must re-scan,
+  // not return the cached malicious verdict.
+  EXPECT_FALSE(gate.check_script(benign).malicious);
+  EXPECT_EQ(gate.cache_collisions(), 1u);
+  EXPECT_EQ(gate.cache_hits(), 0u);
+  EXPECT_EQ(gate.cache_misses(), 2u);
+
+  // The collision evicted the malicious entry (latest scan owns the
+  // slot): benign now hits, malicious collides again and re-scans — and
+  // still gets the right verdict.
+  EXPECT_FALSE(gate.check_script(benign).malicious);
+  EXPECT_EQ(gate.cache_hits(), 1u);
+  EXPECT_TRUE(gate.check_script(malicious).malicious);
+  EXPECT_EQ(gate.cache_collisions(), 2u);
+}
+
+TEST_F(DeployFixture, CollisionGuardAlsoProtectsStreamedScripts) {
+  BrowserGate gate(bundle_.get(), 8, &colliding_hash);
+  const std::string malicious = fresh_packed();
+  EXPECT_TRUE(gate.check_script(malicious).malicious);
+  auto stream = gate.begin_script();
+  stream.feed("function ");
+  stream.feed("ok(){return 1}");
+  EXPECT_FALSE(stream.finish().malicious);
+  EXPECT_EQ(gate.cache_collisions(), 1u);
+}
+
+// ------------------------- chunked admission -------------------------
+
+TEST_F(DeployFixture, StreamedScriptVerdictEqualsOneShotForAllChunkings) {
+  const std::vector<std::string> scripts = {
+      fresh_packed(), "function ok(){return 1}", "", "var a='fromCharCode';"};
+  for (const std::string& script : scripts) {
+    BrowserGate oneshot(bundle_.get(), 8);
+    const Verdict expect = oneshot.check_script(script);
+    for (const std::size_t chunk :
+         std::vector<std::size_t>{1, 7, 4096,
+                                  std::max<std::size_t>(script.size(), 1)}) {
+      BrowserGate gate(bundle_.get(), 8);
+      auto stream = gate.begin_script();
+      for (std::size_t at = 0; at < script.size(); at += chunk) {
+        stream.feed(std::string_view(script).substr(at, chunk));
+      }
+      const Verdict got = stream.finish();
+      EXPECT_EQ(got.malicious, expect.malicious) << "chunk " << chunk;
+      EXPECT_EQ(got.signature, expect.signature) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST_F(DeployFixture, StreamedScriptWithCommentsMatchesOneShotNormalization) {
+  // Comments make token-level normalization diverge from the raw-
+  // normalized bytes the matcher streamed over; finish() must detect the
+  // divergence and fall back to the one-shot scan text check_script uses.
+  const std::string script =
+      "// harmless comment\n" + fresh_packed() + "\n// trailing\n";
+  BrowserGate oneshot(bundle_.get(), 8);
+  const Verdict expect = oneshot.check_script(script);
+  BrowserGate gate(bundle_.get(), 8);
+  auto stream = gate.begin_script();
+  for (std::size_t at = 0; at < script.size(); at += 13) {
+    stream.feed(std::string_view(script).substr(at, 13));
+  }
+  const Verdict got = stream.finish();
+  EXPECT_EQ(got.malicious, expect.malicious);
+  EXPECT_EQ(got.signature, expect.signature);
+}
+
+TEST_F(DeployFixture, StreamedAndOneShotScriptsShareTheCache) {
+  BrowserGate gate(bundle_.get(), 8);
+  const std::string script = fresh_packed();
+  auto stream = gate.begin_script();
+  stream.feed(script);
+  EXPECT_TRUE(stream.finish().malicious);
+  EXPECT_EQ(gate.cache_misses(), 1u);
+  // Same content through the one-shot path: memoized.
+  EXPECT_TRUE(gate.check_script(script).malicious);
+  EXPECT_EQ(gate.cache_hits(), 1u);
+  EXPECT_EQ(gate.cache_misses(), 1u);
+  // finish() twice on one stream is a usage error.
+  auto once = gate.begin_script();
+  once.feed(script);
+  once.finish();
+  EXPECT_THROW(once.finish(), std::logic_error);
+}
+
+TEST_F(DeployFixture, DesktopScannerStreamEqualsScanFile) {
+  DesktopScanner scanner(bundle_.get());
+  Rng rng(3);
+  const std::vector<std::string> files = {
+      kitgen::wrap_html("", fresh_packed(), rng), fresh_packed(),
+      "body { color: red }", ""};
+  for (const std::string& content : files) {
+    const Verdict expect = scanner.scan_file(content);
+    for (const std::size_t chunk : std::vector<std::size_t>{1, 7, 4096}) {
+      std::istringstream in(content);
+      const Verdict got = scanner.scan_stream(in, chunk);
+      EXPECT_EQ(got.malicious, expect.malicious) << "chunk " << chunk;
+      EXPECT_EQ(got.signature, expect.signature) << "chunk " << chunk;
+    }
+    auto stream = scanner.begin_file();
+    for (std::size_t at = 0; at < content.size(); at += 11) {
+      stream.feed(std::string_view(content).substr(at, 11));
+    }
+    EXPECT_EQ(stream.finish().malicious, expect.malicious);
+  }
+}
+
+// ------------------------- concurrent admission -------------------------
+
+// Exercised under ThreadSanitizer in CI (-DKIZZLE_SANITIZE=thread): the
+// LRU list, map and counters are shared mutable state behind the gate's
+// mutex; check_script and streamed finishes race on them from all sides.
+TEST_F(DeployFixture, BrowserGateIsSafeUnderConcurrentAdmission) {
+  BrowserGate gate(bundle_.get(), 4);  // small: forces constant eviction
+  const std::vector<std::string> malicious = {fresh_packed()};
+  const std::vector<std::string> benign = {
+      "function ok(){return 1}", "var a=1;", "var b=2;", "var c=3;",
+      "var d=4;"};
+  constexpr int kIters = 120;
+  constexpr int kThreads = 8;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const bool want_malicious = (i + t) % 3 == 0;
+        const std::string& script =
+            want_malicious ? malicious[0]
+                           : benign[static_cast<std::size_t>(i + t) %
+                                    benign.size()];
+        Verdict v;
+        if (i % 2 == 0) {
+          v = gate.check_script(script);
+        } else {
+          auto stream = gate.begin_script();
+          for (std::size_t at = 0; at < script.size(); at += 97) {
+            stream.feed(std::string_view(script).substr(at, 97));
+          }
+          v = stream.finish();
+        }
+        if (v.malicious != want_malicious) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  // Every admission is accounted exactly once, as a hit or a miss.
+  EXPECT_EQ(gate.cache_hits() + gate.cache_misses(),
+            static_cast<std::uint64_t>(kIters) * kThreads);
 }
 
 }  // namespace

@@ -93,6 +93,56 @@ TEST(LiteralPrefilter, CandidatesBeforeBuildThrows) {
   EXPECT_THROW(pf.candidates("abc"), std::logic_error);
 }
 
+TEST(LiteralPrefilter, RebuildIsIdempotent) {
+  // Repeated build() calls (with and without interleaved add()s) must not
+  // perturb any derived table — in particular the fallback list must stay
+  // sorted and deduplicated, never re-appended.
+  LiteralPrefilter pf;
+  pf.add(3, "");
+  pf.add(0, "alpha");
+  pf.add(1, "");
+  pf.build();
+  EXPECT_EQ(pf.fallback_ids(), (std::vector<std::size_t>{1, 3}));
+  pf.build();  // no adds in between
+  pf.build();
+  EXPECT_EQ(pf.fallback_ids(), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(pf.candidates("alpha"), (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(pf.candidates("beta"), (std::vector<std::size_t>{1, 3}));
+
+  pf.add(2, "");
+  pf.build();
+  pf.build();
+  EXPECT_EQ(pf.fallback_ids(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(pf.candidates("alpha"), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(LiteralPrefilter, IncrementalRebuildEqualsFreshBuild) {
+  // Grow one automaton across several build() generations; a second one
+  // gets the same final registration set in one go. Candidate sets must
+  // be byte-identical on a variety of texts.
+  const std::vector<std::pair<std::size_t, std::string>> regs = {
+      {0, "fromCharCode"}, {1, ""},      {2, "document"}, {3, "eval"},
+      {4, ""},             {5, "Code"},  {6, "fromChar"}, {7, "xyz"},
+  };
+  LiteralPrefilter grown;
+  std::size_t at = 0;
+  for (const std::size_t stop : std::vector<std::size_t>{2, 3, 6, regs.size()}) {
+    for (; at < stop; ++at) grown.add(regs[at].first, regs[at].second);
+    grown.build();
+  }
+  LiteralPrefilter fresh;
+  for (const auto& [id, lit] : regs) fresh.add(id, lit);
+  fresh.build();
+
+  const std::vector<std::string> texts = {
+      "", "fromCharCode", "document.eval", "only Code here", "xyzxyz",
+      "fromChar and then Code", "nothing relevant at all"};
+  EXPECT_EQ(grown.fallback_ids(), fresh.fallback_ids());
+  for (const std::string& t : texts) {
+    EXPECT_EQ(grown.candidates(t), fresh.candidates(t)) << t;
+  }
+}
+
 // ------------------------- fallback via Scanner -------------------------
 
 TEST(ScannerPrefilter, PatternsWithoutUsableLiteralStillMatch) {

@@ -7,7 +7,13 @@
 //   kizzle fragments <file>...         multi-fragment signature (§V ext.)
 //   kizzle scan <sigfile> <file>...    scan files against signatures
 //                                      (sigfile: one regex per line,
-//                                      optional "name<TAB>pattern")
+//                                      optional "name<TAB>pattern", a
+//                                      signature DB, or a .kpf artifact —
+//                                      artifacts load the prebuilt
+//                                      automaton and stream each file)
+//   kizzle pack <sigdb> <out.kpf>      compile a deployed signature DB to
+//                                      a binary bundle artifact (prebuilt
+//                                      literal-prefilter automaton)
 //   kizzle gen <kit> [n] [seed]        emit synthetic landing pages
 //                                      (kit: nuclear|sweetorange|angler|rig)
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deploy.h"
 #include "core/pipeline.h"
 #include "core/sigdb.h"
 #include "kitgen/families.h"
@@ -144,6 +151,34 @@ int cmd_compile(const std::vector<std::string>& args, bool fragments) {
   return 0;
 }
 
+// Artifact path: load the release-built automaton (no per-process
+// rebuild) and stream each file through the desktop channel in fixed-size
+// chunks — the raw file is never fully resident.
+int scan_with_artifact(const std::string& content,
+                       const std::vector<std::string>& args) {
+  std::istringstream artifact(content);
+  const core::SignatureBundle bundle(artifact);
+  const core::DesktopScanner scanner(&bundle);
+  int exit_code = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    core::Verdict v;
+    if (args[i] == "-") {
+      v = scanner.scan_stream(std::cin);
+    } else {
+      std::ifstream in(args[i], std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open " + args[i]);
+      v = scanner.scan_stream(in);
+    }
+    if (v.malicious) {
+      exit_code = 1;
+      std::printf("%-40s MATCH (%s)\n", args[i].c_str(), v.signature.c_str());
+    } else {
+      std::printf("%-40s clean\n", args[i].c_str());
+    }
+  }
+  return exit_code;
+}
+
 int cmd_scan(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: kizzle scan <sigfile> <file>...\n");
@@ -152,6 +187,9 @@ int cmd_scan(const std::vector<std::string>& args) {
   match::Scanner scanner;
   {
     const std::string content = read_file(args[0]);
+    if (content.rfind(core::kArtifactMagic, 0) == 0) {
+      return scan_with_artifact(content, args);
+    }
     if (content.rfind("# kizzle-signatures", 0) == 0) {
       // A signature database written by `kizzle demo` / save_signatures.
       for (const core::DeployedSignature& s :
@@ -201,6 +239,22 @@ int cmd_scan(const std::vector<std::string>& args) {
   return exit_code;
 }
 
+int cmd_pack(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::fprintf(stderr, "usage: kizzle pack <sigdb> <out.kpf>\n");
+    return 2;
+  }
+  const auto signatures = core::load_signatures(read_file(args[0]));
+  std::ofstream out(args[1], std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + args[1]);
+  core::save_artifact(out, signatures);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + args[1]);
+  std::fprintf(stderr, "[packed %zu signatures into %s]\n", signatures.size(),
+               args[1].c_str());
+  return 0;
+}
+
 int cmd_gen(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr, "usage: kizzle gen <nuclear|sweetorange|angler|rig>"
@@ -234,6 +288,7 @@ int cmd_gen(const std::vector<std::string>& args) {
 
 int cmd_demo(const std::vector<std::string>& args) {
   const int days = args.empty() ? 3 : std::stoi(args[0]);
+  const std::string artifact_path = args.size() > 1 ? args[1] : "";
   if (days < 1 || days > 31) {
     std::fprintf(stderr, "demo: days must be in [1,31]\n");
     return 2;
@@ -256,8 +311,19 @@ int cmd_demo(const std::vector<std::string>& args) {
                  kitgen::date_label(day).c_str(), report.n_samples,
                  report.n_clusters, pipeline.signatures().size());
   }
-  // The deployable artifact: a signature database on stdout.
+  // The deployable artifact: a signature database on stdout, and — when a
+  // path is given — the binary bundle artifact with the release-built
+  // automaton for the deployment channels.
   std::printf("%s", core::save_signatures(pipeline.signatures()).c_str());
+  if (!artifact_path.empty()) {
+    std::ofstream out(artifact_path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open " + artifact_path);
+    pipeline.export_artifact(out);
+    out.flush();
+    if (!out) throw std::runtime_error("write failed: " + artifact_path);
+    std::fprintf(stderr, "[bundle artifact written to %s]\n",
+                 artifact_path.c_str());
+  }
   return 0;
 }
 
@@ -270,9 +336,12 @@ int usage() {
                "  kizzle compile <file>...\n"
                "  kizzle fragments <file>...\n"
                "  kizzle scan <sigfile> <file>...\n"
+               "  kizzle pack <sigdb> <out.kpf>\n"
                "  kizzle gen <kit> [n] [seed]\n"
-               "  kizzle demo [days]        run the pipeline on a simulated\n"
-               "                            stream, emit a signature DB\n");
+               "  kizzle demo [days] [out.kpf]\n"
+               "                            run the pipeline on a simulated\n"
+               "                            stream, emit a signature DB (and\n"
+               "                            optionally a bundle artifact)\n");
   return 2;
 }
 
@@ -289,6 +358,7 @@ int main(int argc, char** argv) {
     if (cmd == "compile") return cmd_compile(args, false);
     if (cmd == "fragments") return cmd_compile(args, true);
     if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "pack") return cmd_pack(args);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "demo") return cmd_demo(args);
     return usage();
