@@ -10,6 +10,7 @@
 #include "core/deploy.h"
 #include "core/sigdb.h"
 #include "distance/edit_distance.h"
+#include "engine/engine.h"
 #include "kitgen/families.h"
 #include "kitgen/packers.h"
 #include "kitgen/payload.h"
@@ -398,6 +399,36 @@ void BM_ScanManySignaturesBruteForce(benchmark::State& state) {
                           static_cast<int64_t>(text.size()));
 }
 BENCHMARK(BM_ScanManySignaturesBruteForce)->Arg(10)->Arg(100)->Arg(1000);
+
+// The unified engine's steady-state path in isolation: one compiled
+// Database, one warm Scratch recycled across iterations (zero heap
+// allocation per scan, asserted in tests/engine_test.cpp), event-driven
+// all-matches delivery. Directly comparable to BM_ScanManySignatures —
+// Scanner::scan routes through this plus a result-vector allocation.
+void BM_EngineScanManySignatures(benchmark::State& state) {
+  const std::string text = packed_nuclear_sample(1);
+  match::Scanner scanner;
+  add_database_signatures(scanner, static_cast<std::size_t>(state.range(0)),
+                          text);
+  std::vector<engine::Database::Spec> specs;
+  for (std::size_t i = 0; i < scanner.size(); ++i) {
+    specs.push_back(engine::Database::Spec{scanner.name(i), "",
+                                           scanner.pattern(i).source()});
+  }
+  const engine::Database db = engine::Database::compile(specs);
+  engine::Scratch scratch;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const auto outcome = engine::scan(
+        db, text, scratch,
+        [](const engine::MatchEvent&) { return engine::ScanDecision::Continue; });
+    events += outcome.events;
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_EngineScanManySignatures)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_ScanBatchParallel(benchmark::State& state) {
   // Batch fan-out across the thread pool (the CdnFilter shape): 64 packed

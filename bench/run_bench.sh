@@ -4,7 +4,9 @@
 #   BENCH_cluster.json  per-bench real/cpu time plus the DbscanStats
 #                       counters (dp, pruned_length/histogram/sketch,
 #                       graph_seconds)
-#   BENCH_stream.json   the chunked deployment-channel scan
+#   BENCH_stream.json   the unified engine's steady-state scan
+#                       (BM_EngineScanManySignatures, warm Scratch), the
+#                       chunked deployment-channel scan
 #                       (BM_StreamingScan/<chunk> vs BM_StreamingScanOneShot)
 #                       and release-artifact load vs per-process automaton
 #                       rebuild (BM_BundleColdStartLoad vs
@@ -34,7 +36,7 @@ fi
 echo "wrote $OUT"
 
 "$BUILD/bench_micro" \
-  --benchmark_filter='BM_StreamingScan|BM_BundleColdStart|BM_PrefilterBuild|BM_PrefilterLoad' \
+  --benchmark_filter='BM_EngineScan|BM_StreamingScan|BM_BundleColdStart|BM_PrefilterBuild|BM_PrefilterLoad' \
   --benchmark_out="$STREAM_OUT" --benchmark_out_format=json
 
 echo "wrote $STREAM_OUT"

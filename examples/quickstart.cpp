@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/pipeline.h"
+#include "engine/engine.h"
 #include "kitgen/families.h"
 #include "kitgen/kit.h"
 #include "kitgen/packers.h"
@@ -72,7 +73,13 @@ int main() {
   std::printf("\ndeployed signature (%zu chars, first 120 shown):\n  %.120s...\n\n",
               sig.pattern.size(), sig.pattern.c_str());
 
-  // --- scan tomorrow's traffic ---
+  // --- scan tomorrow's traffic through the unified engine ---
+  // Deployment-side code scans the pipeline's compiled engine::Database
+  // (maintained incrementally at each release) with a recycled per-thread
+  // Scratch; matches arrive as events carrying the span.
+  const engine::Database& db = pipeline.database();
+  engine::Scratch scratch;
+
   const std::string new_rig_page = kitgen::wrap_html(
       "", pack_rig(payload, kitgen::RigPackerState{.delim = "y6"}, rng), rng);
   const std::string benign_page = kitgen::wrap_html(
@@ -81,9 +88,14 @@ int main() {
   for (const auto& [name, html] :
        {std::pair{"fresh RIG landing page", new_rig_page},
         std::pair{"benign tracker script", benign_page}}) {
-    const auto hit = pipeline.scan(text::normalize_raw(html));
-    std::printf("scan %-24s -> %s\n", name,
-                hit ? pipeline.signatures()[*hit].name.c_str() : "clean");
+    const auto hit =
+        engine::first_match(db, text::normalize_raw(html), scratch);
+    if (hit) {
+      std::printf("scan %-24s -> %s (bytes %zu-%zu)\n", name,
+                  std::string(hit->name).c_str(), hit->begin, hit->end);
+    } else {
+      std::printf("scan %-24s -> clean\n", name);
+    }
   }
   return 0;
 }

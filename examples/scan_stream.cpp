@@ -10,6 +10,7 @@
 
 #include "av/analyst.h"
 #include "core/pipeline.h"
+#include "engine/engine.h"
 #include "kitgen/stream.h"
 #include "text/normalize.h"
 
@@ -29,21 +30,27 @@ int main(int argc, char** argv) {
   av::Analyst analyst;
   analyst.install_initial_signatures(sim, av_engine);
 
+  // The SOC's scan loop is deployment-side code: the pipeline maintains
+  // the compiled engine::Database incrementally across releases, and every
+  // sample is scanned with the same recycled Scratch — the steady-state
+  // per-sample cost is one automaton pass plus candidate confirmation.
+  engine::Scratch scratch;
   for (int day = kitgen::kAug1; day < kitgen::kAug1 + n_days; ++day) {
     const auto batch = sim.generate_day(day);
     analyst.observe_day(day, sim, av_engine);
     std::vector<std::string> htmls;
     for (const auto& s : batch.samples) htmls.push_back(s.html);
     const auto report = pipeline.process_day(day, htmls);
+    const engine::Database& db = pipeline.database();
 
     std::printf("=== %s — %zu samples, %zu clusters, %zu signatures live ===\n",
                 kitgen::date_label(day).c_str(), batch.samples.size(),
-                report.n_clusters, pipeline.signatures().size());
+                report.n_clusters, db.size());
     std::size_t agree = 0;
     std::size_t shown = 0;
     for (const auto& s : batch.samples) {
       const std::string norm = text::normalize_raw(s.html);
-      const auto kz = pipeline.scan(norm);
+      const auto kz = engine::first_match(db, norm, scratch);
       const auto av = av_engine.match(day, norm);
       const bool malicious = s.truth != kitgen::Truth::Benign;
       if (kz.has_value() == malicious && av.has_value() == malicious) {
@@ -53,7 +60,7 @@ int main(int argc, char** argv) {
       if (++shown > 40) continue;
       std::printf("  %-18s truth=%-12s kizzle=%-18s av=%s\n", s.id.c_str(),
                   std::string(kitgen::truth_name(s.truth)).c_str(),
-                  kz ? pipeline.signatures()[*kz].name.c_str() : "-",
+                  kz ? std::string(kz->name).c_str() : "-",
                   av ? av->name.c_str() : "-");
     }
     std::printf("  (%zu samples where both engines agreed with ground "

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "engine/engine.h"
 #include "match/pattern.h"
 #include "sig/compiler.h"
 #include "sig/synthesis.h"
@@ -81,12 +82,20 @@ int main(int argc, char** argv) {
   std::printf("signature (%zu chars):\n%s\n\n", signature.length(),
               signature.pattern.c_str());
 
-  const auto compiled = match::Pattern::compile(signature.pattern);
+  // Verify through the scan engine, exactly as deployment would: one
+  // single-signature database, one scratch, match events with spans.
+  const engine::Database db = engine::Database::compile(
+      {engine::Database::Spec{"inspected", "", signature.pattern}});
+  engine::Scratch scratch;
   for (std::size_t s = 0; s < sources.size(); ++s) {
     const std::string norm =
         sig::normalized_token_text(text::lex(sources[s]));
-    std::printf("sample %zu: %s\n", s,
-                compiled.found_in(norm) ? "matched" : "NOT MATCHED (bug!)");
+    if (const auto hit = engine::first_match(db, norm, scratch)) {
+      std::printf("sample %zu: matched (bytes %zu-%zu)\n", s, hit->begin,
+                  hit->end);
+    } else {
+      std::printf("sample %zu: NOT MATCHED (bug!)\n", s);
+    }
   }
   return 0;
 }

@@ -10,28 +10,38 @@ void ManualAvEngine::schedule(AvRelease release) {
     throw std::invalid_argument("ManualAvEngine: empty signature literal");
   }
   releases_.push_back(std::move(release));
-  prefilter_.invalidate();
+  database_.invalidate();
 }
 
 std::optional<AvRelease> ManualAvEngine::match(
     int day, std::string_view normalized) const {
-  // One automaton pass finds every literal present; candidates come back
-  // in ascending insertion order, matching the brute-force first-match
-  // semantics. Only the release-day gate remains per candidate.
+  // Each literal release compiles to an escaped-literal pattern in the
+  // shared engine database. Events arrive in ascending insertion order,
+  // matching the brute-force first-match semantics; the release-day gate
+  // runs as the pre-confirmation candidate filter, so signatures not yet
+  // deployed on `day` never even reach confirmation.
   if (releases_.empty()) return std::nullopt;
-  const match::LiteralPrefilter& pf =
-      prefilter_.ensure([this](match::LiteralPrefilter& p) {
-        for (std::size_t i = 0; i < releases_.size(); ++i) {
-          p.add(i, releases_[i].literal);
-        }
+  const engine::Database& db = database_.ensure([this] {
+    std::vector<engine::Database::Spec> specs;
+    specs.reserve(releases_.size());
+    for (const AvRelease& r : releases_) {
+      specs.push_back(engine::Database::Spec{
+          r.name, std::string(kitgen::family_name(r.family)),
+          match::Pattern::escape(r.literal)});
+    }
+    return engine::Database::compile(specs);
+  });
+  auto scratch = scratches_.acquire();
+  std::optional<std::size_t> hit;
+  engine::scan(
+      db, normalized, *scratch,
+      [this, day](std::size_t i) { return releases_[i].day <= day; },
+      [&hit](const engine::MatchEvent& event) {
+        hit = event.sig_index;
+        return engine::ScanDecision::Stop;
       });
-  thread_local std::vector<std::size_t> candidates;
-  pf.candidates_into(normalized, candidates);
-  for (const std::size_t i : candidates) {
-    if (releases_[i].day > day) continue;
-    return releases_[i];
-  }
-  return std::nullopt;
+  if (!hit) return std::nullopt;
+  return releases_[*hit];
 }
 
 std::vector<AvRelease> ManualAvEngine::releases_for(

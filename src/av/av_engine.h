@@ -9,12 +9,14 @@
 // feature randomization — the asymmetry Kizzle's structural signatures
 // remove.
 //
-// Because every signature here is a plain literal, the whole database is
-// one Aho–Corasick automaton (match/prefilter.h): match() makes a single
-// streaming pass instead of one substring search per release. The
-// automaton is built lazily on first match() after a schedule() (so bulk
-// loading stays linear) behind a mutex, keeping concurrent match() calls
-// safe once the release set is loaded.
+// Like every other matching surface, the release set is deployed through
+// the unified scan engine (engine/engine.h): each literal compiles into an
+// engine::Database entry, so match() is one Aho–Corasick prefilter pass
+// plus candidate confirmation, with the release-day gate applied as the
+// engine's pre-confirmation candidate filter. The database is rebuilt
+// lazily on first match() after a schedule() (so bulk loading stays
+// linear); concurrent match() calls are safe once the release set is
+// loaded (per-worker scratches come from a pool).
 #pragma once
 
 #include <optional>
@@ -22,8 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/engine.h"
 #include "kitgen/kit.h"
-#include "match/prefilter.h"
 
 namespace kizzle::av {
 
@@ -53,7 +55,8 @@ class ManualAvEngine {
 
  private:
   std::vector<AvRelease> releases_;
-  match::LazyPrefilter prefilter_;
+  engine::LazyDatabase database_;
+  mutable engine::ScratchPool scratches_;
 };
 
 }  // namespace kizzle::av

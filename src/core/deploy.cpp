@@ -1,6 +1,7 @@
 #include "core/deploy.h"
 
 #include <istream>
+#include <map>
 #include <optional>
 #include <stdexcept>
 
@@ -13,63 +14,47 @@
 namespace kizzle::core {
 
 SignatureBundle::SignatureBundle(
-    const std::vector<DeployedSignature>& signatures) {
-  infos_ = signatures;
-  compiled_.reserve(signatures.size());
-  for (const DeployedSignature& s : signatures) {
-    compiled_.push_back(match::Pattern::compile(s.pattern));
-    prefilter_.add(compiled_.size() - 1, compiled_.back().required_literal());
-  }
-  prefilter_.build();
-}
+    const std::vector<DeployedSignature>& signatures)
+    : infos_(signatures), db_(engine::Database::compile(signatures)) {}
 
-SignatureBundle::SignatureBundle(std::istream& artifact) {
-  // No trial compilation inside the loader: every pattern is compiled for
-  // real right below (and a bad one still throws).
-  BundleArtifact loaded = load_artifact(artifact, /*validate_patterns=*/false);
-  infos_ = std::move(loaded.signatures);
-  compiled_.reserve(infos_.size());
-  for (const DeployedSignature& s : infos_) {
-    compiled_.push_back(match::Pattern::compile(s.pattern));
-  }
-  // The release-time automaton, exactly as built by `kizzle pack` /
-  // KizzlePipeline::export_artifact — no per-process rebuild.
-  prefilter_ = std::move(loaded.prefilter);
-}
+SignatureBundle::SignatureBundle(std::istream& artifact)
+    : db_(engine::Database::from_artifact(artifact, &infos_)) {}
 
 std::optional<std::size_t> SignatureBundle::match(
     std::string_view normalized) const {
-  // Candidates come back in ascending index order, so the first confirmed
-  // candidate IS the first matching signature — no need to run the rest.
-  // The buffer is reused per thread: this runs once per sample inside the
-  // CdnFilter batch fan-out.
-  thread_local std::vector<std::size_t> candidates;
-  prefilter_.candidates_into(normalized, candidates);
-  return match_among(candidates, normalized);
+  // Events arrive in ascending index order, so the first event IS the
+  // first matching signature — the engine stops there.
+  auto scratch = scratches_.acquire();
+  const auto hit = engine::first_match(db_, normalized, *scratch);
+  if (!hit) return std::nullopt;
+  return hit->sig_index;
 }
 
 std::optional<std::size_t> SignatureBundle::match_among(
     std::span<const std::size_t> candidates,
     std::string_view normalized) const {
-  for (const std::size_t i : candidates) {
-    if (i >= compiled_.size()) {
-      throw std::out_of_range("SignatureBundle::match_among: bad candidate");
-    }
-    if (compiled_[i].search(normalized).matched) return i;
-  }
-  return std::nullopt;
+  auto scratch = scratches_.acquire();
+  std::optional<std::size_t> hit;
+  engine::confirm(db_, candidates, normalized, *scratch,
+                  [&hit](const engine::MatchEvent& event) {
+                    hit = event.sig_index;
+                    return engine::ScanDecision::Stop;
+                  });
+  return hit;
 }
 
 SignatureBundle::StreamMatch::StreamMatch(const SignatureBundle* bundle)
-    : bundle_(bundle), matcher_(bundle->prefilter_) {}
+    : scratch_(bundle->scratches_.acquire()),
+      stream_(engine::open_stream(bundle->db_, *scratch_)) {}
 
 void SignatureBundle::StreamMatch::feed(std::string_view normalized_chunk) {
-  matcher_.feed(normalized_chunk);
-  normalized_ += normalized_chunk;
+  stream_.feed(normalized_chunk);
 }
 
 std::optional<std::size_t> SignatureBundle::StreamMatch::finish() const {
-  return bundle_->match_among(matcher_.finish(), normalized_);
+  const auto hit = stream_.finish_first();
+  if (!hit) return std::nullopt;
+  return hit->sig_index;
 }
 
 const DeployedSignature& SignatureBundle::info(std::size_t index) const {
@@ -81,20 +66,25 @@ const DeployedSignature& SignatureBundle::info(std::size_t index) const {
 
 namespace {
 
-Verdict verdict_from(const SignatureBundle& bundle,
-                     std::optional<std::size_t> hit) {
+Verdict verdict_from(const std::optional<engine::MatchEvent>& hit) {
   Verdict v;
   if (hit) {
     v.malicious = true;
-    v.signature = bundle.info(*hit).name;
-    v.family = bundle.info(*hit).family;
+    v.signature = std::string(hit->name);
+    v.family = std::string(hit->family);
+    v.signature_index = hit->sig_index;
+    v.match_begin = hit->begin;
+    v.match_end = hit->end;
   }
   return v;
 }
 
-Verdict verdict_of(const SignatureBundle& bundle,
+// One-shot first-match scan of `normalized` on a pooled scratch.
+Verdict verdict_of(const SignatureBundle& bundle, engine::ScratchPool& pool,
                    std::string_view normalized) {
-  return verdict_from(bundle, bundle.match(normalized));
+  auto scratch = pool.acquire();
+  return verdict_from(
+      engine::first_match(bundle.database(), normalized, *scratch));
 }
 
 // Second, algorithm-independent content fingerprint for the BrowserGate
@@ -179,21 +169,24 @@ Verdict BrowserGate::check_script(std::string_view script_source) {
     return *cached;
   }
   // Scan outside the lock: memoization must not serialize the scans.
-  const Verdict v = verdict_of(*bundle_, text::normalize_js(script_source));
+  const Verdict v =
+      verdict_of(*bundle_, scratches_, text::normalize_js(script_source));
   cache_store(key, script_source.size(), fp2, v);
   return v;
 }
 
 BrowserGate::ScriptStream::ScriptStream(BrowserGate* gate)
-    : gate_(gate), matcher_(gate->bundle_->prefilter()) {}
+    : gate_(gate),
+      scratch_(gate->scratches_.acquire()),
+      stream_(engine::open_stream(gate->bundle_->database(), *scratch_)) {}
 
 void BrowserGate::ScriptStream::feed(std::string_view chunk) {
   raw_ += chunk;
   // Raw normalization is per-byte, so it streams chunk by chunk; the
-  // automaton state carries across the boundary inside the matcher.
-  const std::string piece = text::normalize_raw(chunk);
-  matcher_.feed(piece);
-  raw_normalized_ += piece;
+  // automaton state carries across the boundary inside the engine stream.
+  stage_.clear();
+  text::normalize_raw_append(chunk, stage_);
+  stream_.feed(stage_);
 }
 
 Verdict BrowserGate::ScriptStream::finish() {
@@ -212,17 +205,16 @@ Verdict BrowserGate::finish_stream(ScriptStream& stream) {
   }
   Verdict v;
   const std::string normalized = text::normalize_js(stream.raw_);
-  if (normalized == stream.raw_normalized_) {
+  if (normalized == stream.stream_.text()) {
     // Comment-free script (the overwhelmingly common case): token-level
-    // normalization equals the raw normalization the matcher already
-    // streamed over, so the prefilter pass is done — only the candidates
-    // still need VM confirmation.
-    v = verdict_from(*bundle_, bundle_->match_among(stream.matcher_.finish(),
-                                                    normalized));
+    // normalization equals the raw normalization the engine stream already
+    // ran over, so the prefilter pass is done — only the candidates still
+    // need VM confirmation.
+    v = verdict_from(stream.stream_.finish_first());
   } else {
     // Comments (or lexer divergence) changed the scan text: rerun the
     // one-shot path on the token-normalized form check_script would use.
-    v = verdict_of(*bundle_, normalized);
+    v = verdict_of(*bundle_, scratches_, normalized);
   }
   cache_store(key, stream.raw_.size(), fp2, v);
   return v;
@@ -257,18 +249,21 @@ Verdict DesktopScanner::scan_file(std::string_view content) const {
   // raw AV normalization handles all of them, and signature construction
   // guarantees raw-normalized script content is matchable (see
   // text/normalize.h).
-  return verdict_of(*bundle_, text::normalize_raw(content));
+  return verdict_of(*bundle_, scratches_, text::normalize_raw(content));
 }
 
 DesktopScanner::FileStream::FileStream(const DesktopScanner* scanner)
-    : scanner_(scanner), stream_(scanner->bundle_->begin_stream()) {}
+    : scratch_(scanner->scratches_.acquire()),
+      stream_(engine::open_stream(scanner->bundle_->database(), *scratch_)) {}
 
 void DesktopScanner::FileStream::feed(std::string_view raw_chunk) {
-  stream_.feed(text::normalize_raw(raw_chunk));
+  stage_.clear();
+  text::normalize_raw_append(raw_chunk, stage_);
+  stream_.feed(stage_);
 }
 
 Verdict DesktopScanner::FileStream::finish() const {
-  return verdict_from(*scanner_->bundle_, stream_.finish());
+  return verdict_from(stream_.finish_first());
 }
 
 Verdict DesktopScanner::scan_stream(std::istream& in,
@@ -298,39 +293,50 @@ CdnFilter::~CdnFilter() = default;
 
 CdnFilter::Report CdnFilter::filter(
     std::span<const std::string> candidates) const {
-  // Normalize + scan each candidate in parallel (the bundle is immutable
-  // and its prefilter is shared read-only), then aggregate sequentially in
-  // index order so the report is deterministic. The pool is created on
-  // the first batch that fans out and lives with the filter, so repeated
-  // batches don't pay thread churn; single-candidate batches skip the
-  // fan-out entirely.
+  // Normalize + scan each candidate in parallel (the database is immutable
+  // and shared read-only; scratches come from the per-worker pool), then
+  // aggregate sequentially in index order so the report is deterministic.
+  // The pool is created on the first batch that fans out and lives with
+  // the filter, so repeated batches don't pay thread churn;
+  // single-candidate batches skip the fan-out entirely. parallel_for
+  // batches are isolated by per-call completion latches, so concurrent
+  // filter() calls interleave safely on the shared pool.
   std::vector<std::optional<std::size_t>> verdicts(candidates.size());
-  if (candidates.size() < 2) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      verdicts[i] = bundle_->match(text::normalize_raw(candidates[i]));
+  // One pooled scratch per contiguous range, not per candidate: the pool
+  // mutex is touched a handful of times per batch instead of twice per
+  // sample.
+  const auto scan_range = [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+    auto scratch = scratches_.acquire();
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto hit = engine::first_match(
+          bundle_->database(), text::normalize_raw(candidates[i]), *scratch);
+      if (hit) verdicts[i] = hit->sig_index;
     }
+  };
+  if (candidates.size() < 2) {
+    scan_range(0, 0, candidates.size());
   } else {
-    // Serialize concurrent filter() calls: ThreadPool::wait() is
-    // pool-global, so two interleaved parallel_for batches could steal
-    // each other's completion (and first-thrown exception), letting a
-    // never-scanned candidate slip into `hostable`. One batch at a time
-    // keeps the report trustworthy; each batch still fans out internally.
-    std::lock_guard<std::mutex> lock(filter_mu_);
-    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
-    pool_->parallel_for(candidates.size(), [&](std::size_t i) {
-      verdicts[i] = bundle_->match(text::normalize_raw(candidates[i]));
-    });
+    ThreadPool* pool = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+      pool = pool_.get();
+    }
+    pool->parallel_ranges(candidates.size(), pool->size() * 4, scan_range);
   }
 
   Report report;
+  std::map<std::string, std::size_t> hits;  // sorted by name -> stable output
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (verdicts[i]) {
       report.rejected.push_back(i);
-      ++report.hits_per_signature[bundle_->info(*verdicts[i]).name];
+      ++hits[bundle_->info(*verdicts[i]).name];
     } else {
       report.hostable.push_back(i);
     }
   }
+  report.hits_per_signature.assign(hits.begin(), hits.end());
   return report;
 }
 

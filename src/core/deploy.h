@@ -6,17 +6,25 @@
 //  to the file system ...; lastly, server-side, for instance, a CDN
 //  administrator may decide which JavaScript files to host."
 //
-// All three channels consume the same deployed signature set; they differ
-// in what they scan and in their latency budget:
+// All three channels consume one compiled signature set through the
+// unified scan engine (engine/engine.h): SignatureBundle is a thin façade
+// over an immutable engine::Database (compiled patterns + the shared
+// Aho–Corasick prefilter, built once at signature-release time and shipped
+// as a `.kpf` artifact, core/sigdb.h), and every channel scans with
+// per-worker engine::Scratch instances drawn from a pool — the steady-state
+// scan path allocates nothing. Matching is event-driven: the engine
+// delivers MatchEvents and the channels stop at the first one, which is
+// also where the Verdict's signature index and match span come from. The
+// channels differ only in what they scan and in their latency budget:
 //
 //   BrowserGate   per-script admission at execution time. Pages re-serve
 //                 the same scripts constantly, so verdicts are memoized on
 //                 a content-hash LRU — the common case must cost a hash
 //                 lookup, not a scan. Scripts that arrive from the network
 //                 in pieces go through begin_script()/feed()/finish(): the
-//                 literal prefilter streams over the chunks as they land,
-//                 so by end of transfer only candidate confirmation is
-//                 left.
+//                 engine stream carries the automaton state across chunk
+//                 boundaries, so by end of transfer only candidate
+//                 confirmation is left.
 //   DesktopScanner  scans whole files written to disk (browser caches);
 //                 file content is arbitrary, so raw normalization is used.
 //                 Large files stream through begin_file()/scan_stream() in
@@ -24,14 +32,10 @@
 //                 resident, only the (whitespace-stripped) normalized
 //                 text.
 //   CdnFilter     batch admission: partitions a candidate set into
-//                 hostable / rejected, with per-signature hit counts for
-//                 the administrator. Candidates are scanned in parallel
-//                 across a thread pool; the report stays deterministic.
-//
-// The bundle's Aho–Corasick prefilter is a release artifact: built once at
-// signature-release time, shipped as a `.kpf` file (core/sigdb.h), and
-// loaded by every deployment process via SignatureBundle's istream
-// constructor instead of being rebuilt per process.
+//                 hostable / rejected, with deterministic per-signature
+//                 hit counts for the administrator. Candidates are scanned
+//                 in parallel across a thread pool; batches are isolated
+//                 per call, so concurrent filter() calls may share it.
 #pragma once
 
 #include <cstdint>
@@ -44,10 +48,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
-#include "match/prefilter.h"
+#include "engine/engine.h"
 
 namespace kizzle {
 class ThreadPool;
@@ -56,12 +61,11 @@ class ThreadPool;
 namespace kizzle::core {
 
 // A read-only view over a pipeline's deployed signatures, compiled once.
-// All deployment adapters share one SignatureBundle. Matching runs through
-// a shared Aho–Corasick literal prefilter (match/prefilter.h): one pass
-// over the text yields the candidate signatures, which are then confirmed
-// in index order with early exit — the whole database is no longer
-// re-searched to find the first match. Immutable after construction, so
-// concurrent match() calls are safe.
+// All deployment adapters share one SignatureBundle; it owns the
+// engine::Database they scan against (database()) plus the deployment
+// metadata (info()). The bundle's own match()/match_among()/begin_stream()
+// survive as a first-match convenience façade delegating to the engine.
+// Immutable after construction, so concurrent match() calls are safe.
 class SignatureBundle {
  public:
   explicit SignatureBundle(const std::vector<DeployedSignature>& signatures);
@@ -71,49 +75,63 @@ class SignatureBundle {
   // automaton rebuild. Throws std::runtime_error on malformed input.
   explicit SignatureBundle(std::istream& artifact);
 
+  // The compiled engine database: scan it with engine::scan /
+  // engine::open_stream and a Scratch of your own.
+  const engine::Database& database() const { return db_; }
+
   // Index of the first matching signature, or nullopt.
   std::optional<std::size_t> match(std::string_view normalized) const;
 
   // Confirms an ascending candidate list (as produced by the prefilter or
-  // a StreamingMatcher over it) against `normalized`, first match wins.
+  // an engine stream over it) against `normalized`, first match wins.
   std::optional<std::size_t> match_among(
       std::span<const std::size_t> candidates,
       std::string_view normalized) const;
 
-  // Resumable scan over normalized text that arrives in chunks: feed()
-  // streams the prefilter over each piece while the (much smaller)
-  // normalized text accumulates for confirmation; finish() confirms only
-  // the candidates. Result is identical to match() on the concatenation.
+  // Resumable first-match scan over normalized text that arrives in
+  // chunks; a façade over engine::open_stream. Result is identical to
+  // match() on the concatenation.
   class StreamMatch {
    public:
     void feed(std::string_view normalized_chunk);
     std::optional<std::size_t> finish() const;
-    const std::string& normalized() const { return normalized_; }
+    const std::string& normalized() const { return stream_.text(); }
 
    private:
     friend class SignatureBundle;
     explicit StreamMatch(const SignatureBundle* bundle);
-    const SignatureBundle* bundle_;
-    match::StreamingMatcher matcher_;
-    std::string normalized_;
+    // A pooled scratch handle: the scratch arrives warm, lives on the heap
+    // (so the engine stream's borrowed pointer survives moves of the
+    // StreamMatch itself) and returns to the bundle's pool on destruction.
+    engine::ScratchPool::Handle scratch_;
+    engine::Stream stream_;
   };
   StreamMatch begin_stream() const { return StreamMatch(this); }
 
-  const match::LiteralPrefilter& prefilter() const { return prefilter_; }
+  const match::LiteralPrefilter& prefilter() const { return db_.prefilter(); }
 
   const DeployedSignature& info(std::size_t index) const;
   std::size_t size() const { return infos_.size(); }
 
  private:
   std::vector<DeployedSignature> infos_;
-  std::vector<match::Pattern> compiled_;
-  match::LiteralPrefilter prefilter_;
+  engine::Database db_;
+  mutable engine::ScratchPool scratches_;
 };
 
 struct Verdict {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   bool malicious = false;
   std::string signature;  // name of the matching signature when malicious
   std::string family;
+  // Populated from the engine's MatchEvent when malicious: the index of
+  // the matching signature in the bundle and the match span in the
+  // normalized scan text — callers no longer re-derive them by name. All
+  // three are npos on a clean verdict.
+  std::size_t signature_index = npos;
+  std::size_t match_begin = npos;
+  std::size_t match_end = npos;
 };
 
 // ------------------------------- browser -------------------------------
@@ -132,12 +150,13 @@ class BrowserGate {
   // script length and an independent second fingerprint, so a primary-hash
   // collision between two distinct scripts falls through to a real scan
   // instead of returning the other script's verdict. Thread-safe: the
-  // cache is mutex-guarded, and the scan itself runs outside the lock.
+  // cache is mutex-guarded, and the scan itself runs outside the lock on a
+  // pooled per-worker scratch.
   Verdict check_script(std::string_view script_source);
 
   // Chunked admission for a script still arriving from the network. The
-  // prefilter streams over the raw-normalized bytes as they land; finish()
-  // resolves the verdict through the same memoization cache as
+  // engine stream runs over the raw-normalized bytes as they land;
+  // finish() resolves the verdict through the same memoization cache as
   // check_script (and is byte-for-byte equivalent to it). One ScriptStream
   // per in-flight script; distinct streams on one gate are safe
   // concurrently.
@@ -150,9 +169,10 @@ class BrowserGate {
     friend class BrowserGate;
     explicit ScriptStream(BrowserGate* gate);
     BrowserGate* gate_;
-    std::string raw_;             // full source (cache key + normalize_js)
-    std::string raw_normalized_;  // normalize_raw of the chunks so far
-    match::StreamingMatcher matcher_;
+    std::string raw_;    // full source (cache key + normalize_js)
+    std::string stage_;  // per-chunk normalization staging buffer
+    engine::ScratchPool::Handle scratch_;  // warm, returned to the gate's pool
+    engine::Stream stream_;
     bool done_ = false;
   };
   ScriptStream begin_script() { return ScriptStream(this); }
@@ -166,7 +186,7 @@ class BrowserGate {
  private:
   struct Entry {
     Verdict verdict;
-    std::size_t length = 0;        // collision guard 1: exact size
+    std::size_t length = 0;          // collision guard 1: exact size
     std::uint64_t fingerprint2 = 0;  // collision guard 2: independent hash
     std::list<std::uint64_t>::iterator position;
   };
@@ -181,6 +201,7 @@ class BrowserGate {
   const SignatureBundle* bundle_;
   std::size_t capacity_;
   HashFn hash_;
+  engine::ScratchPool scratches_;
   // Guards lru_/cache_ and all counters: check_script and concurrent
   // ScriptStream finishes race on them otherwise (CdnFilter already
   // advertises concurrent use of the sibling channel).
@@ -198,15 +219,14 @@ class DesktopScanner {
  public:
   explicit DesktopScanner(const SignatureBundle* bundle);
 
-  // Scans one file's content (any type; HTML gets script extraction,
-  // everything else raw normalization).
+  // Scans one file's content (any type: cached HTML, bare .js, fragments —
+  // raw AV normalization handles all of them).
   Verdict scan_file(std::string_view content) const;
 
   // Chunked variant for files too large to slurp: raw normalization is
-  // per-byte, so each chunk is normalized and streamed through the
-  // prefilter as it is read; only the normalized text is kept for
-  // candidate confirmation. Equivalent to scan_file on the concatenated
-  // content.
+  // per-byte, so each chunk is normalized and streamed through the engine
+  // as it is read; only the normalized text is kept for candidate
+  // confirmation. Equivalent to scan_file on the concatenated content.
   class FileStream {
    public:
     void feed(std::string_view raw_chunk);
@@ -215,8 +235,9 @@ class DesktopScanner {
    private:
     friend class DesktopScanner;
     explicit FileStream(const DesktopScanner* scanner);
-    const DesktopScanner* scanner_;
-    SignatureBundle::StreamMatch stream_;
+    std::string stage_;  // per-chunk normalization staging buffer
+    engine::ScratchPool::Handle scratch_;  // warm, from the scanner's pool
+    engine::Stream stream_;
   };
   FileStream begin_file() const { return FileStream(this); }
 
@@ -225,6 +246,7 @@ class DesktopScanner {
 
  private:
   const SignatureBundle* bundle_;
+  mutable engine::ScratchPool scratches_;
 };
 
 // --------------------------------- CDN ---------------------------------
@@ -238,21 +260,25 @@ class CdnFilter {
   ~CdnFilter();
 
   struct Report {
-    std::vector<std::size_t> hostable;   // indices into the candidate list
+    std::vector<std::size_t> hostable;  // indices into the candidate list
     std::vector<std::size_t> rejected;
-    std::unordered_map<std::string, std::size_t> hits_per_signature;
+    // Hit counts per signature name, sorted ascending by name: byte-stable
+    // across runs, platforms and scheduling.
+    std::vector<std::pair<std::string, std::size_t>> hits_per_signature;
   };
 
   // Partitions candidate files for hosting. Candidates are normalized and
   // scanned in parallel; the report lists indices in ascending order
   // regardless of scheduling. Safe to call from several threads —
-  // concurrent batches are serialized on the filter's pool.
+  // concurrent batches share the pool, each waiting on its own completion
+  // latch.
   Report filter(std::span<const std::string> candidates) const;
 
  private:
   const SignatureBundle* bundle_;
   std::size_t threads_;
-  mutable std::mutex filter_mu_;  // one batch on the pool at a time
+  mutable engine::ScratchPool scratches_;
+  mutable std::mutex pool_mu_;  // guards lazy pool creation only
   mutable std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -26,40 +26,40 @@ void KizzlePipeline::seed_family(const std::string& family, double threshold,
 
 std::optional<std::size_t> KizzlePipeline::scan(
     std::string_view normalized_text) const {
-  if (compiled_.empty()) return std::nullopt;
-  // Candidates arrive in ascending index order == issue order, so the
-  // first confirmed candidate is the first-match answer. The buffer is
-  // reused per thread: coverage checks scan every cluster sample.
-  thread_local std::vector<std::size_t> candidates;
-  sig_prefilter_.candidates_into(normalized_text, candidates);
-  for (const std::size_t i : candidates) {
-    if (compiled_[i].search(normalized_text).matched) return i;
-  }
-  return std::nullopt;
+  if (signatures_.empty()) return std::nullopt;
+  // Events arrive in ascending index order == issue order, so the first
+  // event is the first-match answer. Scratches come from the pool:
+  // coverage checks scan every cluster sample, possibly from pool workers.
+  auto scratch = scratches_.acquire();
+  const auto hit = engine::first_match(db_, normalized_text, *scratch);
+  if (!hit) return std::nullopt;
+  return hit->sig_index;
 }
 
 std::optional<std::size_t> KizzlePipeline::scan_as_of(
     std::string_view normalized_text, int day, bool include_same_day) const {
-  if (compiled_.empty()) return std::nullopt;
-  thread_local std::vector<std::size_t> candidates;
-  sig_prefilter_.candidates_into(normalized_text, candidates);
-  for (const std::size_t i : candidates) {
-    const int issued = signatures_[i].issued_day;
-    if (issued > day || (issued == day && !include_same_day)) continue;
-    if (compiled_[i].search(normalized_text).matched) return i;
-  }
-  return std::nullopt;
+  if (signatures_.empty()) return std::nullopt;
+  auto scratch = scratches_.acquire();
+  std::optional<std::size_t> hit;
+  // The deployment-day gate runs as the engine's pre-confirmation filter:
+  // signatures not yet live on `day` are skipped before the VM runs.
+  engine::scan(
+      db_, normalized_text, *scratch,
+      [this, day, include_same_day](std::size_t i) {
+        const int issued = signatures_[i].issued_day;
+        return issued < day || (issued == day && include_same_day);
+      },
+      [&hit](const engine::MatchEvent& event) {
+        hit = event.sig_index;
+        return engine::ScanDecision::Stop;
+      });
+  return hit;
 }
 
 void KizzlePipeline::export_artifact(std::ostream& os) const {
-  if (sig_prefilter_.built()) {
-    // The automaton maintained across deployments is the release build.
-    save_artifact(os, signatures_, &sig_prefilter_);
-    return;
-  }
-  // No signature deployed yet (the prefilter was never built): let
-  // save_artifact compile an empty-but-valid automaton.
-  save_artifact(os, signatures_, nullptr);
+  // The automaton maintained across deployments is the release build (an
+  // empty database still carries a built-but-empty automaton).
+  save_artifact(os, signatures_, &db_.prefilter());
 }
 
 std::size_t KizzlePipeline::cluster_medoid(
@@ -179,16 +179,22 @@ void KizzlePipeline::process_cluster(int day,
                                      const std::vector<SampleData>& data,
                                      ClusterReport& cr) {
   // Coverage check: do existing family signatures still match the
-  // cluster's samples?
+  // cluster's samples? Other families' signatures are filtered out before
+  // confirmation; the first family event covers the sample.
   std::size_t covered = 0;
+  auto scratch = scratches_.acquire();
   for (std::size_t s : cr.samples) {
-    for (std::size_t i = 0; i < compiled_.size(); ++i) {
-      if (signatures_[i].family != cr.label) continue;
-      if (compiled_[i].search(data[s].normalized).matched) {
-        ++covered;
-        break;
-      }
-    }
+    bool matched = false;
+    engine::scan(
+        db_, data[s].normalized, *scratch,
+        [this, &cr](std::size_t i) {
+          return signatures_[i].family == cr.label;
+        },
+        [&matched](const engine::MatchEvent&) {
+          matched = true;
+          return engine::ScanDecision::Stop;
+        });
+    if (matched) ++covered;
   }
   const double coverage = cr.samples.empty()
                               ? 1.0
@@ -219,13 +225,14 @@ void KizzlePipeline::process_cluster(int day,
   dep.issued_day = day;
   dep.pattern = signature.pattern;
   dep.token_length = signature.token_length;
-  compiled_.push_back(match::Pattern::compile(signature.pattern));
   signatures_.push_back(std::move(dep));
-  // Deployments are rare (one per packer change, Fig 12), so rebuilding
-  // the whole prefilter here keeps the scan paths allocation- and
-  // lock-free.
-  sig_prefilter_.add(compiled_.size() - 1, compiled_.back().required_literal());
-  sig_prefilter_.build();
+  // Incremental deployment: only the new signature is compiled; existing
+  // entries are shared into the extended database and the prefilter is
+  // rebuilt (rare — one deployment per packer change, Fig 12), keeping the
+  // scan paths allocation- and lock-free.
+  const DeployedSignature& issued = signatures_.back();
+  db_ = db_.extend(engine::Database::Entry{
+      issued.name, issued.family, match::Pattern::compile(issued.pattern)});
   cr.issued_signature = true;
   cr.signature_name = signatures_.back().name;
 }

@@ -22,8 +22,7 @@
 
 #include "cluster/partitioned.h"
 #include "core/corpus.h"
-#include "match/pattern.h"
-#include "match/prefilter.h"
+#include "engine/engine.h"
 #include "sig/compiler.h"
 #include "support/interner.h"
 #include "support/rng.h"
@@ -108,6 +107,12 @@ class KizzlePipeline {
     return signatures_;
   }
 
+  // The compiled form of the deployed set, maintained incrementally across
+  // releases (engine::Database::extend): scan it directly with
+  // engine::scan and a Scratch of your own instead of recompiling
+  // signatures(). Invalidated by the next process_day that deploys.
+  const engine::Database& database() const { return db_; }
+
   // Persists the deployed signature set together with its already-built
   // literal prefilter as a `.kpf` bundle artifact (core/sigdb.h): the
   // automaton is built once here, at signature-release time, and the
@@ -148,11 +153,12 @@ class KizzlePipeline {
   Interner interner_;
   LabeledCorpus corpus_;
   std::vector<DeployedSignature> signatures_;
-  std::vector<match::Pattern> compiled_;
-  // Aho–Corasick prefilter over the deployed signatures' required
-  // literals; rebuilt on each (rare) deployment so scan()/scan_as_of()
-  // confirm only candidate signatures.
-  match::LiteralPrefilter sig_prefilter_;
+  // The compiled form of the deployed set (engine/engine.h): patterns plus
+  // the shared literal prefilter, rebuilt on each (rare) deployment so
+  // scan()/scan_as_of() confirm only candidate signatures out of pooled
+  // per-worker scratches.
+  engine::Database db_;
+  mutable engine::ScratchPool scratches_;
   int sig_counter_ = 0;
 };
 

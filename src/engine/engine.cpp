@@ -1,0 +1,227 @@
+#include "engine/engine.h"
+
+#include <stdexcept>
+
+#include "core/sigdb.h"
+
+namespace kizzle::engine {
+
+// ------------------------------ database ------------------------------
+
+Database::Database() {
+  // An empty automaton is still a built automaton: scans on an empty
+  // database are legal and deliver nothing.
+  prefilter_.build();
+}
+
+void Database::build_prefilter() {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    prefilter_.add(i, entries_[i].pattern.required_literal());
+  }
+  prefilter_.build();
+}
+
+Database Database::compile(const std::vector<Spec>& specs) {
+  Database db;
+  db.entries_.reserve(specs.size());
+  for (const Spec& s : specs) {
+    db.entries_.push_back(
+        Entry{s.name, s.family, match::Pattern::compile(s.pattern)});
+  }
+  db.build_prefilter();
+  return db;
+}
+
+Database Database::compile(const std::vector<core::DeployedSignature>& sigs) {
+  std::vector<Spec> specs;
+  specs.reserve(sigs.size());
+  for (const core::DeployedSignature& s : sigs) {
+    specs.push_back(Spec{s.name, s.family, s.pattern});
+  }
+  return compile(specs);
+}
+
+Database Database::from_entries(std::vector<Entry> entries) {
+  Database db;
+  db.entries_ = std::move(entries);
+  db.build_prefilter();
+  return db;
+}
+
+Database Database::from_entries(std::vector<Entry> entries,
+                                match::LiteralPrefilter prebuilt) {
+  if (!prebuilt.built()) {
+    throw std::runtime_error("engine::Database: prefilter not built");
+  }
+  if (prebuilt.id_count() != entries.size()) {
+    throw std::runtime_error(
+        "engine::Database: prefilter id count disagrees with entry list");
+  }
+  Database db;
+  db.entries_ = std::move(entries);
+  db.prefilter_ = std::move(prebuilt);
+  return db;
+}
+
+Database Database::from_artifact(
+    std::istream& artifact,
+    std::vector<core::DeployedSignature>* signatures_out) {
+  // No trial compilation inside the loader: every pattern is compiled for
+  // real right below (and a bad one still throws).
+  core::BundleArtifact loaded =
+      core::load_artifact(artifact, /*validate_patterns=*/false);
+  std::vector<Entry> entries;
+  entries.reserve(loaded.signatures.size());
+  for (const core::DeployedSignature& s : loaded.signatures) {
+    entries.push_back(
+        Entry{s.name, s.family, match::Pattern::compile(s.pattern)});
+  }
+  if (signatures_out != nullptr) *signatures_out = std::move(loaded.signatures);
+  // The release-time automaton, exactly as built by `kizzle pack` /
+  // KizzlePipeline::export_artifact — no per-process rebuild.
+  return from_entries(std::move(entries), std::move(loaded.prefilter));
+}
+
+Database Database::extend(Entry extra) const {
+  Database out;
+  out.entries_.reserve(entries_.size() + 1);
+  // Shared programs: copying an existing entry is O(1).
+  out.entries_.insert(out.entries_.end(), entries_.begin(), entries_.end());
+  out.entries_.push_back(std::move(extra));
+  out.build_prefilter();
+  return out;
+}
+
+const std::string& Database::name(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("engine::Database::name: bad index");
+  }
+  return entries_[index].name;
+}
+
+const std::string& Database::family(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("engine::Database::family: bad index");
+  }
+  return entries_[index].family;
+}
+
+const match::Pattern& Database::pattern(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("engine::Database::pattern: bad index");
+  }
+  return entries_[index].pattern;
+}
+
+// ------------------------------- scanning ------------------------------
+
+namespace {
+
+// The one confirmation loop every scan shape funnels into. Candidates are
+// ascending, so the first delivered event is the brute-force first match;
+// budget-exceeded confirmations are counted and skipped, exactly like the
+// pre-engine Scanner/SignatureBundle paths.
+ScanOutcome confirm_loop(const Database& db,
+                         std::span<const std::size_t> candidates,
+                         std::string_view text, match::VmScratch& vm,
+                         const CandidateFn* should_confirm, MatchFn on_match) {
+  ScanOutcome out;
+  const std::span<const Database::Entry> entries = db.entries();
+  for (const std::size_t i : candidates) {
+    if (i >= entries.size()) {
+      throw std::out_of_range("engine::confirm: bad candidate index");
+    }
+    if (should_confirm != nullptr && !(*should_confirm)(i)) continue;
+    const Database::Entry& entry = entries[i];  // bounds-checked above
+    const match::SpanResult r = entry.pattern.search_span(text, vm);
+    if (r.budget_exceeded) {
+      ++out.budget_exceeded;
+      continue;
+    }
+    if (!r.matched) continue;
+    ++out.events;
+    const MatchEvent event{i, r.begin, r.end, entry.name, entry.family};
+    if (on_match(event) == ScanDecision::Stop) {
+      out.stopped = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
+                 MatchFn on_match) {
+  db.prefilter().candidates_into(text, scratch.candidates_);
+  return confirm_loop(db, scratch.candidates_, text, scratch.vm_, nullptr,
+                      on_match);
+}
+
+ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
+                 CandidateFn should_confirm, MatchFn on_match) {
+  db.prefilter().candidates_into(text, scratch.candidates_);
+  return confirm_loop(db, scratch.candidates_, text, scratch.vm_,
+                      &should_confirm, on_match);
+}
+
+ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
+                    std::string_view text, Scratch& scratch, MatchFn on_match) {
+  return confirm_loop(db, candidates, text, scratch.vm_, nullptr, on_match);
+}
+
+ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
+                    std::string_view text, Scratch& scratch,
+                    CandidateFn should_confirm, MatchFn on_match) {
+  return confirm_loop(db, candidates, text, scratch.vm_, &should_confirm,
+                      on_match);
+}
+
+std::optional<MatchEvent> first_match(const Database& db, std::string_view text,
+                                      Scratch& scratch) {
+  std::optional<MatchEvent> first;
+  scan(db, text, scratch, [&first](const MatchEvent& event) {
+    first = event;
+    return ScanDecision::Stop;
+  });
+  return first;
+}
+
+// ------------------------------- streams -------------------------------
+
+Stream open_stream(const Database& db, Scratch& scratch) {
+  if (scratch.matcher_.has_value()) {
+    scratch.matcher_->rebind(db.prefilter());
+  } else {
+    scratch.matcher_.emplace(db.prefilter());
+  }
+  scratch.normalized_.clear();
+  return Stream(&db, &scratch);
+}
+
+void Stream::feed(std::string_view normalized_chunk) {
+  scratch_->matcher_->feed(normalized_chunk);
+  scratch_->normalized_ += normalized_chunk;
+}
+
+ScanOutcome Stream::finish(MatchFn on_match) const {
+  // Snapshot semantics: the cursor's candidate set is materialized into
+  // the scratch's candidate buffer, then confirmed against the accumulated
+  // text. Feeding may continue afterwards.
+  scratch_->matcher_->finish_into(scratch_->candidates_);
+  return confirm_loop(*db_, scratch_->candidates_, scratch_->normalized_,
+                      scratch_->vm_, nullptr, on_match);
+}
+
+std::optional<MatchEvent> Stream::finish_first() const {
+  std::optional<MatchEvent> first;
+  finish([&first](const MatchEvent& event) {
+    first = event;
+    return ScanDecision::Stop;
+  });
+  return first;
+}
+
+std::size_t Stream::bytes_fed() const { return scratch_->matcher_->bytes_fed(); }
+
+}  // namespace kizzle::engine

@@ -1,0 +1,378 @@
+// The unified scan engine: one compiled database, per-thread scratch,
+// event-driven matching (the Hyperscan compile/scratch/callback split).
+//
+// The paper deploys one compiled signature set through three very
+// different admission points (browser, desktop, CDN) plus the pipeline's
+// own coverage checks and the simulated AV baseline. All of them used to
+// carry their own matching surface — per-scan candidate buffers, per-scan
+// result vectors, a different result shape each. This header is the single
+// seam they now share:
+//
+//   engine::Database   immutable compiled form of a signature set: the
+//                      compiled patterns plus the shared Aho–Corasick
+//                      literal prefilter. Built once (from specs, deployed
+//                      signatures, precompiled entries, or a `.kpf`
+//                      release artifact) and then shared read-only by any
+//                      number of threads.
+//   engine::Scratch    per-thread/per-worker mutable working memory: the
+//                      candidate vector, the streaming cursor, the
+//                      accumulated normalized text, and the backtracking
+//                      VM's buffers. Steady-state scanning with a warm
+//                      Scratch performs ZERO heap allocations (asserted in
+//                      tests/engine_test.cpp); buffers grow to the
+//                      database's high-water mark and stay.
+//   scan()/confirm()   event-driven matching: every matching signature is
+//                      delivered as a MatchEvent (index, span, name,
+//                      family) to a callback that returns Continue or
+//                      Stop. First-match consumers (deployment channels)
+//                      and all-matches consumers (Scanner, the CLI, the
+//                      experiments) are the same code path — they differ
+//                      only in what the callback returns.
+//   open_stream()      resumable scanning for text that arrives in chunks:
+//                      the prefilter automaton streams over each piece
+//                      (state carried across boundaries), finish() confirms
+//                      only the candidates against the accumulated text.
+//
+// Events are delivered in ascending signature-index order (== issue
+// order), so "first event" is exactly the brute-force first-match answer.
+// Candidates whose confirmation exceeds the VM step budget are skipped and
+// counted in ScanOutcome::budget_exceeded, never delivered.
+//
+// Sharding (per-family automata) and a SIMD literal first stage (ROADMAP)
+// plug in behind this seam without another channel rewrite.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "match/pattern.h"
+#include "match/prefilter.h"
+
+namespace kizzle::core {
+struct DeployedSignature;
+}
+
+namespace kizzle::engine {
+
+// One delivered match. `name`/`family` view the database's own storage and
+// stay valid for the database's lifetime; the span is in the scanned text.
+struct MatchEvent {
+  std::size_t sig_index = 0;  // index into the database
+  std::size_t begin = 0;      // match span in the scanned (normalized) text
+  std::size_t end = 0;
+  std::string_view name;
+  std::string_view family;
+};
+
+enum class ScanDecision { Continue, Stop };
+
+// Non-owning callable reference (no std::function: a capturing lambda must
+// not cost a heap allocation on the scan path). The referenced callable
+// only needs to outlive the call it is passed to.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& fn) noexcept  // NOLINT: implicit by design
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<F>>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+// on_match: return Continue for all-matches semantics, Stop after the
+// first event for first-match semantics.
+using MatchFn = FunctionRef<ScanDecision(const MatchEvent&)>;
+// Pre-confirmation gate: return false to skip a candidate without running
+// the VM (e.g. a signature not yet deployed on the scanned day).
+using CandidateFn = FunctionRef<bool(std::size_t)>;
+
+struct ScanOutcome {
+  std::size_t events = 0;           // MatchEvents delivered
+  std::size_t budget_exceeded = 0;  // candidates skipped on VM budget
+  bool stopped = false;             // the callback returned Stop
+};
+
+// ------------------------------ database ------------------------------
+
+// Immutable compiled signature database. Construction compiles (or
+// adopts) the patterns and builds (or adopts) the literal prefilter; after
+// that every member is const and safe to share across threads.
+class Database {
+ public:
+  // Source form of one signature.
+  struct Spec {
+    std::string name;
+    std::string family;
+    std::string pattern;  // regex source
+  };
+
+  // Precompiled form (name/family label + compiled pattern).
+  struct Entry {
+    std::string name;
+    std::string family;
+    match::Pattern pattern;
+  };
+
+  // An empty database: scans deliver no events.
+  Database();
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
+
+  // Compiles pattern sources; throws match::PatternError on bad input.
+  static Database compile(const std::vector<Spec>& specs);
+  // Compiles a deployed signature set (core::DeployedSignature.pattern).
+  static Database compile(const std::vector<core::DeployedSignature>& sigs);
+  // Adopts precompiled entries and builds the prefilter over them.
+  static Database from_entries(std::vector<Entry> entries);
+  // Adopts precompiled entries plus a release-time prebuilt automaton
+  // (skipping the per-process rebuild). Throws std::runtime_error if the
+  // automaton's id count disagrees with the entry list.
+  static Database from_entries(std::vector<Entry> entries,
+                               match::LiteralPrefilter prebuilt);
+  // Loads a `.kpf` bundle artifact (core/sigdb.h): signatures plus the
+  // release-built automaton. Throws std::runtime_error on malformed input.
+  // When `signatures_out` is non-null it receives the deployment metadata
+  // (issued day, token length) the database itself does not retain.
+  static Database from_artifact(
+      std::istream& artifact,
+      std::vector<core::DeployedSignature>* signatures_out = nullptr);
+
+  // A database holding this database's entries plus `extra`, with the
+  // prefilter rebuilt over the union. Existing patterns are shared, not
+  // recompiled — the incremental deployment path (one new signature per
+  // release).
+  Database extend(Entry extra) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& name(std::size_t index) const;
+  const std::string& family(std::size_t index) const;
+  const match::Pattern& pattern(std::size_t index) const;
+  // Read-only view over all entries; the scan loop indexes it directly
+  // after its own bounds check instead of paying the per-field throwing
+  // accessors per candidate.
+  std::span<const Entry> entries() const { return entries_; }
+  const match::LiteralPrefilter& prefilter() const { return prefilter_; }
+
+ private:
+  void build_prefilter();
+
+  std::vector<Entry> entries_;
+  match::LiteralPrefilter prefilter_;
+};
+
+// ------------------------------- scratch -------------------------------
+
+class Stream;
+
+// Per-thread (or per in-flight document) mutable scan state. Everything a
+// scan needs to allocate lives here and is recycled across calls: the
+// candidate list, the streaming automaton cursor, the accumulated
+// normalized text, and the VM's backtracking buffers. A Scratch may be
+// used with any number of databases over its lifetime (buffers re-size on
+// first contact with a larger database, then stabilize). Not thread-safe:
+// one Scratch per concurrent scan.
+class Scratch {
+ public:
+  Scratch() = default;
+  Scratch(Scratch&&) noexcept = default;
+  Scratch& operator=(Scratch&&) noexcept = default;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  // The accumulated (normalized) text of the stream currently open on this
+  // scratch — identical to the concatenation of every feed() since
+  // open_stream(). Valid until the next open_stream()/scan() on this
+  // scratch.
+  const std::string& stream_text() const { return normalized_; }
+
+ private:
+  friend class Stream;
+  friend ScanOutcome scan(const Database&, std::string_view, Scratch&,
+                          MatchFn);
+  friend ScanOutcome scan(const Database&, std::string_view, Scratch&,
+                          CandidateFn, MatchFn);
+  friend ScanOutcome confirm(const Database&, std::span<const std::size_t>,
+                             std::string_view, Scratch&, MatchFn);
+  friend ScanOutcome confirm(const Database&, std::span<const std::size_t>,
+                             std::string_view, Scratch&, CandidateFn,
+                             MatchFn);
+  friend Stream open_stream(const Database&, Scratch&);
+
+  std::vector<std::size_t> candidates_;
+  std::string normalized_;  // stream accumulation buffer
+  match::VmScratch vm_;
+  std::optional<match::StreamingMatcher> matcher_;
+};
+
+// ------------------------------- scanning ------------------------------
+
+// One-shot scan of `text`: prefilter pass, then candidate confirmation in
+// ascending index order, one MatchEvent per matching signature (first
+// match span each) until the callback stops the scan.
+ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
+                 MatchFn on_match);
+// Same, with a pre-confirmation candidate gate.
+ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
+                 CandidateFn should_confirm, MatchFn on_match);
+
+// Confirms an ascending candidate list (as produced by the prefilter or a
+// streaming cursor over it) against `text`. scan() == prefilter +
+// confirm(); stream finish() == cursor snapshot + confirm().
+ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
+                    std::string_view text, Scratch& scratch, MatchFn on_match);
+ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
+                    std::string_view text, Scratch& scratch,
+                    CandidateFn should_confirm, MatchFn on_match);
+
+// Convenience for the ubiquitous first-match shape: the lowest-index
+// matching signature, or nullopt. (A scan that only needs a yes/no or a
+// single hit should not have to write a callback.)
+std::optional<MatchEvent> first_match(const Database& db, std::string_view text,
+                                      Scratch& scratch);
+
+// ------------------------------- streams -------------------------------
+
+// Resumable scan over text that arrives in chunks. A Stream is a thin
+// borrowing handle: all state lives in the Scratch (and the Database),
+// which must both outlive it; one open stream per Scratch at a time.
+// finish() is a snapshot — feeding may continue afterwards.
+class Stream {
+ public:
+  // Consumes the next chunk of (already normalized) scan text: streams the
+  // prefilter automaton over it and accumulates it for confirmation.
+  void feed(std::string_view normalized_chunk);
+
+  // Confirms the candidates seen so far against the accumulated text.
+  // Identical to scan(db, <all chunks concatenated>, scratch, on_match).
+  ScanOutcome finish(MatchFn on_match) const;
+  std::optional<MatchEvent> finish_first() const;
+
+  // The accumulated text (== scratch.stream_text()).
+  const std::string& text() const { return scratch_->normalized_; }
+  std::size_t bytes_fed() const;
+
+ private:
+  friend Stream open_stream(const Database&, Scratch&);
+  Stream(const Database* db, Scratch* scratch) : db_(db), scratch_(scratch) {}
+
+  const Database* db_;
+  Scratch* scratch_;
+};
+
+// Arms `scratch` for a new stream over `db` (rewinding any previous stream
+// state) and returns the handle.
+Stream open_stream(const Database& db, Scratch& scratch);
+
+// ----------------------------- scratch pool ----------------------------
+
+// A free list of Scratch instances for components that scan from many
+// threads (CdnFilter workers, concurrent BrowserGate admissions): acquire
+// a warm scratch, scan, return it on handle destruction. Steady state
+// serves every worker from recycled scratches — the lock is held only for
+// the list pop/push, never during a scan.
+class ScratchPool {
+ public:
+  class Handle {
+   public:
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {
+      other.pool_ = nullptr;
+    }
+    Handle& operator=(Handle&&) = delete;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() {
+      if (pool_ != nullptr) pool_->release(std::move(scratch_));
+    }
+
+    Scratch& operator*() const { return *scratch_; }
+    Scratch* operator->() const { return scratch_.get(); }
+
+   private:
+    friend class ScratchPool;
+    Handle(ScratchPool* pool, std::unique_ptr<Scratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+    ScratchPool* pool_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
+  Handle acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<Scratch> s = std::move(free_.back());
+        free_.pop_back();
+        return Handle(this, std::move(s));
+      }
+    }
+    return Handle(this, std::make_unique<Scratch>());
+  }
+
+ private:
+  void release(std::unique_ptr<Scratch> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Scratch>> free_;
+};
+
+// --------------------------- lazy database -----------------------------
+
+// Invalidation-aware holder for a Database owned by a mutable signature
+// container (match::Scanner, av::ManualAvEngine): the owner calls
+// invalidate() whenever its set changes and ensure() from const read
+// paths. Double-checked locking keeps the fast path to one acquire load;
+// concurrent readers are safe once built.
+class LazyDatabase {
+ public:
+  void invalidate() { ready_.store(false, std::memory_order_release); }
+
+  // Returns the up-to-date database, rebuilding it first if stale:
+  // `build()` must return the freshly compiled Database.
+  template <typename BuildFn>
+  const Database& ensure(BuildFn&& build) const {
+    if (!ready_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!ready_.load(std::memory_order_relaxed)) {
+        db_ = build();
+        ready_.store(true, std::memory_order_release);
+      }
+    }
+    return db_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> ready_{false};
+  mutable Database db_;
+};
+
+}  // namespace kizzle::engine

@@ -650,27 +650,21 @@ Pattern::~Pattern() = default;
 Pattern::Pattern(Pattern&&) noexcept = default;
 Pattern& Pattern::operator=(Pattern&&) noexcept = default;
 
-Pattern::Pattern(const Pattern& other) : source_(other.source_) {
-  program_ = std::make_unique<detail::Program>(*other.program_);
-}
-
-Pattern& Pattern::operator=(const Pattern& other) {
-  if (this != &other) {
-    source_ = other.source_;
-    program_ = std::make_unique<detail::Program>(*other.program_);
-  }
-  return *this;
-}
+// The compiled program is immutable once compile() returns, so copies
+// share it: copying a Pattern costs one shared_ptr bump.
+Pattern::Pattern(const Pattern&) = default;
+Pattern& Pattern::operator=(const Pattern&) = default;
 
 Pattern Pattern::compile(std::string_view source) {
   Pattern p;
   p.source_ = std::string(source);
-  p.program_ = std::make_unique<detail::Program>();
-  detail::Parser parser(source, *p.program_);
+  auto program = std::make_shared<detail::Program>();
+  detail::Parser parser(source, *program);
   auto root = parser.run();
-  detail::Compiler compiler(*p.program_);
+  detail::Compiler compiler(*program);
   compiler.run(*root);
-  detail::find_literal(*root, *p.program_);
+  detail::find_literal(*root, *program);
+  p.program_ = std::move(program);
   return p;
 }
 

@@ -75,7 +75,38 @@ struct MatchResult {
 
 namespace detail {
 struct Program;  // compiled form, private to the implementation
+struct VmState;  // reusable VM working memory, private to the executor
 }
+
+// Span-only search result for the allocation-free scan path: no capture
+// group extraction, so confirming a candidate never touches the heap.
+struct SpanResult {
+  bool matched = false;
+  bool budget_exceeded = false;
+  std::size_t begin = 0;  // valid iff matched
+  std::size_t end = 0;
+
+  explicit operator bool() const { return matched; }
+};
+
+// Reusable backtracking-VM working memory (capture slots, progress marks,
+// undo log, backtrack stack). One VmScratch per thread/worker: recycling it
+// across search_span() calls keeps the steady-state scan path free of heap
+// allocation (buffers grow to the database's high-water mark, then stop).
+// engine::Scratch owns one; standalone callers may construct their own.
+class VmScratch {
+ public:
+  VmScratch();
+  ~VmScratch();
+  VmScratch(VmScratch&&) noexcept;
+  VmScratch& operator=(VmScratch&&) noexcept;
+  VmScratch(const VmScratch&) = delete;
+  VmScratch& operator=(const VmScratch&) = delete;
+
+ private:
+  friend class Pattern;
+  std::unique_ptr<detail::VmState> state_;
+};
 
 class Pattern {
  public:
@@ -84,6 +115,9 @@ class Pattern {
 
   Pattern(Pattern&&) noexcept;
   Pattern& operator=(Pattern&&) noexcept;
+  // Copies share the immutable compiled program (it is never mutated after
+  // compile()), so copying a Pattern is O(1) — a signature container and
+  // the engine database built from it hold one program between them.
   Pattern(const Pattern&);
   Pattern& operator=(const Pattern&);
   ~Pattern();
@@ -96,6 +130,13 @@ class Pattern {
   // Anchored attempt: does a match start exactly at `at`?
   MatchResult match_at(std::string_view text, std::size_t at,
                        std::uint64_t budget = 0) const;
+
+  // Allocation-free variant of search(): same semantics (literal
+  // quick-reject, budget, leftmost match), but reports only the match span
+  // — no capture extraction — and runs the VM out of `scratch` instead of
+  // per-call buffers. This is the engine's candidate-confirmation path.
+  SpanResult search_span(std::string_view text, VmScratch& scratch,
+                         std::size_t from = 0, std::uint64_t budget = 0) const;
 
   // Convenience: true iff the pattern occurs anywhere in `text`.
   bool found_in(std::string_view text) const { return search(text).matched; }
@@ -118,7 +159,7 @@ class Pattern {
  private:
   Pattern();
   std::string source_;
-  std::unique_ptr<detail::Program> program_;
+  std::shared_ptr<const detail::Program> program_;
 };
 
 }  // namespace kizzle::match

@@ -11,7 +11,31 @@ namespace kizzle::match {
 
 namespace {
 constexpr std::int32_t kNone = -1;
+
+// Merges the sorted automaton hits in `out` with the sorted `fallback` ids
+// (the two sets are disjoint by construction). std::inplace_merge may heap-
+// allocate a temporary buffer, which would break the scan path's zero-
+// allocation guarantee; merging from the back into the resized vector
+// needs no staging — the write cursor k == i + j stays strictly ahead of
+// the unread hit prefix while any fallback element remains.
+void merge_fallback(std::vector<std::size_t>& out,
+                    const std::vector<std::size_t>& fallback) {
+  if (fallback.empty()) return;
+  std::size_t i = out.size();
+  std::size_t j = fallback.size();
+  out.resize(i + j);
+  std::size_t k = out.size();
+  while (j > 0) {
+    if (i > 0 && out[i - 1] > fallback[j - 1]) {
+      out[--k] = out[--i];
+    } else {
+      out[--k] = fallback[--j];
+    }
+  }
+  // out[0..i) is already in place.
 }
+
+}  // namespace
 
 void LiteralPrefilter::add(std::size_t id, std::string_view literal) {
   if (literal.empty()) {
@@ -176,10 +200,7 @@ void LiteralPrefilter::candidates_into(std::string_view text,
 
   std::sort(out.begin(), out.end());
   // Merge in the (sorted, deduped) fallback ids.
-  const std::size_t mid = out.size();
-  out.insert(out.end(), fallback_.begin(), fallback_.end());
-  std::inplace_merge(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(mid),
-                     out.end());
+  merge_fallback(out, fallback_);
 }
 
 // ----------------------------- persistence -----------------------------
@@ -483,11 +504,7 @@ void StreamingMatcher::finish_into(std::vector<std::size_t>& out) const {
   // continue after a finish(); the sorted merge happens on the copy.
   out = found_;
   std::sort(out.begin(), out.end());
-  const std::size_t mid = out.size();
-  const auto& fallback = pf_->fallback_;
-  out.insert(out.end(), fallback.begin(), fallback.end());
-  std::inplace_merge(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(mid),
-                     out.end());
+  merge_fallback(out, pf_->fallback_);
 }
 
 std::vector<std::size_t> StreamingMatcher::finish() const {
@@ -501,6 +518,20 @@ void StreamingMatcher::reset() {
   bytes_fed_ = 0;
   n_seen_ = 0;
   std::fill(seen_.begin(), seen_.end(), 0);
+  found_.clear();
+}
+
+void StreamingMatcher::rebind(const LiteralPrefilter& prefilter) {
+  if (!prefilter.built()) {
+    throw std::logic_error("StreamingMatcher: prefilter not built");
+  }
+  pf_ = &prefilter;
+  state_ = 0;
+  bytes_fed_ = 0;
+  n_seen_ = 0;
+  // assign() both sizes the bitmap for the new automaton and zeroes it; a
+  // same-capacity rebind touches no heap.
+  seen_.assign(pf_->id_limit_, 0);
   found_.clear();
 }
 

@@ -30,10 +30,8 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -155,6 +153,13 @@ class StreamingMatcher {
   // Rewinds to the start-of-text state for the next document.
   void reset();
 
+  // Re-targets the cursor at `prefilter` — possibly a different automaton —
+  // resizing the dedup bitmap and rewinding. Equivalent to constructing a
+  // fresh matcher, but reuses the existing buffers: rebinding to an
+  // automaton of the same id capacity performs no heap allocation. This is
+  // how a recycled engine::Scratch re-arms its streaming cursor.
+  void rebind(const LiteralPrefilter& prefilter);
+
   std::size_t bytes_fed() const { return bytes_fed_; }
 
  private:
@@ -164,38 +169,6 @@ class StreamingMatcher {
   std::size_t n_seen_ = 0;
   std::vector<std::uint8_t> seen_;    // per-id dedup bitmap
   std::vector<std::size_t> found_;    // automaton ids, discovery order
-};
-
-// Lazy, invalidation-aware holder for a LiteralPrefilter owned by a
-// mutable signature container (Scanner, ManualAvEngine): the owner calls
-// invalidate() whenever its set changes and ensure() from const read
-// paths. Double-checked locking keeps the fast path to one acquire load;
-// concurrent readers are safe once built.
-class LazyPrefilter {
- public:
-  void invalidate() { ready_.store(false, std::memory_order_release); }
-
-  // Returns the up-to-date automaton, rebuilding it first if stale:
-  // `populate(prefilter)` must add() every (id, literal) pair; build() is
-  // called here.
-  template <typename Fn>
-  const LiteralPrefilter& ensure(Fn&& populate) const {
-    if (!ready_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!ready_.load(std::memory_order_relaxed)) {
-        prefilter_ = LiteralPrefilter();
-        populate(prefilter_);
-        prefilter_.build();
-        ready_.store(true, std::memory_order_release);
-      }
-    }
-    return prefilter_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  mutable std::atomic<bool> ready_{false};
-  mutable LiteralPrefilter prefilter_;
 };
 
 }  // namespace kizzle::match

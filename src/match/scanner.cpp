@@ -8,7 +8,7 @@ namespace kizzle::match {
 
 std::size_t Scanner::add(std::string name, Pattern pattern) {
   entries_.push_back(Entry{std::move(name), std::move(pattern)});
-  prefilter_.invalidate();
+  database_.invalidate();
   return entries_.size() - 1;
 }
 
@@ -26,35 +26,37 @@ const Pattern& Scanner::pattern(std::size_t index) const {
   return entries_[index].pattern;
 }
 
-const LiteralPrefilter& Scanner::prefilter() const {
-  return prefilter_.ensure([this](LiteralPrefilter& pf) {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      pf.add(i, entries_[i].pattern.required_literal());
+const engine::Database& Scanner::database() const {
+  return database_.ensure([this] {
+    std::vector<engine::Database::Entry> compiled;
+    compiled.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      compiled.push_back(engine::Database::Entry{e.name, "", e.pattern});
     }
+    return engine::Database::from_entries(std::move(compiled));
   });
 }
 
-void Scanner::scan_into(std::string_view text,
-                        const LiteralPrefilter& prefilter,
-                        std::vector<std::size_t>& candidates,
+void Scanner::scan_into(std::string_view text, const engine::Database& db,
+                        engine::Scratch& scratch,
                         std::vector<ScanHit>& hits) const {
-  prefilter.candidates_into(text, candidates);
   hits.clear();
-  hits.reserve(candidates.size());
-  for (const std::size_t i : candidates) {
-    const MatchResult r = entries_[i].pattern.search(text);
-    if (r.budget_exceeded) {
-      budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (r.matched) hits.push_back(ScanHit{i, r.begin, r.end});
+  const engine::ScanOutcome outcome =
+      engine::scan(db, text, scratch, [&hits](const engine::MatchEvent& event) {
+        hits.push_back(ScanHit{event.sig_index, event.begin, event.end});
+        return engine::ScanDecision::Continue;
+      });
+  if (outcome.budget_exceeded != 0) {  // don't touch the shared line for 0
+    budget_exceeded_.fetch_add(outcome.budget_exceeded,
+                               std::memory_order_relaxed);
   }
 }
 
 std::vector<ScanHit> Scanner::scan(std::string_view text) const {
-  std::vector<std::size_t> candidates;
+  const engine::Database& db = database();
+  auto scratch = scratches_.acquire();
   std::vector<ScanHit> hits;
-  scan_into(text, prefilter(), candidates, hits);
+  scan_into(text, db, *scratch, hits);
   return hits;
 }
 
@@ -73,14 +75,19 @@ std::vector<ScanHit> Scanner::scan_brute_force(std::string_view text) const {
 
 std::vector<std::vector<ScanHit>> Scanner::scan_batch(
     std::span<const std::string> texts, ThreadPool& pool) const {
-  const LiteralPrefilter& pf = prefilter();  // build once, before fan-out
+  const engine::Database& db = database();  // build once, before fan-out
   std::vector<std::vector<ScanHit>> results(texts.size());
-  pool.parallel_for(texts.size(), [&](std::size_t i) {
-    // Candidate/hit buffers are per-task; the automaton and patterns are
-    // shared read-only.
-    std::vector<std::size_t> candidates;
-    scan_into(texts[i], pf, candidates, results[i]);
-  });
+  // The database is shared read-only; each range task scans out of one
+  // pooled scratch (per-range, not per-text, to keep the pool mutex off
+  // the per-sample path).
+  pool.parallel_ranges(
+      texts.size(), pool.size() * 4,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        auto scratch = scratches_.acquire();
+        for (std::size_t i = begin; i < end; ++i) {
+          scan_into(texts[i], db, *scratch, results[i]);
+        }
+      });
   return results;
 }
 
@@ -96,17 +103,19 @@ std::vector<std::vector<ScanHit>> Scanner::scan_batch(
 }
 
 bool Scanner::any_match(std::string_view text) const {
-  std::vector<std::size_t> candidates;
-  prefilter().candidates_into(text, candidates);
-  for (const std::size_t i : candidates) {
-    const MatchResult r = entries_[i].pattern.search(text);
-    if (r.budget_exceeded) {
-      budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (r.matched) return true;
+  const engine::Database& db = database();
+  auto scratch = scratches_.acquire();
+  bool found = false;
+  const engine::ScanOutcome outcome =
+      engine::scan(db, text, *scratch, [&found](const engine::MatchEvent&) {
+        found = true;
+        return engine::ScanDecision::Stop;
+      });
+  if (outcome.budget_exceeded != 0) {
+    budget_exceeded_.fetch_add(outcome.budget_exceeded,
+                               std::memory_order_relaxed);
   }
-  return false;
+  return found;
 }
 
 }  // namespace kizzle::match

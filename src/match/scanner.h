@@ -1,17 +1,21 @@
-// Multi-signature scanner: the deployable "AV engine" surface.
+// Multi-signature scanner: a mutable signature container over the unified
+// scan engine (engine/engine.h).
 //
 // Holds a set of compiled signatures with ids and scans normalized sample
 // text against all of them, reporting every hit. Both Kizzle-generated
 // and hand-written (simulated-analyst) signatures are deployed through
 // this interface.
 //
-// Scanning is prefiltered: a shared Aho–Corasick automaton over every
-// signature's required literal (see match/prefilter.h) turns the
-// per-signature memmem passes into one streaming pass over the text, after
-// which only the candidate signatures run the backtracking VM. The
-// automaton is built lazily on first scan and rebuilt after add(); scan(),
-// any_match() and scan_batch() are const and safe to call concurrently
-// once the signature set is frozen.
+// Scanning routes through engine::scan: one compiled engine::Database
+// (shared Aho–Corasick literal prefilter + patterns, rebuilt lazily after
+// add()) and a pool of per-worker engine::Scratch instances, so the
+// steady-state scan path allocates nothing beyond the returned hit
+// vector. scan(), any_match() and scan_batch() are const and safe to call
+// concurrently once the signature set is frozen; scan_batch batches on a
+// caller-provided pool are isolated per call (each batch waits on its own
+// completion latch), so any number of concurrent batches may share one
+// pool. The per-signature brute-force path survives as scan_brute_force,
+// the oracle for differential tests and the baseline for benchmarks.
 #pragma once
 
 #include <atomic>
@@ -21,8 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/engine.h"
 #include "match/pattern.h"
-#include "match/prefilter.h"
 
 namespace kizzle {
 class ThreadPool;
@@ -39,7 +43,7 @@ struct ScanHit {
 class Scanner {
  public:
   Scanner() = default;
-  // Scanners are stateful (lazy prefilter, counters); copying one would
+  // Scanners are stateful (lazy database, counters); copying one would
   // silently fork those. Keep them pinned.
   Scanner(const Scanner&) = delete;
   Scanner& operator=(const Scanner&) = delete;
@@ -64,13 +68,9 @@ class Scanner {
   std::vector<ScanHit> scan_brute_force(std::string_view text) const;
 
   // Scans a batch of samples across `pool`, one result vector per sample
-  // (same order as `texts`). The pool must not run other work during the
-  // call: ThreadPool::wait() is pool-global, so overlapping batches could
-  // steal each other's completion and first-thrown exception, leaving a
-  // sample's result row silently empty. Give each concurrent caller its
-  // own pool — or use the overload without one, which spins up a
-  // transient pool per call (`threads` == 0 means hardware concurrency)
-  // and is safe to call concurrently.
+  // (same order as `texts`). Safe to call concurrently with other batches
+  // on the same pool. The overload without a pool spins up a transient one
+  // per call (`threads` == 0 means hardware concurrency).
   std::vector<std::vector<ScanHit>> scan_batch(
       std::span<const std::string> texts, ThreadPool& pool) const;
   std::vector<std::vector<ScanHit>> scan_batch(
@@ -79,15 +79,18 @@ class Scanner {
   // True iff any signature matches.
   bool any_match(std::string_view text) const;
 
+  // The compiled form of the current signature set (rebuilt lazily after
+  // add()); scan consumers that want event-driven matching can use it with
+  // engine::scan directly.
+  const engine::Database& database() const;
+
   std::uint64_t budget_exceeded_count() const {
     return budget_exceeded_.load(std::memory_order_relaxed);
   }
 
  private:
-  const LiteralPrefilter& prefilter() const;
-  void scan_into(std::string_view text, const LiteralPrefilter& prefilter,
-                 std::vector<std::size_t>& candidates,
-                 std::vector<ScanHit>& hits) const;
+  void scan_into(std::string_view text, const engine::Database& db,
+                 engine::Scratch& scratch, std::vector<ScanHit>& hits) const;
 
   struct Entry {
     std::string name;
@@ -97,7 +100,8 @@ class Scanner {
   // Concurrent batch scans all bump this; relaxed is fine — it is a
   // monotonic statistic, never synchronizes anything.
   mutable std::atomic<std::uint64_t> budget_exceeded_{0};
-  LazyPrefilter prefilter_;
+  engine::LazyDatabase database_;
+  mutable engine::ScratchPool scratches_;
 };
 
 }  // namespace kizzle::match

@@ -9,30 +9,62 @@
 
 namespace kizzle::match {
 
+namespace detail {
+
+// The VM's working memory, factored out of the per-call Machine so scan
+// paths can recycle it: slots/progress are sized per program, undo/stack
+// grow to the backtracking high-water mark and then stay allocated.
+struct VmState {
+  enum class UndoKind : std::uint8_t { Slot, Progress };
+  struct Undo {
+    UndoKind kind;
+    std::uint32_t index;
+    std::size_t value;
+  };
+  struct Frame {
+    std::uint32_t pc;
+    std::size_t sp;
+    std::size_t undo_size;
+  };
+
+  std::vector<std::size_t> slots;
+  std::vector<std::size_t> progress;
+  std::vector<Undo> undo;
+  std::vector<Frame> stack;
+};
+
+}  // namespace detail
+
+VmScratch::VmScratch() : state_(std::make_unique<detail::VmState>()) {}
+VmScratch::~VmScratch() = default;
+VmScratch::VmScratch(VmScratch&&) noexcept = default;
+VmScratch& VmScratch::operator=(VmScratch&&) noexcept = default;
+
 namespace {
 
 using detail::Instr;
 using detail::Op;
 using detail::Program;
+using detail::VmState;
 
 constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
 constexpr std::uint64_t kDefaultBudget = 1u << 22;
 
 // One backtracking attempt anchored at `start`. Returns true on match and
-// fills `slots` (2 per group). `steps` is decremented as budget.
+// fills `state.slots` (2 per group). `steps` is decremented as budget.
 class Machine {
  public:
-  Machine(const Program& prog, std::string_view text)
-      : prog_(prog),
-        text_(text),
-        slots_(2 * (prog.n_groups + 1), kUnset),
-        progress_(prog.n_progress, kUnset) {}
+  Machine(const Program& prog, std::string_view text, VmState& state)
+      : prog_(prog), text_(text), st_(state) {
+    st_.slots.assign(2 * (prog.n_groups + 1), kUnset);
+    st_.progress.assign(prog.n_progress, kUnset);
+  }
 
   bool run(std::size_t start, std::uint64_t* steps, bool* budget_exceeded) {
-    std::fill(slots_.begin(), slots_.end(), kUnset);
-    std::fill(progress_.begin(), progress_.end(), kUnset);
-    undo_.clear();
-    stack_.clear();
+    std::fill(st_.slots.begin(), st_.slots.end(), kUnset);
+    std::fill(st_.progress.begin(), st_.progress.end(), kUnset);
+    st_.undo.clear();
+    st_.stack.clear();
 
     std::uint32_t pc = 0;
     std::size_t sp = start;
@@ -86,22 +118,22 @@ class Machine {
           }
           break;
         case Op::Save:
-          push_undo(UndoKind::Slot, ins.x, slots_[ins.x]);
-          slots_[ins.x] = sp;
+          push_undo(VmState::UndoKind::Slot, ins.x, st_.slots[ins.x]);
+          st_.slots[ins.x] = sp;
           ++pc;
           break;
         case Op::Progress:
-          if (progress_[ins.x] == sp) {
+          if (st_.progress[ins.x] == sp) {
             fail = true;
           } else {
-            push_undo(UndoKind::Progress, ins.x, progress_[ins.x]);
-            progress_[ins.x] = sp;
+            push_undo(VmState::UndoKind::Progress, ins.x, st_.progress[ins.x]);
+            st_.progress[ins.x] = sp;
             ++pc;
           }
           break;
         case Op::Backref: {
-          const std::size_t b = slots_[2 * ins.x];
-          const std::size_t e = slots_[2 * ins.x + 1];
+          const std::size_t b = st_.slots[2 * ins.x];
+          const std::size_t e = st_.slots[2 * ins.x + 1];
           if (b == kUnset || e == kUnset) {
             ++pc;  // unmatched group: matches empty (ECMAScript semantics)
             break;
@@ -117,7 +149,7 @@ class Machine {
           break;
         }
         case Op::Split:
-          stack_.push_back(Frame{ins.y, sp, undo_.size()});
+          st_.stack.push_back(VmState::Frame{ins.y, sp, st_.undo.size()});
           pc = ins.x;
           break;
         case Op::Jmp:
@@ -127,17 +159,17 @@ class Machine {
           return true;
       }
       if (fail) {
-        if (stack_.empty()) return false;
-        const Frame f = stack_.back();
-        stack_.pop_back();
-        while (undo_.size() > f.undo_size) {
-          const Undo& u = undo_.back();
-          if (u.kind == UndoKind::Slot) {
-            slots_[u.index] = u.value;
+        if (st_.stack.empty()) return false;
+        const VmState::Frame f = st_.stack.back();
+        st_.stack.pop_back();
+        while (st_.undo.size() > f.undo_size) {
+          const VmState::Undo& u = st_.undo.back();
+          if (u.kind == VmState::UndoKind::Slot) {
+            st_.slots[u.index] = u.value;
           } else {
-            progress_[u.index] = u.value;
+            st_.progress[u.index] = u.value;
           }
-          undo_.pop_back();
+          st_.undo.pop_back();
         }
         pc = f.pc;
         sp = f.sp;
@@ -145,31 +177,17 @@ class Machine {
     }
   }
 
-  const std::vector<std::size_t>& slots() const { return slots_; }
+  const std::vector<std::size_t>& slots() const { return st_.slots; }
 
  private:
-  enum class UndoKind : std::uint8_t { Slot, Progress };
-  struct Undo {
-    UndoKind kind;
-    std::uint32_t index;
-    std::size_t value;
-  };
-  struct Frame {
-    std::uint32_t pc;
-    std::size_t sp;
-    std::size_t undo_size;
-  };
-
-  void push_undo(UndoKind kind, std::uint32_t index, std::size_t value) {
-    undo_.push_back(Undo{kind, index, value});
+  void push_undo(VmState::UndoKind kind, std::uint32_t index,
+                 std::size_t value) {
+    st_.undo.push_back(VmState::Undo{kind, index, value});
   }
 
   const Program& prog_;
   std::string_view text_;
-  std::vector<std::size_t> slots_;
-  std::vector<std::size_t> progress_;
-  std::vector<Undo> undo_;
-  std::vector<Frame> stack_;
+  VmState& st_;
 };
 
 MatchResult result_from(const Machine& m, const Program& prog, bool matched,
@@ -190,26 +208,32 @@ MatchResult result_from(const Machine& m, const Program& prog, bool matched,
   return r;
 }
 
-}  // namespace
-
-MatchResult Pattern::match_at(std::string_view text, std::size_t at,
-                              std::uint64_t budget) const {
-  if (budget == 0) budget = kDefaultBudget;
-  Machine m(*program_, text);
-  bool budget_exceeded = false;
-  const bool ok = m.run(at, &budget, &budget_exceeded);
-  return result_from(m, *program_, ok, budget_exceeded);
+SpanResult span_from(const Machine& m, bool matched, bool budget_exceeded) {
+  SpanResult r;
+  r.budget_exceeded = budget_exceeded;
+  if (!matched) return r;
+  r.matched = true;
+  r.begin = m.slots()[0];
+  r.end = m.slots()[1];
+  return r;
 }
 
-MatchResult Pattern::search(std::string_view text, std::size_t from,
-                            std::uint64_t budget) const {
-  if (budget == 0) budget = kDefaultBudget;
-  const Program& prog = *program_;
-  Machine m(prog, text);
-  bool budget_exceeded = false;
+// Search paths with no caller-provided scratch recycle one per-thread
+// VmState: search() is re-entered fresh on every call (a Machine never
+// survives a return), so the state cannot be observed mid-use.
+VmState& local_state() {
+  thread_local VmState state;
+  return state;
+}
 
+// The shared search strategy: literal quick-reject, then VM attempts at
+// the positions the literal prefilter allows. `m` carries the state to
+// reuse; on return `matched`/`budget_exceeded` describe the outcome and
+// the machine's slots hold the span of the winning attempt.
+bool search_core(const Program& prog, std::string_view text, std::size_t from,
+                 std::uint64_t* budget, Machine& m, bool* budget_exceeded) {
   if (prog.anchored_bol) {
-    if (from > 0) return MatchResult{};
+    if (from > 0) return false;
     // Literal quick-reject applies here too: a match must contain the
     // literal, so its absence means no VM run (and no budget charged) —
     // keeping anchored patterns consistent with the database-level
@@ -223,11 +247,10 @@ MatchResult Pattern::search(std::string_view text, std::size_t from,
                         prog.lit_max_prefix + prog.literal.size()));
       }
       if (window.find(prog.literal) == std::string_view::npos) {
-        return MatchResult{};
+        return false;
       }
     }
-    const bool ok = m.run(0, &budget, &budget_exceeded);
-    return result_from(m, prog, ok, budget_exceeded);
+    return m.run(0, budget, budget_exceeded);
   }
 
   if (prog.lit_usable) {
@@ -241,7 +264,7 @@ MatchResult Pattern::search(std::string_view text, std::size_t from,
       std::size_t last_attempt_end = from;  // first untried start position
       while (search_from != std::string_view::npos) {
         const std::size_t hit = text.find(lit, search_from);
-        if (hit == std::string_view::npos) return MatchResult{};
+        if (hit == std::string_view::npos) return false;
         const std::size_t lo =
             std::max(last_attempt_end,
                      (hit >= prog.lit_max_prefix) ? hit - prog.lit_max_prefix
@@ -249,25 +272,54 @@ MatchResult Pattern::search(std::string_view text, std::size_t from,
         const std::size_t hi = hit - prog.lit_min_prefix;  // hit >= min here
         for (std::size_t start = lo; start <= hi && start <= text.size();
              ++start) {
-          const bool ok = m.run(start, &budget, &budget_exceeded);
-          if (ok) return result_from(m, prog, true, budget_exceeded);
-          if (budget_exceeded) return result_from(m, prog, false, true);
+          if (m.run(start, budget, budget_exceeded)) return true;
+          if (*budget_exceeded) return false;
         }
         last_attempt_end = (hi + 1 > last_attempt_end) ? hi + 1 : last_attempt_end;
         search_from = hit + 1;
       }
-      return MatchResult{};
+      return false;
     }
     // Quick-reject only: the literal must occur somewhere at/after from.
-    if (text.find(lit, from) == std::string_view::npos) return MatchResult{};
+    if (text.find(lit, from) == std::string_view::npos) return false;
   }
 
   for (std::size_t start = from; start <= text.size(); ++start) {
-    const bool ok = m.run(start, &budget, &budget_exceeded);
-    if (ok) return result_from(m, prog, true, budget_exceeded);
-    if (budget_exceeded) return result_from(m, prog, false, true);
+    if (m.run(start, budget, budget_exceeded)) return true;
+    if (*budget_exceeded) return false;
   }
-  return MatchResult{};
+  return false;
+}
+
+}  // namespace
+
+MatchResult Pattern::match_at(std::string_view text, std::size_t at,
+                              std::uint64_t budget) const {
+  if (budget == 0) budget = kDefaultBudget;
+  Machine m(*program_, text, local_state());
+  bool budget_exceeded = false;
+  const bool ok = m.run(at, &budget, &budget_exceeded);
+  return result_from(m, *program_, ok, budget_exceeded);
+}
+
+MatchResult Pattern::search(std::string_view text, std::size_t from,
+                            std::uint64_t budget) const {
+  if (budget == 0) budget = kDefaultBudget;
+  Machine m(*program_, text, local_state());
+  bool budget_exceeded = false;
+  const bool ok =
+      search_core(*program_, text, from, &budget, m, &budget_exceeded);
+  return result_from(m, *program_, ok, budget_exceeded);
+}
+
+SpanResult Pattern::search_span(std::string_view text, VmScratch& scratch,
+                                std::size_t from, std::uint64_t budget) const {
+  if (budget == 0) budget = kDefaultBudget;
+  Machine m(*program_, text, *scratch.state_);
+  bool budget_exceeded = false;
+  const bool ok =
+      search_core(*program_, text, from, &budget, m, &budget_exceeded);
+  return span_from(m, ok, budget_exceeded);
 }
 
 }  // namespace kizzle::match

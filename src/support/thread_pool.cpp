@@ -41,12 +41,50 @@ void ThreadPool::wait() {
   }
 }
 
+namespace {
+
+// Per-batch completion state: each parallel_for/parallel_ranges call gets
+// its own latch, so two batches interleaved on one pool cannot steal each
+// other's completion signal or first-thrown exception (the old pool-global
+// wait() made a shared pool a silent correctness hazard for batch scans).
+struct BatchLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (err && !error) error = std::move(err);
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  void wait_all() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto latch = std::make_shared<BatchLatch>();
+  latch->remaining = n;
   for (std::size_t i = 0; i < n; ++i) {
-    submit([&fn, i] { fn(i); });
+    submit([&fn, i, latch] {
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      latch->finish_one(std::move(err));
+    });
   }
-  wait();
+  latch->wait_all();
 }
 
 std::size_t ThreadPool::parallel_ranges(
@@ -56,13 +94,23 @@ std::size_t ThreadPool::parallel_ranges(
   const std::size_t tasks = std::min(n, std::max<std::size_t>(1, max_tasks));
   const std::size_t base = n / tasks;
   const std::size_t extra = n % tasks;  // first `extra` ranges get one more
+  auto latch = std::make_shared<BatchLatch>();
+  latch->remaining = tasks;
   std::size_t begin = 0;
   for (std::size_t t = 0; t < tasks; ++t) {
     const std::size_t end = begin + base + (t < extra ? 1 : 0);
-    submit([&fn, t, begin, end] { fn(t, begin, end); });
+    submit([&fn, t, begin, end, latch] {
+      std::exception_ptr err;
+      try {
+        fn(t, begin, end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      latch->finish_one(std::move(err));
+    });
     begin = end;
   }
-  wait();
+  latch->wait_all();
   return tasks;
 }
 

@@ -1,8 +1,16 @@
 // A small fixed-size thread pool with a parallel-for helper.
 //
 // Used by the partitioned clustering pipeline to simulate the paper's
-// 50-machine map step on a single host. Tasks must not throw across the
-// pool boundary; exceptions are captured and rethrown on wait().
+// 50-machine map step on a single host, and by the batch scan paths
+// (Scanner::scan_batch, CdnFilter). Tasks must not throw across the pool
+// boundary; exceptions are captured and rethrown to the caller.
+//
+// parallel_for/parallel_ranges carry a per-call completion latch: each
+// batch waits only on its own tasks and observes only its own first
+// exception, so any number of concurrent batches may share one pool
+// without stealing each other's completion. The pool-global wait() remains
+// for bare submit() users and must not be mixed with concurrent batches it
+// does not own.
 #pragma once
 
 #include <condition_variable>
@@ -31,18 +39,21 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   // Blocks until all submitted tasks have finished. If any task threw, the
-  // first captured exception is rethrown here.
+  // first captured exception is rethrown here. Pool-global: only for
+  // callers that own every outstanding submit()ted task.
   void wait();
 
-  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion on
+  // a latch private to this call: concurrent batches on one pool are safe,
+  // and each caller sees (only) its own batch's first-thrown exception.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   // Splits [0, n) into at most max_tasks contiguous ranges and runs
-  // fn(task, begin, end) for each across the pool, waiting for completion.
-  // `task` is a dense index in [0, actual_tasks) so callers can keep
-  // per-task scratch (partial edge lists, stat counters) without locking;
-  // actual_tasks == min(n, max_tasks) is returned. Used by the clustering
-  // neighbor-graph build.
+  // fn(task, begin, end) for each across the pool, waiting for completion
+  // (per-call latch, as parallel_for). `task` is a dense index in
+  // [0, actual_tasks) so callers can keep per-task scratch (partial edge
+  // lists, stat counters) without locking; actual_tasks == min(n,
+  // max_tasks) is returned. Used by the clustering neighbor-graph build.
   std::size_t parallel_ranges(
       std::size_t n, std::size_t max_tasks,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);

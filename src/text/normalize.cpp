@@ -5,9 +5,7 @@
 
 namespace kizzle::text {
 
-std::string normalize_raw(std::string_view content) {
-  std::string out;
-  out.reserve(content.size());
+void normalize_raw_append(std::string_view content, std::string& out) {
   for (char c : content) {
     switch (c) {
       case ' ':
@@ -23,6 +21,12 @@ std::string normalize_raw(std::string_view content) {
         out.push_back(c);
     }
   }
+}
+
+std::string normalize_raw(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  normalize_raw_append(content, out);
   return out;
 }
 

@@ -25,6 +25,11 @@ namespace kizzle::text {
 
 std::string normalize_raw(std::string_view content);
 
+// Appends the raw normalization of `content` to `out`. The deployment
+// channels' streaming feed path: per-chunk normalization into a reused
+// buffer instead of a fresh temporary string per chunk.
+void normalize_raw_append(std::string_view content, std::string& out);
+
 std::string normalize_js(std::string_view source);
 
 // Normalized scan text of a full HTML document: inline scripts extracted,

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 #include <thread>
 
 #include "core/deploy.h"
+#include "match/pattern.h"
 #include "kitgen/families.h"
 #include "kitgen/kit.h"
 #include "kitgen/packers.h"
@@ -117,7 +119,52 @@ TEST_F(DeployFixture, CdnFilterPartitionsCandidates) {
   ASSERT_EQ(report.hostable.size(), 2u);
   ASSERT_EQ(report.rejected.size(), 1u);
   EXPECT_EQ(report.rejected[0], 1u);
-  EXPECT_EQ(report.hits_per_signature.at("KZ.RIG.1"), 1u);
+  // The per-signature counts are a sorted (name, count) list: stable
+  // output for the administrator across runs, platforms and scheduling.
+  ASSERT_EQ(report.hits_per_signature.size(), 1u);
+  EXPECT_EQ(report.hits_per_signature[0].first, "KZ.RIG.1");
+  EXPECT_EQ(report.hits_per_signature[0].second, 1u);
+  EXPECT_TRUE(std::is_sorted(report.hits_per_signature.begin(),
+                             report.hits_per_signature.end()));
+}
+
+TEST_F(DeployFixture, VerdictCarriesSignatureIndexAndSpan) {
+  // The engine's MatchEvent flows through to the Verdict: channel callers
+  // get the matching signature's bundle index and the match span in the
+  // normalized scan text without re-deriving them by name lookup.
+  DesktopScanner scanner(bundle_.get());
+  const std::string content = fresh_packed();
+  const Verdict v = scanner.scan_file(content);
+  ASSERT_TRUE(v.malicious);
+  EXPECT_EQ(v.signature_index, 0u);
+  EXPECT_EQ(bundle_->info(v.signature_index).name, v.signature);
+  const std::string normalized = text::normalize_raw(content);
+  EXPECT_LT(v.match_begin, v.match_end);
+  EXPECT_LE(v.match_end, normalized.size());
+  // The span really is where the pattern matched.
+  const auto direct =
+      match::Pattern::compile(bundle_->info(0).pattern).search(normalized);
+  ASSERT_TRUE(direct.matched);
+  EXPECT_EQ(v.match_begin, direct.begin);
+  EXPECT_EQ(v.match_end, direct.end);
+
+  const Verdict clean = scanner.scan_file("body { color: red }");
+  EXPECT_FALSE(clean.malicious);
+  EXPECT_EQ(clean.signature_index, Verdict::npos);
+
+  // The streamed channels carry the same fields: a chunked admission and
+  // the one-shot check agree on index and span.
+  BrowserGate oneshot(bundle_.get(), 8);
+  const Verdict checked = oneshot.check_script(content);
+  BrowserGate gate(bundle_.get(), 8);
+  auto stream = gate.begin_script();
+  stream.feed(content);
+  const Verdict streamed = stream.finish();
+  ASSERT_TRUE(streamed.malicious);
+  ASSERT_TRUE(checked.malicious);
+  EXPECT_EQ(streamed.signature_index, checked.signature_index);
+  EXPECT_EQ(streamed.match_begin, checked.match_begin);
+  EXPECT_EQ(streamed.match_end, checked.match_end);
 }
 
 TEST_F(DeployFixture, CdnFilterEmptyInput) {

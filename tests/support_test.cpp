@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "support/hash.h"
 #include "support/interner.h"
@@ -218,6 +220,57 @@ TEST(ThreadPool, WaitIsReusable) {
   pool.submit([&] { ++count; });
   pool.wait();
   EXPECT_EQ(count.load(), 2);
+}
+
+// Regression: parallel_for batches carry per-call completion latches, so
+// concurrent batches sharing one pool cannot steal each other's completion
+// — every batch must observe all of its own tasks done at return, even
+// with many batches interleaved from different threads.
+TEST(ThreadPool, ConcurrentBatchesOnOnePoolAreIsolated) {
+  ThreadPool pool(4);
+  constexpr int kBatches = 8;
+  constexpr std::size_t kTasks = 64;
+  std::atomic<int> incomplete_batches{0};
+  std::vector<std::thread> callers;
+  for (int b = 0; b < kBatches; ++b) {
+    callers.emplace_back([&pool, &incomplete_batches] {
+      for (int round = 0; round < 5; ++round) {
+        std::vector<std::atomic<int>> hits(kTasks);
+        pool.parallel_for(kTasks, [&hits](std::size_t i) { hits[i]++; });
+        // parallel_for returned: THIS batch must be fully done.
+        for (const auto& h : hits) {
+          if (h.load() != 1) incomplete_batches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(incomplete_batches.load(), 0);
+}
+
+// Each concurrent batch sees (only) its own first-thrown exception.
+TEST(ThreadPool, ConcurrentBatchExceptionsStayWithTheirBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> callers;
+  for (int b = 0; b < 6; ++b) {
+    const bool should_throw = b % 2 == 0;
+    callers.emplace_back([&pool, &wrong, should_throw] {
+      for (int round = 0; round < 5; ++round) {
+        bool threw = false;
+        try {
+          pool.parallel_for(16, [should_throw](std::size_t i) {
+            if (should_throw && i == 7) throw std::runtime_error("boom");
+          });
+        } catch (const std::runtime_error&) {
+          threw = true;
+        }
+        if (threw != should_throw) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 // ------------------------------------------------------------- strings --

@@ -27,10 +27,10 @@
 #include "core/deploy.h"
 #include "core/pipeline.h"
 #include "core/sigdb.h"
+#include "engine/engine.h"
 #include "kitgen/families.h"
 #include "kitgen/stream.h"
 #include "match/pattern.h"
-#include "match/scanner.h"
 #include "sig/compiler.h"
 #include "sig/multi_fragment.h"
 #include "support/table.h"
@@ -151,27 +151,40 @@ int cmd_compile(const std::vector<std::string>& args, bool fragments) {
   return 0;
 }
 
-// Artifact path: load the release-built automaton (no per-process
-// rebuild) and stream each file through the desktop channel in fixed-size
-// chunks — the raw file is never fully resident.
+// Artifact path: load the release-built automaton into an engine database
+// (no per-process rebuild) and stream each file through an engine stream
+// in fixed-size chunks — the raw file is never fully resident. One scratch
+// serves every file.
 int scan_with_artifact(const std::string& content,
                        const std::vector<std::string>& args) {
   std::istringstream artifact(content);
-  const core::SignatureBundle bundle(artifact);
-  const core::DesktopScanner scanner(&bundle);
+  const engine::Database db = engine::Database::from_artifact(artifact);
+  engine::Scratch scratch;
   int exit_code = 0;
+  std::string buf(1 << 16, '\0');
+  std::string stage;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    core::Verdict v;
-    if (args[i] == "-") {
-      v = scanner.scan_stream(std::cin);
-    } else {
-      std::ifstream in(args[i], std::ios::binary);
-      if (!in) throw std::runtime_error("cannot open " + args[i]);
-      v = scanner.scan_stream(in);
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (args[i] != "-") {
+      file.open(args[i], std::ios::binary);
+      if (!file) throw std::runtime_error("cannot open " + args[i]);
+      in = &file;
     }
-    if (v.malicious) {
+    engine::Stream stream = engine::open_stream(db, scratch);
+    while (*in) {
+      in->read(buf.data(), static_cast<std::streamsize>(buf.size()));
+      const std::streamsize got = in->gcount();
+      if (got <= 0) break;
+      stage.clear();
+      text::normalize_raw_append(
+          std::string_view(buf.data(), static_cast<std::size_t>(got)), stage);
+      stream.feed(stage);
+    }
+    if (const auto hit = stream.finish_first()) {
       exit_code = 1;
-      std::printf("%-40s MATCH (%s)\n", args[i].c_str(), v.signature.c_str());
+      std::printf("%-40s MATCH (%s @ %zu-%zu)\n", args[i].c_str(),
+                  std::string(hit->name).c_str(), hit->begin, hit->end);
     } else {
       std::printf("%-40s clean\n", args[i].c_str());
     }
@@ -184,7 +197,9 @@ int cmd_scan(const std::vector<std::string>& args) {
     std::fprintf(stderr, "usage: kizzle scan <sigfile> <file>...\n");
     return 2;
   }
-  match::Scanner scanner;
+  // Each signature is compiled exactly once, straight into database
+  // entries (per-line error reporting for the plain format).
+  std::vector<engine::Database::Entry> entries;
   {
     const std::string content = read_file(args[0]);
     if (content.rfind(core::kArtifactMagic, 0) == 0) {
@@ -192,9 +207,12 @@ int cmd_scan(const std::vector<std::string>& args) {
     }
     if (content.rfind("# kizzle-signatures", 0) == 0) {
       // A signature database written by `kizzle demo` / save_signatures.
+      // Compilation below is the validation; skip the loader's trial pass.
+      std::istringstream is(content);
       for (const core::DeployedSignature& s :
-           core::load_signatures(content)) {
-        scanner.add(s.name, match::Pattern::compile(s.pattern));
+           core::load_signatures(is, /*validate_patterns=*/false)) {
+        entries.push_back(engine::Database::Entry{
+            s.name, s.family, match::Pattern::compile(s.pattern)});
       }
     } else {
       // Plain format: one regex per line, optional "name<TAB>pattern".
@@ -211,7 +229,9 @@ int cmd_scan(const std::vector<std::string>& args) {
           pattern = line.substr(tab + 1);
         }
         try {
-          scanner.add(name, match::Pattern::compile(pattern));
+          match::Pattern compiled = match::Pattern::compile(pattern);
+          entries.push_back(engine::Database::Entry{std::move(name), "",
+                                                    std::move(compiled)});
         } catch (const match::PatternError& e) {
           std::fprintf(stderr, "bad signature '%s': %s\n", name.c_str(),
                        e.what());
@@ -220,19 +240,25 @@ int cmd_scan(const std::vector<std::string>& args) {
       }
     }
   }
+  // One compiled database, one recycled scratch, event-driven matching:
+  // every matching signature is reported per file.
+  const engine::Database db =
+      engine::Database::from_entries(std::move(entries));
+  engine::Scratch scratch;
   int exit_code = 0;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string normalized = text::normalize_raw(read_file(args[i]));
-    const auto hits = scanner.scan(normalized);
-    if (hits.empty()) {
+    std::string names;
+    engine::scan(db, normalized, scratch,
+                 [&names](const engine::MatchEvent& event) {
+                   if (!names.empty()) names += ", ";
+                   names += event.name;
+                   return engine::ScanDecision::Continue;
+                 });
+    if (names.empty()) {
       std::printf("%-40s clean\n", args[i].c_str());
     } else {
       exit_code = 1;
-      std::string names;
-      for (const auto& h : hits) {
-        if (!names.empty()) names += ", ";
-        names += scanner.name(h.signature_index);
-      }
       std::printf("%-40s MATCH (%s)\n", args[i].c_str(), names.c_str());
     }
   }
