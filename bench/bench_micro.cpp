@@ -15,6 +15,7 @@
 #include "kitgen/packers.h"
 #include "kitgen/payload.h"
 #include "match/pattern.h"
+#include "match/prefilter.h"
 #include "match/scanner.h"
 #include "sig/common_window.h"
 #include "support/interner.h"
@@ -374,6 +375,48 @@ void add_database_signatures(match::Scanner& scanner, std::size_t count,
   }
 }
 
+// The literal first stage in isolation: one prefilter over a deployed-set
+// shaped literal database (40-byte chunks, streaming_signatures shape),
+// candidates_into over one normalized sample. BM_TeddyPrefilter is the
+// SIMD two-stage path (best available kernel), BM_TeddyPrefilterAutomaton
+// forces the byte-at-a-time Aho–Corasick walk over the same registrations
+// — the single-stream first-stage speedup is the ratio of the two.
+void teddy_prefilter_bench(benchmark::State& state, match::FirstStage stage) {
+  Rng rng(16);
+  std::vector<std::string> donors;
+  for (int d = 0; d < 8; ++d) {
+    donors.push_back(text::normalize_raw(packed_nuclear_sample(40 + d)));
+  }
+  match::LiteralPrefilter pf;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& donor = donors[i % donors.size()];
+    pf.add(i, donor.substr(rng.index(donor.size() - 48), 40) + "#" +
+                  std::to_string(i));
+  }
+  pf.build();
+  pf.set_first_stage(stage);
+  const std::string text = text::normalize_raw(packed_nuclear_sample(1));
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    pf.candidates_into(text, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["teddy"] = pf.teddy_active() ? 1 : 0;
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_TeddyPrefilter(benchmark::State& state) {
+  teddy_prefilter_bench(state, match::FirstStage::kAuto);
+}
+BENCHMARK(BM_TeddyPrefilter)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TeddyPrefilterAutomaton(benchmark::State& state) {
+  teddy_prefilter_bench(state, match::FirstStage::kAutomaton);
+}
+BENCHMARK(BM_TeddyPrefilterAutomaton)->Arg(10)->Arg(100)->Arg(1000);
+
 void BM_ScanManySignatures(benchmark::State& state) {
   const std::string text = packed_nuclear_sample(1);
   match::Scanner scanner;
@@ -404,18 +447,27 @@ BENCHMARK(BM_ScanManySignaturesBruteForce)->Arg(10)->Arg(100)->Arg(1000);
 // Database, one warm Scratch recycled across iterations (zero heap
 // allocation per scan, asserted in tests/engine_test.cpp), event-driven
 // all-matches delivery. Directly comparable to BM_ScanManySignatures —
-// Scanner::scan routes through this plus a result-vector allocation.
-void BM_EngineScanManySignatures(benchmark::State& state) {
+// Scanner::scan routes through this plus a result-vector allocation. The
+// Automaton variant forces the prefilter's first stage onto the
+// byte-at-a-time walk (the pre-Teddy configuration); one shared body, so
+// the two rows differ ONLY in first-stage routing and their ratio is the
+// end-to-end single-stream win.
+void engine_scan_bench(benchmark::State& state, match::FirstStage stage) {
   const std::string text = packed_nuclear_sample(1);
   match::Scanner scanner;
   add_database_signatures(scanner, static_cast<std::size_t>(state.range(0)),
                           text);
-  std::vector<engine::Database::Spec> specs;
+  std::vector<engine::Database::Entry> entries;
+  match::LiteralPrefilter pf;
   for (std::size_t i = 0; i < scanner.size(); ++i) {
-    specs.push_back(engine::Database::Spec{scanner.name(i), "",
-                                           scanner.pattern(i).source()});
+    entries.push_back(
+        engine::Database::Entry{scanner.name(i), "", scanner.pattern(i)});
+    pf.add(i, scanner.pattern(i).required_literal());
   }
-  const engine::Database db = engine::Database::compile(specs);
+  pf.build();
+  pf.set_first_stage(stage);
+  const engine::Database db =
+      engine::Database::from_entries(std::move(entries), std::move(pf));
   engine::Scratch scratch;
   std::size_t events = 0;
   for (auto _ : state) {
@@ -428,7 +480,16 @@ void BM_EngineScanManySignatures(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(text.size()));
 }
+
+void BM_EngineScanManySignatures(benchmark::State& state) {
+  engine_scan_bench(state, match::FirstStage::kAuto);
+}
 BENCHMARK(BM_EngineScanManySignatures)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EngineScanManySignaturesAutomaton(benchmark::State& state) {
+  engine_scan_bench(state, match::FirstStage::kAutomaton);
+}
+BENCHMARK(BM_EngineScanManySignaturesAutomaton)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_ScanBatchParallel(benchmark::State& state) {
   // Batch fan-out across the thread pool (the CdnFilter shape): 64 packed

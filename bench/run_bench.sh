@@ -11,17 +11,29 @@
 #                       and release-artifact load vs per-process automaton
 #                       rebuild (BM_BundleColdStartLoad vs
 #                       BM_BundleColdStartBuild)
+#   BENCH_scan.json     single-stream scan throughput: the Teddy SIMD
+#                       literal first stage vs the forced Aho-Corasick walk
+#                       (BM_TeddyPrefilter vs BM_TeddyPrefilterAutomaton,
+#                       first stage in isolation) and the same comparison
+#                       end to end through the engine
+#                       (BM_EngineScanManySignatures vs
+#                       BM_EngineScanManySignaturesAutomaton), plus
+#                       BM_ScanManySignatures for the whole-database
+#                       trajectory
 #
 # Usage: bench/run_bench.sh [build-dir] [cluster-out.json] [stream-out.json]
+#                           [scan-out.json]
 #
 # The headline comparisons: BM_ClusterPairwise vs BM_ClusterPairwiseScalar
-# items_per_second (unordered pairs resolved per second), and
-# BM_StreamingScan bytes_per_second against the one-shot pass.
+# items_per_second (unordered pairs resolved per second),
+# BM_StreamingScan bytes_per_second against the one-shot pass, and
+# BM_TeddyPrefilter bytes_per_second against the automaton baseline.
 set -euo pipefail
 
 BUILD="${1:-build}"
 OUT="${2:-BENCH_cluster.json}"
 STREAM_OUT="${3:-BENCH_stream.json}"
+SCAN_OUT="${4:-BENCH_scan.json}"
 
 if [[ ! -x "$BUILD/bench_micro" ]]; then
   echo "error: $BUILD/bench_micro not found or not executable." >&2
@@ -40,3 +52,9 @@ echo "wrote $OUT"
   --benchmark_out="$STREAM_OUT" --benchmark_out_format=json
 
 echo "wrote $STREAM_OUT"
+
+"$BUILD/bench_micro" \
+  --benchmark_filter='BM_TeddyPrefilter|BM_ScanManySignatures/|BM_EngineScanManySignatures' \
+  --benchmark_out="$SCAN_OUT" --benchmark_out_format=json
+
+echo "wrote $SCAN_OUT"

@@ -153,14 +153,16 @@ ScanOutcome confirm_loop(const Database& db,
 
 ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
                  MatchFn on_match) {
-  db.prefilter().candidates_into(text, scratch.candidates_);
+  db.prefilter().candidates_into(text, scratch.candidates_,
+                                 scratch.teddy_hits_);
   return confirm_loop(db, scratch.candidates_, text, scratch.vm_, nullptr,
                       on_match);
 }
 
 ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
                  CandidateFn should_confirm, MatchFn on_match) {
-  db.prefilter().candidates_into(text, scratch.candidates_);
+  db.prefilter().candidates_into(text, scratch.candidates_,
+                                 scratch.teddy_hits_);
   return confirm_loop(db, scratch.candidates_, text, scratch.vm_,
                       &should_confirm, on_match);
 }

@@ -38,8 +38,9 @@
 // Candidates whose confirmation exceeds the VM step budget are skipped and
 // counted in ScanOutcome::budget_exceeded, never delivered.
 //
-// Sharding (per-family automata) and a SIMD literal first stage (ROADMAP)
-// plug in behind this seam without another channel rewrite.
+// The Teddy SIMD literal first stage (match/teddy.h) already plugs in
+// behind this seam — scans route through it with no channel changes — and
+// sharding (per-family automata, ROADMAP) lands the same way.
 #pragma once
 
 #include <atomic>
@@ -225,6 +226,10 @@ class Scratch {
   friend Stream open_stream(const Database&, Scratch&);
 
   std::vector<std::size_t> candidates_;
+  // The Teddy first stage's candidate-position buffer (match/teddy.h):
+  // grows to the database/text high-water mark and stays, like every other
+  // buffer here, so one-shot scans stay allocation-free in steady state.
+  match::teddy::HitBuffer teddy_hits_;
   std::string normalized_;  // stream accumulation buffer
   match::VmScratch vm_;
   std::optional<match::StreamingMatcher> matcher_;

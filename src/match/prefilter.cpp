@@ -63,6 +63,26 @@ void LiteralPrefilter::finalize_derived() {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   n_automaton_ids_ = ids.size();
+
+  // The Teddy first stage is derived state too: rebuilt from the raw
+  // registrations here (build() and load() both funnel through), never
+  // serialized — the `.kpf` layout is untouched. Plan::build returns
+  // nullopt when the literal set does not qualify, in which case every
+  // scan takes the automaton walk.
+  std::vector<teddy::Plan::Literal> lits;
+  lits.reserve(keywords_.size());
+  for (const Keyword& kw : keywords_) {
+    lits.push_back(teddy::Plan::Literal{kw.literal, kw.id});
+  }
+  teddy_ = lits.empty() ? std::nullopt : teddy::Plan::build(std::move(lits));
+}
+
+bool LiteralPrefilter::route_teddy(std::string_view text) const {
+  // Hit positions are 32-bit; anything larger (never seen in practice —
+  // scanned units are samples and bounded stream windows) walks the
+  // automaton instead.
+  return first_stage_ == FirstStage::kAuto && teddy_.has_value() &&
+         text.size() <= 0xFFFFFFFFu;
 }
 
 void LiteralPrefilter::build() {
@@ -156,6 +176,14 @@ std::vector<std::size_t> LiteralPrefilter::candidates(
 
 void LiteralPrefilter::candidates_into(std::string_view text,
                                        std::vector<std::size_t>& out) const {
+  // Callers without a scratch of their own share a per-thread hit buffer.
+  thread_local teddy::HitBuffer hits;
+  candidates_into(text, out, hits);
+}
+
+void LiteralPrefilter::candidates_into(std::string_view text,
+                                       std::vector<std::size_t>& out,
+                                       teddy::HitBuffer& hits) const {
   if (!built_) {
     throw std::logic_error("LiteralPrefilter: candidates before build()");
   }
@@ -170,6 +198,15 @@ void LiteralPrefilter::candidates_into(std::string_view text,
   // avoidable allocation.
   thread_local std::vector<std::uint8_t> seen;
   seen.assign(id_limit_, 0);
+
+  if (route_teddy(text)) {
+    teddy_->scan(text, hits);
+    teddy_->confirm(text, hits, seen, out, 0, n_automaton_ids_);
+    std::sort(out.begin(), out.end());
+    merge_fallback(out, fallback_);
+    return;
+  }
+
   std::size_t n_seen = 0;
   std::int32_t state = 0;
   for (const char ch : text) {
@@ -468,6 +505,10 @@ void StreamingMatcher::feed(std::string_view chunk) {
       n_seen_ == pf_->n_automaton_ids_) {
     return;  // nothing to find (or everything already found)
   }
+  if (pf_->first_stage_ == FirstStage::kAuto && pf_->teddy_.has_value()) {
+    feed_teddy(chunk);
+    return;
+  }
   const auto& alpha = pf_->alpha_;
   const std::size_t alpha_size = pf_->alpha_size_;
   std::int32_t state = state_;
@@ -499,7 +540,50 @@ void StreamingMatcher::feed(std::string_view chunk) {
   state_ = state;
 }
 
-void StreamingMatcher::finish_into(std::vector<std::size_t>& out) const {
+void StreamingMatcher::feed_teddy(std::string_view chunk) {
+  // Unscanned bytes accumulate in window_ and are scanned in batches: the
+  // carried tail (longest-literal−1 bytes of already-scanned text) is
+  // rescanned on every flush, so flushing per feed would make tiny chunks
+  // pay up to tail/chunk-size redundant work. Deferring until a multiple
+  // of the tail has arrived caps the overhead at ~25% regardless of how
+  // the stream is diced; finish_into() flushes the remainder.
+  const std::size_t keep = pf_->teddy_->max_literal_len() - 1;
+  const std::size_t flush_at = std::max<std::size_t>(256, 4 * keep);
+  // The window is also kept under Teddy's 32-bit position space no matter
+  // how large one chunk is.
+  constexpr std::size_t kSlice = std::size_t{1} << 30;
+  while (!chunk.empty() && n_seen_ < pf_->n_automaton_ids_) {
+    if (window_.size() >= kSlice) {
+      scan_window();  // trims the window back to the carry tail
+      continue;
+    }
+    const std::size_t take = std::min(chunk.size(), kSlice - window_.size());
+    window_.append(chunk.substr(0, take));
+    chunk.remove_prefix(take);
+    pending_ += take;
+    if (pending_ >= flush_at) scan_window();
+  }
+}
+
+void StreamingMatcher::scan_window() {
+  pending_ = 0;
+  if (n_seen_ == pf_->n_automaton_ids_) return;
+  const teddy::Plan& plan = *pf_->teddy_;
+  // Every literal occurrence ending in the unscanned suffix starts inside
+  // the window (the carry tail in front of it is longest-literal−1 bytes);
+  // occurrences wholly inside the tail were confirmed by the previous
+  // flush, and the seen_ bitmap makes their re-confirmation a no-op.
+  plan.scan(window_, hits_);
+  n_seen_ = plan.confirm(window_, hits_, seen_, found_, n_seen_,
+                         pf_->n_automaton_ids_);
+  const std::size_t keep = plan.max_literal_len() - 1;
+  if (window_.size() > keep) window_.erase(0, window_.size() - keep);
+}
+
+void StreamingMatcher::finish_into(std::vector<std::size_t>& out) {
+  // Flush any deferred Teddy bytes first so the snapshot reflects every
+  // fed chunk.
+  if (pending_ > 0) scan_window();
   // Snapshot semantics: found_ keeps its discovery order so feeding can
   // continue after a finish(); the sorted merge happens on the copy.
   out = found_;
@@ -507,7 +591,7 @@ void StreamingMatcher::finish_into(std::vector<std::size_t>& out) const {
   merge_fallback(out, pf_->fallback_);
 }
 
-std::vector<std::size_t> StreamingMatcher::finish() const {
+std::vector<std::size_t> StreamingMatcher::finish() {
   std::vector<std::size_t> out;
   finish_into(out);
   return out;
@@ -519,6 +603,8 @@ void StreamingMatcher::reset() {
   n_seen_ = 0;
   std::fill(seen_.begin(), seen_.end(), 0);
   found_.clear();
+  window_.clear();
+  pending_ = 0;
 }
 
 void StreamingMatcher::rebind(const LiteralPrefilter& prefilter) {
@@ -533,6 +619,8 @@ void StreamingMatcher::rebind(const LiteralPrefilter& prefilter) {
   // same-capacity rebind touches no heap.
   seen_.assign(pf_->id_limit_, 0);
   found_.clear();
+  window_.clear();
+  pending_ = 0;
 }
 
 }  // namespace kizzle::match

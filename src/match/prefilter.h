@@ -7,15 +7,33 @@
 // signatures could possibly match, and only those run the (expensive)
 // backtracking VM.
 //
-// LiteralPrefilter is an Aho–Corasick automaton over the required_literal()
-// of every registered pattern. Patterns whose literal occurs in the text
-// become candidates; patterns with no usable literal (pure `.*`/class
-// patterns, literals shorter than the usefulness threshold) go on a
-// fallback list and are *always* candidates, so prefiltered scanning is
-// exactly equivalent to brute force: a pattern is only skipped when its
-// required literal — which every match must contain — is absent, in which
-// case Pattern::search would have rejected it via its own memmem
-// quick-check without running the VM (and without charging the budget).
+// LiteralPrefilter is a *two-stage* literal engine over the
+// required_literal() of every registered pattern:
+//
+//   first stage   finds which literals occur in the text. Two
+//                 interchangeable matchers share the raw registrations: a
+//                 Teddy-style SIMD nibble-mask scanner (match/teddy.h) that
+//                 processes 16/32 bytes per step and confirms its sparse
+//                 candidate positions by exact comparison, and the classic
+//                 Aho–Corasick automaton walk. build() compiles the Teddy
+//                 plan whenever every literal qualifies (all lengths >=
+//                 teddy::Plan::kMinLiteralLen, at most kMaxLiterals); scans
+//                 route through it automatically and fall back to the pure
+//                 automaton walk otherwise (short literals, oversized sets,
+//                 texts past the 32-bit position space, or an explicit
+//                 set_first_stage(FirstStage::kAutomaton) override). Both
+//                 stages produce byte-identical candidate sets — pinned by
+//                 the differential oracles in tests/teddy_test.cpp.
+//   second stage  patterns whose literal occurred become candidates;
+//                 patterns with no usable literal (pure `.*`/class
+//                 patterns, literals shorter than the usefulness threshold)
+//                 go on a fallback list and are *always* candidates, so
+//                 prefiltered scanning is exactly equivalent to brute
+//                 force: a pattern is only skipped when its required
+//                 literal — which every match must contain — is absent, in
+//                 which case Pattern::search would have rejected it via its
+//                 own memmem quick-check without running the VM (and
+//                 without charging the budget).
 //
 // Build once, then share freely: candidates() is const and thread-safe, so
 // one automaton serves any number of concurrent batch-scan workers.
@@ -32,13 +50,22 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "match/teddy.h"
+
 namespace kizzle::match {
 
 class StreamingMatcher;
+
+// First-stage selection. kAuto routes through the Teddy SIMD matcher
+// whenever the registered literal set qualifies; kAutomaton forces the
+// byte-at-a-time Aho–Corasick walk (the differential baseline for tests
+// and benchmarks). Candidate sets are identical either way.
+enum class FirstStage { kAuto, kAutomaton };
 
 class LiteralPrefilter {
  public:
@@ -73,8 +100,29 @@ class LiteralPrefilter {
   void candidates_into(std::string_view text,
                        std::vector<std::size_t>& out) const;
 
+  // Same, additionally reusing `hits` as the Teddy first stage's candidate
+  // position buffer (engine::Scratch owns one so steady-state scans stay
+  // zero-alloc). Unused when the automaton walk is taken.
+  void candidates_into(std::string_view text, std::vector<std::size_t>& out,
+                       teddy::HitBuffer& hits) const;
+
   // Ids with no usable literal (always candidates), sorted ascending.
   const std::vector<std::size_t>& fallback_ids() const { return fallback_; }
+
+  // First-stage routing. The knob is a scan-time override (not serialized;
+  // kAuto after load()) — it must not be flipped while StreamingMatchers
+  // are mid-stream over this prefilter.
+  void set_first_stage(FirstStage stage) { first_stage_ = stage; }
+  FirstStage first_stage() const { return first_stage_; }
+  // True when scans currently route through the Teddy first stage.
+  bool teddy_active() const {
+    return first_stage_ == FirstStage::kAuto && teddy_.has_value();
+  }
+  // The compiled Teddy plan, or nullptr when the literal set does not
+  // qualify. Exposed for the differential tests and benchmarks.
+  const teddy::Plan* teddy_plan() const {
+    return teddy_.has_value() ? &*teddy_ : nullptr;
+  }
 
   // ---------------------------- persistence ----------------------------
   //
@@ -100,11 +148,18 @@ class LiteralPrefilter {
 
   // Recomputes everything derived from the raw registrations that is not
   // part of the automaton tables proper (shared by build() and load()).
+  // Includes the Teddy plan: it is rebuilt from the registrations at every
+  // build() AND at load() — the serialized `.kpf` layout is unchanged.
   void finalize_derived();
+
+  // True when this text should go through the Teddy first stage.
+  bool route_teddy(std::string_view text) const;
 
   std::vector<Keyword> keywords_;
   std::vector<std::size_t> fallback_raw_;  // as registered, may repeat
   std::vector<std::size_t> fallback_;      // derived: sorted, deduplicated
+  std::optional<teddy::Plan> teddy_;       // derived: SIMD first stage
+  FirstStage first_stage_ = FirstStage::kAuto;
   std::size_t n_ids_ = 0;
   std::size_t id_limit_ = 0;  // max registered id + 1 (dedup bitmap size)
   std::size_t n_automaton_ids_ = 0;  // distinct ids reachable via literals
@@ -123,11 +178,16 @@ class LiteralPrefilter {
 };
 
 // Resumable cursor over a LiteralPrefilter for data that arrives in
-// chunks. feed() carries the automaton state across chunk boundaries —
-// the DFA state *is* the bounded tail buffer: it encodes exactly the
-// longest literal prefix ending at the boundary (at most longest-literal−1
-// trailing bytes), so a literal straddling two chunks is recognized the
-// moment its last byte arrives, with no replay of previous chunks.
+// chunks. feed() carries the first stage's state across chunk boundaries.
+// On the automaton path the DFA state *is* the bounded tail buffer: it
+// encodes exactly the longest literal prefix ending at the boundary (at
+// most longest-literal−1 trailing bytes), so a literal straddling two
+// chunks is recognized the moment its last byte arrives, with no replay of
+// previous chunks. On the Teddy path the cursor keeps the last
+// longest-literal−1 raw bytes instead and scans them glued to each new
+// chunk — every occurrence ending inside a chunk lies inside that window,
+// and re-confirmed ids deduplicate — so both paths report exactly the
+// candidate set of the concatenation.
 // finish() merges what has been seen so far with the fallback ids into the
 // same sorted, deduplicated candidate set one-shot candidates() would
 // return for the concatenation of all fed chunks. finish() is a snapshot:
@@ -146,9 +206,10 @@ class StreamingMatcher {
   void feed(std::string_view chunk);
 
   // Candidate set for everything fed since construction/reset: identical
-  // to prefilter.candidates(<all chunks concatenated>).
-  std::vector<std::size_t> finish() const;
-  void finish_into(std::vector<std::size_t>& out) const;
+  // to prefilter.candidates(<all chunks concatenated>). Non-const: the
+  // Teddy path batches unscanned bytes, and finish flushes the remainder.
+  std::vector<std::size_t> finish();
+  void finish_into(std::vector<std::size_t>& out);
 
   // Rewinds to the start-of-text state for the next document.
   void reset();
@@ -163,12 +224,20 @@ class StreamingMatcher {
   std::size_t bytes_fed() const { return bytes_fed_; }
 
  private:
+  void feed_teddy(std::string_view chunk);
+  // Scans window_ (carry tail + deferred bytes), confirms the hits, and
+  // trims the window back to the carry tail.
+  void scan_window();
+
   const LiteralPrefilter* pf_;
   std::int32_t state_ = 0;
   std::size_t bytes_fed_ = 0;
   std::size_t n_seen_ = 0;
   std::vector<std::uint8_t> seen_;    // per-id dedup bitmap
   std::vector<std::size_t> found_;    // automaton ids, discovery order
+  std::string window_;                // teddy: carry tail + unscanned bytes
+  std::size_t pending_ = 0;           // teddy: unscanned byte count
+  teddy::HitBuffer hits_;             // teddy: reusable candidate positions
 };
 
 }  // namespace kizzle::match

@@ -1,0 +1,153 @@
+// Teddy-style vectorized literal first stage for the prefilter.
+//
+// The Aho–Corasick automaton walk (prefilter.h) is byte-at-a-time: every
+// scanned byte costs a dependent table load, so single-stream throughput is
+// capped by load latency no matter how literal-friendly the database is.
+// Hyperscan's Teddy algorithm trades the automaton for SIMD nibble tables:
+// the first K (3–4) bytes of every registered literal are folded into
+// 16-entry low-nibble/high-nibble shuffle masks, one per prefix position,
+// each entry an 8-bit bucket bitmask. A PSHUFB per table turns 16 (SSSE3)
+// or 32 (AVX2) haystack bytes into per-byte bucket masks at once; ANDing
+// the per-position masks (shifted against each other, with carry across
+// block boundaries) leaves a byte non-zero exactly where some bucket's
+// K-byte prefix ends. Those sparse candidate positions are then confirmed
+// by exact comparison against the bucket's literals and mapped back to
+// pattern ids.
+//
+// Plan is the compiled form. build() first picks each literal's *rarest*
+// K-byte window — scored by byte frequency over the whole literal set,
+// which approximates the scanned content's distribution since deployed
+// literals are chunks of real samples — rather than blindly using the
+// first K bytes: signature databases cut from similar samples share
+// head bytes (digit streams, packer idioms), and a first-bytes-only
+// first stage degenerates to a hit on nearly every byte. It then groups
+// the windows into at most kBuckets buckets (sorted, contiguous chunks —
+// shared windows cluster, which keeps the masks selective), derives the
+// shuffle tables, and indexes each bucket's literals by their window for
+// O(log n) confirmation; a hit at position p means some bucket literal's
+// window matches there, and the literal itself is compared at p − offset.
+// build() returns nullopt when the literal set does not qualify (any
+// literal shorter than kMinLiteralLen, or more than kMaxLiterals); callers
+// fall back to the automaton walk, so Teddy never changes *what* is found,
+// only how fast.
+//
+// Three interchangeable first-stage kernels share the tables:
+//
+//   kScalar  portable 64-bit shift-or: per byte, one table pair lookup
+//            yields all K per-position masks packed into a 64-bit word;
+//            the running state is shifted one lane and ANDed, exactly the
+//            SIMD dataflow one byte at a time. Runs on any host.
+//   kSsse3 / kAvx2  the vector kernels (compiled via per-function target
+//            attributes, selected at runtime with cpu-feature detection,
+//            so one binary serves any x86-64 host and non-x86 builds keep
+//            the scalar path).
+//
+// All kernels emit byte-identical Hit sequences — asserted by the
+// differential tests in tests/teddy_test.cpp — so candidate sets never
+// depend on the host's vector width.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kizzle::match::teddy {
+
+// One first-stage candidate: some bucket literal's K-byte window occurs at
+// text[at .. at+K). `buckets` is the bitmask of buckets to confirm.
+// Positions are 32-bit: scanned units are samples/stream windows, not
+// multi-gigabyte blobs (callers guard and fall back past 4 GiB).
+struct Hit {
+  std::uint32_t at = 0;
+  std::uint8_t buckets = 0;
+
+  bool operator==(const Hit&) const = default;
+};
+
+// Reusable candidate-position buffer. Hot paths (engine::Scratch, the
+// streaming matcher) keep one warm so steady-state scans stay
+// allocation-free.
+using HitBuffer = std::vector<Hit>;
+
+enum class Impl { kScalar, kSsse3, kAvx2 };
+
+// Whether `impl` was compiled in AND the running CPU supports it (kScalar
+// is always available).
+bool impl_available(Impl impl);
+// The fastest available kernel on this host, resolved once.
+Impl best_impl();
+const char* impl_name(Impl impl);
+
+class Plan {
+ public:
+  struct Literal {
+    std::string text;
+    std::size_t id = 0;
+  };
+
+  static constexpr std::size_t kBuckets = 8;
+  // Literals shorter than the prefix window would force a 1–2 byte first
+  // stage with hit densities that drown the confirm step; the automaton
+  // handles those sets instead.
+  static constexpr std::size_t kMinLiteralLen = 3;
+  // Beyond this the buckets get so crowded that first-stage hits stop
+  // being sparse; the automaton's one-pass scan wins again.
+  static constexpr std::size_t kMaxLiterals = 4096;
+
+  // Compiles a plan, or nullopt when the literal set does not qualify.
+  static std::optional<Plan> build(std::vector<Literal> literals);
+
+  std::size_t prefix_len() const { return k_; }  // 3 or 4
+  std::size_t max_literal_len() const { return max_len_; }
+  std::size_t literal_count() const { return lits_.size(); }
+
+  // First stage: scans `text` and overwrites `hits` with every candidate
+  // position, in ascending order. Thread-safe (the plan is immutable).
+  void scan(std::string_view text, HitBuffer& hits) const;
+  void scan(std::string_view text, HitBuffer& hits, Impl impl) const;
+
+  // Second stage: confirms `hits` against `text` by exact literal
+  // comparison. Every id whose literal occurs at a hit and is not yet
+  // marked in `seen` (indexed by id, sized by the caller) is marked and
+  // appended to `out`. Returns the updated seen-count; stops early once it
+  // reaches `stop_at` (every filterable id found).
+  std::size_t confirm(std::string_view text, const HitBuffer& hits,
+                      std::vector<std::uint8_t>& seen,
+                      std::vector<std::size_t>& out, std::size_t n_seen,
+                      std::size_t stop_at) const;
+
+ private:
+  Plan() = default;
+
+  // K bytes as a big-endian integer (first byte most significant), the
+  // bucket-local confirmation key of a literal's chosen window.
+  std::uint32_t window_key(const char* p) const;
+
+  struct Entry {
+    std::uint32_t window = 0;   // window_key of the literal's rare window
+    std::uint32_t literal = 0;  // index into lits_
+  };
+
+  // Nibble shuffle tables, one row per window position (rows >= k_ stay
+  // zero): lo_[p][n] is the bucket mask of literals whose window byte p
+  // has low nibble n; hi_ likewise for the high nibble. 16-byte aligned so
+  // the vector kernels can load them directly.
+  alignas(16) std::uint8_t lo_[4][16] = {};
+  alignas(16) std::uint8_t hi_[4][16] = {};
+  // The same tables packed for the scalar kernel: byte p of lo64_[n] is
+  // lo_[p][n], so one 64-bit AND evaluates all K positions per byte.
+  std::uint64_t lo64_[16] = {};
+  std::uint64_t hi64_[16] = {};
+
+  std::size_t k_ = 3;
+  std::size_t max_len_ = 0;
+  std::vector<Literal> lits_;
+  std::vector<std::uint32_t> off_;  // per-literal rare-window offset
+  std::vector<Entry> entries_;  // grouped by bucket, sorted by window within
+  std::array<std::uint32_t, kBuckets + 1> bucket_begin_ = {};
+};
+
+}  // namespace kizzle::match::teddy

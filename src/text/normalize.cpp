@@ -40,36 +40,29 @@ std::string normalize_js(std::string_view source) {
   std::string out;
   out.reserve(source.size());
   for (const Token& t : tokens) {
-    std::string_view piece = normalized_text(t);
     // Strings may still contain whitespace/quote characters inside; an AV
-    // normalizer removes those too, so stay consistent with normalize_raw.
-    for (char c : piece) {
-      switch (c) {
-        case ' ':
-        case '\t':
-        case '\r':
-        case '\n':
-        case '\f':
-        case '\v':
-        case '"':
-        case '\'':
-          break;
-        default:
-          out.push_back(c);
-      }
-    }
+    // normalizer removes those too, so each token piece goes through the
+    // one raw strip loop — the two normalizers cannot drift.
+    normalize_raw_append(normalized_text(t), out);
   }
   return out;
 }
 
 std::string normalize_document(std::string_view html) {
+  // Plain concatenation, no separator. The previous '\n' joiner was a byte
+  // normalization itself strips, so the document text was not a fixed
+  // point of normalize_raw: any channel that re-normalized it silently
+  // glued adjacent blocks into different scan text than a document scan
+  // saw. Concatenating keeps the whole-document text equal to the
+  // per-script channel's texts laid end to end — every per-script match is
+  // a document match, and the document text is stable under every
+  // normalizer (pinned in tests/normalize_test.cpp).
   std::string out;
   for (const ScriptBlock& block : extract_scripts(html)) {
     if (block.has_src &&
         block.body.find_first_not_of(" \t\r\n") == std::string::npos) {
       continue;
     }
-    if (!out.empty()) out.push_back('\n');
     out.append(normalize_js(block.body));
   }
   return out;

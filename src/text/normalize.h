@@ -33,8 +33,13 @@ void normalize_raw_append(std::string_view content, std::string& out);
 std::string normalize_js(std::string_view source);
 
 // Normalized scan text of a full HTML document: inline scripts extracted,
-// each normalized with normalize_js, concatenated with '\n' separators (the
-// separator keeps signatures from matching across script boundaries).
+// each normalized with normalize_js, concatenated. No separator is
+// inserted: every candidate byte is stripped by some normalizer, so a
+// separator would make the document text diverge from its own
+// re-normalization (the old '\n' joiner let signatures match across the
+// seam in whole-document scans on text the per-script channel could never
+// see). The concatenation is a fixed point of normalize_raw, and the
+// per-script channel's scan texts are exact substrings of it.
 std::string normalize_document(std::string_view html);
 
 }  // namespace kizzle::text

@@ -1,6 +1,7 @@
 #include "unpack/unpackers.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 
 #include "text/lexer.h"
@@ -99,11 +100,20 @@ class RigUnpacker final : public Unpacker {
       if (hit == std::string::npos) hit = buffer.size();
       const std::string_view piece =
           std::string_view(buffer).substr(pos, hit - pos);
+      // Empty pieces (doubled/trailing delimiters) are skipped; anything
+      // else must parse as a charcode in [0, 255]. from_chars reports
+      // overflow instead of the UB std::atoi had here, and a piece that is
+      // not pure digits (sign, junk) fails the full-consumption check —
+      // hostile streams reject the unpack rather than decode garbage.
       if (!piece.empty()) {
-        if (!all_in(piece, "0123456789")) return std::nullopt;
-        const int code = std::atoi(std::string(piece).c_str());
-        if (code < 0 || code > 255) return std::nullopt;
-        out.push_back(static_cast<char>(code));
+        int code = 0;
+        const auto [end, ec] =
+            std::from_chars(piece.data(), piece.data() + piece.size(), code);
+        if (ec != std::errc{} || end != piece.data() + piece.size() ||
+            code < 0 || code > 255) {
+          return std::nullopt;
+        }
+        out.push_back(static_cast<char>(static_cast<unsigned char>(code)));
       }
       pos = hit + delim.size();
     }

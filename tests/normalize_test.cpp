@@ -40,7 +40,49 @@ TEST(Normalize, JsStripsWhitespaceInsideStrings) {
 TEST(Normalize, DocumentNormalizesInlineScripts) {
   const std::string doc =
       "<html><script>var a = 1;</script><script>b( \"x\" );</script></html>";
-  EXPECT_EQ(normalize_document(doc), "vara=1;\nb(x);");
+  EXPECT_EQ(normalize_document(doc), "vara=1;b(x);");
+}
+
+// ------------------------ cross-channel semantics ------------------------
+//
+// The whole-document channel (DesktopScanner-style scans of
+// normalize_document output) and the per-script channel (BrowserGate runs
+// normalize_js on each block) must agree on what text exists. The old '\n'
+// block joiner broke that: '\n' is a byte normalization strips, so the
+// document text was not a fixed point of normalize_raw — re-normalizing it
+// glued adjacent blocks, producing seam-spanning text one channel could
+// match and the other could never see. The pinned semantics: document text
+// == the per-script texts concatenated, stable under every normalizer.
+
+TEST(Normalize, DocumentIsConcatenationOfScriptChannelTexts) {
+  const std::string s1 = "var a = 1;";
+  const std::string s2 = "b( \"x\" );";
+  const std::string doc =
+      "<html><script>" + s1 + "</script><p>no</p><script>" + s2 +
+      "</script></html>";
+  EXPECT_EQ(normalize_document(doc), normalize_js(s1) + normalize_js(s2));
+}
+
+TEST(Normalize, DocumentTextIsAFixedPointOfRawNormalization) {
+  const std::string doc =
+      "<html><script>var a = 1;</script><script>b( \"x\" );</script></html>";
+  const std::string text = normalize_document(doc);
+  EXPECT_EQ(normalize_raw(text), text);
+  EXPECT_EQ(normalize_js(text), text);
+}
+
+TEST(Normalize, SeamMatchesAgreeAcrossRenormalization) {
+  // A signature spanning the block seam ("1;b(") sees the same document
+  // text whether a channel scans normalize_document output directly or
+  // re-normalizes it first. Under the old '\n' joiner the direct scan text
+  // was "vara=1;\nb(x);" and the re-normalized text "vara=1;b(x);" — the
+  // same signature matched in one representation and not the other.
+  const std::string doc =
+      "<html><script>var a = 1;</script><script>b( \"x\" );</script></html>";
+  const std::string direct = normalize_document(doc);
+  const std::string renormalized = normalize_raw(direct);
+  EXPECT_EQ(direct.find("1;b("), renormalized.find("1;b("));
+  EXPECT_NE(direct.find("1;b("), std::string::npos);
 }
 
 TEST(Normalize, DocumentSkipsExternalScripts) {

@@ -1,0 +1,383 @@
+// Differential oracle for the Teddy SIMD literal first stage
+// (match/teddy.h) and its integration into the shared prefilter:
+//
+//   * kernel agreement — every compiled-in Impl (scalar shift-or, SSSE3,
+//     AVX2 where the host supports them) emits byte-identical Hit
+//     sequences on random and adversarial texts;
+//   * candidate equivalence — a Teddy-routed LiteralPrefilter returns
+//     byte-identical candidate sets to the forced automaton walk: literal
+//     lengths 1..8 (short sets disqualify Teddy and must still agree),
+//     shared-prefix bucket collisions, occurrences at position 0 and at
+//     the last possible position, and the full kitgen corpus;
+//   * streaming equivalence — StreamingMatcher over the Teddy path equals
+//     one-shot candidates() for every split position and every chunking;
+//   * thread safety — one shared plan scanned from many threads (the tsan
+//     CI job runs this suite).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kitgen/families.h"
+#include "kitgen/packers.h"
+#include "kitgen/payload.h"
+#include "match/pattern.h"
+#include "match/prefilter.h"
+#include "match/teddy.h"
+#include "support/rng.h"
+#include "text/normalize.h"
+
+namespace kizzle::match {
+namespace {
+
+std::vector<teddy::Impl> available_impls() {
+  std::vector<teddy::Impl> impls;
+  for (const teddy::Impl impl :
+       {teddy::Impl::kScalar, teddy::Impl::kSsse3, teddy::Impl::kAvx2}) {
+    if (teddy::impl_available(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
+
+// Builds the same registration set twice: one prefilter free to route
+// through Teddy, one forced onto the automaton walk.
+struct Pair {
+  LiteralPrefilter teddy;
+  LiteralPrefilter automaton;
+};
+
+Pair build_pair(const std::vector<std::pair<std::size_t, std::string>>& regs) {
+  Pair p;
+  for (const auto& [id, lit] : regs) {
+    p.teddy.add(id, lit);
+    p.automaton.add(id, lit);
+  }
+  p.teddy.build();
+  p.automaton.build();
+  p.automaton.set_first_stage(FirstStage::kAutomaton);
+  return p;
+}
+
+void expect_equal_candidates(const Pair& p, std::string_view text) {
+  EXPECT_EQ(p.teddy.candidates(text), p.automaton.candidates(text))
+      << "text: " << text;
+}
+
+// ----------------------------- kernel unit -----------------------------
+
+TEST(TeddyPlan, QualificationGates) {
+  using teddy::Plan;
+  // Any literal shorter than kMinLiteralLen disqualifies the set.
+  EXPECT_FALSE(Plan::build({{"ab", 0}}).has_value());
+  EXPECT_FALSE(Plan::build({{"abcdef", 0}, {"xy", 1}}).has_value());
+  EXPECT_FALSE(Plan::build({}).has_value());
+  ASSERT_TRUE(Plan::build({{"abc", 0}}).has_value());
+  // Three-byte minimum selects the 3-byte prefix window; all-longer sets
+  // get the more selective 4-byte window.
+  EXPECT_EQ(Plan::build({{"abc", 0}, {"wxyz", 1}})->prefix_len(), 3u);
+  EXPECT_EQ(Plan::build({{"abcd", 0}, {"wxyz", 1}})->prefix_len(), 4u);
+  // Oversized sets fall back to the automaton.
+  std::vector<Plan::Literal> many;
+  for (std::size_t i = 0; i < Plan::kMaxLiterals + 1; ++i) {
+    many.push_back({"lit" + std::to_string(i), i});
+  }
+  EXPECT_FALSE(Plan::build(many).has_value());
+  many.pop_back();
+  EXPECT_TRUE(Plan::build(std::move(many)).has_value());
+}
+
+TEST(TeddyPlan, ImplsEmitIdenticalHits) {
+  Rng rng(0x7EDD1);
+  const std::vector<teddy::Plan::Literal> lits = {
+      {"abc", 0}, {"abcd", 1}, {"bcde", 2}, {"fromCharCode", 3},
+      {"eval(", 4}, {"\x01\x02\x03", 5}, {"zzz", 6}, {"abz", 7},
+  };
+  const auto plan = teddy::Plan::build(lits);
+  ASSERT_TRUE(plan.has_value());
+
+  std::vector<std::string> texts;
+  texts.push_back("");
+  texts.push_back("ab");                      // shorter than the prefix
+  texts.push_back("abc");                     // exactly one prefix
+  texts.push_back("abcabcabcabc");            // dense hits
+  texts.push_back(std::string(64, 'a'));      // no hits
+  texts.push_back("\x01\x02\x03");            // non-ASCII bytes
+  for (int i = 0; i < 32; ++i) {
+    // Random lengths around the 16/32-byte block boundaries: tails, exact
+    // blocks, one-past.
+    const std::size_t len = rng.index(70);
+    std::string t = rng.string_over("abcdezf(rom)CharCode\x01\x02\x03", len);
+    texts.push_back(std::move(t));
+  }
+  // Occurrences straddling every block-relative offset.
+  for (std::size_t at = 0; at < 40; ++at) {
+    std::string t(64, 'q');
+    t.replace(at, 4, "abcd");
+    texts.push_back(std::move(t));
+  }
+
+  const auto impls = available_impls();
+  ASSERT_FALSE(impls.empty());
+  for (const std::string& text : texts) {
+    teddy::HitBuffer reference;
+    plan->scan(text, reference, teddy::Impl::kScalar);
+    for (const teddy::Impl impl : impls) {
+      teddy::HitBuffer hits;
+      plan->scan(text, hits, impl);
+      EXPECT_EQ(hits, reference)
+          << teddy::impl_name(impl) << " diverged on \"" << text << '"';
+    }
+  }
+}
+
+// --------------------------- candidate oracle ---------------------------
+
+TEST(TeddyPrefilter, EveryLiteralLengthOneToEight) {
+  Rng rng(0x1E77);
+  // One registration set per minimum length: sets containing 1- or 2-byte
+  // literals must disqualify Teddy (and still agree with the automaton);
+  // sets of only >=3-byte literals must route through it.
+  for (std::size_t min_len = 1; min_len <= 8; ++min_len) {
+    std::vector<std::pair<std::size_t, std::string>> regs;
+    std::size_t id = 0;
+    for (std::size_t len = min_len; len <= 8; ++len) {
+      regs.emplace_back(id++, std::string(len, 'a'));          // runs
+      regs.emplace_back(id++, rng.string_over("abcxyz", len)); // random
+      std::string edge = "Z" + std::string(len > 1 ? len - 1 : 0, 'y');
+      regs.emplace_back(id++, edge);
+    }
+    regs.emplace_back(id++, "");  // fallback rider
+    const Pair p = build_pair(regs);
+    EXPECT_EQ(p.teddy.teddy_active(), min_len >= 3) << min_len;
+
+    std::vector<std::string> texts = {"", "a", "aaaaaaaaaa", "Zyyyyyyy",
+                                      "xyzabcxyzabc"};
+    for (int i = 0; i < 24; ++i) {
+      texts.push_back(rng.string_over("abcxyzZ", 3 + rng.index(60)));
+    }
+    for (const std::string& t : texts) expect_equal_candidates(p, t);
+  }
+}
+
+TEST(TeddyPrefilter, SharedPrefixBucketCollisions) {
+  // Dozens of literals sharing one 4-byte prefix: they land in the same
+  // bucket(s), every occurrence of the prefix lights the bucket, and only
+  // exact confirmation may separate them.
+  std::vector<std::pair<std::size_t, std::string>> regs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    regs.emplace_back(i, "pref" + std::to_string(i));
+  }
+  regs.emplace_back(100, "prefix_shared_long_tail");
+  regs.emplace_back(101, "pref");  // the bare prefix itself
+  const Pair p = build_pair(regs);
+  ASSERT_TRUE(p.teddy.teddy_active());
+
+  expect_equal_candidates(p, "pref");
+  expect_equal_candidates(p, "pref1");
+  expect_equal_candidates(p, "pref39 pref12 pref");
+  expect_equal_candidates(p, "prefix_shared_long_tail");
+  expect_equal_candidates(p, "prefix_shared_long_tai");  // one byte short
+  expect_equal_candidates(p, "xxprefxx pref3 pref33");
+  EXPECT_EQ(p.teddy.candidates("pref7"),
+            (std::vector<std::size_t>{7, 101}));
+}
+
+TEST(TeddyPrefilter, BoundaryPositions) {
+  const Pair p = build_pair({{0, "needle"}, {1, "end"}, {2, "xyz"}});
+  ASSERT_TRUE(p.teddy.teddy_active());
+
+  // Occurrence at position 0.
+  expect_equal_candidates(p, "needle");
+  expect_equal_candidates(p, "needle rest of text");
+  EXPECT_EQ(p.teddy.candidates("needle"), (std::vector<std::size_t>{0}));
+  // Occurrence ending exactly at the last byte, across block-relative
+  // alignments (the padded-tail path of the vector kernels).
+  for (std::size_t pad = 0; pad < 40; ++pad) {
+    const std::string tail_hit = std::string(pad, '.') + "end";
+    expect_equal_candidates(p, tail_hit);
+    EXPECT_EQ(p.teddy.candidates(tail_hit), (std::vector<std::size_t>{1}));
+  }
+  // Text shorter than any literal / shorter than the prefix window.
+  expect_equal_candidates(p, "");
+  expect_equal_candidates(p, "en");
+  expect_equal_candidates(p, "ne");
+  // Truncated occurrence at the very end (prefix present, tail cut off).
+  expect_equal_candidates(p, "....needl");
+  expect_equal_candidates(p, "....nee");
+}
+
+// ---------------------------- streaming oracle ----------------------------
+
+TEST(TeddyStreaming, EverySplitPositionMatchesOneShot) {
+  const Pair p = build_pair(
+      {{0, "needle"}, {1, "spanner"}, {2, "xyz"}, {3, ""}, {4, "abcd"}});
+  ASSERT_TRUE(p.teddy.teddy_active());
+  const std::string text =
+      "xx needle yy spanner zz abcd xyzxyz needlespanner abcdabcd";
+  const auto expect = p.teddy.candidates(text);
+  ASSERT_EQ(expect, p.automaton.candidates(text));
+
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    StreamingMatcher teddy_stream(p.teddy);
+    teddy_stream.feed(std::string_view(text).substr(0, split));
+    teddy_stream.feed(std::string_view(text).substr(split));
+    EXPECT_EQ(teddy_stream.finish(), expect) << "split " << split;
+
+    StreamingMatcher automaton_stream(p.automaton);
+    automaton_stream.feed(std::string_view(text).substr(0, split));
+    automaton_stream.feed(std::string_view(text).substr(split));
+    EXPECT_EQ(automaton_stream.finish(), expect) << "split " << split;
+  }
+
+  // Byte-at-a-time and small odd chunks.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+    StreamingMatcher stream(p.teddy);
+    for (std::size_t at = 0; at < text.size(); at += chunk) {
+      stream.feed(std::string_view(text).substr(at, chunk));
+    }
+    EXPECT_EQ(stream.finish(), expect) << "chunk " << chunk;
+  }
+}
+
+TEST(TeddyStreaming, ResetAndRebindClearTheCarriedWindow) {
+  const Pair p = build_pair({{0, "straddle"}, {1, "abc"}});
+  StreamingMatcher stream(p.teddy);
+  stream.feed("strad");
+  stream.reset();
+  stream.feed("dle");  // must NOT complete "straddle" across the reset
+  EXPECT_TRUE(stream.finish().empty());
+
+  stream.reset();
+  stream.feed("strad");
+  stream.rebind(p.teddy);
+  stream.feed("dle");
+  EXPECT_TRUE(stream.finish().empty());
+
+  stream.reset();
+  stream.feed("strad");
+  stream.feed("dle");
+  EXPECT_EQ(stream.finish(), (std::vector<std::size_t>{0}));
+}
+
+// ----------------------------- kitgen corpus -----------------------------
+
+std::vector<std::string> kitgen_corpus() {
+  Rng rng(0xC0FFEE);
+  std::vector<std::string> samples;
+  for (int i = 0; i < 4; ++i) {
+    kitgen::PayloadSpec spec;
+    spec.family = kitgen::KitFamily::Nuclear;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Nuclear).cves;
+    spec.av_check = true;
+    spec.urls = {kitgen::make_landing_url(rng)};
+    samples.push_back(text::normalize_raw(
+        pack_nuclear(payload_text(spec), kitgen::NuclearPackerState{}, rng)));
+    spec.family = kitgen::KitFamily::Rig;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Rig).cves;
+    samples.push_back(text::normalize_raw(
+        pack_rig(payload_text(spec), kitgen::RigPackerState{}, rng)));
+    spec.family = kitgen::KitFamily::Angler;
+    spec.cves = kitgen::kit_info(kitgen::KitFamily::Angler).cves;
+    samples.push_back(text::normalize_raw(
+        pack_angler(payload_text(spec), kitgen::AnglerPackerState{}, rng)));
+  }
+  samples.push_back("");
+  samples.push_back("no literals in here at all");
+  return samples;
+}
+
+// Deployed-database-shaped registrations: literal chunks cut from the
+// corpus via the real signature-compilation path (Pattern::escape +
+// required_literal), most from other samples than the one scanned.
+std::vector<std::pair<std::size_t, std::string>> corpus_registrations(
+    const std::vector<std::string>& corpus) {
+  Rng rng(0xBEEF);
+  std::vector<std::pair<std::size_t, std::string>> regs;
+  std::size_t id = 0;
+  for (const std::string& text : corpus) {
+    if (text.size() < 128) continue;
+    for (int k = 0; k < 6; ++k) {
+      const std::size_t len = 16 + rng.index(32);
+      const std::size_t at = rng.index(text.size() - len);
+      const Pattern pat = Pattern::compile(
+          Pattern::escape(text.substr(at, len)) + "[0-9a-zA-Z]{0,8}");
+      regs.emplace_back(id++, pat.required_literal());
+    }
+  }
+  regs.emplace_back(id++, "");  // fallback rider
+  return regs;
+}
+
+TEST(TeddyPrefilter, KitgenCorpusOneShotEquivalence) {
+  const auto corpus = kitgen_corpus();
+  const Pair p = build_pair(corpus_registrations(corpus));
+  ASSERT_TRUE(p.teddy.teddy_active());
+  ASSERT_FALSE(p.automaton.teddy_active());
+  for (const std::string& sample : corpus) {
+    EXPECT_EQ(p.teddy.candidates(sample), p.automaton.candidates(sample));
+  }
+}
+
+TEST(TeddyStreaming, KitgenCorpusEveryChunking) {
+  const auto corpus = kitgen_corpus();
+  const Pair p = build_pair(corpus_registrations(corpus));
+  ASSERT_TRUE(p.teddy.teddy_active());
+
+  for (const std::string& sample : corpus) {
+    const auto expect = p.automaton.candidates(sample);
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{4096}, sample.size()}) {
+      StreamingMatcher stream(p.teddy);
+      if (chunk == 0) {
+        stream.feed(sample);
+      } else {
+        for (std::size_t at = 0; at < sample.size(); at += chunk) {
+          stream.feed(std::string_view(sample).substr(at, chunk));
+        }
+      }
+      EXPECT_EQ(stream.finish(), expect) << "chunk " << chunk;
+    }
+  }
+
+  // Every split position of one full sample.
+  const std::string& sample = corpus.front();
+  const auto expect = p.automaton.candidates(sample);
+  StreamingMatcher stream(p.teddy);
+  for (std::size_t split = 0; split <= sample.size(); ++split) {
+    stream.reset();
+    stream.feed(std::string_view(sample).substr(0, split));
+    stream.feed(std::string_view(sample).substr(split));
+    ASSERT_EQ(stream.finish(), expect) << "split " << split;
+  }
+}
+
+// ------------------------------ concurrency ------------------------------
+
+TEST(TeddyPrefilter, ConcurrentScansOverOneSharedPlan) {
+  const auto corpus = kitgen_corpus();
+  const Pair p = build_pair(corpus_registrations(corpus));
+  ASSERT_TRUE(p.teddy.teddy_active());
+  std::vector<std::vector<std::size_t>> expect;
+  for (const std::string& sample : corpus) {
+    expect.push_back(p.automaton.candidates(sample));
+  }
+
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(4, 0);
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < 8; ++round) {
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+          if (p.teddy.candidates(corpus[i]) != expect[i]) ++mismatches[w];
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const int m : mismatches) EXPECT_EQ(m, 0);
+}
+
+}  // namespace
+}  // namespace kizzle::match

@@ -172,6 +172,78 @@ TEST(Unpackers, EmptyInput) {
   EXPECT_FALSE(unpack_script("").has_value());
 }
 
+// ----------------------- hostile charcode streams -----------------------
+//
+// The RIG decoder parses delimiter-separated charcode pieces. It used to
+// run them through std::atoi (undefined behavior on overflow, silent
+// garbage on junk) and narrow through a char cast; these pin the
+// std::from_chars replacement: overflow digits, out-of-range and negative
+// codes reject the unpack, empty pieces are skipped.
+
+// A payload long and token-rich enough for looks_like_script().
+const char kCharcodePayload[] =
+    "var a=1;var b=2;var c=3;var d=4;"
+    "function go(){return a+b+c+d;}go();var done=go();";
+
+std::string rig_encode(std::string_view payload) {
+  std::string enc;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (i != 0) enc += "y6";
+    enc += std::to_string(static_cast<unsigned char>(payload[i]));
+  }
+  return enc;
+}
+
+std::string rig_style_script(std::string_view encoded) {
+  return "var B=\"\";var D=\"y6\";function C(t){B+=t;}\nC(\"" +
+         std::string(encoded) +
+         "\");\nvar P=B.split(D);var R=\"\";"
+         "for(var i=0;i<P.length;i++){R+=String.fromCharCode(P[i]);}";
+}
+
+TEST(Unpackers, RigDecodesHandBuiltCharcodeStream) {
+  const auto result = unpack_script(rig_style_script(rig_encode(kCharcodePayload)));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->unpacker, "rig");
+  EXPECT_EQ(result->text, kCharcodePayload);
+}
+
+TEST(Unpackers, RigRejectsOverflowingCharcodes) {
+  // Far past INT_MAX: std::atoi was UB here and could "decode" whatever
+  // the overflow happened to produce.
+  const std::string encoded =
+      rig_encode(kCharcodePayload) + "y699999999999999999999";
+  EXPECT_FALSE(unpack_script(rig_style_script(encoded)).has_value());
+}
+
+TEST(Unpackers, RigRejectsOutOfRangeCharcodes) {
+  const std::string encoded = rig_encode(kCharcodePayload) + "y6999";
+  EXPECT_FALSE(unpack_script(rig_style_script(encoded)).has_value());
+}
+
+TEST(Unpackers, RigRejectsNegativeCharcodes) {
+  const std::string encoded = rig_encode(kCharcodePayload) + "y6-12";
+  EXPECT_FALSE(unpack_script(rig_style_script(encoded)).has_value());
+}
+
+TEST(Unpackers, RigRejectsNonNumericCharcodePieces) {
+  const std::string encoded = rig_encode(kCharcodePayload) + "y612junk";
+  EXPECT_FALSE(unpack_script(rig_style_script(encoded)).has_value());
+}
+
+TEST(Unpackers, RigSkipsEmptyCharcodePieces) {
+  // Doubled and trailing delimiters produce empty pieces; they carry no
+  // charcode and are skipped, not decoded as zero bytes.
+  std::string encoded = rig_encode(kCharcodePayload);
+  const std::size_t mid = encoded.find("y6");
+  ASSERT_NE(mid, std::string::npos);
+  encoded.insert(mid, "y6");  // "..y6y6.." around the first delimiter
+  encoded += "y6";            // trailing delimiter
+  const auto result = unpack_script(rig_style_script(encoded));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->text, kCharcodePayload);
+}
+
 TEST(Unpackers, NoCrossFire) {
   // Each packed format must be decoded by exactly its own unpacker.
   Rng rng(17);
