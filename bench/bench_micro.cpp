@@ -410,12 +410,51 @@ void teddy_prefilter_bench(benchmark::State& state, match::FirstStage stage) {
 void BM_TeddyPrefilter(benchmark::State& state) {
   teddy_prefilter_bench(state, match::FirstStage::kAuto);
 }
-BENCHMARK(BM_TeddyPrefilter)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_TeddyPrefilter)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_TeddyPrefilterAutomaton(benchmark::State& state) {
   teddy_prefilter_bench(state, match::FirstStage::kAutomaton);
 }
-BENCHMARK(BM_TeddyPrefilterAutomaton)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_TeddyPrefilterAutomaton)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+// 1–2-byte literals: the length classes the pre-Fat first stage refused
+// outright (its minimum literal length was 3, forcing the whole database
+// onto the automaton). Sharded plans route them through the shift-or
+// kernels; the Automaton variant is the old behaviour for the same set.
+void teddy_short_prefilter_bench(benchmark::State& state,
+                                 match::FirstStage stage) {
+  constexpr std::string_view kAlpha = "abcdefghijklmnopqrstuvwxyz0123456789";
+  match::LiteralPrefilter pf;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string lit;
+    lit.push_back(kAlpha[i % kAlpha.size()]);
+    if (i % 7 != 0) lit.push_back(kAlpha[(i / kAlpha.size()) % kAlpha.size()]);
+    pf.add(i, lit);
+  }
+  pf.build();
+  pf.set_first_stage(stage);
+  const std::string text = text::normalize_raw(packed_nuclear_sample(1));
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    pf.candidates_into(text, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["teddy"] = pf.teddy_active() ? 1 : 0;
+  state.counters["survivors"] = static_cast<double>(out.size());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_TeddyPrefilterShortLiterals(benchmark::State& state) {
+  teddy_short_prefilter_bench(state, match::FirstStage::kAuto);
+}
+BENCHMARK(BM_TeddyPrefilterShortLiterals)->Arg(64)->Arg(512);
+
+void BM_TeddyPrefilterShortLiteralsAutomaton(benchmark::State& state) {
+  teddy_short_prefilter_bench(state, match::FirstStage::kAutomaton);
+}
+BENCHMARK(BM_TeddyPrefilterShortLiteralsAutomaton)->Arg(64)->Arg(512);
 
 void BM_ScanManySignatures(benchmark::State& state) {
   const std::string text = packed_nuclear_sample(1);
@@ -477,6 +516,20 @@ void engine_scan_bench(benchmark::State& state, match::FirstStage stage) {
     events += outcome.events;
     benchmark::DoNotOptimize(events);
   }
+  // Per-scan observability from the scratch: routing, selectivity, and the
+  // confirmation-tier split (identical across iterations — same text).
+  const engine::ScanStats& st = scratch.stats();
+  state.counters["simd"] =
+      st.prefilter.fallback == match::PrefilterFallback::kNone ? 1 : 0;
+  state.counters["first_stage_hits"] =
+      static_cast<double>(st.prefilter.first_stage_hits);
+  state.counters["survivors"] =
+      static_cast<double>(st.prefilter.literal_survivors);
+  state.counters["candidates"] = static_cast<double>(st.candidates);
+  state.counters["confirm_find"] = static_cast<double>(st.confirmed_literal);
+  state.counters["confirm_program"] =
+      static_cast<double>(st.confirmed_literal_dominated);
+  state.counters["confirm_vm"] = static_cast<double>(st.confirmed_vm);
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(text.size()));
 }
@@ -484,12 +537,16 @@ void engine_scan_bench(benchmark::State& state, match::FirstStage stage) {
 void BM_EngineScanManySignatures(benchmark::State& state) {
   engine_scan_bench(state, match::FirstStage::kAuto);
 }
-BENCHMARK(BM_EngineScanManySignatures)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EngineScanManySignatures)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_EngineScanManySignaturesAutomaton(benchmark::State& state) {
   engine_scan_bench(state, match::FirstStage::kAutomaton);
 }
-BENCHMARK(BM_EngineScanManySignaturesAutomaton)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EngineScanManySignaturesAutomaton)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
 
 void BM_ScanBatchParallel(benchmark::State& state) {
   // Batch fan-out across the thread pool (the CdnFilter shape): 64 packed

@@ -23,12 +23,77 @@
 #
 # Usage: bench/run_bench.sh [build-dir] [cluster-out.json] [stream-out.json]
 #                           [scan-out.json]
+#        bench/run_bench.sh --compare <baseline.json> [candidate.json]
+#                           [tolerance]
 #
 # The headline comparisons: BM_ClusterPairwise vs BM_ClusterPairwiseScalar
 # items_per_second (unordered pairs resolved per second),
 # BM_StreamingScan bytes_per_second against the one-shot pass, and
 # BM_TeddyPrefilter bytes_per_second against the automaton baseline.
+#
+# --compare checks the scan series for regressions against a baseline JSON
+# (e.g. the checked-in BENCH_scan.json): per shared benchmark row, the
+# candidate's real_time may exceed the baseline's by at most `tolerance`
+# (default 0.30 = +30%, benchmarks are noisy). When candidate.json is
+# omitted, the scan series is run fresh from <build-dir or ./build>.
+# Exits 1 on any regression, 2 when the files share no rows.
 set -euo pipefail
+
+SCAN_FILTER='BM_TeddyPrefilter|BM_ScanManySignatures/|BM_EngineScanManySignatures'
+
+if [[ "${1:-}" == "--compare" ]]; then
+  BASELINE="${2:?usage: run_bench.sh --compare <baseline.json> [candidate.json] [tolerance]}"
+  CANDIDATE="${3:-}"
+  TOL="${4:-0.30}"
+  if [[ -z "$CANDIDATE" ]]; then
+    BUILD="${BENCH_BUILD:-build}"
+    if [[ ! -x "$BUILD/bench_micro" ]]; then
+      echo "error: $BUILD/bench_micro not found (set BENCH_BUILD)." >&2
+      exit 1
+    fi
+    CANDIDATE="$(mktemp "${TMPDIR:-/tmp}/bench_scan.XXXXXX.json")"
+    "$BUILD/bench_micro" --benchmark_filter="$SCAN_FILTER" \
+      --benchmark_out="$CANDIDATE" --benchmark_out_format=json
+  fi
+  python3 - "$BASELINE" "$CANDIDATE" "$TOL" <<'EOF'
+import json
+import sys
+
+base_path, cand_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        b["name"]: b
+        for b in data.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+base, cand = rows(base_path), rows(cand_path)
+shared = sorted(set(base) & set(cand))
+if not shared:
+    print(f"error: no shared benchmark rows between {base_path} and {cand_path}")
+    sys.exit(2)
+bad = []
+print(f"{'benchmark':55s} {'baseline':>12s} {'candidate':>12s} {'ratio':>7s}")
+for name in shared:
+    b, c = base[name]["real_time"], cand[name]["real_time"]
+    ratio = c / b if b else float("inf")
+    flag = ""
+    if ratio > 1.0 + tol:
+        bad.append(name)
+        flag = "  REGRESSION"
+    print(f"{name:55s} {b:12.0f} {c:12.0f} {ratio:7.2f}{flag}")
+print(f"{len(shared)} rows compared, tolerance +{tol:.0%}")
+if bad:
+    print("regressions: " + ", ".join(bad))
+    sys.exit(1)
+EOF
+  exit $?
+fi
 
 BUILD="${1:-build}"
 OUT="${2:-BENCH_cluster.json}"
@@ -54,7 +119,7 @@ echo "wrote $OUT"
 echo "wrote $STREAM_OUT"
 
 "$BUILD/bench_micro" \
-  --benchmark_filter='BM_TeddyPrefilter|BM_ScanManySignatures/|BM_EngineScanManySignatures' \
+  --benchmark_filter="$SCAN_FILTER" \
   --benchmark_out="$SCAN_OUT" --benchmark_out_format=json
 
 echo "wrote $SCAN_OUT"

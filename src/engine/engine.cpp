@@ -118,14 +118,24 @@ const match::Pattern& Database::pattern(std::size_t index) const {
 namespace {
 
 // The one confirmation loop every scan shape funnels into. Candidates are
-// ascending, so the first delivered event is the brute-force first match;
-// budget-exceeded confirmations are counted and skipped, exactly like the
-// pre-engine Scanner/SignatureBundle paths.
+// ascending, so the first delivered event is the brute-force first match.
+// Confirmation dispatches on the pattern's compile-time tier
+// (Pattern::confirm_span): find() for pure literals, the compiled confirm
+// program for literal-dominated signatures, the backtracking VM only for
+// regex-shaped ones — whose budget overruns are counted and skipped,
+// exactly like the pre-engine Scanner/SignatureBundle paths (the compiled
+// tiers cannot overrun). Tier counts land in scratch.stats_.
 ScanOutcome confirm_loop(const Database& db,
                          std::span<const std::size_t> candidates,
                          std::string_view text, match::VmScratch& vm,
-                         const CandidateFn* should_confirm, MatchFn on_match) {
+                         ScanStats& stats, const CandidateFn* should_confirm,
+                         MatchFn on_match,
+                         const std::vector<std::uint32_t>* hints = nullptr) {
   ScanOutcome out;
+  stats.candidates = candidates.size();
+  stats.confirmed_literal = 0;
+  stats.confirmed_literal_dominated = 0;
+  stats.confirmed_vm = 0;
   const std::span<const Database::Entry> entries = db.entries();
   for (const std::size_t i : candidates) {
     if (i >= entries.size()) {
@@ -133,7 +143,26 @@ ScanOutcome confirm_loop(const Database& db,
     }
     if (should_confirm != nullptr && !(*should_confirm)(i)) continue;
     const Database::Entry& entry = entries[i];  // bounds-checked above
-    const match::SpanResult r = entry.pattern.search_span(text, vm);
+    switch (entry.pattern.confirm_tier()) {
+      case match::ConfirmTier::kLiteral:
+        ++stats.confirmed_literal;
+        break;
+      case match::ConfirmTier::kLiteralDominated:
+        ++stats.confirmed_literal_dominated;
+        break;
+      case match::ConfirmTier::kRegex:
+        ++stats.confirmed_vm;
+        break;
+    }
+    // The prefilter's tier-2 confirm already located each surviving id's
+    // literal; seed the confirmation there instead of re-finding it.
+    std::size_t hint = match::Pattern::knpos;
+    if (hints != nullptr && i < hints->size() &&
+        (*hints)[i] != match::teddy::kNoHint) {
+      hint = (*hints)[i];
+    }
+    const match::SpanResult r =
+        entry.pattern.confirm_span(text, vm, 0, 0, hint);
     if (r.budget_exceeded) {
       ++out.budget_exceeded;
       continue;
@@ -154,29 +183,35 @@ ScanOutcome confirm_loop(const Database& db,
 ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
                  MatchFn on_match) {
   db.prefilter().candidates_into(text, scratch.candidates_,
-                                 scratch.teddy_hits_);
-  return confirm_loop(db, scratch.candidates_, text, scratch.vm_, nullptr,
-                      on_match);
+                                 scratch.teddy_hits_,
+                                 &scratch.stats_.prefilter, &scratch.hints_);
+  return confirm_loop(db, scratch.candidates_, text, scratch.vm_,
+                      scratch.stats_, nullptr, on_match, &scratch.hints_);
 }
 
 ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
                  CandidateFn should_confirm, MatchFn on_match) {
   db.prefilter().candidates_into(text, scratch.candidates_,
-                                 scratch.teddy_hits_);
+                                 scratch.teddy_hits_,
+                                 &scratch.stats_.prefilter, &scratch.hints_);
   return confirm_loop(db, scratch.candidates_, text, scratch.vm_,
-                      &should_confirm, on_match);
+                      scratch.stats_, &should_confirm, on_match,
+                      &scratch.hints_);
 }
 
 ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
                     std::string_view text, Scratch& scratch, MatchFn on_match) {
-  return confirm_loop(db, candidates, text, scratch.vm_, nullptr, on_match);
+  scratch.stats_.prefilter = match::PrefilterStats{};
+  return confirm_loop(db, candidates, text, scratch.vm_, scratch.stats_,
+                      nullptr, on_match);
 }
 
 ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
                     std::string_view text, Scratch& scratch,
                     CandidateFn should_confirm, MatchFn on_match) {
-  return confirm_loop(db, candidates, text, scratch.vm_, &should_confirm,
-                      on_match);
+  scratch.stats_.prefilter = match::PrefilterStats{};
+  return confirm_loop(db, candidates, text, scratch.vm_, scratch.stats_,
+                      &should_confirm, on_match);
 }
 
 std::optional<MatchEvent> first_match(const Database& db, std::string_view text,
@@ -211,8 +246,9 @@ ScanOutcome Stream::finish(MatchFn on_match) const {
   // the scratch's candidate buffer, then confirmed against the accumulated
   // text. Feeding may continue afterwards.
   scratch_->matcher_->finish_into(scratch_->candidates_);
+  scratch_->stats_.prefilter = match::PrefilterStats{};
   return confirm_loop(*db_, scratch_->candidates_, scratch_->normalized_,
-                      scratch_->vm_, nullptr, on_match);
+                      scratch_->vm_, scratch_->stats_, nullptr, on_match);
 }
 
 std::optional<MatchEvent> Stream::finish_first() const {

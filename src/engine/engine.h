@@ -35,12 +35,15 @@
 //
 // Events are delivered in ascending signature-index order (== issue
 // order), so "first event" is exactly the brute-force first-match answer.
-// Candidates whose confirmation exceeds the VM step budget are skipped and
-// counted in ScanOutcome::budget_exceeded, never delivered.
+// Candidate confirmation is *tiered* (match::ConfirmTier): pure-literal
+// signatures confirm with a find(), literal-dominated ones with their
+// compiled confirm program, and only regex-shaped patterns run the
+// backtracking VM — whose budget overruns are skipped and counted in
+// ScanOutcome::budget_exceeded, never delivered.
 //
-// The Teddy SIMD literal first stage (match/teddy.h) already plugs in
+// The sharded Teddy SIMD literal first stage (match/teddy.h) plugs in
 // behind this seam — scans route through it with no channel changes — and
-// sharding (per-family automata, ROADMAP) lands the same way.
+// per-scan counters for every tier surface through Scratch::stats().
 #pragma once
 
 #include <atomic>
@@ -117,6 +120,21 @@ struct ScanOutcome {
   std::size_t events = 0;           // MatchEvents delivered
   std::size_t budget_exceeded = 0;  // candidates skipped on VM budget
   bool stopped = false;             // the callback returned Stop
+};
+
+// Per-scan observability, owned by the Scratch and overwritten by each
+// scan on it (never accumulated): the prefilter's tier 1–2 counters plus
+// how the candidates split across the confirmation tiers. scan() fills
+// everything; confirm() and Stream::finish() fill the candidate/tier
+// counters and zero the prefilter slice (the candidate list arrived from
+// outside the call). Reading it costs nothing on the scan path — the
+// counters are plain increments on memory the scratch already owns.
+struct ScanStats {
+  match::PrefilterStats prefilter;  // first-stage hits, shards, survivors
+  std::size_t candidates = 0;       // ids handed to the confirmation loop
+  std::size_t confirmed_literal = 0;            // pure find() confirmations
+  std::size_t confirmed_literal_dominated = 0;  // compiled confirm programs
+  std::size_t confirmed_vm = 0;                 // backtracking VM runs
 };
 
 // ------------------------------ database ------------------------------
@@ -212,6 +230,9 @@ class Scratch {
   // scratch.
   const std::string& stream_text() const { return normalized_; }
 
+  // Counters of the most recent scan()/confirm()/finish() on this scratch.
+  const ScanStats& stats() const { return stats_; }
+
  private:
   friend class Stream;
   friend ScanOutcome scan(const Database&, std::string_view, Scratch&,
@@ -230,9 +251,14 @@ class Scratch {
   // grows to the database/text high-water mark and stays, like every other
   // buffer here, so one-shot scans stay allocation-free in steady state.
   match::teddy::HitBuffer teddy_hits_;
+  // Per-id leftmost-literal-occurrence positions from the prefilter's
+  // tier-2 confirm (teddy::kNoHint where unknown): confirmation seeds each
+  // candidate's anchor search there instead of re-scanning the text.
+  std::vector<std::uint32_t> hints_;
   std::string normalized_;  // stream accumulation buffer
   match::VmScratch vm_;
   std::optional<match::StreamingMatcher> matcher_;
+  ScanStats stats_;
 };
 
 // ------------------------------- scanning ------------------------------

@@ -581,62 +581,235 @@ void flatten(const Node& n, std::vector<const Node*>& out) {
   }
 }
 
-void find_literal(const Node& root, Program& prog) {
-  std::vector<const Node*> items;
-  flatten(root, items);
-  if (!items.empty() && items.front()->kind == Node::Kind::Bol) {
-    prog.anchored_bol = true;
-  }
+// Widest min-to-max spread of the literal's offset from the match start
+// for which search() still enumerates candidate start positions around
+// each memmem hit. Past this, every hit would spawn thousands of anchored
+// VM attempts — worse than the plain scan — so the literal degrades to a
+// quick-reject filter only. (Unrelated to any prefilter set-size limit;
+// it bounds per-hit work inside ONE pattern's search.)
+constexpr std::uint64_t kMaxLiteralOffsetSpread = 4096;
 
-  std::string best;
-  std::uint64_t best_min = 0;
-  std::uint64_t best_max = 0;
+// The longest literal run of the flattened item sequence, with its offset
+// bounds from the match start and the item range [item_begin, item_end)
+// it occupies — the confirm-program classifier anchors on that range.
+struct LitRun {
+  std::string text;
+  std::uint64_t off_min = 0;
+  std::uint64_t off_max = 0;
+  std::size_t item_begin = 0;
+  std::size_t item_end = 0;
+};
 
-  std::string run;
-  std::uint64_t run_min = 0;
-  std::uint64_t run_max = 0;
+std::optional<LitRun> best_literal_run(const std::vector<const Node*>& items) {
+  std::optional<LitRun> best;
+  LitRun run;
   std::uint64_t off_min = 0;
   std::uint64_t off_max = 0;
 
-  auto close_run = [&] {
-    if (run.size() > best.size()) {
+  auto close_run = [&](std::size_t end_item) {
+    run.item_end = end_item;
+    if (!run.text.empty() && (!best || run.text.size() > best->text.size())) {
       best = run;
-      best_min = run_min;
-      best_max = run_max;
     }
-    run.clear();
+    run.text.clear();
   };
 
-  for (const Node* item : items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Node* item = items[i];
     if (item->kind == Node::Kind::Lit) {
-      if (run.empty()) {
-        run_min = off_min;
-        run_max = off_max;
+      if (run.text.empty()) {
+        run.off_min = off_min;
+        run.off_max = off_max;
+        run.item_begin = i;
       }
-      run.push_back(static_cast<char>(item->ch));
+      run.text.push_back(static_cast<char>(item->ch));
       off_min += 1;
       off_max = (off_max == kWidthInf) ? kWidthInf : off_max + 1;
       continue;
     }
-    close_run();
+    close_run(i);
     const Width w = width_of(*item);
     off_min += w.min;
     off_max = (off_max == kWidthInf || w.max == kWidthInf) ? kWidthInf
                                                            : off_max + w.max;
   }
-  close_run();
+  close_run(items.size());
+  return best;
+}
 
-  if (best.size() >= 3) {
-    prog.literal = best;
-    prog.lit_min_prefix = static_cast<std::size_t>(best_min);
-    prog.lit_usable = true;
-    if (best_max != kWidthInf && best_max - best_min <= 4096) {
-      prog.lit_max_prefix = static_cast<std::size_t>(best_max);
-    } else {
-      // Unbounded / too wide offset: literal is a quick-reject filter only.
-      prog.lit_max_prefix = std::numeric_limits<std::size_t>::max();
+void find_literal(const std::vector<const Node*>& items, Program& prog) {
+  const std::optional<LitRun> best = best_literal_run(items);
+  if (!best || best->text.size() < 3) return;
+  prog.literal = best->text;
+  prog.lit_min_prefix = static_cast<std::size_t>(best->off_min);
+  prog.lit_usable = true;
+  if (best->off_max != kWidthInf &&
+      best->off_max - best->off_min <= kMaxLiteralOffsetSpread) {
+    prog.lit_max_prefix = static_cast<std::size_t>(best->off_max);
+  } else {
+    // Unbounded / too wide offset: literal is a quick-reject filter only.
+    prog.lit_max_prefix = std::numeric_limits<std::size_t>::max();
+  }
+}
+
+// ---------------------- Confirmation tier ----------------------
+//
+// Classifies the pattern for engine::scan's candidate-confirmation path
+// and compiles the cheap confirm program where the shape allows it. The
+// equivalence argument (same spans as the backtracking VM) rests on the
+// pattern being one linear item sequence: a fixed-width prefix, the
+// anchor literal, and bounded greedy suffix steps. Anything that breaks
+// the linearity or the bounds — alternation, backreferences, anchors,
+// unbounded repeats outside the quick-reject literal shape, repeat bodies
+// wider than one byte — stays on the VM tier.
+
+// Per-suffix cap on the greedy walk's backtracking alternatives (the
+// product of every bounded class's count range). Signatures stay far
+// below it; patterns past it keep the VM, whose step budget handles them.
+constexpr std::uint64_t kMaxConfirmAttempts = 1u << 12;
+// Cap on total confirm steps: bounds the suffix walk's recursion depth.
+constexpr std::size_t kMaxConfirmSteps = 64;
+
+bool tree_confirmable(const Node& n) {
+  switch (n.kind) {
+    case Node::Kind::Alt:   // branch: match start/end no longer unique
+    case Node::Kind::Bref:  // needs capture slots
+    case Node::Kind::Bol:   // position assertions
+    case Node::Kind::Eol:
+      return false;
+    default:
+      break;
+  }
+  return std::all_of(n.children.begin(), n.children.end(),
+                     [](const NodePtr& c) { return tree_confirmable(*c); });
+}
+
+std::uint32_t intern_class(Program& prog, const ByteSet& set) {
+  for (std::size_t i = 0; i < prog.classes.size(); ++i) {
+    if (prog.classes[i] == set) return static_cast<std::uint32_t>(i);
+  }
+  prog.classes.push_back(set);
+  return static_cast<std::uint32_t>(prog.classes.size() - 1);
+}
+
+ByteSet any_byte_set() {
+  ByteSet set;
+  set.set();
+  set.reset('\n');  // '.' never crosses lines
+  return set;
+}
+
+// Converts items [begin, end) into confirm steps. `fixed` (prefix side)
+// additionally requires every step to consume an exact byte count so the
+// anchor's offset from the match start is a constant. Returns false when
+// an item doesn't fit the confirmable shape; `width` accumulates the
+// minimum bytes consumed (== exact bytes when fixed).
+bool steps_for(const std::vector<const Node*>& items, std::size_t begin,
+               std::size_t end, bool fixed, Program& prog,
+               std::vector<ConfirmStep>& out, std::size_t* width) {
+  auto push_class = [&](const ByteSet& set, std::uint32_t min,
+                        std::uint32_t max) {
+    ConfirmStep step;
+    step.kind = ConfirmStep::Kind::kClass;
+    step.cls = intern_class(prog, set);
+    step.min = min;
+    step.max = max;
+    out.push_back(std::move(step));
+    *width += min;
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    const Node& n = *items[i];
+    switch (n.kind) {
+      case Node::Kind::Lit:
+        if (out.empty() || out.back().kind != ConfirmStep::Kind::kLiteral) {
+          out.emplace_back();  // defaults to an empty kLiteral step
+        }
+        out.back().lit.push_back(static_cast<char>(n.ch));
+        *width += 1;
+        break;
+      case Node::Kind::Cls:
+        push_class(n.set, 1, 1);
+        break;
+      case Node::Kind::Any:
+        push_class(any_byte_set(), 1, 1);
+        break;
+      case Node::Kind::Rep: {
+        if (n.max == kInfinity) return false;
+        if (fixed && n.min != n.max) return false;
+        const Node& body = *n.children[0];
+        ByteSet set;
+        if (body.kind == Node::Kind::Lit) {
+          set.set(body.ch);
+        } else if (body.kind == Node::Kind::Cls) {
+          set = body.set;
+        } else if (body.kind == Node::Kind::Any) {
+          set = any_byte_set();
+        } else {
+          return false;  // repeat body wider than one byte
+        }
+        if (n.max > 0) push_class(set, n.min, n.max);
+        break;
+      }
+      default:
+        return false;
     }
   }
+  return true;
+}
+
+void classify_confirm(const Node& root, const std::vector<const Node*>& items,
+                      Program& prog) {
+  prog.tier = ConfirmTier::kRegex;
+  if (!tree_confirmable(root)) return;
+
+  if (std::all_of(items.begin(), items.end(), [](const Node* n) {
+        return n->kind == Node::Kind::Lit;
+      })) {
+    // Pure literal (any length, even below the prefilter-usability
+    // threshold): confirmation is exactly text.find().
+    prog.tier = ConfirmTier::kLiteral;
+    for (const Node* n : items) {
+      prog.confirm.anchor.push_back(static_cast<char>(n->ch));
+    }
+    return;
+  }
+
+  const std::optional<LitRun> best = best_literal_run(items);
+  if (!best) return;  // nothing to anchor on
+  ConfirmProgram cp;
+  cp.anchor = best->text;
+  std::size_t width = 0;
+  if (!steps_for(items, 0, best->item_begin, /*fixed=*/true, prog, cp.prefix,
+                 &width)) {
+    return;
+  }
+  cp.prefix_width = width;
+  std::size_t ignored = 0;
+  if (!steps_for(items, best->item_end, items.size(), /*fixed=*/false, prog,
+                 cp.suffix, &ignored)) {
+    return;
+  }
+  std::uint64_t attempts = 1;
+  for (const ConfirmStep& step : cp.suffix) {
+    if (step.kind != ConfirmStep::Kind::kClass) continue;
+    attempts *= step.max - step.min + 1;
+    if (attempts > kMaxConfirmAttempts) return;
+  }
+  if (cp.prefix.size() + cp.suffix.size() > kMaxConfirmSteps) return;
+  prog.confirm = std::move(cp);
+  prog.tier = ConfirmTier::kLiteralDominated;
+}
+
+// The anchor-hint contract (pattern.h confirm_span) only holds when the
+// confirm anchor is the very literal the prefilter registered
+// (required_literal() == Program::literal) — a hint is the leftmost
+// occurrence of *that* string. find_literal and classify_confirm both pick
+// the best run, so this is the common case; it degrades to false (hint
+// ignored) whenever either side was gated away.
+void mark_hintable(Program& prog) {
+  prog.confirm_hintable = prog.tier != ConfirmTier::kRegex &&
+                          prog.lit_usable &&
+                          prog.literal == prog.confirm.anchor;
 }
 
 }  // namespace
@@ -663,10 +836,19 @@ Pattern Pattern::compile(std::string_view source) {
   auto root = parser.run();
   detail::Compiler compiler(*program);
   compiler.run(*root);
-  detail::find_literal(*root, *program);
+  std::vector<const detail::Node*> items;
+  detail::flatten(*root, items);
+  if (!items.empty() && items.front()->kind == detail::Node::Kind::Bol) {
+    program->anchored_bol = true;
+  }
+  detail::find_literal(items, *program);
+  detail::classify_confirm(*root, items, *program);
+  detail::mark_hintable(*program);
   p.program_ = std::move(program);
   return p;
 }
+
+ConfirmTier Pattern::confirm_tier() const { return program_->tier; }
 
 std::size_t Pattern::group_count() const { return program_->n_groups; }
 

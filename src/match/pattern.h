@@ -78,6 +78,16 @@ struct Program;  // compiled form, private to the implementation
 struct VmState;  // reusable VM working memory, private to the executor
 }
 
+// Confirmation tier, classified at compile() time. The database scan's
+// candidate-confirmation path dispatches on this: only kRegex patterns pay
+// for the backtracking VM.
+enum class ConfirmTier : std::uint8_t {
+  kLiteral,           // the whole pattern is one literal: confirm == find()
+  kLiteralDominated,  // fixed-width prefix + literal + bounded suffix:
+                      // confirm == anchored memcmp + bounded skip-loop
+  kRegex,             // anything else: the backtracking VM runs
+};
+
 // Span-only search result for the allocation-free scan path: no capture
 // group extraction, so confirming a candidate never touches the heap.
 struct SpanResult {
@@ -110,6 +120,9 @@ class VmScratch {
 
 class Pattern {
  public:
+  // "No position" sentinel (confirm_span's anchor_hint).
+  static constexpr std::size_t knpos = std::string_view::npos;
+
   // Compiles `source`; throws PatternError on malformed input.
   static Pattern compile(std::string_view source);
 
@@ -137,6 +150,28 @@ class Pattern {
   // per-call buffers. This is the engine's candidate-confirmation path.
   SpanResult search_span(std::string_view text, VmScratch& scratch,
                          std::size_t from = 0, std::uint64_t budget = 0) const;
+
+  // Which confirmation strategy confirm_span() will take for this pattern.
+  ConfirmTier confirm_tier() const;
+
+  // Tier-dispatched equivalent of search_span(): identical results for
+  // every pattern, but pure-literal and literal-dominated patterns confirm
+  // through their compiled confirm program (a find()/memcmp skip-loop that
+  // cannot blow up, so no budget is charged) and only regex-shaped
+  // patterns run the VM. This is what engine::scan confirms candidates
+  // with; the equivalence is pinned by differential tests.
+  //
+  // `anchor_hint`, when not npos, promises that the leftmost occurrence of
+  // required_literal() in `text` starts exactly there (the prefilter's
+  // tier-2 confirm already found it). The compiled tiers then seed their
+  // anchor search at the hint instead of re-scanning the text from `from`
+  // — the bytes at the hint are still verified, so a wrong hint costs
+  // correct-but-slower, never a wrong span, as long as the leftmost
+  // promise holds. Patterns whose confirm anchor differs from
+  // required_literal() ignore the hint.
+  SpanResult confirm_span(std::string_view text, VmScratch& scratch,
+                          std::size_t from = 0, std::uint64_t budget = 0,
+                          std::size_t anchor_hint = knpos) const;
 
   // Convenience: true iff the pattern occurs anywhere in `text`.
   bool found_in(std::string_view text) const { return search(text).matched; }

@@ -66,15 +66,17 @@ void LiteralPrefilter::finalize_derived() {
 
   // The Teddy first stage is derived state too: rebuilt from the raw
   // registrations here (build() and load() both funnel through), never
-  // serialized — the `.kpf` layout is untouched. Plan::build returns
-  // nullopt when the literal set does not qualify, in which case every
-  // scan takes the automaton walk.
-  std::vector<teddy::Plan::Literal> lits;
+  // serialized — the `.kpf` layout is untouched. PlanSet::build shards by
+  // length class and compiles every non-empty literal set, so the only way
+  // scans take the automaton walk is the explicit override or an
+  // over-4-GiB text.
+  std::vector<teddy::PlanSet::Literal> lits;
   lits.reserve(keywords_.size());
   for (const Keyword& kw : keywords_) {
-    lits.push_back(teddy::Plan::Literal{kw.literal, kw.id});
+    lits.push_back(teddy::PlanSet::Literal{kw.literal, kw.id});
   }
-  teddy_ = lits.empty() ? std::nullopt : teddy::Plan::build(std::move(lits));
+  teddy_ =
+      lits.empty() ? std::nullopt : teddy::PlanSet::build(std::move(lits));
 }
 
 bool LiteralPrefilter::route_teddy(std::string_view text) const {
@@ -183,13 +185,18 @@ void LiteralPrefilter::candidates_into(std::string_view text,
 
 void LiteralPrefilter::candidates_into(std::string_view text,
                                        std::vector<std::size_t>& out,
-                                       teddy::HitBuffer& hits) const {
+                                       teddy::HitBuffer& hits,
+                                       PrefilterStats* stats,
+                                       std::vector<std::uint32_t>* hints) const {
   if (!built_) {
     throw std::logic_error("LiteralPrefilter: candidates before build()");
   }
   out.clear();
+  if (stats != nullptr) *stats = PrefilterStats{};
+  if (hints != nullptr) hints->assign(id_limit_, teddy::kNoHint);
   if (n_automaton_ids_ == 0 || alpha_size_ == 0) {
     out = fallback_;
+    if (stats != nullptr) stats->fallback = PrefilterFallback::kNoLiterals;
     return;
   }
 
@@ -200,11 +207,21 @@ void LiteralPrefilter::candidates_into(std::string_view text,
   seen.assign(id_limit_, 0);
 
   if (route_teddy(text)) {
-    teddy_->scan(text, hits);
-    teddy_->confirm(text, hits, seen, out, 0, n_automaton_ids_);
+    teddy::ScanCounters counters;
+    teddy_->find(text, hits, seen, out, 0, n_automaton_ids_, &counters, hints);
+    if (stats != nullptr) {
+      stats->first_stage_hits = counters.first_stage_hits;
+      stats->shards_scanned = counters.shards_scanned;
+      stats->literal_survivors = out.size();
+    }
     std::sort(out.begin(), out.end());
     merge_fallback(out, fallback_);
     return;
+  }
+  if (stats != nullptr) {
+    stats->fallback = first_stage_ == FirstStage::kAutomaton
+                          ? PrefilterFallback::kForcedAutomaton
+                          : PrefilterFallback::kTextTooLarge;
   }
 
   std::size_t n_seen = 0;
@@ -235,6 +252,7 @@ void LiteralPrefilter::candidates_into(std::string_view text,
     if (n_seen == n_automaton_ids_) break;  // every filtered id found
   }
 
+  if (stats != nullptr) stats->literal_survivors = out.size();
   std::sort(out.begin(), out.end());
   // Merge in the (sorted, deduped) fallback ids.
   merge_fallback(out, fallback_);
@@ -568,15 +586,16 @@ void StreamingMatcher::feed_teddy(std::string_view chunk) {
 void StreamingMatcher::scan_window() {
   pending_ = 0;
   if (n_seen_ == pf_->n_automaton_ids_) return;
-  const teddy::Plan& plan = *pf_->teddy_;
+  const teddy::PlanSet& plans = *pf_->teddy_;
   // Every literal occurrence ending in the unscanned suffix starts inside
-  // the window (the carry tail in front of it is longest-literal−1 bytes);
-  // occurrences wholly inside the tail were confirmed by the previous
-  // flush, and the seen_ bitmap makes their re-confirmation a no-op.
-  plan.scan(window_, hits_);
-  n_seen_ = plan.confirm(window_, hits_, seen_, found_, n_seen_,
-                         pf_->n_automaton_ids_);
-  const std::size_t keep = plan.max_literal_len() - 1;
+  // the window (the carry tail in front of it is longest-literal−1 bytes,
+  // the maximum over ALL shards — a shard's own literals may be shorter,
+  // but scanning a longer tail only re-confirms ids the seen_ bitmap
+  // already holds); occurrences wholly inside the tail were confirmed by
+  // the previous flush.
+  n_seen_ = plans.find(window_, hits_, seen_, found_, n_seen_,
+                       pf_->n_automaton_ids_);
+  const std::size_t keep = plans.max_literal_len() - 1;
   if (window_.size() > keep) window_.erase(0, window_.size() - keep);
 }
 

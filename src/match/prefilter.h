@@ -1,42 +1,51 @@
-// Shared multi-pattern literal prefilter.
+// Shared multi-pattern literal prefilter: the front of Kizzle's
+// three-tier literal engine.
 //
 // A deployed signature database is scanned against every sample; running
 // each pattern's own memmem pass makes whole-database scanning
 // O(signatures × text). Real AV engines avoid that wall with multi-pattern
 // literal matching: one streaming pass over the text determines which
-// signatures could possibly match, and only those run the (expensive)
-// backtracking VM.
+// signatures could possibly match, and only those run full confirmation.
+// End to end the engine is three tiers, each strictly cheaper per byte
+// than the next:
 //
-// LiteralPrefilter is a *two-stage* literal engine over the
-// required_literal() of every registered pattern:
+//   tier 1 — SIMD first stage (match/teddy.h). Every registered literal's
+//            rarest 1–4-byte window is folded into nibble-mask shuffle
+//            tables; one pass of PSHUFB/AND work per 16–32 haystack bytes
+//            leaves sparse candidate positions. The literal set is
+//            compiled as a teddy::PlanSet: per-length-class shards (so
+//            1–2-byte literals get their own K=1/K=2 shift-or shards
+//            instead of disqualifying the whole set), oversized classes
+//            split across shards, crowded shards widened to 16 Fat
+//            buckets. There is no qualification gate — any non-empty
+//            literal set compiles — so candidates_into() never falls back
+//            to the automaton for real databases. The byte-at-a-time
+//            Aho–Corasick walk remains as the differential baseline
+//            (set_first_stage(FirstStage::kAutomaton)) and covers the two
+//            residual cases: texts past Teddy's 32-bit position space and
+//            streaming resume (below). Both first stages produce
+//            byte-identical candidate sets — pinned by the oracles in
+//            tests/teddy_test.cpp.
+//   tier 2 — window confirm (teddy::Plan::confirm). Each sparse hit is
+//            resolved to literal occurrences by a per-bucket window-key
+//            lookup plus bounded memcmp, deduplicated per id. Patterns
+//            whose literal occurred become candidates; patterns with no
+//            usable literal go on a fallback list and are *always*
+//            candidates, so prefiltered scanning is exactly equivalent to
+//            brute force: a pattern is only skipped when its required
+//            literal — which every match must contain — is absent.
+//   tier 3 — tiered signature confirmation (pattern.h ConfirmTier,
+//            dispatched by engine::scan). Pure-literal signatures confirm
+//            with a memchr/find, literal-dominated ones with a compiled
+//            anchored-memcmp + bounded-skip program, and only genuinely
+//            regex-shaped patterns run the backtracking VM.
 //
-//   first stage   finds which literals occur in the text. Two
-//                 interchangeable matchers share the raw registrations: a
-//                 Teddy-style SIMD nibble-mask scanner (match/teddy.h) that
-//                 processes 16/32 bytes per step and confirms its sparse
-//                 candidate positions by exact comparison, and the classic
-//                 Aho–Corasick automaton walk. build() compiles the Teddy
-//                 plan whenever every literal qualifies (all lengths >=
-//                 teddy::Plan::kMinLiteralLen, at most kMaxLiterals); scans
-//                 route through it automatically and fall back to the pure
-//                 automaton walk otherwise (short literals, oversized sets,
-//                 texts past the 32-bit position space, or an explicit
-//                 set_first_stage(FirstStage::kAutomaton) override). Both
-//                 stages produce byte-identical candidate sets — pinned by
-//                 the differential oracles in tests/teddy_test.cpp.
-//   second stage  patterns whose literal occurred become candidates;
-//                 patterns with no usable literal (pure `.*`/class
-//                 patterns, literals shorter than the usefulness threshold)
-//                 go on a fallback list and are *always* candidates, so
-//                 prefiltered scanning is exactly equivalent to brute
-//                 force: a pattern is only skipped when its required
-//                 literal — which every match must contain — is absent, in
-//                 which case Pattern::search would have rejected it via its
-//                 own memmem quick-check without running the VM (and
-//                 without charging the budget).
+// This header owns tiers 1–2 and the fallback list; see
+// engine/engine.h for tier 3 and for the per-scan stats that count each
+// tier's work (PrefilterStats below is the tier 1–2 slice).
 //
 // Build once, then share freely: candidates() is const and thread-safe, so
-// one automaton serves any number of concurrent batch-scan workers.
+// one prefilter serves any number of concurrent batch-scan workers.
 //
 // The automaton is also a *release artifact*: serialize() writes the
 // frozen goto/fail/output tables in a versioned, endian-checked flat
@@ -66,6 +75,24 @@ class StreamingMatcher;
 // byte-at-a-time Aho–Corasick walk (the differential baseline for tests
 // and benchmarks). Candidate sets are identical either way.
 enum class FirstStage { kAuto, kAutomaton };
+
+// Why a scan did not take the Teddy first stage (kNone when it did).
+enum class PrefilterFallback : std::uint8_t {
+  kNone,             // Teddy first stage ran
+  kForcedAutomaton,  // set_first_stage(FirstStage::kAutomaton) override
+  kTextTooLarge,     // text exceeds Teddy's 32-bit position space
+  kNoLiterals,       // nothing registered under literals (fallback ids only)
+};
+
+// Tier 1–2 observability for one candidates_into() call (engine::Scratch
+// embeds this in its ScanStats; `kizzle scan --stats` and the benches
+// surface it). Counters are *overwritten* per call, not accumulated.
+struct PrefilterStats {
+  std::size_t first_stage_hits = 0;    // sparse candidate windows (tier 1)
+  std::size_t shards_scanned = 0;      // PlanSet shards run over the text
+  std::size_t literal_survivors = 0;   // distinct ids confirmed (tier 2)
+  PrefilterFallback fallback = PrefilterFallback::kNone;
+};
 
 class LiteralPrefilter {
  public:
@@ -102,9 +129,16 @@ class LiteralPrefilter {
 
   // Same, additionally reusing `hits` as the Teddy first stage's candidate
   // position buffer (engine::Scratch owns one so steady-state scans stay
-  // zero-alloc). Unused when the automaton walk is taken.
+  // zero-alloc). Unused when the automaton walk is taken. `stats`, when
+  // non-null, receives this call's tier 1–2 counters. `hints`, when
+  // non-null, is resized to id_count-capacity and filled per id with the
+  // start position of that id's leftmost registered-literal occurrence in
+  // `text` (teddy::kNoHint where unknown: fallback ids, automaton-walk
+  // scans). Tier-3 confirmation seeds its anchor search there instead of
+  // re-finding the literal from the start of the text.
   void candidates_into(std::string_view text, std::vector<std::size_t>& out,
-                       teddy::HitBuffer& hits) const;
+                       teddy::HitBuffer& hits, PrefilterStats* stats = nullptr,
+                       std::vector<std::uint32_t>* hints = nullptr) const;
 
   // Ids with no usable literal (always candidates), sorted ascending.
   const std::vector<std::size_t>& fallback_ids() const { return fallback_; }
@@ -118,9 +152,9 @@ class LiteralPrefilter {
   bool teddy_active() const {
     return first_stage_ == FirstStage::kAuto && teddy_.has_value();
   }
-  // The compiled Teddy plan, or nullptr when the literal set does not
-  // qualify. Exposed for the differential tests and benchmarks.
-  const teddy::Plan* teddy_plan() const {
+  // The compiled sharded Teddy plan set, or nullptr when no literal is
+  // registered. Exposed for the differential tests and benchmarks.
+  const teddy::PlanSet* teddy_plans() const {
     return teddy_.has_value() ? &*teddy_ : nullptr;
   }
 
@@ -158,7 +192,7 @@ class LiteralPrefilter {
   std::vector<Keyword> keywords_;
   std::vector<std::size_t> fallback_raw_;  // as registered, may repeat
   std::vector<std::size_t> fallback_;      // derived: sorted, deduplicated
-  std::optional<teddy::Plan> teddy_;       // derived: SIMD first stage
+  std::optional<teddy::PlanSet> teddy_;    // derived: SIMD first stage
   FirstStage first_stage_ = FirstStage::kAuto;
   std::size_t n_ids_ = 0;
   std::size_t id_limit_ = 0;  // max registered id + 1 (dedup bitmap size)

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "match/pattern.h"  // ConfirmTier (public part of the tier split)
+
 namespace kizzle::match::detail {
 
 enum class Op : std::uint8_t {
@@ -33,6 +35,34 @@ struct Instr {
 
 using ByteSet = std::bitset<256>;
 
+// One step of a compiled confirm program (the cheap-confirmation tier for
+// literal-dominated patterns): either an exact byte run or a repeated
+// byte-class. Prefix steps are fixed width (min == max); suffix steps may
+// be bounded ranges (max is never unbounded — classification rejects
+// those).
+struct ConfirmStep {
+  enum class Kind : std::uint8_t { kLiteral, kClass };
+  Kind kind = Kind::kLiteral;
+  std::string lit;        // kLiteral: the exact bytes
+  std::uint32_t cls = 0;  // kClass: index into Program::classes
+  std::uint32_t min = 0;  // kClass: repeat bounds
+  std::uint32_t max = 0;
+};
+
+// The compiled cheap confirmation of a kLiteral / kLiteralDominated
+// pattern: every match is `prefix` (fixed width) + `anchor` (an exact
+// literal) + `suffix` (bounded greedy steps). Matching anchors on
+// text.find(anchor): a match starting at s has the anchor at exactly
+// s + prefix_width, so ascending anchor occurrences enumerate candidate
+// starts in leftmost order and the greedy suffix walk reproduces the VM's
+// backtracking priority — same span, no VM steps, no way to blow up.
+struct ConfirmProgram {
+  std::string anchor;
+  std::vector<ConfirmStep> prefix;
+  std::vector<ConfirmStep> suffix;
+  std::size_t prefix_width = 0;  // total bytes consumed by `prefix`
+};
+
 struct Program {
   std::vector<Instr> code;
   std::vector<ByteSet> classes;
@@ -48,6 +78,15 @@ struct Program {
   std::size_t lit_max_prefix = 0;
   bool lit_usable = false;
   bool anchored_bol = false;  // pattern starts with ^
+
+  // Confirmation tier + compiled confirm program (valid when tier !=
+  // kRegex), classified by pattern.cpp at compile time.
+  ConfirmTier tier = ConfirmTier::kRegex;
+  ConfirmProgram confirm;
+  // True when confirm.anchor is exactly the prefilter-registered literal
+  // (Program::literal): a prefilter-supplied leftmost-occurrence position
+  // of that literal may then seed the anchor search in confirm_span().
+  bool confirm_hintable = false;
 };
 
 }  // namespace kizzle::match::detail

@@ -44,21 +44,23 @@ double byte_prior(unsigned char b) {
 // ------------------------------- scalar -------------------------------
 //
 // The shift-or pipeline in one 64-bit word. After processing byte i, lane p
-// (bits 8p..8p+7) holds the buckets whose prefix bytes 0..p all matched
-// text[i-p..i]; the transition shifts every lane up by one byte (lane 0
-// refilled with all-ones) and ANDs the per-position masks of the current
-// byte — which is exactly the vector kernels' dataflow, one byte at a time.
-// A non-zero lane k-1 is a candidate ending at i.
+// (8- or 16-bit lanes, matching the plan's bucket width) holds the buckets
+// whose window bytes 0..p all matched text[i-p..i]; the transition shifts
+// every lane up by one byte (lane 0 refilled with all-ones) and ANDs the
+// per-position masks of the current byte — which is exactly the vector
+// kernels' dataflow, one byte at a time. A non-zero lane k-1 is a
+// candidate ending at i.
 void scan_scalar(const std::uint64_t* lo64, const std::uint64_t* hi64,
-                 std::size_t k, const unsigned char* data, std::size_t n,
-                 HitBuffer& hits) {
-  const unsigned hit_shift = static_cast<unsigned>(8 * (k - 1));
+                 std::size_t k, unsigned lane_bits, const unsigned char* data,
+                 std::size_t n, HitBuffer& hits) {
+  const unsigned hit_shift = static_cast<unsigned>(lane_bits * (k - 1));
+  const std::uint64_t lane_ones = (lane_bits == 8) ? 0xFFu : 0xFFFFu;
   std::uint64_t st = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const unsigned char b = data[i];
     const std::uint64_t t = lo64[b & 15] & hi64[b >> 4];
-    st = ((st << 8) | 0xFF) & t;
-    const auto m = static_cast<std::uint8_t>((st >> hit_shift) & 0xFF);
+    st = ((st << lane_bits) | lane_ones) & t;
+    const auto m = static_cast<std::uint16_t>((st >> hit_shift) & lane_ones);
     if (m != 0) {
       // Lane k-1 cannot fill before k bytes were consumed, so i >= k-1.
       hits.push_back(Hit{static_cast<std::uint32_t>(i - (k - 1)), m});
@@ -70,9 +72,11 @@ void scan_scalar(const std::uint64_t* lo64, const std::uint64_t* hi64,
 
 // Appends the candidates of one block's combined mask. `base` is the text
 // offset of the block's byte 0; bit idx of `nz` set means res byte idx is a
-// non-zero bucket mask for a prefix *ending* at base+idx. The `at + k <= n`
+// non-zero bucket mask for a window *ending* at base+idx. The `at + k <= n`
 // filter drops phantom candidates produced by the zero padding of the final
-// partial block (a hit at a valid `at` only ever depends on real bytes).
+// partial block (a hit at a valid `at` only ever depends on real bytes);
+// it also rejects the underflowed `at` of a window that would start before
+// the text.
 inline void emit_hits(const std::uint8_t* res, std::uint32_t nz,
                       std::size_t base, std::size_t k, std::size_t n,
                       HitBuffer& hits) {
@@ -86,10 +90,28 @@ inline void emit_hits(const std::uint8_t* res, std::uint32_t nz,
   }
 }
 
+// Fat variant: res holds the low mask bytes of 16 positions in bytes
+// 0..15 and the high mask bytes in bytes 16..31 (the two 128-bit lanes of
+// the Fat kernel's result vector).
+inline void emit_hits_fat(const std::uint8_t* res, std::uint32_t nz,
+                          std::size_t base, std::size_t k, std::size_t n,
+                          HitBuffer& hits) {
+  while (nz != 0) {
+    const unsigned idx = static_cast<unsigned>(__builtin_ctz(nz));
+    nz &= nz - 1;
+    const std::size_t at = base + idx - (k - 1);
+    if (at + k <= n) {
+      const auto mask = static_cast<std::uint16_t>(
+          res[idx] | (static_cast<unsigned>(res[16 + idx]) << 8));
+      hits.push_back(Hit{static_cast<std::uint32_t>(at), mask});
+    }
+  }
+}
+
 // ------------------------------- SSSE3 -------------------------------
 
 __attribute__((target("ssse3"))) void scan_ssse3(
-    const std::uint8_t (*lo)[16], const std::uint8_t (*hi)[16], std::size_t k,
+    const std::uint8_t (*lo)[32], const std::uint8_t (*hi)[32], std::size_t k,
     const unsigned char* data, std::size_t n, HitBuffer& hits) {
   const __m128i nib = _mm_set1_epi8(0x0F);
   const __m128i zero = _mm_setzero_si128();
@@ -97,7 +119,7 @@ __attribute__((target("ssse3"))) void scan_ssse3(
   for (std::size_t p = 0; p < k; ++p) {
     tl[p] = _mm_load_si128(reinterpret_cast<const __m128i*>(lo[p]));
     th[p] = _mm_load_si128(reinterpret_cast<const __m128i*>(hi[p]));
-    prev[p] = zero;  // first block: no prefix can start before the text
+    prev[p] = zero;  // first block: no window can start before the text
   }
 
   alignas(16) std::uint8_t resbuf[16];
@@ -120,11 +142,16 @@ __attribute__((target("ssse3"))) void scan_ssse3(
       r[p] = _mm_and_si128(_mm_shuffle_epi8(tl[p], vlo),
                            _mm_shuffle_epi8(th[p], vhi));
     }
-    // res byte i = r[k-1][i] & r[k-2][i-1] & r[k-3][i-2] (& r[0][i-3]),
-    // the shifted lanes carrying in from the previous block via alignr.
-    __m128i res = _mm_and_si128(
-        _mm_and_si128(r[k - 1], _mm_alignr_epi8(r[k - 2], prev[k - 2], 15)),
-        _mm_alignr_epi8(r[k - 3], prev[k - 3], 14));
+    // res byte i = r[k-1][i] & r[k-2][i-1] & ... & r[0][i-(k-1)], the
+    // shifted lanes carrying in from the previous block via alignr. K=1
+    // degenerates to a pure table lookup.
+    __m128i res = r[k - 1];
+    if (k >= 2) {
+      res = _mm_and_si128(res, _mm_alignr_epi8(r[k - 2], prev[k - 2], 15));
+    }
+    if (k >= 3) {
+      res = _mm_and_si128(res, _mm_alignr_epi8(r[k - 3], prev[k - 3], 14));
+    }
     if (k == 4) {
       res = _mm_and_si128(res, _mm_alignr_epi8(r[0], prev[0], 13));
     }
@@ -162,7 +189,7 @@ __attribute__((target("avx2"))) inline __m256i shift_carry_3(__m256i cur,
 }
 
 __attribute__((target("avx2"))) void scan_avx2(
-    const std::uint8_t (*lo)[16], const std::uint8_t (*hi)[16], std::size_t k,
+    const std::uint8_t (*lo)[32], const std::uint8_t (*hi)[32], std::size_t k,
     const unsigned char* data, std::size_t n, HitBuffer& hits) {
   const __m256i nib = _mm256_set1_epi8(0x0F);
   const __m256i zero = _mm256_setzero_si256();
@@ -196,9 +223,13 @@ __attribute__((target("avx2"))) void scan_avx2(
       r[p] = _mm256_and_si256(_mm256_shuffle_epi8(tl[p], vlo),
                               _mm256_shuffle_epi8(th[p], vhi));
     }
-    __m256i res = _mm256_and_si256(
-        _mm256_and_si256(r[k - 1], shift_carry_1(r[k - 2], prev[k - 2])),
-        shift_carry_2(r[k - 3], prev[k - 3]));
+    __m256i res = r[k - 1];
+    if (k >= 2) {
+      res = _mm256_and_si256(res, shift_carry_1(r[k - 2], prev[k - 2]));
+    }
+    if (k >= 3) {
+      res = _mm256_and_si256(res, shift_carry_2(r[k - 3], prev[k - 3]));
+    }
     if (k == 4) {
       res = _mm256_and_si256(res, shift_carry_3(r[0], prev[0]));
     }
@@ -211,6 +242,75 @@ __attribute__((target("avx2"))) void scan_avx2(
       emit_hits(resbuf, nz, base, k, n, hits);
     }
     base += 32;
+  }
+}
+
+// ----------------------------- Fat AVX2 -----------------------------
+//
+// 16-bucket kernel: 16 haystack bytes per step, duplicated across both
+// 128-bit lanes. The table vector's low lane holds the low mask bytes
+// (buckets 0–7) and its high lane the high mask bytes (8–15), so one
+// vpshufb resolves both halves of every position's 16-bit bucket mask at
+// once. The shift-AND pipeline runs per lane — each lane is an independent
+// mask plane over the SAME 16 text positions, so vpalignr's per-lane
+// semantics give exactly the carry each plane needs (the previous block's
+// top bytes of the same plane), with no cross-lane permute.
+__attribute__((target("avx2"))) void scan_avx2_fat(
+    const std::uint8_t (*lo)[32], const std::uint8_t (*hi)[32], std::size_t k,
+    const unsigned char* data, std::size_t n, HitBuffer& hits) {
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  __m256i tl[4], th[4], prev[4];
+  for (std::size_t p = 0; p < k; ++p) {
+    tl[p] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lo[p]));
+    th[p] = _mm256_load_si256(reinterpret_cast<const __m256i*>(hi[p]));
+    prev[p] = _mm256_setzero_si256();
+  }
+
+  alignas(32) std::uint8_t resbuf[32];
+  std::size_t base = 0;
+  for (;;) {
+    __m128i v128;
+    if (base + 16 <= n) {
+      v128 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + base));
+    } else if (base < n) {
+      alignas(16) unsigned char tail[16] = {};
+      std::memcpy(tail, data + base, n - base);
+      v128 = _mm_load_si128(reinterpret_cast<const __m128i*>(tail));
+    } else {
+      break;
+    }
+    const __m256i v = _mm256_broadcastsi128_si256(v128);
+    const __m256i vlo = _mm256_and_si256(v, nib);
+    const __m256i vhi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+    __m256i r[4];
+    for (std::size_t p = 0; p < k; ++p) {
+      r[p] = _mm256_and_si256(_mm256_shuffle_epi8(tl[p], vlo),
+                              _mm256_shuffle_epi8(th[p], vhi));
+    }
+    // Per-lane shift with per-lane carry: lane L byte 0 pulls the previous
+    // block's lane L byte 15 — precisely this plane's preceding position.
+    __m256i res = r[k - 1];
+    if (k >= 2) {
+      res = _mm256_and_si256(res, _mm256_alignr_epi8(r[k - 2], prev[k - 2], 15));
+    }
+    if (k >= 3) {
+      res = _mm256_and_si256(res, _mm256_alignr_epi8(r[k - 3], prev[k - 3], 14));
+    }
+    if (k == 4) {
+      res = _mm256_and_si256(res, _mm256_alignr_epi8(r[0], prev[0], 13));
+    }
+    for (std::size_t p = 0; p < k; ++p) prev[p] = r[p];
+
+    const __m128i any =
+        _mm_or_si128(_mm256_castsi256_si128(res),
+                     _mm256_extracti128_si256(res, 1));
+    const auto nz = static_cast<std::uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(any, _mm_setzero_si128())) ^ 0xFFFF);
+    if (nz != 0) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(resbuf), res);
+      emit_hits_fat(resbuf, nz, base, k, n, hits);
+    }
+    base += 16;
   }
 }
 
@@ -269,18 +369,23 @@ std::uint32_t Plan::window_key(const char* p) const {
   return v;
 }
 
-std::optional<Plan> Plan::build(std::vector<Literal> literals) {
-  if (literals.empty() || literals.size() > kMaxLiterals) return std::nullopt;
+std::optional<Plan> Plan::build(std::vector<Literal> literals,
+                                std::size_t n_buckets) {
+  if (literals.empty() || literals.size() > kShardMaxLiterals) {
+    return std::nullopt;
+  }
+  if (n_buckets != kBuckets && n_buckets != kFatBuckets) return std::nullopt;
   std::size_t min_len = literals.front().text.size();
   std::size_t max_len = 0;
   for (const Literal& lit : literals) {
-    if (lit.text.size() < kMinLiteralLen) return std::nullopt;
+    if (lit.text.empty()) return std::nullopt;
     min_len = std::min(min_len, lit.text.size());
     max_len = std::max(max_len, lit.text.size());
   }
 
   Plan plan;
-  plan.k_ = min_len >= 4 ? 4 : 3;
+  plan.k_ = std::min<std::size_t>(4, min_len);
+  plan.n_buckets_ = n_buckets;
   plan.max_len_ = max_len;
 
   // Rare-window selection. Byte frequencies over the literal set itself
@@ -398,17 +503,18 @@ std::optional<Plan> Plan::build(std::vector<Literal> literals) {
       i = j;
     }
 
-    if (clusters.size() >= kBuckets) {
+    if (clusters.size() >= n_buckets) {
       // More distinct rare bytes than buckets: pack whole clusters
       // greedily toward even bucket sizes. Anchor positions may mix at
-      // cluster seams, which is unavoidable past 8 distinct anchors.
+      // cluster seams, which is unavoidable past n_buckets distinct
+      // anchors.
       std::size_t bucket = 0;
       std::size_t filled = 0;
-      const std::size_t target = (n + kBuckets - 1) / kBuckets;
+      const std::size_t target = (n + n_buckets - 1) / n_buckets;
       for (std::size_t c = 0; c < clusters.size(); ++c) {
         const auto [begin, end] = clusters[c];
         if (filled > 0 && filled + (end - begin) > target &&
-            bucket + 1 < kBuckets) {
+            bucket + 1 < n_buckets) {
           ++bucket;
           filled = 0;
         }
@@ -421,7 +527,7 @@ std::optional<Plan> Plan::build(std::vector<Literal> literals) {
       // Every cluster gets at least one bucket; leftover buckets go to the
       // largest per-bucket clusters (splitting them evenly is free).
       std::vector<std::size_t> share(clusters.size(), 1);
-      for (std::size_t extra = kBuckets - clusters.size(); extra > 0;
+      for (std::size_t extra = n_buckets - clusters.size(); extra > 0;
            --extra) {
         std::size_t best = 0;
         for (std::size_t c = 1; c < clusters.size(); ++c) {
@@ -446,19 +552,31 @@ std::optional<Plan> Plan::build(std::vector<Literal> literals) {
   }
   for (std::size_t i = 0; i < n; ++i) {
     const char* window = plan.lits_[i].text.data() + plan.off_[i];
-    const auto bit = static_cast<std::uint8_t>(1u << bucket_of[i]);
+    // Buckets 0–7 live in table bytes 0..15, buckets 8–15 (Fat) in bytes
+    // 16..31 — the two 128-bit lanes of the Fat kernel's table vector.
+    const std::size_t half = bucket_of[i] < 8 ? 0 : 16;
+    const auto bit = static_cast<std::uint8_t>(1u << (bucket_of[i] & 7));
     for (std::size_t p = 0; p < plan.k_; ++p) {
       const auto c = static_cast<unsigned char>(window[p]);
-      plan.lo_[p][c & 15] |= bit;
-      plan.hi_[p][c >> 4] |= bit;
+      plan.lo_[p][half + (c & 15)] |= bit;
+      plan.hi_[p][half + (c >> 4)] |= bit;
     }
   }
+  // Scalar packing: 8-bit lanes for 8-bucket plans, 16-bit lanes (low byte
+  // = buckets 0–7, high byte = 8–15) for Fat.
+  const unsigned lane_bits = n_buckets == kFatBuckets ? 16 : 8;
   for (std::size_t nb = 0; nb < 16; ++nb) {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
     for (std::size_t p = 0; p < 4; ++p) {
-      lo |= static_cast<std::uint64_t>(plan.lo_[p][nb]) << (8 * p);
-      hi |= static_cast<std::uint64_t>(plan.hi_[p][nb]) << (8 * p);
+      std::uint64_t lo_mask = plan.lo_[p][nb];
+      std::uint64_t hi_mask = plan.hi_[p][nb];
+      if (lane_bits == 16) {
+        lo_mask |= static_cast<std::uint64_t>(plan.lo_[p][16 + nb]) << 8;
+        hi_mask |= static_cast<std::uint64_t>(plan.hi_[p][16 + nb]) << 8;
+      }
+      lo |= lo_mask << (lane_bits * p);
+      hi |= hi_mask << (lane_bits * p);
     }
     plan.lo64_[nb] = lo;
     plan.hi64_[nb] = hi;
@@ -468,7 +586,7 @@ std::optional<Plan> Plan::build(std::vector<Literal> literals) {
   // rare window (already window-sorted via the global sort, but sorted
   // again so the invariant never silently depends on it).
   plan.entries_.reserve(n);
-  for (std::size_t b = 0; b < kBuckets; ++b) {
+  for (std::size_t b = 0; b < n_buckets; ++b) {
     plan.bucket_begin_[b] = static_cast<std::uint32_t>(plan.entries_.size());
     for (std::size_t i = 0; i < n; ++i) {
       if (bucket_of[i] != b) continue;
@@ -482,7 +600,9 @@ std::optional<Plan> Plan::build(std::vector<Literal> literals) {
                                              : a.literal < b2.literal;
               });
   }
-  plan.bucket_begin_[kBuckets] = static_cast<std::uint32_t>(plan.entries_.size());
+  for (std::size_t b = n_buckets; b <= kFatBuckets; ++b) {
+    plan.bucket_begin_[b] = static_cast<std::uint32_t>(plan.entries_.size());
+  }
   return plan;
 }
 
@@ -495,6 +615,19 @@ void Plan::scan(std::string_view text, HitBuffer& hits, Impl impl) const {
   if (text.size() < k_) return;
   const auto* data = reinterpret_cast<const unsigned char*>(text.data());
   if (!impl_available(impl)) impl = Impl::kScalar;
+  if (n_buckets_ == kFatBuckets) {
+    // Fat plans have an AVX2 kernel and the 16-bit-lane scalar shift-or;
+    // SSSE3 has no 16-bucket variant, so it shares the scalar path (hit
+    // sequences are byte-identical either way).
+#if KIZZLE_TEDDY_X86
+    if (impl == Impl::kAvx2) {
+      scan_avx2_fat(lo_, hi_, k_, data, text.size(), hits);
+      return;
+    }
+#endif
+    scan_scalar(lo64_, hi64_, k_, 16, data, text.size(), hits);
+    return;
+  }
   switch (impl) {
 #if KIZZLE_TEDDY_X86
     case Impl::kAvx2:
@@ -508,7 +641,7 @@ void Plan::scan(std::string_view text, HitBuffer& hits, Impl impl) const {
     case Impl::kSsse3:
 #endif
     case Impl::kScalar:
-      scan_scalar(lo64_, hi64_, k_, data, text.size(), hits);
+      scan_scalar(lo64_, hi64_, k_, 8, data, text.size(), hits);
       return;
   }
 }
@@ -516,7 +649,8 @@ void Plan::scan(std::string_view text, HitBuffer& hits, Impl impl) const {
 std::size_t Plan::confirm(std::string_view text, const HitBuffer& hits,
                           std::vector<std::uint8_t>& seen,
                           std::vector<std::size_t>& out, std::size_t n_seen,
-                          std::size_t stop_at) const {
+                          std::size_t stop_at,
+                          std::vector<std::uint32_t>* hint_at) const {
   const char* base = text.data();
   for (const Hit& hit : hits) {
     if (n_seen >= stop_at) break;
@@ -547,9 +681,79 @@ std::size_t Plan::confirm(std::string_view text, const HitBuffer& hits,
         }
         seen[lit.id] = 1;
         out.push_back(lit.id);
+        if (hint_at != nullptr) {
+          (*hint_at)[lit.id] = static_cast<std::uint32_t>(at - off);
+        }
         ++n_seen;
       }
     }
+  }
+  return n_seen;
+}
+
+// ------------------------------- plan set -------------------------------
+
+std::optional<PlanSet> PlanSet::build(std::vector<Literal> literals) {
+  if (literals.empty()) return std::nullopt;
+  // Length classes keyed by window length K = min(4, len): every literal
+  // in a shard must be at least K bytes, and mixing a 1-byte literal into
+  // a long-literal shard would drag the whole shard down to K=1. Classes
+  // beyond the per-shard capacity split into near-even shards.
+  std::array<std::vector<Literal>, 5> classes;
+  for (Literal& lit : literals) {
+    if (lit.text.empty()) continue;  // the prefilter never registers these
+    classes[std::min<std::size_t>(4, lit.text.size())].push_back(
+        std::move(lit));
+  }
+
+  PlanSet set;
+  // Long-literal classes first: their windows are the most selective, so
+  // on hot texts they reach stop_at soonest and the dense short shards are
+  // skipped entirely once everything is already seen.
+  for (int kclass = 4; kclass >= 1; --kclass) {
+    std::vector<Literal>& cls = classes[static_cast<std::size_t>(kclass)];
+    if (cls.empty()) continue;
+    const std::size_t n_shards =
+        (cls.size() + Plan::kShardMaxLiterals - 1) / Plan::kShardMaxLiterals;
+    const std::size_t per = (cls.size() + n_shards - 1) / n_shards;
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::size_t begin = s * per;
+      const std::size_t end = std::min(cls.size(), begin + per);
+      std::vector<Literal> shard_lits(
+          std::make_move_iterator(cls.begin() + static_cast<std::ptrdiff_t>(begin)),
+          std::make_move_iterator(cls.begin() + static_cast<std::ptrdiff_t>(end)));
+      const std::size_t buckets = shard_lits.size() > kFatThreshold
+                                      ? Plan::kFatBuckets
+                                      : Plan::kBuckets;
+      std::optional<Plan> plan = Plan::build(std::move(shard_lits), buckets);
+      if (!plan.has_value()) return std::nullopt;  // unreachable by sizing
+      set.max_len_ = std::max(set.max_len_, plan->max_literal_len());
+      set.shards_.push_back(std::move(*plan));
+    }
+  }
+  if (set.shards_.empty()) return std::nullopt;
+  return set;
+}
+
+std::size_t PlanSet::literal_count() const {
+  std::size_t n = 0;
+  for (const Plan& shard : shards_) n += shard.literal_count();
+  return n;
+}
+
+std::size_t PlanSet::find(std::string_view text, HitBuffer& hits,
+                          std::vector<std::uint8_t>& seen,
+                          std::vector<std::size_t>& out, std::size_t n_seen,
+                          std::size_t stop_at, ScanCounters* counters,
+                          std::vector<std::uint32_t>* hint_at) const {
+  for (const Plan& shard : shards_) {
+    if (n_seen >= stop_at) break;
+    shard.scan(text, hits);
+    if (counters != nullptr) {
+      counters->first_stage_hits += hits.size();
+      ++counters->shards_scanned;
+    }
+    n_seen = shard.confirm(text, hits, seen, out, n_seen, stop_at, hint_at);
   }
   return n_seen;
 }

@@ -291,7 +291,142 @@ bool search_core(const Program& prog, std::string_view text, std::size_t from,
   return false;
 }
 
+// ------------------------- compiled confirmation -------------------------
+//
+// The cheap-confirmation executor for kLiteral / kLiteralDominated
+// patterns (see ConfirmProgram in program.h for the equivalence
+// argument). Nothing here charges the step budget: the walk is bounded at
+// classification time, so it cannot blow up.
+
+// Greedy bounded suffix walk, mirroring the VM's backtracking priority:
+// each class step tries its longest feasible count first and the LAST
+// step's count varies fastest (the VM backtracks the most recent choice
+// point first). On success *end is the position after the final step.
+bool confirm_suffix(const Program& prog, const std::vector<detail::ConfirmStep>& steps,
+                    std::size_t idx, std::string_view text, std::size_t pos,
+                    std::size_t* end) {
+  if (idx == steps.size()) {
+    *end = pos;
+    return true;
+  }
+  const detail::ConfirmStep& step = steps[idx];
+  if (step.kind == detail::ConfirmStep::Kind::kLiteral) {
+    if (pos + step.lit.size() > text.size() ||
+        std::memcmp(text.data() + pos, step.lit.data(), step.lit.size()) !=
+            0) {
+      return false;
+    }
+    return confirm_suffix(prog, steps, idx + 1, text, pos + step.lit.size(),
+                          end);
+  }
+  const detail::ByteSet& set = prog.classes[step.cls];
+  std::size_t feasible = 0;  // longest run of set bytes at pos, capped
+  while (feasible < step.max && pos + feasible < text.size() &&
+         set[static_cast<unsigned char>(text[pos + feasible])]) {
+    ++feasible;
+  }
+  for (std::size_t count = feasible; count + 1 > step.min; --count) {
+    if (confirm_suffix(prog, steps, idx + 1, text, pos + count, end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Fixed-width prefix check: every step must consume exactly its width.
+bool confirm_prefix(const Program& prog,
+                    const std::vector<detail::ConfirmStep>& steps,
+                    std::string_view text, std::size_t pos) {
+  for (const detail::ConfirmStep& step : steps) {
+    if (step.kind == detail::ConfirmStep::Kind::kLiteral) {
+      if (std::memcmp(text.data() + pos, step.lit.data(), step.lit.size()) !=
+          0) {
+        return false;
+      }
+      pos += step.lit.size();
+      continue;
+    }
+    const detail::ByteSet& set = prog.classes[step.cls];
+    for (std::uint32_t i = 0; i < step.min; ++i) {  // min == max (fixed)
+      if (!set[static_cast<unsigned char>(text[pos++])]) return false;
+    }
+  }
+  return true;
+}
+
+SpanResult confirm_dominated(const Program& prog, std::string_view text,
+                             std::size_t from, std::size_t anchor_hint) {
+  const detail::ConfirmProgram& cp = prog.confirm;
+  SpanResult r;
+  // A match starting at s >= from has the anchor at exactly
+  // s + prefix_width, so ascending anchor occurrences enumerate candidate
+  // starts in leftmost order; the first fully-verified one wins.
+  std::size_t search_from = from + cp.prefix_width;
+  // A hint is the anchor's leftmost occurrence (prefilter tier 2 verified
+  // the bytes), so nothing can match in [search_from, hint): jump straight
+  // there. The bytes are re-verified before trusting the jump.
+  if (anchor_hint != std::string_view::npos && anchor_hint >= search_from &&
+      anchor_hint + cp.anchor.size() <= text.size() &&
+      std::memcmp(text.data() + anchor_hint, cp.anchor.data(),
+                  cp.anchor.size()) == 0) {
+    search_from = anchor_hint;
+  }
+  while (search_from <= text.size()) {
+    const std::size_t occ = text.find(cp.anchor, search_from);
+    if (occ == std::string_view::npos) return r;
+    const std::size_t start = occ - cp.prefix_width;
+    std::size_t end = 0;
+    if (confirm_prefix(prog, cp.prefix, text, start) &&
+        confirm_suffix(prog, cp.suffix, 0, text, occ + cp.anchor.size(),
+                       &end)) {
+      r.matched = true;
+      r.begin = start;
+      r.end = end;
+      return r;
+    }
+    search_from = occ + 1;
+  }
+  return r;
+}
+
 }  // namespace
+
+SpanResult Pattern::confirm_span(std::string_view text, VmScratch& scratch,
+                                 std::size_t from, std::uint64_t budget,
+                                 std::size_t anchor_hint) const {
+  const Program& prog = *program_;
+  // The hint promises the leftmost occurrence of required_literal(); it is
+  // only usable when that string IS the confirm anchor.
+  if (!prog.confirm_hintable) anchor_hint = knpos;
+  switch (prog.tier) {
+    case ConfirmTier::kLiteral: {
+      SpanResult r;
+      if (from > text.size()) return r;
+      if (anchor_hint != knpos && anchor_hint >= from &&
+          anchor_hint + prog.confirm.anchor.size() <= text.size() &&
+          std::memcmp(text.data() + anchor_hint, prog.confirm.anchor.data(),
+                      prog.confirm.anchor.size()) == 0) {
+        r.matched = true;
+        r.begin = anchor_hint;
+        r.end = anchor_hint + prog.confirm.anchor.size();
+        return r;
+      }
+      const std::size_t hit = text.find(prog.confirm.anchor, from);
+      if (hit != std::string_view::npos) {
+        r.matched = true;
+        r.begin = hit;
+        r.end = hit + prog.confirm.anchor.size();
+      }
+      return r;
+    }
+    case ConfirmTier::kLiteralDominated:
+      if (from > text.size()) return SpanResult{};
+      return confirm_dominated(prog, text, from, anchor_hint);
+    case ConfirmTier::kRegex:
+      break;
+  }
+  return search_span(text, scratch, from, budget);
+}
 
 MatchResult Pattern::match_at(std::string_view text, std::size_t at,
                               std::uint64_t budget) const {

@@ -305,6 +305,55 @@ TEST(EngineScan, StopHaltsDelivery) {
   FAIL() << "corpus produced no multi-event sample";
 }
 
+// ------------------------------ scan stats ------------------------------
+
+TEST(EngineScan, ScanStatsReportTierSplitAndPrefilterCounters) {
+  const Database db = Database::compile(std::vector<Database::Spec>{
+      {"lit", "fam", "needleone"},                // pure literal tier
+      {"dom", "fam", "needletwo[0-9]{0,4}"},      // compiled confirm program
+      {"rex", "fam", "needlethree|zzzalternate"}, // VM tier, no usable literal
+  });
+  ASSERT_EQ(db.pattern(0).confirm_tier(), match::ConfirmTier::kLiteral);
+  ASSERT_EQ(db.pattern(1).confirm_tier(),
+            match::ConfirmTier::kLiteralDominated);
+  ASSERT_EQ(db.pattern(2).confirm_tier(), match::ConfirmTier::kRegex);
+
+  Scratch scratch;
+  const std::string text = "xx needleone yy needletwo77 zz needlethree";
+  const auto outcome = scan(db, text, scratch, [](const MatchEvent&) {
+    return ScanDecision::Continue;
+  });
+  EXPECT_EQ(outcome.events, 3u);
+  const ScanStats& st = scratch.stats();
+  EXPECT_EQ(st.prefilter.fallback, match::PrefilterFallback::kNone);
+  EXPECT_GT(st.prefilter.first_stage_hits, 0u);
+  EXPECT_GT(st.prefilter.shards_scanned, 0u);
+  EXPECT_EQ(st.prefilter.literal_survivors, 2u);  // the no-literal
+  EXPECT_EQ(st.candidates, 3u);                   // alternation merges in
+  EXPECT_EQ(st.confirmed_literal, 1u);
+  EXPECT_EQ(st.confirmed_literal_dominated, 1u);
+  EXPECT_EQ(st.confirmed_vm, 1u);
+
+  // Stats are per scan, not accumulated: a miss-everything scan overwrites.
+  (void)scan(db, "nothing relevant", scratch,
+             [](const MatchEvent&) { return ScanDecision::Continue; });
+  EXPECT_EQ(scratch.stats().candidates, 1u);  // only the unconditional sig
+  EXPECT_EQ(scratch.stats().confirmed_vm, 1u);
+  EXPECT_EQ(scratch.stats().confirmed_literal, 0u);
+
+  // confirm() fills the candidate/tier counters but zeroes the prefilter
+  // slice: its candidate list arrived from outside the call.
+  const std::vector<std::size_t> candidates = {0, 1, 2};
+  (void)confirm(db, candidates, text, scratch,
+                [](const MatchEvent&) { return ScanDecision::Continue; });
+  EXPECT_EQ(scratch.stats().prefilter.first_stage_hits, 0u);
+  EXPECT_EQ(scratch.stats().prefilter.literal_survivors, 0u);
+  EXPECT_EQ(scratch.stats().candidates, 3u);
+  EXPECT_EQ(scratch.stats().confirmed_literal, 1u);
+  EXPECT_EQ(scratch.stats().confirmed_literal_dominated, 1u);
+  EXPECT_EQ(scratch.stats().confirmed_vm, 1u);
+}
+
 // --------------------------- scratch recycling ---------------------------
 
 TEST(EngineScratch, RecycledScratchEqualsFreshScratch) {

@@ -225,6 +225,71 @@ TEST(Pattern, PaperStyleSignature) {
   EXPECT_FALSE(p.found_in("Euur1V=this[l9D](ev#3333999999al);"));
 }
 
+// ------------------------- confirmation tiers -------------------------
+
+TEST(Pattern, ConfirmTierClassification) {
+  // Pure literal (any length, even empty): confirmation is text.find().
+  EXPECT_EQ(Pattern::compile("abc").confirm_tier(), ConfirmTier::kLiteral);
+  EXPECT_EQ(Pattern::compile("a").confirm_tier(), ConfirmTier::kLiteral);
+  EXPECT_EQ(Pattern::compile("").confirm_tier(), ConfirmTier::kLiteral);
+  // Literal-dominated: an anchor literal plus fixed-width prefix and
+  // bounded suffix steps.
+  EXPECT_EQ(Pattern::compile("abc[0-9]{0,8}").confirm_tier(),
+            ConfirmTier::kLiteralDominated);
+  EXPECT_EQ(Pattern::compile("a.cdef").confirm_tier(),
+            ConfirmTier::kLiteralDominated);
+  EXPECT_EQ(Pattern::compile("ab[0-9]cd").confirm_tier(),
+            ConfirmTier::kLiteralDominated);
+  EXPECT_EQ(Pattern::compile("zq[0-9]{3}zq").confirm_tier(),
+            ConfirmTier::kLiteralDominated);
+  // Everything that breaks linearity or boundedness keeps the VM.
+  EXPECT_EQ(Pattern::compile("ab|cd").confirm_tier(), ConfirmTier::kRegex);
+  EXPECT_EQ(Pattern::compile("^abc").confirm_tier(), ConfirmTier::kRegex);
+  EXPECT_EQ(Pattern::compile("abc$").confirm_tier(), ConfirmTier::kRegex);
+  EXPECT_EQ(Pattern::compile("abc[0-9]*").confirm_tier(),
+            ConfirmTier::kRegex);  // unbounded repeat
+  EXPECT_EQ(Pattern::compile("(ab)\\1").confirm_tier(),
+            ConfirmTier::kRegex);  // backreference
+  EXPECT_EQ(Pattern::compile("a{0,3}bcd").confirm_tier(),
+            ConfirmTier::kRegex);  // variable-width prefix
+}
+
+TEST(Pattern, ConfirmSpanAgreesWithVmSearch) {
+  // Differential oracle: for every tier, every text, and every start
+  // offset, confirm_span must produce exactly search_span's answer.
+  const std::vector<std::string> sources = {
+      "abc",          "a",           "",
+      "abc[0-9]{0,8}", "a.cdef",     "ab[0-9]cd",
+      "ab.?cd",       "zq[0-9]{3}zq", "xy[a-z]{2,4}z",
+      "ab|cd",        "abc[0-9]*",
+  };
+  const std::vector<std::string> texts = {
+      "",
+      "abc",
+      "xxabc12345678999 a.cdef abXcd",
+      "abxd abcd ab7cd",
+      "zq12zq zq123zq xyabz xyabcdz",
+      "noise cd noise ab more",
+      std::string("abc") + std::string(20, '1'),
+  };
+  VmScratch scratch;
+  for (const std::string& src : sources) {
+    const Pattern p = Pattern::compile(src);
+    for (const std::string& text : texts) {
+      for (std::size_t from = 0; from <= text.size() + 1; ++from) {
+        const SpanResult want = p.search_span(text, scratch, from);
+        const SpanResult got = p.confirm_span(text, scratch, from);
+        ASSERT_EQ(got.matched, want.matched)
+            << src << " on \"" << text << "\" from " << from;
+        if (want.matched) {
+          EXPECT_EQ(got.begin, want.begin) << src << " from " << from;
+          EXPECT_EQ(got.end, want.end) << src << " from " << from;
+        }
+      }
+    }
+  }
+}
+
 TEST(Pattern, CopySemantics) {
   auto a = Pattern::compile("ab+c");
   Pattern b = a;  // copy

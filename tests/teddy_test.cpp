@@ -6,9 +6,12 @@
 //     sequences on random and adversarial texts;
 //   * candidate equivalence — a Teddy-routed LiteralPrefilter returns
 //     byte-identical candidate sets to the forced automaton walk: literal
-//     lengths 1..8 (short sets disqualify Teddy and must still agree),
-//     shared-prefix bucket collisions, occurrences at position 0 and at
-//     the last possible position, and the full kitgen corpus;
+//     lengths 1..8 (short literals now compile into their own K=1/K=2
+//     shards instead of disqualifying the set), mixed short/long sets,
+//     5k–20k-literal sets spanning multiple shards, Fat (16-bucket)
+//     versus 8-bucket plans, shared-prefix bucket collisions, occurrences
+//     at position 0 and at the last possible position, and the full
+//     kitgen corpus;
 //   * streaming equivalence — StreamingMatcher over the Teddy path equals
 //     one-shot candidates() for every split position and every chunking;
 //   * thread safety — one shared plan scanned from many threads (the tsan
@@ -67,25 +70,62 @@ void expect_equal_candidates(const Pair& p, std::string_view text) {
 
 // ----------------------------- kernel unit -----------------------------
 
-TEST(TeddyPlan, QualificationGates) {
+TEST(TeddyPlan, BuildGatesAndWindowLength) {
   using teddy::Plan;
-  // Any literal shorter than kMinLiteralLen disqualifies the set.
-  EXPECT_FALSE(Plan::build({{"ab", 0}}).has_value());
-  EXPECT_FALSE(Plan::build({{"abcdef", 0}, {"xy", 1}}).has_value());
+  // The only per-shard gates left: an empty set, and a single shard past
+  // its capacity (PlanSet splits those instead).
   EXPECT_FALSE(Plan::build({}).has_value());
-  ASSERT_TRUE(Plan::build({{"abc", 0}}).has_value());
-  // Three-byte minimum selects the 3-byte prefix window; all-longer sets
-  // get the more selective 4-byte window.
+  {
+    std::vector<Plan::Literal> many;
+    for (std::size_t i = 0; i <= Plan::kShardMaxLiterals; ++i) {
+      many.push_back({"lit" + std::to_string(i), i});
+    }
+    EXPECT_FALSE(Plan::build(many).has_value());
+    many.pop_back();
+    EXPECT_TRUE(Plan::build(std::move(many)).has_value());
+  }
+  // The window length tracks the shortest literal, down to a single byte.
+  EXPECT_EQ(Plan::build({{"a", 0}})->prefix_len(), 1u);
+  EXPECT_EQ(Plan::build({{"ab", 0}, {"wxyz", 1}})->prefix_len(), 2u);
   EXPECT_EQ(Plan::build({{"abc", 0}, {"wxyz", 1}})->prefix_len(), 3u);
   EXPECT_EQ(Plan::build({{"abcd", 0}, {"wxyz", 1}})->prefix_len(), 4u);
-  // Oversized sets fall back to the automaton.
-  std::vector<Plan::Literal> many;
-  for (std::size_t i = 0; i < Plan::kMaxLiterals + 1; ++i) {
+}
+
+TEST(TeddyPlanSet, ShardsByLengthClassAndSize) {
+  using teddy::Plan;
+  using teddy::PlanSet;
+  EXPECT_FALSE(PlanSet::build({}).has_value());
+
+  // One shard per populated length class (K = min(4, len)); 5+-byte
+  // literals share the K=4 class.
+  const auto mixed = PlanSet::build(
+      {{"a", 0}, {"xy", 1}, {"abc", 2}, {"wxyz", 3}, {"longer", 4}});
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->shard_count(), 4u);
+  EXPECT_EQ(mixed->literal_count(), 5u);
+  EXPECT_EQ(mixed->max_literal_len(), 6u);
+
+  // An oversized class splits into multiple shards; a crowded shard goes
+  // Fat (16 buckets).
+  std::vector<PlanSet::Literal> many;
+  for (std::size_t i = 0; i < Plan::kShardMaxLiterals + 100; ++i) {
     many.push_back({"lit" + std::to_string(i), i});
   }
-  EXPECT_FALSE(Plan::build(many).has_value());
-  many.pop_back();
-  EXPECT_TRUE(Plan::build(std::move(many)).has_value());
+  const auto big = PlanSet::build(std::move(many));
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->shard_count(), 2u);
+  EXPECT_EQ(big->literal_count(), Plan::kShardMaxLiterals + 100);
+  for (const Plan& shard : big->shards()) {
+    EXPECT_EQ(shard.bucket_count(),
+              shard.literal_count() > PlanSet::kFatThreshold ? Plan::kFatBuckets
+                                                             : Plan::kBuckets);
+  }
+
+  // A small set stays on 8 buckets.
+  const auto small = PlanSet::build({{"abcd", 0}, {"wxyz", 1}});
+  ASSERT_TRUE(small.has_value());
+  ASSERT_EQ(small->shard_count(), 1u);
+  EXPECT_EQ(small->shards().front().bucket_count(), Plan::kBuckets);
 }
 
 TEST(TeddyPlan, ImplsEmitIdenticalHits) {
@@ -132,13 +172,99 @@ TEST(TeddyPlan, ImplsEmitIdenticalHits) {
   }
 }
 
+TEST(TeddyPlan, ImplsAgreeForEveryWindowLength) {
+  // K = 1..4 exercise every carry arm of the vector kernels (K=1 is a pure
+  // table lookup, K=4 uses all three shifted planes).
+  Rng rng(0x7EDD2);
+  const auto impls = available_impls();
+  for (std::size_t min_len = 1; min_len <= 4; ++min_len) {
+    std::vector<teddy::Plan::Literal> lits;
+    std::size_t id = 0;
+    for (std::size_t len = min_len; len <= min_len + 3; ++len) {
+      lits.push_back({rng.string_over("abcxyz01", len), id++});
+      lits.push_back({std::string(len, 'q'), id++});
+    }
+    const auto plan = teddy::Plan::build(std::move(lits));
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_EQ(plan->prefix_len(), min_len);
+    for (int i = 0; i < 48; ++i) {
+      const std::string t = rng.string_over("abcxyzq01.", rng.index(70));
+      teddy::HitBuffer reference;
+      plan->scan(t, reference, teddy::Impl::kScalar);
+      for (const teddy::Impl impl : impls) {
+        teddy::HitBuffer hits;
+        plan->scan(t, hits, impl);
+        EXPECT_EQ(hits, reference)
+            << teddy::impl_name(impl) << " K=" << min_len << " on \"" << t
+            << '"';
+      }
+    }
+  }
+}
+
+TEST(TeddyPlan, FatImplsEmitIdenticalHits) {
+  // A Fat (16-bucket) plan can be forced on a small set; the AVX2 fat
+  // kernel and the 16-bit-lane scalar shift-or must agree hit-for-hit.
+  Rng rng(0xFA7);
+  std::vector<teddy::Plan::Literal> lits;
+  for (std::size_t i = 0; i < 40; ++i) {
+    lits.push_back({rng.string_over("abcdefgh", 3 + rng.index(6)), i});
+  }
+  const auto plan =
+      teddy::Plan::build(std::move(lits), teddy::Plan::kFatBuckets);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->bucket_count(), teddy::Plan::kFatBuckets);
+  for (int i = 0; i < 64; ++i) {
+    const std::string t = rng.string_over("abcdefgh.", rng.index(90));
+    teddy::HitBuffer reference;
+    plan->scan(t, reference, teddy::Impl::kScalar);
+    for (const teddy::Impl impl : available_impls()) {
+      teddy::HitBuffer hits;
+      plan->scan(t, hits, impl);
+      EXPECT_EQ(hits, reference)
+          << teddy::impl_name(impl) << " diverged on \"" << t << '"';
+    }
+  }
+}
+
+TEST(TeddyPlan, FatAndEightBucketPlansConfirmIdentically) {
+  // Bucket masks differ between the two widths, so the comparison happens
+  // after confirmation: both plans must surface exactly the same ids.
+  Rng rng(0xFA8);
+  std::vector<teddy::Plan::Literal> lits;
+  const std::size_t n = 200;
+  for (std::size_t i = 0; i < n; ++i) {
+    lits.push_back({rng.string_over("abcdwxyz", 4 + rng.index(8)), i});
+  }
+  const auto narrow = teddy::Plan::build(lits, teddy::Plan::kBuckets);
+  const auto fat = teddy::Plan::build(lits, teddy::Plan::kFatBuckets);
+  ASSERT_TRUE(narrow.has_value());
+  ASSERT_TRUE(fat.has_value());
+
+  for (int i = 0; i < 48; ++i) {
+    const std::string t = rng.string_over("abcdwxyz.", rng.index(200));
+    teddy::HitBuffer hits;
+    std::vector<std::uint8_t> seen_narrow(n, 0);
+    std::vector<std::uint8_t> seen_fat(n, 0);
+    std::vector<std::size_t> out_narrow;
+    std::vector<std::size_t> out_fat;
+    narrow->scan(t, hits);
+    narrow->confirm(t, hits, seen_narrow, out_narrow, 0, n);
+    fat->scan(t, hits);
+    fat->confirm(t, hits, seen_fat, out_fat, 0, n);
+    std::sort(out_narrow.begin(), out_narrow.end());
+    std::sort(out_fat.begin(), out_fat.end());
+    EXPECT_EQ(out_narrow, out_fat) << "text \"" << t << '"';
+  }
+}
+
 // --------------------------- candidate oracle ---------------------------
 
 TEST(TeddyPrefilter, EveryLiteralLengthOneToEight) {
   Rng rng(0x1E77);
-  // One registration set per minimum length: sets containing 1- or 2-byte
-  // literals must disqualify Teddy (and still agree with the automaton);
-  // sets of only >=3-byte literals must route through it.
+  // One registration set per minimum length: every set — including ones
+  // with 1- and 2-byte literals — routes through the sharded Teddy first
+  // stage and must agree with the automaton byte-for-byte.
   for (std::size_t min_len = 1; min_len <= 8; ++min_len) {
     std::vector<std::pair<std::size_t, std::string>> regs;
     std::size_t id = 0;
@@ -150,7 +276,7 @@ TEST(TeddyPrefilter, EveryLiteralLengthOneToEight) {
     }
     regs.emplace_back(id++, "");  // fallback rider
     const Pair p = build_pair(regs);
-    EXPECT_EQ(p.teddy.teddy_active(), min_len >= 3) << min_len;
+    EXPECT_TRUE(p.teddy.teddy_active()) << min_len;
 
     std::vector<std::string> texts = {"", "a", "aaaaaaaaaa", "Zyyyyyyy",
                                       "xyzabcxyzabc"};
@@ -208,6 +334,81 @@ TEST(TeddyPrefilter, BoundaryPositions) {
   expect_equal_candidates(p, "....nee");
 }
 
+TEST(TeddyPrefilter, MixedShortAndLongLiterals) {
+  // 1–2-byte literals ride in their own shards next to long ones; the
+  // candidate set must stay byte-identical to the automaton, including
+  // texts where a short literal is a prefix/suffix of a long one.
+  const Pair p = build_pair({{0, "x"},
+                             {1, "ab"},
+                             {2, "abc"},
+                             {3, "abcdef"},
+                             {4, "fromCharCode"},
+                             {5, "f"},
+                             {6, ""}});
+  ASSERT_TRUE(p.teddy.teddy_active());
+  ASSERT_EQ(p.teddy.teddy_plans()->shard_count(), 4u);
+
+  Rng rng(0x515);
+  std::vector<std::string> texts = {"",       "x",         "ab",
+                                    "abc",    "abcdef",    "fromCharCode",
+                                    "zzfzz",  "xabcdefx",  "abab",
+                                    "fromCharCod", std::string(100, 'a')};
+  for (int i = 0; i < 48; ++i) {
+    texts.push_back(rng.string_over("abcdefxromCh.", rng.index(80)));
+  }
+  for (const std::string& t : texts) expect_equal_candidates(p, t);
+}
+
+TEST(TeddyPrefilter, BigSetsSpanMultipleShardsAndStayExact) {
+  // 5k–20k literals: well past the old 4096-literal ceiling, split across
+  // shards (the 20k set also crosses the per-shard capacity, and its
+  // shards run Fat). Literals are short strings over a small alphabet so
+  // the automaton baseline's dense goto table stays reasonably sized.
+  Rng rng(0xB16);
+  for (const std::size_t n_lits : {std::size_t{5000}, std::size_t{20000}}) {
+    std::vector<std::pair<std::size_t, std::string>> regs;
+    std::size_t id = 0;
+    for (std::size_t i = 0; i < n_lits; ++i) {
+      regs.emplace_back(id++, rng.string_over("abcdef", 5 + rng.index(4)));
+    }
+    const Pair p = build_pair(regs);
+    ASSERT_TRUE(p.teddy.teddy_active()) << n_lits;
+    const teddy::PlanSet* plans = p.teddy.teddy_plans();
+    ASSERT_NE(plans, nullptr);
+    EXPECT_GE(plans->shard_count(),
+              n_lits > teddy::Plan::kShardMaxLiterals ? 2u : 1u);
+
+    for (int i = 0; i < 12; ++i) {
+      const std::string t = rng.string_over("abcdef", 200 + rng.index(800));
+      expect_equal_candidates(p, t);
+    }
+    expect_equal_candidates(p, "");
+    expect_equal_candidates(p, regs.front().second);
+    expect_equal_candidates(p, regs.back().second);
+  }
+}
+
+TEST(TeddyPrefilter, ScanStatsReportRoutingAndCounts) {
+  const Pair p = build_pair({{0, "x"}, {1, "needle"}, {2, ""}});
+  std::vector<std::size_t> out;
+  teddy::HitBuffer hits;
+  PrefilterStats stats;
+
+  p.teddy.candidates_into("a needle in x", out, hits, &stats);
+  EXPECT_EQ(stats.fallback, PrefilterFallback::kNone);
+  EXPECT_EQ(stats.shards_scanned, 2u);  // K=1 and K=4 length classes
+  EXPECT_GE(stats.first_stage_hits, 2u);
+  EXPECT_EQ(stats.literal_survivors, 2u);
+
+  p.teddy.candidates_into("nothing here", out, hits, &stats);
+  EXPECT_EQ(stats.literal_survivors, 0u);
+
+  p.automaton.candidates_into("a needle in x", out, hits, &stats);
+  EXPECT_EQ(stats.fallback, PrefilterFallback::kForcedAutomaton);
+  EXPECT_EQ(stats.first_stage_hits, 0u);
+  EXPECT_EQ(stats.literal_survivors, 2u);
+}
+
 // ---------------------------- streaming oracle ----------------------------
 
 TEST(TeddyStreaming, EverySplitPositionMatchesOneShot) {
@@ -239,6 +440,36 @@ TEST(TeddyStreaming, EverySplitPositionMatchesOneShot) {
     }
     EXPECT_EQ(stream.finish(), expect) << "chunk " << chunk;
   }
+}
+
+TEST(TeddyStreaming, EverySplitAcrossShardBoundaries) {
+  // A database whose literals span all four length-class shards, streamed
+  // with every split position: occurrences of every class must survive the
+  // chunk boundary (the carried tail is sized by the LONGEST literal of
+  // the whole set, not of any one shard).
+  const Pair p = build_pair({{0, "k"},
+                             {1, "qz"},
+                             {2, "abc"},
+                             {3, "straddlers"},
+                             {4, "wxyz"},
+                             {5, ""}});
+  ASSERT_TRUE(p.teddy.teddy_active());
+  ASSERT_EQ(p.teddy.teddy_plans()->shard_count(), 4u);
+  const std::string text = "..k..qz..abc..straddlers..wxyz..qzk..";
+  const auto expect = p.teddy.candidates(text);
+  ASSERT_EQ(expect, p.automaton.candidates(text));
+  ASSERT_EQ(expect, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    StreamingMatcher stream(p.teddy);
+    stream.feed(std::string_view(text).substr(0, split));
+    stream.feed(std::string_view(text).substr(split));
+    EXPECT_EQ(stream.finish(), expect) << "split " << split;
+  }
+  // Byte-at-a-time: every literal crosses a feed boundary.
+  StreamingMatcher stream(p.teddy);
+  for (const char c : text) stream.feed(std::string_view(&c, 1));
+  EXPECT_EQ(stream.finish(), expect);
 }
 
 TEST(TeddyStreaming, ResetAndRebindClearTheCarriedWindow) {

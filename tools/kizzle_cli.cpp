@@ -5,7 +5,8 @@
 //   kizzle unpack <file>               static unpack (multi-layer)
 //   kizzle compile <file>...           signature from a sample cluster
 //   kizzle fragments <file>...         multi-fragment signature (§V ext.)
-//   kizzle scan <sigfile> <file>...    scan files against signatures
+//   kizzle scan [--stats] <sigfile> <file>...
+//                                      scan files against signatures
 //                                      (sigfile: one regex per line,
 //                                      optional "name<TAB>pattern", a
 //                                      signature DB, or a .kpf artifact —
@@ -151,12 +152,41 @@ int cmd_compile(const std::vector<std::string>& args, bool fragments) {
   return 0;
 }
 
+// --stats output: the per-scan observability counters from the scratch
+// (engine::ScanStats), one stderr line per scanned file, so stdout stays
+// the parseable verdict stream.
+const char* first_stage_name(match::PrefilterFallback fallback) {
+  switch (fallback) {
+    case match::PrefilterFallback::kNone:
+      return "simd";
+    case match::PrefilterFallback::kForcedAutomaton:
+      return "automaton";
+    case match::PrefilterFallback::kTextTooLarge:
+      return "automaton(large-text)";
+    case match::PrefilterFallback::kNoLiterals:
+      return "no-literals";
+  }
+  return "?";
+}
+
+void print_scan_stats(const engine::ScanStats& st) {
+  std::fprintf(stderr,
+               "  [first-stage=%s hits=%zu shards=%zu survivors=%zu "
+               "candidates=%zu confirm: find=%zu program=%zu vm=%zu]\n",
+               first_stage_name(st.prefilter.fallback),
+               st.prefilter.first_stage_hits, st.prefilter.shards_scanned,
+               st.prefilter.literal_survivors, st.candidates,
+               st.confirmed_literal, st.confirmed_literal_dominated,
+               st.confirmed_vm);
+}
+
 // Artifact path: load the release-built automaton into an engine database
 // (no per-process rebuild) and stream each file through an engine stream
 // in fixed-size chunks — the raw file is never fully resident. One scratch
 // serves every file.
 int scan_with_artifact(const std::string& content,
-                       const std::vector<std::string>& args) {
+                       const std::vector<std::string>& args,
+                       bool show_stats) {
   std::istringstream artifact(content);
   const engine::Database db = engine::Database::from_artifact(artifact);
   engine::Scratch scratch;
@@ -188,13 +218,24 @@ int scan_with_artifact(const std::string& content,
     } else {
       std::printf("%-40s clean\n", args[i].c_str());
     }
+    if (show_stats) print_scan_stats(scratch.stats());
   }
   return exit_code;
 }
 
-int cmd_scan(const std::vector<std::string>& args) {
+int cmd_scan(const std::vector<std::string>& raw_args) {
+  bool show_stats = false;
+  std::vector<std::string> args;
+  args.reserve(raw_args.size());
+  for (const std::string& a : raw_args) {
+    if (a == "--stats") {
+      show_stats = true;
+    } else {
+      args.push_back(a);
+    }
+  }
   if (args.size() < 2) {
-    std::fprintf(stderr, "usage: kizzle scan <sigfile> <file>...\n");
+    std::fprintf(stderr, "usage: kizzle scan [--stats] <sigfile> <file>...\n");
     return 2;
   }
   // Each signature is compiled exactly once, straight into database
@@ -203,7 +244,7 @@ int cmd_scan(const std::vector<std::string>& args) {
   {
     const std::string content = read_file(args[0]);
     if (content.rfind(core::kArtifactMagic, 0) == 0) {
-      return scan_with_artifact(content, args);
+      return scan_with_artifact(content, args, show_stats);
     }
     if (content.rfind("# kizzle-signatures", 0) == 0) {
       // A signature database written by `kizzle demo` / save_signatures.
@@ -261,6 +302,7 @@ int cmd_scan(const std::vector<std::string>& args) {
       exit_code = 1;
       std::printf("%-40s MATCH (%s)\n", args[i].c_str(), names.c_str());
     }
+    if (show_stats) print_scan_stats(scratch.stats());
   }
   return exit_code;
 }
@@ -361,7 +403,7 @@ int usage() {
                "  kizzle unpack <file>\n"
                "  kizzle compile <file>...\n"
                "  kizzle fragments <file>...\n"
-               "  kizzle scan <sigfile> <file>...\n"
+               "  kizzle scan [--stats] <sigfile> <file>...\n"
                "  kizzle pack <sigdb> <out.kpf>\n"
                "  kizzle gen <kit> [n] [seed]\n"
                "  kizzle demo [days] [out.kpf]\n"
