@@ -1,0 +1,27 @@
+// Fuzz target: core::load_artifact over arbitrary bytes.
+//
+// Contract under test (support/errors.h): a `.kpf` bundle loader fed any
+// byte string either returns a valid artifact or throws a kizzle::Error
+// subclass — never UB, never unbounded allocation, never another
+// exception type. Anything else escaping here is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/sigdb.h"
+#include "support/errors.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const kizzle::core::BundleArtifact artifact =
+        kizzle::core::load_artifact(is);
+    (void)artifact;
+  } catch (const kizzle::Error&) {
+    // Typed rejection is the expected outcome for malformed bytes.
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fuzz target: the text normalization pipeline over arbitrary bytes.
+//
+// normalize_raw / normalize_js / normalize_document sit at the very front
+// of every scan channel and must be total: no exception, no crash, and
+// output never larger than the input (both normalizations only drop
+// bytes). Nothing is caught here — any throw is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "text/normalize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const std::string raw = kizzle::text::normalize_raw(input);
+  const std::string js = kizzle::text::normalize_js(input);
+  const std::string doc = kizzle::text::normalize_document(input);
+  if (raw.size() > input.size() || js.size() > input.size()) {
+    // Normalization only ever drops bytes; growth would be an expansion
+    // primitive handed to an attacker.
+    std::abort();
+  }
+  // Idempotence: raw normalization is a projection.
+  if (kizzle::text::normalize_raw(raw) != raw) std::abort();
+  (void)doc;
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz target: the unpacker fixpoint over arbitrary bytes.
+//
+// unpack_fixpoint runs kit-specific static decoders on attacker-crafted
+// input by definition. It must be total (an implausible or inconsistent
+// stream yields nullopt, never a throw) and bounded (layer cap, total
+// decoded-byte budget, cycle detection — unpack::UnpackLimits). Tight
+// limits here keep iterations fast; the bound-enforcement paths are what
+// this target exercises.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "unpack/unpackers.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  kizzle::unpack::UnpackLimits limits;
+  limits.max_layers = 4;
+  limits.max_total_bytes = std::size_t{1} << 20;  // 1 MiB across layers
+  const auto result = kizzle::unpack::unpack_fixpoint(
+      input, limits, kizzle::unpack::default_unpackers());
+  if (result && limits.max_total_bytes != 0 &&
+      result->text.size() > limits.max_total_bytes) {
+    std::abort();  // the budget failed to bound the decode
+  }
+  return 0;
+}

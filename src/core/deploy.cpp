@@ -79,12 +79,54 @@ Verdict verdict_from(const std::optional<engine::MatchEvent>& hit) {
   return v;
 }
 
-// One-shot first-match scan of `normalized` on a pooled scratch.
+// The channel-side verdict rule: a match is a match no matter how the
+// scan ended; an incomplete scan with NO match is decided by the degrade
+// policy and flagged so it never enters a memoization cache.
+Verdict degrade(Verdict v, engine::ScanStatus status, DegradePolicy policy) {
+  v.scan_status = status;
+  if (!v.malicious && status != engine::ScanStatus::kComplete) {
+    v.degraded = true;
+    v.malicious = policy == DegradePolicy::kFailClosed;
+  }
+  return v;
+}
+
+// One-shot first-match scan of `normalized` on a pooled scratch, governed
+// by the channel's limits and policy.
 Verdict verdict_of(const SignatureBundle& bundle, engine::ScratchPool& pool,
-                   std::string_view normalized) {
+                   std::string_view normalized,
+                   const engine::ScanLimits& limits, DegradePolicy policy) {
   auto scratch = pool.acquire();
-  return verdict_from(
-      engine::first_match(bundle.database(), normalized, *scratch));
+  scratch->set_limits(limits);
+  std::optional<engine::MatchEvent> hit;
+  const engine::ScanOutcome outcome = engine::scan(
+      bundle.database(), normalized, *scratch,
+      [&hit](const engine::MatchEvent& event) {
+        hit = event;
+        return engine::ScanDecision::Stop;
+      });
+  return degrade(verdict_from(hit), outcome.status, policy);
+}
+
+// Opens an engine stream on a pooled scratch with the channel's limits
+// armed (open_stream arms the stream deadline from the scratch's limits,
+// so they must be set first).
+engine::Stream open_governed(const engine::Database& db,
+                             engine::Scratch& scratch,
+                             const engine::ScanLimits& limits) {
+  scratch.set_limits(limits);
+  return engine::open_stream(db, scratch);
+}
+
+// First-match finish of a governed stream: outcome + event in one pass.
+Verdict finish_governed(const engine::Stream& stream, DegradePolicy policy) {
+  std::optional<engine::MatchEvent> hit;
+  const engine::ScanOutcome outcome =
+      stream.finish([&hit](const engine::MatchEvent& event) {
+        hit = event;
+        return engine::ScanDecision::Stop;
+      });
+  return degrade(verdict_from(hit), outcome.status, policy);
 }
 
 // Second, algorithm-independent content fingerprint for the BrowserGate
@@ -169,16 +211,20 @@ Verdict BrowserGate::check_script(std::string_view script_source) {
     return *cached;
   }
   // Scan outside the lock: memoization must not serialize the scans.
-  const Verdict v =
-      verdict_of(*bundle_, scratches_, text::normalize_js(script_source));
-  cache_store(key, script_source.size(), fp2, v);
+  const Verdict v = verdict_of(*bundle_, scratches_,
+                               text::normalize_js(script_source), limits_,
+                               policy_);
+  // A degraded verdict reflects this scan's resource weather, not the
+  // script's content: caching it would pin a policy answer onto a hash.
+  if (!v.degraded) cache_store(key, script_source.size(), fp2, v);
   return v;
 }
 
 BrowserGate::ScriptStream::ScriptStream(BrowserGate* gate)
     : gate_(gate),
       scratch_(gate->scratches_.acquire()),
-      stream_(engine::open_stream(gate->bundle_->database(), *scratch_)) {}
+      stream_(open_governed(gate->bundle_->database(), *scratch_,
+                            gate->limits_)) {}
 
 void BrowserGate::ScriptStream::feed(std::string_view chunk) {
   raw_ += chunk;
@@ -210,13 +256,16 @@ Verdict BrowserGate::finish_stream(ScriptStream& stream) {
     // normalization equals the raw normalization the engine stream already
     // ran over, so the prefilter pass is done — only the candidates still
     // need VM confirmation.
-    v = verdict_from(stream.stream_.finish_first());
+    v = finish_governed(stream.stream_, policy_);
   } else {
     // Comments (or lexer divergence) changed the scan text: rerun the
     // one-shot path on the token-normalized form check_script would use.
-    v = verdict_of(*bundle_, scratches_, normalized);
+    // (A truncated stream also lands here — the dropped raw bytes make
+    // the texts differ — so truncation still yields a full governed scan
+    // of the token-normalized source rather than a half-scanned stream.)
+    v = verdict_of(*bundle_, scratches_, normalized, limits_, policy_);
   }
-  cache_store(key, stream.raw_.size(), fp2, v);
+  if (!v.degraded) cache_store(key, stream.raw_.size(), fp2, v);
   return v;
 }
 
@@ -249,12 +298,15 @@ Verdict DesktopScanner::scan_file(std::string_view content) const {
   // raw AV normalization handles all of them, and signature construction
   // guarantees raw-normalized script content is matchable (see
   // text/normalize.h).
-  return verdict_of(*bundle_, scratches_, text::normalize_raw(content));
+  return verdict_of(*bundle_, scratches_, text::normalize_raw(content),
+                    limits_, policy_);
 }
 
 DesktopScanner::FileStream::FileStream(const DesktopScanner* scanner)
-    : scratch_(scanner->scratches_.acquire()),
-      stream_(engine::open_stream(scanner->bundle_->database(), *scratch_)) {}
+    : scanner_(scanner),
+      scratch_(scanner->scratches_.acquire()),
+      stream_(open_governed(scanner->bundle_->database(), *scratch_,
+                            scanner->limits_)) {}
 
 void DesktopScanner::FileStream::feed(std::string_view raw_chunk) {
   stage_.clear();
@@ -263,7 +315,7 @@ void DesktopScanner::FileStream::feed(std::string_view raw_chunk) {
 }
 
 Verdict DesktopScanner::FileStream::finish() const {
-  return verdict_from(stream_.finish_first());
+  return finish_governed(stream_, scanner_->policy_);
 }
 
 Verdict DesktopScanner::scan_stream(std::istream& in,
@@ -302,16 +354,25 @@ CdnFilter::Report CdnFilter::filter(
   // batches are isolated by per-call completion latches, so concurrent
   // filter() calls interleave safely on the shared pool.
   std::vector<std::optional<std::size_t>> verdicts(candidates.size());
+  std::vector<engine::ScanStatus> statuses(candidates.size(),
+                                           engine::ScanStatus::kComplete);
   // One pooled scratch per contiguous range, not per candidate: the pool
   // mutex is touched a handful of times per batch instead of twice per
   // sample.
   const auto scan_range = [&](std::size_t, std::size_t begin,
                               std::size_t end) {
     auto scratch = scratches_.acquire();
+    scratch->set_limits(limits_);
     for (std::size_t i = begin; i < end; ++i) {
-      const auto hit = engine::first_match(
-          bundle_->database(), text::normalize_raw(candidates[i]), *scratch);
+      std::optional<engine::MatchEvent> hit;
+      const engine::ScanOutcome outcome = engine::scan(
+          bundle_->database(), text::normalize_raw(candidates[i]), *scratch,
+          [&hit](const engine::MatchEvent& event) {
+            hit = event;
+            return engine::ScanDecision::Stop;
+          });
       if (hit) verdicts[i] = hit->sig_index;
+      statuses[i] = outcome.status;
     }
   };
   if (candidates.size() < 2) {
@@ -330,8 +391,18 @@ CdnFilter::Report CdnFilter::filter(
   std::map<std::string, std::size_t> hits;  // sorted by name -> stable output
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (verdicts[i]) {
+      // A match decides the candidate regardless of scan status.
       report.rejected.push_back(i);
       ++hits[bundle_->info(*verdicts[i]).name];
+    } else if (statuses[i] != engine::ScanStatus::kComplete) {
+      // Incomplete scan, no match: placement is the degrade policy's
+      // call, recorded so the administrator can re-queue these.
+      report.degraded.push_back(i);
+      if (policy_ == DegradePolicy::kFailClosed) {
+        report.rejected.push_back(i);
+      } else {
+        report.hostable.push_back(i);
+      }
     } else {
       report.hostable.push_back(i);
     }

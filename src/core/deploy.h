@@ -119,6 +119,23 @@ class SignatureBundle {
   mutable engine::ScratchPool scratches_;
 };
 
+// What a channel answers when a scan hits its resource envelope
+// (engine::ScanLimits) without having found a match: admit the content
+// anyway (fail-open — availability over coverage, the browser's choice:
+// blocking every slow page script is indistinguishable from breaking the
+// web) or block it (fail-closed — coverage over availability, the
+// desktop/CDN choice: an unscannable file is a suspicious file). Either
+// way the verdict records that it was degraded, so the decision is
+// auditable and a hostile stream can't silently exhaust a worker into
+// one behavior or the other. A match found *before* the limit tripped is
+// never degraded: a partial scan that already found the kit is a real
+// verdict.
+enum class DegradePolicy : std::uint8_t { kFailOpen, kFailClosed };
+
+inline const char* degrade_policy_name(DegradePolicy p) {
+  return p == DegradePolicy::kFailOpen ? "fail-open" : "fail-closed";
+}
+
 struct Verdict {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -132,6 +149,12 @@ struct Verdict {
   std::size_t signature_index = npos;
   std::size_t match_begin = npos;
   std::size_t match_end = npos;
+  // How the underlying scan ended (engine/limits.h) and whether
+  // `malicious` was decided by the channel's DegradePolicy rather than by
+  // the scan itself (no match found, scan incomplete). Degraded verdicts
+  // are never memoized.
+  engine::ScanStatus scan_status = engine::ScanStatus::kComplete;
+  bool degraded = false;
 };
 
 // ------------------------------- browser -------------------------------
@@ -177,6 +200,16 @@ class BrowserGate {
   };
   ScriptStream begin_script() { return ScriptStream(this); }
 
+  // Resource governance: every scan this gate runs (one-shot and
+  // streamed) uses `limits`; on breach without a match the verdict
+  // follows the degrade policy (default fail-open: an admission gate
+  // that blocks slow-but-benign scripts breaks pages). Configure before
+  // scanning — not synchronized with in-flight scans.
+  void set_limits(const engine::ScanLimits& limits) { limits_ = limits; }
+  const engine::ScanLimits& limits() const { return limits_; }
+  void set_degrade_policy(DegradePolicy policy) { policy_ = policy; }
+  DegradePolicy degrade_policy() const { return policy_; }
+
   std::uint64_t cache_hits() const;
   std::uint64_t cache_misses() const;
   // Primary-hash collisions detected (entry found but length/second
@@ -201,6 +234,8 @@ class BrowserGate {
   const SignatureBundle* bundle_;
   std::size_t capacity_;
   HashFn hash_;
+  engine::ScanLimits limits_;
+  DegradePolicy policy_ = DegradePolicy::kFailOpen;
   engine::ScratchPool scratches_;
   // Guards lru_/cache_ and all counters: check_script and concurrent
   // ScriptStream finishes race on them otherwise (CdnFilter already
@@ -235,6 +270,7 @@ class DesktopScanner {
    private:
     friend class DesktopScanner;
     explicit FileStream(const DesktopScanner* scanner);
+    const DesktopScanner* scanner_;  // for the degrade policy at finish()
     std::string stage_;  // per-chunk normalization staging buffer
     engine::ScratchPool::Handle scratch_;  // warm, from the scanner's pool
     engine::Stream stream_;
@@ -244,8 +280,18 @@ class DesktopScanner {
   // Reads `in` to EOF in `chunk_size`-byte pieces through a FileStream.
   Verdict scan_stream(std::istream& in, std::size_t chunk_size = 1 << 16) const;
 
+  // Resource governance, as on BrowserGate. Default fail-closed: a file
+  // the scanner could not fully cover stays quarantined — on disk there
+  // is no page to break, and an unscannable file is a suspicious file.
+  void set_limits(const engine::ScanLimits& limits) { limits_ = limits; }
+  const engine::ScanLimits& limits() const { return limits_; }
+  void set_degrade_policy(DegradePolicy policy) { policy_ = policy; }
+  DegradePolicy degrade_policy() const { return policy_; }
+
  private:
   const SignatureBundle* bundle_;
+  engine::ScanLimits limits_;
+  DegradePolicy policy_ = DegradePolicy::kFailClosed;
   mutable engine::ScratchPool scratches_;
 };
 
@@ -265,6 +311,12 @@ class CdnFilter {
     // Hit counts per signature name, sorted ascending by name: byte-stable
     // across runs, platforms and scheduling.
     std::vector<std::pair<std::string, std::size_t>> hits_per_signature;
+    // Candidates whose scan breached the filter's ScanLimits without a
+    // match: the degrade policy placed them (fail-closed → rejected,
+    // fail-open → hostable), and they are listed here so the
+    // administrator sees which placements the policy decided. Ascending,
+    // disjoint from signature hits.
+    std::vector<std::size_t> degraded;
   };
 
   // Partitions candidate files for hosting. Candidates are normalized and
@@ -274,8 +326,18 @@ class CdnFilter {
   // latch.
   Report filter(std::span<const std::string> candidates) const;
 
+  // Resource governance, as on the other channels. Default fail-closed:
+  // a CDN administrator would rather re-review a file than host one the
+  // scanner never finished looking at.
+  void set_limits(const engine::ScanLimits& limits) { limits_ = limits; }
+  const engine::ScanLimits& limits() const { return limits_; }
+  void set_degrade_policy(DegradePolicy policy) { policy_ = policy; }
+  DegradePolicy degrade_policy() const { return policy_; }
+
  private:
   const SignatureBundle* bundle_;
+  engine::ScanLimits limits_;
+  DegradePolicy policy_ = DegradePolicy::kFailClosed;
   std::size_t threads_;
   mutable engine::ScratchPool scratches_;
   mutable std::mutex pool_mu_;  // guards lazy pool creation only

@@ -39,8 +39,8 @@ std::optional<std::string> HiddenSignatureEngine::scan_inner(
 
 std::optional<std::string> HiddenSignatureEngine::scan_packed(
     std::string_view script) const {
-  const auto unpacked = unpack::unpack_fixpoint(script);
-  if (!unpacked) return std::nullopt;
+  const auto unpacked = unpack::unpack_fixpoint(script, unpack_limits_);
+  if (!unpacked || unpacked->text.empty()) return std::nullopt;
   return scan_inner(text::normalize_js(unpacked->text));
 }
 

@@ -24,6 +24,7 @@
 
 #include "match/pattern.h"
 #include "sig/compiler.h"
+#include "unpack/unpackers.h"
 
 namespace kizzle::core {
 
@@ -51,9 +52,17 @@ class HiddenSignatureEngine {
   bool learn(const std::string& family,
              std::span<const std::string> unpacked_payloads);
 
-  // Server-side scan of a packed script: unpack (multi-layer), then match
+  // Server-side scan of a packed script: unpack (multi-layer, governed by
+  // set_unpack_limits — the script is attacker-controlled), then match
   // the inner text. Returns the family of the first hit.
   std::optional<std::string> scan_packed(std::string_view script) const;
+
+  // Budgets for scan_packed's unpack stage; defaults are the conservative
+  // UnpackLimits ones.
+  void set_unpack_limits(const unpack::UnpackLimits& limits) {
+    unpack_limits_ = limits;
+  }
+  const unpack::UnpackLimits& unpack_limits() const { return unpack_limits_; }
 
   // Matches already-unpacked (inner) text directly.
   std::optional<std::string> scan_inner(std::string_view inner_text) const;
@@ -64,6 +73,7 @@ class HiddenSignatureEngine {
   sig::CompilerParams params_;
   std::vector<HiddenSignature> sigs_;
   std::vector<match::Pattern> compiled_;
+  unpack::UnpackLimits unpack_limits_;
   int counter_ = 0;
 };
 

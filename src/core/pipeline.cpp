@@ -13,6 +13,23 @@
 
 namespace kizzle::core {
 
+unpack::UnpackLimits unpack_limits_of(const engine::ScanLimits& limits,
+                                      std::size_t input_bytes) {
+  unpack::UnpackLimits ul;  // conservative defaults
+  if (limits.max_unpack_layers > 0) ul.max_layers = limits.max_unpack_layers;
+  if (limits.max_unpack_total_bytes > 0) {
+    ul.max_total_bytes = limits.max_unpack_total_bytes;
+  }
+  if (limits.max_expansion_ratio > 0.0 && input_bytes > 0) {
+    const double capped =
+        limits.max_expansion_ratio * static_cast<double>(input_bytes);
+    if (capped < static_cast<double>(ul.max_total_bytes)) {
+      ul.max_total_bytes = static_cast<std::size_t>(capped);
+    }
+  }
+  return ul;
+}
+
 KizzlePipeline::KizzlePipeline(PipelineConfig cfg, std::uint64_t seed)
     : cfg_(cfg),
       rng_(seed),
@@ -149,12 +166,17 @@ DayReport KizzlePipeline::process_day(
     const std::size_t proto_sample = members[medoid_u].front();
     const std::string proto_script =
         text::inline_script_text(html_docs[proto_sample]);
-    auto unpacked = unpack::unpack_fixpoint(proto_script);
-    if (unpacked) {
+    auto unpacked = unpack::unpack_fixpoint(
+        proto_script,
+        unpack_limits_of(cfg_.scan_limits, proto_script.size()));
+    if (unpacked && !unpacked->text.empty()) {
       cr.unpacked = true;
       cr.unpacker = std::string(unpacked->unpacker);
       cr.prototype_text = text::normalize_js(unpacked->text);
     } else {
+      // No unpacker fired, or the governor withheld an over-budget decode
+      // (text cleared, budget_exhausted set): fall back to the packed
+      // script rather than clustering on an empty prototype.
       cr.prototype_text = text::normalize_js(proto_script);
     }
     const auto proto_fps =

@@ -28,9 +28,20 @@
 #include "support/rng.h"
 #include "support/thread_pool.h"
 #include "text/abstraction.h"
+#include "unpack/unpackers.h"
 #include "winnow/winnow.h"
 
 namespace kizzle::core {
+
+// Maps the unpack knobs of the engine-level governor (engine/limits.h)
+// onto the unpacker's own budget struct: zero fields keep the UnpackLimits
+// defaults, and a non-zero max_expansion_ratio additionally caps total
+// decoded output at ratio × input_bytes (tighter bound wins). This is the
+// seam through which one ScanLimits governs the whole ingest path —
+// callers that unpack attacker-controlled text derive their UnpackLimits
+// here instead of inventing a second knob set.
+unpack::UnpackLimits unpack_limits_of(const engine::ScanLimits& limits,
+                                      std::size_t input_bytes = 0);
 
 struct PipelineConfig {
   PipelineConfig() {
@@ -56,6 +67,11 @@ struct PipelineConfig {
   // Cap on the number of cluster samples fed to the signature compiler.
   std::size_t max_signature_samples = 24;
   std::size_t corpus_max_per_family = 40;
+  // Resource governor for the ingest path: cluster-prototype unpacking
+  // runs on attacker-controlled landing pages, so its depth/byte budgets
+  // come from here (see unpack_limits_of). Default = unlimited engine
+  // knobs, which map to the conservative UnpackLimits defaults.
+  engine::ScanLimits scan_limits;
 };
 
 struct DeployedSignature {

@@ -1,16 +1,39 @@
 #include "core/sigdb.h"
 
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
 #include "match/pattern.h"
+#include "support/errors.h"
 #include "support/strings.h"
 
 namespace kizzle::core {
 
 namespace {
+
 constexpr std::string_view kHeader = "# kizzle-signatures v1";
+
+// "line 3 (byte 57)" — every InputError from the text loader pins the
+// offending line by both coordinates so operators can seek straight to it
+// in multi-megabyte databases.
+std::string at(std::size_t line_no, std::size_t byte_offset) {
+  return "line " + std::to_string(line_no) + " (byte " +
+         std::to_string(byte_offset) + ")";
 }
+
+// Strict integer field parse: the whole field must be digits (with an
+// optional leading '-' for signed targets). std::stoi-style prefix
+// parsing accepted "12junk"; from_chars + full-consumption check doesn't.
+template <typename T>
+bool parse_field(std::string_view field, T& out) {
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
 
 void save_signatures(std::ostream& os,
                      const std::vector<DeployedSignature>& signatures) {
@@ -38,38 +61,50 @@ std::vector<DeployedSignature> load_signatures(std::istream& is,
                                                bool validate_patterns) {
   std::string line;
   if (!std::getline(is, line) || trim(line) != kHeader) {
-    throw std::runtime_error("load_signatures: missing or bad header");
+    throw InputError("load_signatures: missing or bad header");
   }
   std::vector<DeployedSignature> out;
   std::size_t line_no = 1;
+  // Byte offset of the start of the current line ('\n' included per line).
+  std::size_t offset = line.size() + 1;
   while (std::getline(is, line)) {
     ++line_no;
+    const std::size_t line_start = offset;
+    offset += line.size() + 1;
+    if (line.size() > kMaxSignatureLineBytes) {
+      throw ResourceError("load_signatures: " + at(line_no, line_start) +
+                          ": line of " + std::to_string(line.size()) +
+                          " bytes exceeds the " +
+                          std::to_string(kMaxSignatureLineBytes) +
+                          "-byte cap");
+    }
     if (line.empty() || line[0] == '#') continue;
+    if (out.size() >= kMaxSignatureCount) {
+      throw ResourceError("load_signatures: " + at(line_no, line_start) +
+                          ": signature count exceeds the cap of " +
+                          std::to_string(kMaxSignatureCount));
+    }
     const auto fields = split(line, "\t");
     if (fields.size() != 5) {
-      throw std::runtime_error("load_signatures: line " +
-                               std::to_string(line_no) + ": expected 5 "
-                               "tab-separated fields, got " +
-                               std::to_string(fields.size()));
+      throw InputError("load_signatures: " + at(line_no, line_start) +
+                       ": expected 5 tab-separated fields, got " +
+                       std::to_string(fields.size()));
     }
     DeployedSignature s;
     s.name = fields[0];
     s.family = fields[1];
-    try {
-      s.issued_day = std::stoi(fields[2]);
-      s.token_length = std::stoul(fields[3]);
-    } catch (const std::exception&) {
-      throw std::runtime_error("load_signatures: line " +
-                               std::to_string(line_no) + ": bad number");
+    if (!parse_field(fields[2], s.issued_day) ||
+        !parse_field(fields[3], s.token_length)) {
+      throw InputError("load_signatures: " + at(line_no, line_start) +
+                       ": bad number");
     }
     s.pattern = fields[4];
     if (validate_patterns) {
       try {
         match::Pattern::compile(s.pattern);
       } catch (const match::PatternError& e) {
-        throw std::runtime_error("load_signatures: line " +
-                                 std::to_string(line_no) +
-                                 ": pattern does not compile: " + e.what());
+        throw InputError("load_signatures: " + at(line_no, line_start) +
+                         ": pattern does not compile: " + e.what());
       }
     }
     out.push_back(std::move(s));
@@ -97,7 +132,7 @@ template <typename T>
 T get_raw(std::istream& is) {
   T v;
   is.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!is) throw std::runtime_error("load_artifact: truncated artifact");
+  if (!is) throw ArtifactError("load_artifact: truncated artifact");
   return v;
 }
 
@@ -131,36 +166,48 @@ void save_artifact(std::ostream& os,
   if (!os) throw std::runtime_error("save_artifact: write failed");
 }
 
+namespace {
+
+// Cap on the embedded text database. Tighter than the old 4 GiB check:
+// kMaxSignatureCount lines of kMaxSignatureLineBytes is the most the text
+// loader would accept anyway, so anything larger is rejected before the
+// buffer for it is allocated.
+constexpr std::uint64_t kMaxEmbeddedDbBytes = 1ull << 30;  // 1 GiB
+
+}  // namespace
+
 BundleArtifact load_artifact(std::istream& is, bool validate_patterns) {
   char magic[8];
   is.read(magic, sizeof magic);
   if (!is || std::string_view(magic, sizeof magic) != kArtifactMagic) {
-    throw std::runtime_error("load_artifact: bad magic");
+    throw ArtifactError("load_artifact: bad magic");
   }
   const auto version = get_raw<std::uint32_t>(is);
   if (version != kArtifactVersion) {
-    throw std::runtime_error("load_artifact: unsupported format version " +
-                             std::to_string(version));
+    throw ArtifactError("load_artifact: unsupported format version " +
+                        std::to_string(version));
   }
   const auto endian = get_raw<std::uint32_t>(is);
   if (endian != kArtifactEndianSentinel) {
-    throw std::runtime_error(
+    throw ArtifactError(
         "load_artifact: artifact endianness does not match this host");
   }
   const auto db_len = get_raw<std::uint64_t>(is);
-  if (db_len > (1ull << 32)) {
-    throw std::runtime_error("load_artifact: implausible database size");
+  if (db_len > kMaxEmbeddedDbBytes) {
+    throw ResourceError(
+        "load_artifact: declared database size " + std::to_string(db_len) +
+        " exceeds the " + std::to_string(kMaxEmbeddedDbBytes) + "-byte cap");
   }
   std::string db(static_cast<std::size_t>(db_len), '\0');
   is.read(db.data(), static_cast<std::streamsize>(db.size()));
-  if (!is) throw std::runtime_error("load_artifact: truncated artifact");
+  if (!is) throw ArtifactError("load_artifact: truncated artifact");
 
   BundleArtifact out;
   std::istringstream db_is(db);
   out.signatures = load_signatures(db_is, validate_patterns);
   out.prefilter = match::LiteralPrefilter::load(is);
   if (out.prefilter.id_count() != out.signatures.size()) {
-    throw std::runtime_error(
+    throw ArtifactError(
         "load_artifact: prefilter id count disagrees with signature list");
   }
   return out;

@@ -21,6 +21,12 @@
 // the prefilter in LiteralPrefilter::serialize's self-checking format.
 // Version policy mirrors the prefilter's: any layout change bumps the
 // version, loaders reject unknown versions and foreign endianness.
+// Both loaders run on untrusted bytes and throw the kizzle typed-error
+// taxonomy (support/errors.h): InputError for unparsable text (messages
+// carry line number AND byte offset), ArtifactError for a malformed
+// binary bundle, ResourceError when declared/observed sizes exceed the
+// loader caps below. No other exception escapes on bad input, and no
+// allocation happens before the size that justifies it is validated.
 #pragma once
 
 #include <iosfwd>
@@ -32,17 +38,26 @@
 
 namespace kizzle::core {
 
+// Loader caps: a signature line longer than this, or a database with more
+// signatures than this, is rejected with ResourceError before it is
+// stored. Generous against any legitimate set (patterns are normalized
+// script excerpts, databases are a few thousand signatures) yet small
+// enough that a hostile stream can't balloon memory line by line.
+inline constexpr std::size_t kMaxSignatureLineBytes = 1 << 16;  // 64 KiB
+inline constexpr std::size_t kMaxSignatureCount = 1 << 17;      // 131072
+
 // Serializes a signature set. Deterministic output.
 std::string save_signatures(const std::vector<DeployedSignature>& signatures);
 void save_signatures(std::ostream& os,
                      const std::vector<DeployedSignature>& signatures);
 
-// Parses a database back. Throws std::runtime_error on malformed input
-// (bad header, wrong field count, patterns that fail to compile).
-// `validate_patterns` = false skips the trial compilation of every
-// pattern — for callers that compile the set themselves right after
-// (SignatureBundle's artifact constructor) and would otherwise pay it
-// twice.
+// Parses a database back. Throws kizzle::InputError on malformed input
+// (bad header, wrong field count, bad numbers, patterns that fail to
+// compile) with line number and byte offset in the message, and
+// kizzle::ResourceError past the caps above. `validate_patterns` = false
+// skips the trial compilation of every pattern — for callers that compile
+// the set themselves right after (SignatureBundle's artifact constructor)
+// and would otherwise pay it twice.
 std::vector<DeployedSignature> load_signatures(const std::string& content);
 std::vector<DeployedSignature> load_signatures(std::istream& is,
                                                bool validate_patterns = true);
@@ -65,9 +80,10 @@ void save_artifact(std::ostream& os,
                    const match::LiteralPrefilter* prebuilt = nullptr);
 
 // Parses an artifact back; the returned prefilter is ready to scan without
-// a rebuild. Throws std::runtime_error on malformed/corrupt/mismatched
+// a rebuild. Throws kizzle::ArtifactError on malformed/corrupt/mismatched
 // input (including a prefilter whose id count disagrees with the
-// signature list). `validate_patterns` as in load_signatures.
+// signature list) and kizzle::ResourceError on implausible declared
+// sizes. `validate_patterns` as in load_signatures.
 BundleArtifact load_artifact(std::istream& is, bool validate_patterns = true);
 
 }  // namespace kizzle::core

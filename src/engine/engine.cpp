@@ -1,8 +1,10 @@
 #include "engine/engine.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "core/sigdb.h"
+#include "support/errors.h"
 
 namespace kizzle::engine {
 
@@ -51,10 +53,10 @@ Database Database::from_entries(std::vector<Entry> entries) {
 Database Database::from_entries(std::vector<Entry> entries,
                                 match::LiteralPrefilter prebuilt) {
   if (!prebuilt.built()) {
-    throw std::runtime_error("engine::Database: prefilter not built");
+    throw ArtifactError("engine::Database: prefilter not built");
   }
   if (prebuilt.id_count() != entries.size()) {
-    throw std::runtime_error(
+    throw ArtifactError(
         "engine::Database: prefilter id count disagrees with entry list");
   }
   Database db;
@@ -117,6 +119,45 @@ const match::Pattern& Database::pattern(std::size_t index) const {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+// Escalates the outcome's status to `status` if it is more severe than
+// what is already recorded (the enum is ordered by severity), tagging the
+// stage the limit took effect at.
+void escalate(ScanOutcome& out, ScanStatus status, ScanStage stage) {
+  if (status > out.status) {
+    out.status = status;
+    out.limited_stage = stage;
+  }
+}
+
+// One scan's armed deadline: resolved once from the scratch's limits, then
+// polled at cheap boundaries. An unarmed gate is two loads and no clock
+// reads.
+struct DeadlineGate {
+  Clock::time_point at{};
+  bool armed = false;
+
+  static DeadlineGate arm(const ScanLimits& limits) {
+    DeadlineGate g;
+    if (limits.has_deadline()) {
+      g.at = limits.effective_deadline(Clock::now());
+      g.armed = g.at != Clock::time_point{};
+    }
+    return g;
+  }
+  static DeadlineGate from(Clock::time_point at) {
+    return DeadlineGate{at, at != Clock::time_point{}};
+  }
+  bool expired() const { return armed && Clock::now() >= at; }
+};
+
+// How many candidate confirmations run between deadline polls. Confirming
+// one candidate is itself bounded (compiled tiers can't blow up, the VM is
+// step-budgeted), so a coarse interval keeps clock reads off the common
+// path while still bounding overshoot.
+constexpr std::size_t kDeadlinePollMask = 15;
+
 // The one confirmation loop every scan shape funnels into. Candidates are
 // ascending, so the first delivered event is the brute-force first match.
 // Confirmation dispatches on the pattern's compile-time tier
@@ -124,20 +165,30 @@ namespace {
 // program for literal-dominated signatures, the backtracking VM only for
 // regex-shaped ones — whose budget overruns are counted and skipped,
 // exactly like the pre-engine Scanner/SignatureBundle paths (the compiled
-// tiers cannot overrun). Tier counts land in scratch.stats_.
+// tiers cannot overrun). Tier counts land in scratch.stats_. The scratch's
+// ScanLimits govern the loop: vm_step_budget tightens each VM
+// confirmation, and the deadline gate is polled every few candidates —
+// expiry abandons the remaining candidates and reports kDeadlineExpired
+// rather than finishing late.
 ScanOutcome confirm_loop(const Database& db,
                          std::span<const std::size_t> candidates,
                          std::string_view text, match::VmScratch& vm,
                          ScanStats& stats, const CandidateFn* should_confirm,
                          MatchFn on_match,
-                         const std::vector<std::uint32_t>* hints = nullptr) {
+                         const std::vector<std::uint32_t>* hints,
+                         std::uint64_t vm_budget, DeadlineGate gate) {
   ScanOutcome out;
   stats.candidates = candidates.size();
   stats.confirmed_literal = 0;
   stats.confirmed_literal_dominated = 0;
   stats.confirmed_vm = 0;
   const std::span<const Database::Entry> entries = db.entries();
+  std::size_t polled = 0;
   for (const std::size_t i : candidates) {
+    if (gate.armed && (polled++ & kDeadlinePollMask) == 0 && gate.expired()) {
+      escalate(out, ScanStatus::kDeadlineExpired, ScanStage::kConfirm);
+      break;
+    }
     if (i >= entries.size()) {
       throw std::out_of_range("engine::confirm: bad candidate index");
     }
@@ -162,7 +213,7 @@ ScanOutcome confirm_loop(const Database& db,
       hint = (*hints)[i];
     }
     const match::SpanResult r =
-        entry.pattern.confirm_span(text, vm, 0, 0, hint);
+        entry.pattern.confirm_span(text, vm, 0, vm_budget, hint);
     if (r.budget_exceeded) {
       ++out.budget_exceeded;
       continue;
@@ -175,6 +226,51 @@ ScanOutcome confirm_loop(const Database& db,
       break;
     }
   }
+  if (out.budget_exceeded > 0) {
+    escalate(out, ScanStatus::kBudgetExhausted, ScanStage::kConfirm);
+  }
+  return out;
+}
+
+// Intake cap: clips `text` to the scratch's max_input_bytes and returns
+// how many bytes were dropped (0 when unlimited or in bounds).
+std::size_t clip_input(const ScanLimits& limits, std::string_view& text) {
+  if (limits.max_input_bytes == 0 || text.size() <= limits.max_input_bytes) {
+    return 0;
+  }
+  const std::size_t dropped = text.size() - limits.max_input_bytes;
+  text = text.substr(0, limits.max_input_bytes);
+  return dropped;
+}
+
+// The governed one-shot scan body; the scratch's members arrive as
+// explicit references because only the public scan() overloads are
+// friends of Scratch.
+ScanOutcome scan_impl(const Database& db, std::string_view text,
+                      const ScanLimits& limits,
+                      std::vector<std::size_t>& candidates,
+                      match::teddy::HitBuffer& teddy_hits,
+                      std::vector<std::uint32_t>& hints, match::VmScratch& vm,
+                      ScanStats& stats, const CandidateFn* should_confirm,
+                      MatchFn on_match) {
+  const std::size_t dropped = clip_input(limits, text);
+  const DeadlineGate gate = DeadlineGate::arm(limits);
+  if (gate.expired()) {
+    // Expired before any work: deliver nothing, report where it stopped.
+    candidates.clear();
+    stats = ScanStats{};
+    ScanOutcome out;
+    out.truncated_bytes = dropped;
+    escalate(out, ScanStatus::kDeadlineExpired, ScanStage::kPrefilter);
+    return out;
+  }
+  db.prefilter().candidates_into(text, candidates, teddy_hits,
+                                 &stats.prefilter, &hints);
+  ScanOutcome out =
+      confirm_loop(db, candidates, text, vm, stats, should_confirm, on_match,
+                   &hints, limits.vm_step_budget, gate);
+  out.truncated_bytes = dropped;
+  if (dropped > 0) escalate(out, ScanStatus::kTruncated, ScanStage::kInput);
   return out;
 }
 
@@ -182,28 +278,25 @@ ScanOutcome confirm_loop(const Database& db,
 
 ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
                  MatchFn on_match) {
-  db.prefilter().candidates_into(text, scratch.candidates_,
-                                 scratch.teddy_hits_,
-                                 &scratch.stats_.prefilter, &scratch.hints_);
-  return confirm_loop(db, scratch.candidates_, text, scratch.vm_,
-                      scratch.stats_, nullptr, on_match, &scratch.hints_);
+  return scan_impl(db, text, scratch.limits_, scratch.candidates_,
+                   scratch.teddy_hits_, scratch.hints_, scratch.vm_,
+                   scratch.stats_, nullptr, on_match);
 }
 
 ScanOutcome scan(const Database& db, std::string_view text, Scratch& scratch,
                  CandidateFn should_confirm, MatchFn on_match) {
-  db.prefilter().candidates_into(text, scratch.candidates_,
-                                 scratch.teddy_hits_,
-                                 &scratch.stats_.prefilter, &scratch.hints_);
-  return confirm_loop(db, scratch.candidates_, text, scratch.vm_,
-                      scratch.stats_, &should_confirm, on_match,
-                      &scratch.hints_);
+  return scan_impl(db, text, scratch.limits_, scratch.candidates_,
+                   scratch.teddy_hits_, scratch.hints_, scratch.vm_,
+                   scratch.stats_, &should_confirm, on_match);
 }
 
 ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
                     std::string_view text, Scratch& scratch, MatchFn on_match) {
   scratch.stats_.prefilter = match::PrefilterStats{};
   return confirm_loop(db, candidates, text, scratch.vm_, scratch.stats_,
-                      nullptr, on_match);
+                      nullptr, on_match, nullptr,
+                      scratch.limits_.vm_step_budget,
+                      DeadlineGate::arm(scratch.limits_));
 }
 
 ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
@@ -211,7 +304,9 @@ ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
                     CandidateFn should_confirm, MatchFn on_match) {
   scratch.stats_.prefilter = match::PrefilterStats{};
   return confirm_loop(db, candidates, text, scratch.vm_, scratch.stats_,
-                      &should_confirm, on_match);
+                      &should_confirm, on_match, nullptr,
+                      scratch.limits_.vm_step_budget,
+                      DeadlineGate::arm(scratch.limits_));
 }
 
 std::optional<MatchEvent> first_match(const Database& db, std::string_view text,
@@ -233,22 +328,68 @@ Stream open_stream(const Database& db, Scratch& scratch) {
     scratch.matcher_.emplace(db.prefilter());
   }
   scratch.normalized_.clear();
+  // The stream's whole life runs under one deadline, armed here.
+  scratch.stream_deadline_ =
+      scratch.limits_.effective_deadline(Clock::now());
+  scratch.stream_deadline_hit_ = false;
+  scratch.stream_dropped_ = 0;
   return Stream(&db, &scratch);
 }
 
 void Stream::feed(std::string_view normalized_chunk) {
-  scratch_->matcher_->feed(normalized_chunk);
-  scratch_->normalized_ += normalized_chunk;
+  Scratch& s = *scratch_;
+  // Deadline poll per chunk: once the stream's deadline passes, feeding
+  // becomes a counted no-op — finish() reports kDeadlineExpired.
+  if (!s.stream_deadline_hit_ &&
+      s.stream_deadline_ != Clock::time_point{} &&
+      Clock::now() >= s.stream_deadline_) {
+    s.stream_deadline_hit_ = true;
+  }
+  if (s.stream_deadline_hit_) {
+    s.stream_dropped_ += normalized_chunk.size();
+    return;
+  }
+  if (s.limits_.max_input_bytes != 0) {
+    const std::size_t fed = s.normalized_.size();
+    const std::size_t room =
+        fed >= s.limits_.max_input_bytes ? 0
+                                         : s.limits_.max_input_bytes - fed;
+    if (normalized_chunk.size() > room) {
+      s.stream_dropped_ += normalized_chunk.size() - room;
+      normalized_chunk = normalized_chunk.substr(0, room);
+      if (normalized_chunk.empty()) return;
+    }
+  }
+  s.matcher_->feed(normalized_chunk);
+  s.normalized_ += normalized_chunk;
 }
 
 ScanOutcome Stream::finish(MatchFn on_match) const {
+  Scratch& s = *scratch_;
+  const DeadlineGate gate = DeadlineGate::from(s.stream_deadline_);
+  if (s.stream_deadline_hit_ || gate.expired()) {
+    // The stream's deadline already passed: confirmation would only make
+    // it later. Report where it stopped and deliver nothing.
+    s.candidates_.clear();
+    s.stats_ = ScanStats{};
+    ScanOutcome out;
+    out.truncated_bytes = s.stream_dropped_;
+    escalate(out, ScanStatus::kDeadlineExpired, ScanStage::kInput);
+    return out;
+  }
   // Snapshot semantics: the cursor's candidate set is materialized into
   // the scratch's candidate buffer, then confirmed against the accumulated
   // text. Feeding may continue afterwards.
-  scratch_->matcher_->finish_into(scratch_->candidates_);
-  scratch_->stats_.prefilter = match::PrefilterStats{};
-  return confirm_loop(*db_, scratch_->candidates_, scratch_->normalized_,
-                      scratch_->vm_, scratch_->stats_, nullptr, on_match);
+  s.matcher_->finish_into(s.candidates_);
+  s.stats_.prefilter = match::PrefilterStats{};
+  ScanOutcome out = confirm_loop(*db_, s.candidates_, s.normalized_, s.vm_,
+                                 s.stats_, nullptr, on_match, nullptr,
+                                 s.limits_.vm_step_budget, gate);
+  out.truncated_bytes = s.stream_dropped_;
+  if (s.stream_dropped_ > 0) {
+    escalate(out, ScanStatus::kTruncated, ScanStage::kInput);
+  }
+  return out;
 }
 
 std::optional<MatchEvent> Stream::finish_first() const {

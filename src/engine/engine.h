@@ -44,9 +44,47 @@
 // The sharded Teddy SIMD literal first stage (match/teddy.h) plugs in
 // behind this seam — scans route through it with no channel changes — and
 // per-scan counters for every tier surface through Scratch::stats().
+//
+// ----------------- Resource governance & failure taxonomy -----------------
+//
+// Scanned bytes are attacker-controlled, and a worker that hangs on one
+// pathological document stops serving everyone behind it. The engine is
+// therefore *governed*: a ScanLimits envelope (engine/limits.h) rides on
+// the Scratch — per worker, like every other piece of mutable scan state —
+// and applies to every scan()/confirm()/stream on that scratch:
+//
+//   max_input_bytes   bytes past the cap are dropped at intake (one-shot
+//                     scans clip the text view; streams stop consuming
+//                     feeds), never prefiltered, never confirmed against.
+//   vm_step_budget    tightens the per-candidate backtracking-VM budget;
+//                     the compiled literal/literal-dominated confirm tiers
+//                     cannot blow up and ignore it.
+//   wall_budget /     a wall-clock deadline, armed when the scan (or
+//   deadline          stream) starts and checked only at cheap boundaries:
+//                     stage transitions, chunk feeds, every few candidate
+//                     confirmations. The scan returns at the next boundary
+//                     after expiry — it never preempts mid-candidate, and
+//                     it NEVER throws for a limit breach.
+//
+// Every breach is data, not control flow: ScanOutcome carries a ScanStatus
+// (Complete / Truncated / BudgetExhausted / DeadlineExpired, most severe
+// wins) plus the stage that hit the limit and the dropped byte count,
+// right next to the ScanStats counters. A default ScanLimits bounds
+// nothing and costs a few predictable branches — the governed hot path is
+// the same zero-allocation hot path (asserted in tests/limits_test.cpp).
+//
+// Failures *outside* the scan path — malformed `.kpf` artifacts, corrupt
+// serialized prefilters, unparsable signature databases — throw the typed
+// taxonomy in support/errors.h (ArtifactError / InputError /
+// ResourceError, all kizzle::Error, all std::runtime_error) instead of
+// ad-hoc runtime_errors: loaders reject hostile bytes with a clean typed
+// error and bounded allocation, never UB (fuzzed in fuzz/, pinned by
+// tests/hostile_input_test.cpp). The deployment channels translate scan
+// outcomes into per-channel fail-open/fail-closed policy (core/deploy.h).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
@@ -59,6 +97,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/limits.h"
 #include "match/pattern.h"
 #include "match/prefilter.h"
 
@@ -120,6 +159,17 @@ struct ScanOutcome {
   std::size_t events = 0;           // MatchEvents delivered
   std::size_t budget_exceeded = 0;  // candidates skipped on VM budget
   bool stopped = false;             // the callback returned Stop
+
+  // Resource-governance verdict (engine/limits.h): how the scan ended
+  // (most severe breach wins), which stage hit the limit, and how many
+  // input bytes the intake cap dropped. kComplete/kNone/0 on an
+  // ungoverned or in-bounds scan. A non-Complete status means the event
+  // list may be incomplete — the channels decide fail-open vs fail-closed.
+  ScanStatus status = ScanStatus::kComplete;
+  ScanStage limited_stage = ScanStage::kNone;
+  std::size_t truncated_bytes = 0;
+
+  bool complete() const { return status == ScanStatus::kComplete; }
 };
 
 // Per-scan observability, owned by the Scratch and overwritten by each
@@ -233,6 +283,13 @@ class Scratch {
   // Counters of the most recent scan()/confirm()/finish() on this scratch.
   const ScanStats& stats() const { return stats_; }
 
+  // The resource envelope every subsequent scan/confirm/stream on this
+  // scratch runs under. Copy-in by value (the struct is a handful of
+  // words); the default bounds nothing. Changing limits mid-stream is
+  // undefined — set them before open_stream().
+  void set_limits(const ScanLimits& limits) { limits_ = limits; }
+  const ScanLimits& limits() const { return limits_; }
+
  private:
   friend class Stream;
   friend ScanOutcome scan(const Database&, std::string_view, Scratch&,
@@ -259,6 +316,14 @@ class Scratch {
   match::VmScratch vm_;
   std::optional<match::StreamingMatcher> matcher_;
   ScanStats stats_;
+  ScanLimits limits_;
+  // Stream governance (valid between open_stream() and the next rewind):
+  // the armed deadline (epoch = none), whether it has already expired
+  // (feeds stop consuming once it does), and bytes dropped by the intake
+  // cap — reported as ScanOutcome::truncated_bytes at finish().
+  std::chrono::steady_clock::time_point stream_deadline_{};
+  bool stream_deadline_hit_ = false;
+  std::size_t stream_dropped_ = 0;
 };
 
 // ------------------------------- scanning ------------------------------

@@ -1,0 +1,127 @@
+// Resource governance for scanning: every scan bounded, every breach
+// reported as data instead of a hang or an exception.
+//
+// The scan path processes attacker-controlled bytes on workers that serve
+// millions of users; a pathological input (gigabyte script, catastrophic
+// VM confirmation, deeply nested packer) must cost a bounded amount of
+// work and then *return*, with the caller told exactly which bound bit.
+// ScanLimits is that contract: it rides on the engine::Scratch (per
+// worker, like every other piece of scan state), applies to every
+// scan()/confirm()/stream on that scratch until changed, and is checked
+// only at cheap boundaries — a chunk feed, a candidate confirmation, a
+// stage transition — so the default (everything unlimited) costs a few
+// predictable branches on the hot path and zero allocations.
+//
+// Outcomes surface on engine::ScanOutcome as a ScanStatus plus the stage
+// that hit the limit; the deployment channels translate them into their
+// per-channel degradation policy (core/deploy.h DegradePolicy).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace kizzle::engine {
+
+// How a scan ended. Ordered by severity: when several bounds trip in one
+// scan, the outcome reports the most severe (largest) one.
+enum class ScanStatus : std::uint8_t {
+  kComplete,         // every candidate fully confirmed over the full input
+  kTruncated,        // input beyond max_input_bytes was never scanned
+  kBudgetExhausted,  // >=1 candidate skipped on the VM step budget
+  kDeadlineExpired,  // the wall-clock deadline cut confirmation short
+};
+
+// The pipeline stage at which a limit took effect (kNone for kComplete).
+enum class ScanStage : std::uint8_t {
+  kNone,
+  kInput,      // text intake / stream feed (truncation)
+  kPrefilter,  // first-stage literal pass
+  kConfirm,    // candidate confirmation
+};
+
+// One worker's resource envelope. Zero always means "unlimited" — a
+// default-constructed ScanLimits imposes no bound and adds no measurable
+// cost, which is what keeps BM_EngineScanManySignatures at its ungoverned
+// baseline.
+struct ScanLimits {
+  // Hard cap on scanned bytes per document/stream. Bytes past the cap are
+  // dropped (never fed to the prefilter, never confirmed against) and the
+  // scan reports kTruncated with the dropped count.
+  std::size_t max_input_bytes = 0;
+
+  // Cap on normalized-text growth relative to the raw input, checked by
+  // the channels after normalization/unpacking (normalized output of the
+  // lexer never exceeds its input, but unpacker charcode expansion can
+  // balloon; the unpack layer enforces its own unpack::UnpackLimits
+  // derived from these fields). 0 = unlimited.
+  double max_expansion_ratio = 0.0;
+
+  // Unpacking bounds, carried here so one struct configures a whole
+  // channel: maximum onion layers and total decoded bytes across layers
+  // (unpack::UnpackLimits mirrors these; 0 keeps that layer's default;
+  // core::unpack_limits_of is the bridge).
+  int max_unpack_layers = 0;
+  std::size_t max_unpack_total_bytes = 0;
+
+  // Per-candidate backtracking-VM step budget. 0 = the pattern default
+  // (match::Pattern's built-in budget); smaller values tighten it. The
+  // compiled literal/literal-dominated confirm tiers cannot blow up and
+  // ignore this.
+  std::uint64_t vm_step_budget = 0;
+
+  // Wall-clock budget for one scan (or one stream's whole life, armed at
+  // open_stream()). Checked at chunk/candidate granularity — the scan
+  // returns kDeadlineExpired at the next boundary after expiry, it does
+  // not preempt a single candidate mid-confirmation.
+  std::chrono::microseconds wall_budget{0};
+
+  // Absolute override for wall_budget: when set (non-epoch), this exact
+  // instant is the deadline regardless of wall_budget. Lets callers share
+  // one deadline across several scans, and lets tests inject an
+  // already-expired deadline deterministically.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{} ||
+           wall_budget.count() > 0;
+  }
+
+  // The deadline a scan starting `now` runs under (epoch = none).
+  std::chrono::steady_clock::time_point effective_deadline(
+      std::chrono::steady_clock::time_point now) const {
+    if (deadline != std::chrono::steady_clock::time_point{}) return deadline;
+    if (wall_budget.count() > 0) return now + wall_budget;
+    return {};
+  }
+};
+
+inline const char* scan_status_name(ScanStatus s) {
+  switch (s) {
+    case ScanStatus::kComplete:
+      return "complete";
+    case ScanStatus::kTruncated:
+      return "truncated";
+    case ScanStatus::kBudgetExhausted:
+      return "budget-exhausted";
+    case ScanStatus::kDeadlineExpired:
+      return "deadline-expired";
+  }
+  return "?";
+}
+
+inline const char* scan_stage_name(ScanStage s) {
+  switch (s) {
+    case ScanStage::kNone:
+      return "none";
+    case ScanStage::kInput:
+      return "input";
+    case ScanStage::kPrefilter:
+      return "prefilter";
+    case ScanStage::kConfirm:
+      return "confirm";
+  }
+  return "?";
+}
+
+}  // namespace kizzle::engine

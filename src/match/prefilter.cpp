@@ -7,6 +7,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "support/errors.h"
+
 namespace kizzle::match {
 
 namespace {
@@ -328,7 +330,7 @@ class CheckedReader {
   void bytes(void* p, std::size_t n) {
     is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
     if (!is_) {
-      throw std::runtime_error("LiteralPrefilter: truncated artifact");
+      throw ArtifactError("LiteralPrefilter: truncated artifact");
     }
     checksum_update(sum_, p, n);
   }
@@ -341,7 +343,10 @@ class CheckedReader {
   std::uint64_t count() {
     const std::uint64_t n = num<std::uint64_t>();
     if (n > kMaxTableElems) {
-      throw std::runtime_error("LiteralPrefilter: implausible table size");
+      // Well-formed syntax, hostile size: the declared count would drive
+      // an allocation past the cap, so it is a resource rejection — the
+      // buffer for it is never allocated.
+      throw ResourceError("LiteralPrefilter: implausible table size");
     }
     return n;
   }
@@ -358,7 +363,7 @@ class CheckedReader {
     std::uint64_t stored;
     is_.read(reinterpret_cast<char*>(&stored), sizeof stored);
     if (!is_ || stored != expect) {
-      throw std::runtime_error("LiteralPrefilter: checksum mismatch");
+      throw ArtifactError("LiteralPrefilter: checksum mismatch");
     }
   }
 
@@ -404,16 +409,16 @@ LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
   char magic[4];
   r.bytes(magic, sizeof magic);
   if (!std::equal(magic, magic + 4, kMagic)) {
-    throw std::runtime_error("LiteralPrefilter: bad magic");
+    throw ArtifactError("LiteralPrefilter: bad magic");
   }
   const auto version = r.num<std::uint32_t>();
   if (version != kFormatVersion) {
-    throw std::runtime_error("LiteralPrefilter: unsupported format version " +
+    throw ArtifactError("LiteralPrefilter: unsupported format version " +
                              std::to_string(version));
   }
   const auto endian = r.num<std::uint32_t>();
   if (endian != kEndianSentinel) {
-    throw std::runtime_error(
+    throw ArtifactError(
         "LiteralPrefilter: artifact endianness does not match this host");
   }
 
@@ -424,7 +429,7 @@ LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
   // id_limit_ sizes the per-scan dedup bitmap; an implausible value must
   // fail here, not OOM the first candidates() call.
   if (pf.n_ids_ > kMaxTableElems || pf.id_limit_ > kMaxTableElems) {
-    throw std::runtime_error("LiteralPrefilter: implausible id count");
+    throw ResourceError("LiteralPrefilter: implausible id count");
   }
   r.bytes(pf.alpha_.data(), pf.alpha_.size() * sizeof(std::uint16_t));
   r.i32s(pf.next_);
@@ -449,50 +454,50 @@ LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
   if (pf.alpha_size_ > 256 ||
       pf.out_begin_.size() != total || pf.out_end_.size() != total ||
       pf.next_.size() != total * pf.alpha_size_) {
-    throw std::runtime_error("LiteralPrefilter: inconsistent table shapes");
+    throw ArtifactError("LiteralPrefilter: inconsistent table shapes");
   }
   for (std::size_t b = 0; b < pf.alpha_.size(); ++b) {
     if (pf.alpha_[b] != kNoCode && pf.alpha_[b] >= pf.alpha_size_) {
-      throw std::runtime_error("LiteralPrefilter: alphabet code out of range");
+      throw ArtifactError("LiteralPrefilter: alphabet code out of range");
     }
   }
   for (const std::int32_t s : pf.next_) {
     if (s < 0 || static_cast<std::size_t>(s) >= std::max<std::size_t>(total, 1)) {
-      throw std::runtime_error("LiteralPrefilter: goto target out of range");
+      throw ArtifactError("LiteralPrefilter: goto target out of range");
     }
   }
   for (std::size_t s = 0; s < total; ++s) {
     const std::int32_t link = pf.out_link_[s];
     if (link != kNone &&
         (link < 0 || static_cast<std::size_t>(link) >= total)) {
-      throw std::runtime_error("LiteralPrefilter: output link out of range");
+      throw ArtifactError("LiteralPrefilter: output link out of range");
     }
     const std::int32_t b = pf.out_begin_[s];
     const std::int32_t e = pf.out_end_[s];
     if (b < 0 || e < b || static_cast<std::size_t>(e) > pf.out_ids_.size()) {
-      throw std::runtime_error("LiteralPrefilter: output slice out of range");
+      throw ArtifactError("LiteralPrefilter: output slice out of range");
     }
   }
   for (const std::size_t id : pf.out_ids_) {
     if (id >= pf.id_limit_) {
-      throw std::runtime_error("LiteralPrefilter: output id out of range");
+      throw ArtifactError("LiteralPrefilter: output id out of range");
     }
   }
   // The raw registrations must be consistent with the header and stay
   // inside the id space — otherwise a later candidates() (or a
   // rebuild-after-load) indexes the dedup bitmap out of bounds.
   if (pf.n_ids_ != pf.keywords_.size() + pf.fallback_raw_.size()) {
-    throw std::runtime_error(
+    throw ArtifactError(
         "LiteralPrefilter: registration count disagrees with header");
   }
   for (const std::size_t id : pf.fallback_raw_) {
     if (id >= pf.id_limit_) {
-      throw std::runtime_error("LiteralPrefilter: fallback id out of range");
+      throw ArtifactError("LiteralPrefilter: fallback id out of range");
     }
   }
   for (const Keyword& kw : pf.keywords_) {
     if (kw.id >= pf.id_limit_ || kw.literal.empty()) {
-      throw std::runtime_error("LiteralPrefilter: bad keyword registration");
+      throw ArtifactError("LiteralPrefilter: bad keyword registration");
     }
   }
 
@@ -500,7 +505,7 @@ LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
   // Registered literals imply a walkable automaton (root state + reduced
   // alphabet); without this, the scan loop would index empty tables.
   if (pf.n_automaton_ids_ > 0 && (total == 0 || pf.alpha_size_ == 0)) {
-    throw std::runtime_error(
+    throw ArtifactError(
         "LiteralPrefilter: automaton tables missing for registered literals");
   }
   pf.built_ = true;

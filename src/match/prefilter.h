@@ -166,8 +166,10 @@ class LiteralPrefilter {
   // a trailing FNV-1a checksum over the payload. Version policy: the
   // format version is bumped on ANY layout change; load() rejects unknown
   // versions, foreign endianness and corrupt/truncated payloads with
-  // std::runtime_error rather than guessing. serialize() throws
-  // std::logic_error if the automaton is not built.
+  // kizzle::ArtifactError, and declared sizes past the allocation caps
+  // with kizzle::ResourceError (support/errors.h) — before allocating —
+  // rather than guessing. serialize() throws std::logic_error if the
+  // automaton is not built.
   static constexpr std::uint32_t kFormatVersion = 1;
   void serialize(std::ostream& os) const;
   static LiteralPrefilter load(std::istream& is);

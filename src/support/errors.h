@@ -1,0 +1,67 @@
+// Typed failure taxonomy for every input-facing surface.
+//
+// The scanner sits directly in the blast radius of attacker-controlled
+// input: signature artifacts arrive over a deployment channel, scripts and
+// files arrive from the network, and a worker that dies (or hangs) on one
+// hostile byte stream is a worker that stops serving everyone else. Ad-hoc
+// `std::runtime_error` throws made failures indistinguishable: a caller
+// could not tell "this artifact is corrupt" (re-fetch it) from "this
+// artifact declares a 2 GiB table" (refuse it and alert) from a genuine
+// programming bug (crash loudly). Every loader and parser in the ingest
+// path now throws exactly one of the types below — and nothing else — on
+// malformed input:
+//
+//   Error           the common base. `catch (const kizzle::Error&)` is the
+//                   "any clean typed rejection" handler the fuzz harnesses
+//                   and channel wrappers use. Derives from
+//                   std::runtime_error, so pre-taxonomy call sites keep
+//                   working unchanged.
+//   ArtifactError   a binary release artifact (`.kpf` bundle, serialized
+//                   prefilter) is malformed: bad magic/version/endianness,
+//                   truncation, checksum mismatch, cross-field
+//                   inconsistency. The artifact itself is bad; retrying
+//                   the same bytes cannot succeed.
+//   InputError      a text input (signature database lines, embedded
+//                   patterns) does not parse. Same retry semantics as
+//                   ArtifactError, but the offending input is
+//                   human-readable and messages carry line + byte offsets.
+//   ResourceError   the input is well-formed *syntax* but declares sizes
+//                   past the loader's allocation caps (table element
+//                   counts, line lengths, signature counts). Kept distinct
+//                   from the malformed cases because the right operator
+//                   response differs: a cap hit on legitimate growth means
+//                   raising the cap, a cap hit on hostile input means the
+//                   guard did its job.
+//
+// Scan-time resource exhaustion (deadlines, VM step budgets, input
+// truncation) deliberately does NOT throw: scans degrade gracefully and
+// report a structured engine::ScanOutcome (engine/limits.h) instead —
+// budget breaches on the hot path are expected events, not failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kizzle {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ArtifactError : public Error {
+ public:
+  explicit ArtifactError(const std::string& what) : Error(what) {}
+};
+
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace kizzle

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 
 #include "text/lexer.h"
 #include "unpack/token_util.h"
@@ -388,14 +389,16 @@ const std::vector<std::unique_ptr<Unpacker>>& default_unpackers() {
   return kAll;
 }
 
-std::optional<UnpackResult> unpack_script(std::string_view source) {
+std::optional<UnpackResult> unpack_script(
+    std::string_view source,
+    std::span<const std::unique_ptr<Unpacker>> unpackers) {
   std::vector<Token> tokens;
   try {
     tokens = text::lex(source, text::LexOptions{.tolerant = true});
   } catch (const text::LexError&) {
     return std::nullopt;
   }
-  for (const auto& unpacker : default_unpackers()) {
+  for (const auto& unpacker : unpackers) {
     if (!unpacker->plausible(tokens)) continue;
     auto result = unpacker->try_unpack(tokens);
     if (result) return UnpackResult{std::move(*result), unpacker->name()};
@@ -403,17 +406,85 @@ std::optional<UnpackResult> unpack_script(std::string_view source) {
   return std::nullopt;
 }
 
-std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
-                                            int max_layers) {
-  auto first = unpack_script(source);
+std::optional<UnpackResult> unpack_script(std::string_view source) {
+  return unpack_script(source, default_unpackers());
+}
+
+namespace {
+
+// Layer-state fingerprint for cycle detection: FNV-1a over the decoded
+// text, paired with its length. Only fingerprints are retained (keeping
+// every layer's text would hand the attacker the memory amplification the
+// byte budget exists to deny); a hash+length collision falsely stopping a
+// legitimate decode is astronomically unlikely, and stopping early is the
+// safe direction.
+struct LayerState {
+  std::uint64_t hash;
+  std::size_t size;
+  bool operator==(const LayerState&) const = default;
+};
+
+LayerState fingerprint(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return {h, text.size()};
+}
+
+}  // namespace
+
+std::optional<UnpackResult> unpack_fixpoint(
+    std::string_view source, const UnpackLimits& limits,
+    std::span<const std::unique_ptr<Unpacker>> unpackers) {
+  auto first = unpack_script(source, unpackers);
   if (!first) return std::nullopt;
   UnpackResult current = std::move(*first);
-  for (int layer = 1; layer < max_layers; ++layer) {
-    auto next = unpack_script(current.text);
+  std::size_t total_bytes = current.text.size();
+  if (limits.max_total_bytes != 0 && total_bytes > limits.max_total_bytes) {
+    // Even one layer can balloon (charcode arrays decode 3-4x smaller,
+    // but an adversarial unpacker need not shrink): give the caller the
+    // breach, not the bytes.
+    current.text.clear();
+    current.budget_exhausted = true;
+    return current;
+  }
+  std::vector<LayerState> seen;
+  seen.push_back(fingerprint(source));
+  seen.push_back(fingerprint(current.text));
+  for (int layer = 1; layer < limits.max_layers; ++layer) {
+    auto next = unpack_script(current.text, unpackers);
     if (!next) break;
+    if (limits.max_total_bytes != 0 &&
+        next->text.size() > limits.max_total_bytes - total_bytes) {
+      current.budget_exhausted = true;
+      break;
+    }
+    total_bytes += next->text.size();
+    const LayerState state = fingerprint(next->text);
+    if (std::find(seen.begin(), seen.end(), state) != seen.end()) {
+      current.cycle_detected = true;
+      break;
+    }
+    seen.push_back(state);
+    const int layers_done = current.layers + 1;
     current = std::move(*next);
+    current.layers = layers_done;
   }
   return current;
+}
+
+std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
+                                            const UnpackLimits& limits) {
+  return unpack_fixpoint(source, limits, default_unpackers());
+}
+
+std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
+                                            int max_layers) {
+  UnpackLimits limits;
+  limits.max_layers = max_layers;
+  return unpack_fixpoint(source, limits, default_unpackers());
 }
 
 }  // namespace kizzle::unpack

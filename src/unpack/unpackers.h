@@ -42,18 +42,49 @@ std::unique_ptr<Unpacker> make_sweet_orange_unpacker();
 // The default registry with all four unpackers.
 const std::vector<std::unique_ptr<Unpacker>>& default_unpackers();
 
+// Resource bounds on the multi-layer fixpoint. The input is by definition
+// attacker-crafted (it is a packed exploit kit), so every axis a hostile
+// stream could stretch is capped: onion depth, cumulative decoded output
+// across layers, and — always on — repeated-state detection so a packer
+// quine (a layer that decodes to itself, or to an earlier layer) stops
+// the loop instead of spinning until the layer cap eats the work.
+struct UnpackLimits {
+  int max_layers = 4;
+  // Cumulative decoded bytes across all layers (0 = unlimited). A layer
+  // whose decode would cross the cap is not kept; the fixpoint stops and
+  // reports budget_exhausted with the last in-budget layer's text.
+  std::size_t max_total_bytes = std::size_t{64} << 20;  // 64 MiB
+};
+
 // Tries every registered unpacker on `source` (tokenized tolerantly);
 // returns the first successful decode together with the unpacker's name.
+// `layers`/`budget_exhausted`/`cycle_detected` are only meaningful on
+// results from unpack_fixpoint.
 struct UnpackResult {
   std::string text;
   std::string_view unpacker;
+  int layers = 1;                // onion layers successfully decoded
+  bool budget_exhausted = false; // stopped on max_total_bytes
+  bool cycle_detected = false;   // stopped on a repeated layer state
 };
 std::optional<UnpackResult> unpack_script(std::string_view source);
+// Same, over an explicit registry (tests inject adversarial unpackers —
+// quines, expanders — that the shipped registry cannot produce).
+std::optional<UnpackResult> unpack_script(
+    std::string_view source,
+    std::span<const std::unique_ptr<Unpacker>> unpackers);
 
 // Unpacks repeatedly until no unpacker fires (multi-layer "onion"
-// packing, capped at max_layers). Returns the innermost text, or nullopt
-// when the first layer already fails.
+// packing) or a limit trips. Returns the innermost in-budget text, or
+// nullopt when the first layer already fails; the flags on the result say
+// whether depth/byte budgets or cycle detection (not convergence) ended
+// the loop.
 std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
                                             int max_layers = 4);
+std::optional<UnpackResult> unpack_fixpoint(std::string_view source,
+                                            const UnpackLimits& limits);
+std::optional<UnpackResult> unpack_fixpoint(
+    std::string_view source, const UnpackLimits& limits,
+    std::span<const std::unique_ptr<Unpacker>> unpackers);
 
 }  // namespace kizzle::unpack

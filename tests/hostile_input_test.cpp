@@ -1,0 +1,240 @@
+// Hostile-input hardening tests (ROADMAP item 4): the ingest path fed
+// systematically corrupted bytes.
+//
+//   * mutation corpus — starting from a valid `.kpf` bundle and a valid
+//     serialized prefilter, every byte is bit-flipped and every prefix
+//     truncation is tried; each mutant must produce either a successful
+//     load or a kizzle::Error subclass. Any other exception type, crash,
+//     hang or sanitizer report (the asan/ubsan CI job runs this test) is
+//     a regression.
+//   * targeted header-field mutations — magic, version, endianness,
+//     declared sizes — must map to the documented taxonomy classes
+//     (ArtifactError for malformed, ResourceError for implausible
+//     sizes).
+//   * committed-corpus replay — every seed and regression input under
+//     fuzz/ (KIZZLE_FUZZ_DIR) is replayed through its loader on every
+//     ctest run, so fuzzing findings stay fixed forever.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sigdb.h"
+#include "match/prefilter.h"
+#include "support/errors.h"
+#include "text/normalize.h"
+#include "unpack/unpackers.h"
+
+namespace kizzle {
+namespace {
+
+std::vector<core::DeployedSignature> sample_signatures() {
+  core::DeployedSignature a;
+  a.name = "KZ.RIG.1";
+  a.family = "RIG";
+  a.issued_day = 64;
+  a.token_length = 120;
+  a.pattern = "documentwriteunescape[0-9a-f]{2,8}";
+  core::DeployedSignature b;
+  b.name = "KZ.Nuclear.2";
+  b.family = "Nuclear";
+  b.issued_day = 77;
+  b.token_length = 88;
+  b.pattern = "evalstringfromcharcode";
+  return {a, b};
+}
+
+std::string valid_artifact_bytes() {
+  std::ostringstream os;
+  core::save_artifact(os, sample_signatures());
+  return os.str();
+}
+
+std::string valid_prefilter_bytes() {
+  match::LiteralPrefilter pf;
+  pf.add(0, "documentwriteunescape");
+  pf.add(1, "evalstringfromcharcode");
+  pf.build();
+  std::ostringstream os;
+  pf.serialize(os);
+  return os.str();
+}
+
+// Runs one loader invocation on `bytes`. Success and kizzle::Error are
+// both acceptable; anything else fails the test with the mutation's
+// coordinates.
+template <typename LoadFn>
+void expect_typed_rejection(const std::string& bytes, LoadFn load,
+                            const char* what, std::size_t at) {
+  try {
+    load(bytes);
+  } catch (const Error&) {
+    // The taxonomy working as designed.
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << " at offset " << at
+                  << ": escaped the taxonomy with: " << e.what();
+  } catch (...) {
+    ADD_FAILURE() << what << " at offset " << at
+                  << ": escaped with a non-exception throw";
+  }
+}
+
+void load_artifact_bytes(const std::string& bytes) {
+  std::istringstream is(bytes);
+  (void)core::load_artifact(is);
+}
+
+void load_prefilter_bytes(const std::string& bytes) {
+  std::istringstream is(bytes);
+  (void)match::LiteralPrefilter::load(is);
+}
+
+template <typename LoadFn>
+void mutation_sweep(const std::string& valid, LoadFn load) {
+  // Sanity: the unmutated bytes load.
+  ASSERT_NO_THROW(load(valid));
+  // Every prefix truncation (byte granularity).
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    expect_typed_rejection(valid.substr(0, cut), load, "truncation", cut);
+  }
+  // A bit flip in every byte (rotating bit position keeps the sweep to
+  // one load per byte while still exercising every bit lane).
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    std::string mutant = valid;
+    mutant[i] = static_cast<char>(
+        static_cast<unsigned char>(mutant[i]) ^ (1u << (i % 8)));
+    expect_typed_rejection(mutant, load, "bit flip", i);
+  }
+}
+
+TEST(HostileInput, ArtifactSurvivesFullMutationSweep) {
+  mutation_sweep(valid_artifact_bytes(), load_artifact_bytes);
+}
+
+TEST(HostileInput, PrefilterSurvivesFullMutationSweep) {
+  mutation_sweep(valid_prefilter_bytes(), load_prefilter_bytes);
+}
+
+// --------------------- targeted header mutations ---------------------
+
+std::string with_u64_at(std::string bytes, std::size_t offset,
+                        std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  return bytes;
+}
+
+TEST(HostileInput, ArtifactBadMagicIsArtifactError) {
+  std::string bytes = valid_artifact_bytes();
+  bytes[0] = 'X';
+  EXPECT_THROW(load_artifact_bytes(bytes), ArtifactError);
+}
+
+TEST(HostileInput, ArtifactBadVersionIsArtifactError) {
+  std::string bytes = valid_artifact_bytes();
+  bytes[8] = 0x7F;  // version field follows the 8-byte magic
+  EXPECT_THROW(load_artifact_bytes(bytes), ArtifactError);
+}
+
+TEST(HostileInput, ArtifactForeignEndiannessIsArtifactError) {
+  std::string bytes = valid_artifact_bytes();
+  std::swap(bytes[12], bytes[15]);  // byte-swap the endian sentinel
+  EXPECT_THROW(load_artifact_bytes(bytes), ArtifactError);
+}
+
+TEST(HostileInput, ArtifactHugeDeclaredDbIsResourceError) {
+  // db_len lives at offset 16 (magic 8 + version 4 + endian 4). A
+  // declared multi-terabyte database must be refused before allocation.
+  const std::string bytes =
+      with_u64_at(valid_artifact_bytes(), 16, std::uint64_t{1} << 40);
+  EXPECT_THROW(load_artifact_bytes(bytes), ResourceError);
+}
+
+TEST(HostileInput, PrefilterHugeDeclaredTableIsResourceError) {
+  // The first u64 after magic/version/endian (offset 12) is n_ids.
+  const std::string bytes =
+      with_u64_at(valid_prefilter_bytes(), 12, std::uint64_t{1} << 40);
+  EXPECT_THROW(load_prefilter_bytes(bytes), ResourceError);
+}
+
+TEST(HostileInput, TypedErrorsShareTheCommonBase) {
+  // One handler for "any clean rejection" is the whole point of the base
+  // class; verify the hierarchy is wired the way fuzz harnesses assume.
+  EXPECT_THROW(load_artifact_bytes("KZBUNDLEgarbage"), Error);
+  EXPECT_THROW(load_artifact_bytes("KZBUNDLEgarbage"), std::runtime_error);
+  EXPECT_THROW(load_prefilter_bytes("XXXX"), Error);
+}
+
+// ------------------------- corpus replay -------------------------
+
+std::vector<std::filesystem::path> corpus_files(const std::string& target) {
+  std::vector<std::filesystem::path> files;
+  for (const char* root : {"corpus", "regressions"}) {
+    const std::filesystem::path dir =
+        std::filesystem::path(KIZZLE_FUZZ_DIR) / root / target;
+    if (!std::filesystem::is_directory(dir)) continue;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file() &&
+          entry.path().filename() != ".gitkeep") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(HostileInput, CommittedArtifactCorpusReplays) {
+  const auto files = corpus_files("load_artifact");
+  ASSERT_FALSE(files.empty()) << "seed corpus missing from fuzz/";
+  for (const auto& file : files) {
+    expect_typed_rejection(slurp(file), load_artifact_bytes,
+                           file.c_str(), 0);
+  }
+}
+
+TEST(HostileInput, CommittedPrefilterCorpusReplays) {
+  const auto files = corpus_files("prefilter_load");
+  ASSERT_FALSE(files.empty()) << "seed corpus missing from fuzz/";
+  for (const auto& file : files) {
+    expect_typed_rejection(slurp(file), load_prefilter_bytes,
+                           file.c_str(), 0);
+  }
+}
+
+TEST(HostileInput, CommittedNormalizeCorpusNeverThrows) {
+  const auto files = corpus_files("normalize");
+  ASSERT_FALSE(files.empty()) << "seed corpus missing from fuzz/";
+  for (const auto& file : files) {
+    const std::string bytes = slurp(file);
+    EXPECT_NO_THROW({
+      (void)text::normalize_raw(bytes);
+      (void)text::normalize_js(bytes);
+      (void)text::normalize_document(bytes);
+    }) << file;
+  }
+}
+
+TEST(HostileInput, CommittedUnpackCorpusNeverThrows) {
+  const auto files = corpus_files("unpack");
+  ASSERT_FALSE(files.empty()) << "seed corpus missing from fuzz/";
+  for (const auto& file : files) {
+    const std::string bytes = slurp(file);
+    EXPECT_NO_THROW((void)unpack::unpack_fixpoint(bytes)) << file;
+  }
+}
+
+}  // namespace
+}  // namespace kizzle

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "core/deploy.h"
 #include "core/sigdb.h"
+#include "support/errors.h"
 
 namespace kizzle::core {
 namespace {
@@ -91,6 +95,74 @@ TEST(SigDb, RejectsTabInPattern) {
   s.family = "F";
   s.pattern = "a\tb";
   EXPECT_THROW(save_signatures({s}), std::invalid_argument);
+}
+
+// ------------------------ typed-error taxonomy ------------------------
+
+TEST(SigDb, ParseFailuresAreTypedInputErrors) {
+  EXPECT_THROW(load_signatures(std::string("bogus header\n")), InputError);
+  EXPECT_THROW(
+      load_signatures(std::string("# kizzle-signatures v1\nS\tF\t1\n")),
+      InputError);
+  EXPECT_THROW(load_signatures(std::string(
+                   "# kizzle-signatures v1\nS\tF\tx\t2\tabc\n")),
+               InputError);
+  EXPECT_THROW(load_signatures(std::string(
+                   "# kizzle-signatures v1\nS\tF\t1\t2\t(unclosed\n")),
+               InputError);
+}
+
+TEST(SigDb, RejectsNumberWithTrailingGarbage) {
+  // std::stoi-era prefix parsing accepted "12junk"; from_chars must not.
+  EXPECT_THROW(load_signatures(std::string(
+                   "# kizzle-signatures v1\nS\tF\t12junk\t2\tabc\n")),
+               InputError);
+}
+
+TEST(SigDb, ErrorsCarryLineAndByteOffset) {
+  // Header (22+1 bytes), one good line, then the bad one: the message
+  // must pin both the line number and the byte offset of its first byte.
+  const std::string good_line = "S\tF\t1\t2\tabc\n";
+  const std::string text =
+      "# kizzle-signatures v1\n" + good_line + "BAD LINE\n";
+  const std::size_t expect_offset = 23 + good_line.size();
+  try {
+    load_signatures(text);
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte " + std::to_string(expect_offset)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(SigDb, OverlongLineIsResourceError) {
+  const std::string text = "# kizzle-signatures v1\n# " +
+                           std::string(kMaxSignatureLineBytes, 'x') + "\n";
+  EXPECT_THROW(load_signatures(text), ResourceError);
+}
+
+TEST(SigDb, SignatureCountCapIsResourceError) {
+  // validate_patterns = false: the cap must trip on parsing alone,
+  // without paying a million trial compilations first.
+  std::string text = "# kizzle-signatures v1\n";
+  const std::string line = "S\tF\t1\t2\tabc\n";
+  text.reserve(text.size() + line.size() * (kMaxSignatureCount + 1));
+  for (std::size_t i = 0; i <= kMaxSignatureCount; ++i) text += line;
+  std::istringstream is(text);
+  EXPECT_THROW(load_signatures(is, /*validate_patterns=*/false),
+               ResourceError);
+}
+
+TEST(SigDb, ArtifactFailuresAreTypedArtifactErrors) {
+  std::istringstream bad_magic("NOTMAGIC and then some");
+  EXPECT_THROW(load_artifact(bad_magic), ArtifactError);
+  // Typed errors remain catchable as std::runtime_error: pre-taxonomy
+  // call sites keep working.
+  std::istringstream bad_magic2("NOTMAGIC and then some");
+  EXPECT_THROW(load_artifact(bad_magic2), std::runtime_error);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
 #include "kitgen/packers.h"
 #include "kitgen/payload.h"
 #include "support/rng.h"
@@ -294,6 +298,111 @@ TEST(Unpackers, FixpointPeelsTwoLayers) {
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->text, payload);
   EXPECT_EQ(result->unpacker, "angler");  // the innermost unpacker fired last
+  EXPECT_EQ(result->layers, 2);
+  EXPECT_FALSE(result->budget_exhausted);
+  EXPECT_FALSE(result->cycle_detected);
+}
+
+// ----------------------- fixpoint hardening -----------------------
+//
+// The shipped decoders strictly shrink their input (charcode/hex
+// encodings spend several source bytes per output byte), so a genuine
+// quine cannot be built from them — adversarial layer behavior is
+// injected through the registry seam instead.
+
+// Decodes any input whose first token is `trigger` to the fixed `output`.
+class RewriteUnpacker : public Unpacker {
+ public:
+  RewriteUnpacker(std::string trigger, std::string output)
+      : trigger_(std::move(trigger)), output_(std::move(output)) {}
+  std::string_view name() const override { return "rewrite"; }
+  bool plausible(std::span<const text::Token> tokens) const override {
+    return !tokens.empty() && tokens.front().text == trigger_;
+  }
+  std::optional<std::string> try_unpack(
+      std::span<const text::Token> tokens) const override {
+    if (!plausible(tokens)) return std::nullopt;
+    return output_;
+  }
+
+ private:
+  std::string trigger_;
+  std::string output_;
+};
+
+std::vector<std::unique_ptr<Unpacker>> registry(
+    std::initializer_list<std::pair<const char*, const char*>> rules) {
+  std::vector<std::unique_ptr<Unpacker>> v;
+  for (const auto& [trigger, output] : rules) {
+    v.push_back(std::make_unique<RewriteUnpacker>(trigger, output));
+  }
+  return v;
+}
+
+TEST(Unpackers, FixpointStopsOnSelfReproducingLayer) {
+  // QUINE decodes to itself: without repeated-state detection the loop
+  // would grind through the whole layer cap re-decoding the same bytes.
+  const auto quine = registry({{"QUINE", "QUINE"}});
+  UnpackLimits limits;
+  limits.max_layers = 1000;
+  const auto result = unpack_fixpoint("QUINE", limits, quine);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->cycle_detected);
+  EXPECT_EQ(result->text, "QUINE");
+  EXPECT_EQ(result->layers, 1);  // detected at the first re-decode
+}
+
+TEST(Unpackers, FixpointStopsOnTwoStateCycle) {
+  // PING -> PONG -> PING: the repeated state is two layers back, which a
+  // simple previous-layer comparison would miss.
+  const auto pingpong = registry({{"PING", "PONG"}, {"PONG", "PING"}});
+  UnpackLimits limits;
+  limits.max_layers = 1000;
+  const auto result = unpack_fixpoint("PING", limits, pingpong);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->cycle_detected);
+  EXPECT_LE(result->layers, 2);
+}
+
+TEST(Unpackers, FixpointEnforcesTotalByteBudget) {
+  // Each GROW layer decodes to ~64 KiB; a 100 KiB cumulative budget must
+  // stop the onion after the first layer instead of decoding all ten.
+  const std::string big = "GROW " + std::string(std::size_t{64} << 10, 'a');
+  const auto grower = registry({{"GROW", big.c_str()}});
+  UnpackLimits limits;
+  limits.max_layers = 10;
+  limits.max_total_bytes = std::size_t{100} << 10;
+  const auto result = unpack_fixpoint("GROW x", limits, grower);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->budget_exhausted);
+  EXPECT_FALSE(result->cycle_detected);
+  EXPECT_EQ(result->layers, 1);
+  EXPECT_EQ(result->text, big);  // the last in-budget layer is kept
+}
+
+TEST(Unpackers, FixpointRejectsFirstLayerOverBudget) {
+  const std::string big = "x" + std::string(std::size_t{64} << 10, 'a');
+  const auto grower = registry({{"GROW", big.c_str()}});
+  UnpackLimits limits;
+  limits.max_total_bytes = 1 << 10;  // 1 KiB: the first decode busts it
+  const auto result = unpack_fixpoint("GROW x", limits, grower);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->budget_exhausted);
+  EXPECT_TRUE(result->text.empty());  // over-budget bytes are not returned
+}
+
+TEST(Unpackers, FixpointLayerCapStillHolds) {
+  // A -> B -> C -> D ... with max_layers 2: stop after two decodes, no
+  // cycle, no budget breach.
+  const auto chain = registry({{"A", "B b"}, {"B", "C c"}, {"C", "D d"}});
+  UnpackLimits limits;
+  limits.max_layers = 2;
+  const auto result = unpack_fixpoint("A a", limits, chain);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->layers, 2);
+  EXPECT_EQ(result->text, "C c");
+  EXPECT_FALSE(result->budget_exhausted);
+  EXPECT_FALSE(result->cycle_detected);
 }
 
 }  // namespace

@@ -5,22 +5,29 @@
 //   kizzle unpack <file>               static unpack (multi-layer)
 //   kizzle compile <file>...           signature from a sample cluster
 //   kizzle fragments <file>...         multi-fragment signature (§V ext.)
-//   kizzle scan [--stats] <sigfile> <file>...
+//   kizzle scan [--stats] [--limits k=v[,k=v...]] <sigfile> <file>...
 //                                      scan files against signatures
 //                                      (sigfile: one regex per line,
 //                                      optional "name<TAB>pattern", a
 //                                      signature DB, or a .kpf artifact —
 //                                      artifacts load the prebuilt
-//                                      automaton and stream each file)
+//                                      automaton and stream each file;
+//                                      --limits keys: input-bytes,
+//                                      vm-steps, wall-ms — each scan then
+//                                      reports its ScanOutcome when it
+//                                      was cut short)
 //   kizzle pack <sigdb> <out.kpf>      compile a deployed signature DB to
 //                                      a binary bundle artifact (prebuilt
 //                                      literal-prefilter automaton)
 //   kizzle gen <kit> [n] [seed]        emit synthetic landing pages
 //                                      (kit: nuclear|sweetorange|angler|rig)
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -152,6 +159,61 @@ int cmd_compile(const std::vector<std::string>& args, bool fragments) {
   return 0;
 }
 
+// --limits k=v[,k=v...]: the resource-governor knobs (engine/limits.h)
+// that bound a scan against hostile input. Unknown keys are an error so a
+// typo can't silently run ungoverned.
+bool parse_limits(const std::string& spec, engine::ScanLimits& limits) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string_view item(spec.data() + pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      std::fprintf(stderr, "--limits: expected key=value in '%.*s'\n",
+                   static_cast<int>(item.size()), item.data());
+      return false;
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    std::uint64_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(val.data(), val.data() + val.size(), n);
+    if (ec != std::errc{} || ptr != val.data() + val.size()) {
+      std::fprintf(stderr, "--limits: bad number '%.*s'\n",
+                   static_cast<int>(val.size()), val.data());
+      return false;
+    }
+    if (key == "input-bytes") {
+      limits.max_input_bytes = static_cast<std::size_t>(n);
+    } else if (key == "vm-steps") {
+      limits.vm_step_budget = n;
+    } else if (key == "wall-ms") {
+      limits.wall_budget = std::chrono::milliseconds(n);
+    } else {
+      std::fprintf(stderr,
+                   "--limits: unknown key '%.*s' "
+                   "(known: input-bytes, vm-steps, wall-ms)\n",
+                   static_cast<int>(key.size()), key.data());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Appended to a verdict line whenever the governor cut the scan short, so
+// a "clean" under exhausted budget is distinguishable from a real clean.
+std::string outcome_suffix(const engine::ScanOutcome& out) {
+  if (out.complete()) return "";
+  std::string s = " [";
+  s += engine::scan_status_name(out.status);
+  s += " @ ";
+  s += engine::scan_stage_name(out.limited_stage);
+  s += "]";
+  return s;
+}
+
 // --stats output: the per-scan observability counters from the scratch
 // (engine::ScanStats), one stderr line per scanned file, so stdout stays
 // the parseable verdict stream.
@@ -186,10 +248,11 @@ void print_scan_stats(const engine::ScanStats& st) {
 // serves every file.
 int scan_with_artifact(const std::string& content,
                        const std::vector<std::string>& args,
-                       bool show_stats) {
+                       bool show_stats, const engine::ScanLimits& limits) {
   std::istringstream artifact(content);
   const engine::Database db = engine::Database::from_artifact(artifact);
   engine::Scratch scratch;
+  scratch.set_limits(limits);
   int exit_code = 0;
   std::string buf(1 << 16, '\0');
   std::string stage;
@@ -211,12 +274,20 @@ int scan_with_artifact(const std::string& content,
           std::string_view(buf.data(), static_cast<std::size_t>(got)), stage);
       stream.feed(stage);
     }
-    if (const auto hit = stream.finish_first()) {
+    std::optional<engine::MatchEvent> first;
+    const engine::ScanOutcome out =
+        stream.finish([&first](const engine::MatchEvent& event) {
+          first = event;
+          return engine::ScanDecision::Stop;
+        });
+    if (first) {
       exit_code = 1;
-      std::printf("%-40s MATCH (%s @ %zu-%zu)\n", args[i].c_str(),
-                  std::string(hit->name).c_str(), hit->begin, hit->end);
+      std::printf("%-40s MATCH (%s @ %zu-%zu)%s\n", args[i].c_str(),
+                  std::string(first->name).c_str(), first->begin, first->end,
+                  outcome_suffix(out).c_str());
     } else {
-      std::printf("%-40s clean\n", args[i].c_str());
+      std::printf("%-40s clean%s\n", args[i].c_str(),
+                  outcome_suffix(out).c_str());
     }
     if (show_stats) print_scan_stats(scratch.stats());
   }
@@ -225,17 +296,27 @@ int scan_with_artifact(const std::string& content,
 
 int cmd_scan(const std::vector<std::string>& raw_args) {
   bool show_stats = false;
+  engine::ScanLimits limits;
   std::vector<std::string> args;
   args.reserve(raw_args.size());
-  for (const std::string& a : raw_args) {
+  for (std::size_t i = 0; i < raw_args.size(); ++i) {
+    const std::string& a = raw_args[i];
     if (a == "--stats") {
       show_stats = true;
+    } else if (a == "--limits") {
+      if (i + 1 >= raw_args.size()) {
+        std::fprintf(stderr, "--limits needs an argument\n");
+        return 2;
+      }
+      if (!parse_limits(raw_args[++i], limits)) return 2;
     } else {
       args.push_back(a);
     }
   }
   if (args.size() < 2) {
-    std::fprintf(stderr, "usage: kizzle scan [--stats] <sigfile> <file>...\n");
+    std::fprintf(stderr,
+                 "usage: kizzle scan [--stats] [--limits k=v[,k=v...]] "
+                 "<sigfile> <file>...\n");
     return 2;
   }
   // Each signature is compiled exactly once, straight into database
@@ -244,7 +325,7 @@ int cmd_scan(const std::vector<std::string>& raw_args) {
   {
     const std::string content = read_file(args[0]);
     if (content.rfind(core::kArtifactMagic, 0) == 0) {
-      return scan_with_artifact(content, args, show_stats);
+      return scan_with_artifact(content, args, show_stats, limits);
     }
     if (content.rfind("# kizzle-signatures", 0) == 0) {
       // A signature database written by `kizzle demo` / save_signatures.
@@ -286,21 +367,25 @@ int cmd_scan(const std::vector<std::string>& raw_args) {
   const engine::Database db =
       engine::Database::from_entries(std::move(entries));
   engine::Scratch scratch;
+  scratch.set_limits(limits);
   int exit_code = 0;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string normalized = text::normalize_raw(read_file(args[i]));
     std::string names;
-    engine::scan(db, normalized, scratch,
-                 [&names](const engine::MatchEvent& event) {
-                   if (!names.empty()) names += ", ";
-                   names += event.name;
-                   return engine::ScanDecision::Continue;
-                 });
+    const engine::ScanOutcome out =
+        engine::scan(db, normalized, scratch,
+                     [&names](const engine::MatchEvent& event) {
+                       if (!names.empty()) names += ", ";
+                       names += event.name;
+                       return engine::ScanDecision::Continue;
+                     });
     if (names.empty()) {
-      std::printf("%-40s clean\n", args[i].c_str());
+      std::printf("%-40s clean%s\n", args[i].c_str(),
+                  outcome_suffix(out).c_str());
     } else {
       exit_code = 1;
-      std::printf("%-40s MATCH (%s)\n", args[i].c_str(), names.c_str());
+      std::printf("%-40s MATCH (%s)%s\n", args[i].c_str(), names.c_str(),
+                  outcome_suffix(out).c_str());
     }
     if (show_stats) print_scan_stats(scratch.stats());
   }
@@ -403,7 +488,8 @@ int usage() {
                "  kizzle unpack <file>\n"
                "  kizzle compile <file>...\n"
                "  kizzle fragments <file>...\n"
-               "  kizzle scan [--stats] <sigfile> <file>...\n"
+               "  kizzle scan [--stats] [--limits k=v,...] "
+               "<sigfile> <file>...\n"
                "  kizzle pack <sigdb> <out.kpf>\n"
                "  kizzle gen <kit> [n] [seed]\n"
                "  kizzle demo [days] [out.kpf]\n"
