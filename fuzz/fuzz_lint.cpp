@@ -1,0 +1,29 @@
+// Fuzz target: analyze::analyze_artifact over arbitrary bytes.
+//
+// Contract under test: the linter fed any byte string either returns a
+// Report (possibly full of findings) or throws a kizzle::Error subclass
+// from the bundle loader — never UB, never another exception type, and
+// crucially never an unbounded analysis: the program walks and the
+// recompile-and-compare verification must terminate on every database a
+// parsable bundle can embed.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "analyze/analyze.h"
+#include "support/errors.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const kizzle::analyze::Report report =
+        kizzle::analyze::analyze_artifact(is);
+    (void)report;
+  } catch (const kizzle::Error&) {
+    // Typed rejection is the expected outcome for malformed bundles.
+  }
+  return 0;
+}

@@ -1,0 +1,479 @@
+// Orchestration of the four analysis families plus report rendering.
+// The per-program walk lives in program.cpp (analyze::detail).
+
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/sigdb.h"
+#include "match/program.h"
+#include "match/teddy.h"
+
+namespace kizzle::analyze {
+
+namespace {
+
+// The pattern VM's built-in per-attempt step budget (vm.cpp); mirrored
+// here because the analyzer checks bounds against it when the caller
+// leaves ScanLimits-style budget 0 (= pattern default).
+constexpr std::uint64_t kDefaultVmBudget = 1u << 22;
+
+std::string quote(std::string_view s, std::size_t max_len = 48) {
+  std::string out = "\"";
+  for (std::size_t i = 0; i < s.size() && i < max_len; ++i) {
+    const char c = s[i];
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\x??";  // control bytes never occur in patterns; keep short
+      continue;
+    }
+    out += c;
+  }
+  out += "\"";
+  if (s.size() > max_len) out += "…";
+  return out;
+}
+
+void add_finding(Report& report, Check check, Severity severity,
+                 std::size_t sig_index, std::string_view name,
+                 std::string message) {
+  report.findings.push_back(Finding{check, severity, sig_index,
+                                    std::string(name), std::move(message)});
+}
+
+// The guaranteed-contained literal of a signature: a string every match
+// must contain. Used by the shadowing analysis.
+std::string_view guaranteed_literal(const match::Pattern& p) {
+  const std::string& lit = p.required_literal();
+  if (!lit.empty()) return lit;
+  const match::detail::Program& prog = p.compiled_program();
+  if (prog.tier != match::ConfirmTier::kRegex) return prog.confirm.anchor;
+  return {};
+}
+
+// ---------------- per-signature checks (families 1 + 2) ----------------
+
+void analyze_signature(std::size_t index, std::string_view name,
+                       const match::Pattern& p, const Options& opts,
+                       Report& report) {
+  const match::detail::Program& prog = p.compiled_program();
+  const detail::ProgramFacts facts =
+      detail::program_facts(prog, opts.reference_text_bytes);
+  const std::uint64_t budget =
+      opts.vm_step_budget != 0 ? opts.vm_step_budget : kDefaultVmBudget;
+
+  if (facts.ambiguous_nesting) {
+    add_finding(report, Check::kBacktrackingBomb, Severity::kError, index,
+                name,
+                "catastrophic backtracking: " + facts.ambiguous_detail +
+                    " — a non-matching sample can cost ~2^len VM steps");
+  } else if (facts.loops > 0 &&
+             facts.log2_step_bound >
+                 std::log2(static_cast<double>(budget))) {
+    std::ostringstream msg;
+    msg << "worst-case VM attempt ~2^"
+        << static_cast<int>(facts.log2_step_bound + 0.5) << " steps at "
+        << opts.reference_text_bytes << "-byte samples exceeds the step "
+        << "budget of " << budget
+        << " — candidates may be dropped as budget-exhausted";
+    add_finding(report, Check::kVmStepBound, Severity::kWarning, index, name,
+                msg.str());
+  }
+
+  if (facts.unreachable > 0) {
+    add_finding(report, Check::kUnreachableCode, Severity::kInfo, index, name,
+                std::to_string(facts.unreachable) +
+                    " compiled instruction(s) unreachable from the entry "
+                    "point (compiler artifact; wasted program space)");
+  }
+
+  if (facts.literal_alternation) {
+    add_finding(report, Check::kTierDowngrade, Severity::kInfo, index, name,
+                "runs on the backtracking-VM tier but is an alternation of "
+                "literals — eligible for a compiled confirm tier "
+                "(per-branch anchored compare)");
+  }
+
+  if (facts.dead_normalized) {
+    add_finding(report, Check::kDeadSignature, Severity::kError, index, name,
+                "dead signature: every accepting path requires a byte "
+                "normalization strips (whitespace/quote), so it can never "
+                "match normalized scan input");
+    return;  // literal-quality findings are noise on a dead signature
+  }
+
+  const std::string& lit = p.required_literal();
+  if (lit.empty()) {
+    add_finding(report, Check::kWeakLiteral, Severity::kWarning, index, name,
+                "no usable required literal: the signature sits on the "
+                "prefilter fallback list and is confirmed against every "
+                "scanned sample");
+    return;
+  }
+  // Rarest-window quality: the best (lowest expected hit rate) K-byte
+  // window the prefilter could anchor this literal on. This mirrors the
+  // planner's own scoring, against the same byte prior.
+  const std::size_t k = std::min<std::size_t>(4, lit.size());
+  double best = 1.0;
+  for (std::size_t at = 0; at + k <= lit.size(); ++at) {
+    double rate = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      rate *= match::teddy::byte_prior_probability(
+          static_cast<unsigned char>(lit[at + i]));
+    }
+    best = std::min(best, rate);
+  }
+  if (best > opts.common_window_threshold) {
+    std::ostringstream msg;
+    msg << "prefilter-hostile literal " << quote(lit)
+        << ": its rarest " << k << "-byte window still hits ~1 in "
+        << static_cast<long long>(1.0 / best)
+        << " scanned bytes under the normalized-JS byte prior";
+    add_finding(report, Check::kCommonLiteralWindow, Severity::kWarning,
+                index, name, msg.str());
+  }
+}
+
+// ---------------- cross-signature checks (family 3) ----------------
+
+struct SigRef {
+  std::string_view name;
+  const match::Pattern* pattern = nullptr;
+};
+
+// Duplicates and shadowing over `sigs`; `first_checked` is the first
+// index findings are reported for (the candidate gate passes the
+// database + candidate and only wants findings about the candidate).
+void analyze_cross(const std::vector<SigRef>& sigs, std::size_t first_checked,
+                   Report& report) {
+  std::unordered_map<std::string_view, std::size_t> first_by_source;
+  for (std::size_t j = 0; j < sigs.size(); ++j) {
+    const auto [it, inserted] =
+        first_by_source.emplace(sigs[j].pattern->source(), j);
+    if (!inserted && j >= first_checked) {
+      add_finding(report, Check::kDuplicateSignature, Severity::kWarning, j,
+                  sigs[j].name,
+                  "identical pattern source already issued as \"" +
+                      std::string(sigs[it->second].name) + "\" (#" +
+                      std::to_string(it->second) + ")");
+    }
+  }
+
+  // Shadowing: an earlier signature that *is* one literal (kLiteral tier
+  // matches any text containing its anchor) whose anchor is contained in
+  // a later signature's guaranteed literal. Every sample the later
+  // signature matches contains that literal, hence the earlier one — so
+  // under first-match semantics the later signature never reports.
+  for (std::size_t j = first_checked; j < sigs.size(); ++j) {
+    const std::string_view t = guaranteed_literal(*sigs[j].pattern);
+    if (t.empty()) continue;
+    for (std::size_t i = 0; i < j; ++i) {
+      const match::detail::Program& pi = sigs[i].pattern->compiled_program();
+      if (pi.tier != match::ConfirmTier::kLiteral) continue;
+      if (sigs[i].pattern->source() == sigs[j].pattern->source()) {
+        continue;  // reported as a duplicate, not a shadow
+      }
+      const std::string& anchor = pi.confirm.anchor;
+      if (anchor.empty() || t.find(anchor) == std::string_view::npos) {
+        continue;
+      }
+      add_finding(report, Check::kShadowedSignature, Severity::kError, j,
+                  sigs[j].name,
+                  "shadowed: every match contains " + quote(t) +
+                      ", which contains pure-literal signature \"" +
+                      std::string(sigs[i].name) + "\" (#" +
+                      std::to_string(i) + ", " + quote(anchor) +
+                      ") — the earlier signature always matches first");
+      break;  // one shadowing witness per signature
+    }
+  }
+}
+
+// ---------------- prefilter shard density (family 2) ----------------
+
+void analyze_shards(const match::LiteralPrefilter& pf, const Options& opts,
+                    Report& report) {
+  const match::teddy::PlanSet* plans = pf.teddy_plans();
+  if (plans == nullptr) return;
+  const auto& shards = plans->shards();
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const double d = shards[s].hit_density_estimate();
+    if (d <= opts.dense_shard_threshold) continue;
+    std::ostringstream msg;
+    msg << "dense shard " << s << " (K=" << shards[s].prefix_len() << ", "
+        << shards[s].literal_count() << " literals): expected ~" << d
+        << " first-stage hits/byte (threshold "
+        << opts.dense_shard_threshold << ")";
+    if (pf.teddy_dense()) {
+      msg << "; scans route to the automaton walk";
+    } else {
+      msg << "; the SIMD first stage is confirm-bound here";
+    }
+    add_finding(report, Check::kDenseShard, Severity::kWarning, kNoSig, "",
+                msg.str());
+  }
+}
+
+std::vector<SigRef> refs_of(std::span<const engine::Database::Entry> entries) {
+  std::vector<SigRef> refs;
+  refs.reserve(entries.size());
+  for (const auto& e : entries) refs.push_back(SigRef{e.name, &e.pattern});
+  return refs;
+}
+
+// ---------------- artifact verification (family 4) ----------------
+
+// Rebuilds the prefilter the artifact *should* contain from its embedded
+// signature source and compares it section by section against the shipped
+// one. One finding listing every divergent section (the test contract is
+// one finding per diagnostic class per artifact).
+void verify_artifact_tables(const std::vector<engine::Database::Entry>& entries,
+                            const match::LiteralPrefilter& shipped,
+                            Report& report) {
+  match::LiteralPrefilter rebuilt;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    rebuilt.add(i, entries[i].pattern.required_literal());
+  }
+  rebuilt.build();
+
+  std::vector<std::string> bad;
+  const auto regs_a = shipped.registrations();
+  const auto regs_b = rebuilt.registrations();
+  if (regs_a.size() != regs_b.size()) {
+    bad.push_back("registration count (" + std::to_string(regs_a.size()) +
+                  " shipped vs " + std::to_string(regs_b.size()) +
+                  " recompiled)");
+  } else {
+    for (std::size_t i = 0; i < regs_a.size(); ++i) {
+      if (regs_a[i].literal != regs_b[i].literal ||
+          regs_a[i].id != regs_b[i].id) {
+        bad.push_back("registration " + std::to_string(i) + " (shipped " +
+                      quote(regs_a[i].literal) + " for id " +
+                      std::to_string(regs_a[i].id) + ", recompiled " +
+                      quote(regs_b[i].literal) + " for id " +
+                      std::to_string(regs_b[i].id) + ")");
+        break;
+      }
+    }
+  }
+  const auto ta = shipped.tables();
+  const auto tb = rebuilt.tables();
+  if (ta.alpha_size != tb.alpha_size || *ta.alpha != *tb.alpha) {
+    bad.push_back("reduced alphabet");
+  }
+  if (*ta.next != *tb.next) bad.push_back("goto table");
+  if (*ta.out_link != *tb.out_link) bad.push_back("output links");
+  if (*ta.out_begin != *tb.out_begin || *ta.out_end != *tb.out_end ||
+      *ta.out_ids != *tb.out_ids) {
+    bad.push_back("output sets");
+  }
+  if (*ta.fallback != *tb.fallback) bad.push_back("fallback list");
+  if (ta.n_ids != tb.n_ids || ta.id_limit != tb.id_limit) {
+    bad.push_back("id space");
+  }
+  if (bad.empty()) return;
+
+  std::string sections = bad[0];
+  for (std::size_t i = 1; i < bad.size(); ++i) sections += "; " + bad[i];
+  add_finding(report, Check::kArtifactMismatch, Severity::kError, kNoSig, "",
+              "shipped prefilter disagrees with a recompilation of the "
+              "embedded signature source: " +
+                  sections +
+                  " — compiler-version skew or tampered tables (the bundle "
+                  "checksum cannot catch either)");
+}
+
+}  // namespace
+
+// ------------------------------ entry points ------------------------------
+
+Report analyze_database(const engine::Database& db, const Options& opts) {
+  Report report;
+  const auto entries = db.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    analyze_signature(i, entries[i].name, entries[i].pattern, opts, report);
+  }
+  analyze_cross(refs_of(entries), 0, report);
+  analyze_shards(db.prefilter(), opts, report);
+  return report;
+}
+
+Report analyze_candidate(const engine::Database& db, std::string_view name,
+                         const match::Pattern& candidate,
+                         const Options& opts) {
+  Report report;
+  const auto entries = db.entries();
+  analyze_signature(entries.size(), name, candidate, opts, report);
+  std::vector<SigRef> refs = refs_of(entries);
+  refs.push_back(SigRef{name, &candidate});
+  analyze_cross(refs, entries.size(), report);
+  return report;
+}
+
+Report analyze_artifact(std::istream& is, const Options& opts) {
+  core::BundleArtifact art = core::load_artifact(is, /*validate_patterns=*/false);
+  Report report;
+  std::vector<engine::Database::Entry> entries;
+  entries.reserve(art.signatures.size());
+  for (std::size_t i = 0; i < art.signatures.size(); ++i) {
+    const core::DeployedSignature& sig = art.signatures[i];
+    try {
+      entries.push_back(engine::Database::Entry{
+          sig.name, sig.family, match::Pattern::compile(sig.pattern)});
+    } catch (const match::PatternError& e) {
+      // The embedded source does not compile with this binary's compiler:
+      // the shipped tables cannot be its compilation.
+      add_finding(report, Check::kArtifactMismatch, Severity::kError, i,
+                  sig.name,
+                  std::string("embedded pattern does not compile: ") +
+                      e.what());
+    }
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    analyze_signature(i, entries[i].name, entries[i].pattern, opts, report);
+  }
+  analyze_cross(refs_of(entries), 0, report);
+  analyze_shards(art.prefilter, opts, report);
+  if (opts.verify_artifact && entries.size() == art.signatures.size()) {
+    verify_artifact_tables(entries, art.prefilter, report);
+  }
+  return report;
+}
+
+// ------------------------------ rendering ------------------------------
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [s](const Finding& f) { return f.severity == s; }));
+}
+
+std::size_t Report::count(Check c) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [c](const Finding& f) { return f.check == c; }));
+}
+
+const char* check_name(Check c) {
+  switch (c) {
+    case Check::kBacktrackingBomb:
+      return "backtracking-bomb";
+    case Check::kVmStepBound:
+      return "vm-step-bound";
+    case Check::kUnreachableCode:
+      return "unreachable-code";
+    case Check::kTierDowngrade:
+      return "tier-downgrade";
+    case Check::kWeakLiteral:
+      return "weak-literal";
+    case Check::kCommonLiteralWindow:
+      return "common-literal-window";
+    case Check::kDenseShard:
+      return "dense-shard";
+    case Check::kShadowedSignature:
+      return "shadowed-signature";
+    case Check::kDuplicateSignature:
+      return "duplicate-signature";
+    case Check::kDeadSignature:
+      return "dead-signature";
+    case Check::kArtifactMismatch:
+      return "artifact-mismatch";
+  }
+  return "?";
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void write_text(std::ostream& os, const Report& report) {
+  for (const Finding& f : report.findings) {
+    os << severity_name(f.severity) << ": [" << check_name(f.check) << "]";
+    if (f.sig_index != kNoSig) {
+      os << " #" << f.sig_index;
+      if (!f.signature.empty()) os << " \"" << f.signature << "\"";
+    }
+    os << ": " << f.message << "\n";
+  }
+  if (report.findings.empty()) {
+    os << "clean: no findings\n";
+  } else {
+    os << report.findings.size() << " finding(s): " << report.errors()
+       << " error(s), " << report.warnings() << " warning(s), "
+       << report.count(Severity::kInfo) << " info\n";
+  }
+}
+
+namespace {
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          const char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[u >> 4] << hex[u & 15];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Report& report) {
+  os << "{\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i > 0) os << ",";
+    os << "{\"check\":";
+    json_string(os, check_name(f.check));
+    os << ",\"severity\":";
+    json_string(os, severity_name(f.severity));
+    if (f.sig_index != kNoSig) {
+      os << ",\"sig_index\":" << f.sig_index;
+    }
+    os << ",\"signature\":";
+    json_string(os, f.signature);
+    os << ",\"message\":";
+    json_string(os, f.message);
+    os << "}";
+  }
+  os << "],\"errors\":" << report.errors()
+     << ",\"warnings\":" << report.warnings()
+     << ",\"info\":" << report.count(Severity::kInfo)
+     << ",\"clean\":" << (report.clean() ? "true" : "false") << "}\n";
+}
+
+}  // namespace kizzle::analyze

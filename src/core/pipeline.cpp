@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "analyze/analyze.h"
 #include "core/sigdb.h"
 #include "support/hash.h"
 #include "text/html.h"
@@ -241,20 +242,44 @@ void KizzlePipeline::process_cluster(int day,
     return;
   }
 
+  match::Pattern compiled = match::Pattern::compile(signature.pattern);
+  const std::string name =
+      "KZ." + cr.label + "." + std::to_string(sig_counter_ + 1);
+
+  // Pre-deployment lint gate: the compiled program and its relation to
+  // the already-deployed set are statically analyzed before the signature
+  // ships (analyze/analyze.h). An error-severity finding — catastrophic
+  // backtracking, a signature dead on normalized text, one shadowed by an
+  // existing pure literal — vetoes the release: deploying it would cost
+  // every worker scan time (or detections) until the next release.
+  if (cfg_.lint_deployments) {
+    const analyze::Report lint = analyze::analyze_candidate(db_, name, compiled);
+    if (!lint.clean()) {
+      for (const analyze::Finding& f : lint.findings) {
+        if (f.severity != analyze::Severity::kError) continue;
+        cr.signature_failure = std::string("lint: [") +
+                               analyze::check_name(f.check) + "] " + f.message;
+        break;
+      }
+      return;
+    }
+  }
+
   DeployedSignature dep;
-  dep.name = "KZ." + cr.label + "." + std::to_string(++sig_counter_);
+  dep.name = name;
   dep.family = cr.label;
   dep.issued_day = day;
   dep.pattern = signature.pattern;
   dep.token_length = signature.token_length;
+  ++sig_counter_;
   signatures_.push_back(std::move(dep));
   // Incremental deployment: only the new signature is compiled; existing
   // entries are shared into the extended database and the prefilter is
   // rebuilt (rare — one deployment per packer change, Fig 12), keeping the
   // scan paths allocation- and lock-free.
   const DeployedSignature& issued = signatures_.back();
-  db_ = db_.extend(engine::Database::Entry{
-      issued.name, issued.family, match::Pattern::compile(issued.pattern)});
+  db_ = db_.extend(engine::Database::Entry{issued.name, issued.family,
+                                           std::move(compiled)});
   cr.issued_signature = true;
   cr.signature_name = signatures_.back().name;
 }

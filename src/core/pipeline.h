@@ -72,6 +72,14 @@ struct PipelineConfig {
   // come from here (see unpack_limits_of). Default = unlimited engine
   // knobs, which map to the conservative UnpackLimits defaults.
   engine::ScanLimits scan_limits;
+  // Pre-deployment lint gate (analyze/analyze.h): a freshly compiled
+  // signature is statically analyzed against the deployed database before
+  // it ships; error-severity findings (backtracking bomb, dead or
+  // shadowed signature) veto the deployment and are reported as the
+  // cluster's signature_failure. The compiler should never produce such
+  // signatures — the gate is the machine reviewer that catches the day
+  // it does.
+  bool lint_deployments = true;
 };
 
 struct DeployedSignature {

@@ -856,6 +856,8 @@ const std::string& Pattern::group_name(std::size_t index) const {
   return program_->group_names.at(index);
 }
 
+const detail::Program& Pattern::compiled_program() const { return *program_; }
+
 const std::string& Pattern::required_literal() const {
   return program_->literal;
 }

@@ -187,6 +187,12 @@ class Pattern {
   // pattern has no usable required literal.
   const std::string& required_literal() const;
 
+  // Read-only view of the compiled program (match/program.h) — the seam
+  // the static analyzer (analyze/analyze.h) walks to bound VM behavior.
+  // The program is immutable and shared by all copies of this Pattern;
+  // the reference stays valid as long as any copy lives.
+  const detail::Program& compiled_program() const;
+
   // Escapes all regex metacharacters in `text` so the result matches it
   // literally. This is what the signature compiler uses for fixed tokens.
   static std::string escape(std::string_view text);

@@ -79,14 +79,20 @@ void LiteralPrefilter::finalize_derived() {
   }
   teddy_ =
       lits.empty() ? std::nullopt : teddy::PlanSet::build(std::move(lits));
+  // Dense-shard routing: when the plan set's build-time density estimate
+  // says the first stage would fire on more than a fifth of all scanned
+  // bytes, the SIMD pass is confirm-bound and the automaton walk is
+  // cheaper outright — route scans there. The decision is derived state
+  // like the plan itself, so built and loaded prefilters agree.
+  teddy_dense_ = teddy_.has_value() &&
+                 teddy_->expected_hits_per_byte() > kDenseRouteHitsPerByte;
 }
 
 bool LiteralPrefilter::route_teddy(std::string_view text) const {
   // Hit positions are 32-bit; anything larger (never seen in practice —
   // scanned units are samples and bounded stream windows) walks the
   // automaton instead.
-  return first_stage_ == FirstStage::kAuto && teddy_.has_value() &&
-         text.size() <= 0xFFFFFFFFu;
+  return use_teddy() && text.size() <= 0xFFFFFFFFu;
 }
 
 void LiteralPrefilter::build() {
@@ -223,7 +229,8 @@ void LiteralPrefilter::candidates_into(std::string_view text,
   if (stats != nullptr) {
     stats->fallback = first_stage_ == FirstStage::kAutomaton
                           ? PrefilterFallback::kForcedAutomaton
-                          : PrefilterFallback::kTextTooLarge;
+                      : teddy_dense_ ? PrefilterFallback::kDenseLiterals
+                                     : PrefilterFallback::kTextTooLarge;
   }
 
   std::size_t n_seen = 0;
@@ -258,6 +265,36 @@ void LiteralPrefilter::candidates_into(std::string_view text,
   std::sort(out.begin(), out.end());
   // Merge in the (sorted, deduped) fallback ids.
   merge_fallback(out, fallback_);
+}
+
+// ----------------------------- introspection -----------------------------
+
+LiteralPrefilter::TableView LiteralPrefilter::tables() const {
+  TableView v;
+  v.alpha = &alpha_;
+  v.alpha_size = alpha_size_;
+  v.next = &next_;
+  v.out_link = &out_link_;
+  v.out_begin = &out_begin_;
+  v.out_end = &out_end_;
+  v.out_ids = &out_ids_;
+  v.fallback = &fallback_;
+  v.n_ids = n_ids_;
+  v.id_limit = id_limit_;
+  return v;
+}
+
+std::vector<LiteralPrefilter::Registration> LiteralPrefilter::registrations()
+    const {
+  std::vector<Registration> regs;
+  regs.reserve(keywords_.size() + fallback_raw_.size());
+  for (const Keyword& kw : keywords_) {
+    regs.push_back(Registration{kw.literal, kw.id});
+  }
+  for (const std::size_t id : fallback_raw_) {
+    regs.push_back(Registration{std::string_view(), id});
+  }
+  return regs;
 }
 
 // ----------------------------- persistence -----------------------------
@@ -528,7 +565,7 @@ void StreamingMatcher::feed(std::string_view chunk) {
       n_seen_ == pf_->n_automaton_ids_) {
     return;  // nothing to find (or everything already found)
   }
-  if (pf_->first_stage_ == FirstStage::kAuto && pf_->teddy_.has_value()) {
+  if (pf_->use_teddy()) {
     feed_teddy(chunk);
     return;
   }

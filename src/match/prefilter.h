@@ -82,7 +82,19 @@ enum class PrefilterFallback : std::uint8_t {
   kForcedAutomaton,  // set_first_stage(FirstStage::kAutomaton) override
   kTextTooLarge,     // text exceeds Teddy's 32-bit position space
   kNoLiterals,       // nothing registered under literals (fallback ids only)
+  kDenseLiterals,    // plan-set hit density past kDenseRouteHitsPerByte
 };
+
+// Dense-shard routing threshold: when the compiled plan set's expected
+// first-stage candidates per scanned byte (teddy::PlanSet's build-time
+// estimate under the byte prior) exceeds this, scans route to the
+// automaton walk instead. Past ~1 hit per 5 bytes the SIMD pass is
+// confirm-bound — every "sparse" candidate pays the window lookup the
+// automaton folds into its single table walk — and the short-literal
+// benches show the automaton winning outright
+// (BM_TeddyPrefilterShortLiterals/512). Real signature databases estimate
+// orders of magnitude below this; only short-common-literal sets trip it.
+inline constexpr double kDenseRouteHitsPerByte = 0.20;
 
 // Tier 1–2 observability for one candidates_into() call (engine::Scratch
 // embeds this in its ScanStats; `kizzle scan --stats` and the benches
@@ -149,14 +161,43 @@ class LiteralPrefilter {
   void set_first_stage(FirstStage stage) { first_stage_ = stage; }
   FirstStage first_stage() const { return first_stage_; }
   // True when scans currently route through the Teddy first stage.
-  bool teddy_active() const {
-    return first_stage_ == FirstStage::kAuto && teddy_.has_value();
-  }
+  bool teddy_active() const { return use_teddy(); }
+  // True when the compiled plan set was judged too dense for the SIMD
+  // path (kDenseRouteHitsPerByte) and scans route to the automaton.
+  bool teddy_dense() const { return teddy_dense_; }
   // The compiled sharded Teddy plan set, or nullptr when no literal is
   // registered. Exposed for the differential tests and benchmarks.
   const teddy::PlanSet* teddy_plans() const {
     return teddy_.has_value() ? &*teddy_ : nullptr;
   }
+
+  // ---------------------------- introspection ----------------------------
+  //
+  // Read-only views for the static analyzer (analyze/analyze.h), which
+  // recompiles an artifact's embedded signatures and structurally compares
+  // the result against the shipped tables (diverse-double-compile style:
+  // catches compiler skew and tampering that a checksum re-hash cannot).
+  // Spans alias this prefilter's storage; they are invalidated by add(),
+  // build(), and destruction.
+  struct TableView {
+    const std::array<std::uint16_t, 256>* alpha = nullptr;
+    std::size_t alpha_size = 0;
+    const std::vector<std::int32_t>* next = nullptr;
+    const std::vector<std::int32_t>* out_link = nullptr;
+    const std::vector<std::int32_t>* out_begin = nullptr;
+    const std::vector<std::int32_t>* out_end = nullptr;
+    const std::vector<std::size_t>* out_ids = nullptr;
+    const std::vector<std::size_t>* fallback = nullptr;
+    std::size_t n_ids = 0;
+    std::size_t id_limit = 0;
+  };
+  TableView tables() const;
+  // The raw (literal, id) registrations, in registration order.
+  struct Registration {
+    std::string_view literal;
+    std::size_t id = 0;
+  };
+  std::vector<Registration> registrations() const;
 
   // ---------------------------- persistence ----------------------------
   //
@@ -188,6 +229,13 @@ class LiteralPrefilter {
   // build() AND at load() — the serialized `.kpf` layout is unchanged.
   void finalize_derived();
 
+  // True when scans route through the Teddy first stage at all (the knob
+  // allows it, a plan exists, and it is not dense-routed); route_teddy()
+  // additionally checks the per-text size guard.
+  bool use_teddy() const {
+    return first_stage_ == FirstStage::kAuto && teddy_.has_value() &&
+           !teddy_dense_;
+  }
   // True when this text should go through the Teddy first stage.
   bool route_teddy(std::string_view text) const;
 
@@ -195,6 +243,7 @@ class LiteralPrefilter {
   std::vector<std::size_t> fallback_raw_;  // as registered, may repeat
   std::vector<std::size_t> fallback_;      // derived: sorted, deduplicated
   std::optional<teddy::PlanSet> teddy_;    // derived: SIMD first stage
+  bool teddy_dense_ = false;               // derived: dense-routed plan set
   FirstStage first_stage_ = FirstStage::kAuto;
   std::size_t n_ids_ = 0;
   std::size_t id_limit_ = 0;  // max registered id + 1 (dedup bitmap size)

@@ -11,8 +11,6 @@
 
 namespace kizzle::match::teddy {
 
-namespace {
-
 // Static commonness prior for normalized JS/HTML content, added to the
 // literal-set frequency when scoring candidate windows. The set frequency
 // alone is misleading: a byte can be rare among the registered literals yet
@@ -40,6 +38,19 @@ double byte_prior(unsigned char b) {
       return 1.0;  // genuinely uncommon in normalized script text
   }
 }
+
+double byte_prior_probability(unsigned char b) {
+  static const double total = [] {
+    double t = 0.0;
+    for (int c = 0; c < 256; ++c) {
+      t += byte_prior(static_cast<unsigned char>(c));
+    }
+    return t;
+  }();
+  return byte_prior(b) / total;
+}
+
+namespace {
 
 // ------------------------------- scalar -------------------------------
 //
@@ -603,6 +614,32 @@ std::optional<Plan> Plan::build(std::vector<Literal> literals,
   for (std::size_t b = n_buckets; b <= kFatBuckets; ++b) {
     plan.bucket_begin_[b] = static_cast<std::uint32_t>(plan.entries_.size());
   }
+
+  // Hit-density estimate from the finished masks: a bucket fires at a text
+  // position exactly when every window row admits the byte there, so under
+  // an independent byte_prior model its per-byte rate is the product over
+  // rows of the admitted bytes' probability mass. Reading the masks back
+  // (rather than the literals) prices bucket crowding the way the kernels
+  // see it: literals sharing a bucket OR their rows together.
+  double any_miss = 1.0;
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    const std::size_t half = b < 8 ? 0 : 16;
+    const auto bbit = static_cast<std::uint8_t>(1u << (b & 7));
+    double rate = 1.0;
+    for (std::size_t p = 0; p < plan.k_; ++p) {
+      double mass = 0.0;
+      for (int c = 0; c < 256; ++c) {
+        const auto uc = static_cast<unsigned char>(c);
+        if ((plan.lo_[p][half + (uc & 15)] & plan.hi_[p][half + (uc >> 4)] &
+             bbit) != 0) {
+          mass += byte_prior_probability(uc);
+        }
+      }
+      rate *= mass;
+    }
+    any_miss *= 1.0 - std::min(rate, 1.0);
+  }
+  plan.hit_density_ = 1.0 - any_miss;
   return plan;
 }
 
@@ -739,6 +776,12 @@ std::size_t PlanSet::literal_count() const {
   std::size_t n = 0;
   for (const Plan& shard : shards_) n += shard.literal_count();
   return n;
+}
+
+double PlanSet::expected_hits_per_byte() const {
+  double sum = 0.0;
+  for (const Plan& shard : shards_) sum += shard.hit_density_estimate();
+  return sum;
 }
 
 std::size_t PlanSet::find(std::string_view text, HitBuffer& hits,

@@ -103,6 +103,15 @@ inline constexpr std::uint32_t kNoHint = 0xFFFFFFFFu;
 
 enum class Impl { kScalar, kSsse3, kAvx2 };
 
+// The static byte frequency prior used to pick each literal's rarest
+// window, modeling normalized JS (normalize_raw output: whitespace/quotes
+// stripped, so letters/digits/punctuation dominate). Exposed for the
+// static analyzer (analyze/analyze.h), which scores literal quality and
+// shard hit density against the same prior the planner optimizes for.
+double byte_prior(unsigned char b);
+// The prior as a probability: byte_prior(b) / sum over all 256 bytes.
+double byte_prior_probability(unsigned char b);
+
 // Whether `impl` was compiled in AND the running CPU supports it (kScalar
 // is always available).
 bool impl_available(Impl impl);
@@ -141,6 +150,23 @@ class Plan {
   std::size_t bucket_count() const { return n_buckets_; }
   std::size_t max_literal_len() const { return max_len_; }
   std::size_t literal_count() const { return lits_.size(); }
+
+  // Expected first-stage candidate windows per scanned byte under the
+  // byte_prior distribution, computed at build() time from the finished
+  // shuffle masks: for each bucket, the product over window positions of
+  // the prior probability mass of bytes whose mask includes the bucket;
+  // combined across buckets as 1 - prod(1 - d_b). ~0 for selective shards;
+  // approaching 1 when nearly every position hits (the confirm-bound case
+  // the automaton handles better). Drives dense-shard routing
+  // (prefilter.h) and the analyzer's density diagnostics.
+  double hit_density_estimate() const { return hit_density_; }
+
+  // Introspection for the static analyzer: the shard's literals and each
+  // literal's chosen rare-window offset.
+  const std::vector<Literal>& literals() const { return lits_; }
+  std::uint32_t window_offset(std::size_t lit_index) const {
+    return off_[lit_index];
+  }
 
   // First stage: scans `text` and overwrites `hits` with every candidate
   // position, in ascending order. Thread-safe (the plan is immutable).
@@ -191,6 +217,7 @@ class Plan {
   std::size_t k_ = 3;
   std::size_t n_buckets_ = kBuckets;
   std::size_t max_len_ = 0;
+  double hit_density_ = 0.0;
   std::vector<Literal> lits_;
   std::vector<std::uint32_t> off_;  // per-literal rare-window offset
   std::vector<Entry> entries_;  // grouped by bucket, sorted by window within
@@ -218,6 +245,12 @@ class PlanSet {
   const std::vector<Plan>& shards() const { return shards_; }
   std::size_t max_literal_len() const { return max_len_; }
   std::size_t literal_count() const;
+
+  // Expected candidate windows per scanned byte across all shards (sum of
+  // the per-shard estimates — shards scan the text back-to-back, so their
+  // confirm costs add). The prefilter compares this against its dense-route
+  // threshold to decide SIMD vs automaton.
+  double expected_hits_per_byte() const;
 
   // Scans every shard over `text` (sharing `hits` as the per-shard
   // candidate buffer) and confirms into `seen`/`out` exactly like

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "core/sigdb.h"
 #include "match/prefilter.h"
 #include "support/errors.h"
@@ -234,6 +235,21 @@ TEST(HostileInput, CommittedUnpackCorpusNeverThrows) {
     const std::string bytes = slurp(file);
     EXPECT_NO_THROW((void)unpack::unpack_fixpoint(bytes)) << file;
   }
+}
+
+TEST(HostileInput, CommittedLintCorpusReplays) {
+  const auto files = corpus_files("lint");
+  ASSERT_FALSE(files.empty()) << "seed corpus missing from fuzz/";
+  const auto lint_bytes = [](const std::string& bytes) {
+    std::istringstream is(bytes);
+    (void)analyze::analyze_artifact(is);
+  };
+  for (const auto& file : files) {
+    expect_typed_rejection(slurp(file), lint_bytes, file.c_str(), 0);
+  }
+  // The mutation sweep over a valid bundle: the linter must diagnose or
+  // reject every near-valid mutant, never crash or hang on one.
+  mutation_sweep(valid_artifact_bytes(), lint_bytes);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -608,6 +609,61 @@ TEST(TeddyPrefilter, ConcurrentScansOverOneSharedPlan) {
   }
   for (std::thread& t : workers) t.join();
   for (const int m : mismatches) EXPECT_EQ(m, 0);
+}
+
+// ----------------------------- dense routing -----------------------------
+
+// The bench's 512-short-literal set (BM_TeddyPrefilterShortLiterals/512):
+// 1–2-byte alphanumerics admitting most common bytes into every shuffle
+// mask. The build-time density estimate must route such sets onto the
+// automaton walk — the SIMD stage would fire on nearly every byte and
+// lose to it — while candidate sets stay byte-identical.
+TEST(TeddyPrefilter, DenseShortLiteralSetRoutesToAutomaton) {
+  constexpr std::string_view kAlpha = "abcdefghijklmnopqrstuvwxyz0123456789";
+  const auto short_set = [&](std::size_t count) {
+    std::vector<std::pair<std::size_t, std::string>> regs;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string lit;
+      lit.push_back(kAlpha[i % kAlpha.size()]);
+      if (i % 7 != 0) {
+        lit.push_back(kAlpha[(i / kAlpha.size()) % kAlpha.size()]);
+      }
+      regs.emplace_back(i, lit);
+    }
+    return regs;
+  };
+
+  const Pair dense = build_pair(short_set(512));
+  EXPECT_GT(dense.teddy.teddy_plans()->expected_hits_per_byte(),
+            kDenseRouteHitsPerByte);
+  EXPECT_TRUE(dense.teddy.teddy_dense());
+  EXPECT_FALSE(dense.teddy.teddy_active());
+
+  // The routing decision is observable in scan stats and changes nothing
+  // about the candidate sets.
+  const std::string text = kitgen_corpus().front();
+  std::vector<std::size_t> out;
+  teddy::HitBuffer hits;
+  PrefilterStats stats;
+  dense.teddy.candidates_into(text, out, hits, &stats);
+  EXPECT_EQ(stats.fallback, PrefilterFallback::kDenseLiterals);
+  EXPECT_EQ(stats.first_stage_hits, 0u);
+  expect_equal_candidates(dense, text);
+
+  // A sparse fraction of the same generator stays on the SIMD stage.
+  const Pair sparse = build_pair(short_set(64));
+  EXPECT_LE(sparse.teddy.teddy_plans()->expected_hits_per_byte(),
+            kDenseRouteHitsPerByte);
+  EXPECT_TRUE(sparse.teddy.teddy_active());
+  expect_equal_candidates(sparse, text);
+
+  // Density is derived state: a loaded artifact makes the same call.
+  std::stringstream bytes;
+  dense.teddy.serialize(bytes);
+  const LiteralPrefilter loaded = LiteralPrefilter::load(bytes);
+  EXPECT_TRUE(loaded.teddy_dense());
+  EXPECT_FALSE(loaded.teddy_active());
+  EXPECT_EQ(loaded.candidates(text), dense.automaton.candidates(text));
 }
 
 }  // namespace

@@ -16,6 +16,13 @@
 //                                      vm-steps, wall-ms — each scan then
 //                                      reports its ScanOutcome when it
 //                                      was cut short)
+//   kizzle lint [--json] [--strict] <artifact|sigdb|sigfile>
+//                                      static analysis of a signature set
+//                                      (backtracking bombs, weak/dead/
+//                                      shadowed signatures, dense shards;
+//                                      .kpf artifacts are also verified by
+//                                      recompile-and-compare); exit 1 on
+//                                      error-severity findings
 //   kizzle pack <sigdb> <out.kpf>      compile a deployed signature DB to
 //                                      a binary bundle artifact (prebuilt
 //                                      literal-prefilter automaton)
@@ -32,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "core/deploy.h"
 #include "core/pipeline.h"
 #include "core/sigdb.h"
@@ -227,6 +235,8 @@ const char* first_stage_name(match::PrefilterFallback fallback) {
       return "automaton(large-text)";
     case match::PrefilterFallback::kNoLiterals:
       return "no-literals";
+    case match::PrefilterFallback::kDenseLiterals:
+      return "automaton(dense-literals)";
   }
   return "?";
 }
@@ -480,6 +490,78 @@ int cmd_demo(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ------------------------------- lint -------------------------------
+
+// Static analysis over a signature set (analyze/analyze.h): text findings
+// to stdout (or one JSON object with --json, for CI), exit 1 on
+// error-severity findings — with --strict, on warnings too. Accepts the
+// same inputs as `kizzle scan`'s sigfile argument: a `.kpf` bundle
+// (additionally verified by recompile-and-compare), a signature DB, or a
+// plain regex-per-line file.
+int cmd_lint(const std::vector<std::string>& raw_args) {
+  bool json = false;
+  bool strict = false;
+  std::vector<std::string> args;
+  for (const std::string& a : raw_args) {
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--strict") {
+      strict = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: kizzle lint [--json] [--strict] "
+                 "<artifact|sigdb|sigfile>\n");
+    return 2;
+  }
+  const std::string content = read_file(args[0]);
+  analyze::Report report;
+  if (content.rfind(core::kArtifactMagic, 0) == 0) {
+    std::istringstream is(content);
+    report = analyze::analyze_artifact(is);
+  } else if (content.rfind("# kizzle-signatures", 0) == 0) {
+    std::istringstream is(content);
+    std::vector<engine::Database::Entry> entries;
+    for (const core::DeployedSignature& s :
+         core::load_signatures(is, /*validate_patterns=*/false)) {
+      entries.push_back(engine::Database::Entry{
+          s.name, s.family, match::Pattern::compile(s.pattern)});
+    }
+    report = analyze::analyze_database(
+        engine::Database::from_entries(std::move(entries)));
+  } else {
+    // Plain format: one regex per line, optional "name<TAB>pattern".
+    std::vector<engine::Database::Spec> specs;
+    std::istringstream sigs(content);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(sigs, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      ++n;
+      std::string name = "sig" + std::to_string(n);
+      std::string pattern = line;
+      const auto tab = line.find('\t');
+      if (tab != std::string::npos) {
+        name = line.substr(0, tab);
+        pattern = line.substr(tab + 1);
+      }
+      specs.push_back(engine::Database::Spec{name, "", pattern});
+    }
+    report = analyze::analyze_database(engine::Database::compile(specs));
+  }
+  std::ostringstream os;
+  if (json) {
+    analyze::write_json(os, report);
+  } else {
+    analyze::write_text(os, report);
+  }
+  std::fputs(os.str().c_str(), stdout);
+  return (!report.clean() || (strict && report.warnings() > 0)) ? 1 : 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "kizzle — exploit-kit signature compiler\n"
@@ -490,6 +572,12 @@ int usage() {
                "  kizzle fragments <file>...\n"
                "  kizzle scan [--stats] [--limits k=v,...] "
                "<sigfile> <file>...\n"
+               "  kizzle lint [--json] [--strict] <artifact|sigdb|sigfile>\n"
+               "                            static analysis: backtracking\n"
+               "                            bombs, weak/dead/shadowed\n"
+               "                            signatures, dense prefilter\n"
+               "                            shards, artifact verification\n"
+               "                            (exit 1 on error findings)\n"
                "  kizzle pack <sigdb> <out.kpf>\n"
                "  kizzle gen <kit> [n] [seed]\n"
                "  kizzle demo [days] [out.kpf]\n"
@@ -512,6 +600,7 @@ int main(int argc, char** argv) {
     if (cmd == "compile") return cmd_compile(args, false);
     if (cmd == "fragments") return cmd_compile(args, true);
     if (cmd == "scan") return cmd_scan(args);
+    if (cmd == "lint") return cmd_lint(args);
     if (cmd == "pack") return cmd_pack(args);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "demo") return cmd_demo(args);

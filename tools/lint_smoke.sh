@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `kizzle lint` (registered as ctest cli_lint_smoke):
+#
+#   1. every committed `.kpf` corpus artifact lints clean, in text and in
+#      --json (the exact invocation a CI deployment gate would run);
+#   2. a fresh kitgen pipeline compile lints clean — both the text
+#      signature database and the exported bundle artifact;
+#   3. a handcrafted pathological signature set exits nonzero and names
+#      the expected diagnostic classes.
+#
+# Usage: lint_smoke.sh <path-to-kizzle_cli> <repo-source-dir>
+set -euo pipefail
+
+cli="$1"
+src="$2"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for f in "$src"/fuzz/corpus/load_artifact/*.kpf; do
+  "$cli" lint "$f" > /dev/null
+  "$cli" lint --json "$f" | grep -q '"clean":true'
+done
+
+"$cli" demo 2 "$tmp/demo.kpf" > "$tmp/demo.sigs" 2> /dev/null
+"$cli" lint "$tmp/demo.sigs" > /dev/null
+"$cli" lint "$tmp/demo.kpf" > /dev/null
+
+printf 'bomb\t([a-z]+)+qzvwxk\nshadow.early\tmnopqr\nshadow.late\tzzmnopqrzz\ndead\tuvw"xyz\n' \
+  > "$tmp/bad.sigs"
+if "$cli" lint "$tmp/bad.sigs" > "$tmp/bad.out"; then
+  echo "lint accepted a pathological signature set:" >&2
+  cat "$tmp/bad.out" >&2
+  exit 1
+fi
+grep -q 'backtracking-bomb' "$tmp/bad.out"
+grep -q 'shadowed-signature' "$tmp/bad.out"
+grep -q 'dead-signature' "$tmp/bad.out"
+
+echo "lint smoke: ok"
