@@ -1,0 +1,224 @@
+// Serve-path benchmark and soak harness: drives serve::ScanServer with the
+// deterministic load generator (serve/loadgen.h) and emits
+// google-benchmark-compatible JSON (BENCH_serve.json) so
+// bench/run_bench.sh --compare gates serving latency alongside the scan
+// series.
+//
+// Three phases, each a JSON row (real_time = p99 submit→completion latency
+// in nanoseconds, items_per_second = completed requests per second, p50/
+// p999 as extra fields):
+//
+//   serve_mixed/clients:N   mixed one-shot/chunked-stream traffic from N
+//                           closed-loop clients (two concurrency levels,
+//                           so the tail's growth under contention is part
+//                           of the recorded series);
+//   serve_soak_hotswap      a longer mixed run with a lint-gated artifact
+//                           hot swap fired mid-traffic plus one deploy the
+//                           lint gate must refuse — the run FAILS (exit 1)
+//                           if any accepted request fails, the epoch does
+//                           not advance, or the bomb artifact is accepted;
+//   serve_overload_shed     deliberate overload (tiny queue, one worker,
+//                           many clients): asserts the excess is shed as
+//                           typed kOverloaded rejections, never errors or
+//                           lost completions.
+//
+// Usage: bench_serve [--quick] [out.json]   (--quick shortens every phase
+// for CI smoke; the checked-in baseline comes from a full run)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace kizzle;
+
+struct Row {
+  std::string name;
+  double real_time_ns = 0.0;   // p99 latency
+  double items_per_second = 0.0;
+  double p50_ns = 0.0;
+  double p999_ns = 0.0;
+  double completed = 0.0;
+  double shed = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"context\": {\n"
+                  "    \"executable\": \"bench_serve\",\n"
+                  "    \"library_build_type\": \"release\"\n  },\n"
+                  "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"run_name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": 1,\n"
+                 "      \"real_time\": %.1f,\n"
+                 "      \"cpu_time\": %.1f,\n"
+                 "      \"time_unit\": \"ns\",\n"
+                 "      \"items_per_second\": %.1f,\n"
+                 "      \"p50_ns\": %.1f,\n"
+                 "      \"p999_ns\": %.1f,\n"
+                 "      \"completed\": %.0f,\n"
+                 "      \"shed\": %.0f\n"
+                 "    }%s\n",
+                 r.name.c_str(), r.name.c_str(), r.real_time_ns,
+                 r.real_time_ns, r.items_per_second, r.p50_ns, r.p999_ns,
+                 r.completed, r.shed, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+Row report_row(const std::string& name, const serve::LoadReport& rep) {
+  Row r;
+  r.name = name;
+  r.real_time_ns = static_cast<double>(rep.latency.percentile(0.99));
+  r.items_per_second = rep.rps();
+  r.p50_ns = static_cast<double>(rep.latency.percentile(0.50));
+  r.p999_ns = static_cast<double>(rep.latency.percentile(0.999));
+  r.completed = static_cast<double>(rep.completed);
+  r.shed = static_cast<double>(rep.shed);
+  return r;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "bench_serve: FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const std::chrono::milliseconds mixed_ms =
+      std::chrono::milliseconds(quick ? 300 : 2000);
+  const std::chrono::milliseconds soak_ms =
+      std::chrono::milliseconds(quick ? 600 : 5000);
+
+  std::fprintf(stderr, "[bench_serve] building fixture...\n");
+  const serve::ServeFixture fx = serve::make_fixture();
+  std::fprintf(stderr, "[bench_serve] %zu docs, %zu signatures\n",
+               fx.docs.size(), fx.signatures.size());
+  std::vector<Row> rows;
+
+  // ----------------------- mixed load, two levels -----------------------
+  for (const std::size_t clients : {std::size_t{2}, std::size_t{8}}) {
+    serve::ServerConfig scfg;
+    scfg.workers = 2;
+    serve::ScanServer server(fx.database, scfg);
+    serve::LoadConfig lcfg;
+    lcfg.clients = clients;
+    lcfg.duration = mixed_ms;
+    lcfg.stream_fraction = 0.3;
+    lcfg.seed = 7 + clients;
+    const serve::LoadReport rep = serve::run_load(server, fx.docs, lcfg);
+    server.stop();
+    if (rep.failed != 0) return fail("mixed load saw failed requests");
+    if (rep.completed == 0) return fail("mixed load completed nothing");
+    if (rep.one_shot == 0 || rep.stream == 0) {
+      return fail("mixed load was not mixed (missing a traffic shape)");
+    }
+    rows.push_back(report_row(
+        "serve_mixed/clients:" + std::to_string(clients), rep));
+    std::fprintf(stderr,
+                 "[bench_serve] mixed clients=%zu rps=%.0f p50=%.1fus "
+                 "p99=%.1fus p999=%.1fus\n",
+                 clients, rep.rps(),
+                 static_cast<double>(rep.latency.percentile(0.50)) / 1e3,
+                 static_cast<double>(rep.latency.percentile(0.99)) / 1e3,
+                 static_cast<double>(rep.latency.percentile(0.999)) / 1e3);
+  }
+
+  // -------------------------- soak + hot swap ---------------------------
+  {
+    serve::ServerConfig scfg;
+    scfg.workers = 2;
+    serve::ScanServer server(fx.database, scfg);
+    const std::uint64_t epoch0 = server.epoch();
+    bool swap_ok = false;
+    bool bomb_rejected = false;
+    serve::LoadConfig lcfg;
+    lcfg.clients = 4;
+    lcfg.duration = soak_ms;
+    lcfg.stream_fraction = 0.3;
+    lcfg.seed = 99;
+    lcfg.mid_run = [&] {
+      // Mid-traffic release: the canary artifact must flip the epoch, the
+      // backtracking-bomb artifact must be refused by the lint gate.
+      std::istringstream good(fx.swap_artifact);
+      swap_ok = server.deploy_artifact(good).accepted;
+      std::istringstream bomb(fx.bomb_artifact);
+      bomb_rejected = !server.deploy_artifact(bomb).accepted;
+    };
+    const serve::LoadReport rep = serve::run_load(server, fx.docs, lcfg);
+    const serve::ServerStats stats = server.stats();
+    server.stop();
+    if (rep.failed != 0) return fail("soak saw failed requests across swap");
+    if (rep.completed == 0) return fail("soak completed nothing");
+    if (!swap_ok || server.epoch() != epoch0 + 1) {
+      return fail("hot swap did not advance the epoch");
+    }
+    if (!bomb_rejected || stats.swaps_rejected == 0) {
+      return fail("lint gate accepted the backtracking bomb");
+    }
+    rows.push_back(report_row("serve_soak_hotswap", rep));
+    std::fprintf(stderr,
+                 "[bench_serve] soak rps=%.0f completed=%llu swaps=%llu "
+                 "rejected=%llu failed=%llu\n",
+                 rep.rps(), static_cast<unsigned long long>(rep.completed),
+                 static_cast<unsigned long long>(stats.epoch_swaps),
+                 static_cast<unsigned long long>(stats.swaps_rejected),
+                 static_cast<unsigned long long>(rep.failed));
+  }
+
+  // -------------------------- overload shedding -------------------------
+  {
+    serve::ServerConfig scfg;
+    scfg.workers = 1;
+    scfg.queue_capacity = 2;
+    scfg.batch_max = 1;
+    serve::ScanServer server(fx.database, scfg);
+    serve::LoadConfig lcfg;
+    lcfg.clients = 8;
+    lcfg.duration = std::chrono::milliseconds(quick ? 200 : 1000);
+    lcfg.stream_fraction = 0.0;  // one-shots hit the queue bound directly
+    lcfg.seed = 13;
+    const serve::LoadReport rep = serve::run_load(server, fx.docs, lcfg);
+    server.stop();
+    if (rep.failed != 0) return fail("overload produced failures, not sheds");
+    if (rep.shed == 0) {
+      return fail("overload did not shed (expected typed kOverloaded)");
+    }
+    rows.push_back(report_row("serve_overload_shed", rep));
+    std::fprintf(stderr,
+                 "[bench_serve] overload shed=%llu completed=%llu\n",
+                 static_cast<unsigned long long>(rep.shed),
+                 static_cast<unsigned long long>(rep.completed));
+  }
+
+  write_json(out_path, rows);
+  std::fprintf(stderr, "[bench_serve] wrote %s\n", out_path.c_str());
+  return 0;
+}

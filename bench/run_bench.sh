@@ -20,9 +20,14 @@
 #                       BM_EngineScanManySignaturesAutomaton), plus
 #                       BM_ScanManySignatures for the whole-database
 #                       trajectory
+#   BENCH_serve.json    the async scan service under mixed one-shot/stream
+#                       load (bench_serve: serve_mixed/clients:{2,8} with
+#                       p50/p99/p999 latency and requests-per-second, a
+#                       soak with a mid-run lint-gated hot swap, and a
+#                       typed-shed overload phase)
 #
 # Usage: bench/run_bench.sh [build-dir] [cluster-out.json] [stream-out.json]
-#                           [scan-out.json]
+#                           [scan-out.json] [serve-out.json]
 #        bench/run_bench.sh --compare <baseline.json> [candidate.json]
 #                           [tolerance]
 #
@@ -32,10 +37,13 @@
 # BM_TeddyPrefilter bytes_per_second against the automaton baseline.
 #
 # --compare checks the scan series for regressions against a baseline JSON
-# (e.g. the checked-in BENCH_scan.json): per shared benchmark row, the
-# candidate's real_time may exceed the baseline's by at most `tolerance`
-# (default 0.30 = +30%, benchmarks are noisy). When candidate.json is
-# omitted, the scan series is run fresh from <build-dir or ./build>.
+# (e.g. the checked-in BENCH_scan.json or BENCH_serve.json): per shared
+# benchmark row, the candidate's real_time may exceed the baseline's by at
+# most `tolerance` (default 0.30 = +30%, benchmarks are noisy). When
+# candidate.json is omitted, the scan series is run fresh from <build-dir
+# or ./build> — and if bench_serve is built there, its quick-mode rows
+# (p99 latency as real_time) are merged into the candidate so a serve
+# baseline gates serving latency alongside scan throughput.
 # Exits 1 on any regression, 2 when the files share no rows.
 set -euo pipefail
 
@@ -54,6 +62,25 @@ if [[ "${1:-}" == "--compare" ]]; then
     CANDIDATE="$(mktemp "${TMPDIR:-/tmp}/bench_scan.XXXXXX.json")"
     "$BUILD/bench_micro" --benchmark_filter="$SCAN_FILTER" \
       --benchmark_out="$CANDIDATE" --benchmark_out_format=json
+    if [[ -x "$BUILD/bench_serve" ]]; then
+      SERVE_CANDIDATE="$(mktemp "${TMPDIR:-/tmp}/bench_serve.XXXXXX.json")"
+      "$BUILD/bench_serve" --quick "$SERVE_CANDIDATE"
+      python3 - "$CANDIDATE" "$SERVE_CANDIDATE" <<'EOF'
+import json
+import sys
+
+# Merge the serve rows into the scan candidate: one candidate file, one
+# compare pass, rows matched by name as usual.
+with open(sys.argv[1]) as f:
+    scan = json.load(f)
+with open(sys.argv[2]) as f:
+    serve = json.load(f)
+scan.setdefault("benchmarks", []).extend(serve.get("benchmarks", []))
+with open(sys.argv[1], "w") as f:
+    json.dump(scan, f, indent=1)
+EOF
+      rm -f "$SERVE_CANDIDATE"
+    fi
   fi
   python3 - "$BASELINE" "$CANDIDATE" "$TOL" <<'EOF'
 import json
@@ -99,6 +126,7 @@ BUILD="${1:-build}"
 OUT="${2:-BENCH_cluster.json}"
 STREAM_OUT="${3:-BENCH_stream.json}"
 SCAN_OUT="${4:-BENCH_scan.json}"
+SERVE_OUT="${5:-BENCH_serve.json}"
 
 if [[ ! -x "$BUILD/bench_micro" ]]; then
   echo "error: $BUILD/bench_micro not found or not executable." >&2
@@ -123,3 +151,10 @@ echo "wrote $STREAM_OUT"
   --benchmark_out="$SCAN_OUT" --benchmark_out_format=json
 
 echo "wrote $SCAN_OUT"
+
+if [[ -x "$BUILD/bench_serve" ]]; then
+  "$BUILD/bench_serve" "$SERVE_OUT"
+  echo "wrote $SERVE_OUT"
+else
+  echo "note: $BUILD/bench_serve not built, skipping $SERVE_OUT" >&2
+fi

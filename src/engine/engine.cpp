@@ -310,12 +310,13 @@ ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
 }
 
 std::optional<MatchEvent> first_match(const Database& db, std::string_view text,
-                                      Scratch& scratch) {
+                                      Scratch& scratch, ScanOutcome* outcome) {
   std::optional<MatchEvent> first;
-  scan(db, text, scratch, [&first](const MatchEvent& event) {
+  ScanOutcome out = scan(db, text, scratch, [&first](const MatchEvent& event) {
     first = event;
     return ScanDecision::Stop;
   });
+  if (outcome != nullptr) *outcome = out;
   return first;
 }
 
@@ -392,12 +393,13 @@ ScanOutcome Stream::finish(MatchFn on_match) const {
   return out;
 }
 
-std::optional<MatchEvent> Stream::finish_first() const {
+std::optional<MatchEvent> Stream::finish_first(ScanOutcome* outcome) const {
   std::optional<MatchEvent> first;
-  finish([&first](const MatchEvent& event) {
+  ScanOutcome out = finish([&first](const MatchEvent& event) {
     first = event;
     return ScanDecision::Stop;
   });
+  if (outcome != nullptr) *outcome = out;
   return first;
 }
 

@@ -348,9 +348,14 @@ ScanOutcome confirm(const Database& db, std::span<const std::size_t> candidates,
 
 // Convenience for the ubiquitous first-match shape: the lowest-index
 // matching signature, or nullopt. (A scan that only needs a yes/no or a
-// single hit should not have to write a callback.)
+// single hit should not have to write a callback.) When `outcome` is
+// non-null it receives the scan's governance verdict — a first-match
+// consumer under ScanLimits (the serve workers) needs the match AND the
+// status in one call, since "no match" on a truncated or expired scan is
+// not the same answer as "no match" on a complete one.
 std::optional<MatchEvent> first_match(const Database& db, std::string_view text,
-                                      Scratch& scratch);
+                                      Scratch& scratch,
+                                      ScanOutcome* outcome = nullptr);
 
 // ------------------------------- streams -------------------------------
 
@@ -367,7 +372,9 @@ class Stream {
   // Confirms the candidates seen so far against the accumulated text.
   // Identical to scan(db, <all chunks concatenated>, scratch, on_match).
   ScanOutcome finish(MatchFn on_match) const;
-  std::optional<MatchEvent> finish_first() const;
+  // First-match snapshot; `outcome` (optional) receives the governance
+  // verdict, mirroring first_match().
+  std::optional<MatchEvent> finish_first(ScanOutcome* outcome = nullptr) const;
 
   // The accumulated text (== scratch.stream_text()).
   const std::string& text() const { return scratch_->normalized_; }

@@ -79,13 +79,39 @@ void LiteralPrefilter::finalize_derived() {
   }
   teddy_ =
       lits.empty() ? std::nullopt : teddy::PlanSet::build(std::move(lits));
-  // Dense-shard routing: when the plan set's build-time density estimate
-  // says the first stage would fire on more than a fifth of all scanned
-  // bytes, the SIMD pass is confirm-bound and the automaton walk is
-  // cheaper outright — route scans there. The decision is derived state
-  // like the plan itself, so built and loaded prefilters agree.
-  teddy_dense_ = teddy_.has_value() &&
-                 teddy_->expected_hits_per_byte() > kDenseRouteHitsPerByte;
+
+  // Dense-shard routing, decided PER SHARD: a shard whose build-time
+  // density estimate says its first stage would fire on more than a fifth
+  // of all scanned bytes is confirm-bound, so its literals leave the SIMD
+  // pass and walk a dedicated sub-automaton instead; the remaining
+  // (selective) shards keep the Teddy path. All-dense sets route to the
+  // full main automaton exactly as before — the sub-automaton would just
+  // duplicate it. All of it is derived state like the plan itself, so
+  // built and loaded prefilters route identically.
+  dense_shard_.clear();
+  n_dense_shards_ = 0;
+  dense_ = AcTables{};
+  teddy_dense_ = false;
+  if (!teddy_.has_value()) return;
+  dense_shard_.assign(teddy_->shard_count(), 0);
+  for (std::size_t i = 0; i < teddy_->shard_count(); ++i) {
+    if (teddy_->shards()[i].hit_density_estimate() > kDenseRouteHitsPerByte) {
+      dense_shard_[i] = 1;
+      ++n_dense_shards_;
+    }
+  }
+  teddy_dense_ = n_dense_shards_ == teddy_->shard_count();
+  if (n_dense_shards_ == 0 || teddy_dense_) return;
+  // Hybrid route: compile the dense shards' literals (in shard order —
+  // deterministic, like every derived table) into the sub-automaton.
+  std::vector<Keyword> dense_kws;
+  for (std::size_t i = 0; i < teddy_->shard_count(); ++i) {
+    if (dense_shard_[i] == 0) continue;
+    for (const teddy::Plan::Literal& lit : teddy_->shards()[i].literals()) {
+      dense_kws.push_back(Keyword{lit.text, lit.id});
+    }
+  }
+  dense_ = compile_automaton(dense_kws);
 }
 
 bool LiteralPrefilter::route_teddy(std::string_view text) const {
@@ -95,36 +121,39 @@ bool LiteralPrefilter::route_teddy(std::string_view text) const {
   return use_teddy() && text.size() <= 0xFFFFFFFFu;
 }
 
-void LiteralPrefilter::build() {
+LiteralPrefilter::AcTables LiteralPrefilter::compile_automaton(
+    const std::vector<Keyword>& keywords) {
+  AcTables t;
   // Reduced alphabet: one column per byte value that occurs in a literal.
-  alpha_.fill(kNoCode);
-  alpha_size_ = 0;
-  for (const Keyword& kw : keywords_) {
+  t.alpha.fill(kNoCode);
+  for (const Keyword& kw : keywords) {
     for (char c : kw.literal) {
       const auto b = static_cast<unsigned char>(c);
-      if (alpha_[b] == kNoCode) {
-        alpha_[b] = static_cast<std::uint16_t>(alpha_size_++);
+      if (t.alpha[b] == kNoCode) {
+        t.alpha[b] = static_cast<std::uint16_t>(t.alpha_size++);
       }
     }
   }
 
   // Trie of keywords over the reduced alphabet.
-  next_.assign(alpha_size_, kNone);  // state 0 = root
+  t.next.assign(t.alpha_size, kNone);  // state 0 = root
   std::vector<std::vector<std::size_t>> outputs(1);
-  auto n_states = [&] { return next_.size() / std::max<std::size_t>(alpha_size_, 1); };
-  for (const Keyword& kw : keywords_) {
+  auto n_states = [&] {
+    return t.next.size() / std::max<std::size_t>(t.alpha_size, 1);
+  };
+  for (const Keyword& kw : keywords) {
     std::int32_t state = 0;
     for (char c : kw.literal) {
-      const std::uint16_t code = alpha_[static_cast<unsigned char>(c)];
+      const std::uint16_t code = t.alpha[static_cast<unsigned char>(c)];
       const std::size_t slot =
-          static_cast<std::size_t>(state) * alpha_size_ + code;
-      if (next_[slot] == kNone) {
+          static_cast<std::size_t>(state) * t.alpha_size + code;
+      if (t.next[slot] == kNone) {
         const auto fresh = static_cast<std::int32_t>(n_states());
-        next_.resize(next_.size() + alpha_size_, kNone);  // may reallocate
-        next_[slot] = fresh;
+        t.next.resize(t.next.size() + t.alpha_size, kNone);  // may reallocate
+        t.next[slot] = fresh;
         outputs.emplace_back();
       }
-      state = next_[slot];
+      state = t.next[slot];
     }
     outputs[static_cast<std::size_t>(state)].push_back(kw.id);
   }
@@ -133,10 +162,10 @@ void LiteralPrefilter::build() {
   // alphabet, and resolve each state's nearest output-bearing suffix.
   const std::size_t total = n_states();
   std::vector<std::int32_t> fail(total, 0);
-  out_link_.assign(total, kNone);
+  t.out_link.assign(total, kNone);
   std::queue<std::int32_t> bfs;
-  for (std::size_t c = 0; c < alpha_size_; ++c) {
-    std::int32_t& slot = next_[c];
+  for (std::size_t c = 0; c < t.alpha_size; ++c) {
+    std::int32_t& slot = t.next[c];
     if (slot == kNone) {
       slot = 0;
     } else {
@@ -147,13 +176,15 @@ void LiteralPrefilter::build() {
     const std::int32_t s = bfs.front();
     bfs.pop();
     const std::int32_t f = fail[static_cast<std::size_t>(s)];
-    out_link_[static_cast<std::size_t>(s)] =
+    t.out_link[static_cast<std::size_t>(s)] =
         outputs[static_cast<std::size_t>(f)].empty()
-            ? out_link_[static_cast<std::size_t>(f)]
+            ? t.out_link[static_cast<std::size_t>(f)]
             : f;
-    for (std::size_t c = 0; c < alpha_size_; ++c) {
-      std::int32_t& slot = next_[static_cast<std::size_t>(s) * alpha_size_ + c];
-      const std::int32_t via_fail = next_[static_cast<std::size_t>(f) * alpha_size_ + c];
+    for (std::size_t c = 0; c < t.alpha_size; ++c) {
+      std::int32_t& slot =
+          t.next[static_cast<std::size_t>(s) * t.alpha_size + c];
+      const std::int32_t via_fail =
+          t.next[static_cast<std::size_t>(f) * t.alpha_size + c];
       if (slot == kNone) {
         slot = via_fail;
       } else {
@@ -164,14 +195,62 @@ void LiteralPrefilter::build() {
   }
 
   // Flatten per-state output lists.
-  out_begin_.assign(total, 0);
-  out_end_.assign(total, 0);
-  out_ids_.clear();
+  t.out_begin.assign(total, 0);
+  t.out_end.assign(total, 0);
   for (std::size_t s = 0; s < total; ++s) {
-    out_begin_[s] = static_cast<std::int32_t>(out_ids_.size());
-    out_ids_.insert(out_ids_.end(), outputs[s].begin(), outputs[s].end());
-    out_end_[s] = static_cast<std::int32_t>(out_ids_.size());
+    t.out_begin[s] = static_cast<std::int32_t>(t.out_ids.size());
+    t.out_ids.insert(t.out_ids.end(), outputs[s].begin(), outputs[s].end());
+    t.out_end[s] = static_cast<std::int32_t>(t.out_ids.size());
   }
+  return t;
+}
+
+std::size_t LiteralPrefilter::ac_walk(const AcTables& t, std::string_view text,
+                                      std::int32_t& state,
+                                      std::vector<std::uint8_t>& seen,
+                                      std::vector<std::size_t>& out,
+                                      std::size_t n_seen,
+                                      std::size_t stop_at) {
+  if (t.alpha_size == 0 || n_seen >= stop_at) return n_seen;
+  std::int32_t s_cur = state;
+  for (const char ch : text) {
+    const std::uint16_t code = t.alpha[static_cast<unsigned char>(ch)];
+    if (code == kNoCode) {
+      s_cur = 0;
+      continue;
+    }
+    s_cur = t.next[static_cast<std::size_t>(s_cur) * t.alpha_size + code];
+    for (std::int32_t s = s_cur; s != kNone;
+         s = t.out_link[static_cast<std::size_t>(s)]) {
+      if (t.out_begin[static_cast<std::size_t>(s)] ==
+          t.out_end[static_cast<std::size_t>(s)]) {
+        continue;  // root (or a pure-prefix state reached directly)
+      }
+      for (std::int32_t i = t.out_begin[static_cast<std::size_t>(s)];
+           i < t.out_end[static_cast<std::size_t>(s)]; ++i) {
+        const std::size_t id = t.out_ids[static_cast<std::size_t>(i)];
+        if (!seen[id]) {
+          seen[id] = 1;
+          out.push_back(id);
+          ++n_seen;
+        }
+      }
+    }
+    if (n_seen >= stop_at) break;
+  }
+  state = s_cur;
+  return n_seen;
+}
+
+void LiteralPrefilter::build() {
+  AcTables t = compile_automaton(keywords_);
+  alpha_ = t.alpha;
+  alpha_size_ = t.alpha_size;
+  next_ = std::move(t.next);
+  out_link_ = std::move(t.out_link);
+  out_begin_ = std::move(t.out_begin);
+  out_end_ = std::move(t.out_end);
+  out_ids_ = std::move(t.out_ids);
 
   finalize_derived();
   built_ = true;
@@ -216,10 +295,23 @@ void LiteralPrefilter::candidates_into(std::string_view text,
 
   if (route_teddy(text)) {
     teddy::ScanCounters counters;
-    teddy_->find(text, hits, seen, out, 0, n_automaton_ids_, &counters, hints);
+    const bool hybrid = n_dense_shards_ > 0;  // some (not all) shards dense
+    std::size_t n_seen =
+        teddy_->find(text, hits, seen, out, 0, n_automaton_ids_, &counters,
+                     hints, hybrid ? &dense_shard_ : nullptr);
+    if (hybrid) {
+      // Dense shards skipped above: their literals walk the sub-automaton.
+      // Ids found here leave their hints at kNoHint — the confirm tier
+      // falls back to a full-text anchor search, same as the automaton
+      // route always has.
+      std::int32_t state = 0;
+      n_seen = ac_walk(dense_, text, state, seen, out, n_seen,
+                       n_automaton_ids_);
+    }
     if (stats != nullptr) {
       stats->first_stage_hits = counters.first_stage_hits;
       stats->shards_scanned = counters.shards_scanned;
+      stats->dense_shards = n_dense_shards_;
       stats->literal_survivors = out.size();
     }
     std::sort(out.begin(), out.end());
@@ -566,6 +658,14 @@ void StreamingMatcher::feed(std::string_view chunk) {
     return;  // nothing to find (or everything already found)
   }
   if (pf_->use_teddy()) {
+    if (pf_->n_dense_shards_ > 0 && !pf_->teddy_dense_) {
+      // Hybrid route: dense-shard literals never enter the Teddy window.
+      // The sub-automaton is resumable (dense_state_ carries across
+      // chunks), so it scans each chunk exactly once with no carry tail.
+      n_seen_ = LiteralPrefilter::ac_walk(pf_->dense_, chunk, dense_state_,
+                                          seen_, found_, n_seen_,
+                                          pf_->n_automaton_ids_);
+    }
     feed_teddy(chunk);
     return;
   }
@@ -636,7 +736,10 @@ void StreamingMatcher::scan_window() {
   // already holds); occurrences wholly inside the tail were confirmed by
   // the previous flush.
   n_seen_ = plans.find(window_, hits_, seen_, found_, n_seen_,
-                       pf_->n_automaton_ids_);
+                       pf_->n_automaton_ids_, nullptr, nullptr,
+                       pf_->n_dense_shards_ > 0 && !pf_->teddy_dense_
+                           ? &pf_->dense_shard_
+                           : nullptr);
   const std::size_t keep = plans.max_literal_len() - 1;
   if (window_.size() > keep) window_.erase(0, window_.size() - keep);
 }
@@ -660,6 +763,7 @@ std::vector<std::size_t> StreamingMatcher::finish() {
 
 void StreamingMatcher::reset() {
   state_ = 0;
+  dense_state_ = 0;
   bytes_fed_ = 0;
   n_seen_ = 0;
   std::fill(seen_.begin(), seen_.end(), 0);
@@ -674,6 +778,7 @@ void StreamingMatcher::rebind(const LiteralPrefilter& prefilter) {
   }
   pf_ = &prefilter;
   state_ = 0;
+  dense_state_ = 0;
   bytes_fed_ = 0;
   n_seen_ = 0;
   // assign() both sizes the bitmap for the new automaton and zeroes it; a

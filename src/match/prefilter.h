@@ -78,21 +78,26 @@ enum class FirstStage { kAuto, kAutomaton };
 
 // Why a scan did not take the Teddy first stage (kNone when it did).
 enum class PrefilterFallback : std::uint8_t {
-  kNone,             // Teddy first stage ran
+  kNone,             // Teddy first stage ran (possibly minus dense shards)
   kForcedAutomaton,  // set_first_stage(FirstStage::kAutomaton) override
   kTextTooLarge,     // text exceeds Teddy's 32-bit position space
   kNoLiterals,       // nothing registered under literals (fallback ids only)
-  kDenseLiterals,    // plan-set hit density past kDenseRouteHitsPerByte
+  kDenseLiterals,    // EVERY plan-set shard past kDenseRouteHitsPerByte
 };
 
-// Dense-shard routing threshold: when the compiled plan set's expected
-// first-stage candidates per scanned byte (teddy::PlanSet's build-time
-// estimate under the byte prior) exceeds this, scans route to the
-// automaton walk instead. Past ~1 hit per 5 bytes the SIMD pass is
-// confirm-bound — every "sparse" candidate pays the window lookup the
-// automaton folds into its single table walk — and the short-literal
-// benches show the automaton winning outright
-// (BM_TeddyPrefilterShortLiterals/512). Real signature databases estimate
+// Dense-shard routing threshold, applied PER SHARD: a shard whose expected
+// first-stage candidates per scanned byte (teddy::Plan's build-time
+// estimate under the byte prior) exceeds this is excised from the SIMD
+// pass and its literals walk a dedicated sub-automaton instead. Past ~1
+// hit per 5 bytes the SIMD pass is confirm-bound — every "sparse"
+// candidate pays the window lookup the automaton folds into its single
+// table walk — and the short-literal benches show the automaton winning
+// outright (BM_TeddyPrefilterShortLiterals/512). Routing per shard keeps
+// the selective long-literal shards on the SIMD path even when one
+// crowded short-literal shard is dense: one bad length class no longer
+// drags the whole database to the byte-at-a-time walk (only when every
+// shard is dense does the scan take the full-automaton route,
+// PrefilterFallback::kDenseLiterals). Real signature databases estimate
 // orders of magnitude below this; only short-common-literal sets trip it.
 inline constexpr double kDenseRouteHitsPerByte = 0.20;
 
@@ -103,6 +108,7 @@ struct PrefilterStats {
   std::size_t first_stage_hits = 0;    // sparse candidate windows (tier 1)
   std::size_t shards_scanned = 0;      // PlanSet shards run over the text
   std::size_t literal_survivors = 0;   // distinct ids confirmed (tier 2)
+  std::size_t dense_shards = 0;        // shards routed to the dense walk
   PrefilterFallback fallback = PrefilterFallback::kNone;
 };
 
@@ -162,9 +168,16 @@ class LiteralPrefilter {
   FirstStage first_stage() const { return first_stage_; }
   // True when scans currently route through the Teddy first stage.
   bool teddy_active() const { return use_teddy(); }
-  // True when the compiled plan set was judged too dense for the SIMD
-  // path (kDenseRouteHitsPerByte) and scans route to the automaton.
+  // True when EVERY compiled shard was judged too dense for the SIMD path
+  // (kDenseRouteHitsPerByte) and scans route to the full automaton walk.
   bool teddy_dense() const { return teddy_dense_; }
+  // Shards excised from the SIMD pass and routed to the dense-literal
+  // sub-automaton (0 on all-sparse sets; == shard_count when teddy_dense).
+  std::size_t dense_shard_count() const { return n_dense_shards_; }
+  // Per-shard dense-route flags, indexed like teddy_plans()->shards().
+  const std::vector<std::uint8_t>& dense_shard_flags() const {
+    return dense_shard_;
+  }
   // The compiled sharded Teddy plan set, or nullptr when no literal is
   // registered. Exposed for the differential tests and benchmarks.
   const teddy::PlanSet* teddy_plans() const {
@@ -223,15 +236,46 @@ class LiteralPrefilter {
     std::size_t id;
   };
 
+  // One compiled Aho–Corasick automaton: dense goto table over a reduced
+  // alphabet, fail links folded in, flattened per-state output lists. The
+  // main (serialized) tables and the derived dense-shard sub-automaton
+  // share this shape, one compiler, and one walk.
+  struct AcTables {
+    std::array<std::uint16_t, 256> alpha{};
+    std::size_t alpha_size = 0;
+    std::vector<std::int32_t> next;       // n_states × alpha_size
+    std::vector<std::int32_t> out_link;   // nearest suffix state with output
+    std::vector<std::int32_t> out_begin;  // per-state slice into out_ids
+    std::vector<std::int32_t> out_end;
+    std::vector<std::size_t> out_ids;
+  };
+
+  // Compiles `keywords` (in order — table layout is order-deterministic,
+  // which the artifact verifier's recompile-and-compare relies on).
+  static AcTables compile_automaton(const std::vector<Keyword>& keywords);
+
+  // Resumable walk over `t`: advances `state` across `text`, appending
+  // newly seen ids to `out` (deduplicated via `seen`). Returns the updated
+  // seen-count; exits early once it reaches `stop_at`. One-shot callers
+  // pass a fresh state = 0; the streaming matcher carries `state` across
+  // chunk boundaries.
+  static std::size_t ac_walk(const AcTables& t, std::string_view text,
+                             std::int32_t& state,
+                             std::vector<std::uint8_t>& seen,
+                             std::vector<std::size_t>& out,
+                             std::size_t n_seen, std::size_t stop_at);
+
   // Recomputes everything derived from the raw registrations that is not
   // part of the automaton tables proper (shared by build() and load()).
-  // Includes the Teddy plan: it is rebuilt from the registrations at every
-  // build() AND at load() — the serialized `.kpf` layout is unchanged.
+  // Includes the Teddy plan and the dense-shard routing state: rebuilt
+  // from the registrations at every build() AND at load() — the
+  // serialized `.kpf` layout is unchanged, and built and loaded
+  // prefilters route identically.
   void finalize_derived();
 
   // True when scans route through the Teddy first stage at all (the knob
-  // allows it, a plan exists, and it is not dense-routed); route_teddy()
-  // additionally checks the per-text size guard.
+  // allows it, a plan exists, and not every shard is dense-routed);
+  // route_teddy() additionally checks the per-text size guard.
   bool use_teddy() const {
     return first_stage_ == FirstStage::kAuto && teddy_.has_value() &&
            !teddy_dense_;
@@ -243,7 +287,14 @@ class LiteralPrefilter {
   std::vector<std::size_t> fallback_raw_;  // as registered, may repeat
   std::vector<std::size_t> fallback_;      // derived: sorted, deduplicated
   std::optional<teddy::PlanSet> teddy_;    // derived: SIMD first stage
-  bool teddy_dense_ = false;               // derived: dense-routed plan set
+  // Derived dense-shard routing (per-shard kDenseRouteHitsPerByte): flags
+  // indexed like the plan set's shards, their count, the sub-automaton
+  // over exactly the flagged shards' literals, and whether ALL shards are
+  // dense (full-automaton route; the hybrid adds nothing then).
+  std::vector<std::uint8_t> dense_shard_;
+  std::size_t n_dense_shards_ = 0;
+  AcTables dense_;
+  bool teddy_dense_ = false;
   FirstStage first_stage_ = FirstStage::kAuto;
   std::size_t n_ids_ = 0;
   std::size_t id_limit_ = 0;  // max registered id + 1 (dedup bitmap size)
@@ -316,6 +367,10 @@ class StreamingMatcher {
 
   const LiteralPrefilter* pf_;
   std::int32_t state_ = 0;
+  // Cursor into the dense-shard sub-automaton (hybrid-routed prefilters):
+  // dense literals stream byte-at-a-time as chunks arrive, while sparse
+  // shards batch through feed_teddy — the two cursors share seen_/found_.
+  std::int32_t dense_state_ = 0;
   std::size_t bytes_fed_ = 0;
   std::size_t n_seen_ = 0;
   std::vector<std::uint8_t> seen_;    // per-id dedup bitmap

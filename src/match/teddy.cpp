@@ -788,9 +788,15 @@ std::size_t PlanSet::find(std::string_view text, HitBuffer& hits,
                           std::vector<std::uint8_t>& seen,
                           std::vector<std::size_t>& out, std::size_t n_seen,
                           std::size_t stop_at, ScanCounters* counters,
-                          std::vector<std::uint32_t>* hint_at) const {
-  for (const Plan& shard : shards_) {
+                          std::vector<std::uint32_t>* hint_at,
+                          const std::vector<std::uint8_t>* skip_shard) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (n_seen >= stop_at) break;
+    if (skip_shard != nullptr && i < skip_shard->size() &&
+        (*skip_shard)[i] != 0) {
+      continue;  // routed elsewhere (dense-shard automaton walk)
+    }
+    const Plan& shard = shards_[i];
     shard.scan(text, hits);
     if (counters != nullptr) {
       counters->first_stage_hits += hits.size();

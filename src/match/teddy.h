@@ -257,11 +257,15 @@ class PlanSet {
   // Plan::confirm. Returns the updated seen-count; stops early at
   // `stop_at`. `counters`, when non-null, accumulates first-stage stats;
   // `hint_at` forwards to Plan::confirm (leftmost-occurrence positions).
+  // `skip_shard`, when non-null, is indexed by shard position: flagged
+  // shards are not scanned — the prefilter routes its dense shards to an
+  // automaton walk instead and excises them from the SIMD pass here.
   std::size_t find(std::string_view text, HitBuffer& hits,
                    std::vector<std::uint8_t>& seen,
                    std::vector<std::size_t>& out, std::size_t n_seen,
                    std::size_t stop_at, ScanCounters* counters = nullptr,
-                   std::vector<std::uint32_t>* hint_at = nullptr) const;
+                   std::vector<std::uint32_t>* hint_at = nullptr,
+                   const std::vector<std::uint8_t>* skip_shard = nullptr) const;
 
  private:
   PlanSet() = default;

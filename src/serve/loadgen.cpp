@@ -1,0 +1,261 @@
+#include "serve/loadgen.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/sigdb.h"
+#include "kitgen/stream.h"
+#include "support/rng.h"
+#include "text/normalize.h"
+
+namespace kizzle::serve {
+
+using Clock = std::chrono::steady_clock;
+
+// ------------------------------- fixture --------------------------------
+
+ServeFixture make_fixture(const FixtureConfig& cfg) {
+  kitgen::StreamConfig scfg;
+  scfg.seed = cfg.seed;
+  scfg.volume_scale = cfg.volume_scale;
+  kitgen::StreamSimulator sim(scfg);
+
+  core::KizzlePipeline pipeline(core::PipelineConfig{}, cfg.seed);
+  for (const auto& [family, payload] : sim.seed_corpus()) {
+    pipeline.seed_family(std::string(kitgen::family_name(family)), 0.55,
+                         payload);
+  }
+
+  ServeFixture fx;
+  const int days = cfg.days < 1 ? 1 : cfg.days;
+  for (int day = kitgen::kAug1; day < kitgen::kAug1 + days; ++day) {
+    const kitgen::DailyBatch batch = sim.generate_day(day);
+    std::vector<std::string> htmls;
+    htmls.reserve(batch.samples.size());
+    for (const auto& s : batch.samples) htmls.push_back(s.html);
+    pipeline.process_day(day, htmls);
+    // The serve corpus is the same traffic the signatures were compiled
+    // against, in the form requests actually carry: AV-normalized text.
+    for (const auto& s : batch.samples) {
+      if (cfg.max_docs != 0 && fx.docs.size() >= cfg.max_docs) break;
+      fx.docs.push_back(
+          CorpusDoc{text::normalize_raw(s.html), s.truth != kitgen::Truth::Benign});
+    }
+  }
+
+  fx.signatures = pipeline.signatures();
+  {
+    std::ostringstream os;
+    pipeline.export_artifact(os);
+    fx.artifact = os.str();
+  }
+  {
+    // A real swap target: the same deployment plus one clean pure-literal
+    // canary that no corpus document contains — verdicts on existing
+    // traffic are unchanged, but the accepted epoch is observable.
+    std::vector<core::DeployedSignature> sigs = fx.signatures;
+    core::DeployedSignature canary;
+    canary.name = "KZ.Canary.1";
+    canary.family = "Canary";
+    canary.issued_day = kitgen::kAug1 + days;
+    canary.pattern = "kzservecanaryliteralxq";
+    canary.token_length = canary.pattern.size();
+    sigs.push_back(std::move(canary));
+    std::ostringstream os;
+    core::save_artifact(os, sigs);
+    fx.swap_artifact = os.str();
+  }
+  {
+    // A swap the lint gate must refuse: nested unbounded repetition over
+    // overlapping byte sets — the classic catastrophic-backtracking bomb
+    // (analyze::Check::kBacktrackingBomb, error severity).
+    std::vector<core::DeployedSignature> sigs = fx.signatures;
+    core::DeployedSignature bomb;
+    bomb.name = "KZ.Bomb.1";
+    bomb.family = "Bomb";
+    bomb.issued_day = kitgen::kAug1 + days;
+    bomb.pattern = "([a-z]+)+qzvwxk";
+    bomb.token_length = 6;
+    sigs.push_back(std::move(bomb));
+    std::ostringstream os;
+    core::save_artifact(os, sigs);
+    fx.bomb_artifact = os.str();
+  }
+  {
+    std::istringstream is(fx.artifact);
+    fx.database = std::make_shared<const engine::Database>(
+        engine::Database::from_artifact(is));
+  }
+  return fx;
+}
+
+// ------------------------------- load run -------------------------------
+
+namespace {
+
+// One client's tallies plus its private histogram; merged after join.
+struct ClientState {
+  support::LatencyHistogram latency;
+  std::uint64_t completed = 0;
+  std::uint64_t one_shot = 0;
+  std::uint64_t stream = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_expired = 0;
+};
+
+// Rendezvous for one closed-loop request: the client blocks here until the
+// worker's completion callback lands.
+struct Rendezvous {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ScanResponse resp;
+};
+
+void client_loop(ScanServer& server, const std::vector<CorpusDoc>& docs,
+                 const LoadConfig& cfg, std::size_t client_index,
+                 const std::atomic<bool>& stop, ClientState& state) {
+  Rng rng(cfg.seed * 0x9E3779B9u + client_index * 7919u + 1);
+  std::size_t doc_i = (client_index * 131) % docs.size();
+  while (!stop.load(std::memory_order_acquire)) {
+    const CorpusDoc& doc = docs[doc_i];
+    doc_i = (doc_i + 1) % docs.size();
+    const bool as_stream = rng.chance(cfg.stream_fraction);
+
+    auto rendezvous = std::make_shared<Rendezvous>();
+    ResponseFn done = [rendezvous](ScanResponse resp) {
+      std::lock_guard<std::mutex> lock(rendezvous->mu);
+      rendezvous->resp = std::move(resp);
+      rendezvous->done = true;
+      rendezvous->cv.notify_one();
+    };
+
+    const auto start = Clock::now();
+    RequestStatus admitted;
+    if (as_stream) {
+      ScanServer::Stream s = server.open_stream(cfg.limits);
+      const std::size_t chunk = cfg.chunk_bytes == 0 ? 4096 : cfg.chunk_bytes;
+      bool aborted = false;
+      for (std::size_t off = 0; off < doc.text.size(); off += chunk) {
+        const RequestStatus rs =
+            s.feed(doc.text.substr(off, chunk));
+        if (rs != RequestStatus::kOk) {
+          // The session is abandoned mid-feed; count the whole request
+          // once, by how the edge disposed of it.
+          if (rs == RequestStatus::kOverloaded) {
+            ++state.shed;
+          } else {
+            ++state.failed;
+          }
+          aborted = true;
+          break;
+        }
+      }
+      if (aborted) continue;
+      admitted = s.finish(done);
+    } else {
+      admitted = server.submit(doc.text, cfg.limits, done);
+    }
+    if (admitted == RequestStatus::kOverloaded) {
+      ++state.shed;
+      continue;
+    }
+    if (admitted != RequestStatus::kOk) {
+      ++state.failed;
+      continue;
+    }
+
+    ScanResponse resp;
+    {
+      std::unique_lock<std::mutex> lock(rendezvous->mu);
+      rendezvous->cv.wait(lock, [&] { return rendezvous->done; });
+      resp = std::move(rendezvous->resp);
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start);
+    if (resp.status != RequestStatus::kOk) {
+      // An accepted request must complete kOk — a shed-on-pop (stale) or
+      // any other disposition is a contract violation for this harness
+      // unless the run configured age shedding deliberately; those runs
+      // read ServerStats instead.
+      if (resp.status == RequestStatus::kOverloaded) {
+        ++state.shed;
+      } else {
+        ++state.failed;
+      }
+      continue;
+    }
+    state.latency.record(static_cast<std::uint64_t>(elapsed.count()));
+    ++state.completed;
+    if (as_stream) {
+      ++state.stream;
+    } else {
+      ++state.one_shot;
+    }
+    if (resp.matched) ++state.matched;
+    if (resp.outcome.status == engine::ScanStatus::kDeadlineExpired) {
+      ++state.deadline_expired;
+    }
+  }
+}
+
+}  // namespace
+
+LoadReport run_load(ScanServer& server, const std::vector<CorpusDoc>& docs,
+                    const LoadConfig& cfg) {
+  LoadReport report;
+  if (docs.empty() || cfg.clients == 0) return report;
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientState> states(cfg.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(cfg.clients);
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < cfg.clients; ++i) {
+    clients.emplace_back([&, i] {
+      client_loop(server, docs, cfg, i, stop, states[i]);
+    });
+  }
+
+  const auto total = cfg.duration.count() > 0 ? cfg.duration
+                                              : std::chrono::milliseconds(1);
+  if (cfg.mid_run) {
+    const double at =
+        cfg.mid_run_at < 0.0 ? 0.0 : (cfg.mid_run_at > 1.0 ? 1.0 : cfg.mid_run_at);
+    const auto before = std::chrono::milliseconds(
+        static_cast<std::int64_t>(static_cast<double>(total.count()) * at));
+    std::this_thread::sleep_for(before);
+    cfg.mid_run();
+    std::this_thread::sleep_for(total - before);
+  } else {
+    std::this_thread::sleep_for(total);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& c : clients) c.join();
+  // In-flight requests of joined clients have all completed (closed loop:
+  // a client only exits its loop between requests), so the report is
+  // complete without a server drain.
+  report.seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  for (const ClientState& s : states) {
+    report.latency.merge(s.latency);
+    report.completed += s.completed;
+    report.one_shot += s.one_shot;
+    report.stream += s.stream;
+    report.matched += s.matched;
+    report.shed += s.shed;
+    report.failed += s.failed;
+    report.deadline_expired += s.deadline_expired;
+  }
+  return report;
+}
+
+}  // namespace kizzle::serve

@@ -1,0 +1,110 @@
+// Load generator + soak harness for the scan service.
+//
+// A serving claim ("hot swap drops nothing", "overload sheds typed") is
+// only testable under traffic, and a latency claim is only meaningful as a
+// distribution. This module supplies both: a deterministic corpus replayed
+// as mixed one-shot/chunked-stream traffic by closed-loop clients, with
+// per-request latency recorded into HDR histograms (support/histogram.h)
+// and merged into one LoadReport. It is the shared engine behind
+// `kizzle serve` (tools/kizzle_cli.cpp), the serve benchmark
+// (bench/bench_serve.cpp → BENCH_serve.json), and the serve soak tests.
+//
+// Clients are *closed-loop*: each thread submits one request, waits for
+// its completion, records the submit→completion latency, then moves to the
+// next document. Concurrency is therefore exactly the client count, and a
+// slow server shows up as latency, not as an unbounded backlog — the
+// backlog experiments instead use ScanServer's own queue bounds (see the
+// overload tests).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "engine/engine.h"
+#include "serve/server.h"
+#include "support/histogram.h"
+
+namespace kizzle::serve {
+
+// One replayable document: AV-normalized scan text (the form every serve
+// request carries) plus its ground truth for sanity checks.
+struct CorpusDoc {
+  std::string text;
+  bool malicious = false;
+};
+
+// Everything a serve experiment needs, generated deterministically from
+// one seed: a kitgen day's traffic normalized for scanning, the signature
+// database the pipeline deployed against that traffic, and artifact bytes
+// for exercising the hot-swap path.
+struct ServeFixture {
+  std::vector<CorpusDoc> docs;
+  std::shared_ptr<const engine::Database> database;
+  std::vector<core::DeployedSignature> signatures;
+  // `.kpf` bytes of `database` exactly (deploying it is a valid no-op
+  // swap), of database + one extra clean canary signature (a real swap
+  // target), and of database + a catastrophic-backtracking signature
+  // (a swap the lint gate must refuse).
+  std::string artifact;
+  std::string swap_artifact;
+  std::string bomb_artifact;
+};
+
+struct FixtureConfig {
+  std::uint64_t seed = 20140801;
+  int days = 1;               // pipeline days to run before exporting
+  double volume_scale = 0.2;  // kitgen stream scale (keep runs short)
+  std::size_t max_docs = 0;   // 0 = keep the whole day's samples
+};
+
+ServeFixture make_fixture(const FixtureConfig& cfg = {});
+
+// ------------------------------ load run --------------------------------
+
+struct LoadConfig {
+  std::size_t clients = 4;  // closed-loop client threads
+  std::chrono::milliseconds duration{1000};
+  double stream_fraction = 0.3;   // requests sent as chunked streams
+  std::size_t chunk_bytes = 4096; // stream chunk size
+  std::uint64_t seed = 1;
+  engine::ScanLimits limits;      // per-request envelope
+  // Invoked once from the coordinator thread at `mid_run_at` of the run —
+  // the soak harness triggers its hot swap here, in the middle of live
+  // traffic, which is the only place a swap bug can show.
+  std::function<void()> mid_run;
+  double mid_run_at = 0.5;
+};
+
+struct LoadReport {
+  double seconds = 0.0;
+  std::uint64_t completed = 0;  // responses received with RequestStatus::kOk
+  std::uint64_t one_shot = 0;
+  std::uint64_t stream = 0;
+  std::uint64_t matched = 0;
+  // Typed kOverloaded rejections (expected under deliberate overload; the
+  // request was shed at the edge, not lost).
+  std::uint64_t shed = 0;
+  // Anything that violates the service contract for an accepted request:
+  // a completion that never arrived, a non-kOk completion status, or a
+  // mid-run kShuttingDown. The soak asserts this stays zero across swaps.
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_expired = 0;  // kOk completions past their budget
+  support::LatencyHistogram latency;   // submit→completion, nanoseconds
+
+  double rps() const {
+    return seconds > 0 ? static_cast<double>(completed) / seconds : 0.0;
+  }
+};
+
+// Replays `docs` against `server` per the config and returns the merged
+// report. Blocks for ~cfg.duration; the server is left running.
+LoadReport run_load(ScanServer& server, const std::vector<CorpusDoc>& docs,
+                    const LoadConfig& cfg);
+
+}  // namespace kizzle::serve

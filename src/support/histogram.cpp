@@ -1,0 +1,72 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace kizzle::support {
+
+std::size_t LatencyHistogram::index_of(std::uint64_t v) {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned shift = msb - (kSubBits - 1);
+  // v >> shift is in [kSubHalf*2, kSub); the sub-bucket band of each shift
+  // level is kSubHalf wide, so levels tile contiguously.
+  return static_cast<std::size_t>(shift) * kSubHalf +
+         static_cast<std::size_t>(v >> shift);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < kSub) return index;
+  const std::size_t shift = index / kSubHalf - 1;
+  const std::uint64_t top = index - shift * kSubHalf;
+  return ((top + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value, std::uint64_t times) {
+  if (times == 0) return;
+  counts_[index_of(value)] += times;
+  count_ += times;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(times);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) {
+      // Never report past the largest recorded value (the top bucket's
+      // upper bound can overshoot it by the quantization step).
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::clear() {
+  counts_.fill(0);
+  count_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace kizzle::support

@@ -1,0 +1,71 @@
+// HDR-style log-linear latency histogram.
+//
+// Tail latency is the serving metric that averages hide: a p999 that
+// doubles under load is invisible in a mean over a million requests. The
+// standard tool is a High-Dynamic-Range histogram (Gil Tene's
+// HdrHistogram): bucket boundaries grow geometrically so the structure
+// covers nanoseconds to minutes in a few KiB, while each octave is split
+// into 2^kSubBits linear sub-buckets so the relative quantization error is
+// bounded (< 2^-kSubBits ≈ 1.6%) at every magnitude.
+//
+// Index scheme for a value v (64-bit, typically nanoseconds):
+//   v < 2^kSubBits             exact: index = v
+//   otherwise                  drop all but the top kSubBits bits:
+//                              shift = msb(v) - (kSubBits - 1),
+//                              index = shift * 2^(kSubBits-1) + (v >> shift)
+// which is contiguous and monotone, so quantiles are a prefix walk.
+// Reported quantile values are each bucket's inclusive upper bound —
+// conservative for latency (never under-reports a percentile).
+//
+// record() is wait-free on the calling thread's own histogram; the
+// intended concurrent pattern is one histogram per worker merged at
+// report time (merge() is bucket-wise addition), which is how the load
+// harness (serve/loadgen.h) aggregates per-client recordings.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace kizzle::support {
+
+class LatencyHistogram {
+ public:
+  // 64 linear sub-buckets per octave: worst-case relative error 1/64.
+  static constexpr unsigned kSubBits = 6;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+  static constexpr std::size_t kSubHalf = 1ull << (kSubBits - 1);
+  // Largest shift is 64-kSubBits; one trailing octave of headroom.
+  static constexpr std::size_t kBucketCount = (64 - kSubBits + 2) * kSubHalf;
+
+  void record(std::uint64_t value) { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t times);
+
+  // Bucket-wise addition of another histogram (plus min/max/sum/count).
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  // Value at quantile q in [0, 1]: the inclusive upper bound of the bucket
+  // holding the ceil(q * count)-th smallest recording. 0 when empty.
+  // percentile(0.5) / (0.99) / (0.999) are the p50/p99/p999 of a latency
+  // report.
+  std::uint64_t percentile(double q) const;
+
+  void clear();
+
+ private:
+  static std::size_t index_of(std::uint64_t v);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace kizzle::support

@@ -1,0 +1,119 @@
+// Bounded multi-producer/multi-consumer queue with edge backpressure.
+//
+// The scan service (serve/server.h) sits between unbounded request
+// arrival and a fixed set of workers; the queue between them is where an
+// overload either becomes bounded, typed rejection or an unbounded memory
+// and latency balloon. This queue picks the former by construction:
+//
+//   - fixed capacity, allocated once; steady-state push/pop never touches
+//     the heap (the ring slots move items in and out),
+//   - try_push() never blocks: a full (or closed) queue returns false and
+//     the caller sheds the request at the edge with a typed status,
+//   - pop_batch() hands a consumer up to `max` items in one critical
+//     section, which is what amortizes queue synchronization across a
+//     whole scan batch,
+//   - close() wakes every blocked consumer; producers fail fast, consumers
+//     drain what was accepted before close (clean shutdown loses nothing
+//     that was admitted).
+//
+// Plain mutex + condition variable on purpose: the consumers do scan work
+// measured in microseconds-to-milliseconds per item, so queue overhead is
+// noise, and a lock-based ring is straightforwardly correct under TSan.
+// T must be default-constructible and movable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace kizzle::support {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Non-blocking admit: false when the queue is full or closed — the
+  // caller owns the shed decision (and the item, which is not consumed).
+  bool try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ == ring_.size()) return false;
+      ring_[(head_ + count_) % ring_.size()] = std::move(item);
+      ++count_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+  bool try_push(T&& item) { return try_push(item); }
+
+  // Blocks until an item is available or the queue is closed AND drained.
+  // Returns false only in the latter case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;
+    out = take_locked();
+    return true;
+  }
+
+  // Blocks like pop(), then moves up to `max` items into `out` (appended;
+  // existing contents are cleared by the caller if unwanted). Returns the
+  // number taken — 0 only when closed and drained. One wait, one critical
+  // section, whole batch: consumers pay the lock once per batch.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ > 0 || closed_; });
+    std::size_t taken = 0;
+    while (count_ > 0 && taken < max) {
+      out.push_back(take_locked());
+      ++taken;
+    }
+    return taken;
+  }
+
+  // Stops admission and wakes every blocked consumer. Items already
+  // admitted remain poppable: close-then-drain is the shutdown path.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  T take_locked() {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace kizzle::support

@@ -1,0 +1,529 @@
+// Scan-service tests (serve/server.h): queue and histogram units, typed
+// shed-load under deterministic overload, drain semantics, the lint gate
+// on the hot-swap path, and — the load-bearing ones, run under TSan in CI —
+// scans and streams racing repeated database flips: every accepted request
+// completes, streams finish on their opening epoch, and verdicts stay
+// byte-identical to a single-epoch run (the swap artifacts only add a
+// canary signature that never matches the corpus).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "support/histogram.h"
+#include "support/mpmc_queue.h"
+
+namespace kizzle::serve {
+namespace {
+
+using support::BoundedMpmcQueue;
+using support::LatencyHistogram;
+
+// The fixture is expensive (a pipeline day); build it once per process.
+const ServeFixture& fixture() {
+  static const ServeFixture fx = [] {
+    FixtureConfig cfg;
+    cfg.max_docs = 64;  // plenty for verdict checks, keeps scans short
+    return make_fixture(cfg);
+  }();
+  return fx;
+}
+
+// A one-latch rendezvous: submit, wait for the worker's callback.
+struct Waiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ScanResponse resp;
+
+  ResponseFn fn() {
+    return [this](ScanResponse r) {
+      std::lock_guard<std::mutex> lock(mu);
+      resp = std::move(r);
+      done = true;
+      cv.notify_one();
+    };
+  }
+  ScanResponse wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    done = false;
+    return resp;
+  }
+};
+
+// ------------------------------ queue unit ------------------------------
+
+TEST(MpmcQueue, FifoAndBoundedRejection) {
+  BoundedMpmcQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.try_push(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.try_push(overflow));
+  EXPECT_EQ(overflow, 99);  // rejected item is not consumed
+  int out = -1;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 0);
+  int refill = 3;
+  EXPECT_TRUE(q.try_push(refill));  // slot freed, ring wraps
+  for (int expect = 1; expect <= 3; ++expect) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(MpmcQueue, PopBatchTakesUpToMax) {
+  BoundedMpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.try_push(v));
+  }
+  std::vector<int> batch;
+  EXPECT_EQ(q.pop_batch(batch, 3), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  batch.clear();  // pop_batch appends; the caller owns clearing
+  EXPECT_EQ(q.pop_batch(batch, 10), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{3, 4}));
+}
+
+TEST(MpmcQueue, CloseDrainsAcceptedThenFailsFast) {
+  BoundedMpmcQueue<int> q(4);
+  int v = 7;
+  ASSERT_TRUE(q.try_push(v));
+  q.close();
+  int rejected = 8;
+  EXPECT_FALSE(q.try_push(rejected));
+  int out = -1;
+  EXPECT_TRUE(q.pop(out));  // admitted before close is still delivered
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.pop(out));  // closed and empty
+  std::vector<int> batch;
+  EXPECT_FALSE(q.pop_batch(batch, 4));
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumers) {
+  BoundedMpmcQueue<int> q(2);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      int out;
+      while (q.pop(out)) {
+      }
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+// ---------------------------- histogram unit ----------------------------
+
+TEST(Histogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  // Values under 2^kSubBits land in their own bucket: quantiles are exact.
+  EXPECT_EQ(h.percentile(0.5), 31u);
+  EXPECT_EQ(h.percentile(1.0), 63u);
+}
+
+TEST(Histogram, RelativeErrorBoundAndClamp) {
+  LatencyHistogram h;
+  const std::uint64_t v = 123456789;
+  h.record(v, 1000);
+  const std::uint64_t p50 = h.percentile(0.5);
+  EXPECT_GE(p50, v);  // inclusive bucket upper bound
+  EXPECT_LE(static_cast<double>(p50 - v), static_cast<double>(v) / 64.0);
+  // The top percentile never exceeds the recorded max.
+  EXPECT_EQ(h.percentile(1.0), v);
+  EXPECT_EQ(h.max(), v);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v : {5u, 900u, 70000u, 1u}) {
+    a.record(v);
+    both.record(v);
+  }
+  for (std::uint64_t v : {12u, 44000u, 3u}) {
+    b.record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile(q), both.percentile(q)) << "q=" << q;
+  }
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile(0.99), 0u);
+}
+
+// ------------------------------ one-shots -------------------------------
+
+TEST(ScanServer, OneShotVerdictsMatchDirectEngineScans) {
+  const ServeFixture& fx = fixture();
+  ServerConfig cfg;
+  cfg.workers = 2;
+  ScanServer server(fx.database, cfg);
+  engine::Scratch scratch;
+  Waiter w;
+  for (const CorpusDoc& doc : fx.docs) {
+    ASSERT_EQ(server.submit(doc.text, w.fn()), RequestStatus::kOk);
+    const ScanResponse resp = w.wait();
+    EXPECT_EQ(resp.status, RequestStatus::kOk);
+    const auto expect = engine::first_match(*fx.database, doc.text, scratch);
+    EXPECT_EQ(resp.matched, expect.has_value());
+    if (expect) {
+      EXPECT_EQ(resp.sig_index, expect->sig_index);
+      EXPECT_EQ(resp.signature, std::string(expect->name));
+      EXPECT_EQ(resp.match_begin, expect->begin);
+      EXPECT_EQ(resp.match_end, expect->end);
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, fx.docs.size());
+  server.stop();
+}
+
+// ------------------------- typed shed + drain ---------------------------
+
+// Deterministic overload: one worker, capacity-1 queue. The first request
+// parks the worker inside its completion callback, the second fills the
+// queue, so the third MUST be shed with typed kOverloaded at submit.
+TEST(ScanServer, QueueFullShedsTypedAtSubmit) {
+  const ServeFixture& fx = fixture();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.batch_max = 1;
+  ScanServer server(fx.database, cfg);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool worker_parked = false, release = false;
+  const RequestStatus first = server.submit(fx.docs[0].text, [&](ScanResponse) {
+    std::unique_lock<std::mutex> lock(mu);
+    worker_parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  ASSERT_EQ(first, RequestStatus::kOk);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_parked; });
+  }
+  Waiter w;
+  ASSERT_EQ(server.submit(fx.docs[0].text, w.fn()), RequestStatus::kOk);
+  // Queue now holds one job and the worker is parked: the edge rejects.
+  std::uint64_t rejected = 0;
+  while (server.submit(fx.docs[0].text,
+                       [](ScanResponse) { FAIL() << "shed ran callback"; }) ==
+         RequestStatus::kOverloaded) {
+    if (++rejected >= 3) break;
+  }
+  EXPECT_EQ(rejected, 3u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  EXPECT_EQ(w.wait().status, RequestStatus::kOk);
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.shed_queue_full, 3u);
+  server.stop();
+}
+
+// Stale shedding: a request older than max_queue_age when a worker finally
+// pops it completes as kOverloaded without being scanned.
+TEST(ScanServer, StaleRequestsShedOnPop) {
+  const ServeFixture& fx = fixture();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.batch_max = 1;
+  cfg.max_queue_age = std::chrono::microseconds(500);
+  ScanServer server(fx.database, cfg);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool worker_parked = false, release = false;
+  ASSERT_EQ(server.submit(fx.docs[0].text,
+                          [&](ScanResponse) {
+                            std::unique_lock<std::mutex> lock(mu);
+                            worker_parked = true;
+                            cv.notify_all();
+                            cv.wait(lock, [&] { return release; });
+                          }),
+            RequestStatus::kOk);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_parked; });
+  }
+  Waiter w;
+  ASSERT_EQ(server.submit(fx.docs[0].text, w.fn()), RequestStatus::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // goes stale
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  EXPECT_EQ(w.wait().status, RequestStatus::kOverloaded);
+  EXPECT_GE(server.stats().shed_stale, 1u);
+  server.stop();
+}
+
+TEST(ScanServer, DrainWaitsForEveryAdmittedJob) {
+  const ServeFixture& fx = fixture();
+  ServerConfig cfg;
+  cfg.workers = 2;
+  ScanServer server(fx.database, cfg);
+  std::atomic<std::size_t> completions{0};
+  const std::size_t n = 200;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(server.submit(fx.docs[i % fx.docs.size()].text,
+                            [&](ScanResponse) { completions.fetch_add(1); }),
+              RequestStatus::kOk);
+  }
+  server.drain();
+  EXPECT_EQ(completions.load(), n);
+  server.stop();
+  EXPECT_EQ(server.submit(fx.docs[0].text, [](ScanResponse) {}),
+            RequestStatus::kShuttingDown);
+}
+
+// ------------------------------ lint gate -------------------------------
+
+TEST(ScanServer, LintGateRefusesBombArtifactAndKeepsEpoch) {
+  const ServeFixture& fx = fixture();
+  ScanServer server(fx.database, ServerConfig{});
+  const std::uint64_t epoch0 = server.epoch();
+
+  std::istringstream bomb(fx.bomb_artifact);
+  const ScanServer::SwapResult refused = server.deploy_artifact(bomb);
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.epoch, epoch0);
+  EXPECT_FALSE(refused.reason.empty());
+  EXPECT_EQ(server.epoch(), epoch0);
+  EXPECT_EQ(server.database(), fx.database);
+
+  std::istringstream garbage("not an artifact");
+  EXPECT_FALSE(server.deploy_artifact(garbage).accepted);
+
+  std::istringstream good(fx.swap_artifact);
+  const ScanServer::SwapResult accepted = server.deploy_artifact(good);
+  EXPECT_TRUE(accepted.accepted);
+  EXPECT_EQ(accepted.epoch, epoch0 + 1);
+  EXPECT_EQ(server.epoch(), epoch0 + 1);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.swaps_rejected, 2u);
+  EXPECT_EQ(stats.epoch_swaps, 1u);
+  server.stop();
+}
+
+// --------------------- scans racing epoch flips (TSan) ------------------
+
+// One-shot scans from several threads while a flipper republishes the
+// database continuously. Nothing may fail, and every verdict must be
+// byte-identical to a single-epoch run: the swap target only adds a canary
+// signature that never occurs in the corpus.
+TEST(ScanServer, ConcurrentScansAcrossRepeatedFlipsKeepVerdicts) {
+  const ServeFixture& fx = fixture();
+  // Expected verdicts against the original database.
+  struct Expect {
+    bool matched;
+    std::string name;
+  };
+  std::vector<Expect> expect;
+  {
+    engine::Scratch scratch;
+    for (const CorpusDoc& doc : fx.docs) {
+      const auto m = engine::first_match(*fx.database, doc.text, scratch);
+      expect.push_back(Expect{m.has_value(),
+                              m ? std::string(m->name) : std::string()});
+    }
+  }
+
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 4096;
+  ScanServer server(fx.database, cfg);
+
+  // Deploys are lint-gated (the artifact path recompiles and verifies),
+  // so each flip takes real time: run a FIXED number of flips and keep the
+  // clients scanning until the last one lands — every flip then races
+  // live traffic.
+  constexpr int kFlips = 4;
+  std::atomic<bool> flips_done{false};
+  std::atomic<std::uint64_t> flips_refused{0};
+  std::thread flipper([&] {
+    for (int k = 0; k < kFlips; ++k) {
+      std::istringstream art(k % 2 == 0 ? fx.swap_artifact : fx.artifact);
+      if (!server.deploy_artifact(art).accepted) flips_refused.fetch_add(1);
+    }
+    flips_done.store(true);
+  });
+
+  std::atomic<std::uint64_t> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      Waiter w;
+      for (int round = 0; round < 2 || !flips_done.load(); ++round) {
+        for (std::size_t i = 0; i < fx.docs.size(); ++i) {
+          const RequestStatus st = server.submit(fx.docs[i].text, w.fn());
+          if (st != RequestStatus::kOk) {
+            wrong.fetch_add(1);  // closed-loop load must never be shed here
+            continue;
+          }
+          const ScanResponse resp = w.wait();
+          if (resp.status != RequestStatus::kOk ||
+              resp.matched != expect[i].matched ||
+              (resp.matched && resp.signature != expect[i].name)) {
+            wrong.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  flipper.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(flips_refused.load(), 0u);
+  EXPECT_EQ(server.stats().epoch_swaps, static_cast<std::uint64_t>(kFlips));
+  server.stop();
+}
+
+// Streams opened before a flip finish on their opening epoch with the
+// opening database's verdict, no matter how many flips happen mid-stream.
+TEST(ScanServer, StreamsFinishOnTheirOpeningEpoch) {
+  const ServeFixture& fx = fixture();
+  ServerConfig cfg;
+  cfg.workers = 2;
+  ScanServer server(fx.database, cfg);
+
+  // Expected verdict for each doc on the ORIGINAL database via the
+  // engine's own streaming path.
+  engine::Scratch scratch;
+  for (std::size_t i = 0; i < std::min<std::size_t>(fx.docs.size(), 16); ++i) {
+    const std::string& text = fx.docs[i].text;
+    const std::uint64_t epoch0 = server.epoch();
+    ScanServer::Stream s = server.open_stream();
+    EXPECT_EQ(s.epoch(), epoch0);
+
+    const std::size_t half = text.size() / 2;
+    ASSERT_EQ(s.feed(text.substr(0, half)), RequestStatus::kOk);
+    // Flip the database mid-stream (alternating keeps every deploy a
+    // real change).
+    std::istringstream art(i % 2 == 0 ? fx.swap_artifact : fx.artifact);
+    ASSERT_TRUE(server.deploy_artifact(art).accepted);
+    ASSERT_EQ(s.feed(text.substr(half)), RequestStatus::kOk);
+
+    Waiter w;
+    ASSERT_EQ(s.finish(w.fn()), RequestStatus::kOk);
+    const ScanResponse resp = w.wait();
+    EXPECT_EQ(resp.status, RequestStatus::kOk);
+    EXPECT_EQ(resp.epoch, epoch0) << "stream completed on a later epoch";
+
+    const auto expect = engine::first_match(*fx.database, text, scratch);
+    EXPECT_EQ(resp.matched, expect.has_value());
+    if (expect) EXPECT_EQ(resp.signature, std::string(expect->name));
+
+    // Double-finish is rejected, typed.
+    EXPECT_EQ(s.finish([](ScanResponse) {}), RequestStatus::kShuttingDown);
+  }
+  server.stop();
+}
+
+// ------------------------------- loadgen --------------------------------
+
+// The soak contract end to end through the load generator: mixed traffic,
+// a hot swap fired mid-run, zero failed scans.
+TEST(LoadGen, MidRunHotSwapDropsNothing) {
+  const ServeFixture& fx = fixture();
+  ServerConfig cfg;
+  cfg.workers = 2;
+  ScanServer server(fx.database, cfg);
+  LoadConfig lcfg;
+  lcfg.clients = 3;
+  lcfg.duration = std::chrono::milliseconds(300);
+  lcfg.stream_fraction = 0.4;
+  lcfg.mid_run = [&] {
+    std::istringstream art(fx.swap_artifact);
+    ASSERT_TRUE(server.deploy_artifact(art).accepted);
+  };
+  const LoadReport rep = run_load(server, fx.docs, lcfg);
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_GT(rep.one_shot, 0u);
+  EXPECT_GT(rep.stream, 0u);
+  EXPECT_EQ(server.stats().epoch_swaps, 1u);
+  EXPECT_EQ(rep.latency.count(), rep.completed);
+  server.stop();
+}
+
+// ------------------------------- watcher --------------------------------
+
+TEST(ArtifactWatcher, PicksUpReplacedArtifactThroughLintGate) {
+  const ServeFixture& fx = fixture();
+  const std::string path = "serve_watch_test.kpf";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << fx.artifact;
+  }
+  ScanServer server(fx.database, ServerConfig{});
+  const std::uint64_t epoch0 = server.epoch();
+  {
+    ArtifactWatcher watcher(server, path, std::chrono::milliseconds(10));
+    // The initial file is the primed baseline: no deploy happens until the
+    // file actually changes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(server.epoch(), epoch0);
+
+    {
+      // Atomic replace, the way a release process ships: write the full
+      // artifact beside the live one, then rename into place.
+      const std::string tmp = path + ".tmp";
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << fx.swap_artifact;
+      out.close();
+      ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.epoch() == epoch0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(server.epoch(), epoch0 + 1);
+    EXPECT_GE(watcher.stats().swaps, 1u);
+    watcher.stop();
+  }
+  server.stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kizzle::serve

@@ -614,11 +614,12 @@ TEST(TeddyPrefilter, ConcurrentScansOverOneSharedPlan) {
 // ----------------------------- dense routing -----------------------------
 
 // The bench's 512-short-literal set (BM_TeddyPrefilterShortLiterals/512):
-// 1–2-byte alphanumerics admitting most common bytes into every shuffle
-// mask. The build-time density estimate must route such sets onto the
-// automaton walk — the SIMD stage would fire on nearly every byte and
-// lose to it — while candidate sets stay byte-identical.
-TEST(TeddyPrefilter, DenseShortLiteralSetRoutesToAutomaton) {
+// 1–2-byte alphanumerics admitting most common bytes into the K=1 shard's
+// shuffle mask. Routing is decided PER SHARD: the dense K=1 shard is
+// excised from the SIMD pass and its literals walk the dense-literal
+// sub-automaton, while the selective K=2 shard stays on Teddy — and
+// candidate sets stay byte-identical either way.
+TEST(TeddyPrefilter, DenseShardRoutesToSubAutomaton) {
   constexpr std::string_view kAlpha = "abcdefghijklmnopqrstuvwxyz0123456789";
   const auto short_set = [&](std::size_t count) {
     std::vector<std::pair<std::size_t, std::string>> regs;
@@ -633,14 +634,65 @@ TEST(TeddyPrefilter, DenseShortLiteralSetRoutesToAutomaton) {
     return regs;
   };
 
-  const Pair dense = build_pair(short_set(512));
-  EXPECT_GT(dense.teddy.teddy_plans()->expected_hits_per_byte(),
+  // Hybrid: the whole-set estimate is past the threshold but only the
+  // single-byte shard is dense — one bad length class must not drag the
+  // whole database off the SIMD path.
+  const Pair hybrid = build_pair(short_set(512));
+  EXPECT_GT(hybrid.teddy.teddy_plans()->expected_hits_per_byte(),
             kDenseRouteHitsPerByte);
-  EXPECT_TRUE(dense.teddy.teddy_dense());
-  EXPECT_FALSE(dense.teddy.teddy_active());
+  EXPECT_FALSE(hybrid.teddy.teddy_dense());
+  EXPECT_TRUE(hybrid.teddy.teddy_active());
+  EXPECT_GT(hybrid.teddy.dense_shard_count(), 0u);
+  EXPECT_LT(hybrid.teddy.dense_shard_count(),
+            hybrid.teddy.teddy_plans()->shard_count());
 
   // The routing decision is observable in scan stats and changes nothing
   // about the candidate sets.
+  const std::string text = kitgen_corpus().front();
+  std::vector<std::size_t> out;
+  teddy::HitBuffer hits;
+  PrefilterStats stats;
+  hybrid.teddy.candidates_into(text, out, hits, &stats);
+  EXPECT_EQ(stats.fallback, PrefilterFallback::kNone);
+  EXPECT_EQ(stats.dense_shards, hybrid.teddy.dense_shard_count());
+  expect_equal_candidates(hybrid, text);
+
+  // A sparse fraction of the same generator keeps every shard on Teddy.
+  const Pair sparse = build_pair(short_set(64));
+  EXPECT_LE(sparse.teddy.teddy_plans()->expected_hits_per_byte(),
+            kDenseRouteHitsPerByte);
+  EXPECT_TRUE(sparse.teddy.teddy_active());
+  EXPECT_EQ(sparse.teddy.dense_shard_count(), 0u);
+  expect_equal_candidates(sparse, text);
+
+  // Density is derived state: a loaded artifact makes the same per-shard
+  // calls and routes identically.
+  std::stringstream bytes;
+  hybrid.teddy.serialize(bytes);
+  const LiteralPrefilter loaded = LiteralPrefilter::load(bytes);
+  EXPECT_FALSE(loaded.teddy_dense());
+  EXPECT_TRUE(loaded.teddy_active());
+  EXPECT_EQ(loaded.dense_shard_count(), hybrid.teddy.dense_shard_count());
+  EXPECT_EQ(loaded.dense_shard_flags(), hybrid.teddy.dense_shard_flags());
+  EXPECT_EQ(loaded.candidates(text), hybrid.automaton.candidates(text));
+}
+
+// When EVERY shard is dense (a single-byte-only set admits most common
+// bytes into its one shuffle mask), the sub-automaton would just duplicate
+// the main automaton — the scan takes the full automaton walk, exactly the
+// old all-or-nothing route.
+TEST(TeddyPrefilter, AllDenseSetRoutesToFullAutomaton) {
+  constexpr std::string_view kAlpha = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::vector<std::pair<std::size_t, std::string>> regs;
+  for (std::size_t i = 0; i < kAlpha.size(); ++i) {
+    regs.emplace_back(i, std::string(1, kAlpha[i]));
+  }
+  const Pair dense = build_pair(regs);
+  EXPECT_TRUE(dense.teddy.teddy_dense());
+  EXPECT_FALSE(dense.teddy.teddy_active());
+  EXPECT_EQ(dense.teddy.dense_shard_count(),
+            dense.teddy.teddy_plans()->shard_count());
+
   const std::string text = kitgen_corpus().front();
   std::vector<std::size_t> out;
   teddy::HitBuffer hits;
@@ -650,20 +702,40 @@ TEST(TeddyPrefilter, DenseShortLiteralSetRoutesToAutomaton) {
   EXPECT_EQ(stats.first_stage_hits, 0u);
   expect_equal_candidates(dense, text);
 
-  // A sparse fraction of the same generator stays on the SIMD stage.
-  const Pair sparse = build_pair(short_set(64));
-  EXPECT_LE(sparse.teddy.teddy_plans()->expected_hits_per_byte(),
-            kDenseRouteHitsPerByte);
-  EXPECT_TRUE(sparse.teddy.teddy_active());
-  expect_equal_candidates(sparse, text);
-
-  // Density is derived state: a loaded artifact makes the same call.
   std::stringstream bytes;
   dense.teddy.serialize(bytes);
   const LiteralPrefilter loaded = LiteralPrefilter::load(bytes);
   EXPECT_TRUE(loaded.teddy_dense());
   EXPECT_FALSE(loaded.teddy_active());
   EXPECT_EQ(loaded.candidates(text), dense.automaton.candidates(text));
+}
+
+// Streaming over a hybrid-routed prefilter: the dense sub-automaton's DFA
+// state carries across chunk boundaries while the sparse shards batch
+// through the Teddy window. Every split position of a text that exercises
+// both routes must equal the one-shot candidate set.
+TEST(TeddyStreaming, HybridDenseRoutingEverySplit) {
+  constexpr std::string_view kAlpha = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::vector<std::pair<std::size_t, std::string>> regs;
+  for (std::size_t i = 0; i < 512; ++i) {
+    std::string lit;
+    lit.push_back(kAlpha[i % kAlpha.size()]);
+    if (i % 7 != 0) lit.push_back(kAlpha[(i / kAlpha.size()) % kAlpha.size()]);
+    regs.emplace_back(i, lit);
+  }
+  const Pair p = build_pair(regs);
+  ASSERT_TRUE(p.teddy.teddy_active());
+  ASSERT_GT(p.teddy.dense_shard_count(), 0u);
+
+  const std::string text = kitgen_corpus().front().substr(0, 160);
+  const std::vector<std::size_t> expect = p.automaton.candidates(text);
+  StreamingMatcher m(p.teddy);
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    m.reset();
+    m.feed(std::string_view(text).substr(0, split));
+    m.feed(std::string_view(text).substr(split));
+    EXPECT_EQ(m.finish(), expect) << "split at " << split;
+  }
 }
 
 }  // namespace

@@ -28,6 +28,14 @@
 //                                      literal-prefilter automaton)
 //   kizzle gen <kit> [n] [seed]        emit synthetic landing pages
 //                                      (kit: nuclear|sweetorange|angler|rig)
+//   kizzle serve [--watch <a.kpf>] [--workers N] [--clients N]
+//                [--duration-ms N] [--stream-fraction F] [--seed N]
+//                [<artifact.kpf>]      run the async scan service under the
+//                                      built-in load generator (mixed
+//                                      one-shot/stream traffic, latency
+//                                      percentiles on stderr); --watch
+//                                      lint-verifies and hot-swaps the
+//                                      artifact when the file changes
 #include <charconv>
 #include <chrono>
 #include <cstdio>
@@ -47,6 +55,8 @@
 #include "kitgen/families.h"
 #include "kitgen/stream.h"
 #include "match/pattern.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sig/compiler.h"
 #include "sig/multi_fragment.h"
 #include "support/table.h"
@@ -243,13 +253,14 @@ const char* first_stage_name(match::PrefilterFallback fallback) {
 
 void print_scan_stats(const engine::ScanStats& st) {
   std::fprintf(stderr,
-               "  [first-stage=%s hits=%zu shards=%zu survivors=%zu "
-               "candidates=%zu confirm: find=%zu program=%zu vm=%zu]\n",
+               "  [first-stage=%s hits=%zu shards=%zu dense=%zu "
+               "survivors=%zu candidates=%zu confirm: find=%zu program=%zu "
+               "vm=%zu]\n",
                first_stage_name(st.prefilter.fallback),
                st.prefilter.first_stage_hits, st.prefilter.shards_scanned,
-               st.prefilter.literal_survivors, st.candidates,
-               st.confirmed_literal, st.confirmed_literal_dominated,
-               st.confirmed_vm);
+               st.prefilter.dense_shards, st.prefilter.literal_survivors,
+               st.candidates, st.confirmed_literal,
+               st.confirmed_literal_dominated, st.confirmed_vm);
 }
 
 // Artifact path: load the release-built automaton into an engine database
@@ -490,6 +501,131 @@ int cmd_demo(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ------------------------------- serve -------------------------------
+
+// Runs the asynchronous scan service (serve/server.h) and drives it with
+// the built-in load generator: a kitgen day's traffic replayed as mixed
+// one-shot/chunked-stream requests by closed-loop clients. With --watch,
+// an ArtifactWatcher polls the given `.kpf` and hot-swaps it through the
+// lint gate while the load runs — replace the file (atomic rename) from
+// another process to exercise a live release. All reporting goes to
+// stderr as parseable `[serve] key=value` lines (the smoke script greps
+// them); exit 1 when any accepted request failed or nothing completed.
+int cmd_serve(const std::vector<std::string>& raw_args) {
+  serve::ServerConfig scfg;
+  scfg.workers = 2;
+  serve::LoadConfig lcfg;
+  lcfg.clients = 4;
+  lcfg.duration = std::chrono::milliseconds(2000);
+  serve::FixtureConfig fcfg;
+  std::string watch_path;
+  std::chrono::milliseconds poll{200};
+  std::string artifact_path;
+
+  const auto num = [](const std::string& v) { return std::stoull(v); };
+  for (std::size_t i = 0; i < raw_args.size(); ++i) {
+    const std::string& a = raw_args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= raw_args.size()) {
+        throw std::runtime_error("serve: missing value for " + a);
+      }
+      return raw_args[++i];
+    };
+    if (a == "--watch") {
+      watch_path = next();
+    } else if (a == "--workers") {
+      scfg.workers = static_cast<std::size_t>(num(next()));
+    } else if (a == "--queue-capacity") {
+      scfg.queue_capacity = static_cast<std::size_t>(num(next()));
+    } else if (a == "--clients") {
+      lcfg.clients = static_cast<std::size_t>(num(next()));
+    } else if (a == "--duration-ms") {
+      lcfg.duration = std::chrono::milliseconds(num(next()));
+    } else if (a == "--stream-fraction") {
+      lcfg.stream_fraction = std::stod(next());
+    } else if (a == "--seed") {
+      fcfg.seed = num(next());
+      lcfg.seed = fcfg.seed;
+    } else if (a == "--poll-ms") {
+      poll = std::chrono::milliseconds(num(next()));
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: kizzle serve [--watch <artifact.kpf>] "
+                   "[--workers N] [--queue-capacity N] [--clients N]\n"
+                   "                    [--duration-ms N] "
+                   "[--stream-fraction F] [--seed N] [--poll-ms N]\n"
+                   "                    [<artifact.kpf>]\n");
+      return 2;
+    } else {
+      artifact_path = a;
+    }
+  }
+
+  // The corpus (and, absent an artifact argument, the database) comes from
+  // the deterministic serve fixture: one kitgen day compiled by the
+  // pipeline, normalized for scanning.
+  const serve::ServeFixture fixture = serve::make_fixture(fcfg);
+  std::shared_ptr<const engine::Database> db = fixture.database;
+  if (!artifact_path.empty()) {
+    std::istringstream is(read_file(artifact_path));
+    db = std::make_shared<const engine::Database>(
+        engine::Database::from_artifact(is));
+  }
+
+  serve::ScanServer server(db, scfg);
+  std::optional<serve::ArtifactWatcher> watcher;
+  if (!watch_path.empty()) watcher.emplace(server, watch_path, poll);
+  std::fprintf(stderr,
+               "[serve] workers=%zu queue=%zu signatures=%zu docs=%zu "
+               "epoch=%llu watch=%s\n",
+               server.worker_count(), scfg.queue_capacity, db->size(),
+               fixture.docs.size(),
+               static_cast<unsigned long long>(server.epoch()),
+               watch_path.empty() ? "-" : watch_path.c_str());
+
+  const serve::LoadReport report =
+      serve::run_load(server, fixture.docs, lcfg);
+  server.drain();
+  serve::ArtifactWatcher::Stats wstats;
+  if (watcher) {
+    wstats = watcher->stats();
+    watcher->stop();
+  }
+  const serve::ServerStats stats = server.stats();
+  server.stop();
+
+  using ull = unsigned long long;
+  std::fprintf(stderr,
+               "[serve] completed=%llu one-shot=%llu stream=%llu "
+               "matched=%llu shed=%llu failed=%llu deadline-expired=%llu\n",
+               static_cast<ull>(report.completed),
+               static_cast<ull>(report.one_shot),
+               static_cast<ull>(report.stream),
+               static_cast<ull>(report.matched), static_cast<ull>(report.shed),
+               static_cast<ull>(report.failed),
+               static_cast<ull>(report.deadline_expired));
+  std::fprintf(stderr,
+               "[serve] rps=%.1f p50-us=%.1f p99-us=%.1f p999-us=%.1f\n",
+               report.rps(),
+               static_cast<double>(report.latency.percentile(0.50)) / 1e3,
+               static_cast<double>(report.latency.percentile(0.99)) / 1e3,
+               static_cast<double>(report.latency.percentile(0.999)) / 1e3);
+  std::fprintf(stderr,
+               "[serve] epoch-swaps=%llu swaps-rejected=%llu final-epoch=%llu "
+               "batches=%llu batched-jobs=%llu\n",
+               static_cast<ull>(stats.epoch_swaps),
+               static_cast<ull>(stats.swaps_rejected),
+               static_cast<ull>(server.epoch()),
+               static_cast<ull>(stats.batches),
+               static_cast<ull>(stats.batched_jobs));
+  if (watcher) {
+    std::fprintf(stderr, "[serve] watch-swaps=%llu watch-rejected=%llu\n",
+                 static_cast<ull>(wstats.swaps),
+                 static_cast<ull>(wstats.rejected));
+  }
+  return (report.failed > 0 || report.completed == 0) ? 1 : 0;
+}
+
 // ------------------------------- lint -------------------------------
 
 // Static analysis over a signature set (analyze/analyze.h): text findings
@@ -583,7 +719,15 @@ int usage() {
                "  kizzle demo [days] [out.kpf]\n"
                "                            run the pipeline on a simulated\n"
                "                            stream, emit a signature DB (and\n"
-               "                            optionally a bundle artifact)\n");
+               "                            optionally a bundle artifact)\n"
+               "  kizzle serve [--watch <artifact.kpf>] [--workers N]\n"
+               "               [--clients N] [--duration-ms N]\n"
+               "               [--stream-fraction F] [--seed N] "
+               "[<artifact.kpf>]\n"
+               "                            run the async scan service under\n"
+               "                            built-in mixed load; --watch\n"
+               "                            hot-swaps a changed artifact\n"
+               "                            through the lint gate mid-run\n");
   return 2;
 }
 
@@ -604,6 +748,7 @@ int main(int argc, char** argv) {
     if (cmd == "pack") return cmd_pack(args);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "demo") return cmd_demo(args);
+    if (cmd == "serve") return cmd_serve(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
