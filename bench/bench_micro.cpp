@@ -3,6 +3,8 @@
 // DBSCAN, the regex VM, and the common-window search.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
@@ -19,6 +21,7 @@
 #include "match/scanner.h"
 #include "sig/common_window.h"
 #include "support/interner.h"
+#include "support/mapped_file.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 #include "text/abstraction.h"
@@ -650,6 +653,69 @@ void BM_BundleColdStartLoad(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_BundleColdStartLoad)->Arg(100)->Arg(1000);
+
+// Same cold start through the zero-copy path: the artifact is mapped and
+// the version-2 automaton tables are used in place instead of streamed
+// into owned vectors. The file is written once; each iteration pays
+// mmap + parse-and-validate + pattern compilation (shared with the
+// istream row above, so the delta between the two rows is the copy).
+void BM_BundleColdStartLoadMmap(benchmark::State& state) {
+  const auto sigs = streaming_signatures(static_cast<std::size_t>(state.range(0)));
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("kizzle_bench_coldstart_" + std::to_string(state.range(0)) + ".kpf");
+  {
+    std::ofstream os(path, std::ios::binary);
+    core::save_artifact(os, sigs);
+  }
+  for (auto _ : state) {
+    auto mapped = std::make_shared<const support::MappedFile>(
+        support::MappedFile::open(path.string()));
+    benchmark::DoNotOptimize(
+        std::make_unique<core::SignatureBundle>(std::move(mapped)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BundleColdStartLoadMmap)->Arg(100)->Arg(1000);
+
+// Release motion at serving scale: re-loading the whole N-signature
+// artifact vs applying a small KZDELTA increment onto the live database.
+// Both end in a database serving N+8 signatures; the delta row compiles
+// only the 8 added patterns and shares the rest.
+void BM_DeployFullReload(benchmark::State& state) {
+  const auto full =
+      streaming_signatures(static_cast<std::size_t>(state.range(0)) + 8);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_artifact(blob, full);
+  const std::string artifact = blob.str();
+  for (auto _ : state) {
+    std::istringstream is(artifact);
+    benchmark::DoNotOptimize(engine::Database::from_artifact(is));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (state.range(0) + 8));
+}
+BENCHMARK(BM_DeployFullReload)->Arg(1000);
+
+void BM_DeployDeltaApply(benchmark::State& state) {
+  const auto full =
+      streaming_signatures(static_cast<std::size_t>(state.range(0)) + 8);
+  const std::vector<core::DeployedSignature> base(
+      full.begin(), full.begin() + state.range(0));
+  core::DeltaArtifact delta;
+  delta.base_fingerprint = core::fingerprint(base);
+  delta.result_fingerprint = core::fingerprint(full);
+  delta.added.assign(full.begin() + state.range(0), full.end());
+  const engine::Database db = engine::Database::compile(base);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.extend(delta));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (state.range(0) + 8));
+}
+BENCHMARK(BM_DeployDeltaApply)->Arg(1000);
 
 // The automaton in isolation (full bundle cold start is dominated by
 // pattern compilation, which the artifact deliberately does not ship):

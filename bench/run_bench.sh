@@ -19,7 +19,12 @@
 #                       (BM_EngineScanManySignatures vs
 #                       BM_EngineScanManySignaturesAutomaton), plus
 #                       BM_ScanManySignatures for the whole-database
-#                       trajectory
+#                       trajectory; also the release-motion rows gated by
+#                       --compare: zero-copy mmap cold start vs the istream
+#                       copy-in load (BM_BundleColdStartLoadMmap vs
+#                       BM_BundleColdStartLoad) and KZDELTA incremental
+#                       apply vs full artifact reload at serving scale
+#                       (BM_DeployDeltaApply vs BM_DeployFullReload)
 #   BENCH_serve.json    the async scan service under mixed one-shot/stream
 #                       load (bench_serve: serve_mixed/clients:{2,8} with
 #                       p50/p99/p999 latency and requests-per-second, a
@@ -47,7 +52,7 @@
 # Exits 1 on any regression, 2 when the files share no rows.
 set -euo pipefail
 
-SCAN_FILTER='BM_TeddyPrefilter|BM_ScanManySignatures/|BM_EngineScanManySignatures'
+SCAN_FILTER='BM_TeddyPrefilter|BM_ScanManySignatures/|BM_EngineScanManySignatures|BM_BundleColdStartLoad|BM_Deploy'
 
 if [[ "${1:-}" == "--compare" ]]; then
   BASELINE="${2:?usage: run_bench.sh --compare <baseline.json> [candidate.json] [tolerance]}"

@@ -8,7 +8,11 @@
 //   2. a deterministic mutation sweep over each seed — truncations at
 //      quartile points and single-bit flips at up to kMaxFlips evenly
 //      spaced offsets — so the typed-rejection contract is exercised on
-//      thousands of near-valid inputs even without coverage feedback.
+//      thousands of near-valid inputs even without coverage feedback, and
+//   3. when the target defines LLVMFuzzerCustomMutator (weak symbol —
+//      the structure-aware, checksum-resealing mutators do), a sweep of
+//      kCustomRounds seeded mutation chains per corpus file, so the
+//      mutants that penetrate past checksum gates run here too.
 //
 // Exit code 0 means every input was processed; contract violations abort
 // (or trip a sanitizer), exactly as they would under libFuzzer.
@@ -23,6 +27,11 @@
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size);
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed)
+    __attribute__((weak));
 
 namespace {
 
@@ -54,6 +63,22 @@ std::size_t sweep(const std::vector<std::uint8_t>& seed) {
     for (int bit = 0; bit < 8; ++bit) {
       flipped[i] = seed[i] ^ static_cast<std::uint8_t>(1u << bit);
       run(flipped);
+      ++executions;
+    }
+  }
+  // Structure-aware mutation chains: each round restarts from the seed
+  // and applies a few stacked custom mutations, deterministically seeded.
+  if (LLVMFuzzerCustomMutator != nullptr && !seed.empty()) {
+    constexpr unsigned kCustomRounds = 256;
+    for (unsigned round = 0; round < kCustomRounds; ++round) {
+      std::vector<std::uint8_t> mutant = seed;
+      std::size_t size = mutant.size();
+      for (unsigned depth = 0; depth <= round % 4; ++depth) {
+        size = LLVMFuzzerCustomMutator(mutant.data(), size, mutant.size(),
+                                       round * 4 + depth + 1);
+      }
+      mutant.resize(size);
+      run(mutant);
       ++executions;
     }
   }

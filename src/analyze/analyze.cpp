@@ -11,6 +11,7 @@
 
 #include "core/sigdb.h"
 #include "match/program.h"
+#include "support/hash.h"
 #include "match/teddy.h"
 
 namespace kizzle::analyze {
@@ -260,18 +261,23 @@ void verify_artifact_tables(const std::vector<engine::Database::Entry>& entries,
       }
     }
   }
+  // TableView sections are spans (possibly borrowed straight from a
+  // mapped artifact on the shipped side) — compare contents, not storage.
   const auto ta = shipped.tables();
   const auto tb = rebuilt.tables();
+  const auto differs = [](auto a, auto b) {
+    return !std::equal(a.begin(), a.end(), b.begin(), b.end());
+  };
   if (ta.alpha_size != tb.alpha_size || *ta.alpha != *tb.alpha) {
     bad.push_back("reduced alphabet");
   }
-  if (*ta.next != *tb.next) bad.push_back("goto table");
-  if (*ta.out_link != *tb.out_link) bad.push_back("output links");
-  if (*ta.out_begin != *tb.out_begin || *ta.out_end != *tb.out_end ||
-      *ta.out_ids != *tb.out_ids) {
+  if (differs(ta.next, tb.next)) bad.push_back("goto table");
+  if (differs(ta.out_link, tb.out_link)) bad.push_back("output links");
+  if (differs(ta.out_begin, tb.out_begin) || differs(ta.out_end, tb.out_end) ||
+      differs(ta.out_ids, tb.out_ids)) {
     bad.push_back("output sets");
   }
-  if (*ta.fallback != *tb.fallback) bad.push_back("fallback list");
+  if (differs(ta.fallback, tb.fallback)) bad.push_back("fallback list");
   if (ta.n_ids != tb.n_ids || ta.id_limit != tb.id_limit) {
     bad.push_back("id space");
   }
@@ -344,6 +350,90 @@ Report analyze_artifact(std::istream& is, const Options& opts) {
   return report;
 }
 
+Report analyze_delta(const engine::Database& base,
+                     const core::DeltaArtifact& delta, const Options& opts) {
+  Report report;
+  bool lineage_ok = true;
+  if (delta.base_fingerprint != base.fingerprint()) {
+    lineage_ok = false;
+    add_finding(report, Check::kDeltaLineage, Severity::kError, kNoSig, "",
+                "delta base fingerprint does not match the live database — "
+                "wrong lineage or out-of-order apply");
+  }
+  for (const std::uint64_t idx : delta.retired) {
+    if (idx >= base.size()) {
+      lineage_ok = false;
+      add_finding(report, Check::kDeltaLineage, Severity::kError, kNoSig, "",
+                  "retired index " + std::to_string(idx) +
+                      " is out of range for a base of " +
+                      std::to_string(base.size()) + " signatures");
+    } else if (base.entry_retired(static_cast<std::size_t>(idx))) {
+      lineage_ok = false;
+      add_finding(report, Check::kDeltaLineage, Severity::kError,
+                  static_cast<std::size_t>(idx),
+                  base.name(static_cast<std::size_t>(idx)),
+                  "retired index " + std::to_string(idx) +
+                      " is already tombstoned in the base");
+    }
+  }
+
+  // Each added signature gets the candidate treatment: compile, program +
+  // literal analysis, and cross checks against the base entries.
+  const auto base_entries = base.entries();
+  std::vector<SigRef> refs = refs_of(base_entries);
+  const std::size_t first_checked = refs.size();
+  std::vector<match::Pattern> added;
+  added.reserve(delta.added.size());
+  bool compiles = true;
+  for (std::size_t j = 0; j < delta.added.size(); ++j) {
+    const core::DeployedSignature& sig = delta.added[j];
+    const std::size_t index = base.size() + j;
+    try {
+      added.push_back(match::Pattern::compile(sig.pattern));
+    } catch (const match::PatternError& e) {
+      compiles = false;
+      add_finding(report, Check::kDeltaLineage, Severity::kError, index,
+                  sig.name,
+                  std::string("added pattern does not compile: ") + e.what());
+      continue;
+    }
+    analyze_signature(index, sig.name, added.back(), opts, report);
+    refs.push_back(SigRef{sig.name, &added.back()});
+  }
+  analyze_cross(refs, first_checked, report);
+
+  // Only when the pieces are individually coherent is the declared result
+  // fingerprint checkable: recompute what applying the delta would
+  // produce (base identities + added identities, tombstone union) and
+  // compare. This catches a tampered/miscomputed result_fingerprint at
+  // the gate instead of as an extend() refusal mid-swap.
+  if (lineage_ok && compiles) {
+    std::uint64_t sum = core::kFingerprintBasis;
+    const std::uint64_t n = base.size() + delta.added.size();
+    checksum_update(sum, &n, sizeof n);
+    for (const auto& e : base_entries) {
+      core::fingerprint_mix(sum, e.name, e.family, e.pattern.source());
+    }
+    for (const core::DeployedSignature& sig : delta.added) {
+      core::fingerprint_mix(sum, sig.name, sig.family, sig.pattern);
+    }
+    std::vector<std::uint64_t> tombstones;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (base.entry_retired(i)) tombstones.push_back(i);
+    }
+    tombstones.insert(tombstones.end(), delta.retired.begin(),
+                      delta.retired.end());
+    std::sort(tombstones.begin(), tombstones.end());
+    core::fingerprint_retire(sum, tombstones);
+    if (sum != delta.result_fingerprint) {
+      add_finding(report, Check::kDeltaLineage, Severity::kError, kNoSig, "",
+                  "declared result fingerprint disagrees with the set this "
+                  "delta actually produces when applied");
+    }
+  }
+  return report;
+}
+
 // ------------------------------ rendering ------------------------------
 
 std::size_t Report::count(Severity s) const {
@@ -382,6 +472,8 @@ const char* check_name(Check c) {
       return "dead-signature";
     case Check::kArtifactMismatch:
       return "artifact-mismatch";
+    case Check::kDeltaLineage:
+      return "delta-lineage";
   }
   return "?";
 }

@@ -78,6 +78,7 @@ enum class Check : std::uint8_t {
   kDuplicateSignature,   // identical pattern source issued twice
   kDeadSignature,        // requires bytes normalized text can never hold
   kArtifactMismatch,     // shipped tables != recompiled embedded source
+  kDeltaLineage,         // delta fingerprints/indices disagree with base
 };
 
 // Findings not tied to one signature (dense shards, artifact sections)
@@ -138,6 +139,20 @@ Report analyze_candidate(const engine::Database& db, std::string_view name,
 // throw the loader's kizzle::Error taxonomy (they are not findings: a
 // bundle that fails to parse never reaches deployment anyway).
 Report analyze_artifact(std::istream& is, const Options& opts = {});
+
+// Lints a `KZDELTA` delta artifact against the live base it would be
+// applied to — the serve hot-swap gate for incremental deploys. Lineage
+// problems are kDeltaLineage errors: a base fingerprint that does not
+// match `base.fingerprint()` (wrong lineage / out-of-order apply),
+// retired indices out of range or already tombstoned, an added pattern
+// that does not compile, and a declared result fingerprint that disagrees
+// with what applying the delta would actually produce. Each added
+// signature additionally gets the full per-signature and cross-signature
+// analysis against the base's entries, exactly as if it were a pipeline
+// candidate. Database-wide findings about `base` itself are not repeated.
+Report analyze_delta(const engine::Database& base,
+                     const core::DeltaArtifact& delta,
+                     const Options& opts = {});
 
 // Human-readable report: one `severity: [check] signature: message` line
 // per finding plus a summary line.

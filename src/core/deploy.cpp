@@ -20,6 +20,10 @@ SignatureBundle::SignatureBundle(
 SignatureBundle::SignatureBundle(std::istream& artifact)
     : db_(engine::Database::from_artifact(artifact, &infos_)) {}
 
+SignatureBundle::SignatureBundle(
+    std::shared_ptr<const support::MappedFile> artifact)
+    : db_(engine::Database::from_artifact(std::move(artifact), &infos_)) {}
+
 std::optional<std::size_t> SignatureBundle::match(
     std::string_view normalized) const {
   // Events arrive in ascending index order, so the first event IS the

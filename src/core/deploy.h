@@ -75,6 +75,12 @@ class SignatureBundle {
   // automaton rebuild. Throws std::runtime_error on malformed input.
   explicit SignatureBundle(std::istream& artifact);
 
+  // Zero-copy variant over a mapped artifact: the engine database borrows
+  // its automaton tables from the mapping (engine::Database::from_artifact
+  // mapped overload) and keeps it alive for the bundle's lifetime.
+  explicit SignatureBundle(
+      std::shared_ptr<const support::MappedFile> artifact);
+
   // The compiled engine database: scan it with engine::scan /
   // engine::open_stream and a Scratch of your own.
   const engine::Database& database() const { return db_; }

@@ -80,6 +80,26 @@ void KizzlePipeline::export_artifact(std::ostream& os) const {
   save_artifact(os, signatures_, &db_.prefilter());
 }
 
+void KizzlePipeline::export_delta(std::ostream& os, int base_day) const {
+  // signatures_ is append-only in ascending issue order, so "the set as
+  // of base_day" is a prefix of today's list.
+  std::size_t base_count = 0;
+  while (base_count < signatures_.size() &&
+         signatures_[base_count].issued_day <= base_day) {
+    ++base_count;
+  }
+  const std::vector<DeployedSignature> base(
+      signatures_.begin(),
+      signatures_.begin() + static_cast<std::ptrdiff_t>(base_count));
+  DeltaArtifact delta;
+  delta.base_fingerprint = fingerprint(base);
+  delta.result_fingerprint = fingerprint(signatures_);
+  delta.added.assign(
+      signatures_.begin() + static_cast<std::ptrdiff_t>(base_count),
+      signatures_.end());
+  save_delta(os, delta);
+}
+
 std::size_t KizzlePipeline::cluster_medoid(
     const std::vector<std::size_t>& members,
     const std::vector<std::vector<std::uint32_t>>& streams) {

@@ -144,6 +144,16 @@ class KizzlePipeline {
   // instead of rebuilding per process.
   void export_artifact(std::ostream& os) const;
 
+  // Persists the *increment* since `base_day` as a `KZDELTA` delta
+  // artifact (core/sigdb.h): added = signatures issued after `base_day`
+  // (the deployed list is append-only in issue order, so the base set is
+  // a prefix), retired = none (the paper's pipeline only ever issues).
+  // The delta's lineage fingerprints bind it to the exact base set —
+  // engine::Database::extend / serve refuse it anywhere else. An empty
+  // base (nothing issued by `base_day`) is legal: the delta then carries
+  // the whole set.
+  void export_delta(std::ostream& os, int base_day) const;
+
   // Scans AV-normalized text against all deployed signatures; returns the
   // index into signatures() of the first match.
   std::optional<std::size_t> scan(std::string_view normalized_text) const;

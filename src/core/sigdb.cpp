@@ -1,6 +1,8 @@
 #include "core/sigdb.h"
 
+#include <algorithm>
 #include <charconv>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -123,6 +125,13 @@ namespace {
 
 constexpr std::uint32_t kArtifactEndianSentinel = 0x01020304u;
 
+// Fixed bundle header: magic(8) + version(4) + endian(4) + db_len(8).
+constexpr std::size_t kBundleHeaderBytes = 24;
+// Section alignment of the prefilter v2 blob; the v2 bundle zero-pads the
+// embedded text database so the blob starts on this boundary relative to
+// the artifact start (and hence, for a mapped file, in memory).
+constexpr std::size_t kBundleAlign = 64;
+
 template <typename T>
 void put_raw(std::ostream& os, T v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -136,11 +145,28 @@ T get_raw(std::istream& is) {
   return v;
 }
 
+// Cap on the embedded text database. Tighter than the old 4 GiB check:
+// kMaxSignatureCount lines of kMaxSignatureLineBytes is the most the text
+// loader would accept anyway, so anything larger is rejected before the
+// buffer for it is allocated.
+constexpr std::uint64_t kMaxEmbeddedDbBytes = 1ull << 30;  // 1 GiB
+
+std::size_t bundle_pad(std::uint64_t db_len) {
+  const std::uint64_t end = kBundleHeaderBytes + db_len;
+  return static_cast<std::size_t>((kBundleAlign - end % kBundleAlign) %
+                                  kBundleAlign);
+}
+
 }  // namespace
 
 void save_artifact(std::ostream& os,
                    const std::vector<DeployedSignature>& signatures,
-                   const match::LiteralPrefilter* prebuilt) {
+                   const match::LiteralPrefilter* prebuilt,
+                   std::uint32_t version) {
+  if (version != 1 && version != 2) {
+    throw std::invalid_argument("save_artifact: unsupported version " +
+                                std::to_string(version));
+  }
   match::LiteralPrefilter local;
   if (prebuilt == nullptr) {
     for (std::size_t i = 0; i < signatures.size(); ++i) {
@@ -157,22 +183,35 @@ void save_artifact(std::ostream& os,
   }
   os.write(kArtifactMagic.data(),
            static_cast<std::streamsize>(kArtifactMagic.size()));
-  put_raw<std::uint32_t>(os, kArtifactVersion);
+  put_raw<std::uint32_t>(os, version);
   put_raw<std::uint32_t>(os, kArtifactEndianSentinel);
   const std::string db = save_signatures(signatures);
   put_raw<std::uint64_t>(os, db.size());
   os.write(db.data(), static_cast<std::streamsize>(db.size()));
-  prebuilt->serialize(os);
+  if (version == 2) {
+    // Zero pad so the prefilter blob starts 64-byte aligned relative to
+    // the artifact start; load_artifact(span) relies on this to hand the
+    // blob's table sections out as views into a mapped file.
+    static constexpr char zeros[kBundleAlign] = {};
+    os.write(zeros, static_cast<std::streamsize>(bundle_pad(db.size())));
+  }
+  prebuilt->serialize(os, version);
   if (!os) throw std::runtime_error("save_artifact: write failed");
 }
 
 namespace {
 
-// Cap on the embedded text database. Tighter than the old 4 GiB check:
-// kMaxSignatureCount lines of kMaxSignatureLineBytes is the most the text
-// loader would accept anyway, so anything larger is rejected before the
-// buffer for it is allocated.
-constexpr std::uint64_t kMaxEmbeddedDbBytes = 1ull << 30;  // 1 GiB
+BundleArtifact finish_artifact(std::vector<DeployedSignature> signatures,
+                               match::LiteralPrefilter prefilter) {
+  if (prefilter.id_count() != signatures.size()) {
+    throw ArtifactError(
+        "load_artifact: prefilter id count disagrees with signature list");
+  }
+  BundleArtifact out;
+  out.signatures = std::move(signatures);
+  out.prefilter = std::move(prefilter);
+  return out;
+}
 
 }  // namespace
 
@@ -183,7 +222,7 @@ BundleArtifact load_artifact(std::istream& is, bool validate_patterns) {
     throw ArtifactError("load_artifact: bad magic");
   }
   const auto version = get_raw<std::uint32_t>(is);
-  if (version != kArtifactVersion) {
+  if (version != 1 && version != 2) {
     throw ArtifactError("load_artifact: unsupported format version " +
                         std::to_string(version));
   }
@@ -201,15 +240,219 @@ BundleArtifact load_artifact(std::istream& is, bool validate_patterns) {
   std::string db(static_cast<std::size_t>(db_len), '\0');
   is.read(db.data(), static_cast<std::streamsize>(db.size()));
   if (!is) throw ArtifactError("load_artifact: truncated artifact");
-
-  BundleArtifact out;
-  std::istringstream db_is(db);
-  out.signatures = load_signatures(db_is, validate_patterns);
-  out.prefilter = match::LiteralPrefilter::load(is);
-  if (out.prefilter.id_count() != out.signatures.size()) {
-    throw ArtifactError(
-        "load_artifact: prefilter id count disagrees with signature list");
+  if (version == 2) {
+    char pad[kBundleAlign];
+    is.read(pad, static_cast<std::streamsize>(bundle_pad(db_len)));
+    if (!is) throw ArtifactError("load_artifact: truncated artifact");
   }
+
+  std::istringstream db_is(db);
+  std::vector<DeployedSignature> signatures =
+      load_signatures(db_is, validate_patterns);
+  return finish_artifact(std::move(signatures),
+                         match::LiteralPrefilter::load(is));
+}
+
+BundleArtifact load_artifact(std::span<const std::byte> blob,
+                             bool validate_patterns) {
+  if (blob.size() < kBundleHeaderBytes) {
+    throw ArtifactError("load_artifact: truncated artifact");
+  }
+  if (std::memcmp(blob.data(), kArtifactMagic.data(), kArtifactMagic.size()) !=
+      0) {
+    throw ArtifactError("load_artifact: bad magic");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t endian = 0;
+  std::uint64_t db_len = 0;
+  std::memcpy(&version, blob.data() + 8, 4);
+  std::memcpy(&endian, blob.data() + 12, 4);
+  std::memcpy(&db_len, blob.data() + 16, 8);
+  if (version == 1) {
+    // Legacy layout has unaligned, field-granular table serialization; no
+    // zero-copy path exists for it. Replay through the stream loader.
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+    return load_artifact(is, validate_patterns);
+  }
+  if (version != 2) {
+    throw ArtifactError("load_artifact: unsupported format version " +
+                        std::to_string(version));
+  }
+  if (endian != kArtifactEndianSentinel) {
+    throw ArtifactError(
+        "load_artifact: artifact endianness does not match this host");
+  }
+  if (db_len > kMaxEmbeddedDbBytes) {
+    throw ResourceError(
+        "load_artifact: declared database size " + std::to_string(db_len) +
+        " exceeds the " + std::to_string(kMaxEmbeddedDbBytes) + "-byte cap");
+  }
+  const std::uint64_t blob_off =
+      kBundleHeaderBytes + db_len + bundle_pad(db_len);
+  if (blob_off > blob.size()) {
+    throw ArtifactError("load_artifact: truncated artifact");
+  }
+
+  std::istringstream db_is(std::string(
+      reinterpret_cast<const char*>(blob.data()) + kBundleHeaderBytes,
+      static_cast<std::size_t>(db_len)));
+  std::vector<DeployedSignature> signatures =
+      load_signatures(db_is, validate_patterns);
+  return finish_artifact(
+      std::move(signatures),
+      match::LiteralPrefilter::load(
+          blob.subspan(static_cast<std::size_t>(blob_off))));
+}
+
+// ---------------------------- delta artifact -----------------------------
+
+void fingerprint_mix(std::uint64_t& sum, std::string_view name,
+                     std::string_view family, std::string_view pattern) {
+  const auto field = [&sum](std::string_view s) {
+    const std::uint64_t len = s.size();
+    checksum_update(sum, &len, sizeof len);
+    checksum_update(sum, s.data(), s.size());
+  };
+  field(name);
+  field(family);
+  field(pattern);
+}
+
+void fingerprint_retire(std::uint64_t& sum,
+                        std::span<const std::uint64_t> retired) {
+  const std::uint64_t n = retired.size();
+  checksum_update(sum, &n, sizeof n);
+  for (const std::uint64_t idx : retired) {
+    checksum_update(sum, &idx, sizeof idx);
+  }
+}
+
+std::uint64_t fingerprint(const std::vector<DeployedSignature>& signatures,
+                          std::span<const std::uint64_t> retired) {
+  std::uint64_t sum = kFingerprintBasis;
+  const std::uint64_t n = signatures.size();
+  checksum_update(sum, &n, sizeof n);
+  for (const DeployedSignature& s : signatures) {
+    fingerprint_mix(sum, s.name, s.family, s.pattern);
+  }
+  fingerprint_retire(sum, retired);
+  return sum;
+}
+
+namespace {
+
+// A delta's payload is bounded by what its parts could legitimately be:
+// an embedded text database plus a retired-index list no longer than the
+// signature cap.
+constexpr std::uint64_t kMaxDeltaPayloadBytes =
+    kMaxEmbeddedDbBytes + 8ull * kMaxSignatureCount + 64;
+
+void check_retired_ascending(std::span<const std::uint64_t> retired,
+                             const char* who) {
+  for (std::size_t i = 1; i < retired.size(); ++i) {
+    if (retired[i] <= retired[i - 1]) {
+      throw ArtifactError(std::string(who) +
+                          ": retired indices not strictly ascending");
+    }
+  }
+}
+
+}  // namespace
+
+void save_delta(std::ostream& os, const DeltaArtifact& delta) {
+  check_retired_ascending(delta.retired, "save_delta");
+  const std::string db = save_signatures(delta.added);
+
+  std::string payload;
+  const auto num = [&payload](std::uint64_t v) {
+    payload.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  num(delta.base_fingerprint);
+  num(delta.result_fingerprint);
+  num(delta.retired.size());
+  for (const std::uint64_t idx : delta.retired) num(idx);
+  num(db.size());
+  payload.append(db);
+
+  std::uint64_t sum = kChecksumBasis;
+  checksum_update(sum, payload.data(), payload.size());
+
+  os.write(kDeltaMagic.data(),
+           static_cast<std::streamsize>(kDeltaMagic.size()));
+  put_raw<std::uint32_t>(os, kDeltaVersion);
+  put_raw<std::uint32_t>(os, kArtifactEndianSentinel);
+  put_raw<std::uint64_t>(os, payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  put_raw<std::uint64_t>(os, sum);
+  if (!os) throw std::runtime_error("save_delta: write failed");
+}
+
+DeltaArtifact load_delta(std::istream& is, bool validate_patterns) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::string_view(magic, sizeof magic) != kDeltaMagic) {
+    throw ArtifactError("load_delta: bad magic");
+  }
+  const auto version = get_raw<std::uint32_t>(is);
+  if (version != kDeltaVersion) {
+    throw ArtifactError("load_delta: unsupported format version " +
+                        std::to_string(version));
+  }
+  const auto endian = get_raw<std::uint32_t>(is);
+  if (endian != kArtifactEndianSentinel) {
+    throw ArtifactError(
+        "load_delta: delta endianness does not match this host");
+  }
+  const auto payload_size = get_raw<std::uint64_t>(is);
+  if (payload_size < 3 * 8 + 8 || payload_size > kMaxDeltaPayloadBytes) {
+    throw ResourceError("load_delta: implausible payload size " +
+                        std::to_string(payload_size));
+  }
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!is) throw ArtifactError("load_delta: truncated delta");
+  const auto declared_sum = get_raw<std::uint64_t>(is);
+
+  // Verify the seal before interpreting a single payload field.
+  std::uint64_t sum = kChecksumBasis;
+  checksum_update(sum, payload.data(), payload.size());
+  if (sum != declared_sum) {
+    throw ArtifactError("load_delta: checksum mismatch (corrupt delta)");
+  }
+
+  std::size_t pos = 0;
+  const auto num = [&payload, &pos]() {
+    if (payload.size() - pos < 8) {
+      throw ArtifactError("load_delta: truncated payload");
+    }
+    std::uint64_t v;
+    std::memcpy(&v, payload.data() + pos, 8);
+    pos += 8;
+    return v;
+  };
+  DeltaArtifact out;
+  out.base_fingerprint = num();
+  out.result_fingerprint = num();
+  const std::uint64_t n_retired = num();
+  if (n_retired > kMaxSignatureCount) {
+    throw ResourceError("load_delta: retired count " +
+                        std::to_string(n_retired) + " exceeds the cap of " +
+                        std::to_string(kMaxSignatureCount));
+  }
+  if (payload.size() - pos < n_retired * 8) {
+    throw ArtifactError("load_delta: truncated payload");
+  }
+  out.retired.resize(static_cast<std::size_t>(n_retired));
+  for (std::uint64_t& idx : out.retired) idx = num();
+  check_retired_ascending(out.retired, "load_delta");
+  const std::uint64_t db_len = num();
+  if (db_len != payload.size() - pos) {
+    throw ArtifactError(
+        "load_delta: embedded database length disagrees with payload size");
+  }
+  std::istringstream db_is(payload.substr(pos));
+  out.added = load_signatures(db_is, validate_patterns);
   return out;
 }
 

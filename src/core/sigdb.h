@@ -12,29 +12,72 @@
 // Patterns contain no tabs or newlines by construction (they are compiled
 // from normalized text, which strips whitespace).
 //
-// Next to the text database there is a binary *bundle artifact* (`.kpf`):
-// the signature set plus the pre-built Aho–Corasick literal prefilter over
-// it, produced once at signature-release time (`kizzle pack`, or
-// KizzlePipeline::export_artifact) so deployment processes load the frozen
-// automaton instead of each rebuilding it. Layout: an 8-byte magic, a
-// format version, an endianness sentinel, the embedded text database, then
-// the prefilter in LiteralPrefilter::serialize's self-checking format.
+// Next to the text database there are two binary release formats, both
+// little-endian, both sealed with the shared checksum primitive
+// (kizzle::checksum_update, one pass over the whole payload):
+//
+// *Bundle artifact* (`.kpf`, magic "KZBUNDLE", version 2): the signature
+// set plus the pre-built Aho–Corasick literal prefilter over it, produced
+// once at signature-release time (`kizzle pack`, or
+// KizzlePipeline::export_artifact) so deployment processes load the
+// frozen automaton instead of each rebuilding it. Layout:
+//
+//   "KZBUNDLE"(8) | u32 version=2 | u32 endian 0x01020304 |
+//   u64 db_len | db text bytes | zero pad to a 64-byte boundary
+//   (relative to the artifact start) | prefilter blob
+//   (LiteralPrefilter::serialize v2: aligned, length-prefixed table
+//   sections + its own single-pass checksum trailer)
+//
+// The pad exists so that when the artifact is mapped from disk the
+// prefilter's table sections land on 64-byte boundaries and the loader
+// can point std::span views straight into the mapping (zero-copy) instead
+// of copying megabytes of automaton tables. load_artifact(span) is that
+// path; the istream overload still accepts version-1 artifacts
+// (unaligned, per-field checksum granularity) for bundles packed by older
+// releases.
+//
+// *Delta artifact* (`.kzd`, magic "KZDELTAF", version 1): an incremental
+// update from one deployed signature set to the next — the daily Kizzle
+// cycle retires a few signatures and issues a few new ones, and shipping
+// a full multi-megabyte bundle for an 8-signature day wastes the
+// distribution channel. Layout:
+//
+//   "KZDELTAF"(8) | u32 version=1 | u32 endian |
+//   u64 payload_size | u64 base_fingerprint | u64 result_fingerprint |
+//   u64 n_retired | u64 retired[n_retired] (ascending indices into the
+//   base set) | u64 db_len | added-signature text db (save_signatures
+//   format) | u64 checksum (single pass over the payload_size bytes
+//   between the payload_size field and the checksum)
+//
+// Lineage is enforced by fingerprints: `fingerprint(signatures, retired)`
+// chains the identity of every entry (name, family, pattern) and the
+// retired set through checksum_update. A delta records the fingerprint of
+// the exact base it was diffed against and of the set that must result;
+// engine::Database::extend refuses a delta whose base_fingerprint does
+// not match the live database, and verifies result_fingerprint after
+// applying, so out-of-order or cross-lineage deltas cannot silently
+// corrupt a deployment.
+//
 // Version policy mirrors the prefilter's: any layout change bumps the
 // version, loaders reject unknown versions and foreign endianness.
-// Both loaders run on untrusted bytes and throw the kizzle typed-error
+// All loaders run on untrusted bytes and throw the kizzle typed-error
 // taxonomy (support/errors.h): InputError for unparsable text (messages
 // carry line number AND byte offset), ArtifactError for a malformed
-// binary bundle, ResourceError when declared/observed sizes exceed the
-// loader caps below. No other exception escapes on bad input, and no
-// allocation happens before the size that justifies it is validated.
+// binary bundle or delta, ResourceError when declared/observed sizes
+// exceed the loader caps below. No other exception escapes on bad input,
+// and no allocation happens before the size that justifies it is
+// validated.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "match/prefilter.h"
+#include "support/hash.h"
 
 namespace kizzle::core {
 
@@ -65,7 +108,7 @@ std::vector<DeployedSignature> load_signatures(std::istream& is,
 // ---------------------------- bundle artifact ----------------------------
 
 inline constexpr std::string_view kArtifactMagic = "KZBUNDLE";
-inline constexpr std::uint32_t kArtifactVersion = 1;
+inline constexpr std::uint32_t kArtifactVersion = 2;
 
 struct BundleArtifact {
   std::vector<DeployedSignature> signatures;
@@ -75,15 +118,70 @@ struct BundleArtifact {
 // Writes signatures + prefilter as one deployable artifact. `prebuilt`
 // must register exactly one id per signature (its index); pass nullptr to
 // have the prefilter compiled and built here from the signature patterns.
+// `version` selects the on-disk layout: 2 (default, aligned/zero-copy) or
+// 1 (legacy, for compatibility testing against old loaders).
 void save_artifact(std::ostream& os,
                    const std::vector<DeployedSignature>& signatures,
-                   const match::LiteralPrefilter* prebuilt = nullptr);
+                   const match::LiteralPrefilter* prebuilt = nullptr,
+                   std::uint32_t version = kArtifactVersion);
 
 // Parses an artifact back; the returned prefilter is ready to scan without
 // a rebuild. Throws kizzle::ArtifactError on malformed/corrupt/mismatched
 // input (including a prefilter whose id count disagrees with the
 // signature list) and kizzle::ResourceError on implausible declared
-// sizes. `validate_patterns` as in load_signatures.
+// sizes. `validate_patterns` as in load_signatures. Accepts version 1 and
+// version 2 artifacts.
 BundleArtifact load_artifact(std::istream& is, bool validate_patterns = true);
+
+// Zero-copy overload over a byte range, typically a support::MappedFile.
+// For a version-2 artifact whose mapping starts 64-byte aligned (mmap
+// returns page-aligned addresses, so any mapped file qualifies), the
+// returned prefilter's automaton tables are std::span views INTO `blob` —
+// the caller must keep the underlying bytes alive and unmodified for the
+// lifetime of the returned object (engine::Database does this by holding
+// the MappedFile in a shared_ptr). Version-1 artifacts and misaligned
+// ranges fall back to owned copies with identical semantics.
+BundleArtifact load_artifact(std::span<const std::byte> blob,
+                             bool validate_patterns = true);
+
+// ---------------------------- delta artifact -----------------------------
+
+inline constexpr std::string_view kDeltaMagic = "KZDELTAF";
+inline constexpr std::uint32_t kDeltaVersion = 1;
+
+// An incremental update: retire `retired` (indices into the base set, in
+// ascending order) and append `added`. Application order is retire-then-
+// append, so added signatures receive ids starting at the base set's size.
+struct DeltaArtifact {
+  std::uint64_t base_fingerprint = 0;    // set the delta applies to
+  std::uint64_t result_fingerprint = 0;  // set that must result
+  std::vector<std::uint64_t> retired;    // ascending indices into base
+  std::vector<DeployedSignature> added;
+};
+
+// Lineage fingerprint of a deployed set: chains each entry's identity
+// (name, family, pattern — deployment metadata like issued_day is not
+// part of identity) and then the retired index set, all through
+// kizzle::checksum_update with length-prefixed mixing so field boundaries
+// are unambiguous. Two sets fingerprint equal iff they hold the same
+// signatures in the same slots with the same tombstones.
+inline constexpr std::uint64_t kFingerprintBasis = kChecksumBasis;
+std::uint64_t fingerprint(const std::vector<DeployedSignature>& signatures,
+                          std::span<const std::uint64_t> retired = {});
+
+// Mixing steps, exposed so engine::Database (which stores entries, not
+// DeployedSignatures) can compute the identical fingerprint.
+void fingerprint_mix(std::uint64_t& sum, std::string_view name,
+                     std::string_view family, std::string_view pattern);
+void fingerprint_retire(std::uint64_t& sum,
+                        std::span<const std::uint64_t> retired);
+
+// Writes / parses a delta artifact. save_delta validates that `retired`
+// is strictly ascending and that no field contains tab/newline (via
+// save_signatures); load_delta runs on untrusted bytes with the same
+// error taxonomy as load_artifact and re-validates ordering, caps and the
+// checksum before returning.
+void save_delta(std::ostream& os, const DeltaArtifact& delta);
+DeltaArtifact load_delta(std::istream& is, bool validate_patterns = true);
 
 }  // namespace kizzle::core

@@ -5,6 +5,8 @@
 
 #include "core/sigdb.h"
 #include "support/errors.h"
+#include "support/hash.h"
+#include "support/mapped_file.h"
 
 namespace kizzle::engine {
 
@@ -14,6 +16,7 @@ Database::Database() {
   // An empty automaton is still a built automaton: scans on an empty
   // database are legal and deliver nothing.
   prefilter_.build();
+  refresh_fingerprint();
 }
 
 void Database::build_prefilter() {
@@ -21,6 +24,22 @@ void Database::build_prefilter() {
     prefilter_.add(i, entries_[i].pattern.required_literal());
   }
   prefilter_.build();
+}
+
+void Database::refresh_fingerprint() {
+  std::uint64_t sum = core::kFingerprintBasis;
+  const std::uint64_t n = entries_.size();
+  checksum_update(sum, &n, sizeof n);
+  for (const Entry& e : entries_) {
+    core::fingerprint_mix(sum, e.name, e.family, e.pattern.source());
+  }
+  std::vector<std::uint64_t> retired;
+  retired.reserve(retired_count_);
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i] != 0) retired.push_back(i);
+  }
+  core::fingerprint_retire(sum, retired);
+  fingerprint_ = sum;
 }
 
 Database Database::compile(const std::vector<Spec>& specs) {
@@ -31,6 +50,7 @@ Database Database::compile(const std::vector<Spec>& specs) {
         Entry{s.name, s.family, match::Pattern::compile(s.pattern)});
   }
   db.build_prefilter();
+  db.refresh_fingerprint();
   return db;
 }
 
@@ -47,6 +67,7 @@ Database Database::from_entries(std::vector<Entry> entries) {
   Database db;
   db.entries_ = std::move(entries);
   db.build_prefilter();
+  db.refresh_fingerprint();
   return db;
 }
 
@@ -62,8 +83,26 @@ Database Database::from_entries(std::vector<Entry> entries,
   Database db;
   db.entries_ = std::move(entries);
   db.prefilter_ = std::move(prebuilt);
+  db.refresh_fingerprint();
   return db;
 }
+
+namespace {
+
+// Compiles a loaded signature list into entries without the loader's trial
+// compilation (a bad pattern still throws here).
+std::vector<Database::Entry> compile_entries(
+    const std::vector<core::DeployedSignature>& signatures) {
+  std::vector<Database::Entry> entries;
+  entries.reserve(signatures.size());
+  for (const core::DeployedSignature& s : signatures) {
+    entries.push_back(
+        Database::Entry{s.name, s.family, match::Pattern::compile(s.pattern)});
+  }
+  return entries;
+}
+
+}  // namespace
 
 Database Database::from_artifact(
     std::istream& artifact,
@@ -72,16 +111,29 @@ Database Database::from_artifact(
   // real right below (and a bad one still throws).
   core::BundleArtifact loaded =
       core::load_artifact(artifact, /*validate_patterns=*/false);
-  std::vector<Entry> entries;
-  entries.reserve(loaded.signatures.size());
-  for (const core::DeployedSignature& s : loaded.signatures) {
-    entries.push_back(
-        Entry{s.name, s.family, match::Pattern::compile(s.pattern)});
-  }
+  std::vector<Entry> entries = compile_entries(loaded.signatures);
   if (signatures_out != nullptr) *signatures_out = std::move(loaded.signatures);
   // The release-time automaton, exactly as built by `kizzle pack` /
   // KizzlePipeline::export_artifact — no per-process rebuild.
   return from_entries(std::move(entries), std::move(loaded.prefilter));
+}
+
+Database Database::from_artifact(
+    std::shared_ptr<const support::MappedFile> mapping,
+    std::vector<core::DeployedSignature>* signatures_out) {
+  if (mapping == nullptr) {
+    throw ArtifactError("engine::Database::from_artifact: null mapping");
+  }
+  core::BundleArtifact loaded =
+      core::load_artifact(mapping->bytes(), /*validate_patterns=*/false);
+  std::vector<Entry> entries = compile_entries(loaded.signatures);
+  if (signatures_out != nullptr) *signatures_out = std::move(loaded.signatures);
+  Database db = from_entries(std::move(entries), std::move(loaded.prefilter));
+  // The prefilter's tables may be views into the mapping (zero-copy v2
+  // path) — pin it for the database's lifetime. Harmless when the loader
+  // fell back to owned copies (v1 artifact, misaligned range).
+  db.mapping_ = std::move(mapping);
+  return db;
 }
 
 Database Database::extend(Entry extra) const {
@@ -90,7 +142,52 @@ Database Database::extend(Entry extra) const {
   // Shared programs: copying an existing entry is O(1).
   out.entries_.insert(out.entries_.end(), entries_.begin(), entries_.end());
   out.entries_.push_back(std::move(extra));
+  out.retired_ = retired_;
+  out.retired_count_ = retired_count_;
   out.build_prefilter();
+  out.refresh_fingerprint();
+  return out;
+}
+
+Database Database::extend(const core::DeltaArtifact& delta) const {
+  if (delta.base_fingerprint != fingerprint_) {
+    throw ArtifactError(
+        "engine::Database::extend: delta base fingerprint does not match the "
+        "live database (wrong lineage or out-of-order apply)");
+  }
+  Database out;
+  out.entries_.reserve(entries_.size() + delta.added.size());
+  // Shared programs: only the added patterns are compiled below.
+  out.entries_.insert(out.entries_.end(), entries_.begin(), entries_.end());
+  out.retired_ = retired_;
+  out.retired_.resize(entries_.size(), 0);
+  out.retired_count_ = retired_count_;
+  for (const std::uint64_t idx : delta.retired) {
+    if (idx >= entries_.size()) {
+      throw ArtifactError(
+          "engine::Database::extend: retired index out of range");
+    }
+    if (out.retired_[static_cast<std::size_t>(idx)] != 0) {
+      throw ArtifactError(
+          "engine::Database::extend: signature already retired");
+    }
+    out.retired_[static_cast<std::size_t>(idx)] = 1;
+    ++out.retired_count_;
+  }
+  for (const core::DeployedSignature& s : delta.added) {
+    out.entries_.push_back(
+        Entry{s.name, s.family, match::Pattern::compile(s.pattern)});
+  }
+  // Retired slots keep their index in the rebuilt automaton (candidate ids
+  // stay lineage indices); the confirmation loop is the single choke point
+  // that drops them.
+  out.build_prefilter();
+  out.refresh_fingerprint();
+  if (out.fingerprint_ != delta.result_fingerprint) {
+    throw ArtifactError(
+        "engine::Database::extend: applied delta does not reproduce its "
+        "declared result fingerprint");
+  }
   return out;
 }
 
@@ -192,6 +289,10 @@ ScanOutcome confirm_loop(const Database& db,
     if (i >= entries.size()) {
       throw std::out_of_range("engine::confirm: bad candidate index");
     }
+    // Tombstoned by a delta: the slot keeps its index (the prefilter still
+    // reports it) but must never produce an event. Every scan shape —
+    // one-shot, pre-gated, stream finish — funnels through here.
+    if (db.entry_retired(i)) continue;
     if (should_confirm != nullptr && !(*should_confirm)(i)) continue;
     const Database::Entry& entry = entries[i];  // bounds-checked above
     switch (entry.pattern.confirm_tier()) {

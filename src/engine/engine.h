@@ -86,6 +86,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -103,6 +104,11 @@
 
 namespace kizzle::core {
 struct DeployedSignature;
+struct DeltaArtifact;
+}
+
+namespace kizzle::support {
+class MappedFile;
 }
 
 namespace kizzle::engine {
@@ -231,12 +237,42 @@ class Database {
   static Database from_artifact(
       std::istream& artifact,
       std::vector<core::DeployedSignature>* signatures_out = nullptr);
+  // Zero-copy variant over a mapped `.kpf` file: for a version-2 artifact
+  // the prefilter's automaton tables are views into the mapping, which the
+  // database keeps alive (shared_ptr) for its own lifetime — cold-start
+  // load cost becomes parse-and-validate instead of copy-everything, and
+  // concurrent loaders of the same artifact share page-cache pages.
+  static Database from_artifact(
+      std::shared_ptr<const support::MappedFile> mapping,
+      std::vector<core::DeployedSignature>* signatures_out = nullptr);
 
   // A database holding this database's entries plus `extra`, with the
   // prefilter rebuilt over the union. Existing patterns are shared, not
   // recompiled — the incremental deployment path (one new signature per
   // release).
   Database extend(Entry extra) const;
+
+  // Applies a delta artifact (core/sigdb.h): tombstones `delta.retired`
+  // and appends `delta.added`, compiling ONLY the added patterns (existing
+  // compiled programs are shared). Lineage is enforced both ways: throws
+  // kizzle::ArtifactError if `delta.base_fingerprint` does not match this
+  // database's fingerprint(), or if the applied result does not reproduce
+  // `delta.result_fingerprint`. The prefilter is rebuilt over all
+  // non-retired entries; retired slots keep their index (events keep
+  // meaning "index into the deployed lineage") but can never match again.
+  Database extend(const core::DeltaArtifact& delta) const;
+
+  // Lineage fingerprint of this database's signature identity set +
+  // tombstones (core::fingerprint-compatible). Computed at construction.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  // True for a slot retired by a delta: kept for index stability, skipped
+  // by every confirmation loop.
+  bool entry_retired(std::size_t index) const {
+    return index < retired_.size() && retired_[index] != 0;
+  }
+  // Entries minus tombstones — the number of signatures that can match.
+  std::size_t active_size() const { return entries_.size() - retired_count_; }
 
   std::size_t size() const { return entries_.size(); }
   const std::string& name(std::size_t index) const;
@@ -250,9 +286,18 @@ class Database {
 
  private:
   void build_prefilter();
+  void refresh_fingerprint();
 
   std::vector<Entry> entries_;
   match::LiteralPrefilter prefilter_;
+  // Tombstone bitmap (parallel to entries_; empty == nothing retired).
+  std::vector<unsigned char> retired_;
+  std::size_t retired_count_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  // Keepalive for the zero-copy load path: when the prefilter's tables
+  // are views into a mapped artifact, the mapping must outlive them. Null
+  // for owning databases.
+  std::shared_ptr<const support::MappedFile> mapping_;
 };
 
 // ------------------------------- scratch -------------------------------

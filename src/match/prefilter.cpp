@@ -5,9 +5,12 @@
 #include <istream>
 #include <ostream>
 #include <queue>
+#include <sstream>
 #include <stdexcept>
+#include <type_traits>
 
 #include "support/errors.h"
+#include "support/hash.h"
 
 namespace kizzle::match {
 
@@ -246,11 +249,11 @@ void LiteralPrefilter::build() {
   AcTables t = compile_automaton(keywords_);
   alpha_ = t.alpha;
   alpha_size_ = t.alpha_size;
-  next_ = std::move(t.next);
-  out_link_ = std::move(t.out_link);
-  out_begin_ = std::move(t.out_begin);
-  out_end_ = std::move(t.out_end);
-  out_ids_ = std::move(t.out_ids);
+  next_.reset(std::move(t.next));
+  out_link_.reset(std::move(t.out_link));
+  out_begin_.reset(std::move(t.out_begin));
+  out_end_.reset(std::move(t.out_end));
+  out_ids_.reset(std::move(t.out_ids));
 
   finalize_derived();
   built_ = true;
@@ -325,6 +328,14 @@ void LiteralPrefilter::candidates_into(std::string_view text,
                                      : PrefilterFallback::kTextTooLarge;
   }
 
+  // Hoist the table base pointers once: the tables may be owned or
+  // borrowed (TableRef), and resolving that per byte would put a branch
+  // in the innermost loop.
+  const std::int32_t* const next = next_.data();
+  const std::int32_t* const out_link = out_link_.data();
+  const std::int32_t* const out_begin = out_begin_.data();
+  const std::int32_t* const out_end = out_end_.data();
+  const std::size_t* const out_ids = out_ids_.data();
   std::size_t n_seen = 0;
   std::int32_t state = 0;
   for (const char ch : text) {
@@ -333,16 +344,16 @@ void LiteralPrefilter::candidates_into(std::string_view text,
       state = 0;
       continue;
     }
-    state = next_[static_cast<std::size_t>(state) * alpha_size_ + code];
+    state = next[static_cast<std::size_t>(state) * alpha_size_ + code];
     for (std::int32_t s = state; s != kNone;
-         s = out_link_[static_cast<std::size_t>(s)]) {
-      if (out_begin_[static_cast<std::size_t>(s)] ==
-          out_end_[static_cast<std::size_t>(s)]) {
+         s = out_link[static_cast<std::size_t>(s)]) {
+      if (out_begin[static_cast<std::size_t>(s)] ==
+          out_end[static_cast<std::size_t>(s)]) {
         continue;  // root (or a pure-prefix state reached directly)
       }
-      for (std::int32_t i = out_begin_[static_cast<std::size_t>(s)];
-           i < out_end_[static_cast<std::size_t>(s)]; ++i) {
-        const std::size_t id = out_ids_[static_cast<std::size_t>(i)];
+      for (std::int32_t i = out_begin[static_cast<std::size_t>(s)];
+           i < out_end[static_cast<std::size_t>(s)]; ++i) {
+        const std::size_t id = out_ids[static_cast<std::size_t>(i)];
         if (!seen[id]) {
           seen[id] = 1;
           out.push_back(id);
@@ -365,12 +376,12 @@ LiteralPrefilter::TableView LiteralPrefilter::tables() const {
   TableView v;
   v.alpha = &alpha_;
   v.alpha_size = alpha_size_;
-  v.next = &next_;
-  v.out_link = &out_link_;
-  v.out_begin = &out_begin_;
-  v.out_end = &out_end_;
-  v.out_ids = &out_ids_;
-  v.fallback = &fallback_;
+  v.next = next_.view();
+  v.out_link = out_link_.view();
+  v.out_begin = out_begin_.view();
+  v.out_end = out_end_.view();
+  v.out_ids = out_ids_.view();
+  v.fallback = std::span<const std::size_t>(fallback_);
   v.n_ids = n_ids_;
   v.id_limit = id_limit_;
   return v;
@@ -395,30 +406,20 @@ namespace {
 
 constexpr char kMagic[4] = {'K', 'Z', 'P', 'F'};
 constexpr std::uint32_t kEndianSentinel = 0x01020304u;
-constexpr std::uint64_t kCkBasis = 0xCBF29CE484222325ull;
-constexpr std::uint64_t kCkPrime = 0x100000001B3ull;
+constexpr std::uint64_t kCkBasis = kizzle::kChecksumBasis;
 // Table sizes beyond this are rejected before allocation: a corrupt count
 // must not drive the loader into a multi-gigabyte resize before the
 // trailing checksum gets a chance to catch it. 16M elements is orders of
 // magnitude above any realistic signature database's automaton.
 constexpr std::uint64_t kMaxTableElems = 1ull << 24;
-
-// Word-at-a-time FNV-style mix: the automaton tables run to megabytes for
-// large databases, and a per-byte checksum loop showed up as the dominant
-// cost of artifact loading. Writer and reader call this with identical
-// block sizes in identical order, so the tail padding folds identically.
-void checksum_update(std::uint64_t& sum, const void* p, std::size_t n) {
-  const auto* b = static_cast<const unsigned char*>(p);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    std::uint64_t w;
-    std::memcpy(&w, b + i, 8);
-    sum = (sum ^ w) * kCkPrime;
-  }
-  std::uint64_t tail = 0xA5;
-  for (; i < n; ++i) tail = (tail << 8) | b[i];
-  sum = (sum ^ tail) * kCkPrime;
-}
+// v2: section alignment (so borrowed spans are naturally aligned and
+// cache-line clean) and the payload allocation cap for the istream path.
+constexpr std::size_t kSectionAlign = 64;
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+// v2 fixed header: magic(4) version(4) endian(4) pad(4) payload_size(8)
+// n_ids(8) id_limit(8) alpha_size(8) alpha(512).
+constexpr std::size_t kV2FixedHeader = 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 512;
+constexpr std::size_t kV2SizeOffset = 16;  // payload_size field offset
 
 class CheckedWriter {
  public:
@@ -432,11 +433,11 @@ class CheckedWriter {
   void num(T v) {
     bytes(&v, sizeof v);
   }
-  void u64s(const std::vector<std::size_t>& v) {
+  void u64s(std::span<const std::size_t> v) {
     num<std::uint64_t>(v.size());
     for (std::size_t x : v) num<std::uint64_t>(x);
   }
-  void i32s(const std::vector<std::int32_t>& v) {
+  void i32s(std::span<const std::int32_t> v) {
     num<std::uint64_t>(v.size());
     if (!v.empty()) bytes(v.data(), v.size() * sizeof(std::int32_t));
   }
@@ -452,9 +453,69 @@ class CheckedWriter {
   std::uint64_t sum_ = kCkBasis;
 };
 
+// v2 payloads are built in memory and checksummed in ONE pass (the tail
+// fold in checksum_update makes call granularity part of the sum, and a
+// zero-copy reader verifies the mapped payload in one call).
+class PayloadBuilder {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  template <typename T>
+  void num(T v) {
+    bytes(&v, sizeof v);
+  }
+  void pad_to(std::size_t align) {
+    buf_.resize((buf_.size() + align - 1) / align * align, '\0');
+  }
+  std::size_t size() const { return buf_.size(); }
+  std::string& str() { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked cursor over a v2 payload. Every read is memcpy-based, so
+// the source needs no alignment; only borrowed table sections require the
+// 64-byte base alignment the format guarantees.
+class BlobCursor {
+ public:
+  explicit BlobCursor(std::span<const std::byte> blob) : blob_(blob) {}
+
+  void bytes(void* p, std::size_t n) {
+    if (n > blob_.size() - pos_ || pos_ > blob_.size()) {
+      throw ArtifactError("LiteralPrefilter: truncated artifact");
+    }
+    std::memcpy(p, blob_.data() + pos_, n);
+    pos_ += n;
+  }
+  template <typename T>
+  T num() {
+    T v;
+    bytes(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t count() {
+    const auto n = num<std::uint64_t>();
+    if (n > kMaxTableElems) {
+      throw ResourceError("LiteralPrefilter: implausible table size");
+    }
+    return n;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::byte> blob_;
+  std::size_t pos_ = 0;
+};
+
 class CheckedReader {
  public:
   explicit CheckedReader(std::istream& is) : is_(is) {}
+
+  // Folds already-consumed header bytes into the checksum without reading
+  // (the version sniff happens before the reader exists).
+  void absorb(const void* p, std::size_t n) { checksum_update(sum_, p, n); }
 
   void bytes(void* p, std::size_t n) {
     is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
@@ -503,48 +564,364 @@ class CheckedReader {
 
 }  // namespace
 
-void LiteralPrefilter::serialize(std::ostream& os) const {
+void LiteralPrefilter::serialize(std::ostream& os,
+                                 std::uint32_t version) const {
   if (!built_) {
     throw std::logic_error("LiteralPrefilter: serialize before build()");
   }
-  CheckedWriter w(os);
-  w.bytes(kMagic, sizeof kMagic);
-  w.num<std::uint32_t>(kFormatVersion);
-  w.num<std::uint32_t>(kEndianSentinel);
-
-  w.num<std::uint64_t>(n_ids_);
-  w.num<std::uint64_t>(id_limit_);
-  w.num<std::uint64_t>(alpha_size_);
-  w.bytes(alpha_.data(), alpha_.size() * sizeof(std::uint16_t));
-  w.i32s(next_);
-  w.i32s(out_link_);
-  w.i32s(out_begin_);
-  w.i32s(out_end_);
-  w.u64s(out_ids_);
-  w.u64s(fallback_raw_);
-  // Raw keyword registrations ride along so a loaded automaton supports
-  // further add()+build() exactly like the original.
-  w.num<std::uint64_t>(keywords_.size());
-  for (const Keyword& kw : keywords_) {
-    w.num<std::uint64_t>(kw.id);
-    w.num<std::uint64_t>(kw.literal.size());
-    w.bytes(kw.literal.data(), kw.literal.size());
+  if (version == 1) {
+    // Legacy layout: stream-framed fields, call-granular checksum.
+    CheckedWriter w(os);
+    w.bytes(kMagic, sizeof kMagic);
+    w.num<std::uint32_t>(1);
+    w.num<std::uint32_t>(kEndianSentinel);
+    w.num<std::uint64_t>(n_ids_);
+    w.num<std::uint64_t>(id_limit_);
+    w.num<std::uint64_t>(alpha_size_);
+    w.bytes(alpha_.data(), alpha_.size() * sizeof(std::uint16_t));
+    w.i32s(next_.view());
+    w.i32s(out_link_.view());
+    w.i32s(out_begin_.view());
+    w.i32s(out_end_.view());
+    w.u64s(out_ids_.view());
+    w.u64s(fallback_raw_);
+    // Raw keyword registrations ride along so a loaded automaton supports
+    // further add()+build() exactly like the original.
+    w.num<std::uint64_t>(keywords_.size());
+    for (const Keyword& kw : keywords_) {
+      w.num<std::uint64_t>(kw.id);
+      w.num<std::uint64_t>(kw.literal.size());
+      w.bytes(kw.literal.data(), kw.literal.size());
+    }
+    w.finish();
+    return;
   }
-  w.finish();
+  if (version != 2) {
+    throw std::logic_error("LiteralPrefilter: unknown serialize version");
+  }
+
+  // v2: header + registrations + a section directory, then the five table
+  // sections at 64-byte-aligned offsets (relative to the blob start — a
+  // mapping of the blob at an aligned base keeps them aligned in memory),
+  // each length-prefixed through the directory. The whole payload is
+  // checksummed in one pass and the trailer follows it.
+  PayloadBuilder p;
+  p.bytes(kMagic, sizeof kMagic);
+  p.num<std::uint32_t>(2);
+  p.num<std::uint32_t>(kEndianSentinel);
+  p.num<std::uint32_t>(0);                 // pad / reserved
+  p.num<std::uint64_t>(0);                 // payload_size backpatched below
+  p.num<std::uint64_t>(n_ids_);
+  p.num<std::uint64_t>(id_limit_);
+  p.num<std::uint64_t>(alpha_size_);
+  p.bytes(alpha_.data(), alpha_.size() * sizeof(std::uint16_t));
+  p.num<std::uint64_t>(fallback_raw_.size());
+  for (const std::size_t id : fallback_raw_) p.num<std::uint64_t>(id);
+  p.num<std::uint64_t>(keywords_.size());
+  for (const Keyword& kw : keywords_) {
+    p.num<std::uint64_t>(kw.id);
+    p.num<std::uint64_t>(kw.literal.size());
+    p.bytes(kw.literal.data(), kw.literal.size());
+  }
+
+  // Section directory: elem count + blob-relative byte offset per table.
+  struct Section {
+    const void* data;
+    std::size_t count;
+    std::size_t elem_size;
+  };
+  const Section sections[] = {
+      {next_.data(), next_.size(), sizeof(std::int32_t)},
+      {out_link_.data(), out_link_.size(), sizeof(std::int32_t)},
+      {out_begin_.data(), out_begin_.size(), sizeof(std::int32_t)},
+      {out_end_.data(), out_end_.size(), sizeof(std::int32_t)},
+      {out_ids_.data(), out_ids_.size(), sizeof(std::uint64_t)},
+  };
+  constexpr std::size_t kNSections = std::size(sections);
+  p.num<std::uint64_t>(kNSections);
+  const std::size_t dir_end = p.size() + kNSections * 16;
+  std::size_t off = (dir_end + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  for (const Section& s : sections) {
+    p.num<std::uint64_t>(s.count);
+    p.num<std::uint64_t>(off);
+    const std::size_t bytes = s.count * s.elem_size;
+    off = (off + bytes + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  }
+  for (const Section& s : sections) {
+    p.pad_to(kSectionAlign);
+    p.bytes(s.data, s.count * s.elem_size);
+  }
+  p.pad_to(kSectionAlign);
+
+  std::string& payload = p.str();
+  const auto payload_size = static_cast<std::uint64_t>(payload.size());
+  std::memcpy(payload.data() + kV2SizeOffset, &payload_size,
+              sizeof payload_size);
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "v2 zero-copy layout assumes 64-bit size_t");
+  std::uint64_t sum = kCkBasis;
+  checksum_update(sum, payload.data(), payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.write(reinterpret_cast<const char*>(&sum), sizeof sum);
+  if (!os) throw std::runtime_error("LiteralPrefilter: serialize failed");
 }
 
-LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
-  CheckedReader r(is);
+LiteralPrefilter LiteralPrefilter::parse_v2(std::span<const std::byte> blob,
+                                            bool borrow,
+                                            std::size_t* consumed) {
+  BlobCursor header(blob);
   char magic[4];
-  r.bytes(magic, sizeof magic);
+  header.bytes(magic, sizeof magic);
   if (!std::equal(magic, magic + 4, kMagic)) {
     throw ArtifactError("LiteralPrefilter: bad magic");
   }
-  const auto version = r.num<std::uint32_t>();
-  if (version != kFormatVersion) {
+  if (header.num<std::uint32_t>() != 2) {
+    throw ArtifactError("LiteralPrefilter: not a v2 blob");
+  }
+  if (header.num<std::uint32_t>() != kEndianSentinel) {
+    throw ArtifactError(
+        "LiteralPrefilter: artifact endianness does not match this host");
+  }
+  header.num<std::uint32_t>();  // pad
+  const auto payload_size = header.num<std::uint64_t>();
+  if (payload_size < kV2FixedHeader) {
+    throw ArtifactError("LiteralPrefilter: implausible payload size");
+  }
+  // Refused before any allocation or read sized by it: a declared
+  // multi-gigabyte payload is a resource attack, not a format error.
+  if (payload_size > kMaxPayloadBytes) {
+    throw ResourceError("LiteralPrefilter: implausible payload size");
+  }
+  if (payload_size + 8 > blob.size()) {
+    throw ArtifactError("LiteralPrefilter: truncated artifact");
+  }
+  // One pass over the payload seals everything — header, registrations,
+  // directory, sections, padding — before any of it is interpreted.
+  std::uint64_t sum = kCkBasis;
+  checksum_update(sum, blob.data(), static_cast<std::size_t>(payload_size));
+  std::uint64_t stored;
+  std::memcpy(&stored, blob.data() + payload_size, sizeof stored);
+  if (stored != sum) {
+    throw ArtifactError("LiteralPrefilter: checksum mismatch");
+  }
+  if (consumed != nullptr) {
+    *consumed = static_cast<std::size_t>(payload_size) + 8;
+  }
+  const std::span<const std::byte> payload =
+      blob.first(static_cast<std::size_t>(payload_size));
+
+  LiteralPrefilter pf;
+  BlobCursor c(payload);
+  c.bytes(magic, sizeof magic);  // re-walk the verified header
+  c.num<std::uint32_t>();
+  c.num<std::uint32_t>();
+  c.num<std::uint32_t>();
+  c.num<std::uint64_t>();
+  pf.n_ids_ = static_cast<std::size_t>(c.num<std::uint64_t>());
+  pf.id_limit_ = static_cast<std::size_t>(c.num<std::uint64_t>());
+  pf.alpha_size_ = static_cast<std::size_t>(c.num<std::uint64_t>());
+  // id_limit_ sizes the per-scan dedup bitmap; an implausible value must
+  // fail here, not OOM the first candidates() call.
+  if (pf.n_ids_ > kMaxTableElems || pf.id_limit_ > kMaxTableElems) {
+    throw ResourceError("LiteralPrefilter: implausible id count");
+  }
+  c.bytes(pf.alpha_.data(), pf.alpha_.size() * sizeof(std::uint16_t));
+  pf.fallback_raw_.resize(static_cast<std::size_t>(c.count()));
+  for (std::size_t& id : pf.fallback_raw_) {
+    id = static_cast<std::size_t>(c.num<std::uint64_t>());
+  }
+  pf.keywords_.resize(static_cast<std::size_t>(c.count()));
+  for (Keyword& kw : pf.keywords_) {
+    kw.id = static_cast<std::size_t>(c.num<std::uint64_t>());
+    kw.literal.resize(static_cast<std::size_t>(c.count()));
+    if (!kw.literal.empty()) c.bytes(kw.literal.data(), kw.literal.size());
+  }
+
+  const auto n_sections = c.num<std::uint64_t>();
+  if (n_sections != 5) {
+    throw ArtifactError("LiteralPrefilter: unexpected section count");
+  }
+  struct Dir {
+    std::size_t count;
+    std::size_t offset;
+  };
+  std::array<Dir, 5> dir{};
+  for (Dir& d : dir) {
+    d.count = static_cast<std::size_t>(c.count());
+    d.offset = static_cast<std::size_t>(c.num<std::uint64_t>());
+  }
+  // A misaligned blob base cannot serve aligned views; fall back to owned
+  // copies with identical semantics.
+  const bool aligned =
+      reinterpret_cast<std::uintptr_t>(blob.data()) % kSectionAlign == 0;
+  const bool take_views = borrow && aligned;
+  const auto section = [&](const Dir& d, std::size_t elem_size,
+                           auto& table) {
+    using T = std::remove_cvref_t<decltype(table[0])>;
+    const std::size_t bytes = d.count * elem_size;
+    if (d.offset % kSectionAlign != 0 || d.offset < c.pos() ||
+        d.offset > payload.size() || bytes > payload.size() - d.offset) {
+      throw ArtifactError("LiteralPrefilter: section out of bounds");
+    }
+    if (take_views) {
+      table.reset_view(reinterpret_cast<const T*>(payload.data() + d.offset),
+                       d.count);
+    } else {
+      std::vector<T> own(d.count);
+      if (bytes > 0) std::memcpy(own.data(), payload.data() + d.offset, bytes);
+      table.reset(std::move(own));
+    }
+  };
+  section(dir[0], sizeof(std::int32_t), pf.next_);
+  section(dir[1], sizeof(std::int32_t), pf.out_link_);
+  section(dir[2], sizeof(std::int32_t), pf.out_begin_);
+  section(dir[3], sizeof(std::int32_t), pf.out_end_);
+  section(dir[4], sizeof(std::uint64_t), pf.out_ids_);
+
+  pf.validate_loaded();
+  return pf;
+}
+
+void LiteralPrefilter::validate_loaded() {
+  // Structural sanity: table shapes must agree before the automaton is
+  // allowed to walk anything. Identical for owned and borrowed tables.
+  const std::size_t total = out_link_.size();
+  if (alpha_size_ > 256 ||
+      out_begin_.size() != total || out_end_.size() != total ||
+      next_.size() != total * alpha_size_) {
+    throw ArtifactError("LiteralPrefilter: inconsistent table shapes");
+  }
+  for (std::size_t b = 0; b < alpha_.size(); ++b) {
+    if (alpha_[b] != kNoCode && alpha_[b] >= alpha_size_) {
+      throw ArtifactError("LiteralPrefilter: alphabet code out of range");
+    }
+  }
+  for (const std::int32_t s : next_) {
+    if (s < 0 || static_cast<std::size_t>(s) >= std::max<std::size_t>(total, 1)) {
+      throw ArtifactError("LiteralPrefilter: goto target out of range");
+    }
+  }
+  for (std::size_t s = 0; s < total; ++s) {
+    const std::int32_t link = out_link_[s];
+    if (link != kNone &&
+        (link < 0 || static_cast<std::size_t>(link) >= total)) {
+      throw ArtifactError("LiteralPrefilter: output link out of range");
+    }
+    const std::int32_t b = out_begin_[s];
+    const std::int32_t e = out_end_[s];
+    if (b < 0 || e < b || static_cast<std::size_t>(e) > out_ids_.size()) {
+      throw ArtifactError("LiteralPrefilter: output slice out of range");
+    }
+  }
+  for (const std::size_t id : out_ids_) {
+    if (id >= id_limit_) {
+      throw ArtifactError("LiteralPrefilter: output id out of range");
+    }
+  }
+  // The raw registrations must be consistent with the header and stay
+  // inside the id space — otherwise a later candidates() (or a
+  // rebuild-after-load) indexes the dedup bitmap out of bounds.
+  if (n_ids_ != keywords_.size() + fallback_raw_.size()) {
+    throw ArtifactError(
+        "LiteralPrefilter: registration count disagrees with header");
+  }
+  for (const std::size_t id : fallback_raw_) {
+    if (id >= id_limit_) {
+      throw ArtifactError("LiteralPrefilter: fallback id out of range");
+    }
+  }
+  for (const Keyword& kw : keywords_) {
+    if (kw.id >= id_limit_ || kw.literal.empty()) {
+      throw ArtifactError("LiteralPrefilter: bad keyword registration");
+    }
+  }
+
+  finalize_derived();
+  // Registered literals imply a walkable automaton (root state + reduced
+  // alphabet); without this, the scan loop would index empty tables.
+  if (n_automaton_ids_ > 0 && (total == 0 || alpha_size_ == 0)) {
+    throw ArtifactError(
+        "LiteralPrefilter: automaton tables missing for registered literals");
+  }
+  built_ = true;
+}
+
+LiteralPrefilter LiteralPrefilter::load(std::span<const std::byte> blob,
+                                        std::size_t* consumed) {
+  // Sniff the version: v2 blobs are parsed in place (borrowed when the
+  // base is aligned), v1 blobs route through the owning istream reader.
+  if (blob.size() >= 8) {
+    std::uint32_t version;
+    std::memcpy(&version, blob.data() + 4, sizeof version);
+    if (std::memcmp(blob.data(), kMagic, 4) == 0 && version == 2) {
+      return parse_v2(blob, /*borrow=*/true, consumed);
+    }
+  }
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  LiteralPrefilter pf = load(is);
+  if (consumed != nullptr) {
+    const auto pos = is.tellg();
+    *consumed = pos < 0 ? blob.size() : static_cast<std::size_t>(pos);
+  }
+  return pf;
+}
+
+LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
+  // Sniff magic + version outside the checksum framing, then dispatch:
+  // v1 re-seeds the legacy call-granular checksum with the bytes already
+  // read; v2 slurps the length-prefixed payload and parses it owned.
+  char magic[4];
+  std::uint32_t version;
+  is.read(magic, sizeof magic);
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!is) throw ArtifactError("LiteralPrefilter: truncated artifact");
+  if (!std::equal(magic, magic + 4, kMagic)) {
+    throw ArtifactError("LiteralPrefilter: bad magic");
+  }
+  if (version == 2) {
+    // Read endian + pad + payload_size, then the rest of the
+    // self-delimiting blob; parse_v2 re-validates everything from the
+    // reassembled bytes.
+    std::uint32_t endian, pad;
+    std::uint64_t payload_size;
+    is.read(reinterpret_cast<char*>(&endian), sizeof endian);
+    is.read(reinterpret_cast<char*>(&pad), sizeof pad);
+    is.read(reinterpret_cast<char*>(&payload_size), sizeof payload_size);
+    if (!is) throw ArtifactError("LiteralPrefilter: truncated artifact");
+    if (endian != kEndianSentinel) {
+      throw ArtifactError(
+          "LiteralPrefilter: artifact endianness does not match this host");
+    }
+    if (payload_size < kV2FixedHeader) {
+      throw ArtifactError("LiteralPrefilter: implausible payload size");
+    }
+    // Refused before the blob below is sized by it (resource attack, not
+    // a format error — see the span loader).
+    if (payload_size > kMaxPayloadBytes) {
+      throw ResourceError("LiteralPrefilter: implausible payload size");
+    }
+    std::string blob(static_cast<std::size_t>(payload_size) + 8, '\0');
+    std::memcpy(blob.data(), magic, 4);
+    std::memcpy(blob.data() + 4, &version, 4);
+    std::memcpy(blob.data() + 8, &endian, 4);
+    std::memcpy(blob.data() + 12, &pad, 4);
+    std::memcpy(blob.data() + kV2SizeOffset, &payload_size, 8);
+    is.read(blob.data() + 24, static_cast<std::streamsize>(blob.size() - 24));
+    if (!is) throw ArtifactError("LiteralPrefilter: truncated artifact");
+    return parse_v2(
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(blob.data()), blob.size()),
+        /*borrow=*/false, nullptr);
+  }
+  if (version != 1) {
     throw ArtifactError("LiteralPrefilter: unsupported format version " +
                              std::to_string(version));
   }
+
+  CheckedReader r(is);
+  r.absorb(magic, sizeof magic);
+  r.absorb(&version, sizeof version);
   const auto endian = r.num<std::uint32_t>();
   if (endian != kEndianSentinel) {
     throw ArtifactError(
@@ -561,12 +938,19 @@ LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
     throw ResourceError("LiteralPrefilter: implausible id count");
   }
   r.bytes(pf.alpha_.data(), pf.alpha_.size() * sizeof(std::uint16_t));
-  r.i32s(pf.next_);
-  r.i32s(pf.out_link_);
-  r.i32s(pf.out_begin_);
-  r.i32s(pf.out_end_);
-  r.u64s(pf.out_ids_);
+  std::vector<std::int32_t> next, out_link, out_begin, out_end;
+  std::vector<std::size_t> out_ids;
+  r.i32s(next);
+  r.i32s(out_link);
+  r.i32s(out_begin);
+  r.i32s(out_end);
+  r.u64s(out_ids);
   r.u64s(pf.fallback_raw_);
+  pf.next_.reset(std::move(next));
+  pf.out_link_.reset(std::move(out_link));
+  pf.out_begin_.reset(std::move(out_begin));
+  pf.out_end_.reset(std::move(out_end));
+  pf.out_ids_.reset(std::move(out_ids));
   const std::uint64_t n_keywords = r.count();
   pf.keywords_.resize(static_cast<std::size_t>(n_keywords));
   for (Keyword& kw : pf.keywords_) {
@@ -577,67 +961,7 @@ LiteralPrefilter LiteralPrefilter::load(std::istream& is) {
   }
   r.verify_checksum();
 
-  // Structural sanity: table shapes must agree before the automaton is
-  // allowed to walk anything.
-  const std::size_t total = pf.out_link_.size();
-  if (pf.alpha_size_ > 256 ||
-      pf.out_begin_.size() != total || pf.out_end_.size() != total ||
-      pf.next_.size() != total * pf.alpha_size_) {
-    throw ArtifactError("LiteralPrefilter: inconsistent table shapes");
-  }
-  for (std::size_t b = 0; b < pf.alpha_.size(); ++b) {
-    if (pf.alpha_[b] != kNoCode && pf.alpha_[b] >= pf.alpha_size_) {
-      throw ArtifactError("LiteralPrefilter: alphabet code out of range");
-    }
-  }
-  for (const std::int32_t s : pf.next_) {
-    if (s < 0 || static_cast<std::size_t>(s) >= std::max<std::size_t>(total, 1)) {
-      throw ArtifactError("LiteralPrefilter: goto target out of range");
-    }
-  }
-  for (std::size_t s = 0; s < total; ++s) {
-    const std::int32_t link = pf.out_link_[s];
-    if (link != kNone &&
-        (link < 0 || static_cast<std::size_t>(link) >= total)) {
-      throw ArtifactError("LiteralPrefilter: output link out of range");
-    }
-    const std::int32_t b = pf.out_begin_[s];
-    const std::int32_t e = pf.out_end_[s];
-    if (b < 0 || e < b || static_cast<std::size_t>(e) > pf.out_ids_.size()) {
-      throw ArtifactError("LiteralPrefilter: output slice out of range");
-    }
-  }
-  for (const std::size_t id : pf.out_ids_) {
-    if (id >= pf.id_limit_) {
-      throw ArtifactError("LiteralPrefilter: output id out of range");
-    }
-  }
-  // The raw registrations must be consistent with the header and stay
-  // inside the id space — otherwise a later candidates() (or a
-  // rebuild-after-load) indexes the dedup bitmap out of bounds.
-  if (pf.n_ids_ != pf.keywords_.size() + pf.fallback_raw_.size()) {
-    throw ArtifactError(
-        "LiteralPrefilter: registration count disagrees with header");
-  }
-  for (const std::size_t id : pf.fallback_raw_) {
-    if (id >= pf.id_limit_) {
-      throw ArtifactError("LiteralPrefilter: fallback id out of range");
-    }
-  }
-  for (const Keyword& kw : pf.keywords_) {
-    if (kw.id >= pf.id_limit_ || kw.literal.empty()) {
-      throw ArtifactError("LiteralPrefilter: bad keyword registration");
-    }
-  }
-
-  pf.finalize_derived();
-  // Registered literals imply a walkable automaton (root state + reduced
-  // alphabet); without this, the scan loop would index empty tables.
-  if (pf.n_automaton_ids_ > 0 && (total == 0 || pf.alpha_size_ == 0)) {
-    throw ArtifactError(
-        "LiteralPrefilter: automaton tables missing for registered literals");
-  }
-  pf.built_ = true;
+  pf.validate_loaded();
   return pf;
 }
 
@@ -671,6 +995,13 @@ void StreamingMatcher::feed(std::string_view chunk) {
   }
   const auto& alpha = pf_->alpha_;
   const std::size_t alpha_size = pf_->alpha_size_;
+  // Hoisted once per chunk, as in candidates_into: the tables may be
+  // owned or borrowed and the ownership branch stays out of the loop.
+  const std::int32_t* const next = pf_->next_.data();
+  const std::int32_t* const out_link = pf_->out_link_.data();
+  const std::int32_t* const out_begin = pf_->out_begin_.data();
+  const std::int32_t* const out_end = pf_->out_end_.data();
+  const std::size_t* const out_ids = pf_->out_ids_.data();
   std::int32_t state = state_;
   for (const char ch : chunk) {
     const std::uint16_t code = alpha[static_cast<unsigned char>(ch)];
@@ -678,16 +1009,16 @@ void StreamingMatcher::feed(std::string_view chunk) {
       state = 0;
       continue;
     }
-    state = pf_->next_[static_cast<std::size_t>(state) * alpha_size + code];
+    state = next[static_cast<std::size_t>(state) * alpha_size + code];
     for (std::int32_t s = state; s != kNone;
-         s = pf_->out_link_[static_cast<std::size_t>(s)]) {
-      if (pf_->out_begin_[static_cast<std::size_t>(s)] ==
-          pf_->out_end_[static_cast<std::size_t>(s)]) {
+         s = out_link[static_cast<std::size_t>(s)]) {
+      if (out_begin[static_cast<std::size_t>(s)] ==
+          out_end[static_cast<std::size_t>(s)]) {
         continue;
       }
-      for (std::int32_t i = pf_->out_begin_[static_cast<std::size_t>(s)];
-           i < pf_->out_end_[static_cast<std::size_t>(s)]; ++i) {
-        const std::size_t id = pf_->out_ids_[static_cast<std::size_t>(i)];
+      for (std::int32_t i = out_begin[static_cast<std::size_t>(s)];
+           i < out_end[static_cast<std::size_t>(s)]; ++i) {
+        const std::size_t id = out_ids[static_cast<std::size_t>(i)];
         if (!seen_[id]) {
           seen_[id] = 1;
           found_.push_back(id);

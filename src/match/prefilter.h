@@ -51,15 +51,22 @@
 // frozen goto/fail/output tables in a versioned, endian-checked flat
 // layout, and load() restores an automaton whose candidates() output is
 // byte-identical to the freshly built one — deployment channels load the
-// artifact instead of rebuilding per process. For data that arrives in
-// pieces (a script streamed by the network, a large file read in blocks),
+// artifact instead of rebuilding per process. The v2 layout stores each
+// table as a 64-byte-aligned, length-prefixed section, so load() over a
+// borrowed mapping (support/mapped_file.h) points std::span views straight
+// into the mapped bytes — zero table copies, page cache shared across
+// every process on the box. The owning istream path remains for v1
+// artifacts and unaligned sources. For data that arrives in pieces (a
+// script streamed by the network, a large file read in blocks),
 // StreamingMatcher walks the same automaton chunk by chunk.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -69,6 +76,46 @@
 namespace kizzle::match {
 
 class StreamingMatcher;
+
+// Ownership-abstracted flat table: the element storage either lives in an
+// owned vector (build(), v1/istream loads) or is a borrowed view into an
+// external mapping (zero-copy v2 loads). Readers see one interface either
+// way; hot loops hoist data() once and index raw. Copying a borrowed
+// table copies the borrow — whoever owns the mapping must outlive every
+// copy, which engine::Database guarantees by holding its mapping in a
+// shared_ptr.
+template <typename T>
+class TableRef {
+ public:
+  TableRef() = default;
+  explicit TableRef(std::vector<T> own) : own_(std::move(own)) {}
+
+  void reset(std::vector<T> own) {
+    own_ = std::move(own);
+    ext_ = nullptr;
+    ext_size_ = 0;
+  }
+  void reset_view(const T* data, std::size_t n) {
+    own_.clear();
+    own_.shrink_to_fit();
+    ext_ = data;
+    ext_size_ = n;
+  }
+
+  bool borrowed() const { return ext_ != nullptr; }
+  const T* data() const { return borrowed() ? ext_ : own_.data(); }
+  std::size_t size() const { return borrowed() ? ext_size_ : own_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  std::span<const T> view() const { return {data(), size()}; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+ private:
+  std::vector<T> own_;
+  const T* ext_ = nullptr;
+  std::size_t ext_size_ = 0;
+};
 
 // First-stage selection. kAuto routes through the Teddy SIMD matcher
 // whenever the registered literal set qualifies; kAutomaton forces the
@@ -195,12 +242,12 @@ class LiteralPrefilter {
   struct TableView {
     const std::array<std::uint16_t, 256>* alpha = nullptr;
     std::size_t alpha_size = 0;
-    const std::vector<std::int32_t>* next = nullptr;
-    const std::vector<std::int32_t>* out_link = nullptr;
-    const std::vector<std::int32_t>* out_begin = nullptr;
-    const std::vector<std::int32_t>* out_end = nullptr;
-    const std::vector<std::size_t>* out_ids = nullptr;
-    const std::vector<std::size_t>* fallback = nullptr;
+    std::span<const std::int32_t> next;
+    std::span<const std::int32_t> out_link;
+    std::span<const std::int32_t> out_begin;
+    std::span<const std::int32_t> out_end;
+    std::span<const std::size_t> out_ids;
+    std::span<const std::size_t> fallback;
     std::size_t n_ids = 0;
     std::size_t id_limit = 0;
   };
@@ -217,16 +264,34 @@ class LiteralPrefilter {
   // Flat binary layout of the built automaton: a magic/version/endianness
   // header, the goto/fail/output tables, the raw registrations (so further
   // add()+build() after load() behaves exactly like on the original), and
-  // a trailing FNV-1a checksum over the payload. Version policy: the
-  // format version is bumped on ANY layout change; load() rejects unknown
-  // versions, foreign endianness and corrupt/truncated payloads with
-  // kizzle::ArtifactError, and declared sizes past the allocation caps
-  // with kizzle::ResourceError (support/errors.h) — before allocating —
-  // rather than guessing. serialize() throws std::logic_error if the
-  // automaton is not built.
-  static constexpr std::uint32_t kFormatVersion = 1;
-  void serialize(std::ostream& os) const;
+  // a trailing FNV-1a checksum over the payload. v2 (the current format)
+  // is self-delimiting — a length-prefixed payload whose table sections
+  // sit at 64-byte-aligned offsets relative to the blob start and whose
+  // checksum is one single-pass sum over the whole payload — so the span
+  // overload of load() can verify a borrowed mapping in one pass and then
+  // point the automaton tables straight into it. Version policy: the
+  // format version is bumped on ANY layout change; load() accepts v1
+  // (owning tables) and v2, rejects unknown versions, foreign endianness
+  // and corrupt/truncated payloads with kizzle::ArtifactError, and
+  // declared sizes past the allocation caps with kizzle::ResourceError
+  // (support/errors.h) — before allocating — rather than guessing.
+  // serialize() throws std::logic_error if the automaton is not built;
+  // pass version 1 to emit the legacy layout for old readers.
+  static constexpr std::uint32_t kFormatVersion = 2;
+  void serialize(std::ostream& os,
+                 std::uint32_t version = kFormatVersion) const;
   static LiteralPrefilter load(std::istream& is);
+  // Zero-copy load over `blob` (a serialized prefilter, possibly followed
+  // by trailing bytes): a v2 blob whose base address is 64-byte aligned is
+  // borrowed in place — the mapping must then outlive the prefilter and
+  // every copy of it — while v1 blobs and unaligned bases fall back to
+  // owned tables, same semantics. `consumed`, when non-null, receives the
+  // number of bytes the serialized prefilter occupied.
+  static LiteralPrefilter load(std::span<const std::byte> blob,
+                               std::size_t* consumed = nullptr);
+  // True when this prefilter's tables are borrowed views into an external
+  // mapping rather than owned storage.
+  bool zero_copy() const { return next_.borrowed(); }
 
  private:
   friend class StreamingMatcher;
@@ -301,16 +366,29 @@ class LiteralPrefilter {
   std::size_t n_automaton_ids_ = 0;  // distinct ids reachable via literals
   bool built_ = false;
 
+  // Parses one v2 blob: header, registrations, section directory, then
+  // either borrows the table sections in place (`borrow`, requires a
+  // 64-byte-aligned base) or copies them into owned storage. Shared by
+  // the istream and span load paths.
+  static LiteralPrefilter parse_v2(std::span<const std::byte> blob,
+                                   bool borrow, std::size_t* consumed);
+  // Post-load structural validation + derived-state rebuild, shared by
+  // every load path (v1 istream, v2 owned, v2 borrowed).
+  void validate_loaded();
+
   // Dense goto table over a reduced alphabet: only bytes that occur in
-  // some literal get a column; any other byte resets to the root.
+  // some literal get a column; any other byte resets to the root. The
+  // main tables are ownership-abstracted (TableRef): owned after build()
+  // and v1/istream loads, borrowed views into the caller's mapping after
+  // a zero-copy v2 load.
   static constexpr std::uint16_t kNoCode = 0xFFFF;
   std::array<std::uint16_t, 256> alpha_{};
   std::size_t alpha_size_ = 0;
-  std::vector<std::int32_t> next_;       // n_states × alpha_size_
-  std::vector<std::int32_t> out_link_;   // nearest suffix state with output
-  std::vector<std::int32_t> out_begin_;  // per-state slice into out_ids_
-  std::vector<std::int32_t> out_end_;
-  std::vector<std::size_t> out_ids_;
+  TableRef<std::int32_t> next_;       // n_states × alpha_size_
+  TableRef<std::int32_t> out_link_;   // nearest suffix state with output
+  TableRef<std::int32_t> out_begin_;  // per-state slice into out_ids_
+  TableRef<std::int32_t> out_end_;
+  TableRef<std::size_t> out_ids_;
 };
 
 // Resumable cursor over a LiteralPrefilter for data that arrives in

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "analyze/analyze.h"
+#include "core/sigdb.h"
 
 namespace kizzle::serve {
 
@@ -465,6 +466,53 @@ ScanServer::SwapResult ScanServer::deploy_artifact(std::istream& artifact) {
   }
 }
 
+ScanServer::SwapResult ScanServer::deploy_delta(std::istream& delta_stream) {
+  try {
+    const core::DeltaArtifact delta = core::load_delta(delta_stream);
+    // The base the delta is lint-checked against and extended from. The
+    // epoch may move while we compile the extension (scans keep flowing);
+    // the publish step below re-checks it.
+    const std::shared_ptr<const engine::Database> base = database();
+    if (cfg_.lint_on_swap) {
+      // The delta gate: lineage fingerprints, retired-index sanity, and
+      // the full candidate-grade analysis of every added signature
+      // against the live set.
+      const analyze::Report report = analyze::analyze_delta(*base, delta);
+      if (!report.clean()) {
+        bump(counters_->swaps_rejected);
+        return {false, epoch(), lint_reason(report)};
+      }
+    }
+    // Compile only the added signatures; extend() re-verifies both
+    // lineage fingerprints even with the lint gate off.
+    auto next = std::make_shared<engine::Database>(base->extend(delta));
+    SwapResult result;
+    {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      if (db_ != base) {
+        // A full deploy (or another delta) won the race: applying this
+        // delta now would replace that epoch with one derived from an
+        // older base. Refuse; the distributor re-issues against the new
+        // lineage.
+        bump(counters_->swaps_rejected);
+        return {false, epoch(), "stale base: serving epoch changed while "
+                                "the delta was being applied"};
+      }
+      db_ = std::move(next);
+      result.accepted = true;
+      result.epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    bump(counters_->epoch_swaps);
+    return result;
+  } catch (const std::exception& e) {
+    // Corrupt bytes, wrong lineage, out-of-range retire: all typed
+    // refusals. The serving epoch is untouched — "rollback" is never
+    // having left.
+    bump(counters_->swaps_rejected);
+    return {false, epoch(), e.what()};
+  }
+}
+
 // ------------------------------ lifecycle -------------------------------
 
 void ScanServer::job_admitted() {
@@ -526,11 +574,16 @@ ServerStats ScanServer::stats() const {
 // ------------------------------- watcher --------------------------------
 
 ArtifactWatcher::ArtifactWatcher(ScanServer& server, std::string path,
-                                 std::chrono::milliseconds poll_interval)
+                                 std::chrono::milliseconds poll_interval,
+                                 std::chrono::milliseconds settle)
     : server_(server),
       path_(std::move(path)),
       poll_(poll_interval.count() > 0 ? poll_interval
-                                      : std::chrono::milliseconds(50)) {
+                                      : std::chrono::milliseconds(50)),
+      // Default debounce: half a poll period — long enough for a rename
+      // or a fast copy to complete, short enough that a real release
+      // deploys within the next poll.
+      settle_(settle.count() >= 0 ? settle : poll_ / 2) {
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -561,29 +614,84 @@ void ArtifactWatcher::loop() {
   }
 }
 
-bool ArtifactWatcher::try_deploy() {
+namespace {
+
+// (mtime, size) identity at the finest mtime resolution the platform
+// exposes: with whole-second timestamps a writer that appends twice
+// within one second looks unchanged, which is exactly the window the
+// debounce exists to close.
+bool stat_identity(const char* path, std::int64_t& mtime_ns,
+                   std::uint64_t& size) {
   struct ::stat st = {};
-  if (::stat(path_.c_str(), &st) != 0) return false;
-  const auto mtime = static_cast<std::int64_t>(st.st_mtime);
-  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (::stat(path, &st) != 0) return false;
+#if defined(__APPLE__)
+  mtime_ns = static_cast<std::int64_t>(st.st_mtimespec.tv_sec) * 1000000000 +
+             st.st_mtimespec.tv_nsec;
+#elif defined(__unix__)
+  mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+             st.st_mtim.tv_nsec;
+#else
+  mtime_ns = static_cast<std::int64_t>(st.st_mtime) * 1000000000;
+#endif
+  size = static_cast<std::uint64_t>(st.st_size);
+  return true;
+}
+
+}  // namespace
+
+bool ArtifactWatcher::try_deploy() {
+  std::int64_t mtime = 0;
+  std::uint64_t size = 0;
+  if (!stat_identity(path_.c_str(), mtime, size)) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (primed_ && mtime == seen_mtime_ && size == seen_size_) return false;
-    // Remember the attempted identity up front: a file state that fails
-    // verification is not re-tried until the file changes again (a
-    // half-written copy resolves itself at the release's final rename).
-    seen_mtime_ = mtime;
-    seen_size_ = size;
     if (!primed_) {
       // First observation primes the identity without deploying — the
       // server was started from this very artifact.
+      seen_mtime_ = mtime;
+      seen_size_ = size;
       primed_ = true;
       return false;
     }
   }
+  // Debounce: give the writer a settle window, then re-stat. An identity
+  // still in motion is a partial write — skip it WITHOUT recording it as
+  // seen, so the next poll picks the file up again once it stops moving.
+  if (settle_.count() > 0) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, settle_, [this] {
+        return stopping_.load(std::memory_order_acquire);
+      });
+    }
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    std::int64_t mtime2 = 0;
+    std::uint64_t size2 = 0;
+    if (!stat_identity(path_.c_str(), mtime2, size2)) return false;
+    if (mtime2 != mtime || size2 != size) return false;  // still changing
+  }
+  {
+    // Remember the attempted identity: a settled file state that fails
+    // verification is not re-tried until the file changes again.
+    std::lock_guard<std::mutex> lock(mu_);
+    seen_mtime_ = mtime;
+    seen_size_ = size;
+  }
   std::ifstream in(path_, std::ios::binary);
   if (!in) return false;
-  const ScanServer::SwapResult result = server_.deploy_artifact(in);
+  // Route on the leading magic: deltas hot-apply through the incremental
+  // path, anything else takes the full-artifact deploy (whose loader
+  // rejects junk with a typed refusal).
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  const bool is_delta =
+      in.gcount() == sizeof magic &&
+      std::string_view(magic, sizeof magic) == core::kDeltaMagic;
+  in.clear();
+  in.seekg(0);
+  const ScanServer::SwapResult result =
+      is_delta ? server_.deploy_delta(in) : server_.deploy_artifact(in);
   std::lock_guard<std::mutex> lock(mu_);
   if (result.accepted) {
     ++stats_.swaps;

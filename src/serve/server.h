@@ -53,8 +53,8 @@
 // ------------------------------ epoch lifecycle -----------------------------
 //
 // The database is held RCU-style: one shared_ptr<const engine::Database>
-// per *epoch*, flipped atomically by deploy()/deploy_artifact() while
-// readers keep scanning:
+// per *epoch*, flipped atomically by deploy()/deploy_artifact()/
+// deploy_delta() while readers keep scanning:
 //
 //   - one-shot scans resolve the epoch at batch start and scan against
 //     that snapshot; the shared_ptr keeps the old database alive until
@@ -70,10 +70,24 @@
 //     refuse the flip. The rejection is typed (SwapResult) and counted
 //     (ServerStats::swaps_rejected); the serving epoch is untouched.
 //
-// ArtifactWatcher is the `kizzle serve --watch` loop: it polls a `.kpf`
-// path and funnels changed bytes through deploy_artifact(), so a fleet
-// worker picks up releases (atomically renamed into place) without a
-// restart and without dropping a scan.
+// Incremental deploys ride the same lifecycle: deploy_delta() applies a
+// `KZDELTA` artifact (core/sigdb.h) to the live epoch's database via
+// engine::Database::extend — lint-gated by analyze_delta against the
+// exact base it will extend, published only if that base is still the
+// serving epoch (a concurrent full deploy refuses the delta as stale
+// rather than silently applying it to the wrong lineage). Any error —
+// corrupt bytes, wrong lineage, lint findings — is a typed refusal that
+// leaves the serving epoch untouched: rollback is "never left".
+//
+// ArtifactWatcher is the `kizzle serve --watch` loop: it polls a path,
+// sniffs the leading magic ("KZDELTAF" routes through deploy_delta(),
+// anything else through deploy_artifact()), and deploys changed bytes
+// through the lint-gated hot-swap, so a fleet worker picks up releases
+// (atomically renamed into place) without a restart and without dropping
+// a scan. Changes are *debounced*: a changed identity is re-stat'ed
+// after a settle window and skipped — without being recorded as seen —
+// while the size/mtime is still moving, so a slow non-atomic writer is
+// simply retried at the next poll instead of half-read.
 #pragma once
 
 #include <atomic>
@@ -219,6 +233,14 @@ class ScanServer {
   // (including recompile-and-compare) before it is loaded for serving.
   // Malformed artifacts are refused (typed reason), never thrown.
   SwapResult deploy_artifact(std::istream& artifact);
+  // Incremental deploy from `KZDELTA` bytes: parses the delta, lint-gates
+  // it with analyze_delta against the live database (per config), applies
+  // it via engine::Database::extend (only the added signatures compile),
+  // and publishes the result — but only if the serving epoch still holds
+  // the base the delta was applied to; a concurrent swap refuses it as
+  // stale. Every failure is a typed refusal (SwapResult.reason) with the
+  // serving epoch untouched.
+  SwapResult deploy_delta(std::istream& delta);
 
   // ------------------------------ lifecycle -----------------------------
 
@@ -289,11 +311,17 @@ class ScanServer {
 // ------------------------------- watcher --------------------------------
 
 // The `kizzle serve --watch` loop: polls an artifact path and deploys it
-// through the server's lint-gated hot-swap when its (mtime, size) identity
-// changes. Release processes are expected to rename complete artifacts
-// into place (the smoke script does); a half-written file simply fails
-// verification, is counted as rejected, and is retried when the file
-// changes again.
+// through the server's lint-gated hot-swap when its (mtime, size)
+// identity changes — full `.kpf` bundles via deploy_artifact(), `KZDELTA`
+// deltas (sniffed by leading magic) via deploy_delta(). Release processes
+// are expected to rename complete artifacts into place (the smoke script
+// does); for writers that stream bytes in place instead, a changed
+// identity is debounced: after `settle` the file is re-stat'ed
+// (nanosecond mtime resolution where the platform provides it) and a
+// still-moving identity is skipped *without* being recorded as seen, so
+// the next poll retries once the writer finishes. A complete-but-bad file
+// still simply fails verification, is counted as rejected, and is not
+// retried until the file changes again.
 class ArtifactWatcher {
  public:
   struct Stats {
@@ -301,8 +329,13 @@ class ArtifactWatcher {
     std::uint64_t rejected = 0;   // lint/parse refusals
   };
 
+  // `settle` < 0 (default) derives the debounce window from the poll
+  // interval; 0 disables debouncing (change identities deploy on first
+  // sight, as before).
   ArtifactWatcher(ScanServer& server, std::string path,
-                  std::chrono::milliseconds poll_interval);
+                  std::chrono::milliseconds poll_interval,
+                  std::chrono::milliseconds settle =
+                      std::chrono::milliseconds(-1));
   ~ArtifactWatcher();
 
   void stop();
@@ -315,11 +348,13 @@ class ArtifactWatcher {
   ScanServer& server_;
   std::string path_;
   std::chrono::milliseconds poll_;
+  std::chrono::milliseconds settle_;
   std::atomic<bool> stopping_{false};
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Stats stats_;
-  // Identity of the last attempted (deployed or refused) file state.
+  // Identity of the last attempted (deployed or refused) file state;
+  // mtime in nanoseconds where the platform exposes them.
   std::int64_t seen_mtime_ = -1;
   std::uint64_t seen_size_ = 0;
   bool primed_ = false;

@@ -1,5 +1,6 @@
 #include "support/hash.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace kizzle {
@@ -32,6 +33,19 @@ std::uint64_t fnv1a64(std::span<const std::uint32_t> symbols) {
 
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
   return seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4));
+}
+
+void checksum_update(std::uint64_t& sum, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b + i, 8);
+    sum = (sum ^ w) * kFnvPrime;
+  }
+  std::uint64_t tail = 0xA5;
+  for (; i < n; ++i) tail = (tail << 8) | b[i];
+  sum = (sum ^ tail) * kFnvPrime;
 }
 
 RollingHash::RollingHash(std::size_t k) : k_(k) {

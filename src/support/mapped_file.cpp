@@ -1,0 +1,116 @@
+#include "support/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/errors.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KIZZLE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define KIZZLE_HAVE_MMAP 0
+#include <fstream>
+#endif
+
+namespace kizzle::support {
+
+MappedFile::~MappedFile() {
+#if KIZZLE_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      fallback_(std::move(other.fallback_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#if KIZZLE_HAVE_MMAP
+    if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    fallback_ = std::move(other.fallback_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+#if KIZZLE_HAVE_MMAP
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    throw InputError("MappedFile: cannot open " + path + ": " +
+                     std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw InputError("MappedFile: not a readable regular file: " + path);
+  }
+  MappedFile f;
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    return f;  // empty file: empty span, nothing to map
+  }
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base != MAP_FAILED) {
+    ::close(fd);
+    f.map_ = base;
+    f.map_len_ = len;
+    f.data_ = static_cast<const std::byte*>(base);
+    f.size_ = len;
+    return f;
+  }
+  // mmap refused (some filesystems do): one plain read, same bytes.
+  f.fallback_.resize(len);
+  std::size_t got = 0;
+  while (got < len) {
+    const ::ssize_t n = ::read(fd, f.fallback_.data() + got, len - got);
+    if (n <= 0) {
+      ::close(fd);
+      throw InputError("MappedFile: short read on " + path);
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  f.data_ = f.fallback_.data();
+  f.size_ = len;
+  return f;
+}
+
+#else  // !KIZZLE_HAVE_MMAP
+
+MappedFile MappedFile::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InputError("MappedFile: cannot open " + path);
+  MappedFile f;
+  in.seekg(0, std::ios::end);
+  const auto len = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  f.fallback_.resize(len);
+  if (len > 0 &&
+      !in.read(reinterpret_cast<char*>(f.fallback_.data()),
+               static_cast<std::streamsize>(len))) {
+    throw InputError("MappedFile: short read on " + path);
+  }
+  f.data_ = f.fallback_.data();
+  f.size_ = len;
+  return f;
+}
+
+#endif  // KIZZLE_HAVE_MMAP
+
+}  // namespace kizzle::support

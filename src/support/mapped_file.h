@@ -1,0 +1,57 @@
+// Read-only file mapping for zero-copy artifact loading.
+//
+// A release artifact's automaton tables run to megabytes; re-reading and
+// heap-copying them per process is the cold-start cost the `.kpf` format
+// exists to avoid. MappedFile mmap()s the file PROT_READ, so every
+// process on one box shares the same page-cache pages and the loader can
+// point std::span views straight into the mapping instead of copying.
+// When mmap is unavailable (exotic filesystems, zero-length files, or
+// non-POSIX hosts) it degrades to a single heap read with identical
+// semantics — callers only ever see bytes().
+//
+// The mapping is immutable and movable, never copyable. Anything that
+// borrows views into bytes() (a zero-copy LiteralPrefilter, an
+// engine::Database built over one) must keep the MappedFile alive;
+// engine::Database does this by holding a shared_ptr to its mapping, so
+// epoch lifetime management in serve/ works unchanged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kizzle::support {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Opens and maps `path` read-only. Throws kizzle::InputError when the
+  // file cannot be opened or read; an unmappable but readable file falls
+  // back to a heap read (mapped() is false then).
+  static MappedFile open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+  // True when the bytes live in an mmap'd region (page cache shared),
+  // false on the read fallback (private heap copy).
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  void* map_ = nullptr;        // mmap base, or nullptr on the fallback
+  std::size_t map_len_ = 0;    // mmap length (for munmap)
+  std::vector<std::byte> fallback_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace kizzle::support

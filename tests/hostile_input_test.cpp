@@ -112,8 +112,41 @@ void mutation_sweep(const std::string& valid, LoadFn load) {
   }
 }
 
+std::string valid_delta_bytes() {
+  const auto sigs = sample_signatures();
+  const std::vector<core::DeployedSignature> base(sigs.begin(),
+                                                  sigs.begin() + 1);
+  core::DeltaArtifact delta;
+  delta.base_fingerprint = core::fingerprint(base);
+  delta.added = {sigs[1]};
+  delta.result_fingerprint = core::fingerprint(sigs);
+  std::ostringstream os;
+  core::save_delta(os, delta);
+  return os.str();
+}
+
+void load_delta_bytes(const std::string& bytes) {
+  std::istringstream is(bytes);
+  (void)core::load_delta(is);
+}
+
+// The zero-copy span loader must be exactly as hostile-proof as the
+// istream loader it shadows.
+void load_artifact_span(const std::string& bytes) {
+  (void)core::load_artifact(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));
+}
+
 TEST(HostileInput, ArtifactSurvivesFullMutationSweep) {
   mutation_sweep(valid_artifact_bytes(), load_artifact_bytes);
+}
+
+TEST(HostileInput, ArtifactSpanLoaderSurvivesFullMutationSweep) {
+  mutation_sweep(valid_artifact_bytes(), load_artifact_span);
+}
+
+TEST(HostileInput, DeltaSurvivesFullMutationSweep) {
+  mutation_sweep(valid_delta_bytes(), load_delta_bytes);
 }
 
 TEST(HostileInput, PrefilterSurvivesFullMutationSweep) {
@@ -158,9 +191,11 @@ TEST(HostileInput, ArtifactHugeDeclaredDbIsResourceError) {
 }
 
 TEST(HostileInput, PrefilterHugeDeclaredTableIsResourceError) {
-  // The first u64 after magic/version/endian (offset 12) is n_ids.
+  // KZPF v2: the u64 at offset 16 (magic 4 + version 4 + endian 4 +
+  // pad 4) declares the payload size. A multi-terabyte claim must be
+  // refused before anything is allocated or read at that scale.
   const std::string bytes =
-      with_u64_at(valid_prefilter_bytes(), 12, std::uint64_t{1} << 40);
+      with_u64_at(valid_prefilter_bytes(), 16, std::uint64_t{1} << 40);
   EXPECT_THROW(load_prefilter_bytes(bytes), ResourceError);
 }
 
@@ -234,6 +269,20 @@ TEST(HostileInput, CommittedUnpackCorpusNeverThrows) {
   for (const auto& file : files) {
     const std::string bytes = slurp(file);
     EXPECT_NO_THROW((void)unpack::unpack_fixpoint(bytes)) << file;
+  }
+}
+
+TEST(HostileInput, CommittedArtifactV2CorpusReplays) {
+  const auto files = corpus_files("artifact_v2");
+  ASSERT_FALSE(files.empty()) << "seed corpus missing from fuzz/";
+  for (const auto& file : files) {
+    const std::string bytes = slurp(file);
+    if (bytes.size() >= 8 && bytes.compare(0, 8, core::kDeltaMagic) == 0) {
+      expect_typed_rejection(bytes, load_delta_bytes, file.c_str(), 0);
+    } else {
+      expect_typed_rejection(bytes, load_artifact_bytes, file.c_str(), 0);
+      expect_typed_rejection(bytes, load_artifact_span, file.c_str(), 0);
+    }
   }
 }
 

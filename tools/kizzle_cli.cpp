@@ -25,7 +25,13 @@
 //                                      error-severity findings
 //   kizzle pack <sigdb> <out.kpf>      compile a deployed signature DB to
 //                                      a binary bundle artifact (prebuilt
-//                                      literal-prefilter automaton)
+//                                      literal-prefilter automaton; v2
+//                                      layout, mmap/zero-copy loadable)
+//   kizzle pack --delta <base-sigdb> <full-sigdb> <out.kzd>
+//                                      diff two databases of one lineage
+//                                      into a KZDELTA incremental artifact
+//                                      (fingerprint-chained; hot-applies
+//                                      via serve --watch)
 //   kizzle gen <kit> [n] [seed]        emit synthetic landing pages
 //                                      (kit: nuclear|sweetorange|angler|rig)
 //   kizzle serve [--watch <a.kpf>] [--workers N] [--clients N]
@@ -35,7 +41,10 @@
 //                                      one-shot/stream traffic, latency
 //                                      percentiles on stderr); --watch
 //                                      lint-verifies and hot-swaps the
-//                                      artifact when the file changes
+//                                      watched file when it changes — full
+//                                      .kpf bundles reload the epoch,
+//                                      KZDELTA deltas apply incrementally
+//                                      (compile only the added signatures)
 #include <charconv>
 #include <chrono>
 #include <cstdio>
@@ -57,6 +66,7 @@
 #include "match/pattern.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
+#include "support/mapped_file.h"
 #include "sig/compiler.h"
 #include "sig/multi_fragment.h"
 #include "support/table.h"
@@ -345,6 +355,15 @@ int cmd_scan(const std::vector<std::string>& raw_args) {
   std::vector<engine::Database::Entry> entries;
   {
     const std::string content = read_file(args[0]);
+    if (content.rfind(core::kDeltaMagic, 0) == 0) {
+      std::fprintf(stderr,
+                   "scan: %s is a KZDELTA delta artifact — it carries only "
+                   "the increment over its base and cannot be scanned "
+                   "alone; scan the full .kpf bundle, or hot-apply the "
+                   "delta via `kizzle serve --watch`\n",
+                   args[0].c_str());
+      return 2;
+    }
     if (content.rfind(core::kArtifactMagic, 0) == 0) {
       return scan_with_artifact(content, args, show_stats, limits);
     }
@@ -413,9 +432,62 @@ int cmd_scan(const std::vector<std::string>& raw_args) {
   return exit_code;
 }
 
+// `pack --delta`: diff two signature databases of the same lineage into a
+// KZDELTA artifact. The deployed set is append-only, so the base must be
+// an exact prefix of the full set — anything else is a different lineage
+// and is refused here rather than at some worker's hot-swap.
+int cmd_pack_delta(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    std::fprintf(stderr,
+                 "usage: kizzle pack --delta <base-sigdb> <full-sigdb> "
+                 "<out.kzd>\n");
+    return 2;
+  }
+  const auto base = core::load_signatures(read_file(args[0]));
+  const auto full = core::load_signatures(read_file(args[1]));
+  if (base.size() > full.size()) {
+    std::fprintf(stderr,
+                 "pack --delta: base has %zu signatures but full has only "
+                 "%zu — not the same lineage\n",
+                 base.size(), full.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].name != full[i].name || base[i].family != full[i].family ||
+        base[i].pattern != full[i].pattern) {
+      std::fprintf(stderr,
+                   "pack --delta: base is not a prefix of full (first "
+                   "divergence at #%zu: \"%s\" vs \"%s\") — the deployed "
+                   "set is append-only, so these are different lineages\n",
+                   i, base[i].name.c_str(), full[i].name.c_str());
+      return 1;
+    }
+  }
+  core::DeltaArtifact delta;
+  delta.base_fingerprint = core::fingerprint(base);
+  delta.result_fingerprint = core::fingerprint(full);
+  delta.added.assign(full.begin() + static_cast<std::ptrdiff_t>(base.size()),
+                     full.end());
+  std::ofstream out(args[2], std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + args[2]);
+  core::save_delta(out, delta);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + args[2]);
+  std::fprintf(stderr,
+               "[packed delta into %s: %zu-signature base + %zu added]\n",
+               args[2].c_str(), base.size(), delta.added.size());
+  return 0;
+}
+
 int cmd_pack(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "--delta") {
+    return cmd_pack_delta({args.begin() + 1, args.end()});
+  }
   if (args.size() != 2) {
-    std::fprintf(stderr, "usage: kizzle pack <sigdb> <out.kpf>\n");
+    std::fprintf(stderr,
+                 "usage: kizzle pack <sigdb> <out.kpf>\n"
+                 "       kizzle pack --delta <base-sigdb> <full-sigdb> "
+                 "<out.kzd>\n");
     return 2;
   }
   const auto signatures = core::load_signatures(read_file(args[0]));
@@ -567,9 +639,13 @@ int cmd_serve(const std::vector<std::string>& raw_args) {
   const serve::ServeFixture fixture = serve::make_fixture(fcfg);
   std::shared_ptr<const engine::Database> db = fixture.database;
   if (!artifact_path.empty()) {
-    std::istringstream is(read_file(artifact_path));
+    // Map the artifact instead of streaming it: a v2 bundle serves its
+    // automaton tables straight out of the page cache (zero-copy), and a
+    // fleet of workers loading the same release shares the pages.
+    auto mapped = std::make_shared<const support::MappedFile>(
+        support::MappedFile::open(artifact_path));
     db = std::make_shared<const engine::Database>(
-        engine::Database::from_artifact(is));
+        engine::Database::from_artifact(std::move(mapped)));
   }
 
   serve::ScanServer server(db, scfg);
@@ -655,6 +731,15 @@ int cmd_lint(const std::vector<std::string>& raw_args) {
   }
   const std::string content = read_file(args[0]);
   analyze::Report report;
+  if (content.rfind(core::kDeltaMagic, 0) == 0) {
+    std::fprintf(stderr,
+                 "lint: %s is a KZDELTA delta artifact — it only makes "
+                 "sense against the base it extends, which the serve "
+                 "hot-swap gate lints automatically (analyze_delta); lint "
+                 "the full .kpf bundle it produces instead\n",
+                 args[0].c_str());
+    return 2;
+  }
   if (content.rfind(core::kArtifactMagic, 0) == 0) {
     std::istringstream is(content);
     report = analyze::analyze_artifact(is);
@@ -715,6 +800,10 @@ int usage() {
                "                            shards, artifact verification\n"
                "                            (exit 1 on error findings)\n"
                "  kizzle pack <sigdb> <out.kpf>\n"
+               "  kizzle pack --delta <base-sigdb> <full-sigdb> <out.kzd>\n"
+               "                            diff two databases of one\n"
+               "                            lineage into an incremental\n"
+               "                            KZDELTA artifact\n"
                "  kizzle gen <kit> [n] [seed]\n"
                "  kizzle demo [days] [out.kpf]\n"
                "                            run the pipeline on a simulated\n"
@@ -727,7 +816,9 @@ int usage() {
                "                            run the async scan service under\n"
                "                            built-in mixed load; --watch\n"
                "                            hot-swaps a changed artifact\n"
-               "                            through the lint gate mid-run\n");
+               "                            (.kpf full reload or KZDELTA\n"
+               "                            incremental apply) through the\n"
+               "                            lint gate mid-run\n");
   return 2;
 }
 
